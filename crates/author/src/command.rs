@@ -1,0 +1,699 @@
+//! Commands and the undo/redo stack.
+//!
+//! Every mutation the editors perform goes through a [`Command`] applied
+//! by a [`CommandStack`]. The stack snapshots the project's editable
+//! state (scene graph + segment table) before each command, giving exact,
+//! unbounded undo/redo — table stakes for the "friendly interface"
+//! the paper promises non-programmer course designers.
+
+use vgbl_media::{SegmentId, SegmentTable};
+use vgbl_scene::{DialogueTree, ImageAsset, Npc, ObjectKind, Rect, SceneGraph};
+use vgbl_script::{Action, EventKind, Trigger};
+
+use crate::error::AuthorError;
+use crate::project::Project;
+use crate::Result;
+
+/// Where a trigger lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TriggerTarget {
+    /// The scenario's entry trigger set.
+    Entry,
+    /// A named object's trigger set.
+    Object(String),
+}
+
+/// One editor mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Create a scenario over a segment.
+    AddScenario {
+        /// New scenario name.
+        name: String,
+        /// Segment it presents.
+        segment: SegmentId,
+    },
+    /// Delete a scenario.
+    RemoveScenario {
+        /// Scenario to delete.
+        name: String,
+    },
+    /// Rename a scenario (rewrites `goto`s).
+    RenameScenario {
+        /// Existing name.
+        old: String,
+        /// New name.
+        new: String,
+    },
+    /// Change the start scenario.
+    SetStart {
+        /// Scenario name.
+        name: String,
+    },
+    /// Set a scenario's designer description.
+    SetDescription {
+        /// Scenario name.
+        scenario: String,
+        /// New description.
+        text: String,
+    },
+    /// Re-point a scenario at a different segment.
+    SetScenarioSegment {
+        /// Scenario name.
+        scenario: String,
+        /// New segment.
+        segment: SegmentId,
+    },
+    /// Mount an object on a scenario.
+    AddObject {
+        /// Scenario name.
+        scenario: String,
+        /// New object name.
+        name: String,
+        /// Object kind.
+        kind: ObjectKind,
+        /// Bounds on the frame.
+        bounds: Rect,
+    },
+    /// Remove an object.
+    RemoveObject {
+        /// Scenario name.
+        scenario: String,
+        /// Object name.
+        object: String,
+    },
+    /// Move/resize an object.
+    MoveObject {
+        /// Scenario name.
+        scenario: String,
+        /// Object name.
+        object: String,
+        /// New bounds.
+        bounds: Rect,
+    },
+    /// Change an object's stacking order.
+    SetObjectZ {
+        /// Scenario name.
+        scenario: String,
+        /// Object name.
+        object: String,
+        /// New z.
+        z: i32,
+    },
+    /// Set (or clear) an object's visibility condition, given as source.
+    SetVisibleWhen {
+        /// Scenario name.
+        scenario: String,
+        /// Object name.
+        object: String,
+        /// Condition source, `None` to clear.
+        condition: Option<String>,
+    },
+    /// Append a trigger, all parts in their textual forms.
+    AddTrigger {
+        /// Scenario name.
+        scenario: String,
+        /// Entry set or object set.
+        target: TriggerTarget,
+        /// Event source, e.g. `"click"`, `"use fan"`, `"timer 1500"`.
+        event: String,
+        /// Optional guard condition source.
+        condition: Option<String>,
+        /// Action sources, e.g. `"goto market"`.
+        actions: Vec<String>,
+    },
+    /// Remove a trigger by index within its set.
+    RemoveTrigger {
+        /// Scenario name.
+        scenario: String,
+        /// Entry set or object set.
+        target: TriggerTarget,
+        /// Index in authoring order.
+        index: usize,
+    },
+    /// Register an NPC with a single fixed line (trees are edited via
+    /// [`Command::AddNpcDialogue`]).
+    AddNpc {
+        /// NPC name.
+        name: String,
+        /// The fixed line.
+        line: String,
+    },
+    /// Replace an NPC's dialogue tree wholesale.
+    AddNpcDialogue {
+        /// NPC name.
+        name: String,
+        /// The tree.
+        dialogue: DialogueTree,
+    },
+    /// Register a placeholder image asset.
+    AddAsset {
+        /// Asset name.
+        name: String,
+        /// Width in pixels.
+        width: u32,
+        /// Height in pixels.
+        height: u32,
+    },
+    /// Split the segment containing `frame` at `frame` (manual cut).
+    SplitSegment {
+        /// The frame to cut at.
+        frame: usize,
+    },
+    /// Merge the segment containing `frame` with its successor.
+    MergeSegmentAfter {
+        /// A frame inside the first of the two segments.
+        frame: usize,
+    },
+}
+
+/// Snapshot of the editable state (footage itself is immutable).
+#[derive(Debug, Clone, PartialEq)]
+struct Snapshot {
+    graph: SceneGraph,
+    segments: SegmentTable,
+}
+
+impl Snapshot {
+    fn take(project: &Project) -> Snapshot {
+        Snapshot { graph: project.graph.clone(), segments: project.segments.clone() }
+    }
+
+    fn restore(self, project: &mut Project) {
+        project.graph = self.graph;
+        project.segments = self.segments;
+    }
+}
+
+/// The undo/redo stack.
+#[derive(Debug, Default)]
+pub struct CommandStack {
+    undo: Vec<Snapshot>,
+    redo: Vec<Snapshot>,
+}
+
+impl CommandStack {
+    /// An empty stack.
+    pub fn new() -> CommandStack {
+        CommandStack::default()
+    }
+
+    /// Number of undoable steps.
+    pub fn undo_depth(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Number of redoable steps.
+    pub fn redo_depth(&self) -> usize {
+        self.redo.len()
+    }
+
+    /// Applies a command. On success the pre-state becomes undoable and
+    /// the redo history clears; on failure the project is untouched.
+    pub fn apply(&mut self, project: &mut Project, command: Command) -> Result<()> {
+        let snapshot = Snapshot::take(project);
+        match execute(project, command) {
+            Ok(()) => {
+                self.undo.push(snapshot);
+                self.redo.clear();
+                Ok(())
+            }
+            Err(e) => {
+                snapshot.restore(project);
+                Err(e)
+            }
+        }
+    }
+
+    /// Undoes the most recent command.
+    pub fn undo(&mut self, project: &mut Project) -> Result<()> {
+        let snapshot = self.undo.pop().ok_or(AuthorError::NothingToUndo)?;
+        self.redo.push(Snapshot::take(project));
+        snapshot.restore(project);
+        Ok(())
+    }
+
+    /// Redoes the most recently undone command.
+    pub fn redo(&mut self, project: &mut Project) -> Result<()> {
+        let snapshot = self.redo.pop().ok_or(AuthorError::NothingToRedo)?;
+        self.undo.push(Snapshot::take(project));
+        snapshot.restore(project);
+        Ok(())
+    }
+}
+
+fn object_mut<'a>(
+    project: &'a mut Project,
+    scenario: &str,
+    object: &str,
+) -> Result<&'a mut vgbl_scene::InteractiveObject> {
+    project
+        .graph
+        .scenario_by_name_mut(scenario)
+        .ok_or_else(|| vgbl_scene::SceneError::UnknownScenario(scenario.to_owned()))?
+        .object_by_name_mut(object)
+        .ok_or_else(|| AuthorError::from(vgbl_scene::SceneError::UnknownObject(object.to_owned())))
+}
+
+fn execute(project: &mut Project, command: Command) -> Result<()> {
+    match command {
+        Command::AddScenario { name, segment } => {
+            if project.segments.get(segment).is_none() {
+                return Err(AuthorError::Command(format!(
+                    "segment {segment} does not exist"
+                )));
+            }
+            project.graph.add_scenario(name, segment)?;
+        }
+        Command::RemoveScenario { name } => {
+            project.graph.remove_scenario(&name)?;
+        }
+        Command::RenameScenario { old, new } => {
+            project.graph.rename_scenario(&old, &new)?;
+        }
+        Command::SetStart { name } => {
+            project.graph.set_start(&name)?;
+        }
+        Command::SetDescription { scenario, text } => {
+            project
+                .graph
+                .scenario_by_name_mut(&scenario)
+                .ok_or(vgbl_scene::SceneError::UnknownScenario(scenario))?
+                .description = text;
+        }
+        Command::SetScenarioSegment { scenario, segment } => {
+            if project.segments.get(segment).is_none() {
+                return Err(AuthorError::Command(format!(
+                    "segment {segment} does not exist"
+                )));
+            }
+            project
+                .graph
+                .scenario_by_name_mut(&scenario)
+                .ok_or(vgbl_scene::SceneError::UnknownScenario(scenario))?
+                .segment = segment;
+        }
+        Command::AddObject { scenario, name, kind, bounds } => {
+            project
+                .graph
+                .scenario_by_name_mut(&scenario)
+                .ok_or(vgbl_scene::SceneError::UnknownScenario(scenario))?
+                .add_object(name, kind, bounds)?;
+        }
+        Command::RemoveObject { scenario, object } => {
+            let s = project
+                .graph
+                .scenario_by_name_mut(&scenario)
+                .ok_or(vgbl_scene::SceneError::UnknownScenario(scenario))?;
+            let id = s
+                .object_by_name(&object)
+                .ok_or(vgbl_scene::SceneError::UnknownObject(object))?
+                .id;
+            s.remove_object(id)?;
+        }
+        Command::MoveObject { scenario, object, bounds } => {
+            object_mut(project, &scenario, &object)?.bounds = bounds;
+        }
+        Command::SetObjectZ { scenario, object, z } => {
+            object_mut(project, &scenario, &object)?.z = z;
+        }
+        Command::SetVisibleWhen { scenario, object, condition } => {
+            let parsed = match condition {
+                Some(src) => Some(vgbl_script::parse_expr(&src)?),
+                None => None,
+            };
+            object_mut(project, &scenario, &object)?.visible_when = parsed;
+        }
+        Command::AddTrigger { scenario, target, event, condition, actions } => {
+            let event = EventKind::parse(&event)?;
+            let parsed_actions: Vec<Action> = actions
+                .iter()
+                .map(|a| Action::parse(a))
+                .collect::<vgbl_script::Result<_>>()?;
+            let trigger = match condition {
+                Some(cond) => Trigger::guarded(event, &cond, parsed_actions)?,
+                None => Trigger::unconditional(event, parsed_actions),
+            };
+            match target {
+                TriggerTarget::Entry => {
+                    project
+                        .graph
+                        .scenario_by_name_mut(&scenario)
+                        .ok_or(vgbl_scene::SceneError::UnknownScenario(scenario))?
+                        .entry_triggers
+                        .push(trigger);
+                }
+                TriggerTarget::Object(name) => {
+                    object_mut(project, &scenario, &name)?.triggers.push(trigger);
+                }
+            }
+        }
+        Command::RemoveTrigger { scenario, target, index } => {
+            let set = match target {
+                TriggerTarget::Entry => {
+                    &mut project
+                        .graph
+                        .scenario_by_name_mut(&scenario)
+                        .ok_or(vgbl_scene::SceneError::UnknownScenario(scenario))?
+                        .entry_triggers
+                }
+                TriggerTarget::Object(name) => {
+                    &mut object_mut(project, &scenario, &name)?.triggers
+                }
+            };
+            if index >= set.len() {
+                return Err(AuthorError::Command(format!(
+                    "trigger index {index} out of range ({} triggers)",
+                    set.len()
+                )));
+            }
+            set.triggers_mut().remove(index);
+        }
+        Command::AddNpc { name, line } => {
+            project.graph.add_npc(Npc::new(name, DialogueTree::single_line(line)));
+        }
+        Command::AddNpcDialogue { name, dialogue } => {
+            dialogue.validate(&name)?;
+            project.graph.add_npc(Npc::new(name, dialogue));
+        }
+        Command::AddAsset { name, width, height } => {
+            project
+                .graph
+                .assets_mut()
+                .insert(ImageAsset::placeholder(name, width, height));
+        }
+        Command::SplitSegment { frame } => {
+            let split = *project
+                .segments
+                .segment_at(frame)
+                .ok_or(AuthorError::Command(format!("frame {frame} out of range")))?;
+            project.segments.split_at(frame)?;
+            // Segments after the split point shift up by one; scenarios
+            // pointing at the split segment keep its first half.
+            for name in project.graph.scenarios().iter().map(|s| s.name.clone()).collect::<Vec<_>>() {
+                let sc = project.graph.scenario_by_name_mut(&name).expect("name stable");
+                if sc.segment.0 > split.id.0 {
+                    sc.segment = SegmentId(sc.segment.0 + 1);
+                }
+            }
+        }
+        Command::MergeSegmentAfter { frame } => {
+            // Re-pointing scenarios after a merge: segments renumber, so
+            // remap every scenario id at or past the removed boundary.
+            let merged = *project
+                .segments
+                .segment_at(frame)
+                .ok_or(AuthorError::Command(format!("frame {frame} out of range")))?;
+            project.segments.merge_after(frame)?;
+            for s in project.graph.scenarios().iter().map(|s| s.name.clone()).collect::<Vec<_>>() {
+                let sc = project.graph.scenario_by_name_mut(&s).expect("name stable");
+                if sc.segment.0 > merged.id.0 {
+                    sc.segment = SegmentId(sc.segment.0 - 1);
+                }
+            }
+        }
+    }
+    project.check_integrity()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgbl_media::FrameRate;
+
+    fn project() -> Project {
+        let mut p = Project::new("demo", (64, 48), FrameRate::FPS30);
+        // Give it a 4-segment table (no real video needed for commands).
+        p.segments = SegmentTable::from_cuts(40, &[10, 20, 30]).unwrap();
+        p
+    }
+
+    #[test]
+    fn apply_undo_redo_roundtrip() {
+        let mut p = project();
+        let mut stack = CommandStack::new();
+        stack
+            .apply(&mut p, Command::AddScenario { name: "intro".into(), segment: SegmentId(0) })
+            .unwrap();
+        stack
+            .apply(&mut p, Command::AddScenario { name: "lab".into(), segment: SegmentId(1) })
+            .unwrap();
+        assert_eq!(p.graph.len(), 2);
+        assert_eq!(stack.undo_depth(), 2);
+
+        stack.undo(&mut p).unwrap();
+        assert_eq!(p.graph.len(), 1);
+        stack.undo(&mut p).unwrap();
+        assert_eq!(p.graph.len(), 0);
+        assert!(stack.undo(&mut p).is_err());
+
+        stack.redo(&mut p).unwrap();
+        stack.redo(&mut p).unwrap();
+        assert_eq!(p.graph.len(), 2);
+        assert!(stack.redo(&mut p).is_err());
+    }
+
+    #[test]
+    fn failed_command_leaves_project_untouched_and_unrecorded() {
+        let mut p = project();
+        let mut stack = CommandStack::new();
+        let before = p.clone();
+        let err = stack.apply(
+            &mut p,
+            Command::AddScenario { name: "x".into(), segment: SegmentId(99) },
+        );
+        assert!(err.is_err());
+        assert_eq!(p, before);
+        assert_eq!(stack.undo_depth(), 0);
+    }
+
+    #[test]
+    fn new_command_clears_redo() {
+        let mut p = project();
+        let mut stack = CommandStack::new();
+        stack
+            .apply(&mut p, Command::AddScenario { name: "a".into(), segment: SegmentId(0) })
+            .unwrap();
+        stack.undo(&mut p).unwrap();
+        assert_eq!(stack.redo_depth(), 1);
+        stack
+            .apply(&mut p, Command::AddScenario { name: "b".into(), segment: SegmentId(0) })
+            .unwrap();
+        assert_eq!(stack.redo_depth(), 0);
+    }
+
+    #[test]
+    fn object_commands() {
+        let mut p = project();
+        let mut stack = CommandStack::new();
+        stack
+            .apply(&mut p, Command::AddScenario { name: "a".into(), segment: SegmentId(0) })
+            .unwrap();
+        stack
+            .apply(
+                &mut p,
+                Command::AddObject {
+                    scenario: "a".into(),
+                    name: "btn".into(),
+                    kind: ObjectKind::Button { label: "Go".into() },
+                    bounds: Rect::new(1, 1, 8, 8),
+                },
+            )
+            .unwrap();
+        stack
+            .apply(
+                &mut p,
+                Command::MoveObject {
+                    scenario: "a".into(),
+                    object: "btn".into(),
+                    bounds: Rect::new(5, 5, 10, 10),
+                },
+            )
+            .unwrap();
+        stack
+            .apply(&mut p, Command::SetObjectZ { scenario: "a".into(), object: "btn".into(), z: 3 })
+            .unwrap();
+        stack
+            .apply(
+                &mut p,
+                Command::SetVisibleWhen {
+                    scenario: "a".into(),
+                    object: "btn".into(),
+                    condition: Some("score > 2".into()),
+                },
+            )
+            .unwrap();
+        let o = p.graph.scenario_by_name("a").unwrap().object_by_name("btn").unwrap();
+        assert_eq!(o.bounds, Rect::new(5, 5, 10, 10));
+        assert_eq!(o.z, 3);
+        assert!(o.visible_when.is_some());
+
+        // Bad condition source fails cleanly.
+        assert!(stack
+            .apply(
+                &mut p,
+                Command::SetVisibleWhen {
+                    scenario: "a".into(),
+                    object: "btn".into(),
+                    condition: Some("((".into()),
+                },
+            )
+            .is_err());
+
+        stack
+            .apply(&mut p, Command::RemoveObject { scenario: "a".into(), object: "btn".into() })
+            .unwrap();
+        assert!(p.graph.scenario_by_name("a").unwrap().objects().is_empty());
+        // Undo brings it back with all its properties.
+        stack.undo(&mut p).unwrap();
+        let o = p.graph.scenario_by_name("a").unwrap().object_by_name("btn").unwrap();
+        assert_eq!(o.z, 3);
+    }
+
+    #[test]
+    fn trigger_commands_parse_textual_forms() {
+        let mut p = project();
+        let mut stack = CommandStack::new();
+        stack
+            .apply(&mut p, Command::AddScenario { name: "a".into(), segment: SegmentId(0) })
+            .unwrap();
+        stack
+            .apply(&mut p, Command::AddScenario { name: "b".into(), segment: SegmentId(1) })
+            .unwrap();
+        stack
+            .apply(
+                &mut p,
+                Command::AddObject {
+                    scenario: "a".into(),
+                    name: "btn".into(),
+                    kind: ObjectKind::Button { label: "Go".into() },
+                    bounds: Rect::new(1, 1, 8, 8),
+                },
+            )
+            .unwrap();
+        stack
+            .apply(
+                &mut p,
+                Command::AddTrigger {
+                    scenario: "a".into(),
+                    target: TriggerTarget::Object("btn".into()),
+                    event: "click".into(),
+                    condition: Some("score >= 0".into()),
+                    actions: vec!["goto b".into(), "score 5".into()],
+                },
+            )
+            .unwrap();
+        let o = p.graph.scenario_by_name("a").unwrap().object_by_name("btn").unwrap();
+        assert_eq!(o.triggers.len(), 1);
+        assert_eq!(o.triggers.triggers()[0].actions.len(), 2);
+
+        // Entry trigger too.
+        stack
+            .apply(
+                &mut p,
+                Command::AddTrigger {
+                    scenario: "a".into(),
+                    target: TriggerTarget::Entry,
+                    event: "enter".into(),
+                    condition: None,
+                    actions: vec!["text \"welcome\"".into()],
+                },
+            )
+            .unwrap();
+        assert_eq!(p.graph.scenario_by_name("a").unwrap().entry_triggers.len(), 1);
+
+        // Malformed pieces fail without mutating.
+        for bad in [
+            Command::AddTrigger {
+                scenario: "a".into(),
+                target: TriggerTarget::Entry,
+                event: "hover".into(),
+                condition: None,
+                actions: vec![],
+            },
+            Command::AddTrigger {
+                scenario: "a".into(),
+                target: TriggerTarget::Entry,
+                event: "click".into(),
+                condition: None,
+                actions: vec!["warp x".into()],
+            },
+        ] {
+            let before = p.clone();
+            assert!(stack.apply(&mut p, bad).is_err());
+            assert_eq!(p, before);
+        }
+
+        stack
+            .apply(
+                &mut p,
+                Command::RemoveTrigger {
+                    scenario: "a".into(),
+                    target: TriggerTarget::Object("btn".into()),
+                    index: 0,
+                },
+            )
+            .unwrap();
+        let o = p.graph.scenario_by_name("a").unwrap().object_by_name("btn").unwrap();
+        assert!(o.triggers.is_empty());
+        assert!(stack
+            .apply(
+                &mut p,
+                Command::RemoveTrigger {
+                    scenario: "a".into(),
+                    target: TriggerTarget::Entry,
+                    index: 7,
+                },
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn segment_commands_remap_scenarios() {
+        let mut p = project();
+        let mut stack = CommandStack::new();
+        stack
+            .apply(&mut p, Command::AddScenario { name: "s3".into(), segment: SegmentId(3) })
+            .unwrap();
+        // Merge segments 1 and 2 (frame 10 is in segment 1).
+        stack.apply(&mut p, Command::MergeSegmentAfter { frame: 10 }).unwrap();
+        assert_eq!(p.segments.len(), 3);
+        // Scenario that pointed at segment 3 now points at 2.
+        assert_eq!(p.graph.scenario_by_name("s3").unwrap().segment, SegmentId(2));
+        // Split it again: segment [10,30) splits at 15, and s3's pointer
+        // (now at table position 2, the [30,40) segment) shifts to 3.
+        stack.apply(&mut p, Command::SplitSegment { frame: 15 }).unwrap();
+        assert_eq!(p.segments.len(), 4);
+        assert_eq!(p.graph.scenario_by_name("s3").unwrap().segment, SegmentId(3));
+        assert_eq!(p.segments.get(SegmentId(3)).unwrap().start, 30);
+        // Undo restores both table and mapping.
+        stack.undo(&mut p).unwrap();
+        stack.undo(&mut p).unwrap();
+        assert_eq!(p.segments.len(), 4);
+        assert_eq!(p.graph.scenario_by_name("s3").unwrap().segment, SegmentId(3));
+    }
+
+    #[test]
+    fn npc_and_asset_commands() {
+        let mut p = project();
+        let mut stack = CommandStack::new();
+        stack
+            .apply(&mut p, Command::AddNpc { name: "guide".into(), line: "Hello.".into() })
+            .unwrap();
+        assert!(p.graph.npc("guide").is_some());
+        stack
+            .apply(&mut p, Command::AddAsset { name: "pc".into(), width: 8, height: 8 })
+            .unwrap();
+        assert!(p.graph.assets().contains("pc"));
+        // Broken dialogue rejected.
+        let mut tree = DialogueTree::new();
+        tree.insert(
+            5,
+            vgbl_scene::DialogueNode { line: "orphan".into(), choices: vec![] },
+        );
+        assert!(stack
+            .apply(&mut p, Command::AddNpcDialogue { name: "guide".into(), dialogue: tree })
+            .is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Authoring error type.
+
+use std::fmt;
+
+/// Errors from the authoring tool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuthorError {
+    /// A scene-model operation failed.
+    Scene(vgbl_scene::SceneError),
+    /// A script (condition/action/event) failed to parse.
+    Script(vgbl_script::ScriptError),
+    /// A media operation failed.
+    Media(vgbl_media::MediaError),
+    /// Nothing to undo/redo.
+    NothingToUndo,
+    /// Nothing to redo.
+    NothingToRedo,
+    /// A command precondition failed (message explains).
+    Command(String),
+    /// The project file failed to parse.
+    ProjectParse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The project violates an integrity invariant.
+    Integrity(String),
+    /// A filesystem operation failed (message carries the path and cause).
+    Io(String),
+}
+
+impl fmt::Display for AuthorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthorError::Scene(e) => write!(f, "scene error: {e}"),
+            AuthorError::Script(e) => write!(f, "script error: {e}"),
+            AuthorError::Media(e) => write!(f, "media error: {e}"),
+            AuthorError::NothingToUndo => write!(f, "nothing to undo"),
+            AuthorError::NothingToRedo => write!(f, "nothing to redo"),
+            AuthorError::Command(msg) => write!(f, "command failed: {msg}"),
+            AuthorError::ProjectParse { line, message } => {
+                write!(f, "project parse error at line {line}: {message}")
+            }
+            AuthorError::Integrity(msg) => write!(f, "project integrity violation: {msg}"),
+            AuthorError::Io(msg) => write!(f, "file error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AuthorError::Scene(e) => Some(e),
+            AuthorError::Script(e) => Some(e),
+            AuthorError::Media(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vgbl_scene::SceneError> for AuthorError {
+    fn from(e: vgbl_scene::SceneError) -> Self {
+        AuthorError::Scene(e)
+    }
+}
+
+impl From<vgbl_script::ScriptError> for AuthorError {
+    fn from(e: vgbl_script::ScriptError) -> Self {
+        AuthorError::Script(e)
+    }
+}
+
+impl From<vgbl_media::MediaError> for AuthorError {
+    fn from(e: vgbl_media::MediaError) -> Self {
+        AuthorError::Media(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        use std::error::Error;
+        let e: AuthorError = vgbl_scene::SceneError::EmptyGraph.into();
+        assert!(e.source().is_some());
+        let e: AuthorError = vgbl_script::ScriptError::DivisionByZero.into();
+        assert!(e.to_string().contains("script"));
+        let e = AuthorError::ProjectParse { line: 12, message: "bad".into() };
+        assert!(e.to_string().contains("12"));
+        assert!(AuthorError::NothingToUndo.source().is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! Saving and loading projects on disk.
+//!
+//! A project persists as a pair of files next to each other:
+//!
+//! * `<name>.vgp` — the textual project (scene graph, segments, assets,
+//!   triggers; see [`crate::serialize`]);
+//! * `<name>.vgv` — the encoded footage in the binary `VGV` container
+//!   (absent when no footage has been imported yet).
+//!
+//! [`load_project`] re-attaches the sidecar automatically and verifies
+//! the pair still matches (frame counts, dimensions).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use vgbl_media::{ContainerReader, ContainerWriter};
+
+use crate::error::AuthorError;
+use crate::project::Project;
+use crate::serialize::{from_vgp, to_vgp};
+use crate::Result;
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> AuthorError {
+    AuthorError::Io(format!("{what} {}: {e}", path.display()))
+}
+
+/// Saves `project` into `dir` as `<basename>.vgp` (+ `.vgv` when footage
+/// is attached). Returns the paths written.
+pub fn save_project(
+    project: &Project,
+    dir: &Path,
+    basename: &str,
+) -> Result<(PathBuf, Option<PathBuf>)> {
+    fs::create_dir_all(dir).map_err(|e| io_err("creating", dir, e))?;
+    let vgp_path = dir.join(format!("{basename}.vgp"));
+    let text = to_vgp(project)?;
+    fs::write(&vgp_path, text).map_err(|e| io_err("writing", &vgp_path, e))?;
+
+    let vgv_path = match &project.video {
+        Some(video) => {
+            let path = dir.join(format!("{basename}.vgv"));
+            let bytes = ContainerWriter::write(video);
+            fs::write(&path, bytes).map_err(|e| io_err("writing", &path, e))?;
+            Some(path)
+        }
+        None => None,
+    };
+    Ok((vgp_path, vgv_path))
+}
+
+/// Loads a project from a `.vgp` path, attaching the `.vgv` sidecar when
+/// one sits next to it.
+pub fn load_project(vgp_path: &Path) -> Result<Project> {
+    let text = fs::read_to_string(vgp_path).map_err(|e| io_err("reading", vgp_path, e))?;
+    let mut project = from_vgp(&text)?;
+
+    let vgv_path = vgp_path.with_extension("vgv");
+    if vgv_path.exists() {
+        let bytes = fs::read(&vgv_path).map_err(|e| io_err("reading", &vgv_path, e))?;
+        let video = ContainerReader::read(&bytes)?;
+        let segments = project.segments.clone();
+        project.attach_video(video, segments)?;
+    }
+    Ok(project)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wizard::tour_template;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    /// A unique scratch directory per test, cleaned up on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new() -> Scratch {
+            let dir = std::env::temp_dir().join(format!(
+                "vgbl-fileio-{}-{}",
+                std::process::id(),
+                DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn save_load_without_footage() {
+        let scratch = Scratch::new();
+        let project = tour_template("museum", 3);
+        let (vgp, vgv) = save_project(&project, &scratch.0, "museum").unwrap();
+        assert!(vgp.exists());
+        assert!(vgv.is_none());
+        let back = load_project(&vgp).unwrap();
+        assert_eq!(back.graph, project.graph);
+        assert!(!back.has_video());
+    }
+
+    #[test]
+    fn save_load_with_footage_sidecar() {
+        use crate::import::{import_footage, ImportConfig};
+        use vgbl_media::color::Rgb;
+        use vgbl_media::synth::{FootageSpec, ShotSpec};
+        use vgbl_media::FrameRate;
+
+        let scratch = Scratch::new();
+        let mut project = Project::new("demo", (48, 32), FrameRate::FPS30);
+        let footage = FootageSpec {
+            width: 48,
+            height: 32,
+            rate: FrameRate::FPS30,
+            shots: vec![
+                ShotSpec::plain(12, Rgb::new(180, 60, 60)),
+                ShotSpec::plain(12, Rgb::new(60, 60, 180)),
+            ],
+            noise_seed: 3,
+        }
+        .render()
+        .unwrap();
+        import_footage(&mut project, &footage.frames, footage.rate, &ImportConfig::default(), None)
+            .unwrap();
+        project
+            .graph
+            .add_scenario("a", vgbl_media::SegmentId(0))
+            .unwrap();
+
+        let (vgp, vgv) = save_project(&project, &scratch.0, "demo").unwrap();
+        assert!(vgv.as_ref().map(|p| p.exists()).unwrap_or(false));
+        let back = load_project(&vgp).unwrap();
+        assert!(back.has_video());
+        assert_eq!(back.video, project.video);
+        assert_eq!(back.segments, project.segments);
+        assert_eq!(back.graph, project.graph);
+        assert!(back.check_integrity().is_ok());
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(matches!(
+            load_project(Path::new("/nonexistent/deeply/missing.vgp")),
+            Err(AuthorError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_sidecar_is_reported() {
+        let scratch = Scratch::new();
+        let project = tour_template("t", 2);
+        let (vgp, _) = save_project(&project, &scratch.0, "t").unwrap();
+        // Plant a garbage sidecar.
+        std::fs::write(vgp.with_extension("vgv"), b"not a container").unwrap();
+        assert!(matches!(
+            load_project(&vgp),
+            Err(AuthorError::Media(_))
+        ));
+    }
+}

@@ -1,0 +1,50 @@
+//! # vgbl-author — the interactive VGBL authoring tool
+//!
+//! The paper's headline contribution (§1, §4): "The interactive game
+//! authoring tool proposed in this paper provides a friendly interface to
+//! help the users to create their educational games easily" — without
+//! "understanding details of computer graphics, video and even flash
+//! technologies."
+//!
+//! * [`project`] — the authoring document: footage + segment table +
+//!   scene graph, with integrity invariants.
+//! * [`import`] — §4.1's video import: "users just need to select video
+//!   files … such that video can be divided into scenario components by
+//!   the authoring tool" (shot detection → segments → encoded `VGV`).
+//! * [`command`] — every edit is a command on an undo/redo stack, as a
+//!   real editor must offer.
+//! * [`scenario_editor`] — §4.1's scenario editor operations.
+//! * [`object_editor`] — §4.2's object editor: mount objects, set
+//!   properties, wire events from their textual forms.
+//! * [`serialize`] — the `.vgp` project format (text, versioned,
+//!   round-tripping).
+//! * [`lint`] — authoring diagnostics on top of `vgbl_scene::validate`.
+//! * [`render`] — the Figure 1 reproduction: a deterministic text
+//!   rendering of the authoring interface.
+//! * [`cost`] — the EXP-6 cost model quantifying §5's claim that video
+//!   scenarios are "a cheaper way to produce game scenarios" than 3D.
+//! * [`wizard`] — game templates content providers start from.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod command;
+pub mod cost;
+pub mod error;
+pub mod fileio;
+pub mod import;
+pub mod lint;
+pub mod object_editor;
+pub mod project;
+pub mod render;
+pub mod scenario_editor;
+pub mod serialize;
+pub mod wizard;
+
+pub use command::{Command, CommandStack};
+pub use error::AuthorError;
+pub use import::{ImportConfig, ImportReport, import_footage};
+pub use project::Project;
+
+/// Result alias for authoring operations.
+pub type Result<T> = std::result::Result<T, AuthorError>;

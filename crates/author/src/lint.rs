@@ -1,0 +1,221 @@
+//! Authoring lints.
+//!
+//! Wraps the scene graph's structural validation and adds tool-level
+//! checks that need authoring context: condition expressions must only
+//! use the runtime's environment (variables/functions the player session
+//! actually binds), footage should be attached before publishing, and
+//! every segment ought to be used by some scenario.
+
+use std::collections::BTreeSet;
+
+use vgbl_scene::validate::{validate, ValidationReport};
+use vgbl_script::Expr;
+
+use crate::project::Project;
+
+/// Variables the runtime environment defines (see `vgbl-runtime`).
+pub const KNOWN_VARS: &[&str] = &["score"];
+/// Functions the runtime environment defines.
+pub const KNOWN_FUNCS: &[&str] =
+    &["has", "count", "flag", "visited", "examined", "rewarded"];
+
+/// A tool-level finding (all are warnings — the project still loads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthorLint {
+    /// A condition references a variable the runtime will not define.
+    UnknownVariable {
+        /// Scenario containing the condition.
+        scenario: String,
+        /// The variable.
+        variable: String,
+    },
+    /// A condition calls a function the runtime will not define.
+    UnknownFunction {
+        /// Scenario containing the condition.
+        scenario: String,
+        /// The function.
+        function: String,
+    },
+    /// The project has no footage attached yet.
+    NoFootage,
+    /// A segment no scenario presents.
+    UnusedSegment {
+        /// The segment's index.
+        segment: u32,
+    },
+}
+
+impl std::fmt::Display for AuthorLint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuthorLint::UnknownVariable { scenario, variable } => {
+                write!(f, "[{scenario}] condition uses unknown variable `{variable}`")
+            }
+            AuthorLint::UnknownFunction { scenario, function } => {
+                write!(f, "[{scenario}] condition calls unknown function `{function}`")
+            }
+            AuthorLint::NoFootage => write!(f, "no footage imported yet"),
+            AuthorLint::UnusedSegment { segment } => {
+                write!(f, "segment {segment} is not used by any scenario")
+            }
+        }
+    }
+}
+
+/// Combined structural + tool-level report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintReport {
+    /// Structural validation of the scene graph.
+    pub scene: ValidationReport,
+    /// Tool-level findings.
+    pub author: Vec<AuthorLint>,
+}
+
+impl LintReport {
+    /// True when the project can be published (no structural errors; tool
+    /// lints are advisory).
+    pub fn is_publishable(&self) -> bool {
+        self.scene.is_playable()
+    }
+
+    /// Total findings across both layers.
+    pub fn total(&self) -> usize {
+        self.scene.issues.len() + self.author.len()
+    }
+}
+
+/// Lints a project.
+pub fn lint_project(project: &Project) -> LintReport {
+    let scene = validate(&project.graph, Some(project.frame_size));
+    let mut author = Vec::new();
+
+    if !project.has_video() {
+        author.push(AuthorLint::NoFootage);
+    }
+
+    let used: BTreeSet<u32> = project.graph.scenarios().iter().map(|s| s.segment.0).collect();
+    for seg in project.segments.segments() {
+        if !used.contains(&seg.id.0) {
+            author.push(AuthorLint::UnusedSegment { segment: seg.id.0 });
+        }
+    }
+
+    for s in project.graph.scenarios() {
+        let mut conditions: Vec<&Expr> = Vec::new();
+        for t in s.entry_triggers.triggers() {
+            if let Some(c) = &t.condition {
+                conditions.push(c);
+            }
+        }
+        for o in s.objects() {
+            if let Some(c) = &o.visible_when {
+                conditions.push(c);
+            }
+            for t in o.triggers.triggers() {
+                if let Some(c) = &t.condition {
+                    conditions.push(c);
+                }
+            }
+        }
+        for cond in conditions {
+            for v in cond.variables() {
+                if !KNOWN_VARS.contains(&v.as_str()) {
+                    author.push(AuthorLint::UnknownVariable {
+                        scenario: s.name.clone(),
+                        variable: v,
+                    });
+                }
+            }
+            for func in cond.functions() {
+                if !KNOWN_FUNCS.contains(&func.as_str()) {
+                    author.push(AuthorLint::UnknownFunction {
+                        scenario: s.name.clone(),
+                        function: func,
+                    });
+                }
+            }
+        }
+    }
+
+    LintReport { scene, author }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{Command, CommandStack, TriggerTarget};
+    use crate::wizard::{quiz_template, tour_template};
+
+    #[test]
+    fn templates_lint_clean_except_footage() {
+        for p in [quiz_template("q", 3), tour_template("t", 3)] {
+            let report = lint_project(&p);
+            assert!(report.is_publishable(), "{:?}", report.scene.issues);
+            // Only the missing-footage advisory.
+            assert_eq!(report.author, vec![AuthorLint::NoFootage], "{:?}", report.author);
+        }
+    }
+
+    #[test]
+    fn unknown_identifiers_flagged() {
+        let mut p = tour_template("t", 2);
+        let mut stack = CommandStack::new();
+        stack
+            .apply(
+                &mut p,
+                Command::AddTrigger {
+                    scenario: "hub".into(),
+                    target: TriggerTarget::Entry,
+                    event: "enter".into(),
+                    condition: Some("lives > 0 && teleported(\"hub\")".into()),
+                    actions: vec!["score 1".into()],
+                },
+            )
+            .unwrap();
+        let report = lint_project(&p);
+        assert!(report
+            .author
+            .iter()
+            .any(|l| matches!(l, AuthorLint::UnknownVariable { variable, .. } if variable == "lives")));
+        assert!(report
+            .author
+            .iter()
+            .any(|l| matches!(l, AuthorLint::UnknownFunction { function, .. } if function == "teleported")));
+        // Still publishable — these are advisories.
+        assert!(report.is_publishable());
+    }
+
+    #[test]
+    fn unused_segment_flagged() {
+        let mut p = tour_template("t", 2);
+        // Add a cut creating a segment nothing points at.
+        let mut stack = CommandStack::new();
+        stack.apply(&mut p, Command::SplitSegment { frame: 75 }).unwrap();
+        let report = lint_project(&p);
+        assert!(report
+            .author
+            .iter()
+            .any(|l| matches!(l, AuthorLint::UnusedSegment { .. })));
+    }
+
+    #[test]
+    fn structural_errors_block_publishing() {
+        let mut p = tour_template("t", 2);
+        let mut stack = CommandStack::new();
+        stack
+            .apply(
+                &mut p,
+                Command::AddTrigger {
+                    scenario: "hub".into(),
+                    target: TriggerTarget::Entry,
+                    event: "enter".into(),
+                    condition: None,
+                    actions: vec!["goto nowhere".into()],
+                },
+            )
+            .unwrap();
+        let report = lint_project(&p);
+        assert!(!report.is_publishable());
+        assert!(report.total() > 0);
+    }
+}

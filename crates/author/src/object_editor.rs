@@ -1,0 +1,309 @@
+//! The object editor (§4.2).
+//!
+//! "An object editor is implemented for such requirements. Users can set
+//! the properties and events of objects in video and produce adequate
+//! feedback when users trigger them." [`ObjectEditor`] mounts buttons,
+//! images, items and NPC anchors on a scenario and wires their events
+//! from the textual trigger forms. Every operation is undoable.
+
+use vgbl_scene::{ObjectKind, Rect};
+
+use crate::command::{Command, CommandStack, TriggerTarget};
+use crate::project::Project;
+use crate::Result;
+
+/// Object-level editing session over one scenario of a project.
+///
+/// # Examples
+///
+/// ```
+/// use vgbl_author::{CommandStack, Project};
+/// use vgbl_author::object_editor::ObjectEditor;
+/// use vgbl_author::scenario_editor::ScenarioEditor;
+/// use vgbl_media::{FrameRate, SegmentId};
+/// use vgbl_scene::Rect;
+///
+/// let mut project = Project::new("demo", (64, 48), FrameRate::FPS30);
+/// let mut stack = CommandStack::new();
+/// ScenarioEditor::new(&mut project, &mut stack)
+///     .create_scenario("room", SegmentId(0))
+///     .unwrap();
+///
+/// let mut ed = ObjectEditor::new(&mut project, &mut stack, "room");
+/// ed.add_item("key", "key_img", "A brass key.", true, Rect::new(10, 30, 6, 4)).unwrap();
+/// ed.wire("key", "drag", None, &["score 5", "text \"Got it!\""]).unwrap();
+/// drop(ed);
+///
+/// // Everything is undoable.
+/// assert_eq!(stack.undo_depth(), 4); // scenario + asset + item + trigger
+/// stack.undo(&mut project).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct ObjectEditor<'a> {
+    project: &'a mut Project,
+    stack: &'a mut CommandStack,
+    scenario: String,
+}
+
+impl<'a> ObjectEditor<'a> {
+    /// Opens the editor on `scenario`.
+    pub fn new(
+        project: &'a mut Project,
+        stack: &'a mut CommandStack,
+        scenario: &str,
+    ) -> ObjectEditor<'a> {
+        ObjectEditor { project, stack, scenario: scenario.to_owned() }
+    }
+
+    /// Mounts a navigation/action button.
+    pub fn add_button(&mut self, name: &str, label: &str, bounds: Rect) -> Result<()> {
+        self.stack.apply(
+            self.project,
+            Command::AddObject {
+                scenario: self.scenario.clone(),
+                name: name.to_owned(),
+                kind: ObjectKind::Button { label: label.to_owned() },
+                bounds,
+            },
+        )
+    }
+
+    /// Mounts an image object backed by `asset` (registering a
+    /// placeholder asset if the name is new — designers drop images in
+    /// before final art exists).
+    pub fn add_image(&mut self, name: &str, asset: &str, bounds: Rect) -> Result<()> {
+        self.ensure_asset(asset, bounds)?;
+        self.stack.apply(
+            self.project,
+            Command::AddObject {
+                scenario: self.scenario.clone(),
+                name: name.to_owned(),
+                kind: ObjectKind::Image { asset: asset.to_owned() },
+                bounds,
+            },
+        )
+    }
+
+    /// Mounts a collectable/examinable item.
+    pub fn add_item(
+        &mut self,
+        name: &str,
+        asset: &str,
+        description: &str,
+        takeable: bool,
+        bounds: Rect,
+    ) -> Result<()> {
+        self.ensure_asset(asset, bounds)?;
+        self.stack.apply(
+            self.project,
+            Command::AddObject {
+                scenario: self.scenario.clone(),
+                name: name.to_owned(),
+                kind: ObjectKind::Item {
+                    asset: asset.to_owned(),
+                    description: description.to_owned(),
+                    takeable,
+                },
+                bounds,
+            },
+        )
+    }
+
+    /// Mounts an NPC anchor (the NPC itself is registered via
+    /// [`crate::command::Command::AddNpc`]).
+    pub fn add_npc_anchor(&mut self, name: &str, npc: &str, bounds: Rect) -> Result<()> {
+        self.stack.apply(
+            self.project,
+            Command::AddObject {
+                scenario: self.scenario.clone(),
+                name: name.to_owned(),
+                kind: ObjectKind::NpcAnchor { npc: npc.to_owned() },
+                bounds,
+            },
+        )
+    }
+
+    /// Moves/resizes an object.
+    pub fn set_bounds(&mut self, object: &str, bounds: Rect) -> Result<()> {
+        self.stack.apply(
+            self.project,
+            Command::MoveObject {
+                scenario: self.scenario.clone(),
+                object: object.to_owned(),
+                bounds,
+            },
+        )
+    }
+
+    /// Changes an object's stacking order.
+    pub fn set_z(&mut self, object: &str, z: i32) -> Result<()> {
+        self.stack.apply(
+            self.project,
+            Command::SetObjectZ {
+                scenario: self.scenario.clone(),
+                object: object.to_owned(),
+                z,
+            },
+        )
+    }
+
+    /// Sets (or clears, with `None`) the visibility condition.
+    pub fn set_visible_when(&mut self, object: &str, condition: Option<&str>) -> Result<()> {
+        self.stack.apply(
+            self.project,
+            Command::SetVisibleWhen {
+                scenario: self.scenario.clone(),
+                object: object.to_owned(),
+                condition: condition.map(str::to_owned),
+            },
+        )
+    }
+
+    /// Wires an event: `event`, optional `condition` and `actions` are
+    /// the textual forms, e.g.
+    /// `wire("computer", "use fan", Some("flag(\"diagnosed\")"),
+    /// &["flag fixed on", "score 20"])`.
+    pub fn wire(
+        &mut self,
+        object: &str,
+        event: &str,
+        condition: Option<&str>,
+        actions: &[&str],
+    ) -> Result<()> {
+        self.stack.apply(
+            self.project,
+            Command::AddTrigger {
+                scenario: self.scenario.clone(),
+                target: TriggerTarget::Object(object.to_owned()),
+                event: event.to_owned(),
+                condition: condition.map(str::to_owned),
+                actions: actions.iter().map(|s| (*s).to_owned()).collect(),
+            },
+        )
+    }
+
+    /// Removes an object.
+    pub fn remove(&mut self, object: &str) -> Result<()> {
+        self.stack.apply(
+            self.project,
+            Command::RemoveObject {
+                scenario: self.scenario.clone(),
+                object: object.to_owned(),
+            },
+        )
+    }
+
+    fn ensure_asset(&mut self, asset: &str, bounds: Rect) -> Result<()> {
+        if !self.project.graph.assets().contains(asset) {
+            self.stack.apply(
+                self.project,
+                Command::AddAsset {
+                    name: asset.to_owned(),
+                    width: bounds.w.max(3),
+                    height: bounds.h.max(3),
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario_editor::ScenarioEditor;
+    use vgbl_media::{FrameRate, SegmentId, SegmentTable};
+
+    fn setup() -> (Project, CommandStack) {
+        let mut p = Project::new("demo", (64, 48), FrameRate::FPS30);
+        p.segments = SegmentTable::from_cuts(20, &[10]).unwrap();
+        let mut stack = CommandStack::new();
+        {
+            let mut ed = ScenarioEditor::new(&mut p, &mut stack);
+            ed.create_scenario("room", SegmentId(0)).unwrap();
+        }
+        (p, stack)
+    }
+
+    #[test]
+    fn mounting_every_kind() {
+        let (mut p, mut stack) = setup();
+        {
+            let mut ed = ObjectEditor::new(&mut p, &mut stack, "room");
+            ed.add_button("next", "Next room", Rect::new(50, 2, 10, 6)).unwrap();
+            ed.add_image("decor", "plant", Rect::new(2, 30, 8, 12)).unwrap();
+            ed.add_item("key", "key_img", "A small brass key.", true, Rect::new(20, 35, 6, 4))
+                .unwrap();
+            ed.add_npc_anchor("janitor", "janitor", Rect::new(30, 10, 10, 20)).unwrap();
+        }
+        let s = p.graph.scenario_by_name("room").unwrap();
+        assert_eq!(s.objects().len(), 4);
+        // Assets auto-registered for image/item.
+        assert!(p.graph.assets().contains("plant"));
+        assert!(p.graph.assets().contains("key_img"));
+    }
+
+    #[test]
+    fn property_edits_and_wiring() {
+        let (mut p, mut stack) = setup();
+        {
+            let mut ed = ObjectEditor::new(&mut p, &mut stack, "room");
+            ed.add_button("next", "Next", Rect::new(0, 0, 8, 8)).unwrap();
+            ed.set_bounds("next", Rect::new(4, 4, 10, 10)).unwrap();
+            ed.set_z("next", 2).unwrap();
+            ed.set_visible_when("next", Some("flag(\"ready\")")).unwrap();
+            ed.wire("next", "click", None, &["score 1", "text \"onwards\""]).unwrap();
+            ed.wire("next", "key n", Some("score > 0"), &["score 1"]).unwrap();
+        }
+        let o = p
+            .graph
+            .scenario_by_name("room")
+            .unwrap()
+            .object_by_name("next")
+            .unwrap();
+        assert_eq!(o.bounds, Rect::new(4, 4, 10, 10));
+        assert_eq!(o.z, 2);
+        assert!(o.visible_when.is_some());
+        assert_eq!(o.triggers.len(), 2);
+        // Clear visibility.
+        {
+            let mut ed = ObjectEditor::new(&mut p, &mut stack, "room");
+            ed.set_visible_when("next", None).unwrap();
+        }
+        let o = p
+            .graph
+            .scenario_by_name("room")
+            .unwrap()
+            .object_by_name("next")
+            .unwrap();
+        assert!(o.visible_when.is_none());
+    }
+
+    #[test]
+    fn errors_surface_and_do_not_mutate() {
+        let (mut p, mut stack) = setup();
+        let before_depth = stack.undo_depth();
+        let mut ed = ObjectEditor::new(&mut p, &mut stack, "room");
+        assert!(ed.wire("ghost", "click", None, &["score 1"]).is_err());
+        assert!(ed.set_bounds("ghost", Rect::default()).is_err());
+        assert!(ed.remove("ghost").is_err());
+        drop(ed);
+        assert_eq!(stack.undo_depth(), before_depth);
+        // Unknown scenario too.
+        let mut ed = ObjectEditor::new(&mut p, &mut stack, "nowhere");
+        assert!(ed.add_button("b", "B", Rect::default()).is_err());
+    }
+
+    #[test]
+    fn remove_is_undoable() {
+        let (mut p, mut stack) = setup();
+        {
+            let mut ed = ObjectEditor::new(&mut p, &mut stack, "room");
+            ed.add_button("next", "Next", Rect::new(0, 0, 8, 8)).unwrap();
+            ed.remove("next").unwrap();
+        }
+        assert!(p.graph.scenario_by_name("room").unwrap().objects().is_empty());
+        stack.undo(&mut p).unwrap();
+        assert_eq!(p.graph.scenario_by_name("room").unwrap().objects().len(), 1);
+    }
+}

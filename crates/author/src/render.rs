@@ -1,0 +1,205 @@
+//! Rendering — the reproduction of the paper's Figure 1.
+//!
+//! Figure 1 shows "the interface of the interactive VGBL authoring tool":
+//! a scenario timeline over the imported footage, the project tree of
+//! scenarios with their mounted objects, an object palette, and a
+//! property pane for the selected object. [`ascii_ui`] reproduces that
+//! layout as a deterministic text window that tests assert on.
+
+
+use crate::command::CommandStack;
+use crate::lint::lint_project;
+use crate::project::Project;
+
+/// Width of the text UI in characters.
+const UI_COLS: usize = 72;
+
+fn pad_line(out: &mut String, content: &str) {
+    let line: String = content.chars().take(UI_COLS - 2).collect();
+    let pad = UI_COLS - 2 - line.chars().count();
+    out.push('|');
+    out.push_str(&line);
+    out.push_str(&" ".repeat(pad));
+    out.push_str("|\n");
+}
+
+/// Renders the authoring-tool window (Figure 1): title bar, segment
+/// timeline, project tree / palette / property pane, and a status line
+/// with lint counts and undo/redo depths.
+///
+/// `selected` names the `(scenario, object)` whose properties show in the
+/// right-hand pane. Deterministic for identical inputs.
+pub fn ascii_ui(
+    project: &Project,
+    selected: Option<(&str, &str)>,
+    stack: Option<&CommandStack>,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    let title = format!(" VGBL Authoring Tool - {} ", project.name);
+    out.push('+');
+    out.push_str(&format!("{title:=^width$}", width = UI_COLS - 2));
+    out.push_str("+\n");
+
+    // Timeline.
+    let frames = project.segments.frame_count();
+    pad_line(
+        &mut out,
+        &format!(
+            " Timeline: {frames} frames in {} segment(s){}",
+            project.segments.len(),
+            if project.has_video() { "" } else { "  [no footage imported]" }
+        ),
+    );
+    let mut timeline = String::from(" ");
+    for seg in project.segments.segments() {
+        timeline.push_str(&format!("[{}:{}-{}]", seg.id.0, seg.start, seg.end - 1));
+    }
+    pad_line(&mut out, &timeline);
+
+    out.push('+');
+    out.push_str(&"-".repeat(UI_COLS - 2));
+    out.push_str("+\n");
+
+    // Three panes rendered as rows: project tree | palette | properties.
+    let mut tree: Vec<String> = vec!["SCENARIOS".into()];
+    let start = project.graph.start().ok();
+    for s in project.graph.scenarios() {
+        let marker = if start == Some(s.id) { "*" } else { " " };
+        tree.push(format!("{marker}{} (seg{})", s.name, s.segment.0));
+        for o in s.objects() {
+            tree.push(format!("  - {} [{}]", o.name, o.kind.tag()));
+        }
+    }
+
+    let palette: Vec<String> = vec![
+        "PALETTE".into(),
+        "[Button]".into(),
+        "[Image]".into(),
+        "[Item]".into(),
+        "[NPC]".into(),
+        String::new(),
+        "drag onto".into(),
+        "the frame".into(),
+    ];
+
+    let mut props: Vec<String> = vec!["PROPERTIES".into()];
+    match selected.and_then(|(sc, ob)| {
+        project
+            .graph
+            .scenario_by_name(sc)
+            .and_then(|s| s.object_by_name(ob).map(|o| (s, o)))
+    }) {
+        Some((s, o)) => {
+            props.push(format!("object: {}", o.name));
+            props.push(format!("in: {}", s.name));
+            props.push(format!("kind: {}", o.kind.tag()));
+            props.push(format!(
+                "bounds: {},{} {}x{}",
+                o.bounds.x, o.bounds.y, o.bounds.w, o.bounds.h
+            ));
+            props.push(format!("z: {}", o.z));
+            props.push(format!("triggers: {}", o.triggers.len()));
+            match &o.visible_when {
+                Some(c) => props.push(format!("visible: {c}")),
+                None => props.push("visible: always".into()),
+            }
+            for t in o.triggers.triggers() {
+                props.push(format!("  on {}", t.event));
+            }
+        }
+        None => props.push("(nothing selected)".into()),
+    }
+
+    let rows = tree.len().max(palette.len()).max(props.len());
+    let (w1, w2) = (34usize, 12usize);
+    let w3 = UI_COLS - 2 - w1 - w2 - 2; // two inner separators
+    for i in 0..rows {
+        let c1: String = tree.get(i).cloned().unwrap_or_default().chars().take(w1).collect();
+        let c2: String = palette.get(i).cloned().unwrap_or_default().chars().take(w2).collect();
+        let c3: String = props.get(i).cloned().unwrap_or_default().chars().take(w3).collect();
+        out.push('|');
+        out.push_str(&format!("{c1:<w1$}"));
+        out.push('|');
+        out.push_str(&format!("{c2:<w2$}"));
+        out.push('|');
+        out.push_str(&format!("{c3:<w3$}"));
+        out.push_str("|\n");
+    }
+
+    out.push('+');
+    out.push_str(&"-".repeat(UI_COLS - 2));
+    out.push_str("+\n");
+
+    let lint = lint_project(project);
+    let errors = lint.scene.errors().count();
+    let warnings = lint.scene.warnings().count() + lint.author.len();
+    let (undo, redo) = stack.map(|s| (s.undo_depth(), s.redo_depth())).unwrap_or((0, 0));
+    pad_line(
+        &mut out,
+        &format!(" lint: {errors} error(s), {warnings} warning(s)   undo: {undo}  redo: {redo}"),
+    );
+
+    out.push('+');
+    out.push_str(&"=".repeat(UI_COLS - 2));
+    out.push_str("+\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::CommandStack;
+    use crate::wizard::tour_template;
+
+    #[test]
+    fn figure1_elements_present() {
+        let p = tour_template("museum", 3);
+        let ui = ascii_ui(&p, Some(("room1", "exhibit")), None);
+        assert!(ui.contains("VGBL Authoring Tool - museum"));
+        assert!(ui.contains("Timeline: 120 frames in 4 segment(s)"));
+        assert!(ui.contains("SCENARIOS"));
+        assert!(ui.contains("*hub (seg0)"));
+        assert!(ui.contains("- door1 [button]"));
+        assert!(ui.contains("PALETTE"));
+        assert!(ui.contains("[Item]"));
+        assert!(ui.contains("PROPERTIES"));
+        assert!(ui.contains("object: exhibit"));
+        assert!(ui.contains("kind: image"));
+        assert!(ui.contains("on click"));
+        assert!(ui.contains("lint: 0 error(s)"));
+    }
+
+    #[test]
+    fn rectangular_and_deterministic() {
+        let p = tour_template("museum", 2);
+        let a = ascii_ui(&p, None, None);
+        let b = ascii_ui(&p, None, None);
+        assert_eq!(a, b);
+        for line in a.lines() {
+            assert_eq!(line.chars().count(), UI_COLS, "line: {line:?}");
+        }
+    }
+
+    #[test]
+    fn no_selection_and_stack_depths() {
+        let p = tour_template("museum", 2);
+        let mut stack = CommandStack::new();
+        let mut p2 = p.clone();
+        stack
+            .apply(
+                &mut p2,
+                crate::command::Command::AddNpc { name: "guide".into(), line: "hi".into() },
+            )
+            .unwrap();
+        let ui = ascii_ui(&p2, None, Some(&stack));
+        assert!(ui.contains("(nothing selected)"));
+        assert!(ui.contains("undo: 1  redo: 0"));
+    }
+
+    #[test]
+    fn unknown_selection_falls_back() {
+        let p = tour_template("museum", 2);
+        let ui = ascii_ui(&p, Some(("nowhere", "ghost")), None);
+        assert!(ui.contains("(nothing selected)"));
+    }
+}

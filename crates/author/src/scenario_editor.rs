@@ -1,0 +1,185 @@
+//! The scenario editor (§4.1).
+//!
+//! "Course designers can produce scenarios by shooting videos and
+//! defining relationship between objects in it." [`ScenarioEditor`] is
+//! the ergonomic face over the command stack for scenario-level work:
+//! creating scenarios over segments, wiring transitions, entry scripts
+//! and manual re-cutting of the timeline. Every operation is undoable.
+
+use vgbl_media::SegmentId;
+
+use crate::command::{Command, CommandStack, TriggerTarget};
+use crate::project::Project;
+use crate::Result;
+
+/// Scenario-level editing session over a project.
+#[derive(Debug)]
+pub struct ScenarioEditor<'a> {
+    project: &'a mut Project,
+    stack: &'a mut CommandStack,
+}
+
+impl<'a> ScenarioEditor<'a> {
+    /// Opens the editor over a project and its command stack.
+    pub fn new(project: &'a mut Project, stack: &'a mut CommandStack) -> ScenarioEditor<'a> {
+        ScenarioEditor { project, stack }
+    }
+
+    /// Creates a scenario presenting `segment`.
+    pub fn create_scenario(&mut self, name: &str, segment: SegmentId) -> Result<()> {
+        self.stack.apply(
+            self.project,
+            Command::AddScenario { name: name.to_owned(), segment },
+        )
+    }
+
+    /// Deletes a scenario.
+    pub fn delete_scenario(&mut self, name: &str) -> Result<()> {
+        self.stack
+            .apply(self.project, Command::RemoveScenario { name: name.to_owned() })
+    }
+
+    /// Renames a scenario, rewriting transitions.
+    pub fn rename_scenario(&mut self, old: &str, new: &str) -> Result<()> {
+        self.stack.apply(
+            self.project,
+            Command::RenameScenario { old: old.to_owned(), new: new.to_owned() },
+        )
+    }
+
+    /// Marks the scenario players start in.
+    pub fn set_start(&mut self, name: &str) -> Result<()> {
+        self.stack
+            .apply(self.project, Command::SetStart { name: name.to_owned() })
+    }
+
+    /// Sets the designer-facing description.
+    pub fn describe(&mut self, scenario: &str, text: &str) -> Result<()> {
+        self.stack.apply(
+            self.project,
+            Command::SetDescription { scenario: scenario.to_owned(), text: text.to_owned() },
+        )
+    }
+
+    /// Re-points a scenario at another segment.
+    pub fn set_segment(&mut self, scenario: &str, segment: SegmentId) -> Result<()> {
+        self.stack.apply(
+            self.project,
+            Command::SetScenarioSegment { scenario: scenario.to_owned(), segment },
+        )
+    }
+
+    /// Adds an entry script: actions (textual form) run on scenario
+    /// entry, optionally guarded.
+    pub fn on_enter(
+        &mut self,
+        scenario: &str,
+        condition: Option<&str>,
+        actions: &[&str],
+    ) -> Result<()> {
+        self.stack.apply(
+            self.project,
+            Command::AddTrigger {
+                scenario: scenario.to_owned(),
+                target: TriggerTarget::Entry,
+                event: "enter".to_owned(),
+                condition: condition.map(str::to_owned),
+                actions: actions.iter().map(|s| (*s).to_owned()).collect(),
+            },
+        )
+    }
+
+    /// Adds a timed script firing `ms` after scenario entry.
+    pub fn after_ms(
+        &mut self,
+        scenario: &str,
+        ms: u64,
+        condition: Option<&str>,
+        actions: &[&str],
+    ) -> Result<()> {
+        self.stack.apply(
+            self.project,
+            Command::AddTrigger {
+                scenario: scenario.to_owned(),
+                target: TriggerTarget::Entry,
+                event: format!("timer {ms}"),
+                condition: condition.map(str::to_owned),
+                actions: actions.iter().map(|s| (*s).to_owned()).collect(),
+            },
+        )
+    }
+
+    /// Manually cuts the timeline at `frame` (the designer disagreeing
+    /// with the shot detector).
+    pub fn cut_at(&mut self, frame: usize) -> Result<()> {
+        self.stack.apply(self.project, Command::SplitSegment { frame })
+    }
+
+    /// Merges the segment containing `frame` with its successor.
+    pub fn merge_after(&mut self, frame: usize) -> Result<()> {
+        self.stack.apply(self.project, Command::MergeSegmentAfter { frame })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgbl_media::{FrameRate, SegmentTable};
+
+    fn setup() -> (Project, CommandStack) {
+        let mut p = Project::new("demo", (64, 48), FrameRate::FPS30);
+        p.segments = SegmentTable::from_cuts(30, &[10, 20]).unwrap();
+        (p, CommandStack::new())
+    }
+
+    #[test]
+    fn scenario_lifecycle() {
+        let (mut p, mut stack) = setup();
+        {
+            let mut ed = ScenarioEditor::new(&mut p, &mut stack);
+            ed.create_scenario("intro", SegmentId(0)).unwrap();
+            ed.create_scenario("lab", SegmentId(1)).unwrap();
+            ed.describe("lab", "The chemistry lab.").unwrap();
+            ed.set_start("lab").unwrap();
+            ed.rename_scenario("intro", "hallway").unwrap();
+            ed.delete_scenario("hallway").unwrap();
+        }
+        assert_eq!(p.graph.len(), 1);
+        assert_eq!(p.graph.scenarios()[0].description, "The chemistry lab.");
+        // All six operations undoable.
+        assert_eq!(stack.undo_depth(), 6);
+        stack.undo(&mut p).unwrap();
+        assert_eq!(p.graph.len(), 2);
+    }
+
+    #[test]
+    fn entry_and_timer_scripts() {
+        let (mut p, mut stack) = setup();
+        let mut ed = ScenarioEditor::new(&mut p, &mut stack);
+        ed.create_scenario("intro", SegmentId(0)).unwrap();
+        ed.on_enter("intro", None, &["text \"Welcome!\"", "score 1"]).unwrap();
+        ed.after_ms("intro", 2000, Some("score < 5"), &["text \"Need a hint?\""])
+            .unwrap();
+        let s = p.graph.scenario_by_name("intro").unwrap();
+        assert_eq!(s.entry_triggers.len(), 2);
+        assert!(matches!(
+            s.entry_triggers.triggers()[1].event,
+            vgbl_script::EventKind::Timer(2000)
+        ));
+    }
+
+    #[test]
+    fn manual_recut() {
+        let (mut p, mut stack) = setup();
+        let mut ed = ScenarioEditor::new(&mut p, &mut stack);
+        ed.cut_at(5).unwrap();
+        assert_eq!(p.segments.len(), 4);
+        let mut ed = ScenarioEditor::new(&mut p, &mut stack);
+        ed.merge_after(0).unwrap();
+        assert_eq!(p.segments.len(), 3);
+        // Bad cut reports an error and leaves everything intact.
+        let mut ed = ScenarioEditor::new(&mut p, &mut stack);
+        assert!(ed.cut_at(10).is_err()); // existing boundary
+        assert_eq!(p.segments.len(), 3);
+    }
+}

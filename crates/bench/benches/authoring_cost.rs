@@ -1,0 +1,62 @@
+//! EXP-6 — authoring throughput: editor commands per second (with full
+//! undo snapshots), template construction, and the §5 cost-model
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vgbl::author::command::{Command, CommandStack};
+use vgbl::author::cost::{estimate, CostParams};
+use vgbl::author::wizard::{quiz_template, tour_template};
+use vgbl::author::Project;
+use vgbl::media::{FrameRate, SegmentId};
+use vgbl::scene::{ObjectKind, Rect};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp6_authoring");
+
+    group.bench_function("template_quiz_10", |b| {
+        b.iter(|| quiz_template("bench", 10));
+    });
+    group.bench_function("template_tour_10", |b| {
+        b.iter(|| tour_template("bench", 10));
+    });
+
+    // Raw command application with snapshots (the undo tax).
+    for objects in [10usize, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("add_objects_with_undo", objects),
+            &objects,
+            |b, &objects| {
+                b.iter(|| {
+                    let mut p = Project::new("bench", (640, 480), FrameRate::FPS30);
+                    let mut stack = CommandStack::new();
+                    stack
+                        .apply(&mut p, Command::AddScenario {
+                            name: "s".into(),
+                            segment: SegmentId(0),
+                        })
+                        .unwrap();
+                    for i in 0..objects {
+                        stack
+                            .apply(&mut p, Command::AddObject {
+                                scenario: "s".into(),
+                                name: format!("o{i}"),
+                                kind: ObjectKind::Button { label: "b".into() },
+                                bounds: Rect::new(i as i32 % 600, 0, 8, 8),
+                            })
+                            .unwrap();
+                    }
+                    p
+                });
+            },
+        );
+    }
+
+    let quiz = quiz_template("bench", 10);
+    group.bench_function("cost_model_estimate", |b| {
+        b.iter(|| estimate(&quiz, &CostParams::default()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

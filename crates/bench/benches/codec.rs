@@ -1,0 +1,51 @@
+//! EXP-2 — codec encode/decode throughput vs quality preset, plus
+//! GOP-parallel encode scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vgbl::media::codec::{Decoder, Quality};
+use vgbl_bench::{bench_footage, encode};
+
+fn bench(c: &mut Criterion) {
+    let footage = bench_footage(160, 120, 4, 2);
+    let pixels = footage.len() as u64 * 160 * 120;
+
+    let mut group = c.benchmark_group("exp2_codec");
+    group.throughput(Throughput::Elements(pixels));
+    group.sample_size(10);
+
+    for quality in Quality::all() {
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("{quality:?}")),
+            &quality,
+            |b, &quality| {
+                b.iter(|| encode(&footage, 15, quality, 1));
+            },
+        );
+    }
+
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("encode_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| encode(&footage, 15, Quality::High, threads));
+            },
+        );
+    }
+
+    let video = encode(&footage, 15, Quality::High, 1);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("decode_threads", threads),
+            &threads,
+            |b, &threads| {
+                let dec = Decoder::new(threads);
+                b.iter(|| dec.decode_all(&video).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

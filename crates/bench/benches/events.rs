@@ -1,0 +1,73 @@
+//! EXP-5 — event-engine dispatch throughput vs object count and guard
+//! complexity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vgbl::scene::Point;
+use vgbl::script::{EventKind, MapEnv, Value};
+use vgbl_bench::dense_scene;
+
+fn env() -> MapEnv {
+    let mut e = MapEnv::new();
+    e.set_var("score", Value::Int(1_000_000));
+    e
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp5_events");
+
+    for objects in [10usize, 100, 1000, 10_000] {
+        let graph = dense_scene(objects, 2);
+        let scenario = graph.scenarios().first().unwrap();
+        let env = env();
+        group.throughput(Throughput::Elements(objects as u64));
+        group.bench_with_input(
+            BenchmarkId::new("dispatch_all_objects", objects),
+            &objects,
+            |b, _| {
+                b.iter(|| {
+                    let mut fired = 0usize;
+                    for o in scenario.objects() {
+                        fired += o.triggers.dispatch(&EventKind::Click, &env).unwrap().len();
+                    }
+                    fired
+                });
+            },
+        );
+    }
+
+    for terms in [1usize, 2, 4, 8] {
+        let graph = dense_scene(100, terms);
+        let scenario = graph.scenarios().first().unwrap();
+        let env = env();
+        group.bench_with_input(BenchmarkId::new("guard_terms", terms), &terms, |b, _| {
+            b.iter(|| {
+                let mut fired = 0usize;
+                for o in scenario.objects() {
+                    fired += o.triggers.dispatch(&EventKind::Click, &env).unwrap().len();
+                }
+                fired
+            });
+        });
+    }
+
+    // Hit-testing across a crowded frame.
+    let graph = dense_scene(1000, 1);
+    let scenario = graph.scenarios().first().unwrap();
+    let env = env();
+    group.bench_function("hit_test_1000_objects", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..100 {
+                let p = Point::new((i * 97) % 1000, (i * 41) % 1000);
+                if scenario.topmost_at(p, &env).unwrap().is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

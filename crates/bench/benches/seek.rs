@@ -1,0 +1,30 @@
+//! EXP-3 — random-access (scenario switch) latency vs keyframe interval.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vgbl::media::codec::{Decoder, Quality};
+use vgbl::media::seek::seek;
+use vgbl_bench::{bench_footage, encode};
+
+fn bench(c: &mut Criterion) {
+    let footage = bench_footage(96, 64, 6, 3);
+    let mut group = c.benchmark_group("exp3_seek");
+    group.sample_size(20);
+
+    for gop in [1usize, 5, 15, 30, 60] {
+        let video = encode(&footage, gop, Quality::High, 2);
+        let dec = Decoder::default();
+        // Deterministic seek targets spread across the stream.
+        let targets: Vec<usize> = (0..16).map(|i| (i * 37) % video.len()).collect();
+        group.bench_with_input(BenchmarkId::new("gop", gop), &gop, |b, _| {
+            b.iter(|| {
+                for &t in &targets {
+                    seek(&dec, &video, t).unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! EXP-10 — persistence throughput: `.vgp` project save/load, `VGV`
+//! container write/read, and save games, vs project size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vgbl::author::serialize::{from_vgp, to_vgp};
+use vgbl::media::codec::Quality;
+use vgbl::media::{ContainerReader, ContainerWriter};
+use vgbl::runtime::{GameState, Inventory, SaveGame};
+use vgbl_bench::{bench_footage, big_project, encode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp10_serialize");
+
+    for scenarios in [5usize, 17, 65] {
+        let project = big_project(scenarios);
+        let text = to_vgp(&project).unwrap();
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("vgp_save", scenarios),
+            &scenarios,
+            |b, _| b.iter(|| to_vgp(&project).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("vgp_load", scenarios),
+            &scenarios,
+            |b, _| b.iter(|| from_vgp(&text).unwrap()),
+        );
+    }
+
+    let footage = bench_footage(96, 64, 4, 10);
+    let video = encode(&footage, 15, Quality::High, 2);
+    let bytes = ContainerWriter::write(&video);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("vgv_write", |b| b.iter(|| ContainerWriter::write(&video)));
+    group.bench_function("vgv_read", |b| b.iter(|| ContainerReader::read(&bytes).unwrap()));
+
+    // Save games.
+    let mut state = GameState::new("classroom");
+    let mut inv = Inventory::new();
+    for i in 0..20 {
+        state.set_flag(format!("flag{i}"), i % 2 == 0);
+        state.visited.insert(format!("scene{i}"));
+        inv.add(format!("item{i}"));
+    }
+    let project = big_project(5);
+    let save = SaveGame::capture(&project.graph, &state, &inv);
+    let save_text = save.to_text();
+    group.bench_function("save_game_write", |b| b.iter(|| save.to_text()));
+    group.bench_function("save_game_read", |b| {
+        b.iter(|| SaveGame::from_text(&save_text).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

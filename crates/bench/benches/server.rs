@@ -1,0 +1,40 @@
+//! EXP-8 — multi-session server scalability: bot sessions per second vs
+//! worker threads over shared immutable content.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vgbl::runtime::bot::{Bot, GuidedBot};
+use vgbl::runtime::fixtures::{fix_the_computer, FRAME};
+use vgbl::runtime::server::run_cohort;
+use vgbl::runtime::SessionConfig;
+
+fn bench(c: &mut Criterion) {
+    let graph = Arc::new(fix_the_computer());
+    let config = SessionConfig::for_frame(FRAME.0, FRAME.1);
+    let sessions = 64usize;
+
+    let mut group = c.benchmark_group("exp8_server");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(sessions as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &workers| {
+            b.iter(|| {
+                run_cohort(
+                    graph.clone(),
+                    config.clone(),
+                    sessions,
+                    workers,
+                    &|_| Box::new(GuidedBot::new()) as Box<dyn Bot>,
+                    100,
+                    50,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! EXP-1 — shot-boundary detection throughput vs worker threads, and
+//! fixed vs adaptive thresholds (ablation from DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vgbl::media::shot::{ShotDetector, ShotDetectorConfig, Threshold};
+use vgbl_bench::bench_footage;
+
+fn bench(c: &mut Criterion) {
+    let footage = bench_footage(160, 120, 12, 1);
+    let mut group = c.benchmark_group("exp1_shot_detection");
+    group.throughput(Throughput::Elements(footage.len() as u64));
+
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("adaptive_threads", threads),
+            &threads,
+            |b, &threads| {
+                let det = ShotDetector::new(ShotDetectorConfig { threads, ..Default::default() });
+                b.iter(|| det.detect(&footage.frames));
+            },
+        );
+    }
+
+    // Threshold ablation at a fixed thread count.
+    group.bench_function("fixed_threshold", |b| {
+        let det = ShotDetector::new(ShotDetectorConfig {
+            threshold: Threshold::Fixed(0.35),
+            threads: 2,
+            ..Default::default()
+        });
+        b.iter(|| det.detect(&footage.frames));
+    });
+    group.bench_function("no_downsample", |b| {
+        let det = ShotDetector::new(ShotDetectorConfig {
+            downsample: false,
+            threads: 2,
+            ..Default::default()
+        });
+        b.iter(|| det.detect(&footage.frames));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! EXP-7 — streaming simulation throughput and policy comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vgbl::media::codec::Quality;
+use vgbl::media::SegmentId;
+use vgbl::stream::{simulate, ChunkMap, LinkModel, PrefetchPolicy, TraceStep};
+use vgbl_bench::{bench_footage, encode, table_for};
+
+fn trace(n_segments: u32, hops: usize) -> Vec<TraceStep> {
+    (0..hops)
+        .map(|i| {
+            let seg = SegmentId(((i as u32) * 7 + 3) % n_segments);
+            TraceStep {
+                segment: seg,
+                watch_ms: 1200.0,
+                branch_targets: (0..n_segments)
+                    .filter(|&s| s != seg.0)
+                    .take(3)
+                    .map(SegmentId)
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let footage = bench_footage(96, 64, 8, 7);
+    let video = encode(&footage, 10, Quality::Medium, 2);
+    let table = table_for(&footage);
+    let map = ChunkMap::build(&video, &table).unwrap();
+    let n = table.len() as u32;
+    let link = LinkModel::mbps(2.0, 30.0).unwrap();
+
+    let mut group = c.benchmark_group("exp7_streaming");
+    for policy in [
+        PrefetchPolicy::None,
+        PrefetchPolicy::Linear { lookahead: 3 },
+        PrefetchPolicy::BranchAware { per_branch: 2 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("simulate_20hops", policy.label()),
+            &policy,
+            |b, &policy| {
+                let t = trace(n, 20);
+                b.iter(|| simulate(&map, &link, policy, &t).unwrap());
+            },
+        );
+    }
+
+    group.bench_function("chunk_map_build", |b| {
+        b.iter(|| ChunkMap::build(&video, &table).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

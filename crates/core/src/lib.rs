@@ -1,0 +1,121 @@
+//! # vgbl — the interactive Video Game-Based Learning platform
+//!
+//! A from-scratch Rust reproduction of *"Using Interactive Video
+//! Technology for the Development of Game-Based Learning"* (Chang, Hsu &
+//! Shih, ICPPW 2007): an authoring tool and runtime environment where
+//! course designers cut video into scenario segments, mount interactive
+//! objects on the frames, and students learn by examining, collecting and
+//! combining things across branching video scenarios.
+//!
+//! This crate is the facade: it re-exports every subsystem and adds the
+//! pieces that tie them together —
+//!
+//! * [`publish`] — turning an authored [`vgbl_author::Project`] into an
+//!   immutable, shareable [`publish::PublishedGame`];
+//! * [`player`] — the complete runtime: a game session fused with video
+//!   playback, frame compositing and the Figure-2 UI;
+//! * [`sample`] — the paper's §3.2 "fix the computer" game built
+//!   end-to-end *through the authoring tool* (synthetic footage → import
+//!   → editors → publish);
+//! * [`playtest`] — automated playthroughs of authored projects with
+//!   coverage reports (which content a student might never see);
+//! * [`trace`] — converting real session logs into streaming traces for
+//!   the EXP-7 delivery simulation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vgbl::prelude::*;
+//!
+//! // Author the paper's example game (footage + content) and publish it.
+//! let (project, _report) = vgbl::sample::fix_the_computer_project(7).unwrap();
+//! let game = vgbl::publish::publish(project).unwrap();
+//!
+//! // Play it.
+//! let mut player = vgbl::player::Player::new(&game).unwrap();
+//! player.handle(InputEvent::click(25, 20)).unwrap(); // examine the computer
+//! assert!(player.session().state().flag("diagnosed"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use vgbl_author as author;
+pub use vgbl_media as media;
+pub use vgbl_runtime as runtime;
+pub use vgbl_scene as scene;
+pub use vgbl_script as script;
+pub use vgbl_stream as stream;
+
+pub mod player;
+pub mod playtest;
+pub mod publish;
+pub mod sample;
+pub mod trace;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::player::Player;
+    pub use crate::publish::{publish, PublishedGame};
+    pub use vgbl_author::{CommandStack, Project};
+    pub use vgbl_media::{Frame, FrameRate, SegmentId, SegmentTable};
+    pub use vgbl_runtime::{Feedback, GameSession, InputEvent, SessionConfig};
+    pub use vgbl_scene::{ObjectKind, Rect, SceneGraph};
+    pub use vgbl_script::{Action, EventKind, Trigger};
+}
+
+/// Unified error for the facade layer.
+#[derive(Debug)]
+pub enum VgblError {
+    /// Authoring-side failure.
+    Author(vgbl_author::AuthorError),
+    /// Runtime-side failure.
+    Runtime(vgbl_runtime::RuntimeError),
+    /// Media failure.
+    Media(vgbl_media::MediaError),
+    /// The project is not publishable (validation errors inside).
+    NotPublishable(String),
+}
+
+impl std::fmt::Display for VgblError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VgblError::Author(e) => write!(f, "authoring error: {e}"),
+            VgblError::Runtime(e) => write!(f, "runtime error: {e}"),
+            VgblError::Media(e) => write!(f, "media error: {e}"),
+            VgblError::NotPublishable(msg) => write!(f, "project not publishable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VgblError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VgblError::Author(e) => Some(e),
+            VgblError::Runtime(e) => Some(e),
+            VgblError::Media(e) => Some(e),
+            VgblError::NotPublishable(_) => None,
+        }
+    }
+}
+
+impl From<vgbl_author::AuthorError> for VgblError {
+    fn from(e: vgbl_author::AuthorError) -> Self {
+        VgblError::Author(e)
+    }
+}
+
+impl From<vgbl_runtime::RuntimeError> for VgblError {
+    fn from(e: vgbl_runtime::RuntimeError) -> Self {
+        VgblError::Runtime(e)
+    }
+}
+
+impl From<vgbl_media::MediaError> for VgblError {
+    fn from(e: vgbl_media::MediaError) -> Self {
+        VgblError::Media(e)
+    }
+}
+
+/// Result alias for the facade layer.
+pub type Result<T> = std::result::Result<T, VgblError>;

@@ -1,0 +1,109 @@
+//! Publishing: authoring document → immutable playable game.
+//!
+//! The paper separates the authoring tool from the "runtime environment
+//! … implemented for users to participate the games" (§4.3). Publishing
+//! is the hand-off: lint the project, refuse structural errors, freeze
+//! the content behind an `Arc` so any number of player sessions share it.
+
+use std::sync::Arc;
+
+use vgbl_author::lint::lint_project;
+use vgbl_author::Project;
+use vgbl_media::codec::EncodedVideo;
+use vgbl_media::{FrameRate, SegmentTable};
+use vgbl_runtime::SessionConfig;
+use vgbl_scene::SceneGraph;
+
+use crate::{Result, VgblError};
+
+/// A frozen, shareable game: content + footage + player defaults.
+#[derive(Debug, Clone)]
+pub struct PublishedGame {
+    /// The immutable scene graph, shared across sessions.
+    pub graph: Arc<SceneGraph>,
+    /// The encoded footage.
+    pub video: EncodedVideo,
+    /// The segment table over the footage.
+    pub segments: SegmentTable,
+    /// Frame size sessions are configured for.
+    pub frame_size: (u32, u32),
+    /// Footage frame rate.
+    pub rate: FrameRate,
+    /// Game title.
+    pub title: String,
+}
+
+impl PublishedGame {
+    /// The default session configuration (inventory window docked right,
+    /// as in Figure 2).
+    pub fn session_config(&self) -> SessionConfig {
+        SessionConfig::for_frame(self.frame_size.0, self.frame_size.1)
+    }
+}
+
+/// Publishes a project.
+///
+/// # Errors
+/// * [`VgblError::NotPublishable`] when footage is missing or validation
+///   finds structural errors.
+pub fn publish(project: Project) -> Result<PublishedGame> {
+    let report = lint_project(&project);
+    if !report.is_publishable() {
+        let msgs: Vec<String> = report.scene.errors().map(|e| e.to_string()).collect();
+        return Err(VgblError::NotPublishable(msgs.join("; ")));
+    }
+    project.check_integrity()?;
+    let video = project
+        .video
+        .ok_or_else(|| VgblError::NotPublishable("no footage imported".into()))?;
+    Ok(PublishedGame {
+        graph: Arc::new(project.graph),
+        segments: project.segments,
+        frame_size: project.frame_size,
+        rate: project.rate,
+        title: project.name,
+        video,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::fix_the_computer_project;
+
+    #[test]
+    fn sample_project_publishes() {
+        let (project, _) = fix_the_computer_project(3).unwrap();
+        let game = publish(project).unwrap();
+        assert_eq!(game.title, "Fix the Computer");
+        assert_eq!(game.frame_size, (64, 48));
+        assert!(game.graph.len() >= 2);
+        assert_eq!(game.segments.frame_count(), game.video.len());
+    }
+
+    #[test]
+    fn unpublished_footage_rejected() {
+        let project = vgbl_author::wizard::tour_template("t", 2);
+        let err = publish(project).unwrap_err();
+        assert!(matches!(err, VgblError::NotPublishable(_)));
+    }
+
+    #[test]
+    fn structural_errors_block_publish() {
+        let (mut project, _) = fix_the_computer_project(3).unwrap();
+        let mut stack = vgbl_author::CommandStack::new();
+        stack
+            .apply(
+                &mut project,
+                vgbl_author::command::Command::AddTrigger {
+                    scenario: "classroom".into(),
+                    target: vgbl_author::command::TriggerTarget::Entry,
+                    event: "enter".into(),
+                    condition: None,
+                    actions: vec!["goto nowhere".into()],
+                },
+            )
+            .unwrap();
+        assert!(matches!(publish(project), Err(VgblError::NotPublishable(_))));
+    }
+}

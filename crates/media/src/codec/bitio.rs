@@ -1,0 +1,246 @@
+//! Bit-level I/O and exponential-Golomb entropy codes.
+//!
+//! The codec's entropy layer: a big-endian bit writer/reader plus the
+//! unsigned (`ue`) and signed (`se`) exp-Golomb codes familiar from
+//! H.264-era bitstreams. Golomb codes give short words to the small
+//! residuals the predictor leaves behind, with no code tables to ship.
+
+use crate::error::MediaError;
+use crate::Result;
+
+/// Accumulates bits MSB-first into a byte vector.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the final byte (0–7).
+    used: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn put_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= 1 << (7 - self.used);
+        }
+        self.used = (self.used + 1) % 8;
+    }
+
+    /// Appends the low `n` bits of `value`, most significant first.
+    pub fn put_bits(&mut self, value: u64, n: u8) {
+        debug_assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.put_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Unsigned exp-Golomb: `v` → `leading_zeros(len(v+1)-1) ++ bin(v+1)`.
+    pub fn put_ue(&mut self, v: u64) {
+        let x = v + 1;
+        let bits = 64 - x.leading_zeros() as u8; // length of x in bits, ≥ 1
+        for _ in 0..bits - 1 {
+            self.put_bit(false);
+        }
+        self.put_bits(x, bits);
+    }
+
+    /// Signed exp-Golomb via the standard zig-zag mapping
+    /// (0, 1, −1, 2, −2, …).
+    pub fn put_se(&mut self, v: i64) {
+        let mapped = if v <= 0 { (-v as u64) * 2 } else { (v as u64) * 2 - 1 };
+        self.put_ue(mapped);
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.used == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.used as usize
+        }
+    }
+
+    /// Finishes the stream (zero-padding the final byte) and returns it.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn get_bit(&mut self) -> Result<bool> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err(MediaError::CorruptBitstream("bit read past end".into()));
+        }
+        let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `n` bits, MSB first.
+    pub fn get_bits(&mut self, n: u8) -> Result<u64> {
+        debug_assert!(n <= 64);
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | u64::from(self.get_bit()?);
+        }
+        Ok(v)
+    }
+
+    /// Reads an unsigned exp-Golomb code.
+    pub fn get_ue(&mut self) -> Result<u64> {
+        let mut zeros = 0u8;
+        while !self.get_bit()? {
+            zeros += 1;
+            if zeros > 63 {
+                return Err(MediaError::CorruptBitstream("ue prefix too long".into()));
+            }
+        }
+        let tail = self.get_bits(zeros)?;
+        let x = (1u64 << zeros) | tail;
+        Ok(x - 1)
+    }
+
+    /// Reads a signed exp-Golomb code.
+    pub fn get_se(&mut self) -> Result<i64> {
+        let mapped = self.get_ue()?;
+        if mapped % 2 == 0 {
+            Ok(-((mapped / 2) as i64))
+        } else {
+            Ok(mapped.div_ceil(2) as i64)
+        }
+    }
+
+    /// Current bit position (for diagnostics).
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.put_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.get_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101_1001_0110, 11);
+        w.put_bits(0x3FF, 10);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(11).unwrap(), 0b101_1001_0110);
+        assert_eq!(r.get_bits(10).unwrap(), 0x3FF);
+    }
+
+    #[test]
+    fn ue_known_codewords() {
+        // Classic table: 0→1, 1→010, 2→011, 3→00100 …
+        let mut w = BitWriter::new();
+        w.put_ue(0);
+        assert_eq!(w.bit_len(), 1);
+        let mut w = BitWriter::new();
+        w.put_ue(1);
+        assert_eq!(w.bit_len(), 3);
+        let mut w = BitWriter::new();
+        w.put_ue(3);
+        assert_eq!(w.bit_len(), 5);
+    }
+
+    #[test]
+    fn ue_roundtrip_many() {
+        let values = [0u64, 1, 2, 3, 7, 8, 100, 255, 65535, 1 << 40];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_ue(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.get_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn se_roundtrip_many() {
+        let values = [0i64, 1, -1, 2, -2, 127, -128, 255, -255, 10_000, -10_000];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_se(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.get_se().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn se_zigzag_order() {
+        // se(0) must be the shortest code.
+        let len = |v: i64| {
+            let mut w = BitWriter::new();
+            w.put_se(v);
+            w.bit_len()
+        };
+        assert_eq!(len(0), 1);
+        assert!(len(1) <= len(-1));
+        assert!(len(-1) < len(2));
+    }
+
+    #[test]
+    fn reader_errors_past_end() {
+        let mut r = BitReader::new(&[0b1000_0000]);
+        for _ in 0..8 {
+            r.get_bit().unwrap();
+        }
+        assert!(r.get_bit().is_err());
+        let mut r = BitReader::new(&[]);
+        assert!(r.get_ue().is_err());
+    }
+
+    #[test]
+    fn corrupt_ue_prefix_detected() {
+        // 16 bytes of zeros: prefix exceeds any sane length.
+        let zeros = [0u8; 16];
+        let mut r = BitReader::new(&zeros);
+        assert!(r.get_ue().is_err());
+    }
+}

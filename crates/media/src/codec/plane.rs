@@ -1,0 +1,203 @@
+//! Colour planes and motion compensation.
+//!
+//! The codec works on separated 8-bit planes (R, G, B, plus a derived luma
+//! plane used only for motion search). Planes support clamped sampling so
+//! motion vectors may point partially outside the reference frame.
+
+use crate::color::Rgb;
+use crate::frame::Frame;
+
+/// One 8-bit channel of a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plane {
+    width: u32,
+    height: u32,
+    data: Vec<u8>,
+}
+
+impl Plane {
+    /// A zero-filled plane.
+    pub fn new(width: u32, height: u32) -> Plane {
+        Plane { width, height, data: vec![0; (width * height) as usize] }
+    }
+
+    /// Plane width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Plane height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Raw samples, row-major.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw samples.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Sample at `(x, y)` with coordinates clamped to the plane bounds —
+    /// the edge-extension rule used for out-of-frame motion references.
+    #[inline]
+    pub fn sample_clamped(&self, x: i64, y: i64) -> u8 {
+        let cx = x.clamp(0, self.width as i64 - 1) as u32;
+        let cy = y.clamp(0, self.height as i64 - 1) as u32;
+        self.data[(cy * self.width + cx) as usize]
+    }
+
+    /// In-bounds sample access.
+    #[inline]
+    pub fn at(&self, x: u32, y: u32) -> u8 {
+        self.data[(y * self.width + x) as usize]
+    }
+
+    /// In-bounds sample write.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, v: u8) {
+        self.data[(y * self.width + x) as usize] = v;
+    }
+
+    /// Extracts the three colour planes of a frame.
+    pub fn split(frame: &Frame) -> [Plane; 3] {
+        let (w, h) = (frame.width(), frame.height());
+        let mut planes = [Plane::new(w, h), Plane::new(w, h), Plane::new(w, h)];
+        for (i, px) in frame.raw().chunks_exact(3).enumerate() {
+            planes[0].data[i] = px[0];
+            planes[1].data[i] = px[1];
+            planes[2].data[i] = px[2];
+        }
+        planes
+    }
+
+    /// Rebuilds an RGB frame from three planes (which must share a shape).
+    pub fn merge(planes: &[Plane; 3]) -> Frame {
+        let (w, h) = (planes[0].width, planes[0].height);
+        debug_assert!(planes.iter().all(|p| p.width == w && p.height == h));
+        let mut data = Vec::with_capacity((w * h * 3) as usize);
+        for i in 0..(w * h) as usize {
+            data.push(planes[0].data[i]);
+            data.push(planes[1].data[i]);
+            data.push(planes[2].data[i]);
+        }
+        Frame::from_raw(w, h, data).expect("merged plane dimensions are valid")
+    }
+
+    /// Derives the luma plane of a frame (for motion search only).
+    pub fn luma_of(frame: &Frame) -> Plane {
+        let mut p = Plane::new(frame.width(), frame.height());
+        for (dst, px) in p.data.iter_mut().zip(frame.raw().chunks_exact(3)) {
+            *dst = Rgb::new(px[0], px[1], px[2]).luma();
+        }
+        p
+    }
+
+    /// Sum of absolute differences between a `bw×bh` block at `(x, y)` in
+    /// `self` and the block at `(x+dx, y+dy)` in `reference`, with clamped
+    /// sampling on the reference. Early-exits once `best` is exceeded.
+    // A SAD call is the innermost loop of motion search; passing discrete
+    // coordinates beats constructing a geometry struct per probe.
+    #[allow(clippy::too_many_arguments)]
+    pub fn block_sad(
+        &self,
+        reference: &Plane,
+        x: u32,
+        y: u32,
+        bw: u32,
+        bh: u32,
+        dx: i64,
+        dy: i64,
+        best: u64,
+    ) -> u64 {
+        let mut acc = 0u64;
+        for by in 0..bh {
+            for bx in 0..bw {
+                let a = self.at(x + bx, y + by) as i64;
+                let b = reference.sample_clamped(x as i64 + bx as i64 + dx, y as i64 + by as i64 + dy)
+                    as i64;
+                acc += a.abs_diff(b);
+            }
+            if acc >= best {
+                return acc; // cannot improve on the incumbent
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Rgb;
+
+    #[test]
+    fn split_merge_roundtrip() {
+        let mut f = Frame::new(5, 4).unwrap();
+        f.set(1, 2, Rgb::new(9, 8, 7));
+        f.set(4, 3, Rgb::new(200, 100, 50));
+        let planes = Plane::split(&f);
+        assert_eq!(planes[0].at(1, 2), 9);
+        assert_eq!(planes[1].at(1, 2), 8);
+        assert_eq!(planes[2].at(1, 2), 7);
+        let back = Plane::merge(&planes);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn clamped_sampling_extends_edges() {
+        let mut p = Plane::new(3, 3);
+        p.set(0, 0, 10);
+        p.set(2, 2, 99);
+        assert_eq!(p.sample_clamped(-5, -5), 10);
+        assert_eq!(p.sample_clamped(7, 7), 99);
+        assert_eq!(p.sample_clamped(1, 1), 0);
+    }
+
+    #[test]
+    fn luma_plane_matches_pixel_luma() {
+        let f = Frame::filled(2, 2, Rgb::new(30, 60, 90)).unwrap();
+        let l = Plane::luma_of(&f);
+        assert_eq!(l.at(0, 0), Rgb::new(30, 60, 90).luma());
+    }
+
+    #[test]
+    fn sad_zero_for_identical_blocks() {
+        let f = Frame::filled(16, 16, Rgb::new(77, 77, 77)).unwrap();
+        let p = Plane::luma_of(&f);
+        assert_eq!(p.block_sad(&p, 0, 0, 8, 8, 0, 0, u64::MAX), 0);
+    }
+
+    #[test]
+    fn sad_detects_shift() {
+        // A plane with a vertical step edge: shifting by the step width
+        // aligns it again.
+        let mut a = Plane::new(16, 8);
+        let mut b = Plane::new(16, 8);
+        for y in 0..8 {
+            for x in 0..16 {
+                a.set(x, y, if x >= 4 { 200 } else { 10 });
+                b.set(x, y, if x >= 6 { 200 } else { 10 });
+            }
+        }
+        // Block in `a` matches `b` shifted by +2.
+        let sad_aligned = a.block_sad(&b, 4, 0, 8, 8, 2, 0, u64::MAX);
+        let sad_unaligned = a.block_sad(&b, 4, 0, 8, 8, 0, 0, u64::MAX);
+        assert_eq!(sad_aligned, 0);
+        assert!(sad_unaligned > 0);
+    }
+
+    #[test]
+    fn sad_early_exit_returns_at_least_best() {
+        let mut a = Plane::new(8, 8);
+        let b = Plane::new(8, 8);
+        for v in a.data_mut().iter_mut() {
+            *v = 255;
+        }
+        let sad = a.block_sad(&b, 0, 0, 8, 8, 0, 0, 100);
+        assert!(sad >= 100);
+    }
+}

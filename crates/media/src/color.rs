@@ -1,0 +1,142 @@
+//! Colour types and conversions used by frames, the synthesiser and the
+//! runtime's overlay compositor.
+
+/// An 8-bit-per-channel RGB colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rgb {
+    /// Red channel, 0–255.
+    pub r: u8,
+    /// Green channel, 0–255.
+    pub g: u8,
+    /// Blue channel, 0–255.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Pure black.
+    pub const BLACK: Rgb = Rgb::new(0, 0, 0);
+    /// Pure white.
+    pub const WHITE: Rgb = Rgb::new(255, 255, 255);
+    /// Mid grey.
+    pub const GREY: Rgb = Rgb::new(128, 128, 128);
+    /// Pure red.
+    pub const RED: Rgb = Rgb::new(255, 0, 0);
+    /// Pure green.
+    pub const GREEN: Rgb = Rgb::new(0, 255, 0);
+    /// Pure blue.
+    pub const BLUE: Rgb = Rgb::new(0, 0, 255);
+
+    /// Creates a colour from components.
+    pub const fn new(r: u8, g: u8, b: u8) -> Rgb {
+        Rgb { r, g, b }
+    }
+
+    /// Rec. 601 luma of the colour, 0–255.
+    pub fn luma(self) -> u8 {
+        // Integer approximation of 0.299 R + 0.587 G + 0.114 B.
+        ((77 * self.r as u32 + 150 * self.g as u32 + 29 * self.b as u32) >> 8) as u8
+    }
+
+    /// Linearly interpolates between `self` (t = 0) and `other` (t = 1).
+    ///
+    /// `t` is clamped to `[0, 1]`.
+    pub fn lerp(self, other: Rgb, t: f32) -> Rgb {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: u8, b: u8| -> u8 { (a as f32 + (b as f32 - a as f32) * t).round() as u8 };
+        Rgb::new(mix(self.r, other.r), mix(self.g, other.g), mix(self.b, other.b))
+    }
+
+    /// Brightens (positive `delta`) or darkens (negative) all channels,
+    /// saturating at the channel bounds.
+    pub fn shifted(self, delta: i16) -> Rgb {
+        let shift = |c: u8| -> u8 { (c as i16 + delta).clamp(0, 255) as u8 };
+        Rgb::new(shift(self.r), shift(self.g), shift(self.b))
+    }
+
+    /// Squared Euclidean distance in RGB space; cheap dissimilarity metric.
+    pub fn dist_sq(self, other: Rgb) -> u32 {
+        let d = |a: u8, b: u8| -> u32 {
+            let diff = a as i32 - b as i32;
+            (diff * diff) as u32
+        };
+        d(self.r, other.r) + d(self.g, other.g) + d(self.b, other.b)
+    }
+
+    /// Deterministically maps an arbitrary seed to a saturated palette
+    /// colour; used by the synthesiser to pick distinct shot backdrops.
+    pub fn from_seed(seed: u64) -> Rgb {
+        // Split the seed into hue-ish components with a multiplicative hash.
+        let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let r = (h >> 16) as u8;
+        let g = (h >> 32) as u8;
+        let b = (h >> 48) as u8;
+        // Keep it away from near-black so luma-based metrics stay stable.
+        Rgb::new(r | 0x20, g | 0x20, b | 0x20)
+    }
+}
+
+impl From<(u8, u8, u8)> for Rgb {
+    fn from((r, g, b): (u8, u8, u8)) -> Rgb {
+        Rgb::new(r, g, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luma_matches_extremes() {
+        assert_eq!(Rgb::BLACK.luma(), 0);
+        // The integer approximation of white lands at 255 within 1 unit.
+        assert!(Rgb::WHITE.luma() >= 254);
+        assert!(Rgb::GREEN.luma() > Rgb::BLUE.luma());
+        assert!(Rgb::GREEN.luma() > Rgb::RED.luma());
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Rgb::new(0, 100, 200);
+        let b = Rgb::new(200, 100, 0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert_eq!(mid, Rgb::new(100, 100, 100));
+        // Out-of-range t clamps.
+        assert_eq!(a.lerp(b, -3.0), a);
+        assert_eq!(a.lerp(b, 7.0), b);
+    }
+
+    #[test]
+    fn shifted_saturates() {
+        assert_eq!(Rgb::WHITE.shifted(40), Rgb::WHITE);
+        assert_eq!(Rgb::BLACK.shifted(-40), Rgb::BLACK);
+        assert_eq!(Rgb::GREY.shifted(10), Rgb::new(138, 138, 138));
+        assert_eq!(Rgb::GREY.shifted(-10), Rgb::new(118, 118, 118));
+    }
+
+    #[test]
+    fn dist_sq_is_symmetric_and_zero_on_equal() {
+        let a = Rgb::new(10, 20, 30);
+        let b = Rgb::new(40, 10, 90);
+        assert_eq!(a.dist_sq(a), 0);
+        assert_eq!(a.dist_sq(b), b.dist_sq(a));
+        assert_eq!(a.dist_sq(b), 30 * 30 + 10 * 10 + 60 * 60);
+    }
+
+    #[test]
+    fn from_seed_is_deterministic_and_spreads() {
+        assert_eq!(Rgb::from_seed(42), Rgb::from_seed(42));
+        // Different seeds should essentially always differ.
+        let distinct = (0..64u64)
+            .map(Rgb::from_seed)
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 48, "palette collapsed: {}", distinct.len());
+    }
+
+    #[test]
+    fn from_tuple() {
+        let c: Rgb = (1, 2, 3).into();
+        assert_eq!(c, Rgb::new(1, 2, 3));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for all media operations.
+
+use std::fmt;
+
+/// Errors produced by the media substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MediaError {
+    /// Frame dimensions do not match where they must (e.g. codec input).
+    DimensionMismatch {
+        /// Expected `(width, height)`.
+        expected: (u32, u32),
+        /// Actual `(width, height)`.
+        actual: (u32, u32),
+    },
+    /// A frame dimension was zero or above the supported maximum.
+    InvalidDimensions {
+        /// Offending `(width, height)`.
+        dims: (u32, u32),
+    },
+    /// The bitstream ended unexpectedly or contained an invalid code.
+    CorruptBitstream(String),
+    /// The container data is not a valid VGV file.
+    CorruptContainer(String),
+    /// A frame index is outside the video.
+    FrameOutOfRange {
+        /// Requested frame index.
+        index: usize,
+        /// Number of frames available.
+        len: usize,
+    },
+    /// A segment's bounds are empty or outside the video.
+    InvalidSegment(String),
+    /// An encode configuration parameter is out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for MediaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediaError::DimensionMismatch { expected, actual } => write!(
+                f,
+                "frame dimension mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, actual.0, actual.1
+            ),
+            MediaError::InvalidDimensions { dims } => {
+                write!(f, "invalid frame dimensions {}x{}", dims.0, dims.1)
+            }
+            MediaError::CorruptBitstream(msg) => write!(f, "corrupt bitstream: {msg}"),
+            MediaError::CorruptContainer(msg) => write!(f, "corrupt container: {msg}"),
+            MediaError::FrameOutOfRange { index, len } => {
+                write!(f, "frame index {index} out of range (video has {len} frames)")
+            }
+            MediaError::InvalidSegment(msg) => write!(f, "invalid segment: {msg}"),
+            MediaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MediaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = MediaError::DimensionMismatch {
+            expected: (320, 240),
+            actual: (160, 120),
+        };
+        assert!(e.to_string().contains("320x240"));
+        assert!(e.to_string().contains("160x120"));
+
+        let e = MediaError::FrameOutOfRange { index: 9, len: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&MediaError::CorruptBitstream("x".into()));
+    }
+}

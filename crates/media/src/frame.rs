@@ -1,0 +1,374 @@
+//! Raw RGB frames and the pixel operations the rest of the platform builds
+//! on: blitting (runtime overlay compositing), rectangle fills (synthetic
+//! footage), histograms (shot detection) and downsampling.
+
+use crate::color::Rgb;
+use crate::error::MediaError;
+use crate::Result;
+
+/// Maximum supported frame edge, a sanity bound that keeps untrusted
+/// container headers from requesting absurd allocations.
+pub const MAX_DIM: u32 = 8192;
+
+/// A single video frame: tightly packed 8-bit RGB, row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    width: u32,
+    height: u32,
+    data: Vec<u8>,
+}
+
+impl Frame {
+    /// Creates a black frame of the given size.
+    ///
+    /// # Errors
+    /// Returns [`MediaError::InvalidDimensions`] when either edge is zero or
+    /// exceeds [`MAX_DIM`].
+    pub fn new(width: u32, height: u32) -> Result<Frame> {
+        Self::filled(width, height, Rgb::BLACK)
+    }
+
+    /// Creates a frame of the given size filled with `color`.
+    pub fn filled(width: u32, height: u32, color: Rgb) -> Result<Frame> {
+        if width == 0 || height == 0 || width > MAX_DIM || height > MAX_DIM {
+            return Err(MediaError::InvalidDimensions { dims: (width, height) });
+        }
+        let data = [color.r, color.g, color.b].repeat((width * height) as usize);
+        Ok(Frame { width, height, data })
+    }
+
+    /// Reconstructs a frame from raw RGB bytes (length must be `w*h*3`).
+    pub fn from_raw(width: u32, height: u32, data: Vec<u8>) -> Result<Frame> {
+        if width == 0 || height == 0 || width > MAX_DIM || height > MAX_DIM {
+            return Err(MediaError::InvalidDimensions { dims: (width, height) });
+        }
+        if data.len() != (width * height * 3) as usize {
+            return Err(MediaError::CorruptBitstream(format!(
+                "raw frame byte count {} does not match {}x{}x3",
+                data.len(),
+                width,
+                height
+            )));
+        }
+        Ok(Frame { width, height, data })
+    }
+
+    /// Frame width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The raw RGB bytes, row-major, 3 bytes per pixel.
+    #[inline]
+    pub fn raw(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the raw RGB bytes.
+    #[inline]
+    pub fn raw_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Number of pixels in the frame.
+    #[inline]
+    pub fn pixel_count(&self) -> usize {
+        (self.width * self.height) as usize
+    }
+
+    #[inline]
+    fn offset(&self, x: u32, y: u32) -> usize {
+        ((y * self.width + x) * 3) as usize
+    }
+
+    /// Reads the pixel at `(x, y)`. Returns `None` outside the frame.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Option<Rgb> {
+        if x >= self.width || y >= self.height {
+            return None;
+        }
+        let o = self.offset(x, y);
+        Some(Rgb::new(self.data[o], self.data[o + 1], self.data[o + 2]))
+    }
+
+    /// Writes the pixel at `(x, y)`; out-of-bounds writes are ignored.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, c: Rgb) {
+        if x >= self.width || y >= self.height {
+            return;
+        }
+        let o = self.offset(x, y);
+        self.data[o] = c.r;
+        self.data[o + 1] = c.g;
+        self.data[o + 2] = c.b;
+    }
+
+    /// Fills the whole frame with one colour.
+    pub fn fill(&mut self, c: Rgb) {
+        for px in self.data.chunks_exact_mut(3) {
+            px[0] = c.r;
+            px[1] = c.g;
+            px[2] = c.b;
+        }
+    }
+
+    /// Fills the axis-aligned rectangle `[x, x+w) × [y, y+h)`, clipped to
+    /// the frame.
+    pub fn fill_rect(&mut self, x: i64, y: i64, w: u32, h: u32, c: Rgb) {
+        let x0 = x.clamp(0, self.width as i64) as u32;
+        let y0 = y.clamp(0, self.height as i64) as u32;
+        let x1 = (x + w as i64).clamp(x0 as i64, self.width as i64) as u32;
+        let y1 = (y + h as i64).clamp(y0 as i64, self.height as i64) as u32;
+        for yy in y0..y1 {
+            let row = self.offset(x0, yy);
+            let row_end = self.offset(x1, yy);
+            for px in self.data[row..row_end].chunks_exact_mut(3) {
+                px[0] = c.r;
+                px[1] = c.g;
+                px[2] = c.b;
+            }
+        }
+    }
+
+    /// Draws a filled circle centred at `(cx, cy)`, clipped to the frame.
+    pub fn fill_circle(&mut self, cx: i64, cy: i64, radius: u32, c: Rgb) {
+        let r = radius as i64;
+        let y0 = (cy - r).max(0);
+        let y1 = (cy + r + 1).min(self.height as i64);
+        for yy in y0..y1 {
+            let dy = yy - cy;
+            let span = ((r * r - dy * dy) as f64).sqrt() as i64;
+            let x0 = (cx - span).max(0);
+            let x1 = (cx + span + 1).min(self.width as i64);
+            for xx in x0..x1 {
+                self.set(xx as u32, yy as u32, c);
+            }
+        }
+    }
+
+    /// Copies `src` onto this frame with its top-left corner at `(x, y)`,
+    /// clipping at the frame edges. This is the runtime's overlay
+    /// compositing primitive ("an image object … is mounted on the video
+    /// frame", paper §4.3).
+    pub fn blit(&mut self, src: &Frame, x: i64, y: i64) {
+        for sy in 0..src.height {
+            let dy = y + sy as i64;
+            if dy < 0 || dy >= self.height as i64 {
+                continue;
+            }
+            for sx in 0..src.width {
+                let dx = x + sx as i64;
+                if dx < 0 || dx >= self.width as i64 {
+                    continue;
+                }
+                // get() is in-bounds by loop construction.
+                let c = src.get(sx, sy).expect("in-bounds source pixel");
+                self.set(dx as u32, dy as u32, c);
+            }
+        }
+    }
+
+    /// Like [`Frame::blit`] but skips pixels that equal `key`, giving the
+    /// "image object with white background" effect from Figure 2 a proper
+    /// colour-key transparency.
+    pub fn blit_keyed(&mut self, src: &Frame, x: i64, y: i64, key: Rgb) {
+        for sy in 0..src.height {
+            let dy = y + sy as i64;
+            if dy < 0 || dy >= self.height as i64 {
+                continue;
+            }
+            for sx in 0..src.width {
+                let dx = x + sx as i64;
+                if dx < 0 || dx >= self.width as i64 {
+                    continue;
+                }
+                let c = src.get(sx, sy).expect("in-bounds source pixel");
+                if c != key {
+                    self.set(dx as u32, dy as u32, c);
+                }
+            }
+        }
+    }
+
+    /// Average luma of the frame, 0–255.
+    pub fn mean_luma(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let mut sum: u64 = 0;
+        for px in self.data.chunks_exact(3) {
+            sum += Rgb::new(px[0], px[1], px[2]).luma() as u64;
+        }
+        sum as f64 / self.pixel_count() as f64
+    }
+
+    /// Returns a frame with both edges halved via 2×2 box averaging.
+    /// Shot detection runs on downsampled frames for throughput, so this
+    /// is a hot path: the common fully-in-bounds 2×2 case runs on raw
+    /// row slices with no per-pixel bounds checks.
+    pub fn downsample_2x(&self) -> Frame {
+        let w = (self.width / 2).max(1);
+        let h = (self.height / 2).max(1);
+        let mut data = Vec::with_capacity((w * h * 3) as usize);
+        let src = &self.data;
+        let stride = (self.width * 3) as usize;
+        for y in 0..h {
+            let y0 = (y * 2).min(self.height - 1) as usize;
+            let y1 = (y * 2 + 1).min(self.height - 1) as usize;
+            let row0 = &src[y0 * stride..y0 * stride + stride];
+            let row1 = &src[y1 * stride..y1 * stride + stride];
+            for x in 0..w {
+                let x0 = ((x * 2).min(self.width - 1) * 3) as usize;
+                let x1 = ((x * 2 + 1).min(self.width - 1) * 3) as usize;
+                for ch in 0..3 {
+                    let sum = row0[x0 + ch] as u32
+                        + row0[x1 + ch] as u32
+                        + row1[x0 + ch] as u32
+                        + row1[x1 + ch] as u32;
+                    data.push((sum / 4) as u8);
+                }
+            }
+        }
+        Frame::from_raw(w, h, data).expect("halved dims are valid")
+    }
+
+    /// Mean squared error between two same-sized frames.
+    ///
+    /// # Errors
+    /// [`MediaError::DimensionMismatch`] when shapes differ.
+    pub fn mse(&self, other: &Frame) -> Result<f64> {
+        if self.width != other.width || self.height != other.height {
+            return Err(MediaError::DimensionMismatch {
+                expected: (self.width, self.height),
+                actual: (other.width, other.height),
+            });
+        }
+        let mut acc: u64 = 0;
+        for (a, b) in self.data.iter().zip(other.data.iter()) {
+            let d = *a as i64 - *b as i64;
+            acc += (d * d) as u64;
+        }
+        Ok(acc as f64 / self.data.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        assert!(Frame::new(0, 10).is_err());
+        assert!(Frame::new(10, 0).is_err());
+        assert!(Frame::new(MAX_DIM + 1, 10).is_err());
+        assert!(Frame::new(16, 16).is_ok());
+    }
+
+    #[test]
+    fn from_raw_validates_length() {
+        assert!(Frame::from_raw(2, 2, vec![0; 12]).is_ok());
+        assert!(Frame::from_raw(2, 2, vec![0; 11]).is_err());
+        assert!(Frame::from_raw(0, 2, vec![]).is_err());
+    }
+
+    #[test]
+    fn get_set_roundtrip_and_bounds() {
+        let mut f = Frame::new(4, 3).unwrap();
+        f.set(2, 1, Rgb::RED);
+        assert_eq!(f.get(2, 1), Some(Rgb::RED));
+        assert_eq!(f.get(4, 0), None);
+        assert_eq!(f.get(0, 3), None);
+        // Out-of-bounds set is a no-op, not a panic.
+        f.set(100, 100, Rgb::BLUE);
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut f = Frame::new(8, 8).unwrap();
+        f.fill_rect(-2, -2, 4, 4, Rgb::GREEN);
+        assert_eq!(f.get(0, 0), Some(Rgb::GREEN));
+        assert_eq!(f.get(1, 1), Some(Rgb::GREEN));
+        assert_eq!(f.get(2, 2), Some(Rgb::BLACK));
+        f.fill_rect(6, 6, 10, 10, Rgb::RED);
+        assert_eq!(f.get(7, 7), Some(Rgb::RED));
+        assert_eq!(f.get(5, 7), Some(Rgb::BLACK));
+    }
+
+    #[test]
+    fn fill_circle_is_roughly_round() {
+        let mut f = Frame::new(21, 21).unwrap();
+        f.fill_circle(10, 10, 5, Rgb::WHITE);
+        assert_eq!(f.get(10, 10), Some(Rgb::WHITE));
+        assert_eq!(f.get(10, 5), Some(Rgb::WHITE));
+        assert_eq!(f.get(10, 15), Some(Rgb::WHITE));
+        // Corner of the bounding box stays background.
+        assert_eq!(f.get(5, 5), Some(Rgb::BLACK));
+    }
+
+    #[test]
+    fn blit_clips_and_copies() {
+        let mut dst = Frame::new(8, 8).unwrap();
+        let src = Frame::filled(4, 4, Rgb::BLUE).unwrap();
+        dst.blit(&src, 6, 6);
+        assert_eq!(dst.get(6, 6), Some(Rgb::BLUE));
+        assert_eq!(dst.get(7, 7), Some(Rgb::BLUE));
+        assert_eq!(dst.get(5, 5), Some(Rgb::BLACK));
+        dst.blit(&src, -3, -3);
+        assert_eq!(dst.get(0, 0), Some(Rgb::BLUE));
+        assert_eq!(dst.get(1, 1), Some(Rgb::BLACK)); // already past src extent
+    }
+
+    #[test]
+    fn blit_keyed_skips_key_colour() {
+        let mut dst = Frame::filled(4, 4, Rgb::BLACK).unwrap();
+        let mut src = Frame::filled(2, 2, Rgb::WHITE).unwrap();
+        src.set(0, 0, Rgb::RED);
+        dst.blit_keyed(&src, 0, 0, Rgb::WHITE);
+        assert_eq!(dst.get(0, 0), Some(Rgb::RED));
+        assert_eq!(dst.get(1, 0), Some(Rgb::BLACK)); // white pixel skipped
+    }
+
+    #[test]
+    fn mean_luma_tracks_content() {
+        let black = Frame::new(8, 8).unwrap();
+        let white = Frame::filled(8, 8, Rgb::WHITE).unwrap();
+        assert!(black.mean_luma() < 1.0);
+        assert!(white.mean_luma() > 250.0);
+    }
+
+    #[test]
+    fn downsample_halves_and_averages() {
+        let mut f = Frame::new(4, 4).unwrap();
+        f.fill_rect(0, 0, 2, 2, Rgb::WHITE);
+        let d = f.downsample_2x();
+        assert_eq!((d.width(), d.height()), (2, 2));
+        assert_eq!(d.get(0, 0), Some(Rgb::WHITE));
+        assert_eq!(d.get(1, 1), Some(Rgb::BLACK));
+    }
+
+    #[test]
+    fn downsample_never_hits_zero() {
+        let f = Frame::new(1, 1).unwrap();
+        let d = f.downsample_2x();
+        assert_eq!((d.width(), d.height()), (1, 1));
+    }
+
+    #[test]
+    fn mse_zero_for_identical_and_checks_dims() {
+        let a = Frame::filled(4, 4, Rgb::GREY).unwrap();
+        let b = a.clone();
+        assert_eq!(a.mse(&b).unwrap(), 0.0);
+        let c = Frame::new(5, 4).unwrap();
+        assert!(a.mse(&c).is_err());
+        let mut d = a.clone();
+        d.set(0, 0, Rgb::new(129, 128, 128));
+        assert!(a.mse(&d).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Colour histograms and histogram distances.
+//!
+//! Shot-boundary detection (paper §4.1: the tool "divides the video into
+//! scenario components") compares consecutive frames via coarse RGB
+//! histograms — the classic Zhang/Kankanhalli/Smoliar approach that 2007-era
+//! interactive-video tools used.
+
+use crate::frame::Frame;
+
+/// Bins per colour channel; 4×4×4 = 64 total bins.
+pub const BINS_PER_CHANNEL: usize = 4;
+/// Total number of histogram bins.
+pub const TOTAL_BINS: usize = BINS_PER_CHANNEL * BINS_PER_CHANNEL * BINS_PER_CHANNEL;
+
+/// A normalised coarse RGB histogram of one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorHistogram {
+    bins: [f32; TOTAL_BINS],
+}
+
+impl ColorHistogram {
+    /// Computes the histogram of a frame. Bin weights sum to 1.
+    pub fn of(frame: &Frame) -> ColorHistogram {
+        let mut counts = [0u32; TOTAL_BINS];
+        for px in frame.raw().chunks_exact(3) {
+            let r = (px[0] >> 6) as usize; // 256/4 = 64 levels per bin
+            let g = (px[1] >> 6) as usize;
+            let b = (px[2] >> 6) as usize;
+            counts[(r * BINS_PER_CHANNEL + g) * BINS_PER_CHANNEL + b] += 1;
+        }
+        let total = frame.pixel_count().max(1) as f32;
+        let mut bins = [0f32; TOTAL_BINS];
+        for (dst, src) in bins.iter_mut().zip(counts.iter()) {
+            *dst = *src as f32 / total;
+        }
+        ColorHistogram { bins }
+    }
+
+    /// Raw normalised bin weights.
+    pub fn bins(&self) -> &[f32; TOTAL_BINS] {
+        &self.bins
+    }
+
+    /// Histogram-intersection *dissimilarity*: `1 - Σ min(a_i, b_i)`.
+    /// 0 for identical histograms, approaching 1 for disjoint content.
+    pub fn intersection_distance(&self, other: &ColorHistogram) -> f32 {
+        let mut inter = 0f32;
+        for (a, b) in self.bins.iter().zip(other.bins.iter()) {
+            inter += a.min(*b);
+        }
+        (1.0 - inter).max(0.0)
+    }
+
+    /// Symmetric chi-square distance, more sensitive to small shifts than
+    /// intersection; used by the detector's `ChiSquare` metric mode.
+    pub fn chi_square_distance(&self, other: &ColorHistogram) -> f32 {
+        let mut acc = 0f32;
+        for (a, b) in self.bins.iter().zip(other.bins.iter()) {
+            let sum = a + b;
+            if sum > 0.0 {
+                let d = a - b;
+                acc += d * d / sum;
+            }
+        }
+        // Bounded by 2 for normalised histograms; scale into [0, 1].
+        acc / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Rgb;
+
+    #[test]
+    fn histogram_is_normalised() {
+        let f = Frame::filled(16, 16, Rgb::new(200, 30, 90)).unwrap();
+        let h = ColorHistogram::of(&f);
+        let total: f32 = h.bins().iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn identical_frames_have_zero_distance() {
+        let f = Frame::filled(8, 8, Rgb::new(10, 200, 45)).unwrap();
+        let a = ColorHistogram::of(&f);
+        let b = ColorHistogram::of(&f);
+        assert!(a.intersection_distance(&b) < 1e-6);
+        assert!(a.chi_square_distance(&b) < 1e-6);
+    }
+
+    #[test]
+    fn disjoint_frames_have_max_distance() {
+        let black = ColorHistogram::of(&Frame::filled(8, 8, Rgb::BLACK).unwrap());
+        let white = ColorHistogram::of(&Frame::filled(8, 8, Rgb::WHITE).unwrap());
+        assert!(black.intersection_distance(&white) > 0.99);
+        assert!(black.chi_square_distance(&white) > 0.99);
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        let mut f1 = Frame::filled(8, 8, Rgb::RED).unwrap();
+        f1.fill_rect(0, 0, 4, 8, Rgb::BLUE);
+        let f2 = Frame::filled(8, 8, Rgb::RED).unwrap();
+        let a = ColorHistogram::of(&f1);
+        let b = ColorHistogram::of(&f2);
+        assert!((a.intersection_distance(&b) - b.intersection_distance(&a)).abs() < 1e-6);
+        assert!((a.chi_square_distance(&b) - b.chi_square_distance(&a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partial_overlap_is_between_extremes() {
+        let mut half = Frame::filled(8, 8, Rgb::BLACK).unwrap();
+        half.fill_rect(0, 0, 4, 8, Rgb::WHITE);
+        let black = ColorHistogram::of(&Frame::filled(8, 8, Rgb::BLACK).unwrap());
+        let h = ColorHistogram::of(&half);
+        let d = black.intersection_distance(&h);
+        assert!(d > 0.4 && d < 0.6, "expected ~0.5, got {d}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Minimal data-parallel helpers built on `crossbeam::scope`.
+//!
+//! The media pipeline parallelises three embarrassingly parallel stages —
+//! per-frame histogram extraction, per-GOP encoding and per-GOP decoding —
+//! using a static block distribution: items are split into `threads`
+//! contiguous chunks, one scoped thread per chunk. Chunks are contiguous so
+//! results can be stitched back without reordering, and for the near-uniform
+//! per-item costs in this crate static splitting beats a work-stealing deque
+//! (no contention, perfect locality).
+
+/// Applies `f` to every index in `0..n`, in parallel over `threads`
+/// OS threads, returning results in index order.
+///
+/// `threads == 0` or `threads == 1` (or `n <= 1`) degrade to the sequential
+/// loop, which keeps call sites free of special cases.
+///
+/// # Panics
+/// Propagates panics from `f` (the scope joins all threads).
+pub fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+
+    crossbeam::scope(|s| {
+        let mut rest: &mut [Option<T>] = &mut out;
+        let mut start = 0usize;
+        let f = &f;
+        while start < n {
+            let len = chunk.min(n - start);
+            let (head, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let base = start;
+            s.spawn(move |_| {
+                for (i, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(f(base + i));
+                }
+            });
+            start += len;
+        }
+    })
+    .expect("worker thread panicked");
+
+    out.into_iter()
+        .map(|x| x.expect("all slots filled by workers"))
+        .collect()
+}
+
+/// Splits `0..n` into `parts` contiguous `(start, end)` ranges whose sizes
+/// differ by at most one. Used to assign GOPs/windows to workers.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    if n == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_sequential() {
+        let seq: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for threads in [0, 1, 2, 3, 7, 100, 200] {
+            let par = parallel_map_indexed(100, threads, |i| i * i);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<u8> = parallel_map_indexed(0, 4, |_| 0u8);
+        assert!(empty.is_empty());
+        let one = parallel_map_indexed(1, 4, |i| i + 10);
+        assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn split_ranges_cover_exactly() {
+        for n in [0usize, 1, 5, 16, 17, 100] {
+            for parts in [1usize, 2, 3, 8, 50] {
+                let ranges = split_ranges(n, parts);
+                let mut expect = 0;
+                for &(s, e) in &ranges {
+                    assert_eq!(s, expect, "gap at {s} (n={n}, parts={parts})");
+                    assert!(e > s, "empty range (n={n}, parts={parts})");
+                    expect = e;
+                }
+                assert_eq!(expect, n, "coverage (n={n}, parts={parts})");
+                if n > 0 {
+                    let sizes: Vec<usize> = ranges.iter().map(|&(s, e)| e - s).collect();
+                    let min = *sizes.iter().min().unwrap();
+                    let max = *sizes.iter().max().unwrap();
+                    assert!(max - min <= 1, "unbalanced split (n={n}, parts={parts})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_ranges_zero_parts() {
+        assert!(split_ranges(10, 0).is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Random access into encoded video.
+//!
+//! Scenario switching — the heart of interactive video (paper §2.1:
+//! "buttons and objects on the video frame can be triggered to change the
+//! play sequence") — is a *seek* in codec terms: jump to the first frame
+//! of the target segment. Its cost is the GOP walk from the preceding
+//! keyframe; EXP-3 sweeps the keyframe interval against this cost.
+
+use crate::codec::{Decoder, EncodedVideo};
+use crate::frame::Frame;
+use crate::Result;
+
+/// Cost accounting for one seek.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeekStats {
+    /// The requested frame.
+    pub target: usize,
+    /// The keyframe the decode started from.
+    pub keyframe: usize,
+    /// Frames decoded to satisfy the request (≥ 1).
+    pub frames_decoded: usize,
+}
+
+/// Seeks to `index`, returning the decoded frame and its cost.
+pub fn seek(decoder: &Decoder, video: &EncodedVideo, index: usize) -> Result<(Frame, SeekStats)> {
+    let keyframe = video.keyframe_before(index)?;
+    let (frame, frames_decoded) = decoder.decode_frame(video, index)?;
+    Ok((frame, SeekStats { target: index, keyframe, frames_decoded }))
+}
+
+/// Average number of frames decoded per seek over the given targets.
+pub fn average_seek_cost(video: &EncodedVideo, targets: &[usize]) -> Result<f64> {
+    if targets.is_empty() {
+        return Ok(0.0);
+    }
+    let mut total = 0usize;
+    for &t in targets {
+        let k = video.keyframe_before(t)?;
+        total += t - k + 1;
+    }
+    Ok(total as f64 / targets.len() as f64)
+}
+
+/// Analytic expectation of the seek cost for uniform random targets within
+/// a stream of keyframe interval `gop`: `(gop + 1) / 2` frames.
+pub fn expected_seek_cost(gop: usize) -> f64 {
+    (gop as f64 + 1.0) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{EncodeConfig, Encoder};
+    use crate::color::Rgb;
+    use crate::synth::{FootageSpec, ShotSpec};
+    use crate::timeline::FrameRate;
+
+    fn encoded(gop: usize, frames: usize) -> EncodedVideo {
+        let footage = FootageSpec {
+            width: 24,
+            height: 16,
+            rate: FrameRate::FPS30,
+            shots: vec![ShotSpec::plain(frames, Rgb::new(90, 140, 60))],
+            noise_seed: 5,
+        }
+        .render()
+        .unwrap();
+        Encoder::new(EncodeConfig { gop, ..Default::default() })
+            .encode(&footage.frames, footage.rate)
+            .unwrap()
+    }
+
+    #[test]
+    fn seek_returns_correct_frame_and_stats() {
+        let ev = encoded(4, 10);
+        let dec = Decoder::default();
+        let all = dec.decode_all(&ev).unwrap();
+        for target in 0..10 {
+            let (frame, stats) = seek(&dec, &ev, target).unwrap();
+            assert_eq!(frame, all.frames[target], "target {target}");
+            assert_eq!(stats.target, target);
+            assert_eq!(stats.keyframe, (target / 4) * 4);
+            assert_eq!(stats.frames_decoded, target - stats.keyframe + 1);
+        }
+    }
+
+    #[test]
+    fn seek_out_of_range_errors() {
+        let ev = encoded(4, 6);
+        assert!(seek(&Decoder::default(), &ev, 6).is_err());
+    }
+
+    #[test]
+    fn average_cost_matches_hand_computation() {
+        let ev = encoded(5, 10);
+        // Targets 0..10: costs 1,2,3,4,5,1,2,3,4,5 → mean 3.0.
+        let targets: Vec<usize> = (0..10).collect();
+        let avg = average_seek_cost(&ev, &targets).unwrap();
+        assert!((avg - 3.0).abs() < 1e-9);
+        assert_eq!(average_seek_cost(&ev, &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn expected_cost_formula() {
+        assert_eq!(expected_seek_cost(1), 1.0);
+        assert_eq!(expected_seek_cost(15), 8.0);
+        // Smaller GOP always seeks cheaper.
+        assert!(expected_seek_cost(5) < expected_seek_cost(30));
+    }
+
+    #[test]
+    fn all_intra_streams_seek_in_one_frame() {
+        let ev = encoded(1, 8);
+        let dec = Decoder::default();
+        for target in 0..8 {
+            let (_, stats) = seek(&dec, &ev, target).unwrap();
+            assert_eq!(stats.frames_decoded, 1);
+        }
+    }
+}

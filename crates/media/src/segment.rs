@@ -1,0 +1,260 @@
+//! Video segments — "the basic unit used for presenting scenarios"
+//! (paper §2.1).
+//!
+//! A [`Segment`] is a half-open frame range `[start, end)` of a source
+//! video. The authoring tool produces a [`SegmentTable`] either from shot
+//! detection or from manual cuts, and every scenario in the scene graph
+//! references exactly one segment.
+
+use crate::error::MediaError;
+use crate::timeline::{FrameRate, MediaTime};
+use crate::Result;
+
+/// Identifier of a segment within its table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(pub u32);
+
+impl std::fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+/// A half-open frame range `[start, end)` of the source video.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// This segment's id.
+    pub id: SegmentId,
+    /// First frame (inclusive).
+    pub start: usize,
+    /// One past the last frame (exclusive).
+    pub end: usize,
+}
+
+impl Segment {
+    /// Number of frames in the segment.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the segment holds no frames (never constructed by the
+    /// table, but callers may build segments manually).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Whether `frame` lies inside the segment.
+    pub fn contains(&self, frame: usize) -> bool {
+        frame >= self.start && frame < self.end
+    }
+
+    /// Duration of the segment at the given frame rate.
+    pub fn duration(&self, rate: FrameRate) -> MediaTime {
+        rate.frame_to_time(self.len() as u64)
+    }
+}
+
+/// An ordered, gap-free partition of a video into segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentTable {
+    segments: Vec<Segment>,
+    frame_count: usize,
+}
+
+impl SegmentTable {
+    /// Builds the table from cut positions (each a first-frame-of-segment
+    /// index). Cuts must be strictly increasing, non-zero and inside the
+    /// video.
+    ///
+    /// # Errors
+    /// [`MediaError::InvalidSegment`] on an empty video, out-of-range or
+    /// non-monotonic cuts.
+    pub fn from_cuts(frame_count: usize, cuts: &[usize]) -> Result<SegmentTable> {
+        if frame_count == 0 {
+            return Err(MediaError::InvalidSegment("video has no frames".into()));
+        }
+        let mut segments = Vec::with_capacity(cuts.len() + 1);
+        let mut start = 0usize;
+        for (i, &cut) in cuts.iter().enumerate() {
+            if cut <= start {
+                return Err(MediaError::InvalidSegment(format!(
+                    "cut #{i} at frame {cut} is not after previous boundary {start}"
+                )));
+            }
+            if cut >= frame_count {
+                return Err(MediaError::InvalidSegment(format!(
+                    "cut #{i} at frame {cut} is outside the {frame_count}-frame video"
+                )));
+            }
+            segments.push(Segment { id: SegmentId(segments.len() as u32), start, end: cut });
+            start = cut;
+        }
+        segments.push(Segment {
+            id: SegmentId(segments.len() as u32),
+            start,
+            end: frame_count,
+        });
+        Ok(SegmentTable { segments, frame_count })
+    }
+
+    /// A single segment covering the whole video.
+    pub fn whole(frame_count: usize) -> Result<SegmentTable> {
+        SegmentTable::from_cuts(frame_count, &[])
+    }
+
+    /// All segments in order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// A table always has at least one segment.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total number of source frames covered.
+    pub fn frame_count(&self) -> usize {
+        self.frame_count
+    }
+
+    /// Looks a segment up by id.
+    pub fn get(&self, id: SegmentId) -> Option<&Segment> {
+        self.segments.get(id.0 as usize)
+    }
+
+    /// The segment containing `frame`, by binary search.
+    pub fn segment_at(&self, frame: usize) -> Option<&Segment> {
+        if frame >= self.frame_count {
+            return None;
+        }
+        let idx = self
+            .segments
+            .partition_point(|s| s.end <= frame);
+        self.segments.get(idx)
+    }
+
+    /// Splits the segment containing `frame` at `frame`, renumbering all
+    /// ids (ids are positional). Fails when `frame` is a boundary already.
+    pub fn split_at(&mut self, frame: usize) -> Result<()> {
+        if frame == 0 || frame >= self.frame_count {
+            return Err(MediaError::InvalidSegment(format!(
+                "cannot split at frame {frame}"
+            )));
+        }
+        if self.segments.iter().any(|s| s.start == frame) {
+            return Err(MediaError::InvalidSegment(format!(
+                "frame {frame} is already a boundary"
+            )));
+        }
+        let mut cuts: Vec<usize> = self.segments.iter().skip(1).map(|s| s.start).collect();
+        cuts.push(frame);
+        cuts.sort_unstable();
+        *self = SegmentTable::from_cuts(self.frame_count, &cuts)?;
+        Ok(())
+    }
+
+    /// Merges the segment containing `frame` with its successor,
+    /// renumbering ids. Fails when it is the last segment.
+    pub fn merge_after(&mut self, frame: usize) -> Result<()> {
+        let seg = *self
+            .segment_at(frame)
+            .ok_or_else(|| MediaError::InvalidSegment(format!("frame {frame} out of range")))?;
+        if seg.end >= self.frame_count {
+            return Err(MediaError::InvalidSegment(
+                "cannot merge the final segment forward".into(),
+            ));
+        }
+        let cuts: Vec<usize> = self
+            .segments
+            .iter()
+            .skip(1)
+            .map(|s| s.start)
+            .filter(|&c| c != seg.end)
+            .collect();
+        *self = SegmentTable::from_cuts(self.frame_count, &cuts)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_cuts_partitions() {
+        let t = SegmentTable::from_cuts(10, &[3, 7]).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.segments()[0], Segment { id: SegmentId(0), start: 0, end: 3 });
+        assert_eq!(t.segments()[1], Segment { id: SegmentId(1), start: 3, end: 7 });
+        assert_eq!(t.segments()[2], Segment { id: SegmentId(2), start: 7, end: 10 });
+    }
+
+    #[test]
+    fn from_cuts_rejects_bad_input() {
+        assert!(SegmentTable::from_cuts(0, &[]).is_err());
+        assert!(SegmentTable::from_cuts(10, &[0]).is_err());
+        assert!(SegmentTable::from_cuts(10, &[10]).is_err());
+        assert!(SegmentTable::from_cuts(10, &[5, 5]).is_err());
+        assert!(SegmentTable::from_cuts(10, &[7, 3]).is_err());
+    }
+
+    #[test]
+    fn whole_is_single_segment() {
+        let t = SegmentTable::whole(42).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.segments()[0].len(), 42);
+    }
+
+    #[test]
+    fn segment_at_uses_binary_search_correctly() {
+        let t = SegmentTable::from_cuts(10, &[3, 7]).unwrap();
+        assert_eq!(t.segment_at(0).unwrap().id, SegmentId(0));
+        assert_eq!(t.segment_at(2).unwrap().id, SegmentId(0));
+        assert_eq!(t.segment_at(3).unwrap().id, SegmentId(1));
+        assert_eq!(t.segment_at(6).unwrap().id, SegmentId(1));
+        assert_eq!(t.segment_at(7).unwrap().id, SegmentId(2));
+        assert_eq!(t.segment_at(9).unwrap().id, SegmentId(2));
+        assert!(t.segment_at(10).is_none());
+    }
+
+    #[test]
+    fn split_and_merge_roundtrip() {
+        let mut t = SegmentTable::from_cuts(10, &[5]).unwrap();
+        t.split_at(2).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.segment_at(2).unwrap().start, 2);
+        // Splitting at an existing boundary fails.
+        assert!(t.split_at(5).is_err());
+        assert!(t.split_at(0).is_err());
+        assert!(t.split_at(10).is_err());
+        // Merge segment [2,5) with [5,10).
+        t.merge_after(3).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.segment_at(7).unwrap().start, 2);
+        // The final segment cannot merge forward.
+        assert!(t.merge_after(9).is_err());
+    }
+
+    #[test]
+    fn duration_uses_rate() {
+        let t = SegmentTable::from_cuts(90, &[30]).unwrap();
+        let d = t.segments()[0].duration(FrameRate::FPS30);
+        assert_eq!(d, MediaTime::from_secs(1));
+    }
+
+    #[test]
+    fn contains_respects_half_open() {
+        let s = Segment { id: SegmentId(0), start: 2, end: 5 };
+        assert!(!s.contains(1));
+        assert!(s.contains(2));
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+}

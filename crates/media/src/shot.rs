@@ -1,0 +1,444 @@
+//! Shot-boundary detection.
+//!
+//! The authoring tool's video import (paper §4.1: "video can be divided
+//! into scenario components by the authoring tool") is implemented here:
+//! per-frame colour histograms (optionally on 2× downsampled frames, and
+//! computed in parallel), consecutive-frame distances, and a cut decision
+//! rule that is either a fixed threshold or an adaptive local
+//! mean + k·σ rule with a minimum shot length.
+//!
+//! [`score_detection`] compares detected cuts against the synthesiser's
+//! ground truth, yielding precision/recall/F1 for EXP-1.
+
+use crate::frame::Frame;
+use crate::histogram::ColorHistogram;
+use crate::parallel::parallel_map_indexed;
+use crate::segment::SegmentTable;
+use crate::Result;
+
+/// Histogram distance metric used between consecutive frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistMetric {
+    /// Histogram-intersection dissimilarity (robust, bounded).
+    Intersection,
+    /// Symmetric chi-square distance (more sensitive).
+    ChiSquare,
+}
+
+/// Cut decision rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Threshold {
+    /// A cut wherever the distance exceeds this constant.
+    Fixed(f32),
+    /// Adaptive rule: a cut where the distance exceeds
+    /// `mean + k·σ` of the distances in a `window`-wide neighbourhood and
+    /// also exceeds `floor` (guarding the all-static-footage case).
+    Adaptive {
+        /// Half-width, in frames, of the local statistics window.
+        window: usize,
+        /// Multiplier on the local standard deviation.
+        k: f32,
+        /// Absolute minimum distance for a cut.
+        floor: f32,
+    },
+}
+
+/// Configuration of the detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotDetectorConfig {
+    /// Distance metric.
+    pub metric: HistMetric,
+    /// Decision rule.
+    pub threshold: Threshold,
+    /// Downsample frames 2× before histogramming (4× fewer pixels).
+    pub downsample: bool,
+    /// Minimum frames between accepted cuts (and before the first cut).
+    pub min_shot_len: usize,
+    /// Worker threads for histogram extraction (≤ 1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for ShotDetectorConfig {
+    fn default() -> Self {
+        ShotDetectorConfig {
+            metric: HistMetric::Intersection,
+            threshold: Threshold::Adaptive { window: 8, k: 3.0, floor: 0.18 },
+            downsample: true,
+            min_shot_len: 4,
+            threads: 1,
+        }
+    }
+}
+
+/// A detected cut: the first frame of the new shot, with its score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CutScore {
+    /// Index of the first frame of the new shot.
+    pub frame: usize,
+    /// Distance value that triggered the cut.
+    pub score: f32,
+}
+
+/// The shot-boundary detector.
+#[derive(Debug, Clone, Default)]
+pub struct ShotDetector {
+    config: ShotDetectorConfig,
+}
+
+impl ShotDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: ShotDetectorConfig) -> ShotDetector {
+        ShotDetector { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ShotDetectorConfig {
+        &self.config
+    }
+
+    /// Computes the distance between each consecutive frame pair;
+    /// `result[i]` is the distance between frames `i` and `i+1`, so a cut
+    /// *at* frame `i+1` corresponds to a spike at index `i`.
+    pub fn distances(&self, frames: &[Frame]) -> Vec<f32> {
+        if frames.len() < 2 {
+            return Vec::new();
+        }
+        let cfg = &self.config;
+        let hists: Vec<ColorHistogram> = parallel_map_indexed(frames.len(), cfg.threads, |i| {
+            if cfg.downsample {
+                ColorHistogram::of(&frames[i].downsample_2x())
+            } else {
+                ColorHistogram::of(&frames[i])
+            }
+        });
+        let mut out = Vec::with_capacity(frames.len() - 1);
+        for pair in hists.windows(2) {
+            let d = match cfg.metric {
+                HistMetric::Intersection => pair[0].intersection_distance(&pair[1]),
+                HistMetric::ChiSquare => pair[0].chi_square_distance(&pair[1]),
+            };
+            out.push(d);
+        }
+        out
+    }
+
+    /// Detects cuts in the footage; returned positions are first-frames of
+    /// new shots, strictly increasing, each at least `min_shot_len` frames
+    /// after the previous boundary.
+    pub fn detect(&self, frames: &[Frame]) -> Vec<CutScore> {
+        let dist = self.distances(frames);
+        self.decide(&dist)
+    }
+
+    /// Applies the decision rule to a precomputed distance sequence.
+    pub fn decide(&self, dist: &[f32]) -> Vec<CutScore> {
+        let min_len = self.config.min_shot_len.max(1);
+        let mut cuts = Vec::new();
+        let mut last_boundary = 0usize; // start of current shot
+        for (i, &d) in dist.iter().enumerate() {
+            let cut_frame = i + 1;
+            if cut_frame < last_boundary + min_len {
+                continue;
+            }
+            let fires = match self.config.threshold {
+                Threshold::Fixed(t) => d > t,
+                Threshold::Adaptive { window, k, floor } => {
+                    if d <= floor {
+                        false
+                    } else {
+                        let lo = i.saturating_sub(window);
+                        let hi = (i + window + 1).min(dist.len());
+                        // Exclude the candidate itself from the statistics.
+                        let mut sum = 0f64;
+                        let mut n = 0f64;
+                        for (j, &v) in dist[lo..hi].iter().enumerate() {
+                            if lo + j != i {
+                                sum += v as f64;
+                                n += 1.0;
+                            }
+                        }
+                        if n == 0.0 {
+                            d > floor
+                        } else {
+                            let mean = sum / n;
+                            let mut var = 0f64;
+                            for (j, &v) in dist[lo..hi].iter().enumerate() {
+                                if lo + j != i {
+                                    var += (v as f64 - mean) * (v as f64 - mean);
+                                }
+                            }
+                            let std = (var / n).sqrt();
+                            d as f64 > mean + k as f64 * std
+                        }
+                    }
+                }
+            };
+            // Local-maximum test: suppress shoulders of the same spike.
+            let is_local_max = (i == 0 || dist[i - 1] <= d)
+                && (i + 1 >= dist.len() || dist[i + 1] < d);
+            if fires && is_local_max {
+                cuts.push(CutScore { frame: cut_frame, score: d });
+                last_boundary = cut_frame;
+            }
+        }
+        cuts
+    }
+
+    /// Runs detection and converts the result into a [`SegmentTable`]
+    /// partitioning the whole video.
+    pub fn segment(&self, frames: &[Frame]) -> Result<SegmentTable> {
+        let cuts: Vec<usize> = self.detect(frames).iter().map(|c| c.frame).collect();
+        SegmentTable::from_cuts(frames.len(), &cuts)
+    }
+}
+
+/// Precision/recall of a detection run against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionScore {
+    /// Detected cuts that match a true cut within the tolerance.
+    pub true_positives: usize,
+    /// Detected cuts with no matching true cut.
+    pub false_positives: usize,
+    /// True cuts with no matching detection.
+    pub false_negatives: usize,
+}
+
+impl DetectionScore {
+    /// Precision = TP / (TP + FP); 1.0 when nothing was detected.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 1.0 when there was nothing to detect.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Greedily matches detected cuts to ground-truth cuts within ±`tolerance`
+/// frames (each truth cut matches at most one detection).
+pub fn score_detection(detected: &[usize], truth: &[usize], tolerance: usize) -> DetectionScore {
+    let mut matched_truth = vec![false; truth.len()];
+    let mut tp = 0usize;
+    for &d in detected {
+        let mut best: Option<(usize, usize)> = None; // (truth index, |d - t|)
+        for (ti, &t) in truth.iter().enumerate() {
+            if matched_truth[ti] {
+                continue;
+            }
+            let gap = d.abs_diff(t);
+            if gap <= tolerance && best.is_none_or(|(_, g)| gap < g) {
+                best = Some((ti, gap));
+            }
+        }
+        if let Some((ti, _)) = best {
+            matched_truth[ti] = true;
+            tp += 1;
+        }
+    }
+    DetectionScore {
+        true_positives: tp,
+        false_positives: detected.len() - tp,
+        false_negatives: matched_truth.iter().filter(|m| !**m).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Rgb;
+    use crate::synth::{FootageSpec, ShotSpec};
+    use crate::timeline::FrameRate;
+
+    fn footage(shots: Vec<ShotSpec>) -> Vec<Frame> {
+        FootageSpec {
+            width: 48,
+            height: 32,
+            rate: FrameRate::FPS30,
+            shots,
+            noise_seed: 11,
+        }
+        .render()
+        .unwrap()
+        .frames
+    }
+
+    #[test]
+    fn distances_spike_at_cut() {
+        let frames = footage(vec![
+            ShotSpec::plain(6, Rgb::new(220, 30, 30)),
+            ShotSpec::plain(6, Rgb::new(30, 30, 220)),
+        ]);
+        let det = ShotDetector::default();
+        let d = det.distances(&frames);
+        assert_eq!(d.len(), 11);
+        let (spike_idx, _) = d
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(spike_idx, 5); // distance between frames 5 and 6
+    }
+
+    #[test]
+    fn detects_clean_cuts_exactly() {
+        let frames = footage(vec![
+            ShotSpec::plain(10, Rgb::new(220, 40, 40)),
+            ShotSpec::plain(8, Rgb::new(40, 220, 40)),
+            ShotSpec::plain(12, Rgb::new(40, 40, 220)),
+        ]);
+        let det = ShotDetector::default();
+        let cuts: Vec<usize> = det.detect(&frames).iter().map(|c| c.frame).collect();
+        assert_eq!(cuts, vec![10, 18]);
+    }
+
+    #[test]
+    fn fixed_threshold_mode_works() {
+        let frames = footage(vec![
+            ShotSpec::plain(6, Rgb::new(200, 0, 0)),
+            ShotSpec::plain(6, Rgb::new(0, 0, 200)),
+        ]);
+        let det = ShotDetector::new(ShotDetectorConfig {
+            threshold: Threshold::Fixed(0.5),
+            ..Default::default()
+        });
+        let cuts: Vec<usize> = det.detect(&frames).iter().map(|c| c.frame).collect();
+        assert_eq!(cuts, vec![6]);
+    }
+
+    #[test]
+    fn min_shot_len_suppresses_early_and_rapid_cuts() {
+        let frames = footage(vec![
+            ShotSpec::plain(2, Rgb::new(200, 0, 0)),
+            ShotSpec::plain(2, Rgb::new(0, 200, 0)),
+            ShotSpec::plain(20, Rgb::new(0, 0, 200)),
+        ]);
+        let det = ShotDetector::new(ShotDetectorConfig {
+            min_shot_len: 4,
+            threshold: Threshold::Fixed(0.5),
+            ..Default::default()
+        });
+        let cuts: Vec<usize> = det.detect(&frames).iter().map(|c| c.frame).collect();
+        // The cut at frame 2 violates min length; the one at 4 is kept.
+        assert_eq!(cuts, vec![4]);
+    }
+
+    #[test]
+    fn no_cuts_in_static_footage_adaptive() {
+        let frames = footage(vec![ShotSpec {
+            frames: 30,
+            background: Rgb::GREY,
+            sprites: vec![],
+            luma_drift: 20, // slow lighting change must NOT trigger
+            noise: 2,
+        }]);
+        let det = ShotDetector::default();
+        assert!(det.detect(&frames).is_empty());
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let frames = footage(vec![
+            ShotSpec::plain(9, Rgb::new(200, 10, 10)),
+            ShotSpec::plain(9, Rgb::new(10, 200, 10)),
+            ShotSpec::plain(9, Rgb::new(10, 10, 200)),
+        ]);
+        let seq = ShotDetector::new(ShotDetectorConfig { threads: 1, ..Default::default() });
+        let par = ShotDetector::new(ShotDetectorConfig { threads: 4, ..Default::default() });
+        assert_eq!(seq.distances(&frames), par.distances(&frames));
+        assert_eq!(seq.detect(&frames), par.detect(&frames));
+    }
+
+    #[test]
+    fn segment_table_from_detection() {
+        let frames = footage(vec![
+            ShotSpec::plain(8, Rgb::new(200, 10, 10)),
+            ShotSpec::plain(8, Rgb::new(10, 200, 10)),
+        ]);
+        let table = ShotDetector::default().segment(&frames).unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.segments()[0].end, 8);
+        assert_eq!(table.frame_count(), 16);
+    }
+
+    #[test]
+    fn short_inputs_yield_nothing() {
+        let det = ShotDetector::default();
+        assert!(det.distances(&[]).is_empty());
+        let one = footage(vec![ShotSpec::plain(1, Rgb::GREY)]);
+        assert!(det.distances(&one).is_empty());
+        assert!(det.detect(&one).is_empty());
+    }
+
+    #[test]
+    fn scoring_counts_matches_with_tolerance() {
+        let s = score_detection(&[10, 20, 31], &[10, 21, 40], 1);
+        assert_eq!(s.true_positives, 2); // 10 exact, 20≈21; 31 vs 40 misses
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.false_negatives, 1);
+        assert!((s.precision() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.recall() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.f1() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scoring_each_truth_matches_once() {
+        // Two detections near one truth cut: only one TP.
+        let s = score_detection(&[10, 11], &[10], 2);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.false_negatives, 0);
+    }
+
+    #[test]
+    fn scoring_empty_cases() {
+        let s = score_detection(&[], &[], 2);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        let s = score_detection(&[], &[5], 2);
+        assert_eq!(s.recall(), 0.0);
+        let s = score_detection(&[5], &[], 2);
+        assert_eq!(s.precision(), 0.0);
+        assert_eq!(s.f1(), 0.0);
+    }
+
+    #[test]
+    fn end_to_end_on_random_footage_high_f1() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(2026);
+        let spec = FootageSpec::random(&mut rng, 64, 48, 10, 8, 20);
+        let footage = spec.render().unwrap();
+        let det = ShotDetector::new(ShotDetectorConfig { threads: 2, ..Default::default() });
+        let cuts: Vec<usize> = det.detect(&footage.frames).iter().map(|c| c.frame).collect();
+        let score = score_detection(&cuts, &footage.cuts, 1);
+        assert!(
+            score.f1() > 0.8,
+            "F1 too low: {:.2} (detected {:?}, truth {:?})",
+            score.f1(),
+            cuts,
+            footage.cuts
+        );
+    }
+}

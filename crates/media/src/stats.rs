@@ -1,0 +1,67 @@
+//! Small numeric helpers shared by the benches and the quality metrics.
+
+/// Peak signal-to-noise ratio in dB for 8-bit content, from a mean squared
+/// error. Returns `f64::INFINITY` for a zero MSE (lossless).
+pub fn psnr_from_mse(mse: f64) -> f64 {
+    if mse <= 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * ((255.0 * 255.0) / mse).log10()
+    }
+}
+
+/// Mean and (population) standard deviation of a sample. Empty input
+/// yields `(0, 0)`.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// The `p`-th percentile (0–100) by nearest-rank on a copy of the data.
+/// Empty input yields 0.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile input"));
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psnr_known_values() {
+        assert_eq!(psnr_from_mse(0.0), f64::INFINITY);
+        let p = psnr_from_mse(255.0 * 255.0); // MSE equal to peak² → 0 dB
+        assert!(p.abs() < 1e-9);
+        assert!((psnr_from_mse(1.0) - 48.1308).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-9);
+        assert!((s - 2.0).abs() < 1e-9);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        // Unsorted input is handled.
+        assert_eq!(percentile(&[5.0, 1.0, 3.0], 100.0), 5.0);
+    }
+}

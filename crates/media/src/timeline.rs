@@ -1,0 +1,210 @@
+//! Frame-accurate time arithmetic.
+//!
+//! Interactive video keeps two clocks in sync: the *frame index* inside a
+//! segment and the *wall time* reported to the player UI. [`FrameRate`]
+//! converts between them exactly (rational arithmetic, no drift), and
+//! [`MediaTime`] is a microsecond timestamp with saturating operations.
+
+use std::fmt;
+
+/// A rational frame rate, `num/den` frames per second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameRate {
+    num: u32,
+    den: u32,
+}
+
+impl FrameRate {
+    /// Standard 30 fps used by the synthetic footage generator.
+    pub const FPS30: FrameRate = FrameRate { num: 30, den: 1 };
+    /// Cinema 24 fps.
+    pub const FPS24: FrameRate = FrameRate { num: 24, den: 1 };
+    /// NTSC 29.97 fps (30000/1001).
+    pub const NTSC: FrameRate = FrameRate { num: 30000, den: 1001 };
+
+    /// Creates a frame rate. Returns `None` when either part is zero.
+    pub fn new(num: u32, den: u32) -> Option<FrameRate> {
+        if num == 0 || den == 0 {
+            None
+        } else {
+            Some(FrameRate { num, den })
+        }
+    }
+
+    /// Numerator of the rate.
+    pub fn num(&self) -> u32 {
+        self.num
+    }
+
+    /// Denominator of the rate.
+    pub fn den(&self) -> u32 {
+        self.den
+    }
+
+    /// Frames per second as a float (for display only).
+    pub fn as_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Timestamp of frame `index`, rounded *up* to the next microsecond so
+    /// that the returned time always falls within the frame (making
+    /// `time_to_frame(frame_to_time(i)) == i` hold for every rate).
+    pub fn frame_to_time(&self, index: u64) -> MediaTime {
+        // t = index * den / num seconds = index * den * 1e6 / num µs.
+        let num = self.num as u128;
+        let micros = (index as u128 * self.den as u128 * 1_000_000).div_ceil(num);
+        MediaTime::from_micros(micros.min(u64::MAX as u128) as u64)
+    }
+
+    /// Index of the frame covering timestamp `t`.
+    pub fn time_to_frame(&self, t: MediaTime) -> u64 {
+        let idx = t.as_micros() as u128 * self.num as u128 / (self.den as u128 * 1_000_000);
+        idx.min(u64::MAX as u128) as u64
+    }
+
+    /// Duration of one frame in microseconds, rounded down.
+    pub fn frame_duration(&self) -> MediaTime {
+        MediaTime::from_micros((self.den as u64 * 1_000_000) / self.num as u64)
+    }
+}
+
+impl fmt::Display for FrameRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{} fps", self.num)
+        } else {
+            write!(f, "{}/{} fps", self.num, self.den)
+        }
+    }
+}
+
+/// A media timestamp in microseconds since the start of the video.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MediaTime(u64);
+
+impl MediaTime {
+    /// Timestamp zero.
+    pub const ZERO: MediaTime = MediaTime(0);
+
+    /// Builds a timestamp from microseconds.
+    pub const fn from_micros(us: u64) -> MediaTime {
+        MediaTime(us)
+    }
+
+    /// Builds a timestamp from milliseconds.
+    pub const fn from_millis(ms: u64) -> MediaTime {
+        MediaTime(ms * 1000)
+    }
+
+    /// Builds a timestamp from whole seconds.
+    pub const fn from_secs(s: u64) -> MediaTime {
+        MediaTime(s * 1_000_000)
+    }
+
+    /// The timestamp in microseconds.
+    pub const fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// The timestamp in (truncated) milliseconds.
+    pub const fn as_millis(&self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// The timestamp in seconds as a float.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: MediaTime) -> MediaTime {
+        MediaTime(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating subtraction (floors at zero).
+    pub fn saturating_sub(self, other: MediaTime) -> MediaTime {
+        MediaTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl fmt::Display for MediaTime {
+    /// Formats as `mm:ss.mmm`, the notation the authoring timeline uses.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_ms = self.as_millis();
+        let minutes = total_ms / 60_000;
+        let seconds = (total_ms % 60_000) / 1000;
+        let millis = total_ms % 1000;
+        write!(f, "{minutes:02}:{seconds:02}.{millis:03}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_rate_rejects_zero() {
+        assert!(FrameRate::new(0, 1).is_none());
+        assert!(FrameRate::new(1, 0).is_none());
+        assert!(FrameRate::new(30, 1).is_some());
+    }
+
+    #[test]
+    fn frame_time_roundtrip_exact_rates() {
+        let fr = FrameRate::FPS30;
+        for idx in [0u64, 1, 29, 30, 31, 12345] {
+            let t = fr.frame_to_time(idx);
+            assert_eq!(fr.time_to_frame(t), idx, "frame {idx}");
+        }
+    }
+
+    #[test]
+    fn frame_time_roundtrip_ntsc() {
+        let fr = FrameRate::NTSC;
+        for idx in [0u64, 1, 1000, 100_003] {
+            let t = fr.frame_to_time(idx);
+            assert_eq!(fr.time_to_frame(t), idx, "frame {idx}");
+        }
+    }
+
+    #[test]
+    fn time_to_frame_mid_frame() {
+        let fr = FrameRate::FPS30;
+        // 40 ms into a 30fps stream is still frame 1 (frame 1 spans
+        // 33.3–66.6 ms).
+        assert_eq!(fr.time_to_frame(MediaTime::from_millis(40)), 1);
+        assert_eq!(fr.time_to_frame(MediaTime::from_millis(70)), 2);
+    }
+
+    #[test]
+    fn frame_duration_matches_rate() {
+        assert_eq!(FrameRate::FPS30.frame_duration().as_micros(), 33_333);
+        assert_eq!(FrameRate::FPS24.frame_duration().as_micros(), 41_666);
+    }
+
+    #[test]
+    fn media_time_constructors_agree() {
+        assert_eq!(MediaTime::from_secs(2), MediaTime::from_millis(2000));
+        assert_eq!(MediaTime::from_millis(3), MediaTime::from_micros(3000));
+        assert_eq!(MediaTime::from_secs(1).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let a = MediaTime::from_secs(1);
+        let b = MediaTime::from_secs(3);
+        assert_eq!(a.saturating_sub(b), MediaTime::ZERO);
+        assert_eq!(b.saturating_sub(a), MediaTime::from_secs(2));
+        assert_eq!(
+            MediaTime::from_micros(u64::MAX).saturating_add(a),
+            MediaTime::from_micros(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MediaTime::from_millis(61_234).to_string(), "01:01.234");
+        assert_eq!(FrameRate::FPS30.to_string(), "30 fps");
+        assert_eq!(FrameRate::NTSC.to_string(), "30000/1001 fps");
+    }
+}

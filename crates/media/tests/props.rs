@@ -1,0 +1,181 @@
+//! Property tests for the media substrate's foundations: bit I/O,
+//! Golomb codes, frame operations, timelines and segment tables.
+
+use proptest::prelude::*;
+
+use vgbl_media::codec::bitio::{BitReader, BitWriter};
+use vgbl_media::color::Rgb;
+use vgbl_media::frame::Frame;
+use vgbl_media::histogram::ColorHistogram;
+use vgbl_media::timeline::{FrameRate, MediaTime};
+use vgbl_media::SegmentTable;
+
+proptest! {
+    #[test]
+    fn ue_se_roundtrip(values in proptest::collection::vec((any::<u32>(), any::<i32>()), 0..64)) {
+        let mut w = BitWriter::new();
+        for (u, s) in &values {
+            w.put_ue(*u as u64);
+            w.put_se(*s as i64);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for (u, s) in &values {
+            prop_assert_eq!(r.get_ue().unwrap(), *u as u64);
+            prop_assert_eq!(r.get_se().unwrap(), *s as i64);
+        }
+    }
+
+    #[test]
+    fn raw_bits_roundtrip(chunks in proptest::collection::vec((any::<u64>(), 1u8..=64), 0..32)) {
+        let mut w = BitWriter::new();
+        for (v, n) in &chunks {
+            let masked = if *n == 64 { *v } else { v & ((1u64 << n) - 1) };
+            w.put_bits(masked, *n);
+        }
+        let expected_bits: usize = chunks.iter().map(|(_, n)| *n as usize).sum();
+        prop_assert_eq!(w.bit_len(), expected_bits);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for (v, n) in &chunks {
+            let masked = if *n == 64 { *v } else { v & ((1u64 << n) - 1) };
+            prop_assert_eq!(r.get_bits(*n).unwrap(), masked);
+        }
+    }
+
+    #[test]
+    fn bit_reader_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut r = BitReader::new(&bytes);
+        // Drain it with mixed reads until exhaustion; must only error.
+        loop {
+            if r.get_ue().is_err() {
+                break;
+            }
+            if r.get_se().is_err() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn frame_fill_rect_stays_inside(
+        x in -50i64..100, y in -50i64..100, w in 0u32..80, h in 0u32..80,
+    ) {
+        let mut f = Frame::new(40, 30).unwrap();
+        f.fill_rect(x, y, w, h, Rgb::RED);
+        // Pixels outside the rect are untouched; inside (clipped) are red.
+        for py in 0..30u32 {
+            for px in 0..40u32 {
+                let inside = (px as i64) >= x
+                    && (px as i64) < x + w as i64
+                    && (py as i64) >= y
+                    && (py as i64) < y + h as i64;
+                let expected = if inside { Rgb::RED } else { Rgb::BLACK };
+                prop_assert_eq!(f.get(px, py).unwrap(), expected, "at ({}, {})", px, py);
+            }
+        }
+    }
+
+    #[test]
+    fn blit_matches_per_pixel_model(
+        dx in -20i64..40, dy in -20i64..40, sw in 1u32..16, sh in 1u32..16,
+    ) {
+        let src = Frame::filled(sw, sh, Rgb::GREEN).unwrap();
+        let mut dst = Frame::new(32, 24).unwrap();
+        dst.blit(&src, dx, dy);
+        for py in 0..24u32 {
+            for px in 0..32u32 {
+                let from_src = (px as i64) >= dx
+                    && (px as i64) < dx + sw as i64
+                    && (py as i64) >= dy
+                    && (py as i64) < dy + sh as i64;
+                let expected = if from_src { Rgb::GREEN } else { Rgb::BLACK };
+                prop_assert_eq!(dst.get(px, py).unwrap(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn downsample_preserves_mean_roughly(seed in any::<u64>()) {
+        // A random-ish two-tone frame: the 2x2 box filter must keep the
+        // global mean within quantisation error.
+        let mut f = Frame::new(16, 16).unwrap();
+        let mut s = seed;
+        for y in 0..16 {
+            for x in 0..16 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = (s >> 32) as u8;
+                f.set(x, y, Rgb::new(v, v, v));
+            }
+        }
+        let d = f.downsample_2x();
+        let diff = (f.mean_luma() - d.mean_luma()).abs();
+        prop_assert!(diff < 2.0, "means drifted: {} vs {}", f.mean_luma(), d.mean_luma());
+    }
+
+    #[test]
+    fn histogram_mass_is_one(seed in any::<u64>(), w in 1u32..32, h in 1u32..32) {
+        let f = Frame::filled(w, h, Rgb::from_seed(seed)).unwrap();
+        let hist = ColorHistogram::of(&f);
+        let total: f32 = hist.bins().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-4);
+        prop_assert!(hist.bins().iter().all(|b| (0.0..=1.0).contains(b)));
+    }
+
+    #[test]
+    fn histogram_distances_bounded(a in any::<u64>(), b in any::<u64>()) {
+        let fa = Frame::filled(8, 8, Rgb::from_seed(a)).unwrap();
+        let fb = Frame::filled(8, 8, Rgb::from_seed(b)).unwrap();
+        let ha = ColorHistogram::of(&fa);
+        let hb = ColorHistogram::of(&fb);
+        let d1 = ha.intersection_distance(&hb);
+        let d2 = ha.chi_square_distance(&hb);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&d1));
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&d2));
+        // Symmetry.
+        prop_assert!((d1 - hb.intersection_distance(&ha)).abs() < 1e-6);
+        prop_assert!((d2 - hb.chi_square_distance(&ha)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frame_time_roundtrip_any_rate(num in 1u32..240, den in 1u32..1001, idx in 0u64..100_000) {
+        let rate = FrameRate::new(num, den).unwrap();
+        let t = rate.frame_to_time(idx);
+        prop_assert_eq!(rate.time_to_frame(t), idx);
+    }
+
+    #[test]
+    fn media_time_saturating_ops(a in any::<u64>(), b in any::<u64>()) {
+        let ta = MediaTime::from_micros(a);
+        let tb = MediaTime::from_micros(b);
+        prop_assert_eq!(ta.saturating_add(tb).as_micros(), a.saturating_add(b));
+        prop_assert_eq!(ta.saturating_sub(tb).as_micros(), a.saturating_sub(b));
+    }
+
+    #[test]
+    fn segment_split_then_merge_is_identity(
+        frame_count in 2usize..300,
+        cut in 1usize..299,
+    ) {
+        prop_assume!(cut < frame_count);
+        let mut table = SegmentTable::whole(frame_count).unwrap();
+        table.split_at(cut).unwrap();
+        prop_assert_eq!(table.len(), 2);
+        table.merge_after(cut - 1).unwrap();
+        prop_assert_eq!(&table, &SegmentTable::whole(frame_count).unwrap());
+    }
+
+    #[test]
+    fn segment_at_always_agrees_with_contains(
+        frame_count in 1usize..200,
+        cuts in proptest::collection::btree_set(1usize..199, 0..8),
+        probe in 0usize..220,
+    ) {
+        let cuts: Vec<usize> = cuts.into_iter().filter(|&c| c < frame_count).collect();
+        let table = SegmentTable::from_cuts(frame_count, &cuts).unwrap();
+        match table.segment_at(probe) {
+            Some(seg) => prop_assert!(seg.contains(probe)),
+            None => prop_assert!(probe >= frame_count),
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! Session logs and learning reports.
+//!
+//! §3.2: "Students can obtain knowledge from the process of making
+//! decision and interaction." That process is only assessable if it is
+//! *recorded*: the engine appends a [`LogEvent`] for every meaningful
+//! moment, and [`LearningReport`] aggregates many sessions into the
+//! metrics EXP-9 reports (completion, decisions, knowledge events,
+//! rewards).
+
+use std::collections::BTreeMap;
+
+/// One recorded moment of a play session, stamped with the session clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogEvent {
+    /// The player entered a scenario.
+    ScenarioEntered {
+        /// Session time in ms.
+        t_ms: u64,
+        /// Scenario name.
+        name: String,
+    },
+    /// The player examined (clicked) an object.
+    ObjectExamined {
+        /// Session time in ms.
+        t_ms: u64,
+        /// Scenario name.
+        scenario: String,
+        /// Object name.
+        object: String,
+    },
+    /// An item entered the backpack.
+    ItemTaken {
+        /// Session time in ms.
+        t_ms: u64,
+        /// Item name.
+        item: String,
+    },
+    /// An inventory item was used on an object.
+    ItemUsed {
+        /// Session time in ms.
+        t_ms: u64,
+        /// Item name.
+        item: String,
+        /// Object it was applied to.
+        object: String,
+    },
+    /// An NPC spoke to the player.
+    NpcTalked {
+        /// Session time in ms.
+        t_ms: u64,
+        /// NPC name.
+        npc: String,
+    },
+    /// Knowledge content was delivered (text/image/web page).
+    KnowledgeDelivered {
+        /// Session time in ms.
+        t_ms: u64,
+        /// `"text"`, `"image"` or `"web"`.
+        kind: String,
+    },
+    /// The score changed.
+    ScoreDelta {
+        /// Session time in ms.
+        t_ms: u64,
+        /// The delta applied.
+        delta: i64,
+    },
+    /// A reward object was earned.
+    RewardEarned {
+        /// Session time in ms.
+        t_ms: u64,
+        /// Reward name.
+        name: String,
+    },
+    /// A player decision (any non-tick input).
+    Decision {
+        /// Session time in ms.
+        t_ms: u64,
+        /// Input tag (`"click"`, `"drag"`, `"apply"`, `"key"`).
+        kind: String,
+    },
+    /// The game ended.
+    Ended {
+        /// Session time in ms.
+        t_ms: u64,
+        /// Outcome name.
+        outcome: String,
+    },
+}
+
+impl LogEvent {
+    /// The event's timestamp.
+    pub fn t_ms(&self) -> u64 {
+        match self {
+            LogEvent::ScenarioEntered { t_ms, .. }
+            | LogEvent::ObjectExamined { t_ms, .. }
+            | LogEvent::ItemTaken { t_ms, .. }
+            | LogEvent::ItemUsed { t_ms, .. }
+            | LogEvent::NpcTalked { t_ms, .. }
+            | LogEvent::KnowledgeDelivered { t_ms, .. }
+            | LogEvent::ScoreDelta { t_ms, .. }
+            | LogEvent::RewardEarned { t_ms, .. }
+            | LogEvent::Decision { t_ms, .. }
+            | LogEvent::Ended { t_ms, .. } => *t_ms,
+        }
+    }
+}
+
+/// The append-only record of one play session.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionLog {
+    events: Vec<LogEvent>,
+}
+
+impl SessionLog {
+    /// An empty log.
+    pub fn new() -> SessionLog {
+        SessionLog::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: LogEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[LogEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of player decisions.
+    pub fn decisions(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, LogEvent::Decision { .. }))
+            .count()
+    }
+
+    /// Number of knowledge-delivery events (§3.2).
+    pub fn knowledge_events(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    LogEvent::KnowledgeDelivered { .. } | LogEvent::NpcTalked { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Number of rewards earned.
+    pub fn rewards(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, LogEvent::RewardEarned { .. }))
+            .count()
+    }
+
+    /// The outcome, if the session ended.
+    pub fn outcome(&self) -> Option<&str> {
+        self.events.iter().rev().find_map(|e| match e {
+            LogEvent::Ended { outcome, .. } => Some(outcome.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Timestamp of the last event (session duration proxy).
+    pub fn duration_ms(&self) -> u64 {
+        self.events.iter().map(LogEvent::t_ms).max().unwrap_or(0)
+    }
+
+    /// How often each object was examined, per scenario — the
+    /// "attention heatmap" an instructor reads to see which props
+    /// students actually investigate. Keys are `(scenario, object)`.
+    pub fn examinations_per_object(&self) -> BTreeMap<(String, String), usize> {
+        let mut out: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for e in &self.events {
+            if let LogEvent::ObjectExamined { scenario, object, .. } = e {
+                *out.entry((scenario.clone(), object.clone())).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// `(points gained, points lost)` over the session — §3.2's "students
+    /// will get different feedback" made measurable: gains are correct
+    /// decisions, losses are penalised ones.
+    pub fn score_swings(&self) -> (i64, i64) {
+        let mut gained = 0i64;
+        let mut lost = 0i64;
+        for e in &self.events {
+            if let LogEvent::ScoreDelta { delta, .. } = e {
+                if *delta >= 0 {
+                    gained += delta;
+                } else {
+                    lost -= delta;
+                }
+            }
+        }
+        (gained, lost)
+    }
+
+    /// Milliseconds spent in each scenario, computed from entry events
+    /// and the final timestamp.
+    pub fn time_per_scenario(&self) -> BTreeMap<String, u64> {
+        let mut out: BTreeMap<String, u64> = BTreeMap::new();
+        let entries: Vec<(&str, u64)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                LogEvent::ScenarioEntered { name, t_ms } => Some((name.as_str(), *t_ms)),
+                _ => None,
+            })
+            .collect();
+        let end = self.duration_ms();
+        for (i, (name, start)) in entries.iter().enumerate() {
+            let stop = entries.get(i + 1).map(|(_, t)| *t).unwrap_or(end);
+            *out.entry((*name).to_owned()).or_insert(0) += stop.saturating_sub(*start);
+        }
+        out
+    }
+}
+
+/// Escapes one CSV field (RFC-4180 style quoting).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+impl SessionLog {
+    /// Exports the log as CSV (`t_ms,event,detail_1,detail_2`) — the
+    /// interchange format instructors pull into their gradebooks.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_ms,event,a,b\n");
+        for e in &self.events {
+            let (t, kind, a, b): (u64, &str, String, String) = match e {
+                LogEvent::ScenarioEntered { t_ms, name } => {
+                    (*t_ms, "scenario_entered", name.clone(), String::new())
+                }
+                LogEvent::ObjectExamined { t_ms, scenario, object } => {
+                    (*t_ms, "object_examined", scenario.clone(), object.clone())
+                }
+                LogEvent::ItemTaken { t_ms, item } => {
+                    (*t_ms, "item_taken", item.clone(), String::new())
+                }
+                LogEvent::ItemUsed { t_ms, item, object } => {
+                    (*t_ms, "item_used", item.clone(), object.clone())
+                }
+                LogEvent::NpcTalked { t_ms, npc } => {
+                    (*t_ms, "npc_talked", npc.clone(), String::new())
+                }
+                LogEvent::KnowledgeDelivered { t_ms, kind } => {
+                    (*t_ms, "knowledge", kind.clone(), String::new())
+                }
+                LogEvent::ScoreDelta { t_ms, delta } => {
+                    (*t_ms, "score_delta", delta.to_string(), String::new())
+                }
+                LogEvent::RewardEarned { t_ms, name } => {
+                    (*t_ms, "reward", name.clone(), String::new())
+                }
+                LogEvent::Decision { t_ms, kind } => {
+                    (*t_ms, "decision", kind.clone(), String::new())
+                }
+                LogEvent::Ended { t_ms, outcome } => {
+                    (*t_ms, "ended", outcome.clone(), String::new())
+                }
+            };
+            out.push_str(&format!(
+                "{t},{kind},{},{}\n",
+                csv_field(&a),
+                csv_field(&b)
+            ));
+        }
+        out
+    }
+}
+
+/// Aggregate learning metrics over a cohort of sessions (EXP-9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearningReport {
+    /// Number of sessions aggregated.
+    pub sessions: usize,
+    /// Sessions that reached an `end` action.
+    pub completed: usize,
+    /// Mean decisions per session.
+    pub avg_decisions: f64,
+    /// Mean knowledge events per session.
+    pub avg_knowledge: f64,
+    /// Mean rewards per session.
+    pub avg_rewards: f64,
+    /// Mean final score per session.
+    pub avg_score: f64,
+    /// Mean session duration in ms.
+    pub avg_duration_ms: f64,
+}
+
+impl LearningReport {
+    /// Aggregates `(log, final_score)` pairs.
+    pub fn from_sessions<'a, I>(sessions: I) -> LearningReport
+    where
+        I: IntoIterator<Item = (&'a SessionLog, i64)>,
+    {
+        let mut n = 0usize;
+        let mut completed = 0usize;
+        let (mut dec, mut knw, mut rwd, mut scr, mut dur) = (0f64, 0f64, 0f64, 0f64, 0f64);
+        for (log, score) in sessions {
+            n += 1;
+            if log.outcome().is_some() {
+                completed += 1;
+            }
+            dec += log.decisions() as f64;
+            knw += log.knowledge_events() as f64;
+            rwd += log.rewards() as f64;
+            scr += score as f64;
+            dur += log.duration_ms() as f64;
+        }
+        let d = n.max(1) as f64;
+        LearningReport {
+            sessions: n,
+            completed,
+            avg_decisions: dec / d,
+            avg_knowledge: knw / d,
+            avg_rewards: rwd / d,
+            avg_score: scr / d,
+            avg_duration_ms: dur / d,
+        }
+    }
+
+    /// Fraction of sessions that completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.sessions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_log() -> SessionLog {
+        let mut log = SessionLog::new();
+        log.push(LogEvent::ScenarioEntered { t_ms: 0, name: "classroom".into() });
+        log.push(LogEvent::Decision { t_ms: 100, kind: "click".into() });
+        log.push(LogEvent::ObjectExamined {
+            t_ms: 100,
+            scenario: "classroom".into(),
+            object: "computer".into(),
+        });
+        log.push(LogEvent::KnowledgeDelivered { t_ms: 100, kind: "text".into() });
+        log.push(LogEvent::ScenarioEntered { t_ms: 400, name: "market".into() });
+        log.push(LogEvent::Decision { t_ms: 500, kind: "drag".into() });
+        log.push(LogEvent::ItemTaken { t_ms: 500, item: "ram".into() });
+        log.push(LogEvent::ScenarioEntered { t_ms: 700, name: "classroom".into() });
+        log.push(LogEvent::Decision { t_ms: 900, kind: "apply".into() });
+        log.push(LogEvent::NpcTalked { t_ms: 950, npc: "teacher".into() });
+        log.push(LogEvent::RewardEarned { t_ms: 1000, name: "medic".into() });
+        log.push(LogEvent::Ended { t_ms: 1000, outcome: "win".into() });
+        log
+    }
+
+    #[test]
+    fn counters() {
+        let log = demo_log();
+        assert_eq!(log.decisions(), 3);
+        assert_eq!(log.knowledge_events(), 2);
+        assert_eq!(log.rewards(), 1);
+        assert_eq!(log.outcome(), Some("win"));
+        assert_eq!(log.duration_ms(), 1000);
+        assert_eq!(log.len(), 12);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn examination_heatmap_counts_repeats() {
+        let mut log = demo_log();
+        log.push(LogEvent::ObjectExamined {
+            t_ms: 1100,
+            scenario: "classroom".into(),
+            object: "computer".into(),
+        });
+        log.push(LogEvent::ObjectExamined {
+            t_ms: 1200,
+            scenario: "market".into(),
+            object: "fan".into(),
+        });
+        let heat = log.examinations_per_object();
+        assert_eq!(heat[&("classroom".to_string(), "computer".to_string())], 2);
+        assert_eq!(heat[&("market".to_string(), "fan".to_string())], 1);
+    }
+
+    #[test]
+    fn score_swings_split_gains_and_losses() {
+        let mut log = SessionLog::new();
+        log.push(LogEvent::ScoreDelta { t_ms: 0, delta: 10 });
+        log.push(LogEvent::ScoreDelta { t_ms: 1, delta: -3 });
+        log.push(LogEvent::ScoreDelta { t_ms: 2, delta: 5 });
+        log.push(LogEvent::ScoreDelta { t_ms: 3, delta: -2 });
+        assert_eq!(log.score_swings(), (15, 5));
+        assert_eq!(SessionLog::new().score_swings(), (0, 0));
+    }
+
+    #[test]
+    fn time_per_scenario_accumulates_revisits() {
+        let log = demo_log();
+        let t = log.time_per_scenario();
+        // classroom: [0,400) + [700,1000) = 700; market: [400,700) = 300.
+        assert_eq!(t["classroom"], 700);
+        assert_eq!(t["market"], 300);
+    }
+
+    #[test]
+    fn empty_log_is_sane() {
+        let log = SessionLog::new();
+        assert_eq!(log.outcome(), None);
+        assert_eq!(log.duration_ms(), 0);
+        assert!(log.time_per_scenario().is_empty());
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let complete = demo_log();
+        let mut incomplete = SessionLog::new();
+        incomplete.push(LogEvent::ScenarioEntered { t_ms: 0, name: "classroom".into() });
+        incomplete.push(LogEvent::Decision { t_ms: 200, kind: "click".into() });
+
+        let report =
+            LearningReport::from_sessions(vec![(&complete, 20i64), (&incomplete, 0i64)]);
+        assert_eq!(report.sessions, 2);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.completion_rate(), 0.5);
+        assert_eq!(report.avg_decisions, 2.0);
+        assert_eq!(report.avg_knowledge, 1.0);
+        assert_eq!(report.avg_rewards, 0.5);
+        assert_eq!(report.avg_score, 10.0);
+        assert_eq!(report.avg_duration_ms, 600.0);
+    }
+
+    #[test]
+    fn csv_export_is_parseable_and_complete() {
+        let log = demo_log();
+        let csv = log.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_ms,event,a,b");
+        assert_eq!(lines.len(), log.len() + 1);
+        assert!(lines.iter().any(|l| l.starts_with("0,scenario_entered,classroom")));
+        assert!(lines.iter().any(|l| l.contains("item_taken,ram")));
+        assert!(lines.iter().any(|l| l.contains("ended,win")));
+        // Every data row has exactly 4 columns (no field carries commas
+        // in this log).
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), 4, "row: {line}");
+        }
+    }
+
+    #[test]
+    fn csv_quotes_awkward_fields() {
+        let mut log = SessionLog::new();
+        log.push(LogEvent::ScenarioEntered { t_ms: 0, name: "room, with \"quotes\"".into() });
+        let csv = log.to_csv();
+        assert!(csv.contains("\"room, with \"\"quotes\"\"\""));
+    }
+
+    #[test]
+    fn report_empty_cohort() {
+        let report = LearningReport::from_sessions(std::iter::empty());
+        assert_eq!(report.sessions, 0);
+        assert_eq!(report.completion_rate(), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! The linear / DVD-menu baseline (EXP-4).
+//!
+//! §2.1: "Playing order of traditional video is linear; users can only
+//! make simple decisions to control the flow of video playing. Simple
+//! interfaces are supported to help users to switch scenarios in DVD as
+//! menus." This module models those two traditional modes next to the
+//! paper's interactive branching, so EXP-4 can quantify *time-to-content*
+//! and *interactions-to-content*:
+//!
+//! * **Linear** — watch from the beginning until the target segment.
+//! * **DVD menu** — open a chapter menu, arrow down to the chapter,
+//!   confirm; then watch the chapter.
+//! * **Interactive (VGBL)** — follow the scenario graph's shortest click
+//!   path, watching only the reaction time per scenario.
+
+use vgbl_media::SegmentTable;
+use vgbl_scene::SceneGraph;
+
+use crate::error::RuntimeError;
+use crate::Result;
+
+/// What it costs a viewer to reach a piece of content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NavigationCost {
+    /// Button presses / clicks performed.
+    pub interactions: usize,
+    /// Frames of video watched before the target content plays.
+    pub frames_watched: usize,
+}
+
+/// Cost of reaching segment `target` by linear playback from frame 0.
+///
+/// # Errors
+/// Fails when `target` is outside the table.
+pub fn linear_cost(segments: &SegmentTable, target: usize) -> Result<NavigationCost> {
+    let seg = segments
+        .segments()
+        .get(target)
+        .ok_or_else(|| RuntimeError::UnknownScenario(format!("segment #{target}")))?;
+    Ok(NavigationCost { interactions: 1, frames_watched: seg.start })
+}
+
+/// Cost of reaching chapter `target` through a DVD-style chapter menu:
+/// one press to open the menu, `target` arrow presses, one confirm.
+/// `menu_frames` models the menu screens watched while navigating.
+pub fn dvd_menu_cost(
+    segments: &SegmentTable,
+    target: usize,
+    menu_frames_per_press: usize,
+) -> Result<NavigationCost> {
+    if target >= segments.len() {
+        return Err(RuntimeError::UnknownScenario(format!("segment #{target}")));
+    }
+    let presses = 1 + target + 1;
+    Ok(NavigationCost {
+        interactions: presses,
+        frames_watched: presses * menu_frames_per_press,
+    })
+}
+
+/// Cost of reaching `target_scenario` by interactive branching: the
+/// shortest click path from the start scenario, watching `react_frames`
+/// of each intermediate scenario before clicking on.
+///
+/// # Errors
+/// Fails when the scenario does not exist or is unreachable.
+pub fn interactive_cost(
+    graph: &SceneGraph,
+    target_scenario: &str,
+    react_frames: usize,
+) -> Result<NavigationCost> {
+    let path = graph
+        .shortest_path(target_scenario)?
+        .ok_or_else(|| RuntimeError::UnknownScenario(target_scenario.to_owned()))?;
+    let hops = path.len() - 1;
+    Ok(NavigationCost {
+        interactions: hops,
+        frames_watched: hops * react_frames,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fix_the_computer;
+
+    fn table() -> SegmentTable {
+        // 8 chapters of 120 frames (4 s at 30 fps) each.
+        let cuts: Vec<usize> = (1..8).map(|i| i * 120).collect();
+        SegmentTable::from_cuts(960, &cuts).unwrap()
+    }
+
+    #[test]
+    fn linear_grows_with_depth() {
+        let t = table();
+        assert_eq!(
+            linear_cost(&t, 0).unwrap(),
+            NavigationCost { interactions: 1, frames_watched: 0 }
+        );
+        assert_eq!(linear_cost(&t, 4).unwrap().frames_watched, 480);
+        assert_eq!(linear_cost(&t, 7).unwrap().frames_watched, 840);
+        assert!(linear_cost(&t, 8).is_err());
+    }
+
+    #[test]
+    fn dvd_menu_costs_presses_not_playback() {
+        let t = table();
+        let c = dvd_menu_cost(&t, 4, 15).unwrap();
+        assert_eq!(c.interactions, 6); // open + 4 downs + confirm
+        assert_eq!(c.frames_watched, 90);
+        assert!(dvd_menu_cost(&t, 8, 15).is_err());
+    }
+
+    #[test]
+    fn interactive_uses_graph_shortest_path() {
+        let g = fix_the_computer();
+        // market is one hop from classroom.
+        let c = interactive_cost(&g, "market", 30).unwrap();
+        assert_eq!(c, NavigationCost { interactions: 1, frames_watched: 30 });
+        // The start itself costs nothing.
+        let c = interactive_cost(&g, "classroom", 30).unwrap();
+        assert_eq!(c, NavigationCost { interactions: 0, frames_watched: 0 });
+        assert!(interactive_cost(&g, "moon", 30).is_err());
+    }
+
+    #[test]
+    fn interactive_beats_linear_at_depth() {
+        // The paper's claim in miniature: branching reaches deep content
+        // in O(path) instead of O(position).
+        let t = table();
+        let linear = linear_cost(&t, 7).unwrap();
+        // A star-shaped graph reaches any of 8 scenarios in one click.
+        let mut g = SceneGraph::new();
+        use vgbl_media::SegmentId;
+        use vgbl_scene::{ObjectKind, Rect};
+        use vgbl_script::{Action, EventKind, Trigger};
+        g.add_scenario("hub", SegmentId(0)).unwrap();
+        for i in 1..8 {
+            g.add_scenario(format!("room{i}"), SegmentId(i as u32)).unwrap();
+        }
+        for i in 1..8 {
+            let hub = g.scenario_by_name_mut("hub").unwrap();
+            let btn = hub
+                .add_object(
+                    format!("go{i}"),
+                    ObjectKind::Button { label: format!("room {i}") },
+                    Rect::new(i * 8, 0, 6, 6),
+                )
+                .unwrap();
+            hub.object_mut(btn).unwrap().triggers.push(Trigger::unconditional(
+                EventKind::Click,
+                vec![Action::GoTo(format!("room{i}"))],
+            ));
+        }
+        let interactive = interactive_cost(&g, "room7", 30).unwrap();
+        assert!(interactive.frames_watched < linear.frames_watched / 10);
+    }
+}

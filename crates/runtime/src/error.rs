@@ -1,0 +1,110 @@
+//! Runtime error type.
+
+use std::fmt;
+
+/// Errors from the gaming platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The scene graph failed validation with errors.
+    UnplayableGame(String),
+    /// A `goto` action targeted an unknown scenario at runtime.
+    UnknownScenario(String),
+    /// A script condition failed to evaluate.
+    Script(vgbl_script::ScriptError),
+    /// A scene-model lookup failed.
+    Scene(vgbl_scene::SceneError),
+    /// A media operation (playback/seek) failed.
+    Media(vgbl_media::MediaError),
+    /// Input arrived after the game ended.
+    GameOver {
+        /// The outcome the game ended with.
+        outcome: String,
+    },
+    /// A single input caused more scenario transitions than the hop
+    /// budget allows — almost certainly an `enter → goto` authoring loop.
+    TransitionLoop {
+        /// The scenario where the budget ran out.
+        at: String,
+    },
+    /// A save-game payload failed to parse.
+    CorruptSave(String),
+    /// The save game belongs to a different game (content mismatch).
+    SaveMismatch(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnplayableGame(msg) => write!(f, "game failed validation: {msg}"),
+            RuntimeError::UnknownScenario(name) => {
+                write!(f, "goto targets unknown scenario `{name}` at runtime")
+            }
+            RuntimeError::Script(e) => write!(f, "script error: {e}"),
+            RuntimeError::Scene(e) => write!(f, "scene error: {e}"),
+            RuntimeError::Media(e) => write!(f, "media error: {e}"),
+            RuntimeError::GameOver { outcome } => {
+                write!(f, "the game already ended with outcome `{outcome}`")
+            }
+            RuntimeError::TransitionLoop { at } => {
+                write!(f, "scenario transition loop detected at `{at}`")
+            }
+            RuntimeError::CorruptSave(msg) => write!(f, "corrupt save game: {msg}"),
+            RuntimeError::SaveMismatch(msg) => write!(f, "save game mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Script(e) => Some(e),
+            RuntimeError::Scene(e) => Some(e),
+            RuntimeError::Media(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vgbl_script::ScriptError> for RuntimeError {
+    fn from(e: vgbl_script::ScriptError) -> Self {
+        RuntimeError::Script(e)
+    }
+}
+
+impl From<vgbl_scene::SceneError> for RuntimeError {
+    fn from(e: vgbl_scene::SceneError) -> Self {
+        RuntimeError::Scene(e)
+    }
+}
+
+impl From<vgbl_media::MediaError> for RuntimeError {
+    fn from(e: vgbl_media::MediaError) -> Self {
+        RuntimeError::Media(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_source() {
+        use std::error::Error;
+        let e: RuntimeError = vgbl_script::ScriptError::DivisionByZero.into();
+        assert!(e.source().is_some());
+        let e: RuntimeError = vgbl_scene::SceneError::EmptyGraph.into();
+        assert!(e.source().is_some());
+        let e: RuntimeError =
+            vgbl_media::MediaError::FrameOutOfRange { index: 1, len: 0 }.into();
+        assert!(e.source().is_some());
+        assert!(RuntimeError::GameOver { outcome: "win".into() }.source().is_none());
+    }
+
+    #[test]
+    fn display_mentions_payload() {
+        let e = RuntimeError::UnknownScenario("moon".into());
+        assert!(e.to_string().contains("moon"));
+        let e = RuntimeError::GameOver { outcome: "victory".into() };
+        assert!(e.to_string().contains("victory"));
+    }
+}

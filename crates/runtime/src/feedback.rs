@@ -1,0 +1,129 @@
+//! Feedback the platform presents to the player.
+//!
+//! §2.1: on interaction "the scenario changes and interactive objects pop
+//! out … text messages, images and webpage are also popped up." Each
+//! handled input yields an ordered list of [`Feedback`] values; a GUI
+//! front-end would render them, the ASCII renderer prints them, tests
+//! assert on them.
+
+/// One observable effect of a handled input event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Feedback {
+    /// A text message popped up (descriptions, knowledge delivery).
+    Text(String),
+    /// An image asset popped up.
+    Image(String),
+    /// A web page opened ("get information from websites", Figure 2).
+    WebPage(String),
+    /// An NPC spoke.
+    NpcLine {
+        /// The speaking NPC.
+        npc: String,
+        /// The line spoken.
+        line: String,
+    },
+    /// Playback switched to another scenario.
+    ScenarioChanged {
+        /// Scenario the player left.
+        from: String,
+        /// Scenario the player entered.
+        to: String,
+    },
+    /// An item landed in the backpack.
+    ItemAdded(String),
+    /// An item left the backpack.
+    ItemRemoved(String),
+    /// The score changed by `delta` to `total`.
+    ScoreChanged {
+        /// The applied delta.
+        delta: i64,
+        /// The new total.
+        total: i64,
+    },
+    /// A reward object appeared in the inventory window (§3.3).
+    RewardGranted(String),
+    /// The avatar walked to a new position.
+    AvatarMoved {
+        /// New x.
+        x: i32,
+        /// New y.
+        y: i32,
+    },
+    /// The game ended with an outcome.
+    GameEnded(String),
+    /// A conversation is waiting for the player to pick a response
+    /// (answer with [`crate::input::InputEvent::Choose`]).
+    DialogueChoices(Vec<String>),
+    /// The active conversation ended.
+    DialogueEnded,
+    /// The input hit nothing actionable (useful for bots and UX studies).
+    NothingHappened,
+}
+
+impl Feedback {
+    /// Whether this feedback delivers knowledge content (text, image, web
+    /// page or NPC line) — the §3.2 events the analytics count.
+    pub fn is_knowledge(&self) -> bool {
+        matches!(
+            self,
+            Feedback::Text(_) | Feedback::Image(_) | Feedback::WebPage(_) | Feedback::NpcLine { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for Feedback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Feedback::Text(s) => write!(f, "[text] {s}"),
+            Feedback::Image(s) => write!(f, "[image] {s}"),
+            Feedback::WebPage(s) => write!(f, "[web] {s}"),
+            Feedback::NpcLine { npc, line } => write!(f, "[{npc}] {line}"),
+            Feedback::ScenarioChanged { from, to } => write!(f, "[scene] {from} -> {to}"),
+            Feedback::ItemAdded(s) => write!(f, "[backpack] + {s}"),
+            Feedback::ItemRemoved(s) => write!(f, "[backpack] - {s}"),
+            Feedback::ScoreChanged { delta, total } => {
+                write!(f, "[score] {delta:+} (total {total})")
+            }
+            Feedback::RewardGranted(s) => write!(f, "[reward] {s}"),
+            Feedback::AvatarMoved { x, y } => write!(f, "[avatar] -> ({x}, {y})"),
+            Feedback::GameEnded(s) => write!(f, "[end] {s}"),
+            Feedback::DialogueChoices(choices) => {
+                write!(f, "[choose]")?;
+                for (i, c) in choices.iter().enumerate() {
+                    write!(f, " {}){c}", i + 1)?;
+                }
+                Ok(())
+            }
+            Feedback::DialogueEnded => write!(f, "[conversation over]"),
+            Feedback::NothingHappened => write!(f, "[.]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knowledge_classification() {
+        assert!(Feedback::Text("a".into()).is_knowledge());
+        assert!(Feedback::Image("a".into()).is_knowledge());
+        assert!(Feedback::WebPage("u".into()).is_knowledge());
+        assert!(Feedback::NpcLine { npc: "n".into(), line: "l".into() }.is_knowledge());
+        assert!(!Feedback::ItemAdded("x".into()).is_knowledge());
+        assert!(!Feedback::NothingHappened.is_knowledge());
+        assert!(!Feedback::ScoreChanged { delta: 1, total: 1 }.is_knowledge());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(
+            Feedback::ScoreChanged { delta: -2, total: 8 }.to_string(),
+            "[score] -2 (total 8)"
+        );
+        assert_eq!(
+            Feedback::ScenarioChanged { from: "a".into(), to: "b".into() }.to_string(),
+            "[scene] a -> b"
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Ready-made games used by tests, benches and examples.
+//!
+//! [`fix_the_computer`] is the paper's own worked example (§3.2): "in a
+//! classroom in game, the NPC told players a computer was not worked and
+//! order players to fix it. Players examine the computer in video first
+//! and find a broken component inside. Finally, players move to another
+//! scenario, markets, to get the components they needed and return to
+//! classroom and fix the computer."
+
+use vgbl_media::SegmentId;
+use vgbl_scene::{
+    DialogueNode, DialogueTree, ImageAsset, Npc, ObjectKind, Rect, SceneGraph,
+};
+use vgbl_scene::npc::DialogueChoice;
+use vgbl_script::{Action, EventKind, Trigger};
+
+/// Frame size the fixture games are authored for.
+pub const FRAME: (u32, u32) = (64, 48);
+
+/// The paper's "fix the computer" adventure: two scenarios (classroom and
+/// market), a guiding NPC, a diagnosis step, a collectable spare part,
+/// an item application, score, a reward object and an ending.
+pub fn fix_the_computer() -> SceneGraph {
+    let mut g = SceneGraph::new();
+    for asset in ["pc", "fan", "door", "teacher_img"] {
+        g.assets_mut().insert(ImageAsset::placeholder(asset, 10, 10));
+    }
+
+    let mut dialogue = DialogueTree::new();
+    dialogue.insert(
+        0,
+        DialogueNode {
+            line: "The computer is not working. Please fix it for the class.".into(),
+            choices: vec![
+                DialogueChoice { text: "What happened?".into(), next: Some(1) },
+                DialogueChoice { text: "I'm on it.".into(), next: None },
+            ],
+        },
+    );
+    dialogue.insert(
+        1,
+        DialogueNode {
+            line: "It just stopped. Maybe a part inside broke.".into(),
+            choices: vec![DialogueChoice { text: "I'll take a look.".into(), next: None }],
+        },
+    );
+    g.add_npc(Npc::new("teacher", dialogue));
+
+    let classroom = g.add_scenario("classroom", SegmentId(0)).unwrap();
+    let market = g.add_scenario("market", SegmentId(1)).unwrap();
+
+    {
+        let s = g.scenario_mut(classroom).unwrap();
+        s.description = "A classroom with a broken computer.".into();
+        s.entry_triggers.push(
+            Trigger::guarded(
+                EventKind::Enter,
+                "!flag(\"greeted\")",
+                vec![
+                    Action::Say {
+                        npc: "teacher".into(),
+                        line: "Oh good, you're here. The computer is broken!".into(),
+                    },
+                    Action::SetFlag("greeted".into(), true),
+                ],
+            )
+            .unwrap(),
+        );
+
+        let teacher = s
+            .add_object(
+                "teacher",
+                ObjectKind::NpcAnchor { npc: "teacher".into() },
+                Rect::new(2, 8, 12, 20),
+            )
+            .unwrap();
+        let _ = teacher;
+
+        let computer = s
+            .add_object(
+                "computer",
+                ObjectKind::Item {
+                    asset: "pc".into(),
+                    description: "An old computer. It will not boot.".into(),
+                    takeable: false,
+                },
+                Rect::new(20, 16, 16, 12),
+            )
+            .unwrap();
+        let obj = s.object_mut(computer).unwrap();
+        obj.triggers.push(
+            Trigger::guarded(
+                EventKind::Click,
+                "!flag(\"diagnosed\")",
+                vec![
+                    Action::ShowText(
+                        "You open the case. The cooling fan is broken!".into(),
+                    ),
+                    Action::SetFlag("diagnosed".into(), true),
+                    Action::AddScore(5),
+                ],
+            )
+            .unwrap(),
+        );
+        obj.triggers.push(
+            Trigger::guarded(
+                EventKind::Click,
+                "flag(\"diagnosed\") && !flag(\"fixed\")",
+                vec![Action::ShowText("The broken fan needs a replacement part.".into())],
+            )
+            .unwrap(),
+        );
+        obj.triggers.push(
+            Trigger::guarded(
+                EventKind::Use("fan".into()),
+                "!flag(\"diagnosed\")",
+                vec![Action::ShowText(
+                    "You are not sure where this goes. Examine the computer first.".into(),
+                )],
+            )
+            .unwrap(),
+        );
+        obj.triggers.push(
+            Trigger::guarded(
+                EventKind::Use("fan".into()),
+                "flag(\"diagnosed\") && !flag(\"fixed\")",
+                vec![
+                    Action::TakeItem("fan".into()),
+                    Action::SetFlag("fixed".into(), true),
+                    Action::ShowText("You install the new fan. The computer boots!".into()),
+                    Action::AddScore(20),
+                    Action::Award("computer_medic".into()),
+                    Action::Say { npc: "teacher".into(), line: "Well done! Thank you.".into() },
+                    Action::End("fixed".into()),
+                ],
+            )
+            .unwrap(),
+        );
+
+        let door = s
+            .add_object(
+                "to_market",
+                ObjectKind::Button { label: "To market".into() },
+                Rect::new(40, 2, 8, 8),
+            )
+            .unwrap();
+        s.object_mut(door).unwrap().triggers.push(Trigger::unconditional(
+            EventKind::Click,
+            vec![Action::GoTo("market".into())],
+        ));
+    }
+
+    {
+        let s = g.scenario_mut(market).unwrap();
+        s.description = "A market stall selling computer parts.".into();
+        let fan = s
+            .add_object(
+                "fan",
+                ObjectKind::Item {
+                    asset: "fan".into(),
+                    description: "A replacement cooling fan.".into(),
+                    takeable: true,
+                },
+                Rect::new(10, 10, 10, 8),
+            )
+            .unwrap();
+        let obj = s.object_mut(fan).unwrap();
+        // Once taken the stall is empty.
+        obj.visible_when = Some(vgbl_script::parse_expr("!has(\"fan\")").unwrap());
+        obj.triggers.push(Trigger::unconditional(
+            EventKind::Drag,
+            vec![Action::ShowText("You pick up the fan.".into())],
+        ));
+
+        let info = s
+            .add_object(
+                "spec_sheet",
+                ObjectKind::Button { label: "Fan specs".into() },
+                Rect::new(26, 10, 8, 6),
+            )
+            .unwrap();
+        s.object_mut(info).unwrap().triggers.push(Trigger::unconditional(
+            EventKind::Click,
+            vec![Action::OpenUrl("https://example.edu/cooling-fans".into())],
+        ));
+
+        let door = s
+            .add_object(
+                "to_classroom",
+                ObjectKind::Button { label: "Back to class".into() },
+                Rect::new(40, 2, 8, 8),
+            )
+            .unwrap();
+        s.object_mut(door).unwrap().triggers.push(Trigger::unconditional(
+            EventKind::Click,
+            vec![Action::GoTo("classroom".into())],
+        ));
+    }
+
+    g
+}
+
+/// A tiny two-scenario loop used by micro-tests: `a` (button to `b`) and
+/// `b` (button back to `a`, plus an end button).
+pub fn two_room_loop() -> SceneGraph {
+    let mut g = SceneGraph::new();
+    let a = g.add_scenario("a", SegmentId(0)).unwrap();
+    let b = g.add_scenario("b", SegmentId(1)).unwrap();
+    {
+        let s = g.scenario_mut(a).unwrap();
+        let btn = s
+            .add_object("to_b", ObjectKind::Button { label: "b".into() }, Rect::new(0, 0, 8, 8))
+            .unwrap();
+        s.object_mut(btn).unwrap().triggers.push(Trigger::unconditional(
+            EventKind::Click,
+            vec![Action::GoTo("b".into())],
+        ));
+    }
+    {
+        let s = g.scenario_mut(b).unwrap();
+        let btn = s
+            .add_object("to_a", ObjectKind::Button { label: "a".into() }, Rect::new(0, 0, 8, 8))
+            .unwrap();
+        s.object_mut(btn).unwrap().triggers.push(Trigger::unconditional(
+            EventKind::Click,
+            vec![Action::GoTo("a".into())],
+        ));
+        let end = s
+            .add_object("finish", ObjectKind::Button { label: "end".into() }, Rect::new(20, 0, 8, 8))
+            .unwrap();
+        s.object_mut(end).unwrap().triggers.push(Trigger::unconditional(
+            EventKind::Click,
+            vec![Action::End("done".into())],
+        ));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgbl_scene::validate::validate;
+
+    #[test]
+    fn fixture_games_validate_playable() {
+        let report = validate(&fix_the_computer(), Some(FRAME));
+        assert!(report.is_playable(), "errors: {:?}", report.issues);
+        let report = validate(&two_room_loop(), Some(FRAME));
+        assert!(report.is_playable(), "errors: {:?}", report.issues);
+    }
+
+    #[test]
+    fn fix_the_computer_shape() {
+        let g = fix_the_computer();
+        assert_eq!(g.len(), 2);
+        assert!(g.npc("teacher").is_some());
+        assert_eq!(g.assets().len(), 4);
+        assert_eq!(g.scenario_by_name("classroom").unwrap().objects().len(), 3);
+        assert_eq!(g.scenario_by_name("market").unwrap().objects().len(), 3);
+    }
+}

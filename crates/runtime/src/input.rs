@@ -1,0 +1,103 @@
+//! Player input.
+//!
+//! §3.1: "mouse and keyboard are responsible for delivering users'
+//! interactions … Players can examine and move objects in a scenario by
+//! clicking or holding their mouse keys." The engine translates these raw
+//! device events into the scene model's [`vgbl_script::EventKind`]s via
+//! hit-testing.
+
+use vgbl_scene::Point;
+
+/// A raw input event from the player's devices (or a bot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputEvent {
+    /// A left-click at frame coordinates — examine the object there, or
+    /// walk the avatar there if the click hits nothing.
+    Click(Point),
+    /// A press-drag-release from one point to another — dragging an item
+    /// into the inventory window collects it.
+    Drag {
+        /// Where the drag started (must hit an object).
+        from: Point,
+        /// Where the drag ended.
+        to: Point,
+    },
+    /// Using an inventory item on a point of the scene ("use them in an
+    /// adequate scene to trigger events", §3.1).
+    ApplyItem {
+        /// The inventory item's name.
+        item: String,
+        /// Where it is applied.
+        at: Point,
+    },
+    /// A key press (with an object in focus when one is under the avatar).
+    Key(char),
+    /// Picking a response in an active NPC conversation (index into the
+    /// last [`crate::feedback::Feedback::DialogueChoices`]).
+    Choose(usize),
+    /// Wall-clock advance of `ms` milliseconds (drives timer triggers and
+    /// the playback clock).
+    Tick(u64),
+}
+
+impl InputEvent {
+    /// Convenience constructor for clicks.
+    pub fn click(x: i32, y: i32) -> InputEvent {
+        InputEvent::Click(Point::new(x, y))
+    }
+
+    /// Convenience constructor for drags.
+    pub fn drag(fx: i32, fy: i32, tx: i32, ty: i32) -> InputEvent {
+        InputEvent::Drag { from: Point::new(fx, fy), to: Point::new(tx, ty) }
+    }
+
+    /// Convenience constructor for item application.
+    pub fn apply(item: impl Into<String>, x: i32, y: i32) -> InputEvent {
+        InputEvent::ApplyItem { item: item.into(), at: Point::new(x, y) }
+    }
+
+    /// Short tag for analytics ("click", "drag", "apply", "key", "tick").
+    pub fn tag(&self) -> &'static str {
+        match self {
+            InputEvent::Click(_) => "click",
+            InputEvent::Drag { .. } => "drag",
+            InputEvent::ApplyItem { .. } => "apply",
+            InputEvent::Key(_) => "key",
+            InputEvent::Choose(_) => "choose",
+            InputEvent::Tick(_) => "tick",
+        }
+    }
+
+    /// Whether this event counts as a *decision* for analytics (ticks do
+    /// not — they are just time passing).
+    pub fn is_decision(&self) -> bool {
+        !matches!(self, InputEvent::Tick(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(InputEvent::click(3, 4), InputEvent::Click(Point::new(3, 4)));
+        assert_eq!(
+            InputEvent::drag(1, 2, 3, 4),
+            InputEvent::Drag { from: Point::new(1, 2), to: Point::new(3, 4) }
+        );
+        assert_eq!(
+            InputEvent::apply("ram", 5, 6),
+            InputEvent::ApplyItem { item: "ram".into(), at: Point::new(5, 6) }
+        );
+    }
+
+    #[test]
+    fn tags_and_decisions() {
+        assert_eq!(InputEvent::click(0, 0).tag(), "click");
+        assert_eq!(InputEvent::Tick(16).tag(), "tick");
+        assert!(InputEvent::click(0, 0).is_decision());
+        assert!(InputEvent::Key('e').is_decision());
+        assert!(!InputEvent::Tick(16).is_decision());
+    }
+}

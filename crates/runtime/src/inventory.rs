@@ -1,0 +1,142 @@
+//! The player's backpack and achievement objects.
+//!
+//! §3.1: "the players have a backpack to collect items in game. An
+//! inventory window is used for displaying what items the player owned."
+//! §3.3: reward objects "differ from other interactive ones in scenarios;
+//! they represent the achievements which players have" — so rewards live
+//! in a separate, append-only shelf.
+
+use std::collections::BTreeMap;
+
+/// The backpack: counted items plus the achievement shelf.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Inventory {
+    items: BTreeMap<String, u32>,
+    rewards: Vec<String>,
+}
+
+impl Inventory {
+    /// An empty backpack.
+    pub fn new() -> Inventory {
+        Inventory::default()
+    }
+
+    /// Adds one unit of `item`.
+    pub fn add(&mut self, item: impl Into<String>) {
+        *self.items.entry(item.into()).or_insert(0) += 1;
+    }
+
+    /// Removes one unit of `item`; returns whether a unit was present.
+    pub fn remove(&mut self, item: &str) -> bool {
+        match self.items.get_mut(item) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                true
+            }
+            Some(_) => {
+                self.items.remove(item);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether at least one unit of `item` is held.
+    pub fn has(&self, item: &str) -> bool {
+        self.items.contains_key(item)
+    }
+
+    /// Units of `item` held.
+    pub fn count(&self, item: &str) -> u32 {
+        self.items.get(item).copied().unwrap_or(0)
+    }
+
+    /// Item names in display (alphabetical) order, as the inventory
+    /// window shows them.
+    pub fn items(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.items.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Total number of distinct item names.
+    pub fn distinct_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Total units across all items.
+    pub fn total_units(&self) -> u32 {
+        self.items.values().sum()
+    }
+
+    /// Grants a reward object; duplicates are ignored (an achievement is
+    /// earned once).
+    pub fn award(&mut self, reward: impl Into<String>) -> bool {
+        let reward = reward.into();
+        if self.rewards.contains(&reward) {
+            false
+        } else {
+            self.rewards.push(reward);
+            true
+        }
+    }
+
+    /// Whether the reward has been earned.
+    pub fn has_reward(&self, reward: &str) -> bool {
+        self.rewards.iter().any(|r| r == reward)
+    }
+
+    /// Rewards in the order they were earned.
+    pub fn rewards(&self) -> &[String] {
+        &self.rewards
+    }
+
+    /// True when both shelves are empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty() && self.rewards.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_counts() {
+        let mut inv = Inventory::new();
+        assert!(inv.is_empty());
+        inv.add("coin");
+        inv.add("coin");
+        inv.add("screwdriver");
+        assert_eq!(inv.count("coin"), 2);
+        assert!(inv.has("screwdriver"));
+        assert_eq!(inv.distinct_items(), 2);
+        assert_eq!(inv.total_units(), 3);
+        assert!(inv.remove("coin"));
+        assert_eq!(inv.count("coin"), 1);
+        assert!(inv.remove("coin"));
+        assert!(!inv.has("coin"));
+        assert!(!inv.remove("coin"));
+        assert_eq!(inv.count("ghost"), 0);
+    }
+
+    #[test]
+    fn items_iterate_alphabetically() {
+        let mut inv = Inventory::new();
+        inv.add("zeta");
+        inv.add("alpha");
+        inv.add("alpha");
+        let listed: Vec<(&str, u32)> = inv.items().collect();
+        assert_eq!(listed, vec![("alpha", 2), ("zeta", 1)]);
+    }
+
+    #[test]
+    fn rewards_are_once_only_and_ordered() {
+        let mut inv = Inventory::new();
+        assert!(inv.award("fixer"));
+        assert!(inv.award("explorer"));
+        assert!(!inv.award("fixer"));
+        assert_eq!(inv.rewards(), &["fixer".to_string(), "explorer".to_string()]);
+        assert!(inv.has_reward("explorer"));
+        assert!(!inv.has_reward("scholar"));
+        assert!(!inv.is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! # vgbl-runtime — the VGBL gaming platform
+//!
+//! The paper's "runtime environment … an augmented video player with the
+//! interaction functionalities" (§4.3). Players examine and drag objects,
+//! collect items into a backpack, talk to NPCs, earn rewards, and switch
+//! between video scenarios; the platform records everything a learning
+//! analyst needs.
+//!
+//! * [`state`] — flags, score, visit history, and the script [`vgbl_script::Env`]
+//!   binding (`has`, `flag`, `visited`, …).
+//! * [`inventory`] — the backpack and the achievement objects of §3.3.
+//! * [`input`] — mouse/keyboard input events ("mouse and keyboard are
+//!   responsible for delivering users' interactions", §3.1).
+//! * [`feedback`] — everything the platform presents back to the player.
+//! * [`engine`] — [`engine::GameSession`], the interaction loop:
+//!   hit-testing, trigger dispatch, action execution, timers.
+//! * [`playback`] — video playback over encoded segments with a GOP-aware
+//!   frame cache.
+//! * [`render`] — Figure 2 reproduction: frame compositing with mounted
+//!   objects plus the deterministic ASCII UI render.
+//! * [`save`] — save games (text format, versioned).
+//! * [`analytics`] — session logs and learning reports (§3.2 knowledge
+//!   delivery, measured).
+//! * [`bot`] — simulated players: scripted, random and goal-seeking.
+//! * [`baseline`] — the linear DVD-menu baseline for EXP-4.
+//! * [`device`] — input-device mappings (§2's remote control: focus
+//!   ring + OK/TAKE/digit buttons, so the game is playable without a
+//!   pointer).
+//! * [`server`] — a parallel multi-session host (EXP-8).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analytics;
+pub mod baseline;
+pub mod bot;
+pub mod device;
+pub mod engine;
+pub mod error;
+pub mod feedback;
+pub mod fixtures;
+pub mod input;
+pub mod inventory;
+pub mod playback;
+pub mod render;
+pub mod save;
+pub mod server;
+pub mod state;
+
+pub use analytics::{LearningReport, LogEvent, SessionLog};
+pub use bot::{Bot, ExplorerBot, GuidedBot, RandomBot};
+pub use device::{RemoteButton, RemoteControl};
+pub use engine::{GameSession, SessionConfig};
+pub use error::RuntimeError;
+pub use feedback::Feedback;
+pub use input::InputEvent;
+pub use inventory::Inventory;
+pub use save::SaveGame;
+pub use state::GameState;
+
+/// Result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,0 +1,291 @@
+//! Video playback over encoded segments.
+//!
+//! §4.3: "The gaming platform is an augmented video player." This module
+//! is the *player* part: it holds the project's encoded video and segment
+//! table, tracks which segment a scenario is showing, loops the segment
+//! while the player explores it, and switches segments on scenario
+//! changes (a seek, measured by EXP-3). Decoded GOPs are cached so a
+//! looping segment does not re-decode every frame.
+
+use std::collections::HashMap;
+
+use vgbl_media::codec::{Decoder, EncodedVideo};
+use vgbl_media::{Frame, MediaError, Segment, SegmentId, SegmentTable};
+
+use crate::Result;
+
+/// Accumulated playback-cost counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlaybackStats {
+    /// Frames served to the UI.
+    pub frames_served: usize,
+    /// Frames actually decoded (cache misses, GOP walks included).
+    pub frames_decoded: usize,
+    /// Segment switches performed.
+    pub switches: usize,
+    /// GOPs currently resident in the cache.
+    pub cached_gops: usize,
+}
+
+/// The segment-looping video player.
+#[derive(Debug)]
+pub struct PlaybackController {
+    video: EncodedVideo,
+    segments: SegmentTable,
+    decoder: Decoder,
+    current: SegmentId,
+    /// Position within the current segment, in frames.
+    cursor: usize,
+    /// Microseconds of accumulated time not yet worth a whole frame.
+    residual_us: u64,
+    /// Decoded GOP cache: keyframe index → frames of that GOP.
+    cache: HashMap<usize, Vec<Frame>>,
+    /// Cache capacity in GOPs (bounded; segments are small).
+    cache_gops: usize,
+    stats: PlaybackStats,
+}
+
+impl PlaybackController {
+    /// Creates a player positioned at the start of `initial`.
+    ///
+    /// # Errors
+    /// Fails when the segment table does not match the video length or
+    /// `initial` is not in the table.
+    pub fn new(
+        video: EncodedVideo,
+        segments: SegmentTable,
+        initial: SegmentId,
+    ) -> Result<PlaybackController> {
+        if segments.frame_count() != video.len() {
+            return Err(MediaError::InvalidSegment(format!(
+                "segment table covers {} frames but video has {}",
+                segments.frame_count(),
+                video.len()
+            ))
+            .into());
+        }
+        segments
+            .get(initial)
+            .ok_or_else(|| MediaError::InvalidSegment(format!("unknown segment {initial}")))?;
+        Ok(PlaybackController {
+            video,
+            segments,
+            decoder: Decoder::default(),
+            current: initial,
+            cursor: 0,
+            residual_us: 0,
+            cache: HashMap::new(),
+            cache_gops: 8,
+            stats: PlaybackStats::default(),
+        })
+    }
+
+    /// The segment currently playing.
+    pub fn current_segment(&self) -> &Segment {
+        self.segments.get(self.current).expect("current id stays valid")
+    }
+
+    /// Playback-cost counters so far.
+    pub fn stats(&self) -> PlaybackStats {
+        let mut s = self.stats;
+        s.cached_gops = self.cache.len();
+        s
+    }
+
+    /// The absolute source-frame index currently displayed.
+    pub fn absolute_frame(&self) -> usize {
+        let seg = self.current_segment();
+        seg.start + self.cursor
+    }
+
+    /// Switches to another segment (a scenario change), rewinding to its
+    /// first frame. Returns the number of frames decoded to show it.
+    pub fn switch_segment(&mut self, id: SegmentId) -> Result<usize> {
+        self.segments
+            .get(id)
+            .ok_or_else(|| MediaError::InvalidSegment(format!("unknown segment {id}")))?;
+        self.current = id;
+        self.cursor = 0;
+        self.residual_us = 0;
+        self.stats.switches += 1;
+        let before = self.stats.frames_decoded;
+        self.current_frame()?;
+        Ok(self.stats.frames_decoded - before)
+    }
+
+    /// Advances playback by `ms` of wall time, looping within the current
+    /// segment. Returns how many frames the cursor moved.
+    pub fn advance_ms(&mut self, ms: u64) -> usize {
+        let frame_us = self
+            .video
+            .rate
+            .frame_duration()
+            .as_micros()
+            .max(1);
+        let total_us = self.residual_us + ms * 1000;
+        let steps = (total_us / frame_us) as usize;
+        self.residual_us = total_us % frame_us;
+        let len = self.current_segment().len().max(1);
+        self.cursor = (self.cursor + steps) % len;
+        steps
+    }
+
+    /// Decodes (or serves from cache) the frame under the cursor.
+    pub fn current_frame(&mut self) -> Result<Frame> {
+        let abs = self.absolute_frame();
+        let key = self.video.keyframe_before(abs)?;
+        if !self.cache.contains_key(&key) {
+            // Decode the whole GOP once; subsequent frames are cache hits.
+            let end = self
+                .video
+                .keyframes()
+                .into_iter()
+                .find(|&k| k > key)
+                .unwrap_or(self.video.len());
+            let frames = self.decode_gop(key, end)?;
+            self.stats.frames_decoded += frames.len();
+            if self.cache.len() >= self.cache_gops {
+                // Evict an arbitrary (oldest-inserted not tracked) entry;
+                // segments are localised so any eviction works.
+                if let Some(&evict) = self.cache.keys().find(|&&k| k != key) {
+                    self.cache.remove(&evict);
+                }
+            }
+            self.cache.insert(key, frames);
+        }
+        self.stats.frames_served += 1;
+        let gop = &self.cache[&key];
+        Ok(gop[abs - key].clone())
+    }
+
+    /// Decodes frames `[key, end)` sequentially (one GOP walk). `key`
+    /// must be a keyframe, so the sliced sub-stream is self-contained.
+    fn decode_gop(&self, key: usize, end: usize) -> Result<Vec<Frame>> {
+        let mut frames = Vec::with_capacity(end - key);
+        let sub = EncodedVideo {
+            width: self.video.width,
+            height: self.video.height,
+            rate: self.video.rate,
+            quality: self.video.quality,
+            gop: self.video.gop,
+            frames: self.video.frames[key..end].to_vec(),
+        };
+        let decoded = self.decoder.decode_all(&sub)?;
+        frames.extend(decoded.frames);
+        Ok(frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgbl_media::codec::{EncodeConfig, Encoder};
+    use vgbl_media::color::Rgb;
+    use vgbl_media::synth::{FootageSpec, ShotSpec};
+    use vgbl_media::timeline::FrameRate;
+
+    /// 3 segments of 10 frames each (30 frames total), GOP 5.
+    fn player() -> PlaybackController {
+        let footage = FootageSpec {
+            width: 32,
+            height: 24,
+            rate: FrameRate::FPS30,
+            shots: vec![
+                ShotSpec::plain(10, Rgb::new(200, 40, 40)),
+                ShotSpec::plain(10, Rgb::new(40, 200, 40)),
+                ShotSpec::plain(10, Rgb::new(40, 40, 200)),
+            ],
+            noise_seed: 9,
+        }
+        .render()
+        .unwrap();
+        let video = Encoder::new(EncodeConfig { gop: 5, ..Default::default() })
+            .encode(&footage.frames, footage.rate)
+            .unwrap();
+        let table = SegmentTable::from_cuts(30, &[10, 20]).unwrap();
+        PlaybackController::new(video, table, SegmentId(0)).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let mut p = player();
+        assert_eq!(p.current_segment().id, SegmentId(0));
+        assert_eq!(p.absolute_frame(), 0);
+        assert!(p.current_frame().is_ok());
+        // Mismatched table rejected.
+        let video2 = p.video.clone();
+        let bad_table = SegmentTable::from_cuts(29, &[10]).unwrap();
+        assert!(PlaybackController::new(video2, bad_table, SegmentId(0)).is_err());
+    }
+
+    #[test]
+    fn advance_loops_within_segment() {
+        let mut p = player();
+        // 30fps → one frame every 33.333 ms. 100 ms ≈ 3 frames.
+        let moved = p.advance_ms(100);
+        assert_eq!(moved, 3);
+        assert_eq!(p.absolute_frame(), 3);
+        // 400 ms more ≈ 12 frames → wraps inside the 10-frame segment.
+        p.advance_ms(400);
+        assert!(p.absolute_frame() < 10);
+        // Never leaves the segment.
+        for _ in 0..50 {
+            p.advance_ms(77);
+            assert!(p.current_segment().contains(p.absolute_frame()));
+        }
+    }
+
+    #[test]
+    fn residual_time_accumulates() {
+        let mut p = player();
+        // 20 ms < one frame: no step, but residual carries.
+        assert_eq!(p.advance_ms(20), 0);
+        assert_eq!(p.advance_ms(20), 1); // 40 ms total → 1 frame
+    }
+
+    #[test]
+    fn switch_segment_seeks_and_counts() {
+        let mut p = player();
+        let decoded = p.switch_segment(SegmentId(2)).unwrap();
+        // Segment 2 starts at frame 20, which is a keyframe (GOP 5): one
+        // GOP decode of 5 frames.
+        assert_eq!(decoded, 5);
+        assert_eq!(p.absolute_frame(), 20);
+        let f = p.current_frame().unwrap();
+        // Blue-ish shot.
+        let c = f.get(1, 1).unwrap();
+        assert!(c.b > c.r && c.b > c.g);
+        assert!(p.switch_segment(SegmentId(9)).is_err());
+        assert_eq!(p.stats().switches, 1);
+    }
+
+    #[test]
+    fn cache_avoids_redecoding_in_loops() {
+        let mut p = player();
+        p.current_frame().unwrap();
+        let decoded_after_first = p.stats().frames_decoded;
+        // Loop through the same segment repeatedly.
+        for _ in 0..30 {
+            p.advance_ms(33);
+            p.current_frame().unwrap();
+        }
+        let decoded_after_loop = p.stats().frames_decoded;
+        // The 10-frame segment spans 2 GOPs (10 frames); both decode once.
+        assert!(decoded_after_loop <= decoded_after_first + 10);
+        assert!(p.stats().frames_served >= 30);
+    }
+
+    #[test]
+    fn frames_match_direct_decode() {
+        let mut p = player();
+        let direct = Decoder::default().decode_all(&p.video).unwrap();
+        for target in [0usize, 3, 7] {
+            p.cursor = target;
+            let f = p.current_frame().unwrap();
+            assert_eq!(f, direct.frames[target], "frame {target}");
+        }
+        p.switch_segment(SegmentId(1)).unwrap();
+        let f = p.current_frame().unwrap();
+        assert_eq!(f, direct.frames[10]);
+    }
+}

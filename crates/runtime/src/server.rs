@@ -1,0 +1,184 @@
+//! Parallel multi-session hosting (EXP-8).
+//!
+//! The paper situates the platform in a distance-learning deployment —
+//! many students playing concurrently against shared content. Because
+//! [`vgbl_scene::SceneGraph`] is immutable at play time, sessions share
+//! it through an `Arc` and scale embarrassingly: the server fans session
+//! jobs out to a fixed worker pool over crossbeam channels and aggregates
+//! the per-session analytics into one [`LearningReport`].
+
+use std::sync::Arc;
+
+use crossbeam::channel;
+use vgbl_scene::SceneGraph;
+
+use crate::analytics::LearningReport;
+use crate::bot::{run_session, Bot, BotRun};
+use crate::engine::SessionConfig;
+use crate::Result;
+
+/// What the server runs per session: a factory producing a fresh bot for
+/// session `i`. Must be `Sync` — workers call it concurrently.
+pub type BotFactory = dyn Fn(usize) -> Box<dyn Bot> + Sync;
+
+/// Aggregated outcome of a server run.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Sessions completed (all of them — failures abort the run).
+    pub sessions: usize,
+    /// The cohort's learning metrics.
+    pub learning: LearningReport,
+    /// Total decisions submitted across all sessions.
+    pub total_steps: usize,
+}
+
+/// Runs `n_sessions` bot sessions over `workers` OS threads.
+///
+/// Deterministic *per session*: session `i` always plays the same game
+/// (factories receive the session index, so seeded bots reproduce runs
+/// regardless of which worker executes them).
+pub fn run_cohort(
+    graph: Arc<SceneGraph>,
+    config: SessionConfig,
+    n_sessions: usize,
+    workers: usize,
+    bot_factory: &BotFactory,
+    max_steps: usize,
+    tick_ms: u64,
+) -> Result<ServerReport> {
+    if n_sessions == 0 {
+        return Ok(ServerReport {
+            sessions: 0,
+            learning: LearningReport::from_sessions(std::iter::empty()),
+            total_steps: 0,
+        });
+    }
+    let workers = workers.max(1).min(n_sessions);
+    let (job_tx, job_rx) = channel::unbounded::<usize>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, Result<BotRun>)>();
+    for i in 0..n_sessions {
+        job_tx.send(i).expect("queue open");
+    }
+    drop(job_tx);
+
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let graph = graph.clone();
+            let config = config.clone();
+            s.spawn(move |_| {
+                for i in job_rx.iter() {
+                    let mut bot = bot_factory(i);
+                    let run = run_session(graph.clone(), config.clone(), &mut *bot, max_steps, tick_ms);
+                    if res_tx.send((i, run)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    drop(res_tx);
+
+    let mut runs: Vec<(usize, BotRun)> = Vec::with_capacity(n_sessions);
+    for (i, run) in res_rx.iter() {
+        runs.push((i, run?));
+    }
+    // Deterministic aggregation order.
+    runs.sort_by_key(|(i, _)| *i);
+
+    let total_steps = runs.iter().map(|(_, r)| r.steps).sum();
+    let learning =
+        LearningReport::from_sessions(runs.iter().map(|(_, r)| (&r.log, r.state.score)));
+    Ok(ServerReport { sessions: runs.len(), learning, total_steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bot::{GuidedBot, RandomBot};
+    use crate::fixtures::{fix_the_computer, FRAME};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config() -> SessionConfig {
+        SessionConfig::for_frame(FRAME.0, FRAME.1)
+    }
+
+    #[test]
+    fn cohort_of_guided_bots_all_complete() {
+        let report = run_cohort(
+            Arc::new(fix_the_computer()),
+            config(),
+            16,
+            4,
+            &|_| Box::new(GuidedBot::new()),
+            100,
+            50,
+        )
+        .unwrap();
+        assert_eq!(report.sessions, 16);
+        assert_eq!(report.learning.completed, 16);
+        assert_eq!(report.learning.completion_rate(), 1.0);
+        assert!(report.total_steps > 0);
+    }
+
+    #[test]
+    fn results_are_deterministic_across_worker_counts() {
+        let run = |workers: usize| {
+            run_cohort(
+                Arc::new(fix_the_computer()),
+                config(),
+                12,
+                workers,
+                &|i| Box::new(RandomBot::new(StdRng::seed_from_u64(i as u64))),
+                80,
+                50,
+            )
+            .unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.learning, b.learning);
+        assert_eq!(a.total_steps, b.total_steps);
+    }
+
+    #[test]
+    fn empty_cohort_is_fine() {
+        let report = run_cohort(
+            Arc::new(fix_the_computer()),
+            config(),
+            0,
+            4,
+            &|_| Box::new(GuidedBot::new()),
+            10,
+            0,
+        )
+        .unwrap();
+        assert_eq!(report.sessions, 0);
+    }
+
+    #[test]
+    fn mixed_cohort_reports_blended_metrics() {
+        // Half guided, half random: completion rate sits strictly between.
+        let report = run_cohort(
+            Arc::new(fix_the_computer()),
+            config(),
+            10,
+            2,
+            &|i| {
+                if i % 2 == 0 {
+                    Box::new(GuidedBot::new())
+                } else {
+                    Box::new(RandomBot::new(StdRng::seed_from_u64(i as u64)))
+                }
+            },
+            60,
+            50,
+        )
+        .unwrap();
+        assert!(report.learning.completion_rate() >= 0.5);
+        assert!(report.learning.avg_decisions > 0.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Game state and its script-environment binding.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vgbl_script::env::expect_arity;
+use vgbl_script::{Env, ScriptError, Value};
+
+use crate::inventory::Inventory;
+
+/// Mutable per-session game state (everything outside the backpack).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GameState {
+    /// Named boolean flags set by `flag … on|off` actions.
+    pub flags: BTreeMap<String, bool>,
+    /// The score accumulated through `score` actions (§3.3 bonuses).
+    pub score: i64,
+    /// Names of scenarios the player has entered at least once.
+    pub visited: BTreeSet<String>,
+    /// Names of objects the player has examined (clicked).
+    pub examined: BTreeSet<String>,
+    /// The scenario the player is currently in.
+    pub current_scenario: String,
+    /// Milliseconds since the current scenario was entered.
+    pub scenario_clock_ms: u64,
+    /// Total session play time in milliseconds.
+    pub total_clock_ms: u64,
+    /// `Some(outcome)` once an `end` action ran.
+    pub ended: Option<String>,
+    /// Avatar position on the frame ("users can manipulate the avatar in
+    /// a game scenario", §4.3).
+    pub avatar: (i32, i32),
+}
+
+impl GameState {
+    /// Fresh state, positioned at `start` scenario.
+    pub fn new(start: impl Into<String>) -> GameState {
+        let start = start.into();
+        let mut visited = BTreeSet::new();
+        visited.insert(start.clone());
+        GameState { current_scenario: start, visited, ..GameState::default() }
+    }
+
+    /// Reads a flag; unset flags read as `false`.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.get(name).copied().unwrap_or(false)
+    }
+
+    /// Sets a flag.
+    pub fn set_flag(&mut self, name: impl Into<String>, on: bool) {
+        self.flags.insert(name.into(), on);
+    }
+
+    /// Whether the game is over.
+    pub fn is_over(&self) -> bool {
+        self.ended.is_some()
+    }
+}
+
+/// The [`Env`] the runtime exposes to trigger conditions.
+///
+/// Variables: `score` (int).
+/// Functions (all arity 1, string argument, returning bool unless noted):
+/// `has(item)`, `count(item) -> int`, `flag(name)`, `visited(scenario)`,
+/// `examined(object)`, `rewarded(name)`.
+pub struct GameEnv<'a> {
+    /// The session state.
+    pub state: &'a GameState,
+    /// The backpack.
+    pub inventory: &'a Inventory,
+}
+
+impl Env for GameEnv<'_> {
+    fn get_var(&self, name: &str) -> Option<Value> {
+        match name {
+            "score" => Some(Value::Int(self.state.score)),
+            _ => None,
+        }
+    }
+
+    fn call(&self, name: &str, args: &[Value]) -> vgbl_script::Result<Value> {
+        match name {
+            "has" => {
+                expect_arity(name, args, 1)?;
+                Ok(Value::Bool(self.inventory.has(args[0].as_str()?)))
+            }
+            "count" => {
+                expect_arity(name, args, 1)?;
+                Ok(Value::Int(self.inventory.count(args[0].as_str()?) as i64))
+            }
+            "flag" => {
+                expect_arity(name, args, 1)?;
+                Ok(Value::Bool(self.state.flag(args[0].as_str()?)))
+            }
+            "visited" => {
+                expect_arity(name, args, 1)?;
+                Ok(Value::Bool(self.state.visited.contains(args[0].as_str()?)))
+            }
+            "examined" => {
+                expect_arity(name, args, 1)?;
+                Ok(Value::Bool(self.state.examined.contains(args[0].as_str()?)))
+            }
+            "rewarded" => {
+                expect_arity(name, args, 1)?;
+                Ok(Value::Bool(self.inventory.has_reward(args[0].as_str()?)))
+            }
+            other => Err(ScriptError::UnknownFunction(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgbl_script::eval_str;
+
+    fn setup() -> (GameState, Inventory) {
+        let mut state = GameState::new("classroom");
+        state.score = 7;
+        state.set_flag("fixed", true);
+        state.examined.insert("computer".into());
+        let mut inv = Inventory::new();
+        inv.add("ram");
+        inv.add("ram");
+        inv.award("medic");
+        (state, inv)
+    }
+
+    #[test]
+    fn new_state_visits_start() {
+        let s = GameState::new("intro");
+        assert_eq!(s.current_scenario, "intro");
+        assert!(s.visited.contains("intro"));
+        assert!(!s.is_over());
+        assert_eq!(s.score, 0);
+    }
+
+    #[test]
+    fn flags_default_false() {
+        let mut s = GameState::new("x");
+        assert!(!s.flag("nope"));
+        s.set_flag("a", true);
+        assert!(s.flag("a"));
+        s.set_flag("a", false);
+        assert!(!s.flag("a"));
+    }
+
+    #[test]
+    fn env_binds_everything() {
+        let (state, inventory) = setup();
+        let env = GameEnv { state: &state, inventory: &inventory };
+        let check = |src: &str, expected: bool| {
+            assert_eq!(
+                eval_str(src, &env).unwrap(),
+                Value::Bool(expected),
+                "expr: {src}"
+            );
+        };
+        check("score == 7", true);
+        check("has(\"ram\")", true);
+        check("has(\"rom\")", false);
+        check("count(\"ram\") == 2", true);
+        check("flag(\"fixed\")", true);
+        check("flag(\"other\")", false);
+        check("visited(\"classroom\")", true);
+        check("visited(\"market\")", false);
+        check("examined(\"computer\")", true);
+        check("examined(\"poster\")", false);
+        check("rewarded(\"medic\")", true);
+        check("rewarded(\"hero\")", false);
+    }
+
+    #[test]
+    fn env_rejects_unknowns_and_bad_arity() {
+        let (state, inventory) = setup();
+        let env = GameEnv { state: &state, inventory: &inventory };
+        assert!(matches!(
+            eval_str("teleport()", &env),
+            Err(ScriptError::UnknownFunction(_))
+        ));
+        assert!(matches!(
+            eval_str("has()", &env),
+            Err(ScriptError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            eval_str("has(3)", &env),
+            Err(ScriptError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            eval_str("lives > 0", &env),
+            Err(ScriptError::UnknownVariable(_))
+        ));
+    }
+
+    #[test]
+    fn complex_condition_like_the_paper_example() {
+        // "players install components into the computer": the fix needs
+        // the part in hand and the fault diagnosed.
+        let (state, inventory) = setup();
+        let env = GameEnv { state: &state, inventory: &inventory };
+        let v = eval_str(
+            "has(\"ram\") && examined(\"computer\") && !flag(\"already_done\")",
+            &env,
+        )
+        .unwrap();
+        assert_eq!(v, Value::Bool(true));
+    }
+}

@@ -1,0 +1,85 @@
+//! Failure injection: the engine must be total over *arbitrary* input
+//! sequences — no panics, no invariant violations — because real players
+//! (and buggy front-ends) will produce exactly that.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vgbl_runtime::engine::{GameSession, SessionConfig};
+use vgbl_runtime::error::RuntimeError;
+use vgbl_runtime::fixtures::{fix_the_computer, FRAME};
+use vgbl_runtime::input::InputEvent;
+use vgbl_scene::Point;
+
+fn any_input() -> impl Strategy<Value = InputEvent> {
+    prop_oneof![
+        (-100i32..200, -100i32..200).prop_map(|(x, y)| InputEvent::Click(Point::new(x, y))),
+        (-100i32..200, -100i32..200, -100i32..200, -100i32..200)
+            .prop_map(|(a, b, c, d)| InputEvent::drag(a, b, c, d)),
+        ("[a-z]{1,8}", -10i32..80, -10i32..60)
+            .prop_map(|(item, x, y)| InputEvent::apply(item, x, y)),
+        proptest::char::any().prop_map(InputEvent::Key),
+        (0usize..10).prop_map(InputEvent::Choose),
+        (0u64..100_000).prop_map(InputEvent::Tick),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_is_total_over_arbitrary_inputs(
+        inputs in proptest::collection::vec(any_input(), 0..120),
+    ) {
+        let (mut session, _) = GameSession::new(
+            Arc::new(fix_the_computer()),
+            SessionConfig::for_frame(FRAME.0, FRAME.1),
+        )
+        .unwrap();
+        for input in inputs {
+            match session.handle(input) {
+                Ok(feedback) => prop_assert!(!feedback.is_empty()),
+                Err(RuntimeError::GameOver { .. }) => break,
+                Err(other) => prop_assert!(false, "unexpected error: {other}"),
+            }
+            // Invariants that must hold after every input:
+            // the current scenario always resolves,
+            let _ = session.current_scenario();
+            // visited always contains the current scenario,
+            prop_assert!(session
+                .state()
+                .visited
+                .contains(&session.state().current_scenario));
+            // clocks are consistent,
+            prop_assert!(session.state().scenario_clock_ms <= session.state().total_clock_ms);
+            // and dialogue (when open) points at a real node.
+            if let Some(d) = session.dialogue() {
+                prop_assert!(session
+                    .graph()
+                    .npc(&d.npc)
+                    .and_then(|n| n.dialogue.get(d.node))
+                    .is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn save_restore_at_any_point_preserves_state(
+        inputs in proptest::collection::vec(any_input(), 0..40),
+    ) {
+        use vgbl_runtime::save::SaveGame;
+        let graph = Arc::new(fix_the_computer());
+        let config = SessionConfig::for_frame(FRAME.0, FRAME.1);
+        let (mut session, _) = GameSession::new(graph.clone(), config.clone()).unwrap();
+        for input in inputs {
+            if session.handle(input).is_err() {
+                break;
+            }
+        }
+        let save = SaveGame::capture(&graph, session.state(), session.inventory());
+        let loaded = SaveGame::from_text(&save.to_text()).unwrap();
+        loaded.verify(&graph).unwrap();
+        prop_assert_eq!(&loaded.state, session.state());
+        prop_assert_eq!(&loaded.inventory, session.inventory());
+    }
+}

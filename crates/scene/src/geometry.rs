@@ -1,0 +1,191 @@
+//! Integer geometry for object bounds and hit-testing.
+//!
+//! Coordinates follow the video frame: origin top-left, `x` right,
+//! `y` down, in pixels. Rectangles are half-open (`[x, x+w) × [y, y+h)`)
+//! so adjacent bounds never double-claim a pixel.
+
+/// A pixel position on the video frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Point {
+    /// Horizontal coordinate, pixels from the left edge.
+    pub x: i32,
+    /// Vertical coordinate, pixels from the top edge.
+    pub y: i32,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: i32, y: i32) -> Point {
+        Point { x, y }
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the sqrt).
+    pub fn dist_sq(self, other: Point) -> i64 {
+        let dx = (self.x - other.x) as i64;
+        let dy = (self.y - other.y) as i64;
+        dx * dx + dy * dy
+    }
+}
+
+/// An axis-aligned rectangle, half-open on both axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x: i32,
+    /// Top edge.
+    pub y: i32,
+    /// Width in pixels.
+    pub w: u32,
+    /// Height in pixels.
+    pub h: u32,
+}
+
+impl Rect {
+    /// Creates a rectangle from its top-left corner and size.
+    pub const fn new(x: i32, y: i32, w: u32, h: u32) -> Rect {
+        Rect { x, y, w, h }
+    }
+
+    /// Right edge (exclusive).
+    pub fn right(&self) -> i64 {
+        self.x as i64 + self.w as i64
+    }
+
+    /// Bottom edge (exclusive).
+    pub fn bottom(&self) -> i64 {
+        self.y as i64 + self.h as i64
+    }
+
+    /// Whether the rectangle has zero area.
+    pub fn is_empty(&self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+
+    /// Area in pixels.
+    pub fn area(&self) -> u64 {
+        self.w as u64 * self.h as u64
+    }
+
+    /// Whether `p` lies inside (half-open test).
+    pub fn contains(&self, p: Point) -> bool {
+        (p.x as i64) >= self.x as i64
+            && (p.x as i64) < self.right()
+            && (p.y as i64) >= self.y as i64
+            && (p.y as i64) < self.bottom()
+    }
+
+    /// Whether two rectangles share any pixel.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && (self.x as i64) < other.right()
+            && (other.x as i64) < self.right()
+            && (self.y as i64) < other.bottom()
+            && (other.y as i64) < self.bottom()
+    }
+
+    /// The shared region of two rectangles, if any.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let x = self.x.max(other.x);
+        let y = self.y.max(other.y);
+        let r = self.right().min(other.right());
+        let b = self.bottom().min(other.bottom());
+        Some(Rect::new(x, y, (r - x as i64) as u32, (b - y as i64) as u32))
+    }
+
+    /// Centre point (rounded down).
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.x as i64 + self.w as i64 / 2) as i32,
+            (self.y as i64 + self.h as i64 / 2) as i32,
+        )
+    }
+
+    /// Whether this rectangle fits fully within `outer`.
+    pub fn within(&self, outer: &Rect) -> bool {
+        self.x >= outer.x
+            && self.y >= outer.y
+            && self.right() <= outer.right()
+            && self.bottom() <= outer.bottom()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_half_open() {
+        let r = Rect::new(10, 10, 5, 5);
+        assert!(r.contains(Point::new(10, 10)));
+        assert!(r.contains(Point::new(14, 14)));
+        assert!(!r.contains(Point::new(15, 10)));
+        assert!(!r.contains(Point::new(10, 15)));
+        assert!(!r.contains(Point::new(9, 10)));
+    }
+
+    #[test]
+    fn empty_rect_contains_nothing() {
+        let r = Rect::new(0, 0, 0, 5);
+        assert!(!r.contains(Point::new(0, 0)));
+        assert!(r.is_empty());
+        assert_eq!(r.area(), 0);
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 10, 10);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), Some(Rect::new(5, 5, 5, 5)));
+        // Touching edges do not intersect (half-open).
+        let c = Rect::new(10, 0, 5, 10);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&c), None);
+        // Disjoint.
+        let d = Rect::new(100, 100, 2, 2);
+        assert!(!a.intersects(&d));
+        // Empty never intersects.
+        let e = Rect::new(0, 0, 0, 0);
+        assert!(!a.intersects(&e));
+    }
+
+    #[test]
+    fn intersection_is_symmetric() {
+        let a = Rect::new(-5, -5, 10, 10);
+        let b = Rect::new(0, 0, 10, 10);
+        assert_eq!(a.intersection(&b), b.intersection(&a));
+        assert_eq!(a.intersection(&b), Some(Rect::new(0, 0, 5, 5)));
+    }
+
+    #[test]
+    fn center_and_within() {
+        let r = Rect::new(10, 20, 4, 6);
+        assert_eq!(r.center(), Point::new(12, 23));
+        let outer = Rect::new(0, 0, 100, 100);
+        assert!(r.within(&outer));
+        assert!(!outer.within(&r));
+        let edge = Rect::new(96, 94, 4, 6);
+        assert!(edge.within(&outer));
+        let over = Rect::new(97, 94, 4, 6);
+        assert!(!over.within(&outer));
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let r = Rect::new(-10, -10, 5, 5);
+        assert!(r.contains(Point::new(-10, -10)));
+        assert!(r.contains(Point::new(-6, -6)));
+        assert!(!r.contains(Point::new(-5, -5)));
+        assert_eq!(r.right(), -5);
+    }
+
+    #[test]
+    fn point_distance() {
+        assert_eq!(Point::new(0, 0).dist_sq(Point::new(3, 4)), 25);
+        assert_eq!(Point::new(-3, 0).dist_sq(Point::new(0, -4)), 25);
+    }
+}

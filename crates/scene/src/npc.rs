@@ -1,0 +1,256 @@
+//! Non-player characters and their fixed dialogue.
+//!
+//! §3.1: "There are also non player characters to give fixed conversation
+//! to guide players." A [`DialogueTree`] is a set of numbered nodes; each
+//! node is one NPC line plus the player's response options, each leading
+//! to another node (or ending the conversation). Trees may loop (players
+//! can re-ask), but every reference must resolve — checked by
+//! [`DialogueTree::validate`].
+
+use std::collections::BTreeMap;
+
+use crate::{Result, SceneError};
+
+/// One player response option within a dialogue node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DialogueChoice {
+    /// The text the player picks.
+    pub text: String,
+    /// The node the conversation moves to; `None` ends the conversation.
+    pub next: Option<u32>,
+}
+
+/// One NPC line and the player's options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DialogueNode {
+    /// The NPC's spoken line.
+    pub line: String,
+    /// Player responses; empty means the conversation ends after the line.
+    pub choices: Vec<DialogueChoice>,
+}
+
+/// A complete dialogue tree. Node 0 is the entry point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DialogueTree {
+    nodes: BTreeMap<u32, DialogueNode>,
+}
+
+impl DialogueTree {
+    /// An empty tree (NPC says nothing).
+    pub fn new() -> DialogueTree {
+        DialogueTree::default()
+    }
+
+    /// A one-line conversation — the common "fixed conversation" case.
+    pub fn single_line(line: impl Into<String>) -> DialogueTree {
+        let mut t = DialogueTree::new();
+        t.insert(0, DialogueNode { line: line.into(), choices: Vec::new() });
+        t
+    }
+
+    /// Inserts or replaces a node.
+    pub fn insert(&mut self, id: u32, node: DialogueNode) {
+        self.nodes.insert(id, node);
+    }
+
+    /// Gets a node.
+    pub fn get(&self, id: u32) -> Option<&DialogueNode> {
+        self.nodes.get(&id)
+    }
+
+    /// The entry node, if the tree is non-empty.
+    pub fn entry(&self) -> Option<&DialogueNode> {
+        self.get(0)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates `(id, node)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &DialogueNode)> {
+        self.nodes.iter().map(|(id, n)| (*id, n))
+    }
+
+    /// Checks that every `next` reference resolves and that a non-empty
+    /// tree has an entry node 0.
+    pub fn validate(&self, npc_name: &str) -> Result<()> {
+        if self.nodes.is_empty() {
+            return Ok(());
+        }
+        if !self.nodes.contains_key(&0) {
+            return Err(SceneError::DanglingDialogue { npc: npc_name.to_owned(), node: 0 });
+        }
+        for node in self.nodes.values() {
+            for choice in &node.choices {
+                if let Some(next) = choice.next {
+                    if !self.nodes.contains_key(&next) {
+                        return Err(SceneError::DanglingDialogue {
+                            npc: npc_name.to_owned(),
+                            node: next,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Walks a conversation following choice indices, returning the NPC
+    /// lines heard. Stops at a leaf, a conversation end, or after
+    /// `max_steps` (loops are legal in the data).
+    pub fn walk(&self, choice_indices: &[usize], max_steps: usize) -> Vec<&str> {
+        let mut lines = Vec::new();
+        let mut current = match self.entry() {
+            Some(n) => n,
+            None => return lines,
+        };
+        let mut picks = choice_indices.iter();
+        for _ in 0..max_steps {
+            lines.push(current.line.as_str());
+            if current.choices.is_empty() {
+                break;
+            }
+            let pick = picks.next().copied().unwrap_or(0);
+            let choice = match current.choices.get(pick) {
+                Some(c) => c,
+                None => break,
+            };
+            match choice.next.and_then(|id| self.get(id)) {
+                Some(next) => current = next,
+                None => break,
+            }
+        }
+        lines
+    }
+}
+
+/// A named NPC: its display name and dialogue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Npc {
+    /// Unique NPC name in the scene graph.
+    pub name: String,
+    /// The fixed conversation.
+    pub dialogue: DialogueTree,
+}
+
+impl Npc {
+    /// Creates an NPC.
+    pub fn new(name: impl Into<String>, dialogue: DialogueTree) -> Npc {
+        Npc { name: name.into(), dialogue }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quest_tree() -> DialogueTree {
+        let mut t = DialogueTree::new();
+        t.insert(
+            0,
+            DialogueNode {
+                line: "The computer is broken. Can you fix it?".into(),
+                choices: vec![
+                    DialogueChoice { text: "What's wrong with it?".into(), next: Some(1) },
+                    DialogueChoice { text: "I'll take a look.".into(), next: None },
+                ],
+            },
+        );
+        t.insert(
+            1,
+            DialogueNode {
+                line: "It won't boot. Maybe a component failed.".into(),
+                choices: vec![DialogueChoice { text: "Back".into(), next: Some(0) }],
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn validate_accepts_good_trees() {
+        assert!(quest_tree().validate("teacher").is_ok());
+        assert!(DialogueTree::new().validate("silent").is_ok());
+        assert!(DialogueTree::single_line("Hello.").validate("greeter").is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_dangling_refs() {
+        let mut t = quest_tree();
+        t.insert(
+            2,
+            DialogueNode {
+                line: "orphan".into(),
+                choices: vec![DialogueChoice { text: "go".into(), next: Some(99) }],
+            },
+        );
+        assert_eq!(
+            t.validate("teacher"),
+            Err(SceneError::DanglingDialogue { npc: "teacher".into(), node: 99 })
+        );
+    }
+
+    #[test]
+    fn validate_requires_entry_node() {
+        let mut t = DialogueTree::new();
+        t.insert(3, DialogueNode { line: "floating".into(), choices: vec![] });
+        assert_eq!(
+            t.validate("x"),
+            Err(SceneError::DanglingDialogue { npc: "x".into(), node: 0 })
+        );
+    }
+
+    #[test]
+    fn walk_follows_choices() {
+        let t = quest_tree();
+        // Ask, then go back, then accept.
+        let lines = t.walk(&[0, 0, 1], 10);
+        assert_eq!(
+            lines,
+            vec![
+                "The computer is broken. Can you fix it?",
+                "It won't boot. Maybe a component failed.",
+                "The computer is broken. Can you fix it?",
+            ]
+        );
+    }
+
+    #[test]
+    fn walk_ends_at_conversation_end() {
+        let t = quest_tree();
+        let lines = t.walk(&[1], 10);
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn walk_bounded_on_loops() {
+        let t = quest_tree();
+        // Always pick "back"-style loops; max_steps caps it.
+        let lines = t.walk(&[0; 100], 5);
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn walk_handles_empty_and_bad_picks() {
+        assert!(DialogueTree::new().walk(&[0], 5).is_empty());
+        let t = quest_tree();
+        // Out-of-range choice index stops the walk.
+        let lines = t.walk(&[7], 10);
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_ordered() {
+        let t = quest_tree();
+        let ids: Vec<u32> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

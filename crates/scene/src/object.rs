@@ -1,0 +1,207 @@
+//! Interactive objects mounted on video frames.
+//!
+//! §4.2: "Image objects are mounted on a video scenario. … Users can set
+//! the properties and events of objects in video and produce adequate
+//! feedback when users trigger them." An [`InteractiveObject`] carries its
+//! kind (button, image, collectable item, NPC anchor), its bounds on the
+//! frame, an optional visibility condition, and its [`TriggerSet`].
+
+use vgbl_script::ast::Expr;
+use vgbl_script::{Env, EventKind, TriggerSet};
+
+use crate::geometry::{Point, Rect};
+
+/// Identifier of an object within its scenario (positional, assigned by
+/// the scenario editor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// What an interactive object *is*.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectKind {
+    /// A clickable button with a label — Figure 2's "buttons also provide
+    /// players options to switch to other video segments".
+    Button {
+        /// Text on the button face.
+        label: String,
+    },
+    /// A mounted image asset (by name in the [`crate::AssetStore`]).
+    Image {
+        /// Asset name.
+        asset: String,
+    },
+    /// A collectable/examinable item ("players have a backpack to collect
+    /// items in game", §3.1).
+    Item {
+        /// Asset drawn for the item.
+        asset: String,
+        /// Description shown when the player examines it.
+        description: String,
+        /// Whether dragging it to the inventory is allowed.
+        takeable: bool,
+    },
+    /// An anchor for a non-player character (dialogue lives in
+    /// [`crate::npc::Npc`], referenced by name).
+    NpcAnchor {
+        /// Name of the NPC in the scene graph.
+        npc: String,
+    },
+}
+
+impl ObjectKind {
+    /// Short tag used by renders and the `.vgp` format.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ObjectKind::Button { .. } => "button",
+            ObjectKind::Image { .. } => "image",
+            ObjectKind::Item { .. } => "item",
+            ObjectKind::NpcAnchor { .. } => "npc",
+        }
+    }
+}
+
+/// An interactive object mounted on a scenario's video frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteractiveObject {
+    /// Positional id within the scenario.
+    pub id: ObjectId,
+    /// Unique (per scenario) name, used by conditions and analytics.
+    pub name: String,
+    /// What the object is.
+    pub kind: ObjectKind,
+    /// Bounds on the video frame.
+    pub bounds: Rect,
+    /// Stacking order: higher `z` is hit-tested and drawn on top.
+    pub z: i32,
+    /// Optional visibility condition over game state; `None` = always
+    /// visible. Invisible objects neither draw nor receive events.
+    pub visible_when: Option<Expr>,
+    /// The object's event wiring.
+    pub triggers: TriggerSet,
+}
+
+impl InteractiveObject {
+    /// Creates a visible object with no triggers.
+    pub fn new(id: ObjectId, name: impl Into<String>, kind: ObjectKind, bounds: Rect) -> Self {
+        InteractiveObject {
+            id,
+            name: name.into(),
+            kind,
+            bounds,
+            z: 0,
+            visible_when: None,
+            triggers: TriggerSet::new(),
+        }
+    }
+
+    /// Evaluates the visibility condition in `env` (authoring errors in
+    /// the condition propagate).
+    pub fn is_visible(&self, env: &dyn Env) -> vgbl_script::Result<bool> {
+        match &self.visible_when {
+            None => Ok(true),
+            Some(cond) => vgbl_script::eval(cond, env)?.as_condition(),
+        }
+    }
+
+    /// Whether the point hits this object's bounds (visibility not
+    /// considered — callers filter by [`InteractiveObject::is_visible`]).
+    pub fn hit(&self, p: Point) -> bool {
+        self.bounds.contains(p)
+    }
+
+    /// Whether this object has any trigger for `event`
+    /// (used by authoring lints).
+    pub fn listens_for(&self, event: &EventKind) -> bool {
+        self.triggers.triggers().iter().any(|t| t.event == *event)
+    }
+
+    /// Whether this object is a takeable item.
+    pub fn is_takeable(&self) -> bool {
+        matches!(self.kind, ObjectKind::Item { takeable: true, .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgbl_script::{Action, MapEnv, Trigger, Value};
+
+    fn obj() -> InteractiveObject {
+        InteractiveObject::new(
+            ObjectId(0),
+            "umbrella",
+            ObjectKind::Item {
+                asset: "umbrella_img".into(),
+                description: "A red umbrella.".into(),
+                takeable: true,
+            },
+            Rect::new(10, 10, 20, 16),
+        )
+    }
+
+    #[test]
+    fn hit_testing_respects_bounds() {
+        let o = obj();
+        assert!(o.hit(Point::new(10, 10)));
+        assert!(o.hit(Point::new(29, 25)));
+        assert!(!o.hit(Point::new(30, 10)));
+        assert!(!o.hit(Point::new(9, 9)));
+    }
+
+    #[test]
+    fn visibility_defaults_true() {
+        let o = obj();
+        assert!(o.is_visible(&MapEnv::new()).unwrap());
+    }
+
+    #[test]
+    fn visibility_condition_gates() {
+        let mut o = obj();
+        o.visible_when = Some(vgbl_script::parse_expr("flag_found").unwrap());
+        let mut env = MapEnv::new();
+        env.set_var("flag_found", Value::Bool(false));
+        assert!(!o.is_visible(&env).unwrap());
+        env.set_var("flag_found", Value::Bool(true));
+        assert!(o.is_visible(&env).unwrap());
+        // Type errors propagate.
+        env.set_var("flag_found", Value::Int(3));
+        assert!(o.is_visible(&env).is_err());
+    }
+
+    #[test]
+    fn listens_for_checks_trigger_events() {
+        let mut o = obj();
+        assert!(!o.listens_for(&EventKind::Click));
+        o.triggers.push(Trigger::unconditional(
+            EventKind::Click,
+            vec![Action::ShowText("a red umbrella".into())],
+        ));
+        assert!(o.listens_for(&EventKind::Click));
+        assert!(!o.listens_for(&EventKind::Drag));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(obj().is_takeable());
+        let button = InteractiveObject::new(
+            ObjectId(1),
+            "next",
+            ObjectKind::Button { label: "Next".into() },
+            Rect::new(0, 0, 10, 5),
+        );
+        assert!(!button.is_takeable());
+        assert_eq!(button.kind.tag(), "button");
+        assert_eq!(obj().kind.tag(), "item");
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(ObjectId(7).to_string(), "obj7");
+    }
+}

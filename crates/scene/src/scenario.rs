@@ -1,0 +1,313 @@
+//! One scenario: a video segment plus its mounted objects.
+//!
+//! §2.1: "Each scenario is considered as a series of continuous shots with
+//! the same place or characters" — concretely, a [`Scenario`] references
+//! one [`vgbl_media::SegmentId`] of the project's footage and carries the
+//! interactive objects the object editor mounted on it, plus
+//! scenario-level entry triggers (what happens when the player arrives).
+
+use vgbl_media::SegmentId;
+use vgbl_script::{Action, Env, TriggerSet};
+
+use crate::geometry::Point;
+use crate::object::{InteractiveObject, ObjectId, ObjectKind};
+use crate::{Result, SceneError};
+
+/// Identifier of a scenario within its scene graph (positional).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ScenarioId(pub u32);
+
+impl std::fmt::Display for ScenarioId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scn{}", self.0)
+    }
+}
+
+/// A scenario: one segment of video plus interactive content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// This scenario's id within the graph.
+    pub id: ScenarioId,
+    /// Unique name; `goto` actions target scenarios by name.
+    pub name: String,
+    /// The video segment presented while the scenario is active.
+    pub segment: SegmentId,
+    /// Designer-facing description (shown in the authoring tool).
+    pub description: String,
+    /// Scenario-level triggers (`enter`, `timer …`).
+    pub entry_triggers: TriggerSet,
+    objects: Vec<InteractiveObject>,
+}
+
+impl Scenario {
+    /// Creates an empty scenario.
+    pub fn new(id: ScenarioId, name: impl Into<String>, segment: SegmentId) -> Scenario {
+        Scenario {
+            id,
+            name: name.into(),
+            segment,
+            description: String::new(),
+            entry_triggers: TriggerSet::new(),
+            objects: Vec::new(),
+        }
+    }
+
+    /// The mounted objects in authoring order.
+    pub fn objects(&self) -> &[InteractiveObject] {
+        &self.objects
+    }
+
+    /// Mutable iteration over the mounted objects (editor use; callers
+    /// must not change names to duplicates — lookups take the first).
+    pub fn objects_mut(&mut self) -> impl Iterator<Item = &mut InteractiveObject> {
+        self.objects.iter_mut()
+    }
+
+    /// Adds an object, assigning its positional id.
+    ///
+    /// # Errors
+    /// [`SceneError::DuplicateObject`] when the name is taken.
+    pub fn add_object(
+        &mut self,
+        name: impl Into<String>,
+        kind: ObjectKind,
+        bounds: crate::geometry::Rect,
+    ) -> Result<ObjectId> {
+        let name = name.into();
+        if self.objects.iter().any(|o| o.name == name) {
+            return Err(SceneError::DuplicateObject(name));
+        }
+        let id = ObjectId(self.objects.len() as u32);
+        self.objects.push(InteractiveObject::new(id, name, kind, bounds));
+        Ok(id)
+    }
+
+    /// Looks an object up by id.
+    pub fn object(&self, id: ObjectId) -> Option<&InteractiveObject> {
+        self.objects.get(id.0 as usize)
+    }
+
+    /// Mutable object access (for the object editor).
+    pub fn object_mut(&mut self, id: ObjectId) -> Option<&mut InteractiveObject> {
+        self.objects.get_mut(id.0 as usize)
+    }
+
+    /// Looks an object up by name.
+    pub fn object_by_name(&self, name: &str) -> Option<&InteractiveObject> {
+        self.objects.iter().find(|o| o.name == name)
+    }
+
+    /// Mutable lookup by name.
+    pub fn object_by_name_mut(&mut self, name: &str) -> Option<&mut InteractiveObject> {
+        self.objects.iter_mut().find(|o| o.name == name)
+    }
+
+    /// Removes an object by id, renumbering the ids of later objects
+    /// (ids are positional).
+    pub fn remove_object(&mut self, id: ObjectId) -> Result<InteractiveObject> {
+        if (id.0 as usize) >= self.objects.len() {
+            return Err(SceneError::UnknownObject(id.to_string()));
+        }
+        let removed = self.objects.remove(id.0 as usize);
+        for (i, o) in self.objects.iter_mut().enumerate() {
+            o.id = ObjectId(i as u32);
+        }
+        Ok(removed)
+    }
+
+    /// The topmost *visible* object at point `p`: highest `z`, and among
+    /// equal `z` the most recently added — the rule a player's click obeys.
+    ///
+    /// Visibility conditions are evaluated in `env`; evaluation errors
+    /// propagate (an authoring bug must not be silently invisible).
+    pub fn topmost_at(
+        &self,
+        p: Point,
+        env: &dyn Env,
+    ) -> vgbl_script::Result<Option<&InteractiveObject>> {
+        let mut best: Option<&InteractiveObject> = None;
+        for o in &self.objects {
+            if !o.hit(p) || !o.is_visible(env)? {
+                continue;
+            }
+            // Later objects win ties, so `>=` on z.
+            if best.is_none_or(|b| o.z >= b.z) {
+                best = Some(o);
+            }
+        }
+        Ok(best)
+    }
+
+    /// Objects sorted bottom-to-top for drawing (stable on authoring
+    /// order within equal `z`).
+    pub fn draw_order(&self) -> Vec<&InteractiveObject> {
+        let mut refs: Vec<&InteractiveObject> = self.objects.iter().collect();
+        refs.sort_by_key(|o| o.z);
+        refs
+    }
+
+    /// Every `goto` target reachable from this scenario's triggers
+    /// (scenario-level and object-level), with duplicates retained in
+    /// encounter order — the scenario's outgoing edges.
+    pub fn goto_targets(&self) -> Vec<&str> {
+        fn scan<'a>(set: &'a TriggerSet, out: &mut Vec<&'a str>) {
+            for t in set.triggers() {
+                for a in &t.actions {
+                    if let Action::GoTo(target) = a {
+                        out.push(target.as_str());
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        scan(&self.entry_triggers, &mut out);
+        for o in &self.objects {
+            scan(&o.triggers, &mut out);
+        }
+        out
+    }
+
+    /// Whether any trigger in the scenario carries an `end` action.
+    pub fn has_end(&self) -> bool {
+        let check = |set: &TriggerSet| {
+            set.triggers()
+                .iter()
+                .any(|t| t.actions.iter().any(|a| matches!(a, Action::End(_))))
+        };
+        check(&self.entry_triggers) || self.objects.iter().any(|o| check(&o.triggers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+    use vgbl_script::{EventKind, MapEnv, Trigger, Value};
+
+    fn scenario_with_objects() -> Scenario {
+        let mut s = Scenario::new(ScenarioId(0), "classroom", SegmentId(0));
+        s.add_object(
+            "computer",
+            ObjectKind::Item {
+                asset: "pc".into(),
+                description: "An old PC.".into(),
+                takeable: false,
+            },
+            Rect::new(10, 10, 20, 20),
+        )
+        .unwrap();
+        s.add_object(
+            "poster",
+            ObjectKind::Image { asset: "poster".into() },
+            Rect::new(15, 15, 20, 20),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn add_object_assigns_positional_ids_and_rejects_dups() {
+        let mut s = scenario_with_objects();
+        assert_eq!(s.objects()[0].id, ObjectId(0));
+        assert_eq!(s.objects()[1].id, ObjectId(1));
+        assert!(matches!(
+            s.add_object("computer", ObjectKind::Button { label: "x".into() }, Rect::default()),
+            Err(SceneError::DuplicateObject(_))
+        ));
+    }
+
+    #[test]
+    fn lookups_by_id_and_name() {
+        let s = scenario_with_objects();
+        assert_eq!(s.object(ObjectId(0)).unwrap().name, "computer");
+        assert!(s.object(ObjectId(9)).is_none());
+        assert_eq!(s.object_by_name("poster").unwrap().id, ObjectId(1));
+        assert!(s.object_by_name("ghost").is_none());
+    }
+
+    #[test]
+    fn remove_renumbers() {
+        let mut s = scenario_with_objects();
+        s.add_object("third", ObjectKind::Button { label: "b".into() }, Rect::default())
+            .unwrap();
+        let removed = s.remove_object(ObjectId(0)).unwrap();
+        assert_eq!(removed.name, "computer");
+        assert_eq!(s.objects()[0].name, "poster");
+        assert_eq!(s.objects()[0].id, ObjectId(0));
+        assert_eq!(s.objects()[1].name, "third");
+        assert_eq!(s.objects()[1].id, ObjectId(1));
+        assert!(s.remove_object(ObjectId(5)).is_err());
+    }
+
+    #[test]
+    fn topmost_respects_z_and_insertion_order() {
+        let mut s = scenario_with_objects();
+        let env = MapEnv::new();
+        // Overlap region is (15,15)-(30,30); poster added later wins ties.
+        let hit = s.topmost_at(Point::new(20, 20), &env).unwrap().unwrap();
+        assert_eq!(hit.name, "poster");
+        // Raise computer's z above poster's.
+        s.object_by_name_mut("computer").unwrap().z = 5;
+        let hit = s.topmost_at(Point::new(20, 20), &env).unwrap().unwrap();
+        assert_eq!(hit.name, "computer");
+        // Outside everything.
+        assert!(s.topmost_at(Point::new(0, 0), &env).unwrap().is_none());
+        // Non-overlap region hits the only candidate.
+        let hit = s.topmost_at(Point::new(11, 11), &env).unwrap().unwrap();
+        assert_eq!(hit.name, "computer");
+    }
+
+    #[test]
+    fn topmost_skips_invisible() {
+        let mut s = scenario_with_objects();
+        s.object_by_name_mut("poster").unwrap().visible_when =
+            Some(vgbl_script::parse_expr("shown").unwrap());
+        let mut env = MapEnv::new();
+        env.set_var("shown", Value::Bool(false));
+        let hit = s.topmost_at(Point::new(20, 20), &env).unwrap().unwrap();
+        assert_eq!(hit.name, "computer");
+        env.set_var("shown", Value::Bool(true));
+        let hit = s.topmost_at(Point::new(20, 20), &env).unwrap().unwrap();
+        assert_eq!(hit.name, "poster");
+    }
+
+    #[test]
+    fn draw_order_sorts_by_z_stably() {
+        let mut s = scenario_with_objects();
+        s.object_by_name_mut("computer").unwrap().z = 3;
+        let order: Vec<&str> = s.draw_order().iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(order, vec!["poster", "computer"]);
+    }
+
+    #[test]
+    fn goto_targets_and_has_end() {
+        let mut s = scenario_with_objects();
+        assert!(s.goto_targets().is_empty());
+        assert!(!s.has_end());
+        s.entry_triggers.push(Trigger::unconditional(
+            EventKind::Enter,
+            vec![Action::ShowText("welcome".into())],
+        ));
+        s.object_by_name_mut("computer")
+            .unwrap()
+            .triggers
+            .push(Trigger::unconditional(
+                EventKind::Click,
+                vec![Action::GoTo("market".into()), Action::AddScore(1)],
+            ));
+        s.object_by_name_mut("poster")
+            .unwrap()
+            .triggers
+            .push(Trigger::unconditional(
+                EventKind::Click,
+                vec![Action::GoTo("library".into()), Action::End("done".into())],
+            ));
+        assert_eq!(s.goto_targets(), vec!["market", "library"]);
+        assert!(s.has_end());
+    }
+
+    #[test]
+    fn display_of_ids() {
+        assert_eq!(ScenarioId(3).to_string(), "scn3");
+    }
+}

@@ -1,0 +1,593 @@
+//! Static validation of a scene graph.
+//!
+//! The paper's pitch is that *non-programmers* author games, which makes
+//! static checking the difference between a playable course and a
+//! frustrating one. Validation distinguishes **errors** (the game will
+//! misbehave at runtime: dangling `goto`s, missing assets/NPCs, broken
+//! dialogue) from **warnings** (probably-unintended authoring: unreachable
+//! scenarios, dead ends, inert objects, items granted but never used,
+//! objects outside the video frame).
+
+use std::collections::HashSet;
+
+use vgbl_script::{Action, TriggerSet};
+
+use crate::geometry::Rect;
+use crate::graph::SceneGraph;
+use crate::object::ObjectKind;
+
+/// How severe a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Probably-unintended authoring; the game still runs.
+    Warning,
+    /// The game will misbehave at runtime.
+    Error,
+}
+
+/// The kinds of findings the validator reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Issue {
+    /// A `goto` targets a name that is not a scenario.
+    DanglingGoto {
+        /// Scenario containing the bad action.
+        scenario: String,
+        /// The missing target.
+        target: String,
+    },
+    /// An object references an asset not in the store.
+    MissingAsset {
+        /// Scenario containing the object.
+        scenario: String,
+        /// Object name.
+        object: String,
+        /// The missing asset name.
+        asset: String,
+    },
+    /// An NPC anchor references an NPC not in the graph.
+    MissingNpc {
+        /// Scenario containing the anchor.
+        scenario: String,
+        /// Object name.
+        object: String,
+        /// The missing NPC name.
+        npc: String,
+    },
+    /// A `say` action references an NPC not in the graph.
+    SayUnknownNpc {
+        /// Scenario containing the action.
+        scenario: String,
+        /// The missing NPC name.
+        npc: String,
+    },
+    /// An NPC's dialogue tree has a dangling node reference.
+    BrokenDialogue {
+        /// The NPC.
+        npc: String,
+        /// The missing node id.
+        node: u32,
+    },
+    /// The graph has no scenarios at all.
+    EmptyGraph,
+    /// A scenario cannot be reached from the start.
+    Unreachable {
+        /// The orphaned scenario.
+        scenario: String,
+    },
+    /// A scenario has no outgoing `goto` and no `end` action.
+    DeadEnd {
+        /// The stuck scenario.
+        scenario: String,
+    },
+    /// An object has no triggers at all.
+    InertObject {
+        /// Scenario containing the object.
+        scenario: String,
+        /// Object name.
+        object: String,
+    },
+    /// An item is granted somewhere but no trigger ever consumes or
+    /// checks it.
+    UnusedItem {
+        /// The item name.
+        item: String,
+    },
+    /// An object's bounds fall (partly) outside the video frame.
+    OutOfFrame {
+        /// Scenario containing the object.
+        scenario: String,
+        /// Object name.
+        object: String,
+    },
+    /// A scenario has no objects mounted.
+    EmptyScenario {
+        /// The bare scenario.
+        scenario: String,
+    },
+}
+
+impl Issue {
+    /// The severity class of this issue kind.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Issue::DanglingGoto { .. }
+            | Issue::MissingAsset { .. }
+            | Issue::MissingNpc { .. }
+            | Issue::SayUnknownNpc { .. }
+            | Issue::BrokenDialogue { .. }
+            | Issue::EmptyGraph => Severity::Error,
+            Issue::Unreachable { .. }
+            | Issue::DeadEnd { .. }
+            | Issue::InertObject { .. }
+            | Issue::UnusedItem { .. }
+            | Issue::OutOfFrame { .. }
+            | Issue::EmptyScenario { .. } => Severity::Warning,
+        }
+    }
+}
+
+impl std::fmt::Display for Issue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Issue::DanglingGoto { scenario, target } => {
+                write!(f, "[{scenario}] goto targets unknown scenario `{target}`")
+            }
+            Issue::MissingAsset { scenario, object, asset } => {
+                write!(f, "[{scenario}] object `{object}` uses missing asset `{asset}`")
+            }
+            Issue::MissingNpc { scenario, object, npc } => {
+                write!(f, "[{scenario}] anchor `{object}` references unknown NPC `{npc}`")
+            }
+            Issue::SayUnknownNpc { scenario, npc } => {
+                write!(f, "[{scenario}] `say` references unknown NPC `{npc}`")
+            }
+            Issue::BrokenDialogue { npc, node } => {
+                write!(f, "NPC `{npc}` dialogue references missing node {node}")
+            }
+            Issue::EmptyGraph => write!(f, "the scene graph has no scenarios"),
+            Issue::Unreachable { scenario } => {
+                write!(f, "scenario `{scenario}` is unreachable from the start")
+            }
+            Issue::DeadEnd { scenario } => {
+                write!(f, "scenario `{scenario}` has no way out (no goto, no end)")
+            }
+            Issue::InertObject { scenario, object } => {
+                write!(f, "[{scenario}] object `{object}` has no triggers")
+            }
+            Issue::UnusedItem { item } => {
+                write!(f, "item `{item}` is granted but never used or checked")
+            }
+            Issue::OutOfFrame { scenario, object } => {
+                write!(f, "[{scenario}] object `{object}` extends outside the video frame")
+            }
+            Issue::EmptyScenario { scenario } => {
+                write!(f, "scenario `{scenario}` has no objects")
+            }
+        }
+    }
+}
+
+/// The result of validating a graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValidationReport {
+    /// All findings, errors first then warnings, in discovery order.
+    pub issues: Vec<Issue>,
+}
+
+impl ValidationReport {
+    /// Only the errors.
+    pub fn errors(&self) -> impl Iterator<Item = &Issue> {
+        self.issues.iter().filter(|i| i.severity() == Severity::Error)
+    }
+
+    /// Only the warnings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Issue> {
+        self.issues.iter().filter(|i| i.severity() == Severity::Warning)
+    }
+
+    /// True when no *errors* were found (warnings permitted).
+    pub fn is_playable(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// True when nothing at all was found.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Validates `graph`. When `frame` is given, object bounds are checked
+/// against the video frame rectangle.
+pub fn validate(graph: &SceneGraph, frame: Option<(u32, u32)>) -> ValidationReport {
+    let mut issues = Vec::new();
+
+    if graph.is_empty() {
+        issues.push(Issue::EmptyGraph);
+        return ValidationReport { issues };
+    }
+
+    let frame_rect = frame.map(|(w, h)| Rect::new(0, 0, w, h));
+    let mut given_items: Vec<String> = Vec::new();
+    let mut used_items: HashSet<String> = HashSet::new();
+
+    for s in graph.scenarios() {
+        // Scenario-level action scan (entry triggers + object triggers).
+        let mut sets: Vec<&TriggerSet> = vec![&s.entry_triggers];
+        sets.extend(s.objects().iter().map(|o| &o.triggers));
+        for set in sets {
+            for t in set.triggers() {
+                if let vgbl_script::EventKind::Use(item) = &t.event {
+                    used_items.insert(item.clone());
+                }
+                for a in &t.actions {
+                    match a {
+                        Action::GoTo(target)
+                            if graph.scenario_by_name(target).is_none() => {
+                                issues.push(Issue::DanglingGoto {
+                                    scenario: s.name.clone(),
+                                    target: target.clone(),
+                                });
+                            }
+                        Action::GiveItem(item) => given_items.push(item.clone()),
+                        Action::TakeItem(item) => {
+                            used_items.insert(item.clone());
+                        }
+                        Action::Say { npc, .. }
+                            if graph.npc(npc).is_none() => {
+                                issues.push(Issue::SayUnknownNpc {
+                                    scenario: s.name.clone(),
+                                    npc: npc.clone(),
+                                });
+                            }
+                        _ => {}
+                    }
+                }
+                // `has("item")`-style checks in guards count as uses.
+                if let Some(cond) = &t.condition {
+                    collect_has_args(cond, &mut used_items);
+                }
+            }
+        }
+
+        if s.objects().is_empty() {
+            issues.push(Issue::EmptyScenario { scenario: s.name.clone() });
+        }
+
+        for o in s.objects() {
+            match &o.kind {
+                ObjectKind::Image { asset }
+                | ObjectKind::Item { asset, .. } => {
+                    if !graph.assets().contains(asset) {
+                        issues.push(Issue::MissingAsset {
+                            scenario: s.name.clone(),
+                            object: o.name.clone(),
+                            asset: asset.clone(),
+                        });
+                    }
+                }
+                ObjectKind::NpcAnchor { npc } => {
+                    if graph.npc(npc).is_none() {
+                        issues.push(Issue::MissingNpc {
+                            scenario: s.name.clone(),
+                            object: o.name.clone(),
+                            npc: npc.clone(),
+                        });
+                    }
+                }
+                ObjectKind::Button { .. } => {}
+            }
+            // "Inert" means the object can never respond to anything.
+            // NPC anchors speak their dialogue and items show their
+            // description / can be taken by default, so only triggerless
+            // buttons, images and featureless items qualify.
+            let has_default_behaviour = match &o.kind {
+                ObjectKind::NpcAnchor { .. } => true,
+                ObjectKind::Item { description, takeable, .. } => {
+                    !description.is_empty() || *takeable
+                }
+                ObjectKind::Button { .. } | ObjectKind::Image { .. } => false,
+            };
+            if o.triggers.is_empty() && !has_default_behaviour {
+                issues.push(Issue::InertObject {
+                    scenario: s.name.clone(),
+                    object: o.name.clone(),
+                });
+            }
+            if let Some(fr) = frame_rect {
+                if !o.bounds.within(&fr) {
+                    issues.push(Issue::OutOfFrame {
+                        scenario: s.name.clone(),
+                        object: o.name.clone(),
+                    });
+                }
+            }
+        }
+
+        if s.goto_targets().is_empty() && !s.has_end() {
+            issues.push(Issue::DeadEnd { scenario: s.name.clone() });
+        }
+    }
+
+    // Dialogue integrity.
+    for npc in graph.npcs() {
+        if let Err(crate::SceneError::DanglingDialogue { npc, node }) =
+            npc.dialogue.validate(&npc.name)
+        {
+            issues.push(Issue::BrokenDialogue { npc, node });
+        }
+    }
+
+    // Reachability.
+    if let Ok(reachable) = graph.reachable() {
+        for s in graph.scenarios() {
+            if !reachable.contains(&s.id) {
+                issues.push(Issue::Unreachable { scenario: s.name.clone() });
+            }
+        }
+    }
+
+    // Items granted but never consumed/checked anywhere.
+    for item in given_items {
+        if !used_items.contains(&item) {
+            let issue = Issue::UnusedItem { item };
+            if !issues.contains(&issue) {
+                issues.push(issue);
+            }
+        }
+    }
+
+    // Errors first, preserving discovery order within each class.
+    issues.sort_by_key(|i| std::cmp::Reverse(i.severity()));
+    ValidationReport { issues }
+}
+
+/// Recursively collects string arguments of `has(...)`/`used(...)` calls —
+/// item references inside guard expressions.
+fn collect_has_args(expr: &vgbl_script::Expr, out: &mut HashSet<String>) {
+    use vgbl_script::Expr;
+    match expr {
+        Expr::Literal(_) | Expr::Var(_) => {}
+        Expr::Unary { expr, .. } => collect_has_args(expr, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_has_args(lhs, out);
+            collect_has_args(rhs, out);
+        }
+        Expr::Call { name, args } => {
+            if name == "has" || name == "used" {
+                for a in args {
+                    if let Expr::Literal(vgbl_script::Value::Str(s)) = a {
+                        out.insert(s.clone());
+                    }
+                }
+            }
+            for a in args {
+                collect_has_args(a, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asset::ImageAsset;
+    use crate::geometry::Rect;
+    use crate::npc::{DialogueChoice, DialogueNode, DialogueTree, Npc};
+    use crate::object::ObjectKind;
+    use vgbl_media::SegmentId;
+    use vgbl_script::{EventKind, Trigger};
+
+    /// A minimal clean two-scenario game.
+    fn clean_graph() -> SceneGraph {
+        let mut g = SceneGraph::new();
+        g.assets_mut().insert(ImageAsset::placeholder("pc", 8, 8));
+        let a = g.add_scenario("classroom", SegmentId(0)).unwrap();
+        let b = g.add_scenario("market", SegmentId(1)).unwrap();
+
+        let sa = g.scenario_mut(a).unwrap();
+        let pc = sa
+            .add_object(
+                "computer",
+                ObjectKind::Item { asset: "pc".into(), description: "PC".into(), takeable: false },
+                Rect::new(5, 5, 10, 10),
+            )
+            .unwrap();
+        sa.object_mut(pc).unwrap().triggers.push(Trigger::unconditional(
+            EventKind::Click,
+            vec![Action::GoTo("market".into())],
+        ));
+
+        let sb = g.scenario_mut(b).unwrap();
+        let exit = sb
+            .add_object("finish", ObjectKind::Button { label: "Done".into() }, Rect::new(0, 0, 8, 8))
+            .unwrap();
+        sb.object_mut(exit).unwrap().triggers.push(Trigger::unconditional(
+            EventKind::Click,
+            vec![Action::End("win".into())],
+        ));
+        g
+    }
+
+    #[test]
+    fn clean_graph_validates_clean() {
+        let report = validate(&clean_graph(), Some((64, 48)));
+        assert!(report.is_clean(), "issues: {:?}", report.issues);
+        assert!(report.is_playable());
+    }
+
+    #[test]
+    fn empty_graph_is_error() {
+        let report = validate(&SceneGraph::new(), None);
+        assert_eq!(report.issues, vec![Issue::EmptyGraph]);
+        assert!(!report.is_playable());
+    }
+
+    #[test]
+    fn dangling_goto_detected() {
+        let mut g = clean_graph();
+        g.scenario_by_name_mut("market")
+            .unwrap()
+            .entry_triggers
+            .push(Trigger::unconditional(EventKind::Enter, vec![Action::GoTo("moon".into())]));
+        let report = validate(&g, None);
+        assert!(report
+            .errors()
+            .any(|i| matches!(i, Issue::DanglingGoto { target, .. } if target == "moon")));
+        assert!(!report.is_playable());
+    }
+
+    #[test]
+    fn missing_asset_and_npc_detected() {
+        let mut g = clean_graph();
+        let s = g.scenario_by_name_mut("classroom").unwrap();
+        let o = s
+            .add_object(
+                "ghost_img",
+                ObjectKind::Image { asset: "nothere".into() },
+                Rect::new(0, 0, 4, 4),
+            )
+            .unwrap();
+        s.object_mut(o).unwrap().triggers.push(Trigger::unconditional(EventKind::Click, vec![]));
+        let o2 = s
+            .add_object("who", ObjectKind::NpcAnchor { npc: "phantom".into() }, Rect::new(20, 20, 4, 4))
+            .unwrap();
+        s.object_mut(o2).unwrap().triggers.push(Trigger::unconditional(EventKind::Click, vec![]));
+        let report = validate(&g, None);
+        assert!(report.errors().any(|i| matches!(i, Issue::MissingAsset { asset, .. } if asset == "nothere")));
+        assert!(report.errors().any(|i| matches!(i, Issue::MissingNpc { npc, .. } if npc == "phantom")));
+    }
+
+    #[test]
+    fn say_unknown_npc_detected() {
+        let mut g = clean_graph();
+        g.scenario_by_name_mut("classroom")
+            .unwrap()
+            .entry_triggers
+            .push(Trigger::unconditional(
+                EventKind::Enter,
+                vec![Action::Say { npc: "narrator".into(), line: "hello".into() }],
+            ));
+        let report = validate(&g, None);
+        assert!(report.errors().any(|i| matches!(i, Issue::SayUnknownNpc { npc, .. } if npc == "narrator")));
+    }
+
+    #[test]
+    fn broken_dialogue_detected() {
+        let mut g = clean_graph();
+        let mut tree = DialogueTree::new();
+        tree.insert(
+            0,
+            DialogueNode {
+                line: "hi".into(),
+                choices: vec![DialogueChoice { text: "next".into(), next: Some(42) }],
+            },
+        );
+        g.add_npc(Npc::new("teacher", tree));
+        let report = validate(&g, None);
+        assert!(report
+            .errors()
+            .any(|i| matches!(i, Issue::BrokenDialogue { node: 42, .. })));
+    }
+
+    #[test]
+    fn unreachable_and_dead_end_warned() {
+        let mut g = clean_graph();
+        g.add_scenario("attic", SegmentId(2)).unwrap();
+        let report = validate(&g, None);
+        assert!(report.is_playable()); // warnings only
+        assert!(report.warnings().any(|i| matches!(i, Issue::Unreachable { scenario } if scenario == "attic")));
+        assert!(report.warnings().any(|i| matches!(i, Issue::DeadEnd { scenario } if scenario == "attic")));
+        assert!(report.warnings().any(|i| matches!(i, Issue::EmptyScenario { scenario } if scenario == "attic")));
+    }
+
+    #[test]
+    fn inert_object_warned() {
+        let mut g = clean_graph();
+        g.scenario_by_name_mut("classroom")
+            .unwrap()
+            .add_object("decor", ObjectKind::Button { label: "?".into() }, Rect::new(1, 1, 2, 2))
+            .unwrap();
+        let report = validate(&g, None);
+        assert!(report.warnings().any(|i| matches!(i, Issue::InertObject { object, .. } if object == "decor")));
+    }
+
+    #[test]
+    fn unused_item_warned_and_has_counts_as_use() {
+        let mut g = clean_graph();
+        g.scenario_by_name_mut("classroom")
+            .unwrap()
+            .entry_triggers
+            .push(Trigger::unconditional(
+                EventKind::Enter,
+                vec![Action::GiveItem("orphan".into()), Action::GiveItem("checked".into())],
+            ));
+        g.scenario_by_name_mut("market")
+            .unwrap()
+            .object_by_name_mut("finish")
+            .unwrap()
+            .triggers
+            .push(
+                Trigger::guarded(EventKind::Click, "has(\"checked\")", vec![Action::AddScore(5)])
+                    .unwrap(),
+            );
+        let report = validate(&g, None);
+        assert!(report.warnings().any(|i| matches!(i, Issue::UnusedItem { item } if item == "orphan")));
+        assert!(!report.issues.iter().any(|i| matches!(i, Issue::UnusedItem { item } if item == "checked")));
+    }
+
+    #[test]
+    fn use_event_counts_as_item_use() {
+        let mut g = clean_graph();
+        g.scenario_by_name_mut("classroom")
+            .unwrap()
+            .entry_triggers
+            .push(Trigger::unconditional(EventKind::Enter, vec![Action::GiveItem("ram".into())]));
+        g.scenario_by_name_mut("classroom")
+            .unwrap()
+            .object_by_name_mut("computer")
+            .unwrap()
+            .triggers
+            .push(Trigger::unconditional(
+                EventKind::Use("ram".into()),
+                vec![Action::SetFlag("fixed".into(), true)],
+            ));
+        let report = validate(&g, None);
+        assert!(!report.issues.iter().any(|i| matches!(i, Issue::UnusedItem { .. })));
+    }
+
+    #[test]
+    fn out_of_frame_warned_only_with_dims() {
+        let mut g = clean_graph();
+        let s = g.scenario_by_name_mut("classroom").unwrap();
+        let o = s
+            .add_object("huge", ObjectKind::Button { label: "big".into() }, Rect::new(60, 40, 20, 20))
+            .unwrap();
+        s.object_mut(o).unwrap().triggers.push(Trigger::unconditional(EventKind::Click, vec![]));
+        let with = validate(&g, Some((64, 48)));
+        assert!(with.warnings().any(|i| matches!(i, Issue::OutOfFrame { object, .. } if object == "huge")));
+        let without = validate(&g, None);
+        assert!(!without.issues.iter().any(|i| matches!(i, Issue::OutOfFrame { .. })));
+    }
+
+    #[test]
+    fn errors_sort_before_warnings() {
+        let mut g = clean_graph();
+        g.add_scenario("attic", SegmentId(2)).unwrap(); // warnings
+        g.scenario_by_name_mut("market")
+            .unwrap()
+            .entry_triggers
+            .push(Trigger::unconditional(EventKind::Enter, vec![Action::GoTo("moon".into())]));
+        let report = validate(&g, None);
+        let sevs: Vec<Severity> = report.issues.iter().map(|i| i.severity()).collect();
+        let first_warning = sevs.iter().position(|s| *s == Severity::Warning).unwrap();
+        assert!(sevs[..first_warning].iter().all(|s| *s == Severity::Error));
+        assert!(sevs[first_warning..].iter().all(|s| *s == Severity::Warning));
+    }
+
+    #[test]
+    fn issue_display_strings() {
+        let i = Issue::DanglingGoto { scenario: "a".into(), target: "b".into() };
+        assert!(i.to_string().contains('a') && i.to_string().contains('b'));
+        assert_eq!(Issue::EmptyGraph.to_string(), "the scene graph has no scenarios");
+    }
+}

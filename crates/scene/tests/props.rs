@@ -1,0 +1,130 @@
+//! Property tests for geometry and scene-model invariants.
+
+use proptest::prelude::*;
+
+use vgbl_media::SegmentId;
+use vgbl_scene::npc::{DialogueChoice, DialogueNode};
+use vgbl_scene::{DialogueTree, ObjectKind, Point, Rect, Scenario, ScenarioId};
+use vgbl_script::MapEnv;
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (-50i32..50, -50i32..50, 0u32..60, 0u32..60).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (-60i32..80, -60i32..80).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn intersection_is_commutative_and_contained(a in rect(), b in rect()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(i.within(&a));
+            prop_assert!(i.within(&b));
+            prop_assert!(!i.is_empty());
+            prop_assert!(a.intersects(&b));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn contains_iff_intersects_unit_rect(r in rect(), p in point()) {
+        let unit = Rect::new(p.x, p.y, 1, 1);
+        prop_assert_eq!(r.contains(p), r.intersects(&unit));
+    }
+
+    #[test]
+    fn center_is_inside_nonempty(r in rect()) {
+        prop_assume!(!r.is_empty());
+        prop_assert!(r.contains(r.center()));
+    }
+
+    #[test]
+    fn within_implies_intersection_is_self(a in rect(), b in rect()) {
+        prop_assume!(!a.is_empty());
+        if a.within(&b) {
+            prop_assert_eq!(a.intersection(&b), Some(a));
+        }
+    }
+
+    #[test]
+    fn topmost_hit_is_a_real_hit(
+        rects in proptest::collection::vec((rect(), -5i32..5), 1..10),
+        p in point(),
+    ) {
+        let mut scenario = Scenario::new(ScenarioId(0), "s", SegmentId(0));
+        for (i, (bounds, z)) in rects.iter().enumerate() {
+            let id = scenario
+                .add_object(format!("o{i}"), ObjectKind::Button { label: "b".into() }, *bounds)
+                .unwrap();
+            scenario.object_mut(id).unwrap().z = *z;
+        }
+        let env = MapEnv::new();
+        match scenario.topmost_at(p, &env).unwrap() {
+            Some(hit) => {
+                prop_assert!(hit.bounds.contains(p));
+                // Nothing visible at this point has a strictly higher z.
+                for o in scenario.objects() {
+                    if o.bounds.contains(p) {
+                        prop_assert!(o.z <= hit.z);
+                    }
+                }
+            }
+            None => {
+                for o in scenario.objects() {
+                    prop_assert!(!o.bounds.contains(p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn draw_order_is_sorted_and_complete(
+        zs in proptest::collection::vec(-10i32..10, 0..12),
+    ) {
+        let mut scenario = Scenario::new(ScenarioId(0), "s", SegmentId(0));
+        for (i, z) in zs.iter().enumerate() {
+            let id = scenario
+                .add_object(
+                    format!("o{i}"),
+                    ObjectKind::Button { label: "b".into() },
+                    Rect::new(0, 0, 2, 2),
+                )
+                .unwrap();
+            scenario.object_mut(id).unwrap().z = *z;
+        }
+        let order = scenario.draw_order();
+        prop_assert_eq!(order.len(), zs.len());
+        for pair in order.windows(2) {
+            prop_assert!(pair[0].z <= pair[1].z);
+        }
+    }
+
+    #[test]
+    fn dialogue_walk_never_exceeds_budget(
+        choices in proptest::collection::vec(0usize..4, 0..24),
+        budget in 1usize..16,
+    ) {
+        // A 3-node looping tree.
+        let mut tree = DialogueTree::new();
+        for id in 0..3u32 {
+            tree.insert(
+                id,
+                DialogueNode {
+                    line: format!("line {id}"),
+                    choices: vec![
+                        DialogueChoice { text: "next".into(), next: Some((id + 1) % 3) },
+                        DialogueChoice { text: "stay".into(), next: Some(id) },
+                        DialogueChoice { text: "bye".into(), next: None },
+                    ],
+                },
+            );
+        }
+        tree.validate("npc").unwrap();
+        let lines = tree.walk(&choices, budget);
+        prop_assert!(lines.len() <= budget);
+        prop_assert!(!lines.is_empty());
+    }
+}

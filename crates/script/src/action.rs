@@ -1,0 +1,259 @@
+//! The action vocabulary.
+//!
+//! Actions are what triggers *do*: change the play sequence ("switch to
+//! other video segments"), pop up feedback ("text messages, images and
+//! webpage are also popped up", §2.1), manipulate the backpack (§3.1),
+//! grant rewards (§3.3) and speak NPC lines. The runtime interprets them;
+//! the authoring tool and the `.vgp` format store them in the textual form
+//! defined by [`Action::parse`] / `Display`, which round-trip exactly.
+
+use crate::error::ScriptError;
+use crate::Result;
+use std::fmt;
+
+/// One executable effect of a fired trigger.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Switch playback to another scenario (by scenario name).
+    GoTo(String),
+    /// Pop up a text message (knowledge delivery / object descriptions).
+    ShowText(String),
+    /// Pop up an image asset (by asset name).
+    ShowImage(String),
+    /// Open a web page in the player's browser pane.
+    OpenUrl(String),
+    /// Put an item into the player's backpack.
+    GiveItem(String),
+    /// Remove an item from the backpack (consume it).
+    TakeItem(String),
+    /// Set a named boolean flag.
+    SetFlag(String, bool),
+    /// Add to (or, when negative, subtract from) the score.
+    AddScore(i64),
+    /// Grant a named achievement object — the special inventory objects
+    /// that "represent the achievements which players have" (§3.3).
+    Award(String),
+    /// An NPC speaks a line ("non player characters give fixed
+    /// conversation to guide players", §3.1).
+    Say {
+        /// The speaking NPC's name.
+        npc: String,
+        /// The spoken line.
+        line: String,
+    },
+    /// End the game session with a named outcome.
+    End(String),
+}
+
+impl Action {
+    /// Parses the textual action form used by `.vgp` files, e.g.
+    /// `goto market`, `text "Look closer…"`, `flag fixed on`,
+    /// `say teacher "The computer is broken."`.
+    pub fn parse(source: &str) -> Result<Action> {
+        let args = split_args(source)?;
+        let bad = || ScriptError::BadAction(source.to_owned());
+        let mut it = args.iter();
+        let verb = it.next().ok_or_else(bad)?;
+        let action = match (verb.as_word().ok_or_else(bad)?, it.as_slice()) {
+            ("goto", [Arg::Word(s)]) => Action::GoTo(s.clone()),
+            ("text", [Arg::Quoted(s)]) => Action::ShowText(s.clone()),
+            ("image", [Arg::Word(s)]) => Action::ShowImage(s.clone()),
+            ("url", [Arg::Quoted(s)]) => Action::OpenUrl(s.clone()),
+            ("give", [Arg::Word(s)]) => Action::GiveItem(s.clone()),
+            ("take", [Arg::Word(s)]) => Action::TakeItem(s.clone()),
+            ("flag", [Arg::Word(name), Arg::Word(state)]) => match state.as_str() {
+                "on" => Action::SetFlag(name.clone(), true),
+                "off" => Action::SetFlag(name.clone(), false),
+                _ => return Err(bad()),
+            },
+            ("score", [Arg::Word(n)]) => {
+                Action::AddScore(n.parse::<i64>().map_err(|_| bad())?)
+            }
+            ("award", [Arg::Word(s)]) => Action::Award(s.clone()),
+            ("say", [Arg::Word(npc), Arg::Quoted(line)]) => {
+                Action::Say { npc: npc.clone(), line: line.clone() }
+            }
+            ("end", [Arg::Quoted(s)]) => Action::End(s.clone()),
+            _ => return Err(bad()),
+        };
+        Ok(action)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::GoTo(s) => write!(f, "goto {s}"),
+            Action::ShowText(s) => write!(f, "text {}", quote(s)),
+            Action::ShowImage(s) => write!(f, "image {s}"),
+            Action::OpenUrl(s) => write!(f, "url {}", quote(s)),
+            Action::GiveItem(s) => write!(f, "give {s}"),
+            Action::TakeItem(s) => write!(f, "take {s}"),
+            Action::SetFlag(name, on) => {
+                write!(f, "flag {name} {}", if *on { "on" } else { "off" })
+            }
+            Action::AddScore(n) => write!(f, "score {n}"),
+            Action::Award(s) => write!(f, "award {s}"),
+            Action::Say { npc, line } => write!(f, "say {npc} {}", quote(line)),
+            Action::End(s) => write!(f, "end {}", quote(s)),
+        }
+    }
+}
+
+/// Escapes and quotes a string for the textual form.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed argument of a command line: a bare word or a quoted string.
+/// Public because the `.vgp` project parser reuses the same lexical
+/// conventions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Arg {
+    /// Bare word (identifier-ish, may contain `-`, `_`, `.`, `:`, `/`).
+    Word(String),
+    /// Double-quoted string with escapes resolved.
+    Quoted(String),
+}
+
+impl Arg {
+    fn as_word(&self) -> Option<&str> {
+        match self {
+            Arg::Word(w) => Some(w),
+            Arg::Quoted(_) => None,
+        }
+    }
+}
+
+/// Splits a command line into words and quoted strings (double quotes,
+/// `\"`, `\\`, `\n`, `\t` escapes).
+pub fn split_args(source: &str) -> Result<Vec<Arg>> {
+    let mut out = Vec::new();
+    let mut chars = source.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    None => return Err(ScriptError::UnterminatedString { pos: i }),
+                    Some((_, '"')) => break,
+                    Some((j, '\\')) => match chars.next() {
+                        Some((_, '"')) => s.push('"'),
+                        Some((_, '\\')) => s.push('\\'),
+                        Some((_, 'n')) => s.push('\n'),
+                        Some((_, 't')) => s.push('\t'),
+                        Some((_, other)) => {
+                            return Err(ScriptError::UnexpectedChar { ch: other, pos: j + 1 })
+                        }
+                        None => return Err(ScriptError::UnterminatedString { pos: i }),
+                    },
+                    Some((_, other)) => s.push(other),
+                }
+            }
+            out.push(Arg::Quoted(s));
+        } else {
+            let mut w = String::new();
+            while let Some(&(_, c)) = chars.peek() {
+                if c.is_whitespace() || c == '"' {
+                    break;
+                }
+                w.push(c);
+                chars.next();
+            }
+            out.push(Arg::Word(w));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(a: Action) {
+        let s = a.to_string();
+        let back = Action::parse(&s).unwrap_or_else(|e| panic!("reparse {s:?}: {e}"));
+        assert_eq!(back, a, "source: {s}");
+    }
+
+    #[test]
+    fn all_actions_roundtrip() {
+        roundtrip(Action::GoTo("market".into()));
+        roundtrip(Action::ShowText("Look: a \"broken\" fan.\nReplace it.".into()));
+        roundtrip(Action::ShowImage("umbrella_png".into()));
+        roundtrip(Action::OpenUrl("https://example.edu/ram".into()));
+        roundtrip(Action::GiveItem("screwdriver".into()));
+        roundtrip(Action::TakeItem("coin".into()));
+        roundtrip(Action::SetFlag("fixed".into(), true));
+        roundtrip(Action::SetFlag("door-open".into(), false));
+        roundtrip(Action::AddScore(25));
+        roundtrip(Action::AddScore(-5));
+        roundtrip(Action::Award("computer_medic".into()));
+        roundtrip(Action::Say { npc: "teacher".into(), line: "Fix it, please.".into() });
+        roundtrip(Action::End("victory".into()));
+    }
+
+    #[test]
+    fn parse_examples_from_text() {
+        assert_eq!(Action::parse("goto classroom").unwrap(), Action::GoTo("classroom".into()));
+        assert_eq!(
+            Action::parse("say guide \"Welcome to the market\"").unwrap(),
+            Action::Say { npc: "guide".into(), line: "Welcome to the market".into() }
+        );
+        assert_eq!(Action::parse("  score   -3 ").unwrap(), Action::AddScore(-3));
+        assert_eq!(Action::parse("flag solved on").unwrap(), Action::SetFlag("solved".into(), true));
+    }
+
+    #[test]
+    fn rejects_malformed_actions() {
+        for bad in [
+            "",
+            "goto",
+            "goto a b",
+            "text unquoted",
+            "flag x maybe",
+            "flag x",
+            "score abc",
+            "score",
+            "say npc",
+            "say \"x\" \"y\"",
+            "launch missiles",
+            "end victory", // must be quoted
+            "\"quoted-verb\" x",
+        ] {
+            assert!(Action::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn split_args_handles_quotes_and_spaces() {
+        let args = split_args(r#"say bob "hi there" extra"#).unwrap();
+        assert_eq!(
+            args,
+            vec![
+                Arg::Word("say".into()),
+                Arg::Word("bob".into()),
+                Arg::Quoted("hi there".into()),
+                Arg::Word("extra".into()),
+            ]
+        );
+        assert!(split_args("\"open").is_err());
+        assert!(split_args(r#""bad\q""#).is_err());
+        assert!(split_args("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Abstract syntax of the condition language.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Binary operators, in one enum so the evaluator can match exhaustively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical and (`&&`), short-circuiting.
+    And,
+    /// Logical or (`||`), short-circuiting.
+    Or,
+    /// Equality (`==`), defined for same-typed operands.
+    Eq,
+    /// Inequality (`!=`).
+    Ne,
+    /// Less-than (`<`), integers only.
+    Lt,
+    /// Less-or-equal (`<=`), integers only.
+    Le,
+    /// Greater-than (`>`), integers only.
+    Gt,
+    /// Greater-or-equal (`>=`), integers only.
+    Ge,
+    /// Addition on integers; concatenation on strings.
+    Add,
+    /// Subtraction, integers only.
+    Sub,
+    /// Multiplication, integers only.
+    Mul,
+    /// Division, integers only; division by zero is an error.
+    Div,
+    /// Remainder, integers only; modulo zero is an error.
+    Mod,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical negation (`!`), booleans only.
+    Not,
+    /// Arithmetic negation (unary `-`), integers only.
+    Neg,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A variable reference, resolved by the environment.
+    Var(String),
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A function call, resolved by the environment.
+    Call {
+        /// Function name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Number of nodes in the tree (used in tests and lints).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Literal(_) | Expr::Var(_) => 1,
+            Expr::Unary { expr, .. } => 1 + expr.node_count(),
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
+            Expr::Call { args, .. } => 1 + args.iter().map(Expr::node_count).sum::<usize>(),
+        }
+    }
+
+    /// Collects the names of all variables referenced by the expression.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Var(name) => out.push(name.clone()),
+            Expr::Unary { expr, .. } => expr.collect_vars(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Collects the names of all functions called by the expression.
+    pub fn functions(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_fns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_fns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Literal(_) | Expr::Var(_) => {}
+            Expr::Unary { expr, .. } => expr.collect_fns(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_fns(out);
+                rhs.collect_fns(out);
+            }
+            Expr::Call { name, args } => {
+                out.push(name.clone());
+                for a in args {
+                    a.collect_fns(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Emits fully parenthesised source that re-parses to the same tree —
+    /// how conditions are persisted in `.vgp` files.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Var(name) => f.write_str(name),
+            Expr::Unary { op, expr } => match op {
+                UnOp::Not => write!(f, "!({expr})"),
+                UnOp::Neg => write!(f, "-({expr})"),
+            },
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Expr {
+        // has("key") && (score + 1) >= limit
+        Expr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(Expr::Call {
+                name: "has".into(),
+                args: vec![Expr::Literal(Value::Str("key".into()))],
+            }),
+            rhs: Box::new(Expr::Binary {
+                op: BinOp::Ge,
+                lhs: Box::new(Expr::Binary {
+                    op: BinOp::Add,
+                    lhs: Box::new(Expr::Var("score".into())),
+                    rhs: Box::new(Expr::Literal(Value::Int(1))),
+                }),
+                rhs: Box::new(Expr::Var("limit".into())),
+            }),
+        }
+    }
+
+    #[test]
+    fn node_count_counts_all() {
+        // && , has(), "key", >=, +, score, 1, limit → 8 nodes.
+        assert_eq!(sample().node_count(), 8);
+    }
+
+    #[test]
+    fn variables_and_functions_dedup_sorted() {
+        let e = sample();
+        assert_eq!(e.variables(), vec!["limit".to_string(), "score".to_string()]);
+        assert_eq!(e.functions(), vec!["has".to_string()]);
+    }
+
+    #[test]
+    fn display_is_reparseable() {
+        let e = sample();
+        let s = e.to_string();
+        let back = crate::parser::parse_expr(&s).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn display_unary() {
+        let e = Expr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(Expr::Var("x".into())),
+        };
+        assert_eq!(e.to_string(), "!(x)");
+        let e = Expr::Unary {
+            op: UnOp::Neg,
+            expr: Box::new(Expr::Literal(Value::Int(5))),
+        };
+        assert_eq!(e.to_string(), "-(5)");
+    }
+}

@@ -1,0 +1,129 @@
+//! Evaluation environments.
+//!
+//! The expression language is deliberately ignorant of the game: variables
+//! and functions resolve through an [`Env`] that the runtime implements
+//! over live game state (inventory, flags, score, visit history). This
+//! module also provides [`MapEnv`], a simple hash-map environment used by
+//! tests, the authoring tool's lint pass and the benches.
+
+use crate::error::ScriptError;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+
+/// Resolves variables and function calls during evaluation.
+pub trait Env {
+    /// Resolves a variable. `None` means "not defined".
+    fn get_var(&self, name: &str) -> Option<Value>;
+
+    /// Calls a function. Implementations should return
+    /// [`ScriptError::UnknownFunction`] for names they do not define and
+    /// [`ScriptError::ArityMismatch`] for wrong argument counts.
+    fn call(&self, name: &str, args: &[Value]) -> Result<Value>;
+}
+
+/// A hash-map-backed environment with optional closure-style functions.
+#[derive(Default)]
+pub struct MapEnv {
+    vars: HashMap<String, Value>,
+    #[allow(clippy::type_complexity)]
+    funcs: HashMap<String, Box<dyn Fn(&[Value]) -> Result<Value>>>,
+}
+
+impl MapEnv {
+    /// Creates an empty environment.
+    pub fn new() -> MapEnv {
+        MapEnv::default()
+    }
+
+    /// Defines (or redefines) a variable.
+    pub fn set_var(&mut self, name: impl Into<String>, value: Value) {
+        self.vars.insert(name.into(), value);
+    }
+
+    /// Defines (or redefines) a function.
+    pub fn set_func(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[Value]) -> Result<Value> + 'static,
+    ) {
+        self.funcs.insert(name.into(), Box::new(f));
+    }
+}
+
+impl std::fmt::Debug for MapEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapEnv")
+            .field("vars", &self.vars)
+            .field("funcs", &self.funcs.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Env for MapEnv {
+    fn get_var(&self, name: &str) -> Option<Value> {
+        self.vars.get(name).cloned()
+    }
+
+    fn call(&self, name: &str, args: &[Value]) -> Result<Value> {
+        match self.funcs.get(name) {
+            Some(f) => f(args),
+            None => Err(ScriptError::UnknownFunction(name.to_owned())),
+        }
+    }
+}
+
+/// Checks the arity of a builtin and returns a typed error on mismatch —
+/// a helper for `Env` implementations.
+pub fn expect_arity(name: &str, args: &[Value], expected: usize) -> Result<()> {
+    if args.len() == expected {
+        Ok(())
+    } else {
+        Err(ScriptError::ArityMismatch {
+            name: name.to_owned(),
+            expected,
+            got: args.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_env_vars() {
+        let mut env = MapEnv::new();
+        assert_eq!(env.get_var("x"), None);
+        env.set_var("x", Value::Int(3));
+        assert_eq!(env.get_var("x"), Some(Value::Int(3)));
+        env.set_var("x", Value::Bool(false));
+        assert_eq!(env.get_var("x"), Some(Value::Bool(false)));
+    }
+
+    #[test]
+    fn map_env_funcs() {
+        let mut env = MapEnv::new();
+        env.set_func("double", |args| {
+            expect_arity("double", args, 1)?;
+            Ok(Value::Int(args[0].as_int()? * 2))
+        });
+        assert_eq!(env.call("double", &[Value::Int(21)]).unwrap(), Value::Int(42));
+        assert!(matches!(
+            env.call("double", &[]),
+            Err(ScriptError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            env.call("nope", &[]),
+            Err(ScriptError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn debug_lists_function_names() {
+        let mut env = MapEnv::new();
+        env.set_func("f", |_| Ok(Value::Bool(true)));
+        let s = format!("{env:?}");
+        assert!(s.contains('f'));
+    }
+}

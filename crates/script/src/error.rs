@@ -1,0 +1,107 @@
+//! Errors for the scripting engine, with source positions where known.
+
+use std::fmt;
+
+/// Errors from lexing, parsing or evaluating scripts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptError {
+    /// A character the lexer does not understand.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Byte offset in the source.
+        pos: usize,
+    },
+    /// A string literal without a closing quote.
+    UnterminatedString {
+        /// Byte offset where the literal started.
+        pos: usize,
+    },
+    /// An integer literal that does not fit `i64`.
+    IntOverflow {
+        /// Byte offset of the literal.
+        pos: usize,
+    },
+    /// The parser expected something else.
+    Parse {
+        /// Human-readable description of what went wrong.
+        message: String,
+        /// Byte offset of the offending token.
+        pos: usize,
+    },
+    /// A variable the environment does not define.
+    UnknownVariable(String),
+    /// A function the environment does not define.
+    UnknownFunction(String),
+    /// Wrong number of arguments to a builtin.
+    ArityMismatch {
+        /// Function name.
+        name: String,
+        /// Arguments expected.
+        expected: usize,
+        /// Arguments provided.
+        got: usize,
+    },
+    /// An operator applied to incompatible operand types.
+    TypeMismatch {
+        /// Description of the operation and operand types.
+        message: String,
+    },
+    /// Integer division or modulo by zero.
+    DivisionByZero,
+    /// Expression nesting exceeded the evaluator's depth limit.
+    TooDeep,
+    /// An action string that does not parse.
+    BadAction(String),
+    /// A trigger event string that does not parse.
+    BadEvent(String),
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::UnexpectedChar { ch, pos } => {
+                write!(f, "unexpected character {ch:?} at byte {pos}")
+            }
+            ScriptError::UnterminatedString { pos } => {
+                write!(f, "unterminated string literal starting at byte {pos}")
+            }
+            ScriptError::IntOverflow { pos } => {
+                write!(f, "integer literal at byte {pos} overflows i64")
+            }
+            ScriptError::Parse { message, pos } => write!(f, "parse error at byte {pos}: {message}"),
+            ScriptError::UnknownVariable(name) => write!(f, "unknown variable `{name}`"),
+            ScriptError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            ScriptError::ArityMismatch { name, expected, got } => {
+                write!(f, "function `{name}` expects {expected} argument(s), got {got}")
+            }
+            ScriptError::TypeMismatch { message } => write!(f, "type mismatch: {message}"),
+            ScriptError::DivisionByZero => write!(f, "division by zero"),
+            ScriptError::TooDeep => write!(f, "expression nesting too deep"),
+            ScriptError::BadAction(s) => write!(f, "cannot parse action: {s}"),
+            ScriptError::BadEvent(s) => write!(f, "cannot parse event: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = ScriptError::UnexpectedChar { ch: '§', pos: 3 };
+        assert!(e.to_string().contains('§'));
+        let e = ScriptError::ArityMismatch { name: "has".into(), expected: 1, got: 2 };
+        let s = e.to_string();
+        assert!(s.contains("has") && s.contains('1') && s.contains('2'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error>(_: &E) {}
+        check(&ScriptError::DivisionByZero);
+    }
+}

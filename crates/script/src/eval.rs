@@ -1,0 +1,282 @@
+//! The expression evaluator.
+//!
+//! Strictly typed: no implicit coercions, short-circuiting `&&`/`||`,
+//! checked integer arithmetic (overflow and division by zero are errors,
+//! not panics), and a recursion-depth limit mirroring the parser's.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::env::Env;
+use crate::error::ScriptError;
+use crate::value::Value;
+use crate::Result;
+
+/// Depth limit for evaluation (matches the parser's nesting bound).
+const MAX_DEPTH: usize = 512;
+
+/// Evaluates `expr` in `env`.
+pub fn eval(expr: &Expr, env: &dyn Env) -> Result<Value> {
+    eval_depth(expr, env, 0)
+}
+
+fn eval_depth(expr: &Expr, env: &dyn Env, depth: usize) -> Result<Value> {
+    if depth > MAX_DEPTH {
+        return Err(ScriptError::TooDeep);
+    }
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Var(name) => env
+            .get_var(name)
+            .ok_or_else(|| ScriptError::UnknownVariable(name.clone())),
+        Expr::Unary { op, expr } => {
+            let v = eval_depth(expr, env, depth + 1)?;
+            match op {
+                UnOp::Not => match v {
+                    Value::Bool(b) => Ok(Value::Bool(!b)),
+                    other => Err(ScriptError::TypeMismatch {
+                        message: format!("`!` needs bool, got {}", other.type_name()),
+                    }),
+                },
+                UnOp::Neg => match v {
+                    Value::Int(i) => i
+                        .checked_neg()
+                        .map(Value::Int)
+                        .ok_or(ScriptError::TypeMismatch {
+                            message: "negation overflow".into(),
+                        }),
+                    other => Err(ScriptError::TypeMismatch {
+                        message: format!("unary `-` needs int, got {}", other.type_name()),
+                    }),
+                },
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => match op {
+            BinOp::And => {
+                let l = eval_depth(lhs, env, depth + 1)?;
+                match l {
+                    Value::Bool(false) => Ok(Value::Bool(false)),
+                    Value::Bool(true) => {
+                        let r = eval_depth(rhs, env, depth + 1)?;
+                        bool_only("&&", r)
+                    }
+                    other => Err(ScriptError::TypeMismatch {
+                        message: format!("`&&` needs bool, got {}", other.type_name()),
+                    }),
+                }
+            }
+            BinOp::Or => {
+                let l = eval_depth(lhs, env, depth + 1)?;
+                match l {
+                    Value::Bool(true) => Ok(Value::Bool(true)),
+                    Value::Bool(false) => {
+                        let r = eval_depth(rhs, env, depth + 1)?;
+                        bool_only("||", r)
+                    }
+                    other => Err(ScriptError::TypeMismatch {
+                        message: format!("`||` needs bool, got {}", other.type_name()),
+                    }),
+                }
+            }
+            BinOp::Eq | BinOp::Ne => {
+                let l = eval_depth(lhs, env, depth + 1)?;
+                let r = eval_depth(rhs, env, depth + 1)?;
+                if l.type_name() != r.type_name() {
+                    return Err(ScriptError::TypeMismatch {
+                        message: format!(
+                            "cannot compare {} with {}",
+                            l.type_name(),
+                            r.type_name()
+                        ),
+                    });
+                }
+                let eq = l == r;
+                Ok(Value::Bool(if *op == BinOp::Eq { eq } else { !eq }))
+            }
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let l = eval_depth(lhs, env, depth + 1)?.as_int()?;
+                let r = eval_depth(rhs, env, depth + 1)?.as_int()?;
+                let b = match op {
+                    BinOp::Lt => l < r,
+                    BinOp::Le => l <= r,
+                    BinOp::Gt => l > r,
+                    BinOp::Ge => l >= r,
+                    _ => unreachable!(),
+                };
+                Ok(Value::Bool(b))
+            }
+            BinOp::Add => {
+                let l = eval_depth(lhs, env, depth + 1)?;
+                let r = eval_depth(rhs, env, depth + 1)?;
+                match (l, r) {
+                    (Value::Int(a), Value::Int(b)) => a
+                        .checked_add(b)
+                        .map(Value::Int)
+                        .ok_or(ScriptError::TypeMismatch {
+                            message: "integer overflow in `+`".into(),
+                        }),
+                    (Value::Str(a), Value::Str(b)) => Ok(Value::Str(a + &b)),
+                    (l, r) => Err(ScriptError::TypeMismatch {
+                        message: format!(
+                            "`+` needs two ints or two strings, got {} and {}",
+                            l.type_name(),
+                            r.type_name()
+                        ),
+                    }),
+                }
+            }
+            BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                let l = eval_depth(lhs, env, depth + 1)?.as_int()?;
+                let r = eval_depth(rhs, env, depth + 1)?.as_int()?;
+                let out = match op {
+                    BinOp::Sub => l.checked_sub(r),
+                    BinOp::Mul => l.checked_mul(r),
+                    BinOp::Div => {
+                        if r == 0 {
+                            return Err(ScriptError::DivisionByZero);
+                        }
+                        l.checked_div(r)
+                    }
+                    BinOp::Mod => {
+                        if r == 0 {
+                            return Err(ScriptError::DivisionByZero);
+                        }
+                        l.checked_rem(r)
+                    }
+                    _ => unreachable!(),
+                };
+                out.map(Value::Int).ok_or(ScriptError::TypeMismatch {
+                    message: format!("integer overflow in `{op}`"),
+                })
+            }
+        },
+        Expr::Call { name, args } => {
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(eval_depth(a, env, depth + 1)?);
+            }
+            env.call(name, &values)
+        }
+    }
+}
+
+fn bool_only(op: &str, v: Value) -> Result<Value> {
+    match v {
+        Value::Bool(_) => Ok(v),
+        other => Err(ScriptError::TypeMismatch {
+            message: format!("`{op}` needs bool, got {}", other.type_name()),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{expect_arity, MapEnv};
+    use crate::parser::parse_expr;
+
+    fn env() -> MapEnv {
+        let mut e = MapEnv::new();
+        e.set_var("score", Value::Int(15));
+        e.set_var("alive", Value::Bool(true));
+        e.set_var("name", Value::Str("kim".into()));
+        e.set_func("has", |args| {
+            expect_arity("has", args, 1)?;
+            Ok(Value::Bool(args[0].as_str()? == "umbrella"))
+        });
+        e.set_func("min", |args| {
+            expect_arity("min", args, 2)?;
+            Ok(Value::Int(args[0].as_int()?.min(args[1].as_int()?)))
+        });
+        e
+    }
+
+    fn run(src: &str) -> Result<Value> {
+        eval(&parse_expr(src).unwrap(), &env())
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run("1 + 2 * 3").unwrap(), Value::Int(7));
+        assert_eq!(run("(1 + 2) * 3").unwrap(), Value::Int(9));
+        assert_eq!(run("10 / 3").unwrap(), Value::Int(3));
+        assert_eq!(run("10 % 3").unwrap(), Value::Int(1));
+        assert_eq!(run("-score").unwrap(), Value::Int(-15));
+        assert_eq!(run("10 - 3 - 2").unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(run("score >= 10 && score < 20").unwrap(), Value::Bool(true));
+        assert_eq!(run("score > 100 || alive").unwrap(), Value::Bool(true));
+        assert_eq!(run("!alive").unwrap(), Value::Bool(false));
+        assert_eq!(run("name == \"kim\"").unwrap(), Value::Bool(true));
+        assert_eq!(run("name != \"lee\"").unwrap(), Value::Bool(true));
+        assert_eq!(run("true == false").unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn string_concat() {
+        assert_eq!(run("name + \"!\"").unwrap(), Value::Str("kim!".into()));
+    }
+
+    #[test]
+    fn function_calls() {
+        assert_eq!(run("has(\"umbrella\")").unwrap(), Value::Bool(true));
+        assert_eq!(run("has(\"sword\")").unwrap(), Value::Bool(false));
+        assert_eq!(run("min(score, 7) + 1").unwrap(), Value::Int(8));
+        assert!(matches!(run("nope()"), Err(ScriptError::UnknownFunction(_))));
+        assert!(matches!(run("has()"), Err(ScriptError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs() {
+        // RHS would error (unknown var) but must never evaluate.
+        assert_eq!(run("false && missing").unwrap(), Value::Bool(false));
+        assert_eq!(run("true || missing").unwrap(), Value::Bool(true));
+        // Without short-circuit the error surfaces.
+        assert!(matches!(
+            run("true && missing"),
+            Err(ScriptError::UnknownVariable(_))
+        ));
+    }
+
+    #[test]
+    fn type_errors() {
+        assert!(matches!(run("1 && true"), Err(ScriptError::TypeMismatch { .. })));
+        assert!(matches!(run("true + 1"), Err(ScriptError::TypeMismatch { .. })));
+        assert!(matches!(run("\"a\" < \"b\""), Err(ScriptError::TypeMismatch { .. })));
+        assert!(matches!(run("1 == \"1\""), Err(ScriptError::TypeMismatch { .. })));
+        assert!(matches!(run("!1"), Err(ScriptError::TypeMismatch { .. })));
+        assert!(matches!(run("-name"), Err(ScriptError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        assert_eq!(run("1 / 0"), Err(ScriptError::DivisionByZero));
+        assert_eq!(run("1 % 0"), Err(ScriptError::DivisionByZero));
+        // Guarded by short-circuit, no error:
+        assert_eq!(run("false && 1 / 0 == 0").unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_panic() {
+        assert!(matches!(
+            run("9223372036854775807 + 1"),
+            Err(ScriptError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            run("9223372036854775807 * 2"),
+            Err(ScriptError::TypeMismatch { .. })
+        ));
+        // i64::MIN is not directly writable (lexer reads magnitude first),
+        // but MIN / -1 via arithmetic must not panic either.
+        assert!(matches!(
+            run("(-9223372036854775807 - 1) / -1"),
+            Err(ScriptError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_variable() {
+        assert_eq!(run("ghost"), Err(ScriptError::UnknownVariable("ghost".into())));
+    }
+}

@@ -1,0 +1,309 @@
+//! Tokeniser for the condition language.
+
+use crate::error::ScriptError;
+use crate::Result;
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub pos: usize,
+}
+
+/// Token kinds of the condition language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An integer literal.
+    Int(i64),
+    /// A double-quoted string literal (escapes `\"`, `\\`, `\n`, `\t`).
+    Str(String),
+    /// An identifier or keyword (`true`/`false` are resolved by the parser).
+    Ident(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+}
+
+/// Tokenises `source` completely.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, pos: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, pos: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, pos: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, pos: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, pos: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, pos: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, pos: start });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token { kind: TokenKind::Percent, pos: start });
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token { kind: TokenKind::AndAnd, pos: start });
+                    i += 2;
+                } else {
+                    return Err(ScriptError::UnexpectedChar { ch: '&', pos: start });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token { kind: TokenKind::OrOr, pos: start });
+                    i += 2;
+                } else {
+                    return Err(ScriptError::UnexpectedChar { ch: '|', pos: start });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::NotEq, pos: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Bang, pos: start });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::EqEq, pos: start });
+                    i += 2;
+                } else {
+                    return Err(ScriptError::UnexpectedChar { ch: '=', pos: start });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, pos: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, pos: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, pos: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, pos: start });
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(ScriptError::UnterminatedString { pos: start }),
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = bytes
+                                .get(i + 1)
+                                .ok_or(ScriptError::UnterminatedString { pos: start })?;
+                            s.push(match esc {
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                b'n' => '\n',
+                                b't' => '\t',
+                                other => {
+                                    return Err(ScriptError::UnexpectedChar {
+                                        ch: *other as char,
+                                        pos: i + 1,
+                                    })
+                                }
+                            });
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            // Multi-byte UTF-8: copy the full scalar.
+                            if b < 0x80 {
+                                s.push(b as char);
+                                i += 1;
+                            } else {
+                                let ch = source[i..]
+                                    .chars()
+                                    .next()
+                                    .expect("valid utf-8 in source");
+                                s.push(ch);
+                                i += ch.len_utf8();
+                            }
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), pos: start });
+            }
+            '0'..='9' => {
+                let mut end = i;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                let text = &source[i..end];
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| ScriptError::IntOverflow { pos: start })?;
+                tokens.push(Token { kind: TokenKind::Int(v), pos: start });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len()
+                    && ((bytes[end] as char).is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(source[i..end].to_owned()),
+                    pos: start,
+                });
+                i = end;
+            }
+            other => return Err(ScriptError::UnexpectedChar { ch: other, pos: start }),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("&& || ! == != < <= > >= + - * / % ( ) ,"),
+            vec![
+                AndAnd, OrOr, Bang, EqEq, NotEq, Lt, Le, Gt, Ge, Plus, Minus, Star, Slash,
+                Percent, LParen, RParen, Comma
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_literals_and_idents() {
+        assert_eq!(
+            kinds(r#"has("key") && score >= 42"#),
+            vec![
+                Ident("has".into()),
+                LParen,
+                Str("key".into()),
+                RParen,
+                AndAnd,
+                Ident("score".into()),
+                Ge,
+                Int(42),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds(r#""a\"b\\c\nd\te""#), vec![Str("a\"b\\c\nd\te".into())]);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds(r#""傘 umbrella""#), vec![Str("傘 umbrella".into())]);
+    }
+
+    #[test]
+    fn reports_positions() {
+        let toks = lex("a  && b").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 3);
+        assert_eq!(toks[2].pos, 6);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(lex("a & b"), Err(ScriptError::UnexpectedChar { ch: '&', .. })));
+        assert!(matches!(lex("a | b"), Err(ScriptError::UnexpectedChar { ch: '|', .. })));
+        assert!(matches!(lex("a = b"), Err(ScriptError::UnexpectedChar { ch: '=', .. })));
+        assert!(matches!(lex("\"abc"), Err(ScriptError::UnterminatedString { .. })));
+        assert!(matches!(lex("\"abc\\"), Err(ScriptError::UnterminatedString { .. })));
+        assert!(matches!(lex("\"a\\q\""), Err(ScriptError::UnexpectedChar { .. })));
+        assert!(matches!(lex("99999999999999999999"), Err(ScriptError::IntOverflow { .. })));
+        assert!(matches!(lex("a # b"), Err(ScriptError::UnexpectedChar { ch: '#', .. })));
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("  \t\n ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn negative_numbers_are_minus_then_int() {
+        assert_eq!(kinds("-5"), vec![Minus, Int(5)]);
+    }
+}

@@ -1,0 +1,92 @@
+//! # vgbl-script — the VGBL event and condition engine
+//!
+//! The paper's object editor lets course designers "set the properties and
+//! events of objects in video and produce adequate feedback when users
+//! trigger them" (§4.2), and knowledge delivery happens "in the process of
+//! solving a problem" (§3.2) — i.e. through conditions over game state
+//! (items held, flags set, scenarios visited) guarding actions (switch
+//! scenario, pop up text/images/web pages, grant items, award bonuses).
+//!
+//! This crate implements that wiring as a small, fully specified language:
+//!
+//! * [`value`] — the value model (booleans, integers, strings).
+//! * [`lexer`] / [`parser`] / [`ast`] — a boolean/arithmetic expression
+//!   language for trigger conditions, e.g.
+//!   `has("screwdriver") && !flag("fixed") && score() >= 10`.
+//! * [`eval()`] — the evaluator, generic over an [`env::Env`] supplied by
+//!   the runtime (which binds `has`, `flag`, `score`, `visited`, …).
+//! * [`action`] — the action vocabulary the runtime executes.
+//! * [`trigger`] — events (click, drag, key, item use, scenario entry,
+//!   timers) paired with a condition and actions.
+//!
+//! Everything round-trips through text because the `.vgp` project format
+//! stores conditions and actions as source strings.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod action;
+pub mod ast;
+pub mod env;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod trigger;
+pub mod value;
+
+pub use action::Action;
+pub use ast::Expr;
+pub use env::{Env, MapEnv};
+pub use error::ScriptError;
+pub use eval::eval;
+pub use parser::parse_expr;
+pub use trigger::{EventKind, Trigger, TriggerSet};
+pub use value::Value;
+
+/// Result alias for script operations.
+pub type Result<T> = std::result::Result<T, ScriptError>;
+
+/// Parses and immediately evaluates `source` in `env` — the one-shot
+/// entry point used by the runtime for stored condition strings.
+///
+/// # Examples
+///
+/// ```
+/// use vgbl_script::{eval_str, MapEnv, Value};
+/// use vgbl_script::env::expect_arity;
+///
+/// let mut env = MapEnv::new();
+/// env.set_var("score", Value::Int(12));
+/// env.set_func("has", |args| {
+///     expect_arity("has", args, 1)?;
+///     Ok(Value::Bool(args[0].as_str()? == "fan"))
+/// });
+///
+/// let v = eval_str("has(\"fan\") && score >= 10", &env).unwrap();
+/// assert_eq!(v, Value::Bool(true));
+/// ```
+pub fn eval_str(source: &str, env: &dyn Env) -> Result<Value> {
+    let expr = parse_expr(source)?;
+    eval(&expr, env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_str_end_to_end() {
+        let mut env = MapEnv::new();
+        env.set_var("score", Value::Int(12));
+        let v = eval_str("score >= 10 && score < 20", &env).unwrap();
+        assert_eq!(v, Value::Bool(true));
+    }
+
+    #[test]
+    fn eval_str_propagates_parse_errors() {
+        let env = MapEnv::new();
+        assert!(eval_str("1 +", &env).is_err());
+        assert!(eval_str("", &env).is_err());
+    }
+}

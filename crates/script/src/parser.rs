@@ -1,0 +1,390 @@
+//! Recursive-descent parser for the condition language.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! expr     := or
+//! or       := and ( "||" and )*
+//! and      := cmp ( "&&" cmp )*
+//! cmp      := add ( ("==" | "!=" | "<" | "<=" | ">" | ">=") add )?
+//! add      := mul ( ("+" | "-") mul )*
+//! mul      := unary ( ("*" | "/" | "%") unary )*
+//! unary    := ("!" | "-") unary | primary
+//! primary  := INT | STRING | "true" | "false"
+//!           | IDENT "(" args? ")" | IDENT | "(" expr ")"
+//! args     := expr ( "," expr )*
+//! ```
+//!
+//! Comparison is deliberately non-associative (`a < b < c` is a parse
+//! error) — chained comparisons are a classic authoring bug.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::error::ScriptError;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::value::Value;
+use crate::Result;
+
+/// Maximum rule-recursion depth the parser accepts, bounding stack use on
+/// hostile input. Each parenthesis level costs ~7 rule frames, so this
+/// allows roughly 70 levels of literal nesting.
+const MAX_DEPTH: usize = 512;
+
+/// Parses a complete expression; trailing tokens are an error.
+pub fn parse_expr(source: &str) -> Result<Expr> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
+    if p.tokens.is_empty() {
+        return Err(ScriptError::Parse { message: "empty expression".into(), pos: 0 });
+    }
+    let expr = p.expr()?;
+    if let Some(tok) = p.peek() {
+        return Err(ScriptError::Parse {
+            message: format!("unexpected trailing token {:?}", tok.kind),
+            pos: tok.pos,
+        });
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek().map(|t| &t.kind) == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<()> {
+        match self.advance() {
+            Some(t) if t.kind == kind => Ok(()),
+            Some(t) => Err(ScriptError::Parse {
+                message: format!("expected {what}, found {:?}", t.kind),
+                pos: t.pos,
+            }),
+            None => Err(ScriptError::Parse {
+                message: format!("expected {what}, found end of input"),
+                pos: self.end_pos(),
+            }),
+        }
+    }
+
+    fn end_pos(&self) -> usize {
+        self.tokens.last().map(|t| t.pos + 1).unwrap_or(0)
+    }
+
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(ScriptError::TooDeep)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or()
+    }
+
+    fn or(&mut self) -> Result<Expr> {
+        self.enter()?;
+        let mut lhs = self.and()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        self.leave();
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Expr> {
+        self.enter()?;
+        let mut lhs = self.cmp()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        self.leave();
+        Ok(lhs)
+    }
+
+    fn cmp(&mut self) -> Result<Expr> {
+        self.enter()?;
+        let lhs = self.add()?;
+        let op = match self.peek().map(|t| &t.kind) {
+            Some(TokenKind::EqEq) => Some(BinOp::Eq),
+            Some(TokenKind::NotEq) => Some(BinOp::Ne),
+            Some(TokenKind::Lt) => Some(BinOp::Lt),
+            Some(TokenKind::Le) => Some(BinOp::Le),
+            Some(TokenKind::Gt) => Some(BinOp::Gt),
+            Some(TokenKind::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        let result = if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.add()?;
+            // Reject chained comparison explicitly for a better message.
+            if let Some(t) = self.peek() {
+                if matches!(
+                    t.kind,
+                    TokenKind::EqEq
+                        | TokenKind::NotEq
+                        | TokenKind::Lt
+                        | TokenKind::Le
+                        | TokenKind::Gt
+                        | TokenKind::Ge
+                ) {
+                    return Err(ScriptError::Parse {
+                        message: "comparison operators cannot be chained".into(),
+                        pos: t.pos,
+                    });
+                }
+            }
+            Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        } else {
+            lhs
+        };
+        self.leave();
+        Ok(result)
+    }
+
+    fn add(&mut self) -> Result<Expr> {
+        self.enter()?;
+        let mut lhs = self.mul()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        self.leave();
+        Ok(lhs)
+    }
+
+    fn mul(&mut self) -> Result<Expr> {
+        self.enter()?;
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Star) => BinOp::Mul,
+                Some(TokenKind::Slash) => BinOp::Div,
+                Some(TokenKind::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        self.leave();
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        self.enter()?;
+        let result = if self.eat(&TokenKind::Bang) {
+            Expr::Unary { op: UnOp::Not, expr: Box::new(self.unary()?) }
+        } else if self.eat(&TokenKind::Minus) {
+            Expr::Unary { op: UnOp::Neg, expr: Box::new(self.unary()?) }
+        } else {
+            self.primary()?
+        };
+        self.leave();
+        Ok(result)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let tok = self.advance().ok_or_else(|| ScriptError::Parse {
+            message: "expected expression, found end of input".into(),
+            pos: self.end_pos(),
+        })?;
+        match tok.kind {
+            TokenKind::Int(v) => Ok(Expr::Literal(Value::Int(v))),
+            TokenKind::Str(s) => Ok(Expr::Literal(Value::Str(s))),
+            TokenKind::Ident(name) => {
+                if name == "true" {
+                    return Ok(Expr::Literal(Value::Bool(true)));
+                }
+                if name == "false" {
+                    return Ok(Expr::Literal(Value::Bool(false)));
+                }
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&TokenKind::Comma) {
+                                continue;
+                            }
+                            self.expect(TokenKind::RParen, "`)`")?;
+                            break;
+                        }
+                    }
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            TokenKind::LParen => {
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            other => Err(ScriptError::Parse {
+                message: format!("expected expression, found {other:?}"),
+                pos: tok.pos,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> Expr {
+        parse_expr(src).unwrap()
+    }
+
+    #[test]
+    fn precedence_or_lowest() {
+        // a || b && c parses as a || (b && c)
+        let e = p("a || b && c");
+        match e {
+            Expr::Binary { op: BinOp::Or, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_arithmetic() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3)
+        let e = p("1 + 2 * 3");
+        match e {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_binds_tighter_than_and() {
+        let e = p("x > 1 && y < 2");
+        assert!(matches!(e, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn left_associativity() {
+        // 10 - 3 - 2 parses as (10 - 3) - 2
+        let e = p("10 - 3 - 2");
+        match e {
+            Expr::Binary { op: BinOp::Sub, lhs, rhs } => {
+                assert!(matches!(*lhs, Expr::Binary { op: BinOp::Sub, .. }));
+                assert_eq!(*rhs, Expr::Literal(Value::Int(2)));
+            }
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override() {
+        let e = p("(1 + 2) * 3");
+        assert!(matches!(e, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn keywords_and_calls() {
+        assert_eq!(p("true"), Expr::Literal(Value::Bool(true)));
+        assert_eq!(p("false"), Expr::Literal(Value::Bool(false)));
+        assert_eq!(
+            p("f()"),
+            Expr::Call { name: "f".into(), args: vec![] }
+        );
+        assert_eq!(
+            p(r#"has("key", 2)"#),
+            Expr::Call {
+                name: "has".into(),
+                args: vec![
+                    Expr::Literal(Value::Str("key".into())),
+                    Expr::Literal(Value::Int(2)),
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn nested_calls() {
+        let e = p("max(min(a, b), c + 1)");
+        assert!(matches!(e, Expr::Call { ref name, ref args } if name == "max" && args.len() == 2));
+    }
+
+    #[test]
+    fn unary_composition() {
+        assert_eq!(
+            p("!!x"),
+            Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(Expr::Var("x".into())),
+                }),
+            }
+        );
+        assert!(matches!(p("--3"), Expr::Unary { op: UnOp::Neg, .. }));
+    }
+
+    #[test]
+    fn rejects_chained_comparison() {
+        let err = parse_expr("1 < 2 < 3").unwrap_err();
+        assert!(err.to_string().contains("chained"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("(1").is_err());
+        assert!(parse_expr("1)").is_err());
+        assert!(parse_expr("f(1,").is_err());
+        assert!(parse_expr("f(1 2)").is_err());
+        assert!(parse_expr("* 3").is_err());
+        assert!(parse_expr("1 2").is_err());
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let deep = format!("{}1{}", "(".repeat(500), ")".repeat(500));
+        assert_eq!(parse_expr(&deep).unwrap_err(), ScriptError::TooDeep);
+        let ok = format!("{}1{}", "(".repeat(50), ")".repeat(50));
+        assert!(parse_expr(&ok).is_ok());
+    }
+}

@@ -1,0 +1,304 @@
+//! Events, triggers and trigger dispatch.
+//!
+//! A [`Trigger`] is the paper's "event of an object" (§4.2): an input
+//! [`EventKind`] (click, drag-to-inventory, item use, key press, scenario
+//! entry, timer), an optional guard condition over game state, and the
+//! ordered [`Action`]s to run when it fires. [`TriggerSet`] is the
+//! per-object collection with the dispatch rule the runtime calls on every
+//! input event.
+
+use crate::action::{split_args, Action};
+use crate::ast::Expr;
+use crate::env::Env;
+use crate::error::ScriptError;
+use crate::parser::parse_expr;
+use crate::Result;
+use std::fmt;
+
+/// The kinds of events a trigger can listen for.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A mouse click on the object ("examine").
+    Click,
+    /// The object was dragged to the inventory window.
+    Drag,
+    /// An inventory item was used on the object.
+    Use(String),
+    /// A key was pressed while the object has focus.
+    Key(char),
+    /// The scenario containing the object was entered.
+    Enter,
+    /// `ms` milliseconds elapsed since scenario entry.
+    Timer(u64),
+}
+
+impl EventKind {
+    /// Parses the textual event form used by `.vgp` files:
+    /// `click`, `drag`, `use <item>`, `key <c>`, `enter`, `timer <ms>`.
+    pub fn parse(source: &str) -> Result<EventKind> {
+        use crate::action::Arg;
+        let bad = || ScriptError::BadEvent(source.to_owned());
+        let args = split_args(source).map_err(|_| bad())?;
+        // `key <c>` accepts a bare or quoted single character (quotes are
+        // needed for `"`, `\` and whitespace keys).
+        if let [Arg::Word(w), k] = args.as_slice() {
+            if w == "key" {
+                let s = match k {
+                    Arg::Word(s) | Arg::Quoted(s) => s,
+                };
+                let mut chars = s.chars();
+                return match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(EventKind::Key(c)),
+                    _ => Err(bad()),
+                };
+            }
+        }
+        let words: Vec<&str> = args
+            .iter()
+            .map(|a| match a {
+                Arg::Word(w) => Ok(w.as_str()),
+                Arg::Quoted(_) => Err(bad()),
+            })
+            .collect::<Result<_>>()?;
+        match words.as_slice() {
+            ["click"] => Ok(EventKind::Click),
+            ["drag"] => Ok(EventKind::Drag),
+            ["use", item] => Ok(EventKind::Use((*item).to_owned())),
+            ["enter"] => Ok(EventKind::Enter),
+            ["timer", ms] => Ok(EventKind::Timer(ms.parse().map_err(|_| bad())?)),
+            _ => Err(bad()),
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Click => f.write_str("click"),
+            EventKind::Drag => f.write_str("drag"),
+            EventKind::Use(item) => write!(f, "use {item}"),
+            EventKind::Key(c) => {
+                if c.is_whitespace() || *c == '"' || *c == '\\' {
+                    // Quote keys the bare form cannot carry.
+                    let escaped = match c {
+                        '"' => "\\\"".to_owned(),
+                        '\\' => "\\\\".to_owned(),
+                        '\n' => "\\n".to_owned(),
+                        '\t' => "\\t".to_owned(),
+                        other => other.to_string(),
+                    };
+                    write!(f, "key \"{escaped}\"")
+                } else {
+                    write!(f, "key {c}")
+                }
+            }
+            EventKind::Enter => f.write_str("enter"),
+            EventKind::Timer(ms) => write!(f, "timer {ms}"),
+        }
+    }
+}
+
+/// An event → condition → actions rule attached to an object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trigger {
+    /// The event this trigger listens for.
+    pub event: EventKind,
+    /// Optional guard; `None` always fires.
+    pub condition: Option<Expr>,
+    /// Actions executed, in order, when the trigger fires.
+    pub actions: Vec<Action>,
+}
+
+impl Trigger {
+    /// A trigger without a condition.
+    pub fn unconditional(event: EventKind, actions: Vec<Action>) -> Trigger {
+        Trigger { event, condition: None, actions }
+    }
+
+    /// A trigger guarded by `condition` source text.
+    ///
+    /// # Errors
+    /// Propagates parse errors from the condition.
+    pub fn guarded(event: EventKind, condition: &str, actions: Vec<Action>) -> Result<Trigger> {
+        Ok(Trigger { event, condition: Some(parse_expr(condition)?), actions })
+    }
+
+    /// Whether this trigger matches the event and its guard passes in
+    /// `env`. Guard type errors propagate so authoring bugs surface.
+    pub fn fires(&self, event: &EventKind, env: &dyn Env) -> Result<bool> {
+        if self.event != *event {
+            return Ok(false);
+        }
+        match &self.condition {
+            None => Ok(true),
+            Some(cond) => crate::eval::eval(cond, env)?.as_condition(),
+        }
+    }
+}
+
+/// The ordered set of triggers attached to an interactive object.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TriggerSet {
+    triggers: Vec<Trigger>,
+}
+
+impl TriggerSet {
+    /// An empty set.
+    pub fn new() -> TriggerSet {
+        TriggerSet::default()
+    }
+
+    /// Appends a trigger (authoring order = dispatch order).
+    pub fn push(&mut self, trigger: Trigger) {
+        self.triggers.push(trigger);
+    }
+
+    /// All triggers, in dispatch order.
+    pub fn triggers(&self) -> &[Trigger] {
+        &self.triggers
+    }
+
+    /// Mutable access for the object editor.
+    pub fn triggers_mut(&mut self) -> &mut Vec<Trigger> {
+        &mut self.triggers
+    }
+
+    /// Number of triggers.
+    pub fn len(&self) -> usize {
+        self.triggers.len()
+    }
+
+    /// True when no triggers are attached.
+    pub fn is_empty(&self) -> bool {
+        self.triggers.is_empty()
+    }
+
+    /// Dispatches `event`: collects the actions of every matching trigger
+    /// whose guard passes, in authoring order.
+    pub fn dispatch(&self, event: &EventKind, env: &dyn Env) -> Result<Vec<Action>> {
+        let mut out = Vec::new();
+        for t in &self.triggers {
+            if t.fires(event, env)? {
+                out.extend(t.actions.iter().cloned());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The distinct events this set listens for (for authoring UI).
+    pub fn listened_events(&self) -> Vec<EventKind> {
+        let mut out: Vec<EventKind> = Vec::new();
+        for t in &self.triggers {
+            if !out.contains(&t.event) {
+                out.push(t.event.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::MapEnv;
+    use crate::value::Value;
+
+    fn env_with_score(score: i64) -> MapEnv {
+        let mut env = MapEnv::new();
+        env.set_var("score", Value::Int(score));
+        env
+    }
+
+    #[test]
+    fn event_parse_display_roundtrip() {
+        for e in [
+            EventKind::Click,
+            EventKind::Drag,
+            EventKind::Use("screwdriver".into()),
+            EventKind::Key('e'),
+            EventKind::Enter,
+            EventKind::Timer(1500),
+        ] {
+            let s = e.to_string();
+            assert_eq!(EventKind::parse(&s).unwrap(), e, "source {s}");
+        }
+    }
+
+    #[test]
+    fn event_parse_rejects_malformed() {
+        for bad in ["", "click now", "use", "key", "key ab", "timer", "timer x", "hover", "use \"q\""] {
+            assert!(EventKind::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unconditional_fires_on_match_only() {
+        let t = Trigger::unconditional(EventKind::Click, vec![Action::AddScore(1)]);
+        let env = MapEnv::new();
+        assert!(t.fires(&EventKind::Click, &env).unwrap());
+        assert!(!t.fires(&EventKind::Drag, &env).unwrap());
+        assert!(!t.fires(&EventKind::Use("x".into()), &env).unwrap());
+    }
+
+    #[test]
+    fn use_events_match_by_item() {
+        let t = Trigger::unconditional(EventKind::Use("ram".into()), vec![]);
+        let env = MapEnv::new();
+        assert!(t.fires(&EventKind::Use("ram".into()), &env).unwrap());
+        assert!(!t.fires(&EventKind::Use("rom".into()), &env).unwrap());
+    }
+
+    #[test]
+    fn guard_gates_firing() {
+        let t = Trigger::guarded(EventKind::Click, "score >= 10", vec![Action::End("win".into())])
+            .unwrap();
+        assert!(!t.fires(&EventKind::Click, &env_with_score(5)).unwrap());
+        assert!(t.fires(&EventKind::Click, &env_with_score(10)).unwrap());
+    }
+
+    #[test]
+    fn guard_errors_propagate() {
+        let t = Trigger::guarded(EventKind::Click, "score", vec![]).unwrap();
+        // Non-bool condition is a type error at dispatch time.
+        assert!(t.fires(&EventKind::Click, &env_with_score(1)).is_err());
+        let t = Trigger::guarded(EventKind::Click, "missing_var", vec![]).unwrap();
+        assert!(t.fires(&EventKind::Click, &MapEnv::new()).is_err());
+        assert!(Trigger::guarded(EventKind::Click, "((", vec![]).is_err());
+    }
+
+    #[test]
+    fn dispatch_collects_in_order() {
+        let mut set = TriggerSet::new();
+        set.push(Trigger::unconditional(EventKind::Click, vec![Action::AddScore(1)]));
+        set.push(
+            Trigger::guarded(EventKind::Click, "score >= 10", vec![Action::AddScore(100)])
+                .unwrap(),
+        );
+        set.push(Trigger::unconditional(EventKind::Click, vec![Action::GoTo("next".into())]));
+        set.push(Trigger::unconditional(EventKind::Drag, vec![Action::GiveItem("it".into())]));
+
+        let low = set.dispatch(&EventKind::Click, &env_with_score(0)).unwrap();
+        assert_eq!(low, vec![Action::AddScore(1), Action::GoTo("next".into())]);
+
+        let high = set.dispatch(&EventKind::Click, &env_with_score(10)).unwrap();
+        assert_eq!(
+            high,
+            vec![Action::AddScore(1), Action::AddScore(100), Action::GoTo("next".into())]
+        );
+
+        let drag = set.dispatch(&EventKind::Drag, &env_with_score(0)).unwrap();
+        assert_eq!(drag, vec![Action::GiveItem("it".into())]);
+    }
+
+    #[test]
+    fn listened_events_dedup_in_order() {
+        let mut set = TriggerSet::new();
+        set.push(Trigger::unconditional(EventKind::Click, vec![]));
+        set.push(Trigger::unconditional(EventKind::Drag, vec![]));
+        set.push(Trigger::unconditional(EventKind::Click, vec![]));
+        assert_eq!(set.listened_events(), vec![EventKind::Click, EventKind::Drag]);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        assert!(TriggerSet::new().is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! The value model of the condition language.
+
+use crate::error::ScriptError;
+use std::fmt;
+
+/// A runtime value: boolean, 64-bit integer or string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// A signed 64-bit integer.
+    Int(i64),
+    /// A string.
+    Str(String),
+}
+
+impl Value {
+    /// Human-readable name of the value's type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Str(_) => "string",
+        }
+    }
+
+    /// Interprets the value as a condition result.
+    ///
+    /// Only booleans may guard triggers — integers and strings are *not*
+    /// implicitly truthy, so an authoring typo like `score` (instead of
+    /// `score > 0`) is caught instead of silently passing.
+    pub fn as_condition(&self) -> Result<bool, ScriptError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(ScriptError::TypeMismatch {
+                message: format!("condition must be bool, got {}", other.type_name()),
+            }),
+        }
+    }
+
+    /// Extracts an integer or errors with a typed message.
+    pub fn as_int(&self) -> Result<i64, ScriptError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(ScriptError::TypeMismatch {
+                message: format!("expected int, got {}", other.type_name()),
+            }),
+        }
+    }
+
+    /// Extracts a string slice or errors with a typed message.
+    pub fn as_str(&self) -> Result<&str, ScriptError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(ScriptError::TypeMismatch {
+                message: format!("expected string, got {}", other.type_name()),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Bool(true).type_name(), "bool");
+        assert_eq!(Value::Int(0).type_name(), "int");
+        assert_eq!(Value::Str(String::new()).type_name(), "string");
+    }
+
+    #[test]
+    fn conditions_require_bool() {
+        assert!(Value::Bool(true).as_condition().unwrap());
+        assert!(!Value::Bool(false).as_condition().unwrap());
+        assert!(Value::Int(1).as_condition().is_err());
+        assert!(Value::Str("true".into()).as_condition().is_err());
+    }
+
+    #[test]
+    fn typed_extractors() {
+        assert_eq!(Value::Int(9).as_int().unwrap(), 9);
+        assert!(Value::Bool(true).as_int().is_err());
+        assert_eq!(Value::Str("x".into()).as_str().unwrap(), "x");
+        assert!(Value::Int(1).as_str().is_err());
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(Value::from(true).to_string(), "true");
+        assert_eq!(Value::from(-3i64).to_string(), "-3");
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::from(String::from("s")), Value::Str("s".into()));
+    }
+}

@@ -1,0 +1,375 @@
+//! The streaming-client simulation (EXP-7).
+//!
+//! Plays a *trace* — the sequence of segments a player visited and for
+//! how long (loops included, since scenarios loop their segment while the
+//! player explores) — against a [`crate::LinkModel`] and a
+//! [`PrefetchPolicy`], accounting startup delay, rebuffering stalls and
+//! byte efficiency. Time is simulated; results are exactly reproducible.
+
+use std::collections::{HashMap, HashSet};
+
+use vgbl_media::SegmentId;
+
+use crate::chunk::{ChunkId, ChunkMap};
+use crate::link::Link;
+#[cfg(test)]
+use crate::link::LinkModel;
+use crate::prefetch::{PrefetchContext, PrefetchPolicy};
+use crate::Result;
+
+/// One step of a playback trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStep {
+    /// The segment the player is in.
+    pub segment: SegmentId,
+    /// How long they stay (the segment loops to fill the time).
+    pub watch_ms: f64,
+    /// Segments reachable in one transition from here (the scenario
+    /// graph's out-edges; input to branch-aware prefetch).
+    pub branch_targets: Vec<SegmentId>,
+}
+
+/// Results of one simulated session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamStats {
+    /// Milliseconds from pressing play to the first frame.
+    pub startup_ms: f64,
+    /// Mid-session rebuffer events.
+    pub stalls: usize,
+    /// Total milliseconds spent rebuffering (excluding startup).
+    pub stall_ms: f64,
+    /// Bytes fetched, including the container header.
+    pub bytes_fetched: usize,
+    /// Bytes fetched for chunks that never played.
+    pub wasted_bytes: usize,
+    /// Total milliseconds of content played.
+    pub play_ms: f64,
+}
+
+impl StreamStats {
+    /// Fraction of fetched payload bytes that never played.
+    pub fn waste_ratio(&self) -> f64 {
+        if self.bytes_fetched == 0 {
+            0.0
+        } else {
+            self.wasted_bytes as f64 / self.bytes_fetched as f64
+        }
+    }
+
+    /// Rebuffering ratio: stall time over play time.
+    pub fn rebuffer_ratio(&self) -> f64 {
+        if self.play_ms == 0.0 {
+            0.0
+        } else {
+            self.stall_ms / self.play_ms
+        }
+    }
+}
+
+struct Net<'a, L: Link + ?Sized> {
+    link: &'a L,
+    busy_until: f64,
+    completion: HashMap<ChunkId, f64>,
+    bytes: usize,
+}
+
+impl<L: Link + ?Sized> Net<'_, L> {
+    /// Enqueues a chunk fetch at `now` (no-op if already requested) and
+    /// returns its completion time.
+    fn fetch(&mut self, map: &ChunkMap, id: ChunkId, now: f64) -> f64 {
+        if let Some(&done) = self.completion.get(&id) {
+            return done;
+        }
+        let bytes = map.get(id).map(|c| c.bytes).unwrap_or(0);
+        let start = self.busy_until.max(now);
+        let done = self.link.complete_at(start, bytes);
+        self.busy_until = done;
+        self.bytes += bytes;
+        self.completion.insert(id, done);
+        done
+    }
+}
+
+/// Simulates one session.
+///
+/// # Errors
+/// Propagates unknown segments in the trace.
+pub fn simulate<L: Link + ?Sized>(
+    map: &ChunkMap,
+    link: &L,
+    policy: PrefetchPolicy,
+    trace: &[TraceStep],
+) -> Result<StreamStats> {
+    let mut net = Net { link, busy_until: 0.0, completion: HashMap::new(), bytes: 0 };
+    let mut now: f64;
+    let mut played: HashSet<ChunkId> = HashSet::new();
+    let mut stats = StreamStats {
+        startup_ms: 0.0,
+        stalls: 0,
+        stall_ms: 0.0,
+        bytes_fetched: 0,
+        wasted_bytes: 0,
+        play_ms: 0.0,
+    };
+
+    // The container header must arrive before anything can play.
+    let header_done = link.complete_at(0.0, map.header_bytes());
+    net.busy_until = header_done;
+    net.bytes += map.header_bytes();
+    now = header_done;
+
+    let mut started = false;
+    for step in trace {
+        let chunks = map.segment_chunks(step.segment)?;
+        if chunks.is_empty() {
+            continue;
+        }
+        let mut watched = 0.0f64;
+        let mut idx = 0usize;
+        while watched < step.watch_ms || idx == 0 {
+            let id = chunks[idx % chunks.len()];
+            let done = net.fetch(map, id, now);
+            if done > now {
+                let wait = done - now;
+                if started {
+                    stats.stalls += 1;
+                    stats.stall_ms += wait;
+                }
+                now = done;
+            }
+            if !started {
+                stats.startup_ms = now;
+                started = true;
+            }
+            // Prefetch while this chunk plays.
+            let ctx = PrefetchContext {
+                map,
+                playing: id,
+                segment: step.segment,
+                branch_targets: &step.branch_targets,
+            };
+            for want in policy.plan(&ctx) {
+                net.fetch(map, want, now);
+            }
+            let play = map.chunk_play_ms(id);
+            now += play;
+            watched += play;
+            stats.play_ms += play;
+            played.insert(id);
+            idx += 1;
+        }
+    }
+
+    stats.bytes_fetched = net.bytes;
+    stats.wasted_bytes = net
+        .completion
+        .keys()
+        .filter(|id| !played.contains(id))
+        .map(|id| map.get(*id).map(|c| c.bytes).unwrap_or(0))
+        .sum();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgbl_media::codec::{EncodeConfig, Encoder, Quality};
+    use vgbl_media::color::Rgb;
+    use vgbl_media::synth::{FootageSpec, ShotSpec, SpriteShape, SpriteSpec};
+    use vgbl_media::timeline::FrameRate;
+    use vgbl_media::SegmentTable;
+
+    /// 4 segments × 30 frames, busy content so chunks have real weight.
+    fn setup() -> ChunkMap {
+        let shots = (0..4)
+            .map(|i| ShotSpec {
+                frames: 30,
+                background: Rgb::from_seed(i * 7 + 1),
+                sprites: vec![SpriteSpec {
+                    shape: SpriteShape::Rect(12, 10),
+                    color: Rgb::from_seed(i * 13 + 5),
+                    pos: (10.0, 10.0),
+                    vel: (2.5, 1.5),
+                }],
+                luma_drift: 5,
+                noise: 2,
+            })
+            .collect();
+        let footage = FootageSpec {
+            width: 64,
+            height: 48,
+            rate: FrameRate::FPS30,
+            shots,
+            noise_seed: 77,
+        }
+        .render()
+        .unwrap();
+        let video = Encoder::new(EncodeConfig {
+            gop: 10,
+            quality: Quality::Medium,
+            ..Default::default()
+        })
+        .encode(&footage.frames, footage.rate)
+        .unwrap();
+        let table = SegmentTable::from_cuts(120, &[30, 60, 90]).unwrap();
+        ChunkMap::build(&video, &table).unwrap()
+    }
+
+    fn linear_trace() -> Vec<TraceStep> {
+        (0..4)
+            .map(|i| TraceStep {
+                segment: SegmentId(i),
+                watch_ms: 1000.0,
+                branch_targets: if i + 1 < 4 { vec![SegmentId(i + 1)] } else { vec![] },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_link_never_stalls_after_startup_with_linear_prefetch() {
+        let map = setup();
+        let link = LinkModel::mbps(100.0, 5.0).unwrap();
+        let stats = simulate(&map, &link, PrefetchPolicy::Linear { lookahead: 3 }, &linear_trace())
+            .unwrap();
+        assert!(stats.startup_ms > 0.0);
+        assert_eq!(stats.stalls, 0, "{stats:?}");
+        assert!(stats.play_ms >= 4000.0);
+    }
+
+    #[test]
+    fn no_prefetch_on_slow_link_stalls_every_new_chunk() {
+        let map = setup();
+        let link = LinkModel::mbps(0.3, 40.0).unwrap();
+        let stats = simulate(&map, &link, PrefetchPolicy::None, &linear_trace()).unwrap();
+        assert!(stats.stalls > 0, "{stats:?}");
+        assert!(stats.stall_ms > 0.0);
+        assert_eq!(stats.wasted_bytes, 0); // on-demand never wastes
+    }
+
+    #[test]
+    fn prefetch_reduces_stalling_at_equal_bandwidth() {
+        let map = setup();
+        let link = LinkModel::mbps(1.2, 30.0).unwrap();
+        let none = simulate(&map, &link, PrefetchPolicy::None, &linear_trace()).unwrap();
+        let linear = simulate(&map, &link, PrefetchPolicy::Linear { lookahead: 3 }, &linear_trace())
+            .unwrap();
+        assert!(
+            linear.stall_ms < none.stall_ms,
+            "linear {:?} vs none {:?}",
+            linear.stall_ms,
+            none.stall_ms
+        );
+    }
+
+    /// A branching trace: the player jumps 0 → 2 → 1 (non-linear).
+    fn branchy_trace() -> Vec<TraceStep> {
+        vec![
+            TraceStep {
+                segment: SegmentId(0),
+                watch_ms: 2500.0,
+                branch_targets: vec![SegmentId(2), SegmentId(3)],
+            },
+            TraceStep {
+                segment: SegmentId(2),
+                watch_ms: 2500.0,
+                branch_targets: vec![SegmentId(1)],
+            },
+            TraceStep {
+                segment: SegmentId(1),
+                watch_ms: 1000.0,
+                branch_targets: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn branch_aware_beats_linear_on_jumps() {
+        let map = setup();
+        let link = LinkModel::mbps(1.5, 30.0).unwrap();
+        let linear =
+            simulate(&map, &link, PrefetchPolicy::Linear { lookahead: 2 }, &branchy_trace())
+                .unwrap();
+        let branch =
+            simulate(&map, &link, PrefetchPolicy::BranchAware { per_branch: 2 }, &branchy_trace())
+                .unwrap();
+        assert!(
+            branch.stall_ms < linear.stall_ms,
+            "branch {:?} vs linear {:?}",
+            branch.stall_ms,
+            linear.stall_ms
+        );
+    }
+
+    #[test]
+    fn branch_aware_wastes_unvisited_branches() {
+        let map = setup();
+        let link = LinkModel::mbps(50.0, 5.0).unwrap();
+        let stats =
+            simulate(&map, &link, PrefetchPolicy::BranchAware { per_branch: 2 }, &branchy_trace())
+                .unwrap();
+        // Segment 3 was prefetched but never visited.
+        assert!(stats.wasted_bytes > 0);
+        assert!(stats.waste_ratio() > 0.0 && stats.waste_ratio() < 1.0);
+    }
+
+    #[test]
+    fn startup_scales_with_bandwidth() {
+        let map = setup();
+        let slow = simulate(
+            &map,
+            &LinkModel::mbps(0.5, 30.0).unwrap(),
+            PrefetchPolicy::None,
+            &linear_trace(),
+        )
+        .unwrap();
+        let fast = simulate(
+            &map,
+            &LinkModel::mbps(16.0, 30.0).unwrap(),
+            PrefetchPolicy::None,
+            &linear_trace(),
+        )
+        .unwrap();
+        assert!(fast.startup_ms < slow.startup_ms);
+    }
+
+    #[test]
+    fn unknown_segment_in_trace_errors() {
+        let map = setup();
+        let link = LinkModel::mbps(1.0, 10.0).unwrap();
+        let trace = vec![TraceStep {
+            segment: SegmentId(99),
+            watch_ms: 100.0,
+            branch_targets: vec![],
+        }];
+        assert!(simulate(&map, &link, PrefetchPolicy::None, &trace).is_err());
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let map = setup();
+        let link = LinkModel::mbps(2.0, 20.0).unwrap();
+        let a = simulate(&map, &link, PrefetchPolicy::BranchAware { per_branch: 1 }, &branchy_trace())
+            .unwrap();
+        let b = simulate(&map, &link, PrefetchPolicy::BranchAware { per_branch: 1 }, &branchy_trace())
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rebuffer_ratio_sane() {
+        let map = setup();
+        let link = LinkModel::mbps(0.4, 30.0).unwrap();
+        let stats = simulate(&map, &link, PrefetchPolicy::None, &linear_trace()).unwrap();
+        assert!(stats.rebuffer_ratio() > 0.0);
+        let zero = StreamStats {
+            startup_ms: 0.0,
+            stalls: 0,
+            stall_ms: 0.0,
+            bytes_fetched: 0,
+            wasted_bytes: 0,
+            play_ms: 0.0,
+        };
+        assert_eq!(zero.rebuffer_ratio(), 0.0);
+        assert_eq!(zero.waste_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # vgbl-stream — simulated network delivery of interactive video
+//!
+//! The paper's related work (§2) places the platform among "PC-based
+//! systems … integrating network, video encoding and transmission
+//! technologies", and §4.1 has designers "select video files from
+//! network". Real sockets would measure the test machine, not the
+//! design, so this crate *simulates* delivery (see `DESIGN.md`):
+//!
+//! * [`chunk`] — the unit of delivery: one GOP per chunk, derived from a
+//!   real encoded stream's payload sizes.
+//! * [`link`] — a bandwidth + latency link model with deterministic
+//!   transfer times.
+//! * [`prefetch`] — fetch-ahead policies: on-demand, linear look-ahead,
+//!   and **branch-aware** (follow the scenario graph's outgoing edges —
+//!   the policy interactive video uniquely enables).
+//! * [`client`] — the streaming client simulation: plays a trace of
+//!   segment visits against a link and policy, reporting startup delay,
+//!   rebuffering and byte efficiency (EXP-7).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chunk;
+pub mod client;
+pub mod link;
+pub mod prefetch;
+
+pub use chunk::{ChunkId, ChunkMap};
+pub use client::{simulate, StreamStats, TraceStep};
+pub use link::{Link, LinkModel, VariableLink};
+pub use prefetch::{PrefetchContext, PrefetchPolicy};
+
+/// Errors from the streaming simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// A trace step references a segment outside the map.
+    UnknownSegment(u32),
+    /// The link model is degenerate (zero bandwidth).
+    InvalidLink(String),
+    /// The chunk map is empty (no video).
+    EmptyVideo,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::UnknownSegment(id) => write!(f, "unknown segment {id} in trace"),
+            StreamError::InvalidLink(msg) => write!(f, "invalid link model: {msg}"),
+            StreamError::EmptyVideo => write!(f, "no chunks to stream"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Result alias for streaming operations.
+pub type Result<T> = std::result::Result<T, StreamError>;

@@ -1,0 +1,246 @@
+//! The network link model.
+//!
+//! A deterministic first-order model: every transfer costs one round-trip
+//! latency plus `bytes / bandwidth`. The link is a single FIFO pipe —
+//! transfers queue behind each other, as they would on one HTTP/1.1
+//! connection of the paper's era.
+
+use crate::{Result, StreamError};
+
+/// Anything that can carry chunk transfers: answers *when* a transfer
+/// started at `start_ms` completes. The client's FIFO queueing sits on
+/// top of this, so both constant and time-varying links plug in.
+pub trait Link {
+    /// Completion time of a `bytes`-sized transfer started at `start_ms`.
+    fn complete_at(&self, start_ms: f64, bytes: usize) -> f64;
+}
+
+/// A fixed-rate, fixed-latency downlink.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Downlink bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// Per-request latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+impl LinkModel {
+    /// A link, validated.
+    pub fn new(bandwidth_bps: f64, latency_ms: f64) -> Result<LinkModel> {
+        if !bandwidth_bps.is_finite() || bandwidth_bps <= 0.0 {
+            return Err(StreamError::InvalidLink("bandwidth must be positive".into()));
+        }
+        if !latency_ms.is_finite() || latency_ms < 0.0 {
+            return Err(StreamError::InvalidLink("latency must be non-negative".into()));
+        }
+        Ok(LinkModel { bandwidth_bps, latency_ms })
+    }
+
+    /// Convenience constructor in megabits per second.
+    pub fn mbps(mbps: f64, latency_ms: f64) -> Result<LinkModel> {
+        LinkModel::new(mbps * 1_000_000.0, latency_ms)
+    }
+
+    /// Milliseconds to transfer `bytes` (latency + serialisation).
+    pub fn transfer_ms(&self, bytes: usize) -> f64 {
+        self.latency_ms + (bytes as f64 * 8.0 * 1000.0) / self.bandwidth_bps
+    }
+}
+
+impl Link for LinkModel {
+    fn complete_at(&self, start_ms: f64, bytes: usize) -> f64 {
+        start_ms + self.transfer_ms(bytes)
+    }
+}
+
+/// A time-varying downlink: piecewise-constant bandwidth over wall time —
+/// the Wi-Fi of a 2007 lecture hall. Transfers integrate over the
+/// schedule, so a rate drop mid-chunk stretches exactly that chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariableLink {
+    /// `(start_ms, bandwidth_bps)` steps, strictly increasing in time;
+    /// the first step must start at 0 and the last extends forever.
+    steps: Vec<(f64, f64)>,
+    latency_ms: f64,
+}
+
+impl VariableLink {
+    /// Builds a schedule. Steps must start at 0 ms, be strictly
+    /// increasing in time, and carry positive bandwidth.
+    pub fn new(steps: Vec<(f64, f64)>, latency_ms: f64) -> Result<VariableLink> {
+        if steps.is_empty() || steps[0].0 != 0.0 {
+            return Err(StreamError::InvalidLink("schedule must start at 0 ms".into()));
+        }
+        if !latency_ms.is_finite() || latency_ms < 0.0 {
+            return Err(StreamError::InvalidLink("latency must be non-negative".into()));
+        }
+        for pair in steps.windows(2) {
+            // NaN times also fail this ordering test.
+            if pair[1].0.partial_cmp(&pair[0].0) != Some(std::cmp::Ordering::Greater) {
+                return Err(StreamError::InvalidLink(
+                    "schedule times must strictly increase".into(),
+                ));
+            }
+        }
+        if steps.iter().any(|(_, bps)| !bps.is_finite() || *bps <= 0.0) {
+            return Err(StreamError::InvalidLink("bandwidth must be positive".into()));
+        }
+        Ok(VariableLink { steps, latency_ms })
+    }
+
+    fn rate_at(&self, t: f64) -> (f64, f64) {
+        // Returns (bps, end-of-step time or +inf).
+        let idx = self.steps.iter().rposition(|(s, _)| *s <= t).unwrap_or(0);
+        let end = self.steps.get(idx + 1).map(|(s, _)| *s).unwrap_or(f64::INFINITY);
+        (self.steps[idx].1, end)
+    }
+}
+
+impl Link for VariableLink {
+    fn complete_at(&self, start_ms: f64, bytes: usize) -> f64 {
+        let mut t = start_ms + self.latency_ms;
+        let mut remaining_bits = bytes as f64 * 8.0;
+        while remaining_bits > 0.0 {
+            let (bps, step_end) = self.rate_at(t);
+            let window_ms = step_end - t;
+            let capacity_bits = bps * window_ms / 1000.0;
+            if capacity_bits >= remaining_bits || !window_ms.is_finite() {
+                t += remaining_bits / bps * 1000.0;
+                break;
+            }
+            remaining_bits -= capacity_bits;
+            t = step_end;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_parameters() {
+        assert!(LinkModel::new(0.0, 10.0).is_err());
+        assert!(LinkModel::new(-5.0, 10.0).is_err());
+        assert!(LinkModel::new(f64::NAN, 10.0).is_err());
+        assert!(LinkModel::new(1e6, -1.0).is_err());
+        assert!(LinkModel::new(1e6, 0.0).is_ok());
+    }
+
+    #[test]
+    fn transfer_time_arithmetic() {
+        // 1 Mbit/s, 20 ms RTT: 125 000 bytes = 1 Mbit = 1000 ms + 20.
+        let link = LinkModel::mbps(1.0, 20.0).unwrap();
+        let t = link.transfer_ms(125_000);
+        assert!((t - 1020.0).abs() < 1e-9);
+        // Zero bytes costs exactly the latency.
+        assert_eq!(link.transfer_ms(0), 20.0);
+    }
+
+    #[test]
+    fn faster_link_transfers_faster() {
+        let slow = LinkModel::mbps(0.5, 20.0).unwrap();
+        let fast = LinkModel::mbps(8.0, 20.0).unwrap();
+        assert!(fast.transfer_ms(100_000) < slow.transfer_ms(100_000));
+    }
+}
+
+#[cfg(test)]
+mod variable_tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_matches_fixed_link() {
+        let fixed = LinkModel::mbps(2.0, 25.0).unwrap();
+        let var = VariableLink::new(vec![(0.0, 2_000_000.0)], 25.0).unwrap();
+        for bytes in [0usize, 100, 50_000, 1_000_000] {
+            for start in [0.0f64, 123.0, 9999.5] {
+                let a = fixed.complete_at(start, bytes);
+                let b = var.complete_at(start, bytes);
+                assert!((a - b).abs() < 1e-6, "bytes={bytes} start={start}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_drop_stretches_midflight_transfer() {
+        // 8 Mbit/s for the first second, then 0.8 Mbit/s.
+        let var = VariableLink::new(vec![(0.0, 8e6), (1000.0, 0.8e6)], 0.0).unwrap();
+        // 1 Mbit transfer started at t=0: finishes in 125 ms (fast phase).
+        let t = var.complete_at(0.0, 125_000);
+        assert!((t - 125.0).abs() < 1e-6);
+        // Started at t=900: 100 ms fast (0.8 Mbit done), 0.2 Mbit left at
+        // 0.8 Mbit/s = 250 ms → completes at 1250 ms.
+        let t = var.complete_at(900.0, 125_000);
+        assert!((t - 1250.0).abs() < 1e-6, "{t}");
+        // Started after the drop: full slow rate.
+        let t = var.complete_at(2000.0, 125_000);
+        assert!((t - 2000.0 - 1250.0).abs() < 1e-6, "{t}");
+    }
+
+    #[test]
+    fn latency_applies_before_schedule_lookup() {
+        let var = VariableLink::new(vec![(0.0, 1e6), (100.0, 2e6)], 150.0).unwrap();
+        // Starts at t=0 but latency pushes serialisation to t=150, where
+        // the 2 Mbit/s step is active: 1 Mbit → 500 ms → total 650.
+        let t = var.complete_at(0.0, 125_000);
+        assert!((t - 650.0).abs() < 1e-6, "{t}");
+    }
+
+    #[test]
+    fn schedule_validation() {
+        assert!(VariableLink::new(vec![], 0.0).is_err());
+        assert!(VariableLink::new(vec![(5.0, 1e6)], 0.0).is_err()); // not at 0
+        assert!(VariableLink::new(vec![(0.0, 1e6), (0.0, 2e6)], 0.0).is_err());
+        assert!(VariableLink::new(vec![(0.0, 1e6), (10.0, 0.0)], 0.0).is_err());
+        assert!(VariableLink::new(vec![(0.0, 1e6)], -1.0).is_err());
+        assert!(VariableLink::new(vec![(0.0, 1e6), (10.0, 2e6)], 0.0).is_ok());
+    }
+
+    #[test]
+    fn zero_bytes_costs_latency_only() {
+        let var = VariableLink::new(vec![(0.0, 1e6)], 40.0).unwrap();
+        assert_eq!(var.complete_at(10.0, 0), 50.0);
+    }
+
+    #[test]
+    fn simulation_accepts_variable_links() {
+        use crate::chunk::ChunkMap;
+        use crate::client::{simulate, TraceStep};
+        use crate::prefetch::PrefetchPolicy;
+        use vgbl_media::codec::{EncodeConfig, Encoder};
+        use vgbl_media::color::Rgb;
+        use vgbl_media::synth::{FootageSpec, ShotSpec};
+        use vgbl_media::timeline::FrameRate;
+        use vgbl_media::{SegmentId, SegmentTable};
+
+        let footage = FootageSpec {
+            width: 48,
+            height: 32,
+            rate: FrameRate::FPS30,
+            shots: vec![ShotSpec::plain(30, Rgb::new(90, 120, 150))],
+            noise_seed: 1,
+        }
+        .render()
+        .unwrap();
+        let video = Encoder::new(EncodeConfig { gop: 10, ..Default::default() })
+            .encode(&footage.frames, footage.rate)
+            .unwrap();
+        let table = SegmentTable::whole(30).unwrap();
+        let map = ChunkMap::build(&video, &table).unwrap();
+        let trace = vec![TraceStep {
+            segment: SegmentId(0),
+            watch_ms: 3000.0,
+            branch_targets: vec![],
+        }];
+        // A link that collapses after half a second.
+        let crashy = VariableLink::new(vec![(0.0, 8e6), (500.0, 0.05e6)], 20.0).unwrap();
+        let healthy = LinkModel::mbps(8.0, 20.0).unwrap();
+        let bad = simulate(&map, &crashy, PrefetchPolicy::None, &trace).unwrap();
+        let good = simulate(&map, &healthy, PrefetchPolicy::None, &trace).unwrap();
+        assert!(bad.stall_ms >= good.stall_ms);
+        // Both start in the fast phase (float rounding differs slightly).
+        assert!((bad.startup_ms - good.startup_ms).abs() < 0.01);
+    }
+}

@@ -1,0 +1,342 @@
+//! Drive the authoring tool from your terminal — the Figure-1 interface
+//! as a working CLI.
+//!
+//! ```text
+//! cargo run --release --example author_interactive
+//! commands:
+//!   import N SECONDS                 synthesise N scenes of footage and import
+//!   scenario NAME SEG                create a scenario over segment SEG
+//!   start NAME                       set the start scenario
+//!   desc NAME TEXT...                describe a scenario
+//!   button SCENARIO NAME LABEL...    mount a button
+//!   item SCENARIO NAME take|fixed DESC...   mount an item
+//!   npc NAME LINE...                 register an NPC with a fixed line
+//!   anchor SCENARIO NAME NPC         mount an NPC anchor
+//!   wire SCENARIO TARGET :: EVENT :: COND|- :: ACTION ; ACTION ...
+//!        (TARGET is an object name or `entry`)
+//!   cut FRAME / merge FRAME          recut the timeline
+//!   undo / redo                      the command stack at work
+//!   show [SCENARIO OBJECT]           the Figure-1 window
+//!   lint                             validation + advisories
+//!   dot                              Graphviz map of the scenario graph
+//!   cost                             video-vs-3D authoring cost (§5)
+//!   playtest                         bot-plays your game, reports coverage
+//!   save DIR BASE / load DIR/BASE.vgp
+//!   quit
+//! ```
+//!
+//! Example session (pipe-friendly):
+//! `printf 'import 2 2\nscenario intro 0\nscenario lab 1\nwire intro entry :: enter :: - :: text "hi"\nshow\nquit\n' | cargo run --example author_interactive`
+
+use std::io::{self, BufRead, Write};
+
+use vgbl::author::command::{Command, CommandStack, TriggerTarget};
+use vgbl::author::cost::{estimate, CostParams};
+use vgbl::author::fileio::{load_project, save_project};
+use vgbl::author::import::{import_footage, ImportConfig};
+use vgbl::author::lint::lint_project;
+use vgbl::author::render::ascii_ui;
+use vgbl::author::Project;
+use vgbl::media::color::Rgb;
+use vgbl::media::synth::{FootageSpec, ShotSpec, SpriteShape, SpriteSpec};
+use vgbl::media::{FrameRate, SegmentId};
+use vgbl::scene::{ObjectKind, Rect};
+
+const FRAME: (u32, u32) = (64, 48);
+
+fn place(index: usize) -> Rect {
+    // Deterministic non-overlapping slots for mounted objects.
+    let col = (index % 4) as i32;
+    let row = (index / 4 % 3) as i32;
+    Rect::new(2 + col * 15, 6 + row * 13, 12, 10)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut project = Project::new("untitled", FRAME, FrameRate::FPS30);
+    let mut stack = CommandStack::new();
+    println!("VGBL authoring tool — type `help` for commands");
+
+    let stdin = io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("vgbl> ");
+        io::stdout().flush()?;
+        let Some(Ok(line)) = lines.next() else {
+            break;
+        };
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let result: Result<String, Box<dyn std::error::Error>> = (|| {
+            match words.as_slice() {
+                [] => Ok(String::new()),
+                ["quit"] | ["exit"] => Ok("__quit".into()),
+                ["help"] => Ok("see the doc comment at the top of this example".into()),
+                ["import", n, secs] => {
+                    let n: usize = n.parse()?;
+                    let secs: usize = secs.parse()?;
+                    let shots = (0..n as u64)
+                        .map(|i| ShotSpec {
+                            frames: secs.max(1) * 30,
+                            background: Rgb::from_seed(i * 31 + 7),
+                            sprites: vec![SpriteSpec {
+                                shape: SpriteShape::Rect(12, 9),
+                                color: Rgb::from_seed(i * 13 + 3),
+                                pos: (16.0 + i as f32 * 3.0, 18.0),
+                                vel: (0.8, 0.4),
+                            }],
+                            luma_drift: 4,
+                            noise: 2,
+                        })
+                        .collect();
+                    let footage = FootageSpec {
+                        width: FRAME.0,
+                        height: FRAME.1,
+                        rate: FrameRate::FPS30,
+                        shots,
+                        noise_seed: 11,
+                    }
+                    .render()?;
+                    let report = import_footage(
+                        &mut project,
+                        &footage.frames,
+                        footage.rate,
+                        &ImportConfig::default(),
+                        Some(&footage.cuts),
+                    )?;
+                    Ok(format!(
+                        "imported {} frames -> {} segments ({:.1}x compression)",
+                        report.frames, report.segments, report.compression_ratio
+                    ))
+                }
+                ["scenario", name, seg] => {
+                    stack.apply(
+                        &mut project,
+                        Command::AddScenario {
+                            name: (*name).into(),
+                            segment: SegmentId(seg.parse()?),
+                        },
+                    )?;
+                    Ok(format!("scenario `{name}` created"))
+                }
+                ["start", name] => {
+                    stack.apply(&mut project, Command::SetStart { name: (*name).into() })?;
+                    Ok(format!("start = `{name}`"))
+                }
+                ["desc", name, rest @ ..] => {
+                    stack.apply(
+                        &mut project,
+                        Command::SetDescription {
+                            scenario: (*name).into(),
+                            text: rest.join(" "),
+                        },
+                    )?;
+                    Ok("described".into())
+                }
+                ["button", scenario, name, label @ ..] => {
+                    let idx = project
+                        .graph
+                        .scenario_by_name(scenario)
+                        .map(|s| s.objects().len())
+                        .unwrap_or(0);
+                    stack.apply(
+                        &mut project,
+                        Command::AddObject {
+                            scenario: (*scenario).into(),
+                            name: (*name).into(),
+                            kind: ObjectKind::Button { label: label.join(" ") },
+                            bounds: place(idx),
+                        },
+                    )?;
+                    Ok(format!("button `{name}` mounted at {:?}", place(idx)))
+                }
+                ["item", scenario, name, take, desc @ ..] => {
+                    let takeable = match *take {
+                        "take" => true,
+                        "fixed" => false,
+                        other => return Err(format!("expected take|fixed, got {other}").into()),
+                    };
+                    let idx = project
+                        .graph
+                        .scenario_by_name(scenario)
+                        .map(|s| s.objects().len())
+                        .unwrap_or(0);
+                    stack.apply(
+                        &mut project,
+                        Command::AddAsset {
+                            name: format!("{name}_img"),
+                            width: 10,
+                            height: 10,
+                        },
+                    )?;
+                    stack.apply(
+                        &mut project,
+                        Command::AddObject {
+                            scenario: (*scenario).into(),
+                            name: (*name).into(),
+                            kind: ObjectKind::Item {
+                                asset: format!("{name}_img"),
+                                description: desc.join(" "),
+                                takeable,
+                            },
+                            bounds: place(idx),
+                        },
+                    )?;
+                    Ok(format!("item `{name}` mounted"))
+                }
+                ["npc", name, line @ ..] => {
+                    stack.apply(
+                        &mut project,
+                        Command::AddNpc { name: (*name).into(), line: line.join(" ") },
+                    )?;
+                    Ok(format!("npc `{name}` registered"))
+                }
+                ["anchor", scenario, name, npc] => {
+                    let idx = project
+                        .graph
+                        .scenario_by_name(scenario)
+                        .map(|s| s.objects().len())
+                        .unwrap_or(0);
+                    stack.apply(
+                        &mut project,
+                        Command::AddObject {
+                            scenario: (*scenario).into(),
+                            name: (*name).into(),
+                            kind: ObjectKind::NpcAnchor { npc: (*npc).into() },
+                            bounds: place(idx),
+                        },
+                    )?;
+                    Ok(format!("anchor `{name}` -> npc `{npc}`"))
+                }
+                ["wire", scenario, target, "::", rest @ ..] => {
+                    // EVENT :: COND|- :: ACTION ; ACTION ...
+                    let joined = rest.join(" ");
+                    let mut parts = joined.splitn(3, " :: ");
+                    let event = parts.next().unwrap_or_default().trim().to_owned();
+                    let cond = parts.next().unwrap_or("-").trim().to_owned();
+                    let actions_src = parts.next().unwrap_or_default();
+                    let actions: Vec<String> = actions_src
+                        .split(" ; ")
+                        .map(|a| a.trim().to_owned())
+                        .filter(|a| !a.is_empty())
+                        .collect();
+                    if actions.is_empty() {
+                        return Err("wire needs at least one action".into());
+                    }
+                    let target = if *target == "entry" {
+                        TriggerTarget::Entry
+                    } else {
+                        TriggerTarget::Object((*target).into())
+                    };
+                    stack.apply(
+                        &mut project,
+                        Command::AddTrigger {
+                            scenario: (*scenario).into(),
+                            target,
+                            event,
+                            condition: if cond == "-" { None } else { Some(cond) },
+                            actions,
+                        },
+                    )?;
+                    Ok("wired".into())
+                }
+                ["cut", frame] => {
+                    stack.apply(&mut project, Command::SplitSegment { frame: frame.parse()? })?;
+                    Ok(format!("timeline now has {} segments", project.segments.len()))
+                }
+                ["merge", frame] => {
+                    stack.apply(
+                        &mut project,
+                        Command::MergeSegmentAfter { frame: frame.parse()? },
+                    )?;
+                    Ok(format!("timeline now has {} segments", project.segments.len()))
+                }
+                ["undo"] => {
+                    stack.undo(&mut project)?;
+                    Ok("undone".into())
+                }
+                ["redo"] => {
+                    stack.redo(&mut project)?;
+                    Ok("redone".into())
+                }
+                ["show"] => Ok(ascii_ui(&project, None, Some(&stack))),
+                ["show", scenario, object] => {
+                    Ok(ascii_ui(&project, Some((scenario, object)), Some(&stack)))
+                }
+                ["lint"] => {
+                    let report = lint_project(&project);
+                    let mut out = String::new();
+                    for issue in &report.scene.issues {
+                        out.push_str(&format!("  {issue}\n"));
+                    }
+                    for advisory in &report.author {
+                        out.push_str(&format!("  (advisory) {advisory}\n"));
+                    }
+                    out.push_str(&format!(
+                        "publishable: {}",
+                        if report.is_publishable() { "yes" } else { "NO" }
+                    ));
+                    Ok(out)
+                }
+                ["dot"] => Ok(project.graph.to_dot()),
+                ["playtest"] => {
+                    let report = vgbl::playtest::playtest(
+                        &project,
+                        vgbl::playtest::PlaytestStyle::Guided,
+                        200,
+                    )?;
+                    let mut out = format!(
+                        "outcome: {:?}, {} decisions, score {}, {} knowledge event(s)\n",
+                        report.outcome, report.steps, report.score, report.knowledge_events
+                    );
+                    if !report.unvisited_scenarios.is_empty() {
+                        out.push_str(&format!(
+                            "never visited: {:?}\n",
+                            report.unvisited_scenarios
+                        ));
+                    }
+                    if !report.unexamined_objects.is_empty() {
+                        out.push_str(&format!(
+                            "never examined: {:?}\n",
+                            report.unexamined_objects
+                        ));
+                    }
+                    out.push_str(if report.completed() {
+                        "the game is completable"
+                    } else {
+                        "NOT completed within the budget - check your wiring"
+                    });
+                    Ok(out)
+                }
+                ["cost"] => {
+                    let c = estimate(&project, &CostParams::default());
+                    Ok(format!(
+                        "video {} ops vs 3D {} ops -> {:.1}x cheaper",
+                        c.video_ops,
+                        c.threed_ops,
+                        c.advantage()
+                    ))
+                }
+                ["save", dir, base] => {
+                    let (vgp, vgv) = save_project(&project, std::path::Path::new(dir), base)?;
+                    Ok(format!(
+                        "saved {} {}",
+                        vgp.display(),
+                        vgv.map(|p| p.display().to_string()).unwrap_or_default()
+                    ))
+                }
+                ["load", path] => {
+                    project = load_project(std::path::Path::new(path))?;
+                    stack = CommandStack::new();
+                    Ok(format!("loaded `{}`", project.name))
+                }
+                other => Err(format!("unknown command {other:?}; try `help`").into()),
+            }
+        })();
+        match result {
+            Ok(msg) if msg == "__quit" => break,
+            Ok(msg) if msg.is_empty() => {}
+            Ok(msg) => println!("{msg}"),
+            Err(e) => println!("! {e}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,139 @@
+//! Play "Fix the Computer" interactively from the terminal.
+//!
+//! The closest thing to sitting in front of the paper's runtime
+//! environment: the Figure-2 window redraws after every command, with the
+//! live (toy-codec-decoded) video behind the objects.
+//!
+//! ```text
+//! cargo run --release --example play_interactive
+//! commands:
+//!   click X Y         examine / press whatever is at (X, Y)
+//!   drag X Y          drag the object at (X, Y) into the backpack
+//!   use ITEM X Y      apply a backpack item to the object at (X, Y)
+//!   choose N          pick response N in a conversation
+//!   wait MS           let the video play for MS milliseconds
+//!   look              redraw the window
+//!   save / load       snapshot / restore progress (in-memory)
+//!   help, quit
+//! ```
+//!
+//! Also works non-interactively: pipe commands in, e.g.
+//! `printf 'click 25 20\nquit\n' | cargo run --example play_interactive`.
+
+use std::io::{self, BufRead, Write};
+
+use vgbl::prelude::*;
+use vgbl::runtime::save::SaveGame;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (project, _) = vgbl::sample::fix_the_computer_project(3)?;
+    let game = vgbl::publish::publish(project)?;
+    let mut player = Player::new(&game)?;
+    let mut saved: Option<SaveGame> = None;
+
+    println!("{}", player.ui()?);
+    println!("(type `help` for commands)");
+
+    let stdin = io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("> ");
+        io::stdout().flush()?;
+        let Some(Ok(line)) = lines.next() else {
+            break;
+        };
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let input = match words.as_slice() {
+            [] => continue,
+            ["quit"] | ["exit"] => break,
+            ["help"] => {
+                println!(
+                    "commands: click X Y | drag X Y | use ITEM X Y | choose N |\n\
+                     wait MS | look | save | load | quit"
+                );
+                continue;
+            }
+            ["look"] => {
+                println!("{}", player.ui()?);
+                continue;
+            }
+            ["save"] => {
+                saved = Some(SaveGame::capture(
+                    &game.graph,
+                    player.session().state(),
+                    player.session().inventory(),
+                ));
+                println!("(progress saved)");
+                continue;
+            }
+            ["load"] => {
+                match saved.take() {
+                    Some(save) => {
+                        player = Player::restore(&game, save.state, save.inventory)?;
+                        println!("(progress restored)");
+                        println!("{}", player.ui()?);
+                    }
+                    None => println!("(nothing saved yet)"),
+                }
+                continue;
+            }
+            ["click", x, y] => match (x.parse(), y.parse()) {
+                (Ok(x), Ok(y)) => InputEvent::click(x, y),
+                _ => {
+                    println!("usage: click X Y");
+                    continue;
+                }
+            },
+            ["drag", x, y] => match (x.parse::<i32>(), y.parse::<i32>()) {
+                (Ok(x), Ok(y)) => {
+                    let c = game.session_config().inventory_window.center();
+                    InputEvent::drag(x, y, c.x, c.y)
+                }
+                _ => {
+                    println!("usage: drag X Y");
+                    continue;
+                }
+            },
+            ["use", item, x, y] => match (x.parse(), y.parse()) {
+                (Ok(x), Ok(y)) => InputEvent::apply(*item, x, y),
+                _ => {
+                    println!("usage: use ITEM X Y");
+                    continue;
+                }
+            },
+            ["choose", n] => match n.parse::<usize>() {
+                Ok(n) if n >= 1 => InputEvent::Choose(n - 1),
+                _ => {
+                    println!("usage: choose N (1-based)");
+                    continue;
+                }
+            },
+            ["wait", ms] => match ms.parse() {
+                Ok(ms) => InputEvent::Tick(ms),
+                _ => {
+                    println!("usage: wait MS");
+                    continue;
+                }
+            },
+            other => {
+                println!("unknown command {other:?}; try `help`");
+                continue;
+            }
+        };
+
+        match player.handle(input) {
+            Ok(feedback) => {
+                for fb in &feedback {
+                    println!("  {fb}");
+                }
+                println!("{}", player.ui()?);
+                if player.session().state().is_over() {
+                    println!("The game is over — thanks for playing!");
+                    break;
+                }
+            }
+            Err(e) => println!("  ! {e}"),
+        }
+    }
+    Ok(())
+}

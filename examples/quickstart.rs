@@ -1,0 +1,54 @@
+//! Quickstart: author → publish → play in under a minute.
+//!
+//! Builds the paper's §3.2 "fix the computer" game end-to-end through the
+//! authoring pipeline (synthetic footage, shot detection, the two
+//! editors), publishes it, and plays the winning line while printing what
+//! the player sees.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use vgbl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Author the game (footage synthesis + import + editors).
+    let (project, import) = vgbl::sample::fix_the_computer_project(3)?;
+    println!(
+        "Imported {} frames -> {} segments ({} bytes encoded, {:.1}x compression)",
+        import.frames,
+        import.segments,
+        import.encoded_bytes,
+        import.compression_ratio
+    );
+
+    // 2. Publish: freeze content, validate, ready for any number of players.
+    let game = vgbl::publish::publish(project)?;
+    println!("Published '{}' with {} scenarios\n", game.title, game.graph.len());
+
+    // 3. Play the intended solution.
+    let mut player = Player::new(&game)?;
+    let solution: Vec<(&str, InputEvent)> = vec![
+        ("Examine the computer", InputEvent::click(25, 20)),
+        ("Walk to the market", InputEvent::click(42, 4)),
+        ("Take the fan", InputEvent::drag(12, 12, 60, 20)),
+        ("Return to class", InputEvent::click(42, 4)),
+        ("Install the fan", InputEvent::apply("fan", 25, 20)),
+    ];
+    for (what, input) in solution {
+        println!("> {what}");
+        for fb in player.handle(input)? {
+            println!("  {fb}");
+        }
+        if !player.session().state().is_over() {
+            player.handle(InputEvent::Tick(400))?; // watch the video a moment
+        }
+    }
+
+    let state = player.session().state();
+    println!(
+        "\nOutcome: {:?}, score {}, rewards {:?}",
+        state.ended,
+        state.score,
+        player.session().inventory().rewards()
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! The runtime environment — the reproduction of the paper's **Figure 2**.
+//!
+//! Publishes the sample game and plays it step by step, printing the full
+//! player window after the moments Figure 2 depicts: a video frame with a
+//! mounted image object, the inventory window filling up, and buttons
+//! that switch video segments.
+//!
+//! Run with: `cargo run --example runtime_player`
+
+use vgbl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (project, _) = vgbl::sample::fix_the_computer_project(3)?;
+    let game = vgbl::publish::publish(project)?;
+    let mut player = Player::new(&game)?;
+
+    println!("=== On entry (classroom, teacher greeting) ===");
+    println!("{}", player.ui()?);
+
+    player.handle(InputEvent::click(25, 20))?; // examine the computer
+    player.handle(InputEvent::Tick(300))?;
+    println!("=== After examining the computer ===");
+    println!("{}", player.ui()?);
+
+    player.handle(InputEvent::click(42, 4))?; // to market
+    player.handle(InputEvent::Tick(300))?;
+    player.handle(InputEvent::drag(12, 12, 60, 20))?; // drag item to backpack
+    println!("=== Market: the fan is now in the inventory window ===");
+    println!("{}", player.ui()?);
+
+    player.handle(InputEvent::click(42, 4))?; // back to class
+    let feedback = player.handle(InputEvent::apply("fan", 25, 20))?; // fix it
+    println!("=== Ending ===");
+    for fb in &feedback {
+        println!("  {fb}");
+    }
+
+    let stats = player.playback_stats();
+    println!(
+        "\nplayback: {} frames served, {} decoded, {} segment switches",
+        stats.frames_served, stats.frames_decoded, stats.switches
+    );
+    let log = player.session().log();
+    println!(
+        "analytics: {} decisions, {} knowledge events, outcome {:?}",
+        log.decisions(),
+        log.knowledge_events(),
+        log.outcome()
+    );
+    Ok(())
+}
