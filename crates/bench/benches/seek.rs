@@ -1,8 +1,10 @@
-//! EXP-3 — random-access (scenario switch) latency vs keyframe interval.
+//! EXP-3 — random-access (scenario switch) latency vs keyframe interval,
+//! direct and through a warm decoded-GOP cache.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vgbl::media::cache::{GopCache, VideoId};
 use vgbl::media::codec::{Decoder, Quality};
-use vgbl::media::seek::seek;
+use vgbl::media::seek::{seek, seek_cached};
 use vgbl_bench::{bench_footage, encode};
 
 fn bench(c: &mut Criterion) {
@@ -19,6 +21,21 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 for &t in &targets {
                     seek(&dec, &video, t).unwrap();
+                }
+            });
+        });
+        // The same targets against a warm shared cache: the GOP walk
+        // (what the direct rows above pay for) disappears, so latency
+        // stops depending on the keyframe interval.
+        let id = VideoId::of(&video);
+        let cache = GopCache::new(64);
+        for &t in &targets {
+            seek_cached(&dec, &video, id, &cache, t).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("gop_warm", gop), &gop, |b, _| {
+            b.iter(|| {
+                for &t in &targets {
+                    seek_cached(&dec, &video, id, &cache, t).unwrap();
                 }
             });
         });

@@ -21,7 +21,7 @@ pub mod plane;
 use crate::container::FrameKind;
 use crate::error::MediaError;
 use crate::frame::Frame;
-use crate::parallel::{parallel_map_indexed, split_ranges};
+use crate::parallel::parallel_map_indexed;
 use crate::timeline::FrameRate;
 use crate::Result;
 use bitio::{BitReader, BitWriter};
@@ -184,6 +184,19 @@ impl EncodedVideo {
             .filter(|(_, f)| f.kind == FrameKind::Intra)
             .map(|(i, _)| i)
             .collect()
+    }
+
+    /// One past the last frame of the GOP starting at `keyframe`: the
+    /// next keyframe's index, or the stream length for the final GOP.
+    /// Scans forward only, so it is cheap for the per-GOP hot paths
+    /// (playback, seeking, cache fills) that would otherwise rebuild the
+    /// whole keyframe table per lookup.
+    pub fn gop_end(&self, keyframe: usize) -> usize {
+        self.frames[keyframe + 1..]
+            .iter()
+            .position(|f| f.kind == FrameKind::Intra)
+            .map(|off| keyframe + 1 + off)
+            .unwrap_or(self.frames.len())
     }
 }
 
@@ -590,9 +603,10 @@ impl Decoder {
                 "stream does not start with a keyframe".into(),
             ));
         }
-        // Decode GOPs in parallel: each worker takes a contiguous range of
-        // GOPs (static split — GOP costs are near-uniform).
-        let ranges = split_ranges(keyframes.len(), self.threads.max(1));
+        // Decode GOPs in parallel, one work item per GOP: the dynamic
+        // scheduler lets workers that draw cheap GOPs (SKIP-heavy still
+        // stretches) steal the expensive ones a loaded worker never
+        // reaches, instead of pinning contiguous GOP ranges to threads.
         let gop_bounds: Vec<(usize, usize)> = keyframes
             .iter()
             .enumerate()
@@ -603,13 +617,9 @@ impl Decoder {
             .collect();
 
         let chunks: Vec<Result<Vec<Frame>>> =
-            parallel_map_indexed(ranges.len(), self.threads.max(1), |ri| {
-                let (g0, g1) = ranges[ri];
-                let mut frames = Vec::new();
-                for &(start, end) in &gop_bounds[g0..g1] {
-                    frames.extend(decode_gop(video, start, end)?);
-                }
-                Ok(frames)
+            parallel_map_indexed(gop_bounds.len(), self.threads.max(1), |g| {
+                let (start, end) = gop_bounds[g];
+                decode_gop(video, start, end)
             });
 
         let mut frames = Vec::with_capacity(video.frames.len());
@@ -628,6 +638,25 @@ impl Decoder {
         let count = frames.len();
         let frame = frames.into_iter().next_back().expect("decode_gop yields ≥1 frame");
         Ok((frame, count))
+    }
+
+    /// Decodes the complete GOP starting at `keyframe` (which must be a
+    /// keyframe index, e.g. from [`EncodedVideo::keyframe_before`]).
+    /// This is the unit the shared [`crate::cache::GopCache`] stores.
+    ///
+    /// # Errors
+    /// Fails when `keyframe` is out of range or does not start a GOP.
+    pub fn decode_gop_at(&self, video: &EncodedVideo, keyframe: usize) -> Result<Vec<Frame>> {
+        match video.frames.get(keyframe) {
+            None => Err(MediaError::FrameOutOfRange {
+                index: keyframe,
+                len: video.frames.len(),
+            }),
+            Some(f) if f.kind != FrameKind::Intra => Err(MediaError::CorruptBitstream(
+                format!("frame {keyframe} is not a keyframe"),
+            )),
+            Some(_) => decode_gop(video, keyframe, video.gop_end(keyframe)),
+        }
     }
 }
 

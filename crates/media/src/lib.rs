@@ -19,6 +19,9 @@
 //! * [`container`] — the `VGV` container format with a keyframe index.
 //! * [`seek`] — random access into encoded video, the operation scenario
 //!   switching depends on.
+//! * [`cache`] — a bounded, sharded, shareable LRU cache of decoded GOPs
+//!   that deduplicates decode work across playback sessions, seeks and
+//!   prefetchers.
 //! * [`segment`] — video segments, "the basic unit used for presenting
 //!   scenarios" (§2.1).
 //! * [`stats`] — quality metrics (MSE/PSNR) used by the codec benches.
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod codec;
 pub mod color;
 pub mod container;
@@ -44,6 +48,7 @@ pub mod stats;
 pub mod synth;
 pub mod timeline;
 
+pub use cache::{CacheStats, GopCache, VideoId};
 pub use codec::{DecodedVideo, Decoder, EncodeConfig, Encoder, Quality};
 pub use container::{ContainerReader, ContainerWriter, FrameKind, VgvHeader};
 pub use error::MediaError;

@@ -1,18 +1,31 @@
 //! Minimal data-parallel helpers built on `crossbeam::scope`.
 //!
-//! The media pipeline parallelises three embarrassingly parallel stages —
-//! per-frame histogram extraction, per-GOP encoding and per-GOP decoding —
-//! using a static block distribution: items are split into `threads`
-//! contiguous chunks, one scoped thread per chunk. Chunks are contiguous so
-//! results can be stitched back without reordering, and for the near-uniform
-//! per-item costs in this crate static splitting beats a work-stealing deque
-//! (no contention, perfect locality).
+//! The media pipeline parallelises its embarrassingly parallel stages —
+//! per-frame histogram extraction, per-GOP encoding and decoding — with
+//! [`parallel_map_indexed`]. Work is distributed **dynamically**: indices
+//! are grouped into small contiguous chunks and workers claim chunks from
+//! a shared atomic counter as they finish. Unlike the static
+//! one-contiguous-block-per-thread split this replaced, a worker that
+//! lands cheap items (SKIP-heavy GOPs, still footage) steals the chunks a
+//! loaded worker never reaches, so wall-clock tracks the *sum* of item
+//! costs rather than the most expensive block. Chunks are contiguous and
+//! re-stitched by start index, so results remain in index order and the
+//! output is bit-identical to the sequential loop regardless of thread
+//! count or claiming order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Applies `f` to every index in `0..n`, in parallel over `threads`
 /// OS threads, returning results in index order.
 ///
 /// `threads == 0` or `threads == 1` (or `n <= 1`) degrade to the sequential
 /// loop, which keeps call sites free of special cases.
+///
+/// Scheduling is dynamic: workers repeatedly claim the next chunk of
+/// `max(1, n / (threads * 8))` consecutive indices from an atomic cursor
+/// until none remain. The chunk size bounds claim traffic to ~8 claims
+/// per worker on uniform workloads while still letting fast workers take
+/// over a slow worker's remaining chunks on skewed ones.
 ///
 /// # Panics
 /// Propagates panics from `f` (the scope joins all threads).
@@ -25,36 +38,55 @@ where
         return (0..n).map(f).collect();
     }
     let threads = threads.min(n);
-    let chunk = n.div_ceil(threads);
-    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
+    let chunk = chunk_size(n, threads);
+    let cursor = AtomicUsize::new(0);
 
-    crossbeam::scope(|s| {
-        let mut rest: &mut [Option<T>] = &mut out;
-        let mut start = 0usize;
-        let f = &f;
-        while start < n {
-            let len = chunk.min(n - start);
-            let (head, tail) = rest.split_at_mut(len);
-            rest = tail;
-            let base = start;
-            s.spawn(move |_| {
-                for (i, slot) in head.iter_mut().enumerate() {
-                    *slot = Some(f(base + i));
-                }
-            });
-            start += len;
-        }
+    let mut parts: Vec<(usize, Vec<T>)> = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let f = &f;
+                let cursor = &cursor;
+                s.spawn(move |_| {
+                    let mut mine: Vec<(usize, Vec<T>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        mine.push((start, (start..end).map(f).collect()));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
     })
     .expect("worker thread panicked");
 
-    out.into_iter()
-        .map(|x| x.expect("all slots filled by workers"))
-        .collect()
+    // Claimed chunks tile [0, n) exactly, so sorting by start index and
+    // concatenating reconstructs index order.
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, chunk) in parts {
+        out.extend(chunk);
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// The dynamic-scheduling claim granularity for `n` items over `threads`
+/// workers: ~8 chunks per worker, never below one item.
+pub fn chunk_size(n: usize, threads: usize) -> usize {
+    (n / (threads.max(1) * 8)).max(1)
 }
 
 /// Splits `0..n` into `parts` contiguous `(start, end)` ranges whose sizes
-/// differ by at most one. Used to assign GOPs/windows to workers.
+/// differ by at most one. Used where a *fixed* partition is wanted (e.g.
+/// assigning detection windows) rather than dynamic claiming.
 pub fn split_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
     if n == 0 || parts == 0 {
         return Vec::new();
@@ -75,6 +107,7 @@ pub fn split_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_matches_sequential() {
@@ -91,6 +124,45 @@ mod tests {
         assert!(empty.is_empty());
         let one = parallel_map_indexed(1, 4, |i| i + 10);
         assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn map_visits_every_index_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        let out = parallel_map_indexed(257, 4, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn skewed_workloads_keep_index_order() {
+        // Early indices are ~100× more expensive than late ones; under
+        // static block splitting thread 0 would dominate wall-clock, and
+        // any scheduling bug that reorders results would show here.
+        let seq: Vec<u64> = (0..64).map(busy_work).collect();
+        let par = parallel_map_indexed(64, 4, busy_work);
+        assert_eq!(par, seq);
+    }
+
+    fn busy_work(i: usize) -> u64 {
+        let rounds = if i < 8 { 40_000 } else { 400 };
+        let mut acc = i as u64;
+        for r in 0..rounds {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(r);
+        }
+        acc
+    }
+
+    #[test]
+    fn chunk_size_bounds() {
+        assert_eq!(chunk_size(0, 4), 1);
+        assert_eq!(chunk_size(7, 4), 1);
+        assert_eq!(chunk_size(64, 4), 2);
+        assert_eq!(chunk_size(800, 100), 1);
+        assert_eq!(chunk_size(10, 0), 1);
     }
 
     #[test]

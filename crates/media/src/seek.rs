@@ -6,6 +6,7 @@
 //! of the target segment. Its cost is the GOP walk from the preceding
 //! keyframe; EXP-3 sweeps the keyframe interval against this cost.
 
+use crate::cache::{GopCache, VideoId};
 use crate::codec::{Decoder, EncodedVideo};
 use crate::frame::Frame;
 use crate::Result;
@@ -17,7 +18,8 @@ pub struct SeekStats {
     pub target: usize,
     /// The keyframe the decode started from.
     pub keyframe: usize,
-    /// Frames decoded to satisfy the request (≥ 1).
+    /// Frames decoded to satisfy the request (≥ 1 for a direct seek;
+    /// 0 for a cached seek served entirely from a resident GOP).
     pub frames_decoded: usize,
 }
 
@@ -25,6 +27,31 @@ pub struct SeekStats {
 pub fn seek(decoder: &Decoder, video: &EncodedVideo, index: usize) -> Result<(Frame, SeekStats)> {
     let keyframe = video.keyframe_before(index)?;
     let (frame, frames_decoded) = decoder.decode_frame(video, index)?;
+    Ok((frame, SeekStats { target: index, keyframe, frames_decoded }))
+}
+
+/// Seeks to `index` through the shared decoded-GOP cache: a resident GOP
+/// answers with zero decode work, a miss decodes the **whole** GOP once
+/// (slightly more than the direct GOP walk) and leaves it resident for
+/// every later seek and every other session sharing `cache`.
+///
+/// The returned frame is bit-identical to [`seek`]'s — both reconstruct
+/// the same GOP walk; the cache only changes *when* decoding happens.
+pub fn seek_cached(
+    decoder: &Decoder,
+    video: &EncodedVideo,
+    video_id: VideoId,
+    cache: &GopCache,
+    index: usize,
+) -> Result<(Frame, SeekStats)> {
+    let keyframe = video.keyframe_before(index)?;
+    let mut frames_decoded = 0usize;
+    let gop = cache.get_or_decode(video_id, keyframe, || {
+        let frames = decoder.decode_gop_at(video, keyframe)?;
+        frames_decoded = frames.len();
+        Ok(frames)
+    })?;
+    let frame = gop[index - keyframe].clone();
     Ok((frame, SeekStats { target: index, keyframe, frames_decoded }))
 }
 
@@ -116,5 +143,61 @@ mod tests {
             let (_, stats) = seek(&dec, &ev, target).unwrap();
             assert_eq!(stats.frames_decoded, 1);
         }
+    }
+
+    #[test]
+    fn cached_seek_is_bit_identical_to_direct() {
+        let ev = encoded(4, 10);
+        let id = VideoId::of(&ev);
+        let dec = Decoder::default();
+        let cache = GopCache::new(8);
+        for target in 0..10 {
+            let (direct, _) = seek(&dec, &ev, target).unwrap();
+            let (cached, stats) = seek_cached(&dec, &ev, id, &cache, target).unwrap();
+            assert_eq!(cached, direct, "target {target}");
+            assert_eq!(stats.target, target);
+            assert_eq!(stats.keyframe, (target / 4) * 4);
+        }
+    }
+
+    #[test]
+    fn warm_seeks_decode_nothing() {
+        let ev = encoded(5, 10);
+        let id = VideoId::of(&ev);
+        let dec = Decoder::default();
+        let cache = GopCache::new(8);
+        // Cold pass: each GOP decodes fully, exactly once.
+        let (_, cold) = seek_cached(&dec, &ev, id, &cache, 3).unwrap();
+        assert_eq!(cold.frames_decoded, 5, "cold seek decodes the whole GOP");
+        // Warm passes: any target in the resident GOP costs zero decodes.
+        for target in 0..5 {
+            let (_, warm) = seek_cached(&dec, &ev, id, &cache, target).unwrap();
+            assert_eq!(warm.frames_decoded, 0, "target {target}");
+            assert!(warm.frames_decoded < cold.frames_decoded);
+        }
+        assert_eq!(cache.stats().hits, 5);
+    }
+
+    #[test]
+    fn disabled_cache_still_seeks_correctly() {
+        let ev = encoded(4, 8);
+        let id = VideoId::of(&ev);
+        let dec = Decoder::default();
+        let cache = GopCache::new(0);
+        for target in [1usize, 6, 3] {
+            let (direct, _) = seek(&dec, &ev, target).unwrap();
+            let (cached, stats) = seek_cached(&dec, &ev, id, &cache, target).unwrap();
+            assert_eq!(cached, direct);
+            assert!(stats.frames_decoded >= 1, "capacity 0 always decodes");
+        }
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn cached_seek_out_of_range_errors() {
+        let ev = encoded(4, 6);
+        let cache = GopCache::new(4);
+        let err = seek_cached(&Decoder::default(), &ev, VideoId::of(&ev), &cache, 6);
+        assert!(err.is_err());
     }
 }

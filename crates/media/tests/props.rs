@@ -179,3 +179,98 @@ proptest! {
         }
     }
 }
+
+// Decode-heavy properties get fewer cases: each case encodes a small
+// video before probing it.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Cached seeks are byte-identical to direct frame decoding for every
+    // GOP size, seek order and cache capacity — including capacity 0
+    // (disabled) and 1 (maximal thrash), where the cache degenerates to
+    // pure re-decoding but must stay correct.
+    #[test]
+    fn cached_seek_is_always_bit_exact(
+        seed in any::<u64>(),
+        gop in 1usize..8,
+        frames in 2usize..20,
+        capacity in 0usize..5,
+        order in proptest::collection::vec(0usize..1000, 1..12),
+    ) {
+        use vgbl_media::cache::{GopCache, VideoId};
+        use vgbl_media::codec::{Decoder, EncodeConfig, Encoder};
+        use vgbl_media::seek::seek_cached;
+        use vgbl_media::synth::{FootageSpec, ShotSpec};
+
+        let footage = FootageSpec {
+            width: 16,
+            height: 12,
+            rate: FrameRate::FPS30,
+            shots: vec![ShotSpec::plain(frames, Rgb::new(120, 90, 60))],
+            noise_seed: seed,
+        }
+        .render()
+        .unwrap();
+        let video = Encoder::new(EncodeConfig { gop, ..Default::default() })
+            .encode(&footage.frames, footage.rate)
+            .unwrap();
+        let dec = Decoder::default();
+        let id = VideoId::of(&video);
+        let cache = GopCache::new(capacity);
+        for &o in &order {
+            let target = o % frames;
+            let (cached, stats) = seek_cached(&dec, &video, id, &cache, target).unwrap();
+            let (direct, walked) = dec.decode_frame(&video, target).unwrap();
+            prop_assert_eq!(&cached, &direct, "target {}", target);
+            prop_assert_eq!(stats.keyframe, video.keyframe_before(target).unwrap());
+            // A miss decodes the whole GOP; a hit decodes nothing.
+            prop_assert!(
+                stats.frames_decoded == 0 || stats.frames_decoded >= walked,
+                "gop decode ({}) at least the direct walk ({})",
+                stats.frames_decoded,
+                walked
+            );
+        }
+    }
+
+    // `average_seek_cost`'s closed-form accounting agrees with the
+    // per-seek `SeekStats::frames_decoded` that `seek` actually reports.
+    #[test]
+    fn average_seek_cost_matches_reported_stats(
+        seed in any::<u64>(),
+        gop in 1usize..10,
+        frames in 2usize..24,
+        raw_targets in proptest::collection::vec(0usize..1000, 1..16),
+    ) {
+        use vgbl_media::codec::{Decoder, EncodeConfig, Encoder};
+        use vgbl_media::seek::{average_seek_cost, seek};
+        use vgbl_media::synth::{FootageSpec, ShotSpec};
+
+        let targets: Vec<usize> = raw_targets.iter().map(|t| t % frames).collect();
+        let footage = FootageSpec {
+            width: 16,
+            height: 12,
+            rate: FrameRate::FPS30,
+            shots: vec![ShotSpec::plain(frames, Rgb::new(60, 90, 120))],
+            noise_seed: seed,
+        }
+        .render()
+        .unwrap();
+        let video = Encoder::new(EncodeConfig { gop, ..Default::default() })
+            .encode(&footage.frames, footage.rate)
+            .unwrap();
+        let dec = Decoder::default();
+        let total: usize = targets
+            .iter()
+            .map(|&t| seek(&dec, &video, t).unwrap().1.frames_decoded)
+            .sum();
+        let avg = average_seek_cost(&video, &targets).unwrap();
+        let measured = total as f64 / targets.len() as f64;
+        prop_assert!(
+            (avg - measured).abs() < 1e-9,
+            "analytic {} vs measured {}",
+            avg,
+            measured
+        );
+    }
+}

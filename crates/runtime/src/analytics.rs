@@ -289,6 +289,53 @@ impl SessionLog {
     }
 }
 
+/// Decode-reuse metrics of the shared decoded-GOP cache backing a cohort
+/// of playback sessions (EXP-11). Where [`LearningReport`] says what a
+/// cohort *learned*, this says what serving them *cost*: a high
+/// [`hit_rate`](DecodeReuse::hit_rate) means the cohort decoded each GOP
+/// roughly once in total instead of once per student.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeReuse {
+    /// Cache hits (lookups answered by an already-decoded GOP).
+    pub hits: u64,
+    /// Cache misses (lookups that decoded, or — with miss coalescing —
+    /// waited on a concurrent decode of the same GOP).
+    pub misses: u64,
+    /// GOPs evicted to stay within the capacity budget.
+    pub evictions: u64,
+    /// GOPs resident when the snapshot was taken.
+    pub resident_gops: usize,
+    /// Approximate bytes of decoded frames resident at snapshot time.
+    pub resident_bytes: usize,
+}
+
+impl DecodeReuse {
+    /// Snapshots the counters of a decoded-GOP cache.
+    pub fn from_cache(stats: &vgbl_media::CacheStats) -> DecodeReuse {
+        DecodeReuse {
+            hits: stats.hits,
+            misses: stats.misses,
+            evictions: stats.evictions,
+            resident_gops: stats.resident_gops,
+            resident_bytes: stats.resident_bytes,
+        }
+    }
+
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served without decoding (0 when none occurred).
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
+}
+
 /// Aggregate learning metrics over a cohort of sessions (EXP-9).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LearningReport {
@@ -475,6 +522,26 @@ mod tests {
         log.push(LogEvent::ScenarioEntered { t_ms: 0, name: "room, with \"quotes\"".into() });
         let csv = log.to_csv();
         assert!(csv.contains("\"room, with \"\"quotes\"\"\""));
+    }
+
+    #[test]
+    fn decode_reuse_snapshots_cache_counters() {
+        use vgbl_media::GopCache;
+
+        let cache = GopCache::new(4);
+        // Two misses, one hit across two keys.
+        for key in [0usize, 0, 5] {
+            cache
+                .get_or_decode(vgbl_media::VideoId::from_raw(1), key, || Ok(Vec::new()))
+                .unwrap();
+        }
+        let reuse = DecodeReuse::from_cache(&cache.stats());
+        assert_eq!(reuse.lookups(), 3);
+        assert_eq!(reuse.hits, 1);
+        assert_eq!(reuse.misses, 2);
+        assert_eq!(reuse.resident_gops, 2);
+        assert!((reuse.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(DecodeReuse::from_cache(&GopCache::new(4).stats()).hit_rate(), 0.0);
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //! * [`feedback`] — everything the platform presents back to the player.
 //! * [`engine`] — [`engine::GameSession`], the interaction loop:
 //!   hit-testing, trigger dispatch, action execution, timers.
-//! * [`playback`] — video playback over encoded segments with a GOP-aware
-//!   frame cache.
+//! * [`playback`] — video playback over encoded segments, decoding
+//!   through a shared GOP cache so cohorts decode each GOP once.
 //! * [`render`] — Figure 2 reproduction: frame compositing with mounted
 //!   objects plus the deterministic ASCII UI render.
 //! * [`save`] — save games (text format, versioned).
@@ -47,7 +47,7 @@ pub mod save;
 pub mod server;
 pub mod state;
 
-pub use analytics::{LearningReport, LogEvent, SessionLog};
+pub use analytics::{DecodeReuse, LearningReport, LogEvent, SessionLog};
 pub use bot::{Bot, ExplorerBot, GuidedBot, RandomBot};
 pub use device::{RemoteButton, RemoteControl};
 pub use engine::{GameSession, SessionConfig};
@@ -55,7 +55,9 @@ pub use error::RuntimeError;
 pub use feedback::Feedback;
 pub use input::InputEvent;
 pub use inventory::Inventory;
+pub use playback::{PlaybackController, PlaybackStats};
 pub use save::SaveGame;
+pub use server::{run_cohort, run_playback_cohort, PlaybackCohortReport, ServerReport};
 pub use state::GameState;
 
 /// Result alias for runtime operations.

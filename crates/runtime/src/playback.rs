@@ -4,49 +4,55 @@
 //! is the *player* part: it holds the project's encoded video and segment
 //! table, tracks which segment a scenario is showing, loops the segment
 //! while the player explores it, and switches segments on scenario
-//! changes (a seek, measured by EXP-3). Decoded GOPs are cached so a
-//! looping segment does not re-decode every frame.
+//! changes (a seek, measured by EXP-3). Decoded GOPs come from a
+//! [`GopCache`] that can be **shared across sessions**: a cohort of
+//! players over the same content decodes each GOP once in total, instead
+//! of once per player (EXP-11 measures exactly this).
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
+use vgbl_media::cache::{GopCache, VideoId};
 use vgbl_media::codec::{Decoder, EncodedVideo};
 use vgbl_media::{Frame, MediaError, Segment, SegmentId, SegmentTable};
 
 use crate::Result;
+
+/// GOP capacity of the private cache a standalone player creates.
+const PRIVATE_CACHE_GOPS: usize = 8;
 
 /// Accumulated playback-cost counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlaybackStats {
     /// Frames served to the UI.
     pub frames_served: usize,
-    /// Frames actually decoded (cache misses, GOP walks included).
+    /// Frames *this session* decoded (its cache misses, GOP walks
+    /// included). Frames served from another session's decode count as 0.
     pub frames_decoded: usize,
     /// Segment switches performed.
     pub switches: usize,
-    /// GOPs currently resident in the cache.
+    /// GOPs currently resident in the (possibly shared) cache.
     pub cached_gops: usize,
 }
 
 /// The segment-looping video player.
 #[derive(Debug)]
 pub struct PlaybackController {
-    video: EncodedVideo,
+    video: Arc<EncodedVideo>,
+    video_id: VideoId,
     segments: SegmentTable,
     decoder: Decoder,
+    cache: Arc<GopCache>,
     current: SegmentId,
     /// Position within the current segment, in frames.
     cursor: usize,
     /// Microseconds of accumulated time not yet worth a whole frame.
     residual_us: u64,
-    /// Decoded GOP cache: keyframe index → frames of that GOP.
-    cache: HashMap<usize, Vec<Frame>>,
-    /// Cache capacity in GOPs (bounded; segments are small).
-    cache_gops: usize,
     stats: PlaybackStats,
 }
 
 impl PlaybackController {
-    /// Creates a player positioned at the start of `initial`.
+    /// Creates a standalone player positioned at the start of `initial`,
+    /// with its own private decoded-GOP cache.
     ///
     /// # Errors
     /// Fails when the segment table does not match the video length or
@@ -55,6 +61,23 @@ impl PlaybackController {
         video: EncodedVideo,
         segments: SegmentTable,
         initial: SegmentId,
+    ) -> Result<PlaybackController> {
+        Self::shared(
+            Arc::new(video),
+            segments,
+            initial,
+            Arc::new(GopCache::new(PRIVATE_CACHE_GOPS)),
+        )
+    }
+
+    /// Creates a player whose decoded GOPs live in `cache`, which may be
+    /// shared with any number of other players of any videos (entries
+    /// are keyed by content fingerprint, so distinct streams coexist).
+    pub fn shared(
+        video: Arc<EncodedVideo>,
+        segments: SegmentTable,
+        initial: SegmentId,
+        cache: Arc<GopCache>,
     ) -> Result<PlaybackController> {
         if segments.frame_count() != video.len() {
             return Err(MediaError::InvalidSegment(format!(
@@ -67,15 +90,16 @@ impl PlaybackController {
         segments
             .get(initial)
             .ok_or_else(|| MediaError::InvalidSegment(format!("unknown segment {initial}")))?;
+        let video_id = VideoId::of(&video);
         Ok(PlaybackController {
             video,
+            video_id,
             segments,
             decoder: Decoder::default(),
+            cache,
             current: initial,
             cursor: 0,
             residual_us: 0,
-            cache: HashMap::new(),
-            cache_gops: 8,
             stats: PlaybackStats::default(),
         })
     }
@@ -88,8 +112,18 @@ impl PlaybackController {
     /// Playback-cost counters so far.
     pub fn stats(&self) -> PlaybackStats {
         let mut s = self.stats;
-        s.cached_gops = self.cache.len();
+        s.cached_gops = self.cache.stats().resident_gops;
         s
+    }
+
+    /// The decoded-GOP cache this player uses (shared or private).
+    pub fn cache(&self) -> &Arc<GopCache> {
+        &self.cache
+    }
+
+    /// The encoded video being played.
+    pub fn video(&self) -> &EncodedVideo {
+        &self.video
     }
 
     /// The absolute source-frame index currently displayed.
@@ -99,7 +133,8 @@ impl PlaybackController {
     }
 
     /// Switches to another segment (a scenario change), rewinding to its
-    /// first frame. Returns the number of frames decoded to show it.
+    /// first frame. Returns the number of frames decoded to show it
+    /// (0 when the target's GOP was already resident).
     pub fn switch_segment(&mut self, id: SegmentId) -> Result<usize> {
         self.segments
             .get(id)
@@ -130,49 +165,21 @@ impl PlaybackController {
         steps
     }
 
-    /// Decodes (or serves from cache) the frame under the cursor.
+    /// Serves the frame under the cursor, from the cache when its GOP is
+    /// resident, decoding the GOP (once, for everyone sharing the cache)
+    /// when it is not.
     pub fn current_frame(&mut self) -> Result<Frame> {
         let abs = self.absolute_frame();
         let key = self.video.keyframe_before(abs)?;
-        if !self.cache.contains_key(&key) {
-            // Decode the whole GOP once; subsequent frames are cache hits.
-            let end = self
-                .video
-                .keyframes()
-                .into_iter()
-                .find(|&k| k > key)
-                .unwrap_or(self.video.len());
-            let frames = self.decode_gop(key, end)?;
-            self.stats.frames_decoded += frames.len();
-            if self.cache.len() >= self.cache_gops {
-                // Evict an arbitrary (oldest-inserted not tracked) entry;
-                // segments are localised so any eviction works.
-                if let Some(&evict) = self.cache.keys().find(|&&k| k != key) {
-                    self.cache.remove(&evict);
-                }
-            }
-            self.cache.insert(key, frames);
-        }
+        let mut decoded = 0usize;
+        let gop = self.cache.get_or_decode(self.video_id, key, || {
+            let frames = self.decoder.decode_gop_at(&self.video, key)?;
+            decoded = frames.len();
+            Ok(frames)
+        })?;
+        self.stats.frames_decoded += decoded;
         self.stats.frames_served += 1;
-        let gop = &self.cache[&key];
         Ok(gop[abs - key].clone())
-    }
-
-    /// Decodes frames `[key, end)` sequentially (one GOP walk). `key`
-    /// must be a keyframe, so the sliced sub-stream is self-contained.
-    fn decode_gop(&self, key: usize, end: usize) -> Result<Vec<Frame>> {
-        let mut frames = Vec::with_capacity(end - key);
-        let sub = EncodedVideo {
-            width: self.video.width,
-            height: self.video.height,
-            rate: self.video.rate,
-            quality: self.video.quality,
-            gop: self.video.gop,
-            frames: self.video.frames[key..end].to_vec(),
-        };
-        let decoded = self.decoder.decode_all(&sub)?;
-        frames.extend(decoded.frames);
-        Ok(frames)
     }
 }
 
@@ -185,7 +192,7 @@ mod tests {
     use vgbl_media::timeline::FrameRate;
 
     /// 3 segments of 10 frames each (30 frames total), GOP 5.
-    fn player() -> PlaybackController {
+    fn encoded_video() -> (EncodedVideo, SegmentTable) {
         let footage = FootageSpec {
             width: 32,
             height: 24,
@@ -203,6 +210,11 @@ mod tests {
             .encode(&footage.frames, footage.rate)
             .unwrap();
         let table = SegmentTable::from_cuts(30, &[10, 20]).unwrap();
+        (video, table)
+    }
+
+    fn player() -> PlaybackController {
+        let (video, table) = encoded_video();
         PlaybackController::new(video, table, SegmentId(0)).unwrap()
     }
 
@@ -213,7 +225,7 @@ mod tests {
         assert_eq!(p.absolute_frame(), 0);
         assert!(p.current_frame().is_ok());
         // Mismatched table rejected.
-        let video2 = p.video.clone();
+        let video2 = p.video().clone();
         let bad_table = SegmentTable::from_cuts(29, &[10]).unwrap();
         assert!(PlaybackController::new(video2, bad_table, SegmentId(0)).is_err());
     }
@@ -273,12 +285,13 @@ mod tests {
         // The 10-frame segment spans 2 GOPs (10 frames); both decode once.
         assert!(decoded_after_loop <= decoded_after_first + 10);
         assert!(p.stats().frames_served >= 30);
+        assert_eq!(p.stats().cached_gops, 2);
     }
 
     #[test]
     fn frames_match_direct_decode() {
         let mut p = player();
-        let direct = Decoder::default().decode_all(&p.video).unwrap();
+        let direct = Decoder::default().decode_all(p.video()).unwrap();
         for target in [0usize, 3, 7] {
             p.cursor = target;
             let f = p.current_frame().unwrap();
@@ -287,5 +300,57 @@ mod tests {
         p.switch_segment(SegmentId(1)).unwrap();
         let f = p.current_frame().unwrap();
         assert_eq!(f, direct.frames[10]);
+    }
+
+    #[test]
+    fn shared_cache_deduplicates_across_players() {
+        let (video, table) = encoded_video();
+        let video = Arc::new(video);
+        let cache = Arc::new(GopCache::new(16));
+        let mut players: Vec<PlaybackController> = (0..4)
+            .map(|_| {
+                PlaybackController::shared(
+                    video.clone(),
+                    table.clone(),
+                    SegmentId(0),
+                    cache.clone(),
+                )
+                .unwrap()
+            })
+            .collect();
+        // Every player walks every segment.
+        for p in &mut players {
+            for seg in [0u32, 1, 2] {
+                p.switch_segment(SegmentId(seg)).unwrap();
+                for _ in 0..12 {
+                    p.advance_ms(33);
+                    p.current_frame().unwrap();
+                }
+            }
+        }
+        // 6 GOPs of 5 frames: decoded once in total, not once per player.
+        let total_decoded: usize = players.iter().map(|p| p.stats().frames_decoded).sum();
+        assert_eq!(total_decoded, 30, "each GOP decodes exactly once");
+        let s = cache.stats();
+        assert_eq!(s.misses, 6);
+        assert!(s.hits > 100, "hits {}", s.hits);
+    }
+
+    #[test]
+    fn disabled_shared_cache_decodes_every_lookup() {
+        let (video, table) = encoded_video();
+        let mut p = PlaybackController::shared(
+            Arc::new(video),
+            table,
+            SegmentId(0),
+            Arc::new(GopCache::new(0)),
+        )
+        .unwrap();
+        let f1 = p.current_frame().unwrap();
+        let f2 = p.current_frame().unwrap();
+        assert_eq!(f1, f2);
+        // Two lookups, two full GOP decodes.
+        assert_eq!(p.stats().frames_decoded, 10);
+        assert_eq!(p.stats().cached_gops, 0);
     }
 }

@@ -10,11 +10,17 @@
 use std::sync::Arc;
 
 use crossbeam::channel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vgbl_media::cache::GopCache;
+use vgbl_media::codec::EncodedVideo;
+use vgbl_media::{SegmentId, SegmentTable};
 use vgbl_scene::SceneGraph;
 
-use crate::analytics::LearningReport;
+use crate::analytics::{DecodeReuse, LearningReport};
 use crate::bot::{run_session, Bot, BotRun};
 use crate::engine::SessionConfig;
+use crate::playback::{PlaybackController, PlaybackStats};
 use crate::Result;
 
 /// What the server runs per session: a factory producing a fresh bot for
@@ -94,13 +100,128 @@ pub fn run_cohort(
     Ok(ServerReport { sessions: runs.len(), learning, total_steps })
 }
 
+/// Aggregated outcome of a playback cohort run (EXP-11).
+#[derive(Debug, Clone)]
+pub struct PlaybackCohortReport {
+    /// Sessions completed.
+    pub sessions: usize,
+    /// Frames served to players, summed over the cohort.
+    pub frames_served: usize,
+    /// Frames actually decoded, summed over the cohort. With a shared
+    /// cache large enough for the video this approaches the frame count
+    /// of the video itself — each GOP decoded once *in total*.
+    pub frames_decoded: usize,
+    /// Segment switches performed, summed over the cohort.
+    pub switches: usize,
+    /// Decode-reuse counters of the shared cache after the run.
+    pub reuse: DecodeReuse,
+}
+
+/// Runs `n_sessions` simulated playback sessions over `workers` OS
+/// threads, all decoding through one shared [`GopCache`].
+///
+/// Each session is a deterministic seeded random walk: it starts in
+/// segment `i mod n_segments`, and per step either switches to a random
+/// segment (1 in 4) or advances ~one frame of wall time and renders. The
+/// *frames each session sees* are bit-exact regardless of `workers` or
+/// cache capacity; only who pays for decoding varies, which is exactly
+/// what [`PlaybackCohortReport`] measures.
+pub fn run_playback_cohort(
+    video: Arc<EncodedVideo>,
+    segments: &SegmentTable,
+    cache: Arc<GopCache>,
+    n_sessions: usize,
+    workers: usize,
+    steps_per_session: usize,
+) -> Result<PlaybackCohortReport> {
+    let n_segments = segments.len().max(1) as u32;
+    if n_sessions == 0 {
+        return Ok(PlaybackCohortReport {
+            sessions: 0,
+            frames_served: 0,
+            frames_decoded: 0,
+            switches: 0,
+            reuse: DecodeReuse::from_cache(&cache.stats()),
+        });
+    }
+    let workers = workers.max(1).min(n_sessions);
+    let (job_tx, job_rx) = channel::unbounded::<usize>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, Result<PlaybackStats>)>();
+    for i in 0..n_sessions {
+        job_tx.send(i).expect("queue open");
+    }
+    drop(job_tx);
+
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let video = video.clone();
+            let cache = cache.clone();
+            s.spawn(move |_| {
+                for i in job_rx.iter() {
+                    let run = play_one_session(
+                        video.clone(),
+                        segments.clone(),
+                        cache.clone(),
+                        i,
+                        n_segments,
+                        steps_per_session,
+                    );
+                    if res_tx.send((i, run)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    drop(res_tx);
+
+    let mut stats: Vec<(usize, PlaybackStats)> = Vec::with_capacity(n_sessions);
+    for (i, run) in res_rx.iter() {
+        stats.push((i, run?));
+    }
+    stats.sort_by_key(|(i, _)| *i);
+
+    Ok(PlaybackCohortReport {
+        sessions: stats.len(),
+        frames_served: stats.iter().map(|(_, s)| s.frames_served).sum(),
+        frames_decoded: stats.iter().map(|(_, s)| s.frames_decoded).sum(),
+        switches: stats.iter().map(|(_, s)| s.switches).sum(),
+        reuse: DecodeReuse::from_cache(&cache.stats()),
+    })
+}
+
+/// One seeded playback walk; deterministic in `(i, n_segments, steps)`.
+fn play_one_session(
+    video: Arc<EncodedVideo>,
+    segments: SegmentTable,
+    cache: Arc<GopCache>,
+    i: usize,
+    n_segments: u32,
+    steps: usize,
+) -> Result<PlaybackStats> {
+    let initial = SegmentId(i as u32 % n_segments);
+    let mut player = PlaybackController::shared(video, segments, initial, cache)?;
+    let mut rng = StdRng::seed_from_u64(0x9e37_79b9 ^ i as u64);
+    player.current_frame()?;
+    for _ in 0..steps {
+        if rng.gen_range(0..4u32) == 0 {
+            player.switch_segment(SegmentId(rng.gen_range(0..n_segments)))?;
+        } else {
+            player.advance_ms(33);
+            player.current_frame()?;
+        }
+    }
+    Ok(player.stats())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::bot::{GuidedBot, RandomBot};
     use crate::fixtures::{fix_the_computer, FRAME};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn config() -> SessionConfig {
         SessionConfig::for_frame(FRAME.0, FRAME.1)
@@ -157,6 +278,88 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.sessions, 0);
+    }
+
+    fn cohort_video() -> (Arc<EncodedVideo>, SegmentTable) {
+        use vgbl_media::codec::{EncodeConfig, Encoder};
+        use vgbl_media::color::Rgb;
+        use vgbl_media::synth::{FootageSpec, ShotSpec};
+        use vgbl_media::timeline::FrameRate;
+
+        let footage = FootageSpec {
+            width: 32,
+            height: 24,
+            rate: FrameRate::FPS30,
+            shots: vec![
+                ShotSpec::plain(12, Rgb::new(210, 40, 40)),
+                ShotSpec::plain(12, Rgb::new(40, 210, 40)),
+                ShotSpec::plain(12, Rgb::new(40, 40, 210)),
+            ],
+            noise_seed: 77,
+        }
+        .render()
+        .unwrap();
+        let video = Encoder::new(EncodeConfig { gop: 6, ..Default::default() })
+            .encode(&footage.frames, footage.rate)
+            .unwrap();
+        let table = SegmentTable::from_cuts(36, &[12, 24]).unwrap();
+        (Arc::new(video), table)
+    }
+
+    #[test]
+    fn playback_cohort_shares_decode_work() {
+        let (video, table) = cohort_video();
+        let cache = Arc::new(GopCache::new(16));
+        let report =
+            run_playback_cohort(video.clone(), &table, cache, 64, 4, 40).unwrap();
+        assert_eq!(report.sessions, 64);
+        assert!(report.frames_served >= 64 * 30);
+        // 6 GOPs × 6 frames = 36 decodable frames. With a cache that holds
+        // the whole video, the cohort decodes each GOP exactly once in
+        // total — not once per session.
+        assert_eq!(report.frames_decoded, video.len());
+        assert_eq!(report.reuse.misses, 6);
+        assert!(
+            report.reuse.hit_rate() >= 0.9,
+            "hit rate {:.3}",
+            report.reuse.hit_rate()
+        );
+    }
+
+    #[test]
+    fn playback_cohort_frames_deterministic_across_workers_and_capacity() {
+        let (video, table) = cohort_video();
+        let run = |workers: usize, capacity: usize| {
+            run_playback_cohort(
+                video.clone(),
+                &table,
+                Arc::new(GopCache::new(capacity)),
+                12,
+                workers,
+                30,
+            )
+            .unwrap()
+        };
+        let a = run(1, 16);
+        let b = run(4, 16);
+        let c = run(4, 2);
+        // Session walks are seeded per index: served frames and switches
+        // never depend on scheduling or on cache capacity.
+        assert_eq!(a.frames_served, b.frames_served);
+        assert_eq!(a.switches, b.switches);
+        assert_eq!(a.frames_served, c.frames_served);
+        assert_eq!(a.switches, c.switches);
+        // Only the decode cost varies: a tiny cache decodes more.
+        assert!(c.frames_decoded >= a.frames_decoded);
+    }
+
+    #[test]
+    fn empty_playback_cohort_is_fine() {
+        let (video, table) = cohort_video();
+        let report =
+            run_playback_cohort(video, &table, Arc::new(GopCache::new(4)), 0, 4, 10).unwrap();
+        assert_eq!(report.sessions, 0);
+        assert_eq!(report.frames_served, 0);
     }
 
     #[test]

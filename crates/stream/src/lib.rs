@@ -28,7 +28,7 @@ pub mod prefetch;
 pub use chunk::{ChunkId, ChunkMap};
 pub use client::{simulate, StreamStats, TraceStep};
 pub use link::{Link, LinkModel, VariableLink};
-pub use prefetch::{PrefetchContext, PrefetchPolicy};
+pub use prefetch::{warm_decoded_gops, PrefetchContext, PrefetchPolicy};
 
 /// Errors from the streaming simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +39,8 @@ pub enum StreamError {
     InvalidLink(String),
     /// The chunk map is empty (no video).
     EmptyVideo,
+    /// Decoding a GOP for cache warming failed.
+    Decode(String),
 }
 
 impl std::fmt::Display for StreamError {
@@ -47,6 +49,7 @@ impl std::fmt::Display for StreamError {
             StreamError::UnknownSegment(id) => write!(f, "unknown segment {id} in trace"),
             StreamError::InvalidLink(msg) => write!(f, "invalid link model: {msg}"),
             StreamError::EmptyVideo => write!(f, "no chunks to stream"),
+            StreamError::Decode(msg) => write!(f, "decode during warm-up failed: {msg}"),
         }
     }
 }

@@ -7,9 +7,12 @@
 //! which is the measurable payoff of owning both the player and the
 //! content model (EXP-7).
 
+use vgbl_media::cache::{GopCache, VideoId};
+use vgbl_media::codec::{Decoder, EncodedVideo};
 use vgbl_media::SegmentId;
 
 use crate::chunk::{ChunkId, ChunkMap};
+use crate::{Result, StreamError};
 
 /// What the policy may look at when planning fetches.
 #[derive(Debug, Clone)]
@@ -91,6 +94,45 @@ impl PrefetchPolicy {
     }
 }
 
+/// Decode-ahead: warms a shared decoded-GOP cache for a prefetch plan.
+///
+/// Fetching bytes ahead of a branch (what [`PrefetchPolicy::plan`]
+/// schedules) hides *network* latency; this hides the *decode* latency
+/// that remains — each planned chunk is one GOP (`start_frame` is its
+/// keyframe), so decoding it into `cache` turns the seek that follows the
+/// branch the player actually takes into a pure cache hit. Sessions
+/// sharing `cache` benefit even when a different session took the branch
+/// first.
+///
+/// Already-resident GOPs cost nothing; the return value is the number of
+/// GOPs newly decoded. Plan entries outside the map are ignored.
+///
+/// # Errors
+/// [`StreamError::Decode`] when the underlying bitstream fails to decode.
+pub fn warm_decoded_gops(
+    plan: &[ChunkId],
+    map: &ChunkMap,
+    decoder: &Decoder,
+    video: &EncodedVideo,
+    video_id: VideoId,
+    cache: &GopCache,
+) -> Result<usize> {
+    let mut warmed = 0usize;
+    for &id in plan {
+        let Some(chunk) = map.get(id) else { continue };
+        let mut decoded = false;
+        cache
+            .get_or_decode(video_id, chunk.start_frame, || {
+                let frames = decoder.decode_gop_at(video, chunk.start_frame)?;
+                decoded = true;
+                Ok(frames)
+            })
+            .map_err(|e| StreamError::Decode(e.to_string()))?;
+        warmed += usize::from(decoded);
+    }
+    Ok(warmed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,7 +142,7 @@ mod tests {
     use vgbl_media::timeline::FrameRate;
     use vgbl_media::SegmentTable;
 
-    fn map() -> ChunkMap {
+    fn video_and_map() -> (EncodedVideo, ChunkMap) {
         let footage = FootageSpec {
             width: 24,
             height: 16,
@@ -115,7 +157,12 @@ mod tests {
             .unwrap();
         // 4 segments of 10 frames = 2 chunks each.
         let table = SegmentTable::from_cuts(40, &[10, 20, 30]).unwrap();
-        ChunkMap::build(&video, &table).unwrap()
+        let map = ChunkMap::build(&video, &table).unwrap();
+        (video, map)
+    }
+
+    fn map() -> ChunkMap {
+        video_and_map().1
     }
 
     #[test]
@@ -174,6 +221,51 @@ mod tests {
         };
         let plan = PrefetchPolicy::BranchAware { per_branch: 2 }.plan(&ctx);
         assert_eq!(plan, vec![ChunkId(1), ChunkId(2), ChunkId(3)]);
+    }
+
+    #[test]
+    fn warming_makes_branch_seeks_free() {
+        let (video, m) = video_and_map();
+        let id = VideoId::of(&video);
+        let dec = Decoder::default();
+        let cache = GopCache::new(16);
+        let ctx = PrefetchContext {
+            map: &m,
+            playing: ChunkId(0),
+            segment: SegmentId(0),
+            branch_targets: &[SegmentId(2), SegmentId(3)],
+        };
+        let plan = PrefetchPolicy::BranchAware { per_branch: 1 }.plan(&ctx);
+        let warmed = warm_decoded_gops(&plan, &m, &dec, &video, id, &cache).unwrap();
+        assert_eq!(warmed, 3, "chunk 1 + branch heads 4 and 6");
+        // The seek into either branch target now decodes nothing.
+        for target in [20usize, 30] {
+            let (frame, stats) =
+                vgbl_media::seek::seek_cached(&dec, &video, id, &cache, target).unwrap();
+            assert_eq!(stats.frames_decoded, 0, "target {target} warmed");
+            let (direct, _) = vgbl_media::seek::seek(&dec, &video, target).unwrap();
+            assert_eq!(frame, direct);
+        }
+        // Re-warming the same plan decodes nothing new.
+        let again = warm_decoded_gops(&plan, &m, &dec, &video, id, &cache).unwrap();
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn warming_ignores_out_of_map_chunks() {
+        let (video, m) = video_and_map();
+        let cache = GopCache::new(8);
+        let warmed = warm_decoded_gops(
+            &[ChunkId(99), ChunkId(0)],
+            &m,
+            &Decoder::default(),
+            &video,
+            VideoId::of(&video),
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(warmed, 1);
+        assert_eq!(cache.stats().resident_gops, 1);
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Offline shim for `criterion` 0.5.
+//!
+//! Provides the measurement API the bench suite uses — groups,
+//! `bench_function` / `bench_with_input`, throughput annotations — with
+//! a simple mean-of-samples wall-clock measurement and plain-text
+//! reporting. `cargo bench -- --test` (CI smoke mode) runs every closure
+//! exactly once, like the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's conventional id shape.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Id from a bare parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Work-per-iteration annotation; reported as derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical items processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to bench closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    quick: bool,
+    samples: usize,
+    elapsed: &'a mut Duration,
+    iters: &'a mut u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing total elapsed time and iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            let t0 = Instant::now();
+            black_box(routine());
+            *self.elapsed = t0.elapsed();
+            *self.iters = 1;
+            return;
+        }
+        // Warm-up and calibration: find an iteration count that runs for
+        // a measurable stretch, capped to keep total bench time sane.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let budget = Duration::from_millis(120);
+        let per_sample =
+            ((budget.as_nanos() / self.samples as u128) / once.as_nanos()).clamp(1, 10_000) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            total += t.elapsed();
+            iters += per_sample;
+        }
+        *self.elapsed = total;
+        *self.iters = iters;
+    }
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(label: &str, elapsed: Duration, iters: u64, throughput: Option<Throughput>) {
+    let per_iter = if iters == 0 {
+        Duration::ZERO
+    } else {
+        Duration::from_nanos((elapsed.as_nanos() / iters as u128) as u64)
+    };
+    let mut line = format!("{label:<48} time: {:>12}", human_time(per_iter));
+    if let Some(tp) = throughput {
+        let secs = per_iter.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Bytes(b) => {
+                    let _ = write!(line, "   thrpt: {:.2} MiB/s", b as f64 / secs / (1 << 20) as f64);
+                }
+                Throughput::Elements(n) => {
+                    let _ = write!(line, "   thrpt: {:.0} elem/s", n as f64 / secs);
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Annotates following benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        let mut elapsed = Duration::ZERO;
+        let mut iters = 0u64;
+        f(&mut Bencher {
+            quick: self.criterion.quick,
+            samples: self.samples,
+            elapsed: &mut elapsed,
+            iters: &mut iters,
+        });
+        report(&label, elapsed, iters, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reporting is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Criterion {
+    /// Builds a driver honouring harness flags (`--test` = one
+    /// iteration per bench, as the real crate does for CI smoke runs).
+    pub fn from_args() -> Criterion {
+        let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+        Criterion { quick }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: 30,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut elapsed = Duration::ZERO;
+        let mut iters = 0u64;
+        f(&mut Bencher {
+            quick: self.quick,
+            samples: 30,
+            elapsed: &mut elapsed,
+            iters: &mut iters,
+        });
+        report(&id.0, elapsed, iters, None);
+        self
+    }
+}
+
+/// Declares a group function running each target against one driver.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).throughput(Throughput::Elements(10));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("case", 1), &3usize, |b, &x| {
+            b.iter(|| x * 2);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Provides scoped threads on top of `std::thread::scope` and MPMC
+//! channels on top of `std::sync::mpsc` (receiver shared behind a
+//! mutex). Two behavioural notes versus upstream:
+//!
+//! * `scope` returns `Ok(..)` or propagates a child panic directly
+//!   instead of returning `Err`; callers here only `.expect()` the
+//!   result, so the observable behaviour (panic on worker panic) is
+//!   identical.
+//! * Channel `Receiver::iter` ends when all senders are dropped, like
+//!   upstream.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// Scoped-thread handle passed to [`scope`] closures.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so
+    /// nested spawns keep working, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a thread scope; all spawned threads join before this
+/// returns. A panicking child propagates its panic at join.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod channel {
+    //! MPMC channels over `std::sync::mpsc`.
+
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Sending half; clonable.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error returned when the receiving side is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        /// Sends a value; errors when every receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half; clonable (receivers share one queue).
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(self.0.clone())
+        }
+    }
+
+    /// Error returned when the channel is empty and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; errors when all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .recv()
+                .map_err(|_| RecvError)
+        }
+
+        /// Iterates until the channel closes.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking iterator over received values.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_workers() {
+        let mut data = vec![0u32; 4];
+        scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn channel_fans_out_to_many_receivers() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: usize = scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move |_| rx.iter().sum::<usize>())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 99 * 100 / 2);
+    }
+}

@@ -1,0 +1,991 @@
+//! Offline shim for `proptest` 1.x.
+//!
+//! The build container has no crates.io access, so this crate implements
+//! the subset of proptest the workspace's property tests use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`/`prop_filter`,
+//! `any::<T>()` for primitives, range / tuple / collection / option /
+//! char strategies, regex-subset string strategies, `prop_oneof!`, and
+//! the `prop_assert*` family.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the case number, the
+//!   deterministic per-test seed and the assertion message; inputs are
+//!   reproduced by re-running the test (generation is seeded by test
+//!   name, so failures are stable across runs).
+//! * **Regex strategies** support the subset the tests use: bracket
+//!   classes (with ranges and escapes), literal characters, `\PC`
+//!   (printable unicode) and `{m}` / `{m,n}` repetition.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Per-test configuration and the deterministic generator.
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was vetoed by `prop_assume!`; it is not counted.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection with the given reason.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic xoshiro256** generator seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test's name (stable across runs).
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng::from_seed(h)
+        }
+
+        /// Seeds from a raw 64-bit value via SplitMix64.
+        pub fn from_seed(seed: u64) -> TestRng {
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng { s: [next(), next(), next(), next()] }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform `usize` in `[lo, hi]`.
+        pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+            lo + self.below((hi - lo) as u64 + 1) as usize
+        }
+
+        /// Uniform value in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and generic combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values `f` accepts, retrying internally.
+        fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, whence: whence.into(), f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.new_value(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {:?} rejected 1000 candidates in a row", self.whence);
+        }
+    }
+
+    /// A type-erased generator arm of a [`Union`].
+    pub type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+    /// Uniform choice between heterogeneous strategies (see `prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<UnionArm<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union over the given arms.
+        pub fn new(arms: Vec<UnionArm<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+
+        /// Erases one strategy into an arm.
+        pub fn arm<S>(strategy: S) -> UnionArm<V>
+        where
+            S: Strategy<Value = V> + 'static,
+        {
+            Box::new(move |rng| strategy.new_value(rng))
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            (self.arms[i])(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one uniform value.
+        fn arb(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arb(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arb(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arb(rng: &mut TestRng) -> f64 {
+            rng.unit_f64() * 2e9 - 1e9
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arb(rng: &mut TestRng) -> f32 {
+            (rng.unit_f64() * 2e6 - 1e6) as f32
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arb(rng: &mut TestRng) -> char {
+            crate::char::sample_any(rng)
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arb(rng: &mut TestRng) -> crate::sample::Index {
+            crate::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arb(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Vec / BTreeSet / BTreeMap strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// An inclusive-exclusive size bound for collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(self, rng: &mut TestRng) -> usize {
+            rng.usize_inclusive(self.lo, self.hi.max(self.lo + 1) - 1)
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Sets of up to `size` elements (duplicates collapse, as upstream).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            // A few extra draws approximate the requested size when the
+            // element domain collides.
+            for _ in 0..n * 2 {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.new_value(rng));
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Maps of up to `size` entries.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..n * 2 {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.key.new_value(rng), self.value.new_value(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` about a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+}
+
+pub mod char {
+    //! Char strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive code-point range strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    /// Chars in `[lo, hi]` by code point.
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange { lo: lo as u32, hi: hi as u32 }
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+
+        fn new_value(&self, rng: &mut TestRng) -> char {
+            // Rejection-sample across the surrogate gap.
+            loop {
+                let v = self.lo + rng.below((self.hi - self.lo) as u64 + 1) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    /// Any `char`, biased toward ASCII like upstream.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyChar;
+
+    /// Strategy over all of `char`.
+    pub fn any() -> AnyChar {
+        AnyChar
+    }
+
+    pub(crate) fn sample_any(rng: &mut TestRng) -> char {
+        if rng.below(2) == 0 {
+            // Printable ASCII half the time.
+            char::from_u32(0x20 + rng.below(0x5F) as u32).expect("ascii")
+        } else {
+            loop {
+                let v = rng.below(0x11_0000) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    impl Strategy for AnyChar {
+        type Value = char;
+
+        fn new_value(&self, rng: &mut TestRng) -> char {
+            sample_any(rng)
+        }
+    }
+}
+
+pub mod sample {
+    //! Index sampling.
+
+    /// A deferred index into a not-yet-known-length slice.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        pub(crate) fn from_raw(raw: u64) -> Index {
+            Index { raw }
+        }
+
+        /// Resolves against a concrete length (must be non-zero).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            (self.raw % len as u64) as usize
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-subset string generation backing `&str` strategies.
+
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        /// Inclusive code-point ranges.
+        Class(Vec<(u32, u32)>),
+        /// `\PC` — printable unicode.
+        Printable,
+        /// A literal char.
+        Lit(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            unescape(chars[i])
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        // `x-y` range unless the hyphen closes the class.
+                        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                            i += 1;
+                            let hi = if chars[i] == '\\' {
+                                i += 1;
+                                unescape(chars[i])
+                            } else {
+                                chars[i]
+                            };
+                            i += 1;
+                            ranges.push((lo as u32, hi as u32));
+                        } else {
+                            ranges.push((lo as u32, lo as u32));
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                    i += 1; // ']'
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    if chars.get(i) == Some(&'P') && chars.get(i + 1) == Some(&'C') {
+                        i += 2;
+                        Atom::Printable
+                    } else {
+                        let c = unescape(chars[i]);
+                        i += 1;
+                        Atom::Lit(c)
+                    }
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            // Optional {m} / {m,n} repetition.
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                i += 1;
+                let mut m = 0usize;
+                while chars[i].is_ascii_digit() {
+                    m = m * 10 + chars[i].to_digit(10).expect("digit") as usize;
+                    i += 1;
+                }
+                let n = if chars[i] == ',' {
+                    i += 1;
+                    let mut n = 0usize;
+                    while chars[i].is_ascii_digit() {
+                        n = n * 10 + chars[i].to_digit(10).expect("digit") as usize;
+                        i += 1;
+                    }
+                    n
+                } else {
+                    m
+                };
+                assert!(chars[i] == '}', "malformed repetition in {pattern:?}");
+                i += 1;
+                (m, n)
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn sample_class(ranges: &[(u32, u32)], rng: &mut TestRng) -> char {
+        let total: u64 = ranges.iter().map(|&(lo, hi)| (hi - lo) as u64 + 1).sum();
+        let mut pick = rng.below(total);
+        for &(lo, hi) in ranges {
+            let span = (hi - lo) as u64 + 1;
+            if pick < span {
+                return char::from_u32(lo + pick as u32).expect("valid class char");
+            }
+            pick -= span;
+        }
+        unreachable!("pick within total")
+    }
+
+    fn sample_printable(rng: &mut TestRng) -> char {
+        match rng.below(10) {
+            // Mostly printable ASCII …
+            0..=6 => char::from_u32(0x20 + rng.below(0x5F) as u32).expect("ascii"),
+            // … some Latin-1 / Greek / Cyrillic …
+            7 | 8 => char::from_u32(0xA1 + rng.below(0x400) as u32).unwrap_or('¡'),
+            // … and occasional CJK.
+            _ => char::from_u32(0x4E00 + rng.below(0x2000) as u32).unwrap_or('中'),
+        }
+    }
+
+    /// Generates one string matching the regex-subset `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let n = rng.usize_inclusive(piece.min, piece.max);
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Class(ranges) => out.push(sample_class(ranges, rng)),
+                    Atom::Printable => out.push(sample_printable(rng)),
+                    Atom::Lit(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    //! Everything the property tests import.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Namespaced re-exports (`prop::sample::Index` etc.).
+        pub use crate::char;
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Declares property tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (cfg = ($cfg:expr); $(
+        #[test]
+        fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            while passed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(20).saturating_add(1000),
+                    "too many rejected cases (prop_assume rejects nearly everything)"
+                );
+                $(let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)*
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed at case #{passed}: {msg}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Union::arm($arm) ),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Rejects (skips) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::test_runner::TestRng::for_test("regex");
+        for _ in 0..200 {
+            let s = crate::string::generate("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().expect("non-empty").is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let p = crate::string::generate("[ -~]{0,40}", &mut rng);
+            assert!(p.chars().count() <= 40);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)), "{p:?}");
+
+            let any = crate::string::generate("\\PC{0,60}", &mut rng);
+            assert!(any.chars().count() <= 60);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn addition_commutes(a in any::<i32>(), b in any::<i32>()) {
+            prop_assert_eq!(a as i64 + b as i64, b as i64 + a as i64);
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(0u8..10, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            e in prop_oneof![
+                (0usize..4).prop_map(Some),
+                Just(None),
+            ],
+            idx in any::<prop::sample::Index>(),
+        ) {
+            if let Some(x) = e {
+                prop_assert!(x < 4);
+            }
+            prop_assert!(idx.index(7) < 7);
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+}
