@@ -650,6 +650,199 @@ fn exp11() {
     println!("size; disabled (capacity 0), every session pays for every GOP.");
 }
 
+fn exp12() {
+    header("EXP-12", "resilience: stream/playback quality vs injected loss");
+    use vgbl::media::GopChecksums;
+    use vgbl::runtime::{PlaybackController, ResilienceReport};
+    use vgbl::stream::{simulate_faulty, FaultPlan, FaultyLink, RetryPolicy};
+
+    let footage = bench_footage(96, 64, 12, 7);
+    let video = encode(&footage, 5, Quality::Medium, 2);
+    let table = table_for(&footage);
+    let map = ChunkMap::build(&video, &table).expect("chunks");
+    let n = table.len() as u32;
+    // A hub-and-rooms trace that tours every room, so the sweep touches
+    // every chunk of the stream.
+    let all: Vec<SegmentId> = (1..n).map(SegmentId).collect();
+    let mut trace = Vec::new();
+    for room in 1..n {
+        trace.push(TraceStep {
+            segment: SegmentId(0),
+            watch_ms: 1500.0,
+            branch_targets: all.clone(),
+        });
+        trace.push(TraceStep {
+            segment: SegmentId(room),
+            watch_ms: 2000.0,
+            branch_targets: vec![SegmentId(0)],
+        });
+    }
+    println!(
+        "{} frames in {} segments, {} chunks toured per run\n",
+        video.len(),
+        table.len(),
+        map.len()
+    );
+    let link = |plan| FaultyLink::new(LinkModel::mbps(2.0, 30.0).expect("valid link"), plan);
+    let policy = PrefetchPolicy::BranchAware { per_branch: 1 };
+
+    // Loss sweep with the default retry budget (3 retries, capped
+    // exponential backoff): every lost chunk is recovered within the
+    // budget, so degradation is pure rebuffering, never concealment.
+    println!("2 Mbit/s link, default retry budget (3 retries, 250 ms base deadline):\n");
+    println!(
+        "{:<8} {:>11} {:>8} {:>10} {:>8} {:>9} {:>8} {:>11} {:>11}",
+        "loss", "startup ms", "stalls", "stall ms", "retries", "timeouts", "gave up", "conceal ms", "delivery %"
+    );
+    let mut sweep = Vec::new();
+    for loss in [0.0, 0.001, 0.01, 0.05] {
+        let plan = FaultPlan::new(42).with_loss(loss).expect("valid rate");
+        let report = simulate_faulty(&map, &link(plan), policy, &RetryPolicy::default(), &trace)
+            .expect("faulty stream completes");
+        let s = report.stats;
+        println!(
+            "{:<8} {:>11.0} {:>8} {:>10.0} {:>8} {:>9} {:>8} {:>11.0} {:>10.1}%",
+            format!("{:.1}%", loss * 100.0),
+            s.startup_ms,
+            s.stalls,
+            s.stall_ms,
+            s.retries,
+            s.timeouts,
+            s.gave_up,
+            s.conceal_ms,
+            s.delivery_ratio() * 100.0
+        );
+        if loss <= 0.01 {
+            assert_eq!(s.gave_up, 0, "≤1% loss recovers every chunk in budget");
+        }
+        sweep.push(report);
+    }
+
+    // The same 5% loss with the retry budget removed: chunks that are
+    // lost once are abandoned and concealed — playback still completes.
+    let tight = RetryPolicy { max_retries: 0, ..RetryPolicy::default() };
+    let plan = FaultPlan::new(42).with_loss(0.05).expect("valid rate");
+    let report =
+        simulate_faulty(&map, &link(plan), policy, &tight, &trace).expect("still completes");
+    println!(
+        "\n5% loss with the retry budget removed (max_retries = 0): {} of {} chunks\nconcealed as freeze-frame ({:.0} ms), delivery ratio {:.1}% — the stream\ndegrades, it does not fail.",
+        report.concealed.len(),
+        report.concealed.len() + report.delivered.len(),
+        report.stats.conceal_ms,
+        report.stats.delivery_ratio() * 100.0
+    );
+    assert!(!report.concealed.is_empty(), "no-retry 5% loss conceals");
+
+    // Determinism: same seed + same plan ⇒ byte-identical StreamStats
+    // and ResilienceReport.
+    let again: Vec<_> = [0.0, 0.001, 0.01, 0.05]
+        .iter()
+        .map(|&loss| {
+            let plan = FaultPlan::new(42).with_loss(loss).expect("valid rate");
+            simulate_faulty(&map, &link(plan), policy, &RetryPolicy::default(), &trace)
+                .expect("faulty stream completes")
+        })
+        .collect();
+    let stats: Vec<_> = sweep.iter().map(|r| r.stats).collect();
+    let stats2: Vec<_> = again.iter().map(|r| r.stats).collect();
+    let resilience = ResilienceReport::from_sessions(&stats, &[]);
+    let resilience2 = ResilienceReport::from_sessions(&stats2, &[]);
+    assert_eq!(sweep, again, "same seed + plan ⇒ byte-identical reports");
+    assert_eq!(resilience, resilience2);
+    println!(
+        "\nreplayed the sweep with the same seeds: StreamStats and the\naggregated ResilienceReport are byte-identical across runs\n(cohort: {} sessions, {} retries, {} timeouts, avg delivery {:.1}%).",
+        resilience.sessions,
+        resilience.retries,
+        resilience.timeouts,
+        resilience.avg_delivery_ratio * 100.0
+    );
+
+    // Bit-exactness on delivered frames: damage one GOP in storage, play
+    // with integrity verification on — the damaged GOP is concealed, and
+    // every other frame matches the pristine decode bit-for-bit.
+    let reference = Decoder::default().decode_all(&video).expect("pristine decode").frames;
+    let sums = GopChecksums::build(&video);
+    let keys = video.keyframes();
+    let keyframe = keys[2];
+    let gop_end = keys.get(3).copied().unwrap_or(video.len());
+    let mut damaged = video.clone();
+    for b in &mut damaged.frames[keyframe].data {
+        *b ^= 0xA5;
+    }
+    let mut player = PlaybackController::new(damaged, table.clone(), SegmentId(0))
+        .expect("player builds")
+        .with_integrity(sums);
+    let mut exact = 0usize;
+    let mut concealed = 0usize;
+    for sid in 0..table.len() as u32 {
+        player.switch_segment(SegmentId(sid)).expect("switch never errors");
+        let len = player.current_segment().len();
+        for off in 0.. {
+            let abs = player.absolute_frame();
+            let got = player.current_frame().expect("playback never errors");
+            if got == reference[abs] {
+                exact += 1;
+            } else {
+                assert!((keyframe..gop_end).contains(&abs), "only the damaged GOP diverges");
+                concealed += 1;
+            }
+            if off + 1 == len {
+                break;
+            }
+            while player.advance_ms(7) == 0 {}
+        }
+    }
+    println!(
+        "\none GOP damaged in storage: {exact} of {} frames bit-exact with the\npristine decode, {concealed} concealed by freeze-frame, zero errors.",
+        reference.len()
+    );
+    assert_eq!(exact + concealed, reference.len());
+    assert!(concealed > 0, "the damaged GOP is concealed, not decoded");
+
+    // Fault isolation in the cohort server: one deliberately panicking
+    // bot among 64 sessions is one Failed row, not a crashed cohort.
+    let graph = Arc::new(fixtures::fix_the_computer());
+    let config = SessionConfig::for_frame(fixtures::FRAME.0, fixtures::FRAME.1);
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // keep the demo's output clean
+    let report = run_cohort(
+        graph,
+        config,
+        64,
+        4,
+        &|i| {
+            if i == 17 {
+                Box::new(PanicBot)
+            } else {
+                Box::new(RandomBot::new(StdRng::seed_from_u64(i as u64)))
+            }
+        },
+        60,
+        40,
+    )
+    .expect("cohort survives a panicking worker");
+    std::panic::set_hook(prev_hook);
+    println!(
+        "\n64-session cohort with one deliberately panicking bot: {} completed,\n{} failed (row 17: {:?}) — the cohort call returned Ok.",
+        report.sessions,
+        report.failed,
+        report.outcomes[17]
+    );
+    assert_eq!((report.sessions, report.failed), (63, 1));
+}
+
+/// A bot that panics as soon as it is asked for input (EXP-12's fault
+/// isolation demo).
+struct PanicBot;
+impl Bot for PanicBot {
+    fn next_input(
+        &mut self,
+        _session: &vgbl::runtime::GameSession,
+    ) -> vgbl::runtime::Result<Option<InputEvent>> {
+        panic!("deliberately broken bot");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
@@ -692,5 +885,8 @@ fn main() {
     }
     if want("exp11") {
         exp11();
+    }
+    if want("exp12") {
+        exp12();
     }
 }

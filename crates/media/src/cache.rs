@@ -32,6 +32,7 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 
 use crate::codec::EncodedVideo;
+use crate::error::MediaError;
 use crate::frame::Frame;
 use crate::Result;
 
@@ -111,26 +112,30 @@ enum Slot {
     Pending(Arc<Waiter>),
 }
 
-/// Blocks followers of an in-flight decode until the leader resolves it.
+/// Blocks followers of an in-flight decode until the leader resolves it,
+/// then hands every follower the leader's outcome — decoded frames or
+/// the decode error. Errors are handed off, never cached: the slot is
+/// removed before followers wake, so the key stays retryable.
 struct Waiter {
-    done: Mutex<bool>,
+    outcome: Mutex<Option<std::result::Result<Arc<Vec<Frame>>, MediaError>>>,
     cv: Condvar,
 }
 
 impl Waiter {
     fn new() -> Arc<Waiter> {
-        Arc::new(Waiter { done: Mutex::new(false), cv: Condvar::new() })
+        Arc::new(Waiter { outcome: Mutex::new(None), cv: Condvar::new() })
     }
 
-    fn wait(&self) {
-        let mut guard = self.done.lock();
-        while !*guard {
+    fn wait(&self) -> std::result::Result<Arc<Vec<Frame>>, MediaError> {
+        let mut guard = self.outcome.lock();
+        while guard.is_none() {
             guard = self.cv.wait(guard);
         }
+        guard.as_ref().expect("resolved outcome").clone()
     }
 
-    fn resolve(&self) {
-        *self.done.lock() = true;
+    fn resolve(&self, outcome: std::result::Result<Arc<Vec<Frame>>, MediaError>) {
+        *self.outcome.lock() = Some(outcome);
         self.cv.notify_all();
     }
 }
@@ -288,8 +293,9 @@ impl GopCache {
     /// (they do — everyone decodes `[keyframe, next_keyframe)`).
     ///
     /// # Errors
-    /// Propagates `decode`'s error. Followers of a failed leader retry
-    /// the decode themselves.
+    /// Propagates `decode`'s error. A failed decode is never cached:
+    /// coalesced followers are woken with a clone of the leader's error,
+    /// and the key stays retryable for later callers.
     pub fn get_or_decode<F>(
         &self,
         video_id: VideoId,
@@ -305,37 +311,37 @@ impl GopCache {
         }
         let key = GopKey { video: video_id, keyframe };
         let shard = &self.shards[(key.shard_hash() % self.shards.len() as u64) as usize];
-        let mut decode = Some(decode);
-        loop {
-            // Fast path under the shard lock: hit, or join an in-flight
-            // decode, or claim leadership of a new one.
-            let waiter = {
-                let mut s = shard.lock();
-                match s.entries.get_mut(&key) {
-                    Some(Slot::Ready { frames, touched }) => {
-                        *touched = self.clock.fetch_add(1, Ordering::Relaxed);
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Ok(frames.clone());
-                    }
-                    Some(Slot::Pending(w)) => w.clone(),
-                    None => {
-                        let w = Waiter::new();
-                        s.entries.insert(key, Slot::Pending(w.clone()));
-                        drop(s);
-                        return self.lead_decode(
-                            shard,
-                            key,
-                            w,
-                            decode.take().expect("decode consumed once"),
-                        );
-                    }
+        // Fast path under the shard lock: hit, or join an in-flight
+        // decode, or claim leadership of a new one.
+        let waiter = {
+            let mut s = shard.lock();
+            match s.entries.get_mut(&key) {
+                Some(Slot::Ready { frames, touched }) => {
+                    *touched = self.clock.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(frames.clone());
                 }
-            };
-            // Follower: wait for the leader, then re-run the fast path.
-            // The entry is usually Ready by then; if it was evicted or
-            // the leader failed, this caller may become the new leader
-            // (its `decode` closure is still unconsumed).
-            waiter.wait();
+                Some(Slot::Pending(w)) => w.clone(),
+                None => {
+                    let w = Waiter::new();
+                    s.entries.insert(key, Slot::Pending(w.clone()));
+                    drop(s);
+                    return self.lead_decode(shard, key, w, decode);
+                }
+            }
+        };
+        // Follower: block until the leader resolves, then share its
+        // outcome — frames count as a coalesced hit, an error counts as
+        // a miss and propagates without being cached anywhere.
+        match waiter.wait() {
+            Ok(frames) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(frames)
+            }
+            Err(e) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
         }
     }
 
@@ -363,13 +369,15 @@ impl GopCache {
                 self.resident_bytes.fetch_add(frames_bytes(&frames), Ordering::Relaxed);
                 self.evict_over_capacity(&mut s, key);
                 drop(s);
-                waiter.resolve();
+                waiter.resolve(Ok(frames.clone()));
                 Ok(frames)
             }
             Err(e) => {
+                // Negative results are never cached: remove the slot
+                // before waking followers so the key stays retryable.
                 s.entries.remove(&key);
                 drop(s);
-                waiter.resolve();
+                waiter.resolve(Err(e.clone()));
                 Err(e)
             }
         }
@@ -569,6 +577,73 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.hits + s.misses, 8);
         assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn flaky_decoder_error_wakes_coalesced_waiters_and_stays_retryable() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::mpsc;
+        let cache = GopCache::new(4);
+        let id = VideoId::from_raw(3);
+        let decodes = AtomicUsize::new(0);
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            // Leader: decode fails, but only after followers have joined
+            // the Pending slot.
+            let (cache_ref, decodes_ref) = (&cache, &decodes);
+            let leader = s.spawn(move || {
+                cache_ref.get_or_decode(id, 0, || {
+                    decodes_ref.fetch_add(1, Ordering::Relaxed);
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    Err(crate::MediaError::CorruptBitstream("flaky".into()))
+                })
+            });
+            started_rx.recv().unwrap();
+            // Followers join while the decode is in flight; their own
+            // closures must never run.
+            let followers: Vec<_> = (0..7)
+                .map(|_| {
+                    s.spawn(|| {
+                        cache.get_or_decode(id, 0, || {
+                            panic!("follower closure must not run on a coalesced miss")
+                        })
+                    })
+                })
+                .collect();
+            // Wait until every follower has joined the Pending slot
+            // (map + leader + 7 followers = 9 waiter references), then
+            // let the decode fail.
+            let key = GopKey { video: id, keyframe: 0 };
+            let sidx = (key.shard_hash() % cache.shards.len() as u64) as usize;
+            loop {
+                let shard = cache.shards[sidx].lock();
+                match shard.entries.get(&key) {
+                    Some(Slot::Pending(w)) if Arc::strong_count(w) >= 9 => break,
+                    _ => {}
+                }
+                drop(shard);
+                std::thread::yield_now();
+            }
+            release_tx.send(()).unwrap();
+            let lead_err = leader.join().unwrap().unwrap_err();
+            assert_eq!(lead_err, crate::MediaError::CorruptBitstream("flaky".into()));
+            for f in followers {
+                // Every follower gets the leader's error — woken, not
+                // blocked forever, and nothing re-decoded.
+                let err = f.join().unwrap().unwrap_err();
+                assert_eq!(err, lead_err);
+            }
+        });
+        assert_eq!(decodes.load(Ordering::Relaxed), 1, "exactly one decode attempt");
+        assert_eq!(cache.stats().resident_gops, 0, "failure must not be cached");
+        // The key is immediately retryable and a success is cached.
+        let ok = cache
+            .get_or_decode(id, 0, || Ok(Vec::new()))
+            .expect("retry after flaky failure succeeds");
+        assert!(ok.is_empty());
+        assert_eq!(cache.stats().resident_gops, 1);
     }
 
     #[test]

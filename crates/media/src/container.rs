@@ -82,6 +82,69 @@ fn fnv1a(init: u64, bytes: &[u8]) -> u64 {
     h
 }
 
+/// FNV-1a checksum over the concatenated payloads of `frames` — the same
+/// hash [`ContainerWriter`] stores in the trailer, restricted to a frame
+/// range. Delivery chunks and GOP integrity checks reuse this path so
+/// every consumer agrees on what "intact payload" means.
+pub fn payload_checksum(frames: &[EncodedFrame]) -> u64 {
+    frames.iter().fold(FNV_OFFSET, |h, f| fnv1a(h, &f.data))
+}
+
+/// Per-GOP integrity checksums of one encoded stream, built from pristine
+/// bytes and checked later — after transit, caching or storage — to
+/// detect payload damage before it reaches the decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GopChecksums {
+    /// `(keyframe, checksum)` pairs, ascending by keyframe.
+    sums: Vec<(usize, u64)>,
+}
+
+impl GopChecksums {
+    /// Computes the checksum of every GOP in `video`.
+    pub fn build(video: &EncodedVideo) -> GopChecksums {
+        let keyframes = video.keyframes();
+        let mut sums = Vec::with_capacity(keyframes.len());
+        for (i, &start) in keyframes.iter().enumerate() {
+            let end = keyframes.get(i + 1).copied().unwrap_or(video.len());
+            sums.push((start, payload_checksum(&video.frames[start..end])));
+        }
+        GopChecksums { sums }
+    }
+
+    /// Number of GOPs covered.
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Whether no GOPs are covered (empty stream).
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Verifies the GOP starting at `keyframe` against `video`'s current
+    /// bytes.
+    ///
+    /// # Errors
+    /// [`MediaError::CorruptGop`] when the payload no longer hashes to
+    /// the recorded value, [`MediaError::FrameOutOfRange`] when
+    /// `keyframe` does not start a recorded GOP.
+    pub fn verify(&self, video: &EncodedVideo, keyframe: usize) -> Result<()> {
+        let idx = self
+            .sums
+            .binary_search_by_key(&keyframe, |&(k, _)| k)
+            .map_err(|_| MediaError::FrameOutOfRange { index: keyframe, len: video.len() })?;
+        let (start, expect) = self.sums[idx];
+        let end = self.sums.get(idx + 1).map(|&(k, _)| k).unwrap_or(video.len());
+        if video.frames.len() < end {
+            return Err(MediaError::CorruptGop { keyframe });
+        }
+        if payload_checksum(&video.frames[start..end]) != expect {
+            return Err(MediaError::CorruptGop { keyframe });
+        }
+        Ok(())
+    }
+}
+
 /// Serialises [`EncodedVideo`] streams into VGV bytes.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ContainerWriter;
@@ -323,6 +386,38 @@ mod tests {
         let bytes = ContainerWriter::write(&ev);
         let back = ContainerReader::read(&bytes).unwrap();
         assert_eq!(ev, back);
+    }
+
+    #[test]
+    fn gop_checksums_verify_pristine_and_flag_damage() {
+        let ev = encoded(); // gop 3, 6 frames → 2 GOPs
+        let sums = GopChecksums::build(&ev);
+        assert_eq!(sums.len(), 2);
+        assert!(!sums.is_empty());
+        assert!(sums.verify(&ev, 0).is_ok());
+        assert!(sums.verify(&ev, 3).is_ok());
+        // Non-keyframe index is rejected.
+        assert!(matches!(
+            sums.verify(&ev, 1),
+            Err(MediaError::FrameOutOfRange { .. })
+        ));
+        // Flip a payload bit in the second GOP: only it reports damage.
+        let mut bad = ev.clone();
+        let victim = (3..6).find(|&i| !bad.frames[i].data.is_empty()).unwrap();
+        bad.frames[victim].data[0] ^= 0x40;
+        assert!(sums.verify(&bad, 0).is_ok());
+        assert!(matches!(
+            sums.verify(&bad, 3),
+            Err(MediaError::CorruptGop { keyframe: 3 })
+        ));
+    }
+
+    #[test]
+    fn payload_checksum_matches_container_trailer() {
+        let ev = encoded();
+        let bytes = ContainerWriter::write(&ev);
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        assert_eq!(payload_checksum(&ev.frames), stored);
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub enum MediaError {
         /// Number of frames available.
         len: usize,
     },
+    /// A GOP's payload bytes failed their integrity checksum.
+    CorruptGop {
+        /// Keyframe index of the damaged GOP.
+        keyframe: usize,
+    },
     /// A segment's bounds are empty or outside the video.
     InvalidSegment(String),
     /// An encode configuration parameter is out of range.
@@ -49,6 +54,9 @@ impl fmt::Display for MediaError {
             MediaError::CorruptContainer(msg) => write!(f, "corrupt container: {msg}"),
             MediaError::FrameOutOfRange { index, len } => {
                 write!(f, "frame index {index} out of range (video has {len} frames)")
+            }
+            MediaError::CorruptGop { keyframe } => {
+                write!(f, "GOP at keyframe {keyframe} failed its integrity checksum")
             }
             MediaError::InvalidSegment(msg) => write!(f, "invalid segment: {msg}"),
             MediaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),

@@ -50,7 +50,9 @@ pub mod timeline;
 
 pub use cache::{CacheStats, GopCache, VideoId};
 pub use codec::{DecodedVideo, Decoder, EncodeConfig, Encoder, Quality};
-pub use container::{ContainerReader, ContainerWriter, FrameKind, VgvHeader};
+pub use container::{
+    payload_checksum, ContainerReader, ContainerWriter, FrameKind, GopChecksums, VgvHeader,
+};
 pub use error::MediaError;
 pub use frame::Frame;
 pub use segment::{Segment, SegmentId, SegmentTable};

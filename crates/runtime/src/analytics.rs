@@ -336,6 +336,68 @@ impl DecodeReuse {
     }
 }
 
+/// Delivery-resilience metrics over a cohort of faulty-link streaming
+/// sessions plus the cohort's fault-isolation outcomes (EXP-12). Where
+/// [`DecodeReuse`] says what serving a cohort *cost*, this says how the
+/// cohort *degraded* under loss, corruption and session failures — and
+/// by how little. Deterministic: built from seeded fault plans, two runs
+/// with the same seeds produce identical reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// Streaming sessions aggregated.
+    pub sessions: usize,
+    /// Cohort sessions that failed outright (panicked or errored).
+    pub failed_sessions: usize,
+    /// Re-requests issued across the cohort.
+    pub retries: usize,
+    /// Delivery attempts that hit their deadline.
+    pub timeouts: usize,
+    /// Chunks abandoned after the retry budget.
+    pub gave_up: usize,
+    /// Total milliseconds of freeze-frame concealment.
+    pub conceal_ms: f64,
+    /// Total milliseconds of rebuffering.
+    pub stall_ms: f64,
+    /// Total milliseconds of real content played.
+    pub play_ms: f64,
+    /// Mean fraction of watched time served from real content.
+    pub avg_delivery_ratio: f64,
+}
+
+impl ResilienceReport {
+    /// Aggregates per-session [`StreamStats`](vgbl_stream::StreamStats)
+    /// and the per-session outcomes of the hosting cohort (pass an empty
+    /// slice when sessions were not cohort-hosted).
+    pub fn from_sessions(
+        stats: &[vgbl_stream::StreamStats],
+        outcomes: &[crate::server::SessionOutcome],
+    ) -> ResilienceReport {
+        let n = stats.len();
+        let ratio_sum: f64 = stats.iter().map(|s| s.delivery_ratio()).sum();
+        ResilienceReport {
+            sessions: n,
+            failed_sessions: outcomes.iter().filter(|o| o.is_failed()).count(),
+            retries: stats.iter().map(|s| s.retries).sum(),
+            timeouts: stats.iter().map(|s| s.timeouts).sum(),
+            gave_up: stats.iter().map(|s| s.gave_up).sum(),
+            conceal_ms: stats.iter().map(|s| s.conceal_ms).sum(),
+            stall_ms: stats.iter().map(|s| s.stall_ms).sum(),
+            play_ms: stats.iter().map(|s| s.play_ms).sum(),
+            avg_delivery_ratio: if n == 0 { 1.0 } else { ratio_sum / n as f64 },
+        }
+    }
+
+    /// Fraction of watched time lost to concealment, cohort-wide.
+    pub fn conceal_ratio(&self) -> f64 {
+        let total = self.play_ms + self.conceal_ms;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.conceal_ms / total
+        }
+    }
+}
+
 /// Aggregate learning metrics over a cohort of sessions (EXP-9).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LearningReport {
@@ -549,5 +611,43 @@ mod tests {
         let report = LearningReport::from_sessions(std::iter::empty());
         assert_eq!(report.sessions, 0);
         assert_eq!(report.completion_rate(), 0.0);
+    }
+
+    #[test]
+    fn fault_resilience_report_aggregates_and_reproduces() {
+        use crate::server::SessionOutcome;
+        let s = |retries, timeouts, gave_up, conceal_ms, play_ms| vgbl_stream::StreamStats {
+            startup_ms: 10.0,
+            stalls: 1,
+            stall_ms: 5.0,
+            bytes_fetched: 1000,
+            wasted_bytes: 0,
+            play_ms,
+            retries,
+            timeouts,
+            gave_up,
+            conceal_ms,
+        };
+        let stats = vec![s(3, 2, 1, 100.0, 900.0), s(0, 0, 0, 0.0, 1000.0)];
+        let outcomes = vec![
+            SessionOutcome::Completed,
+            SessionOutcome::Failed { reason: "x".into() },
+        ];
+        let a = ResilienceReport::from_sessions(&stats, &outcomes);
+        assert_eq!(a.sessions, 2);
+        assert_eq!(a.failed_sessions, 1);
+        assert_eq!((a.retries, a.timeouts, a.gave_up), (3, 2, 1));
+        assert_eq!(a.conceal_ms, 100.0);
+        assert_eq!(a.play_ms, 1900.0);
+        assert!((a.conceal_ratio() - 100.0 / 2000.0).abs() < 1e-12);
+        assert!((a.avg_delivery_ratio - (0.9 + 1.0) / 2.0).abs() < 1e-12);
+        // Same inputs ⇒ byte-identical report.
+        let b = ResilienceReport::from_sessions(&stats, &outcomes);
+        assert_eq!(a, b);
+        // Empty cohort is sane.
+        let empty = ResilienceReport::from_sessions(&[], &[]);
+        assert_eq!(empty.sessions, 0);
+        assert_eq!(empty.avg_delivery_ratio, 1.0);
+        assert_eq!(empty.conceal_ratio(), 0.0);
     }
 }

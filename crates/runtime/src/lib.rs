@@ -47,7 +47,7 @@ pub mod save;
 pub mod server;
 pub mod state;
 
-pub use analytics::{DecodeReuse, LearningReport, LogEvent, SessionLog};
+pub use analytics::{DecodeReuse, LearningReport, LogEvent, ResilienceReport, SessionLog};
 pub use bot::{Bot, ExplorerBot, GuidedBot, RandomBot};
 pub use device::{RemoteButton, RemoteControl};
 pub use engine::{GameSession, SessionConfig};
@@ -57,7 +57,9 @@ pub use input::InputEvent;
 pub use inventory::Inventory;
 pub use playback::{PlaybackController, PlaybackStats};
 pub use save::SaveGame;
-pub use server::{run_cohort, run_playback_cohort, PlaybackCohortReport, ServerReport};
+pub use server::{
+    run_cohort, run_playback_cohort, PlaybackCohortReport, ServerReport, SessionOutcome,
+};
 pub use state::GameState;
 
 /// Result alias for runtime operations.

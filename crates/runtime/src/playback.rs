@@ -9,11 +9,12 @@
 //! players over the same content decodes each GOP once in total, instead
 //! of once per player (EXP-11 measures exactly this).
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use vgbl_media::cache::{GopCache, VideoId};
 use vgbl_media::codec::{Decoder, EncodedVideo};
-use vgbl_media::{Frame, MediaError, Segment, SegmentId, SegmentTable};
+use vgbl_media::{Frame, GopChecksums, MediaError, Segment, SegmentId, SegmentTable};
 
 use crate::Result;
 
@@ -32,6 +33,9 @@ pub struct PlaybackStats {
     pub switches: usize,
     /// GOPs currently resident in the (possibly shared) cache.
     pub cached_gops: usize,
+    /// Frames served by freeze-frame concealment because their GOP was
+    /// corrupt or undecodable.
+    pub concealed: usize,
 }
 
 /// The segment-looping video player.
@@ -48,6 +52,17 @@ pub struct PlaybackController {
     /// Microseconds of accumulated time not yet worth a whole frame.
     residual_us: u64,
     stats: PlaybackStats,
+    /// Pristine per-GOP checksums; when present, every GOP is verified
+    /// before it is decoded (or fetched from the shared cache), so a
+    /// corrupted GOP can never poison other sessions through the cache.
+    checksums: Option<GopChecksums>,
+    /// Keyframes whose GOP failed verification or decoding. Memoised so
+    /// a looping segment does not re-attempt a known-bad decode every
+    /// frame; playback resyncs at the next intact keyframe.
+    failed_keys: HashSet<usize>,
+    /// The most recent successfully served frame — what concealment
+    /// freezes on while waiting for the next intact keyframe.
+    last_good: Option<Frame>,
 }
 
 impl PlaybackController {
@@ -101,7 +116,20 @@ impl PlaybackController {
             cursor: 0,
             residual_us: 0,
             stats: PlaybackStats::default(),
+            checksums: None,
+            failed_keys: HashSet::new(),
+            last_good: None,
         })
+    }
+
+    /// Enables GOP integrity verification against `checksums` (built
+    /// from the pristine stream, see [`GopChecksums::build`]). With
+    /// verification on, a GOP whose payload was damaged in transit or
+    /// storage is detected *before* decoding and concealed, instead of
+    /// producing garbage frames or a mid-decode error.
+    pub fn with_integrity(mut self, checksums: GopChecksums) -> PlaybackController {
+        self.checksums = Some(checksums);
+        self
     }
 
     /// The segment currently playing.
@@ -168,18 +196,70 @@ impl PlaybackController {
     /// Serves the frame under the cursor, from the cache when its GOP is
     /// resident, decoding the GOP (once, for everyone sharing the cache)
     /// when it is not.
+    ///
+    /// When the GOP is corrupt (checksum mismatch, see
+    /// [`PlaybackController::with_integrity`]) or fails to decode, the
+    /// player *conceals* instead of erroring: it freezes on the last
+    /// good frame, counts the loss in [`PlaybackStats::concealed`], and
+    /// resynchronises automatically at the next intact keyframe (GOPs
+    /// are independently decodable, so one bad GOP never cascades).
+    ///
+    /// # Errors
+    /// Only structural failures escape: a cursor outside the video, or
+    /// an unrecoverable GOP before *any* frame was served (nothing to
+    /// freeze on).
     pub fn current_frame(&mut self) -> Result<Frame> {
         let abs = self.absolute_frame();
         let key = self.video.keyframe_before(abs)?;
+        match self.fetch_gop(key) {
+            Ok(gop) => {
+                self.stats.frames_served += 1;
+                let frame = gop[abs - key].clone();
+                self.last_good = Some(frame.clone());
+                Ok(frame)
+            }
+            Err(e) => match &self.last_good {
+                Some(frame) => {
+                    // Freeze-frame concealment; the cursor keeps
+                    // advancing, so the next intact GOP resyncs.
+                    self.stats.frames_served += 1;
+                    self.stats.concealed += 1;
+                    Ok(frame.clone())
+                }
+                None => Err(e),
+            },
+        }
+    }
+
+    /// Verifies (when integrity is enabled) and decodes the GOP at
+    /// `key`, memoising failures so known-bad GOPs are not re-attempted
+    /// on every looped frame.
+    fn fetch_gop(&mut self, key: usize) -> Result<Arc<Vec<Frame>>> {
+        if self.failed_keys.contains(&key) {
+            return Err(MediaError::CorruptGop { keyframe: key }.into());
+        }
+        if let Some(sums) = &self.checksums {
+            if let Err(e) = sums.verify(&self.video, key) {
+                self.failed_keys.insert(key);
+                return Err(e.into());
+            }
+        }
         let mut decoded = 0usize;
-        let gop = self.cache.get_or_decode(self.video_id, key, || {
+        let outcome = self.cache.get_or_decode(self.video_id, key, || {
             let frames = self.decoder.decode_gop_at(&self.video, key)?;
             decoded = frames.len();
             Ok(frames)
-        })?;
-        self.stats.frames_decoded += decoded;
-        self.stats.frames_served += 1;
-        Ok(gop[abs - key].clone())
+        });
+        match outcome {
+            Ok(gop) => {
+                self.stats.frames_decoded += decoded;
+                Ok(gop)
+            }
+            Err(e) => {
+                self.failed_keys.insert(key);
+                Err(e.into())
+            }
+        }
     }
 }
 
@@ -300,6 +380,82 @@ mod tests {
         p.switch_segment(SegmentId(1)).unwrap();
         let f = p.current_frame().unwrap();
         assert_eq!(f, direct.frames[10]);
+    }
+
+    /// Corrupts the GOP starting at `keyframe` by flipping payload bits
+    /// of its first non-empty frame.
+    fn corrupt_gop(video: &mut EncodedVideo, keyframe: usize, gop: usize) {
+        let victim = (keyframe..keyframe + gop)
+            .find(|&i| !video.frames[i].data.is_empty())
+            .expect("GOP has payload bytes");
+        for b in &mut video.frames[victim].data {
+            *b ^= 0xA5;
+        }
+    }
+
+    #[test]
+    fn faulty_gop_is_concealed_and_playback_resyncs() {
+        let (mut video, table) = encoded_video();
+        let sums = GopChecksums::build(&video);
+        corrupt_gop(&mut video, 5, 5); // second GOP of segment 0
+        let mut p = PlaybackController::new(video, table, SegmentId(0))
+            .unwrap()
+            .with_integrity(sums);
+        let direct_first = p.current_frame().unwrap(); // frame 0, intact GOP
+        assert_eq!(p.stats().concealed, 0);
+        // Walk into the corrupt GOP: frames freeze on the last good one.
+        p.cursor = 7;
+        let frozen = p.current_frame().unwrap();
+        assert_eq!(frozen, direct_first, "freeze-frame shows the last good frame");
+        p.cursor = 9;
+        p.current_frame().unwrap();
+        assert_eq!(p.stats().concealed, 2);
+        // The loop wraps back into the intact GOP: resync, real frames again.
+        p.cursor = 2;
+        let resynced = p.current_frame().unwrap();
+        let direct = Decoder::default().decode_gop_at(p.video(), 0).unwrap();
+        assert_eq!(resynced, direct[2], "resynced frame is the real frame 2");
+        assert_eq!(p.stats().concealed, 2, "no concealment after resync");
+        assert!(p.stats().frames_served >= 4);
+    }
+
+    #[test]
+    fn faulty_initial_gop_with_nothing_to_freeze_on_errors() {
+        let (mut video, table) = encoded_video();
+        let sums = GopChecksums::build(&video);
+        corrupt_gop(&mut video, 0, 5);
+        let mut p = PlaybackController::new(video, table, SegmentId(0))
+            .unwrap()
+            .with_integrity(sums);
+        let err = p.current_frame().unwrap_err();
+        assert!(matches!(
+            err,
+            crate::RuntimeError::Media(MediaError::CorruptGop { keyframe: 0 })
+        ));
+        assert_eq!(p.stats().concealed, 0);
+    }
+
+    #[test]
+    fn faulty_decode_without_checksums_is_memoised_and_concealed() {
+        let (mut video, table) = encoded_video();
+        // Truncate a payload so the bitstream itself fails to decode —
+        // the detection path when no pristine checksums are available.
+        let victim = (5..10)
+            .find(|&i| video.frames[i].data.len() > 2)
+            .expect("inter frame with payload");
+        video.frames[victim].data.truncate(1);
+        let mut p = PlaybackController::new(video, table, SegmentId(0)).unwrap();
+        p.current_frame().unwrap(); // intact first GOP
+        let decoded_before = p.stats().frames_decoded;
+        p.cursor = 8;
+        p.current_frame().unwrap(); // concealed
+        p.current_frame().unwrap(); // concealed again, decode NOT retried
+        assert_eq!(p.stats().concealed, 2);
+        assert_eq!(
+            p.stats().frames_decoded,
+            decoded_before,
+            "known-bad GOP must not be re-decoded every frame"
+        );
     }
 
     #[test]

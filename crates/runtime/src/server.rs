@@ -6,7 +6,13 @@
 //! it through an `Arc` and scale embarrassingly: the server fans session
 //! jobs out to a fixed worker pool over crossbeam channels and aggregates
 //! the per-session analytics into one [`LearningReport`].
+//!
+//! **Fault isolation**: a session that errors — or outright panics — is
+//! contained to its own [`SessionOutcome::Failed`] row. The rest of the
+//! cohort completes and the cohort call still returns `Ok`; a server for
+//! "millions of users" cannot let one broken session kill the process.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use crossbeam::channel;
@@ -27,14 +33,71 @@ use crate::Result;
 /// session `i`. Must be `Sync` — workers call it concurrently.
 pub type BotFactory = dyn Fn(usize) -> Box<dyn Bot> + Sync;
 
+/// How one session of a cohort ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// The session ran to completion and contributed to the report.
+    Completed,
+    /// The session errored or panicked; its work is excluded from the
+    /// aggregates but the rest of the cohort is unaffected.
+    Failed {
+        /// Human-readable failure cause (error display or panic message).
+        reason: String,
+    },
+}
+
+impl SessionOutcome {
+    /// Whether this session failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, SessionOutcome::Failed { .. })
+    }
+}
+
+/// Turns a caught panic payload into a reportable reason string.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".into()
+    }
+}
+
+/// Fills per-index rows into `(outcomes, completed)` — missing rows (a
+/// worker died before reporting) become `Failed` rows, never a panic.
+fn split_rows<T>(
+    rows: Vec<Option<std::result::Result<T, String>>>,
+) -> (Vec<SessionOutcome>, Vec<T>) {
+    let mut outcomes = Vec::with_capacity(rows.len());
+    let mut completed = Vec::new();
+    for row in rows {
+        match row {
+            Some(Ok(v)) => {
+                outcomes.push(SessionOutcome::Completed);
+                completed.push(v);
+            }
+            Some(Err(reason)) => outcomes.push(SessionOutcome::Failed { reason }),
+            None => outcomes.push(SessionOutcome::Failed {
+                reason: "worker terminated before reporting".into(),
+            }),
+        }
+    }
+    (outcomes, completed)
+}
+
 /// Aggregated outcome of a server run.
 #[derive(Debug, Clone)]
 pub struct ServerReport {
-    /// Sessions completed (all of them — failures abort the run).
+    /// Sessions that completed successfully.
     pub sessions: usize,
-    /// The cohort's learning metrics.
+    /// Sessions that failed (errored or panicked).
+    pub failed: usize,
+    /// Per-session outcome, indexed by session number.
+    pub outcomes: Vec<SessionOutcome>,
+    /// The cohort's learning metrics (completed sessions only).
     pub learning: LearningReport,
-    /// Total decisions submitted across all sessions.
+    /// Total decisions submitted across all completed sessions.
     pub total_steps: usize,
 }
 
@@ -43,6 +106,14 @@ pub struct ServerReport {
 /// Deterministic *per session*: session `i` always plays the same game
 /// (factories receive the session index, so seeded bots reproduce runs
 /// regardless of which worker executes them).
+///
+/// Sessions are fault-isolated: a panicking or erroring session becomes
+/// a [`SessionOutcome::Failed`] row while every other session completes,
+/// and the call returns `Ok` with the partial cohort.
+///
+/// # Errors
+/// Never fails on per-session problems; the `Result` is kept for
+/// structural errors of future transports.
 pub fn run_cohort(
     graph: Arc<SceneGraph>,
     config: SessionConfig,
@@ -55,19 +126,24 @@ pub fn run_cohort(
     if n_sessions == 0 {
         return Ok(ServerReport {
             sessions: 0,
+            failed: 0,
+            outcomes: Vec::new(),
             learning: LearningReport::from_sessions(std::iter::empty()),
             total_steps: 0,
         });
     }
     let workers = workers.max(1).min(n_sessions);
     let (job_tx, job_rx) = channel::unbounded::<usize>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, Result<BotRun>)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, std::result::Result<BotRun, String>)>();
     for i in 0..n_sessions {
         job_tx.send(i).expect("queue open");
     }
     drop(job_tx);
 
-    crossbeam::scope(|s| {
+    // A worker can no longer bring the cohort down: each session runs
+    // under `catch_unwind`, and even if a worker thread somehow dies,
+    // its unreported sessions surface as `Failed` rows below.
+    let _ = crossbeam::scope(|s| {
         for _ in 0..workers {
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
@@ -75,36 +151,51 @@ pub fn run_cohort(
             let config = config.clone();
             s.spawn(move |_| {
                 for i in job_rx.iter() {
-                    let mut bot = bot_factory(i);
-                    let run = run_session(graph.clone(), config.clone(), &mut *bot, max_steps, tick_ms);
-                    if res_tx.send((i, run)).is_err() {
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        let mut bot = bot_factory(i);
+                        run_session(graph.clone(), config.clone(), &mut *bot, max_steps, tick_ms)
+                    }));
+                    let row = match run {
+                        Ok(Ok(r)) => Ok(r),
+                        Ok(Err(e)) => Err(e.to_string()),
+                        Err(payload) => Err(panic_reason(payload)),
+                    };
+                    if res_tx.send((i, row)).is_err() {
                         break;
                     }
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     drop(res_tx);
 
-    let mut runs: Vec<(usize, BotRun)> = Vec::with_capacity(n_sessions);
-    for (i, run) in res_rx.iter() {
-        runs.push((i, run?));
+    let mut rows: Vec<Option<std::result::Result<BotRun, String>>> =
+        (0..n_sessions).map(|_| None).collect();
+    for (i, row) in res_rx.iter() {
+        rows[i] = Some(row);
     }
-    // Deterministic aggregation order.
-    runs.sort_by_key(|(i, _)| *i);
+    let (outcomes, runs) = split_rows(rows);
 
-    let total_steps = runs.iter().map(|(_, r)| r.steps).sum();
-    let learning =
-        LearningReport::from_sessions(runs.iter().map(|(_, r)| (&r.log, r.state.score)));
-    Ok(ServerReport { sessions: runs.len(), learning, total_steps })
+    let total_steps = runs.iter().map(|r| r.steps).sum();
+    let learning = LearningReport::from_sessions(runs.iter().map(|r| (&r.log, r.state.score)));
+    Ok(ServerReport {
+        sessions: runs.len(),
+        failed: outcomes.iter().filter(|o| o.is_failed()).count(),
+        outcomes,
+        learning,
+        total_steps,
+    })
 }
 
 /// Aggregated outcome of a playback cohort run (EXP-11).
 #[derive(Debug, Clone)]
 pub struct PlaybackCohortReport {
-    /// Sessions completed.
+    /// Sessions that completed successfully.
     pub sessions: usize,
+    /// Sessions that failed (errored or panicked).
+    pub failed: usize,
+    /// Per-session outcome, indexed by session number.
+    pub outcomes: Vec<SessionOutcome>,
     /// Frames served to players, summed over the cohort.
     pub frames_served: usize,
     /// Frames actually decoded, summed over the cohort. With a shared
@@ -138,6 +229,8 @@ pub fn run_playback_cohort(
     if n_sessions == 0 {
         return Ok(PlaybackCohortReport {
             sessions: 0,
+            failed: 0,
+            outcomes: Vec::new(),
             frames_served: 0,
             frames_decoded: 0,
             switches: 0,
@@ -146,13 +239,14 @@ pub fn run_playback_cohort(
     }
     let workers = workers.max(1).min(n_sessions);
     let (job_tx, job_rx) = channel::unbounded::<usize>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, Result<PlaybackStats>)>();
+    let (res_tx, res_rx) =
+        channel::unbounded::<(usize, std::result::Result<PlaybackStats, String>)>();
     for i in 0..n_sessions {
         job_tx.send(i).expect("queue open");
     }
     drop(job_tx);
 
-    crossbeam::scope(|s| {
+    let _ = crossbeam::scope(|s| {
         for _ in 0..workers {
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
@@ -160,35 +254,44 @@ pub fn run_playback_cohort(
             let cache = cache.clone();
             s.spawn(move |_| {
                 for i in job_rx.iter() {
-                    let run = play_one_session(
-                        video.clone(),
-                        segments.clone(),
-                        cache.clone(),
-                        i,
-                        n_segments,
-                        steps_per_session,
-                    );
-                    if res_tx.send((i, run)).is_err() {
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        play_one_session(
+                            video.clone(),
+                            segments.clone(),
+                            cache.clone(),
+                            i,
+                            n_segments,
+                            steps_per_session,
+                        )
+                    }));
+                    let row = match run {
+                        Ok(Ok(r)) => Ok(r),
+                        Ok(Err(e)) => Err(e.to_string()),
+                        Err(payload) => Err(panic_reason(payload)),
+                    };
+                    if res_tx.send((i, row)).is_err() {
                         break;
                     }
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     drop(res_tx);
 
-    let mut stats: Vec<(usize, PlaybackStats)> = Vec::with_capacity(n_sessions);
-    for (i, run) in res_rx.iter() {
-        stats.push((i, run?));
+    let mut rows: Vec<Option<std::result::Result<PlaybackStats, String>>> =
+        (0..n_sessions).map(|_| None).collect();
+    for (i, row) in res_rx.iter() {
+        rows[i] = Some(row);
     }
-    stats.sort_by_key(|(i, _)| *i);
+    let (outcomes, stats) = split_rows(rows);
 
     Ok(PlaybackCohortReport {
         sessions: stats.len(),
-        frames_served: stats.iter().map(|(_, s)| s.frames_served).sum(),
-        frames_decoded: stats.iter().map(|(_, s)| s.frames_decoded).sum(),
-        switches: stats.iter().map(|(_, s)| s.switches).sum(),
+        failed: outcomes.iter().filter(|o| o.is_failed()).count(),
+        outcomes,
+        frames_served: stats.iter().map(|s| s.frames_served).sum(),
+        frames_decoded: stats.iter().map(|s| s.frames_decoded).sum(),
+        switches: stats.iter().map(|s| s.switches).sum(),
         reuse: DecodeReuse::from_cache(&cache.stats()),
     })
 }
@@ -360,6 +463,124 @@ mod tests {
             run_playback_cohort(video, &table, Arc::new(GopCache::new(4)), 0, 4, 10).unwrap();
         assert_eq!(report.sessions, 0);
         assert_eq!(report.frames_served, 0);
+    }
+
+    /// A bot that panics the moment it is asked for input.
+    struct PanicBot;
+    impl crate::bot::Bot for PanicBot {
+        fn next_input(
+            &mut self,
+            _session: &crate::engine::GameSession,
+        ) -> Result<Option<crate::InputEvent>> {
+            panic!("deliberately broken bot");
+        }
+    }
+
+    /// A bot whose session errors (typed failure, not a panic).
+    struct ErrBot;
+    impl crate::bot::Bot for ErrBot {
+        fn next_input(
+            &mut self,
+            _session: &crate::engine::GameSession,
+        ) -> Result<Option<crate::InputEvent>> {
+            Err(crate::RuntimeError::UnknownScenario("err-bot".into()))
+        }
+    }
+
+    #[test]
+    fn faulty_bot_panic_is_isolated_to_one_session() {
+        // Keep the deliberate panic from spamming the test output.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = run_cohort(
+            Arc::new(fix_the_computer()),
+            config(),
+            64,
+            4,
+            &|i| {
+                if i == 17 {
+                    Box::new(PanicBot)
+                } else {
+                    Box::new(GuidedBot::new())
+                }
+            },
+            100,
+            50,
+        );
+        std::panic::set_hook(prev);
+        let report = report.expect("cohort must return Ok despite the panic");
+        assert_eq!(report.sessions, 63);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.outcomes.len(), 64);
+        assert!(report.outcomes[17].is_failed());
+        match &report.outcomes[17] {
+            SessionOutcome::Failed { reason } => {
+                assert!(reason.contains("deliberately broken bot"), "{reason}");
+            }
+            SessionOutcome::Completed => unreachable!(),
+        }
+        assert_eq!(
+            report.outcomes.iter().filter(|o| !o.is_failed()).count(),
+            63
+        );
+        assert_eq!(report.learning.completed, 63, "the other 63 still complete");
+    }
+
+    #[test]
+    fn faulty_bot_error_is_reported_not_propagated() {
+        let report = run_cohort(
+            Arc::new(fix_the_computer()),
+            config(),
+            8,
+            2,
+            &|i| {
+                if i % 2 == 1 {
+                    Box::new(ErrBot)
+                } else {
+                    Box::new(GuidedBot::new())
+                }
+            },
+            50,
+            50,
+        )
+        .unwrap();
+        assert_eq!(report.sessions, 4);
+        assert_eq!(report.failed, 4);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.is_failed(), i % 2 == 1, "session {i}");
+        }
+        match &report.outcomes[1] {
+            SessionOutcome::Failed { reason } => assert!(reason.contains("err-bot"), "{reason}"),
+            SessionOutcome::Completed => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn faulty_gop_fails_some_playback_sessions_but_not_the_cohort() {
+        let (video, table) = cohort_video();
+        // Truncate the first keyframe's payload: sessions whose walk
+        // starts at segment 0 frame 0 have nothing to freeze on and
+        // fail; everyone else completes (concealing if their walk
+        // wanders into the bad GOP later).
+        let mut broken = (*video).clone();
+        assert!(broken.frames[0].data.len() > 4, "keyframe has a payload");
+        broken.frames[0].data.truncate(3);
+        let report = run_playback_cohort(
+            Arc::new(broken),
+            &table,
+            Arc::new(GopCache::new(16)),
+            12,
+            4,
+            30,
+        )
+        .expect("cohort must return Ok despite corrupt GOP");
+        // Sessions 0, 3, 6, 9 start in segment 0 (i % 3 == 0).
+        assert_eq!(report.failed, 4, "{:?}", report.outcomes);
+        assert_eq!(report.sessions, 8);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.is_failed(), i % 3 == 0, "session {i}: {o:?}");
+        }
+        assert!(report.frames_served > 0);
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct ChunkInfo {
     pub end_frame: usize,
     /// Payload bytes (sum of the GOP's encoded frames).
     pub bytes: usize,
+    /// FNV-1a checksum of the chunk's payload bytes — the container's
+    /// integrity path, so clients can verify arrivals against the
+    /// pristine stream.
+    pub checksum: u64,
 }
 
 impl ChunkInfo {
@@ -65,6 +69,7 @@ impl ChunkMap {
                 start_frame: start,
                 end_frame: end,
                 bytes,
+                checksum: vgbl_media::payload_checksum(&video.frames[start..end]),
             });
         }
         let mut per_segment = Vec::with_capacity(segments.len());
@@ -200,6 +205,22 @@ mod tests {
         assert!((ms - 5000.0 / 30.0).abs() < 1e-9);
         assert_eq!(map.header_bytes(), 29 + 30 * 5 + 8);
         assert_eq!(map.chunk_play_ms(ChunkId(99)), 0.0);
+    }
+
+    #[test]
+    fn chunk_checksums_follow_the_container_fault_path() {
+        let (video, table) = build(5);
+        let map = ChunkMap::build(&video, &table).unwrap();
+        for c in map.chunks() {
+            assert_eq!(
+                c.checksum,
+                vgbl_media::payload_checksum(&video.frames[c.start_frame..c.end_frame])
+            );
+        }
+        // Distinct GOPs of real content should not collide.
+        let mut sums: Vec<u64> = map.chunks().iter().map(|c| c.checksum).collect();
+        sums.dedup();
+        assert!(sums.len() > 1);
     }
 
     #[test]

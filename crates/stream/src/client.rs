@@ -1,21 +1,29 @@
-//! The streaming-client simulation (EXP-7).
+//! The streaming-client simulation (EXP-7, EXP-12).
 //!
 //! Plays a *trace* — the sequence of segments a player visited and for
 //! how long (loops included, since scenarios loop their segment while the
 //! player explores) — against a [`crate::LinkModel`] and a
 //! [`PrefetchPolicy`], accounting startup delay, rebuffering stalls and
 //! byte efficiency. Time is simulated; results are exactly reproducible.
+//!
+//! The fault-aware entry point [`simulate_faulty`] additionally drives a
+//! [`FaultyLink`]: chunk fetches get per-chunk deadlines, bounded retries
+//! with capped exponential back-off and deterministic jitter, corrupted
+//! arrivals are detected by the container checksum and re-fetched, and a
+//! chunk whose retry budget runs out is *concealed* (freeze-frame for its
+//! play duration) instead of aborting the session.
 
 use std::collections::{HashMap, HashSet};
 
 use vgbl_media::SegmentId;
 
 use crate::chunk::{ChunkId, ChunkMap};
+use crate::fault::{FaultPlan, FaultyLink};
 use crate::link::Link;
 #[cfg(test)]
 use crate::link::LinkModel;
 use crate::prefetch::{PrefetchContext, PrefetchPolicy};
-use crate::Result;
+use crate::{Result, StreamError};
 
 /// One step of a playback trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +52,15 @@ pub struct StreamStats {
     pub wasted_bytes: usize,
     /// Total milliseconds of content played.
     pub play_ms: f64,
+    /// Re-requests issued after a lost or corrupted delivery attempt.
+    pub retries: usize,
+    /// Delivery attempts that hit their deadline (lost responses).
+    pub timeouts: usize,
+    /// Chunks abandoned after exhausting the retry budget.
+    pub gave_up: usize,
+    /// Milliseconds covered by freeze-frame concealment of abandoned
+    /// chunks (never part of [`StreamStats::play_ms`]).
+    pub conceal_ms: f64,
 }
 
 impl StreamStats {
@@ -64,33 +81,169 @@ impl StreamStats {
             self.stall_ms / self.play_ms
         }
     }
+
+    /// Fraction of watched time served from real content rather than
+    /// concealment; 1.0 for a fault-free session.
+    pub fn delivery_ratio(&self) -> f64 {
+        let total = self.play_ms + self.conceal_ms;
+        if total == 0.0 {
+            1.0
+        } else {
+            self.play_ms / total
+        }
+    }
+}
+
+/// Bounded-retry schedule for chunk fetches over a faulty link: capped
+/// exponential back-off deadlines plus deterministic jitter (drawn from
+/// the fault plan's seed, so runs reproduce exactly).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Re-requests allowed per chunk after the initial attempt.
+    pub max_retries: u32,
+    /// Deadline for the first attempt, in milliseconds.
+    pub base_timeout_ms: f64,
+    /// Multiplier applied to the deadline per retry (≥ 1).
+    pub backoff: f64,
+    /// Upper bound on any single deadline, in milliseconds.
+    pub max_timeout_ms: f64,
+    /// Amplitude of the deterministic jitter added to each deadline.
+    pub jitter_ms: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_timeout_ms: 250.0,
+            backoff: 2.0,
+            max_timeout_ms: 2000.0,
+            jitter_ms: 25.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deadline of attempt `attempt` (0-based), given a uniform
+    /// jitter draw in `[0, 1)`.
+    pub fn deadline_ms(&self, attempt: u32, jitter_unit: f64) -> f64 {
+        let backed_off = self.base_timeout_ms * self.backoff.powi(attempt.min(64) as i32);
+        backed_off.min(self.max_timeout_ms) + jitter_unit * self.jitter_ms
+    }
+
+    fn validate(&self) -> Result<()> {
+        let bad = |msg: &str| StreamError::InvalidLink(msg.into());
+        if !self.base_timeout_ms.is_finite() || self.base_timeout_ms <= 0.0 {
+            return Err(bad("retry base timeout must be positive"));
+        }
+        if !self.backoff.is_finite() || self.backoff < 1.0 {
+            return Err(bad("retry backoff factor must be >= 1"));
+        }
+        if !self.max_timeout_ms.is_finite() || self.max_timeout_ms < self.base_timeout_ms {
+            return Err(bad("retry timeout cap must be >= the base timeout"));
+        }
+        if !self.jitter_ms.is_finite() || self.jitter_ms < 0.0 {
+            return Err(bad("retry jitter must be non-negative"));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one fault-aware session: the stats plus exactly which
+/// chunks arrived intact and which were abandoned to concealment —
+/// the inputs a bit-exactness check needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyStreamReport {
+    /// Session statistics (same schema as the fault-free path).
+    pub stats: StreamStats,
+    /// Chunks delivered intact (checksum-verified), ascending.
+    pub delivered: Vec<ChunkId>,
+    /// Chunks abandoned after the retry budget, ascending.
+    pub concealed: Vec<ChunkId>,
+}
+
+/// How a chunk request resolved.
+enum Fetched {
+    /// Intact payload available at the given time.
+    Delivered(f64),
+    /// Retry budget exhausted at the given time; the chunk never arrives.
+    Failed(f64),
 }
 
 struct Net<'a, L: Link + ?Sized> {
     link: &'a L,
+    faults: Option<(&'a FaultPlan, &'a RetryPolicy)>,
     busy_until: f64,
     completion: HashMap<ChunkId, f64>,
+    failed: HashSet<ChunkId>,
     bytes: usize,
+    retries: usize,
+    timeouts: usize,
 }
 
 impl<L: Link + ?Sized> Net<'_, L> {
-    /// Enqueues a chunk fetch at `now` (no-op if already requested) and
-    /// returns its completion time.
-    fn fetch(&mut self, map: &ChunkMap, id: ChunkId, now: f64) -> f64 {
+    /// Resolves a chunk fetch at `now` (memoised: a chunk is fetched —
+    /// or abandoned — at most once per session) and returns when its
+    /// payload is available, or when the client gave up on it.
+    fn fetch(&mut self, map: &ChunkMap, id: ChunkId, now: f64) -> Fetched {
         if let Some(&done) = self.completion.get(&id) {
-            return done;
+            return Fetched::Delivered(done);
         }
-        let bytes = map.get(id).map(|c| c.bytes).unwrap_or(0);
-        let start = self.busy_until.max(now);
-        let done = self.link.complete_at(start, bytes);
-        self.busy_until = done;
-        self.bytes += bytes;
-        self.completion.insert(id, done);
-        done
+        if self.failed.contains(&id) {
+            return Fetched::Failed(now);
+        }
+        let (bytes, checksum) = map
+            .get(id)
+            .map(|c| (c.bytes, c.checksum))
+            .unwrap_or((0, 0));
+        let Some((plan, retry)) = self.faults else {
+            // Pristine pipe: one attempt, always delivered.
+            let start = self.busy_until.max(now);
+            let done = self.link.complete_at(start, bytes);
+            self.busy_until = done;
+            self.bytes += bytes;
+            self.completion.insert(id, done);
+            return Fetched::Delivered(done);
+        };
+        let mut t = self.busy_until.max(now);
+        for attempt in 0..=retry.max_retries {
+            if attempt > 0 {
+                self.retries += 1;
+            }
+            let fault = plan.chunk_fault(id, attempt);
+            if fault.lost {
+                // The response never arrives: the pipe is blocked until
+                // the attempt's deadline expires, then we re-request.
+                self.timeouts += 1;
+                t += retry.deadline_ms(attempt, plan.jitter(id, attempt));
+                continue;
+            }
+            let done = self.link.complete_at(t, bytes);
+            self.bytes += bytes;
+            // Integrity check on arrival: the container checksum path.
+            // A corrupted payload hashes to a different FNV-1a value
+            // than the chunk map recorded at build time.
+            let received = if fault.corrupted {
+                checksum ^ (1u64 << (attempt % 64)).max(1)
+            } else {
+                checksum
+            };
+            if received != checksum {
+                // Discard the damaged payload and re-request.
+                t = done;
+                continue;
+            }
+            self.busy_until = done;
+            self.completion.insert(id, done);
+            return Fetched::Delivered(done);
+        }
+        self.busy_until = t;
+        self.failed.insert(id);
+        Fetched::Failed(t)
     }
 }
 
-/// Simulates one session.
+/// Simulates one session over a pristine link.
 ///
 /// # Errors
 /// Propagates unknown segments in the trace.
@@ -100,7 +253,47 @@ pub fn simulate<L: Link + ?Sized>(
     policy: PrefetchPolicy,
     trace: &[TraceStep],
 ) -> Result<StreamStats> {
-    let mut net = Net { link, busy_until: 0.0, completion: HashMap::new(), bytes: 0 };
+    sim_core(map, link, None, policy, trace).map(|r| r.stats)
+}
+
+/// Simulates one session over a faulty link: deadlines, bounded retries
+/// with capped exponential back-off + deterministic jitter, checksum
+/// verification of arrivals, and freeze-frame concealment of chunks
+/// whose retry budget runs out. Never panics and never errors on
+/// delivery failures — only on structural problems (unknown segments,
+/// invalid retry policy).
+///
+/// # Errors
+/// Propagates unknown segments in the trace and invalid [`RetryPolicy`]
+/// parameters.
+pub fn simulate_faulty<L: Link>(
+    map: &ChunkMap,
+    link: &FaultyLink<L>,
+    policy: PrefetchPolicy,
+    retry: &RetryPolicy,
+    trace: &[TraceStep],
+) -> Result<FaultyStreamReport> {
+    retry.validate()?;
+    sim_core(map, link, Some((link.plan(), retry)), policy, trace)
+}
+
+fn sim_core<L: Link + ?Sized>(
+    map: &ChunkMap,
+    link: &L,
+    faults: Option<(&FaultPlan, &RetryPolicy)>,
+    policy: PrefetchPolicy,
+    trace: &[TraceStep],
+) -> Result<FaultyStreamReport> {
+    let mut net = Net {
+        link,
+        faults,
+        busy_until: 0.0,
+        completion: HashMap::new(),
+        failed: HashSet::new(),
+        bytes: 0,
+        retries: 0,
+        timeouts: 0,
+    };
     let mut now: f64;
     let mut played: HashSet<ChunkId> = HashSet::new();
     let mut stats = StreamStats {
@@ -110,6 +303,10 @@ pub fn simulate<L: Link + ?Sized>(
         bytes_fetched: 0,
         wasted_bytes: 0,
         play_ms: 0.0,
+        retries: 0,
+        timeouts: 0,
+        gave_up: 0,
+        conceal_ms: 0.0,
     };
 
     // The container header must arrive before anything can play.
@@ -128,46 +325,62 @@ pub fn simulate<L: Link + ?Sized>(
         let mut idx = 0usize;
         while watched < step.watch_ms || idx == 0 {
             let id = chunks[idx % chunks.len()];
-            let done = net.fetch(map, id, now);
-            if done > now {
-                let wait = done - now;
+            let (available, delivered) = match net.fetch(map, id, now) {
+                Fetched::Delivered(t) => (t, true),
+                Fetched::Failed(t) => (t, false),
+            };
+            if available > now {
+                let wait = available - now;
                 if started {
                     stats.stalls += 1;
                     stats.stall_ms += wait;
                 }
-                now = done;
+                now = available;
             }
             if !started {
                 stats.startup_ms = now;
                 started = true;
             }
-            // Prefetch while this chunk plays.
-            let ctx = PrefetchContext {
-                map,
-                playing: id,
-                segment: step.segment,
-                branch_targets: &step.branch_targets,
-            };
-            for want in policy.plan(&ctx) {
-                net.fetch(map, want, now);
-            }
             let play = map.chunk_play_ms(id);
+            if delivered {
+                // Prefetch while this chunk plays.
+                let ctx = PrefetchContext {
+                    map,
+                    playing: id,
+                    segment: step.segment,
+                    branch_targets: &step.branch_targets,
+                };
+                for want in policy.plan(&ctx) {
+                    net.fetch(map, want, now);
+                }
+                stats.play_ms += play;
+                played.insert(id);
+            } else {
+                // Freeze-frame concealment: wall time advances over the
+                // chunk's duration, but no new content plays.
+                stats.conceal_ms += play;
+            }
             now += play;
             watched += play;
-            stats.play_ms += play;
-            played.insert(id);
             idx += 1;
         }
     }
 
     stats.bytes_fetched = net.bytes;
+    stats.retries = net.retries;
+    stats.timeouts = net.timeouts;
+    stats.gave_up = net.failed.len();
     stats.wasted_bytes = net
         .completion
         .keys()
         .filter(|id| !played.contains(id))
         .map(|id| map.get(*id).map(|c| c.bytes).unwrap_or(0))
         .sum();
-    Ok(stats)
+    let mut delivered: Vec<ChunkId> = net.completion.keys().copied().collect();
+    delivered.sort_unstable();
+    let mut concealed: Vec<ChunkId> = net.failed.iter().copied().collect();
+    concealed.sort_unstable();
+    Ok(FaultyStreamReport { stats, delivered, concealed })
 }
 
 #[cfg(test)]
@@ -368,8 +581,158 @@ mod tests {
             bytes_fetched: 0,
             wasted_bytes: 0,
             play_ms: 0.0,
+            retries: 0,
+            timeouts: 0,
+            gave_up: 0,
+            conceal_ms: 0.0,
         };
         assert_eq!(zero.rebuffer_ratio(), 0.0);
         assert_eq!(zero.waste_ratio(), 0.0);
+        assert_eq!(zero.delivery_ratio(), 1.0);
+    }
+
+    // ---- fault-injection coverage ----------------------------------
+
+    #[test]
+    fn fault_free_faulty_path_matches_pristine_simulation() {
+        let map = setup();
+        let link = LinkModel::mbps(1.5, 25.0).unwrap();
+        let plain = simulate(&map, &link, PrefetchPolicy::Linear { lookahead: 2 }, &linear_trace())
+            .unwrap();
+        let faulty = FaultyLink::new(link, FaultPlan::new(1));
+        let report = simulate_faulty(
+            &map,
+            &faulty,
+            PrefetchPolicy::Linear { lookahead: 2 },
+            &RetryPolicy::default(),
+            &linear_trace(),
+        )
+        .unwrap();
+        assert_eq!(plain, report.stats);
+        assert!(report.concealed.is_empty());
+    }
+
+    #[test]
+    fn fault_loss_triggers_timeouts_and_retries() {
+        let map = setup();
+        let link = LinkModel::mbps(2.0, 20.0).unwrap();
+        let faulty =
+            FaultyLink::new(link, FaultPlan::new(42).with_loss(0.3).unwrap());
+        let report = simulate_faulty(
+            &map,
+            &faulty,
+            PrefetchPolicy::None,
+            &RetryPolicy::default(),
+            &linear_trace(),
+        )
+        .unwrap();
+        assert!(report.stats.timeouts > 0, "{:?}", report.stats);
+        assert!(report.stats.retries > 0);
+        assert!(report.stats.retries >= report.stats.timeouts - report.stats.gave_up);
+        // Heavy loss costs wall time versus the clean run.
+        let clean = simulate(&map, &link, PrefetchPolicy::None, &linear_trace()).unwrap();
+        assert!(report.stats.stall_ms + report.stats.startup_ms > clean.stall_ms + clean.startup_ms);
+    }
+
+    #[test]
+    fn fault_corruption_refetches_until_checksum_matches() {
+        let map = setup();
+        let link = LinkModel::mbps(4.0, 10.0).unwrap();
+        let faulty =
+            FaultyLink::new(link, FaultPlan::new(7).with_corruption(0.4).unwrap());
+        let report = simulate_faulty(
+            &map,
+            &faulty,
+            PrefetchPolicy::None,
+            &RetryPolicy::default(),
+            &linear_trace(),
+        )
+        .unwrap();
+        // Corrupted arrivals are discarded and re-fetched: more bytes
+        // than the clean run, no timeouts (payloads do arrive).
+        let clean = simulate(&map, &link, PrefetchPolicy::None, &linear_trace()).unwrap();
+        assert!(report.stats.retries > 0);
+        assert_eq!(report.stats.timeouts, 0);
+        assert!(report.stats.bytes_fetched > clean.bytes_fetched);
+    }
+
+    #[test]
+    fn fault_total_loss_conceals_everything_and_terminates() {
+        let map = setup();
+        let link = LinkModel::mbps(2.0, 20.0).unwrap();
+        let faulty = FaultyLink::new(link, FaultPlan::new(5).with_loss(1.0).unwrap());
+        let report = simulate_faulty(
+            &map,
+            &faulty,
+            PrefetchPolicy::None,
+            &RetryPolicy::default(),
+            &linear_trace(),
+        )
+        .unwrap();
+        assert_eq!(report.stats.play_ms, 0.0);
+        assert!(report.stats.conceal_ms > 0.0);
+        assert!(report.delivered.is_empty());
+        assert!(!report.concealed.is_empty());
+        assert_eq!(report.stats.gave_up, report.concealed.len());
+        assert_eq!(report.stats.delivery_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fault_runs_are_byte_identical_across_repeats() {
+        let map = setup();
+        let link = LinkModel::mbps(1.0, 30.0).unwrap();
+        let plan = FaultPlan::new(99)
+            .with_loss(0.2)
+            .unwrap()
+            .with_corruption(0.1)
+            .unwrap()
+            .with_stalls(0.1, 250.0)
+            .unwrap();
+        let run = || {
+            simulate_faulty(
+                &map,
+                &FaultyLink::new(link, plan),
+                PrefetchPolicy::BranchAware { per_branch: 1 },
+                &RetryPolicy::default(),
+                &branchy_trace(),
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed + same plan must reproduce exactly");
+    }
+
+    #[test]
+    fn fault_retry_policy_validation() {
+        let map = setup();
+        let faulty =
+            FaultyLink::new(LinkModel::mbps(1.0, 10.0).unwrap(), FaultPlan::new(0));
+        for bad in [
+            RetryPolicy { base_timeout_ms: 0.0, ..Default::default() },
+            RetryPolicy { base_timeout_ms: f64::NAN, ..Default::default() },
+            RetryPolicy { backoff: 0.5, ..Default::default() },
+            RetryPolicy { max_timeout_ms: 1.0, ..Default::default() },
+            RetryPolicy { jitter_ms: -2.0, ..Default::default() },
+        ] {
+            assert!(
+                simulate_faulty(&map, &faulty, PrefetchPolicy::None, &bad, &linear_trace())
+                    .is_err(),
+                "{bad:?} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_backoff_deadlines_grow_and_cap() {
+        let retry = RetryPolicy::default();
+        let d0 = retry.deadline_ms(0, 0.0);
+        let d1 = retry.deadline_ms(1, 0.0);
+        let d4 = retry.deadline_ms(4, 0.0);
+        assert_eq!(d0, 250.0);
+        assert_eq!(d1, 500.0);
+        assert_eq!(d4, 2000.0, "capped at max_timeout_ms");
+        // Jitter adds at most jitter_ms.
+        assert!(retry.deadline_ms(0, 0.999) < d0 + retry.jitter_ms);
     }
 }

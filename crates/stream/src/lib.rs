@@ -16,17 +16,25 @@
 //! * [`client`] — the streaming client simulation: plays a trace of
 //!   segment visits against a link and policy, reporting startup delay,
 //!   rebuffering and byte efficiency (EXP-7).
+//! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   of chunk loss, byte corruption and stall events, and a
+//!   [`FaultyLink`] wrapper composing faults with any link model
+//!   (EXP-12).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod chunk;
 pub mod client;
+pub mod fault;
 pub mod link;
 pub mod prefetch;
 
 pub use chunk::{ChunkId, ChunkMap};
-pub use client::{simulate, StreamStats, TraceStep};
+pub use client::{
+    simulate, simulate_faulty, FaultyStreamReport, RetryPolicy, StreamStats, TraceStep,
+};
+pub use fault::{ChunkFault, FaultPlan, FaultyLink};
 pub use link::{Link, LinkModel, VariableLink};
 pub use prefetch::{warm_decoded_gops, PrefetchContext, PrefetchPolicy};
 

@@ -2,7 +2,8 @@
 //!
 //! The build container has no crates.io access, so this crate implements
 //! the subset of proptest the workspace's property tests use: the
-//! [`proptest!`] macro, [`Strategy`] with `prop_map`/`prop_filter`,
+//! [`proptest!`] macro, [`Strategy`](strategy::Strategy) with
+//! `prop_map`/`prop_filter`,
 //! `any::<T>()` for primitives, range / tuple / collection / option /
 //! char strategies, regex-subset string strategies, `prop_oneof!`, and
 //! the `prop_assert*` family.
