@@ -831,6 +831,136 @@ fn exp12() {
     assert_eq!((report.sessions, report.failed), (63, 1));
 }
 
+fn exp13() {
+    header("EXP-13", "observability: instrumented cohort profile, counters vs reports");
+    use vgbl::media::cache::GopCache;
+    use vgbl::obs::Obs;
+    use vgbl::runtime::server::run_playback_cohort_observed;
+    use vgbl::runtime::ResilienceReport;
+    use vgbl::stream::{simulate_faulty_observed, FaultPlan, FaultyLink, RetryPolicy};
+
+    // One instrumented run: a playback cohort decoding through an
+    // observed shared cache, then a faulty-streaming sweep, all into a
+    // single recording `Obs`. Returns the report triple plus the four
+    // deterministic exports.
+    let profile = || {
+        let obs = Obs::recording();
+
+        // Pillar 1+3: playback cohort over an observed shared cache.
+        let footage = bench_footage(96, 64, 6, 3);
+        let video = Arc::new(encode(&footage, 15, Quality::High, 2));
+        let table = table_for(&footage);
+        // One worker: with parallel workers the *split* of cache traffic
+        // (which session coalesces onto whose decode) is scheduling-
+        // dependent, and this experiment pins byte-identical exports.
+        // EXP-11 covers the multi-worker scaling story.
+        let cache = Arc::new(GopCache::new(32).observed(&obs));
+        let playback = run_playback_cohort_observed(
+            video.clone(),
+            &table,
+            cache.clone(),
+            24,
+            1,
+            40,
+            &obs,
+        )
+        .expect("cohort runs");
+
+        // Pillar 2: streaming under injected loss, one observed session
+        // per loss rate.
+        let sfootage = bench_footage(96, 64, 12, 7);
+        let svideo = encode(&sfootage, 5, Quality::Medium, 2);
+        let stable = table_for(&sfootage);
+        let map = ChunkMap::build(&svideo, &stable).expect("chunks");
+        let n = stable.len() as u32;
+        let all: Vec<SegmentId> = (1..n).map(SegmentId).collect();
+        let mut trace = Vec::new();
+        for room in 1..n {
+            trace.push(TraceStep {
+                segment: SegmentId(0),
+                watch_ms: 1500.0,
+                branch_targets: all.clone(),
+            });
+            trace.push(TraceStep {
+                segment: SegmentId(room),
+                watch_ms: 2000.0,
+                branch_targets: vec![SegmentId(0)],
+            });
+        }
+        let policy = PrefetchPolicy::BranchAware { per_branch: 1 };
+        let mut stream_stats = Vec::new();
+        for (i, &loss) in [0.0, 0.01, 0.05].iter().enumerate() {
+            let plan = FaultPlan::new(42).with_loss(loss).expect("valid rate");
+            let link = FaultyLink::new(LinkModel::mbps(2.0, 30.0).expect("valid link"), plan);
+            let report = simulate_faulty_observed(
+                &map,
+                &link,
+                policy,
+                &RetryPolicy::default(),
+                &trace,
+                &obs,
+                format!("stream-{i:04}"),
+            )
+            .expect("faulty stream completes");
+            stream_stats.push(report.stats);
+        }
+        let resilience = ResilienceReport::from_sessions(&stream_stats, &[]);
+
+        let snap = obs.snapshot();
+        let exports =
+            (snap.to_table(), snap.metrics_csv(), snap.spans_csv(), snap.to_jsonl());
+        (playback, resilience, snap, exports)
+    };
+
+    let (playback, resilience, snap, exports) = profile();
+
+    // The profile itself — the text-table export is the artefact.
+    println!("{}", exports.0);
+
+    // Counters vs reports: the obs layer accumulates at the same event
+    // sites but through an entirely separate path, so exact agreement
+    // is genuine redundancy, not one number printed twice.
+    assert_eq!(snap.counter_total("cohort.sessions_completed"), playback.sessions as u64);
+    assert_eq!(snap.counter_total("cohort.sessions_failed"), playback.failed as u64);
+    assert_eq!(snap.counter_total("playback.frames_served"), playback.frames_served as u64);
+    assert_eq!(snap.counter_total("playback.frames_decoded"), playback.frames_decoded as u64);
+    assert_eq!(snap.counter_total("playback.switches"), playback.switches as u64);
+    assert_eq!(snap.counter_total("cache.hits"), playback.reuse.hits);
+    assert_eq!(snap.counter_total("cache.misses"), playback.reuse.misses);
+    assert_eq!(snap.counter_total("cache.evictions"), playback.reuse.evictions);
+    assert_eq!(
+        snap.span_count("render") + snap.span_count("switch"),
+        playback.frames_served,
+        "one render/switch event per served frame"
+    );
+    assert_eq!(snap.counter_total("fetch.retries"), resilience.retries as u64);
+    assert_eq!(snap.counter_total("fetch.timeouts"), resilience.timeouts as u64);
+    assert_eq!(snap.counter_total("fetch.gave_up"), resilience.gave_up as u64);
+    println!(
+        "cross-check: every obs counter equals its report twin exactly —\n\
+         playback ({} served / {} decoded / {} switches), cache ({} hits /\n\
+         {} misses), streaming ({} retries / {} timeouts / {} gave up).",
+        playback.frames_served,
+        playback.frames_decoded,
+        playback.switches,
+        playback.reuse.hits,
+        playback.reuse.misses,
+        resilience.retries,
+        resilience.timeouts,
+        resilience.gave_up,
+    );
+
+    // Determinism: the whole instrumented run again, byte-for-byte.
+    let (_, _, _, exports2) = profile();
+    assert_eq!(exports, exports2, "identical runs ⇒ byte-identical exports");
+    println!(
+        "\nreplayed the instrumented run: text table, metrics CSV, spans CSV\n\
+         and JSON-lines exports are byte-identical ({} metric rows, {} traces).",
+        snap.metrics.len(),
+        snap.traces.len()
+    );
+}
+
 /// A bot that panics as soon as it is asked for input (EXP-12's fault
 /// isolation demo).
 struct PanicBot;
@@ -888,5 +1018,8 @@ fn main() {
     }
     if want("exp12") {
         exp12();
+    }
+    if want("exp13") {
+        exp13();
     }
 }

@@ -42,6 +42,7 @@
 
 pub use vgbl_author as author;
 pub use vgbl_media as media;
+pub use vgbl_obs as obs;
 pub use vgbl_runtime as runtime;
 pub use vgbl_scene as scene;
 pub use vgbl_script as script;

@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
+use vgbl_obs::{Counter, Obs};
 
 use crate::codec::EncodedVideo;
 use crate::error::MediaError;
@@ -162,15 +163,28 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Fraction of lookups served without decoding; 0 when untouched.
+    /// Fraction of lookups served without decoding. Higher is better;
+    /// **empty input (an untouched cache) returns the perfect value
+    /// `1.0`** — the workspace-wide convention for ratio metrics.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
-            0.0
+            1.0
         } else {
             self.hits as f64 / total as f64
         }
     }
+}
+
+/// Resolved observability handles for the cache's event sites. The
+/// default (all-noop) handles cost one `Option` check per event, so an
+/// unobserved cache is unaffected.
+#[derive(Debug, Default)]
+struct CacheObs {
+    hits: Counter,
+    misses: Counter,
+    coalesced_hits: Counter,
+    evictions: Counter,
 }
 
 /// Bounded, sharded, miss-coalescing LRU cache of decoded GOPs.
@@ -185,6 +199,7 @@ pub struct GopCache {
     evictions: AtomicU64,
     resident_bytes: AtomicUsize,
     resident_gops: AtomicUsize,
+    obs: CacheObs,
 }
 
 impl std::fmt::Debug for GopCache {
@@ -241,7 +256,26 @@ impl GopCache {
             evictions: AtomicU64::new(0),
             resident_bytes: AtomicUsize::new(0),
             resident_gops: AtomicUsize::new(0),
+            obs: CacheObs::default(),
         }
+    }
+
+    /// Attaches an observability backend: the cache's hit/miss/
+    /// coalesced-hit/eviction events additionally feed `cache.*`
+    /// counters (labelled `pillar=media`) in `obs`'s registry. These
+    /// mirror the [`CacheStats`] atomics exactly — EXP-13 cross-checks
+    /// the two accountings against each other — except that
+    /// [`GopCache::reset_counters`] resets only the [`CacheStats`] side.
+    /// With a noop backend this is free.
+    pub fn observed(mut self, obs: &Obs) -> GopCache {
+        let labels: &[(&str, &str)] = &[("pillar", "media")];
+        self.obs = CacheObs {
+            hits: obs.counter("cache.hits", labels),
+            misses: obs.counter("cache.misses", labels),
+            coalesced_hits: obs.counter("cache.coalesced_hits", labels),
+            evictions: obs.counter("cache.evictions", labels),
+        };
+        self
     }
 
     /// Total capacity in GOPs (0 = disabled).
@@ -307,6 +341,7 @@ impl GopCache {
     {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.obs.misses.inc();
             return decode().map(Arc::new);
         }
         let key = GopKey { video: video_id, keyframe };
@@ -319,6 +354,7 @@ impl GopCache {
                 Some(Slot::Ready { frames, touched }) => {
                     *touched = self.clock.fetch_add(1, Ordering::Relaxed);
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.obs.hits.inc();
                     return Ok(frames.clone());
                 }
                 Some(Slot::Pending(w)) => w.clone(),
@@ -336,10 +372,13 @@ impl GopCache {
         match waiter.wait() {
             Ok(frames) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.hits.inc();
+                self.obs.coalesced_hits.inc();
                 Ok(frames)
             }
             Err(e) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.obs.misses.inc();
                 Err(e)
             }
         }
@@ -357,6 +396,7 @@ impl GopCache {
         F: FnOnce() -> Result<Vec<Frame>>,
     {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.misses.inc();
         let outcome = decode();
         let mut s = shard.lock();
         match outcome {
@@ -399,6 +439,7 @@ impl GopCache {
             let Some(victim) = victim else { break };
             if let Some(Slot::Ready { frames, .. }) = s.entries.remove(&victim) {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.obs.evictions.inc();
                 self.resident_gops.fetch_sub(1, Ordering::Relaxed);
                 self.resident_bytes.fetch_sub(frames_bytes(&frames), Ordering::Relaxed);
             }
@@ -644,6 +685,28 @@ mod tests {
             .expect("retry after flaky failure succeeds");
         assert!(ok.is_empty());
         assert_eq!(cache.stats().resident_gops, 1);
+    }
+
+    #[test]
+    fn obs_counters_mirror_cache_stats_exactly() {
+        let ev = encoded(2, 12);
+        let id = VideoId::of(&ev);
+        let obs = Obs::recording();
+        let cache = GopCache::with_shards(2, 1).observed(&obs);
+        let dec = Decoder::default();
+        // Misses, hits and an eviction, all on the observed cache.
+        for k in [0usize, 2, 0, 4, 0, 2] {
+            cache
+                .get_or_decode(id, k, || dec.decode_gop_at(&ev, k))
+                .unwrap();
+        }
+        let s = cache.stats();
+        assert!(s.evictions > 0, "walk must trigger an eviction");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter_total("cache.hits"), s.hits);
+        assert_eq!(snap.counter_total("cache.misses"), s.misses);
+        assert_eq!(snap.counter_total("cache.evictions"), s.evictions);
+        assert_eq!(snap.counter_total("cache.coalesced_hits"), 0);
     }
 
     #[test]

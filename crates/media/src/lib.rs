@@ -17,7 +17,7 @@
 //! * [`codec`] — a toy but structurally honest intra/inter video codec
 //!   (block motion compensation, quantisation, RLE, exp-Golomb bitstream).
 //! * [`container`] — the `VGV` container format with a keyframe index.
-//! * [`seek`] — random access into encoded video, the operation scenario
+//! * [`mod@seek`] — random access into encoded video, the operation scenario
 //!   switching depends on.
 //! * [`cache`] — a bounded, sharded, shareable LRU cache of decoded GOPs
 //!   that deduplicates decode work across playback sessions, seeks and
@@ -55,6 +55,7 @@ pub use container::{
 };
 pub use error::MediaError;
 pub use frame::Frame;
+pub use seek::{seek, seek_cached, seek_observed, SeekStats};
 pub use segment::{Segment, SegmentId, SegmentTable};
 pub use shot::{CutScore, ShotDetector, ShotDetectorConfig};
 pub use synth::{Footage, FootageSpec, ShotSpec};

@@ -6,6 +6,8 @@
 //! of the target segment. Its cost is the GOP walk from the preceding
 //! keyframe; EXP-3 sweeps the keyframe interval against this cost.
 
+use vgbl_obs::Obs;
+
 use crate::cache::{GopCache, VideoId};
 use crate::codec::{Decoder, EncodedVideo};
 use crate::frame::Frame;
@@ -53,6 +55,31 @@ pub fn seek_cached(
     })?;
     let frame = gop[index - keyframe].clone();
     Ok((frame, SeekStats { target: index, keyframe, frames_decoded }))
+}
+
+/// [`seek_cached`] with observability: each seek increments
+/// `seek.requests` and records the GOP-walk cost (`seek.gop_walk_frames`,
+/// frames actually decoded — 0 on a resident GOP) and the keyframe
+/// distance (`seek.keyframe_distance`, frames between the target and its
+/// preceding keyframe, the quantity EXP-3 sweeps). All under
+/// `pillar=media`. With a noop backend this is [`seek_cached`] plus
+/// four `Option` checks.
+pub fn seek_observed(
+    decoder: &Decoder,
+    video: &EncodedVideo,
+    video_id: VideoId,
+    cache: &GopCache,
+    index: usize,
+    obs: &Obs,
+) -> Result<(Frame, SeekStats)> {
+    let labels: &[(&str, &str)] = &[("pillar", "media")];
+    obs.counter("seek.requests", labels).inc();
+    let out = seek_cached(decoder, video, video_id, cache, index)?;
+    let stats = out.1;
+    obs.histogram("seek.gop_walk_frames", labels).record(stats.frames_decoded as u64);
+    obs.histogram("seek.keyframe_distance", labels)
+        .record((stats.target - stats.keyframe) as u64);
+    Ok(out)
 }
 
 /// Average number of frames decoded per seek over the given targets.
@@ -191,6 +218,29 @@ mod tests {
             assert!(stats.frames_decoded >= 1, "capacity 0 always decodes");
         }
         assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn obs_seek_records_requests_and_walk_costs() {
+        let ev = encoded(5, 10);
+        let id = VideoId::of(&ev);
+        let dec = Decoder::default();
+        let cache = GopCache::new(8);
+        let obs = Obs::recording();
+        // Cold seek to frame 3 (walk decodes GOP of 5), warm seeks 0..5.
+        for target in [3usize, 0, 1, 2, 3, 4] {
+            let (frame, _) = seek_observed(&dec, &ev, id, &cache, target, &obs).unwrap();
+            let (direct, _) = seek(&dec, &ev, target).unwrap();
+            assert_eq!(frame, direct);
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter_total("seek.requests"), 6);
+        let walk = snap.histogram("seek.gop_walk_frames").unwrap();
+        assert_eq!(walk.count, 6);
+        assert_eq!(walk.sum, 5, "one cold GOP decode, then all resident");
+        let dist = snap.histogram("seek.keyframe_distance").unwrap();
+        // Targets [3,0,1,2,3,4] sit 3,0,1,2,3,4 frames past keyframe 0.
+        assert_eq!(dist.sum, 13);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Serialisations of a [`Snapshot`]: aligned text table, RFC-4180 CSV,
+//! and JSON-lines.
+//!
+//! All three are pure functions of the snapshot, which is itself sorted
+//! deterministically, so identical runs export byte-identical artifacts
+//! — the property EXP-13's rerun check pins.
+
+use crate::metrics::{MetricValue, Snapshot};
+
+/// RFC-4180 field quoting. Unlike the pre-fix `csv_field` in the
+/// analytics crate, this quotes `\r` too: a bare carriage return inside
+/// an unquoted field splits the row for any compliant reader.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn label_str(labels: &[(&'static str, &'static str)]) -> String {
+    labels.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(",")
+}
+
+impl Snapshot {
+    /// Renders the snapshot as an aligned, human-readable text table:
+    /// one metrics section, then one indented span tree per trace.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("metric                                    labels                value\n");
+        out.push_str("----------------------------------------  --------------------  -----\n");
+        for row in &self.metrics {
+            let value = match &row.value {
+                MetricValue::Counter(v) => format!("{v}"),
+                MetricValue::Histogram(h) => format!(
+                    "n={} sum={} min={} max={} p50={} p90={} p99={}",
+                    h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
+                ),
+            };
+            out.push_str(&format!(
+                "{:<40}  {:<20}  {}\n",
+                row.name,
+                label_str(&row.labels),
+                value
+            ));
+        }
+        for trace in &self.traces {
+            out.push_str(&format!("\ntrace {}\n", trace.label));
+            for span in &trace.spans {
+                let indent = "  ".repeat(span.depth as usize + 1);
+                out.push_str(&format!(
+                    "{indent}{} arg={} [{}..{}] {}us\n",
+                    span.name,
+                    span.arg,
+                    span.start_us,
+                    span.end_us,
+                    span.duration_us()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Exports the metrics section as RFC-4180 CSV with header
+    /// `name,labels,kind,count,sum,min,max,p50,p90,p99` (counters fill
+    /// only `count`).
+    pub fn metrics_csv(&self) -> String {
+        let mut out = String::from("name,labels,kind,count,sum,min,max,p50,p90,p99\r\n");
+        for row in &self.metrics {
+            let cells = match &row.value {
+                MetricValue::Counter(v) => format!("counter,{v},,,,,,"),
+                MetricValue::Histogram(h) => format!(
+                    "histogram,{},{},{},{},{},{},{}",
+                    h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
+                ),
+            };
+            out.push_str(&format!(
+                "{},{},{cells}\r\n",
+                csv_field(row.name),
+                csv_field(&label_str(&row.labels))
+            ));
+        }
+        out
+    }
+
+    /// Exports every span of every trace as RFC-4180 CSV with header
+    /// `trace,depth,name,arg,start_us,end_us,duration_us`.
+    pub fn spans_csv(&self) -> String {
+        let mut out = String::from("trace,depth,name,arg,start_us,end_us,duration_us\r\n");
+        for trace in &self.traces {
+            for span in &trace.spans {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{}\r\n",
+                    csv_field(&trace.label),
+                    span.depth,
+                    csv_field(span.name),
+                    span.arg,
+                    span.start_us,
+                    span.end_us,
+                    span.duration_us()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Exports the snapshot as JSON-lines: one `{"metric":...}` object
+    /// per metric row, then one `{"span":...}` object per span.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.metrics {
+            let value = match &row.value {
+                MetricValue::Counter(v) => format!("\"kind\":\"counter\",\"value\":{v}"),
+                MetricValue::Histogram(h) => format!(
+                    "\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}",
+                    h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
+                ),
+            };
+            out.push_str(&format!(
+                "{{\"metric\":{},\"labels\":{},{value}}}\n",
+                json_str(row.name),
+                json_str(&label_str(&row.labels))
+            ));
+        }
+        for trace in &self.traces {
+            for span in &trace.spans {
+                out.push_str(&format!(
+                    "{{\"span\":{},\"trace\":{},\"depth\":{},\"arg\":{},\"start_us\":{},\"end_us\":{}}}\n",
+                    json_str(span.name),
+                    json_str(&trace.label),
+                    span.depth,
+                    span.arg,
+                    span.start_us,
+                    span.end_us
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Obs;
+
+    fn sample() -> Obs {
+        let obs = Obs::recording();
+        obs.counter("cache.hits", &[("pillar", "media")]).add(7);
+        let h = obs.histogram("fetch.latency_us", &[("pillar", "stream")]);
+        h.record(900);
+        h.record(12_000);
+        let mut rec = obs.recorder("playback-0000".into());
+        rec.enter("session", 0);
+        rec.enter_with("dwell", 3, 0);
+        rec.exit(33_333);
+        rec.exit(33_333);
+        obs.attach(rec);
+        obs
+    }
+
+    #[test]
+    fn obs_table_lists_metrics_then_traces() {
+        let table = sample().snapshot().to_table();
+        assert!(table.contains("cache.hits"));
+        assert!(table.contains("pillar=media"));
+        assert!(table.contains("n=2"));
+        assert!(table.contains("trace playback-0000"));
+        assert!(table.contains("dwell arg=3 [0..33333] 33333us"));
+        let metrics_line = table.lines().find(|l| l.starts_with("cache.hits")).unwrap();
+        assert!(metrics_line.contains("7"));
+    }
+
+    #[test]
+    fn obs_csv_exports_are_rfc4180() {
+        let snap = sample().snapshot();
+        let metrics = snap.metrics_csv();
+        assert!(metrics.starts_with("name,labels,kind,"));
+        assert!(metrics.contains("cache.hits,pillar=media,counter,7,,,,,,\r\n"));
+        let spans = snap.spans_csv();
+        assert!(spans.contains("playback-0000,1,dwell,3,0,33333,33333\r\n"));
+        for line in metrics.split("\r\n").chain(spans.split("\r\n")) {
+            assert!(!line.contains('\r'), "no stray CR inside rows");
+        }
+    }
+
+    #[test]
+    fn obs_csv_field_quotes_all_awkward_bytes() {
+        use super::csv_field;
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+        assert_eq!(csv_field("a\nb"), "\"a\nb\"");
+        assert_eq!(csv_field("a\rb"), "\"a\rb\"", "carriage return must be quoted");
+    }
+
+    #[test]
+    fn obs_jsonl_escapes_and_is_line_per_record() {
+        let snap = sample().snapshot();
+        let jsonl = snap.to_jsonl();
+        // 2 metric rows + 2 spans.
+        assert_eq!(jsonl.lines().count(), 4);
+        assert!(jsonl.contains("\"metric\":\"cache.hits\""));
+        assert!(jsonl.contains("\"span\":\"dwell\""));
+        assert_eq!(super::json_str("a\"b\\c\nd\re\u{1}"), "\"a\\\"b\\\\c\\nd\\re\\u0001\"");
+    }
+
+    #[test]
+    fn obs_exports_are_byte_identical_across_runs() {
+        let a = sample().snapshot();
+        let b = sample().snapshot();
+        assert_eq!(a.to_table(), b.to_table());
+        assert_eq!(a.metrics_csv(), b.metrics_csv());
+        assert_eq!(a.spans_csv(), b.spans_csv());
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+    }
+}

@@ -1,0 +1,87 @@
+//! # vgbl-obs — deterministic, headless tracing and metrics
+//!
+//! Every pillar of the platform simulates time instead of measuring it
+//! (stream sessions run on a simulated millisecond clock, playback on the
+//! media timeline), so its observability layer can be — and is — fully
+//! deterministic: **two identical runs produce byte-identical traces and
+//! metric exports**. That determinism is what lets EXP-13 cross-check
+//! span totals against the analytics counters exactly, turning silent
+//! metric drift into a hard failure.
+//!
+//! The crate has three parts:
+//!
+//! * [`span`] — hierarchical spans recorded per session by a
+//!   [`SpanRecorder`]. Timestamps are caller-supplied microseconds of
+//!   *simulated* time (never wall time); each recorder is single-owner,
+//!   so span order inside a trace is deterministic, and traces are
+//!   sorted by label at snapshot time, so multi-threaded cohorts export
+//!   identically regardless of scheduling.
+//! * [`metrics`] — a sharded, thread-safe registry of counters and
+//!   histograms with static labels, mirroring the sharded `GopCache`
+//!   design: keys hash to one of a fixed set of shards, each behind its
+//!   own `std::sync::Mutex`; after handle resolution the hot path is a
+//!   single lock-free atomic op. All metric state is commutative
+//!   (counter adds, bucket increments, min/max), so concurrent workers
+//!   cannot perturb the exported numbers.
+//! * [`export`] — exporters for a [`Snapshot`]: an aligned text table,
+//!   RFC-4180 CSV, and JSON-lines, alongside `SessionLog::to_csv`.
+//!
+//! The disabled backend ([`Obs::noop`]) hands out detached handles whose
+//! operations are a single `Option` check — instrumented hot paths cost
+//! near-zero when observability is off, so benches are unaffected.
+//!
+//! ```
+//! use vgbl_obs::Obs;
+//!
+//! let obs = Obs::recording();
+//! let hits = obs.counter("cache.hits", &[("pillar", "media")]);
+//! hits.inc();
+//! let mut rec = obs.recorder("session-0000".to_owned());
+//! rec.enter("session", 0);
+//! rec.enter("dwell", 0);
+//! rec.exit(33_333);
+//! rec.exit(33_333);
+//! obs.attach(rec);
+//! let snap = obs.snapshot();
+//! assert_eq!(snap.counter_total("cache.hits"), 1);
+//! assert_eq!(snap.traces[0].spans.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{
+    Counter, Histogram, HistogramSnapshot, MetricRow, MetricValue, Obs, Snapshot,
+};
+pub use span::{SpanRec, SpanRecorder, Trace};
+
+/// Converts simulated milliseconds (the stream clock's unit) to the
+/// microsecond ticks spans and time counters use. Negative or
+/// non-finite inputs clamp to 0 so fault paths can never poison a trace.
+pub fn us_from_ms(ms: f64) -> u64 {
+    if ms.is_finite() && ms > 0.0 {
+        (ms * 1000.0).round() as u64
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_us_from_ms_is_total() {
+        assert_eq!(us_from_ms(1.5), 1500);
+        assert_eq!(us_from_ms(0.0), 0);
+        assert_eq!(us_from_ms(-3.0), 0);
+        assert_eq!(us_from_ms(f64::NAN), 0);
+        assert_eq!(us_from_ms(f64::INFINITY), 0);
+        assert_eq!(us_from_ms(0.0004), 0);
+        assert_eq!(us_from_ms(0.0006), 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Hierarchical spans over simulated clocks.
+//!
+//! A [`SpanRecorder`] belongs to exactly one logical session (one
+//! streaming trace, one playback walk, one bot playthrough). It is not
+//! shared across threads — each cohort worker records into its own
+//! recorder — so the span order inside a trace is the deterministic
+//! program order of that session. Cross-session determinism comes from
+//! sorting traces by label at snapshot time.
+//!
+//! Timestamps are caller-supplied **microseconds of simulated time**:
+//! the streaming simulation passes its simulated millisecond clock
+//! (scaled by [`crate::us_from_ms`]), playback passes the media
+//! timeline. Wall clocks never enter a trace, which is what makes two
+//! identical runs byte-identical.
+
+/// One recorded span: a named interval of simulated time at a depth in
+/// the session's span tree (pre-order; a span's parent is the nearest
+/// earlier span with a smaller depth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Static span name (e.g. `"session"`, `"dwell"`, `"stall"`).
+    pub name: &'static str,
+    /// Free-form numeric argument (segment id, chunk id, …); 0 when the
+    /// span carries none.
+    pub arg: u64,
+    /// Start of the interval in simulated microseconds.
+    pub start_us: u64,
+    /// End of the interval in simulated microseconds.
+    pub end_us: u64,
+    /// Nesting depth; the root span of a recorder has depth 0.
+    pub depth: u32,
+}
+
+impl SpanRec {
+    /// The span's duration in simulated microseconds (0 for a span that
+    /// was closed by [`SpanRecorder::close_all`] before it ended, or an
+    /// instantaneous event).
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// The finished spans of one session, exported under a stable label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Session label; snapshots sort traces by it, so cohorts should use
+    /// zero-padded indices (`"playback-0007"`) for a stable order.
+    pub label: String,
+    /// Spans in pre-order (parents before children).
+    pub spans: Vec<SpanRec>,
+}
+
+/// Records the hierarchical spans of one session.
+///
+/// A disabled recorder (from [`crate::Obs::noop`]) ignores every call,
+/// so instrumented code needs no `if` guards around span bookkeeping.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    enabled: bool,
+    label: String,
+    /// Indices into `spans` of the currently open spans, root first.
+    open: Vec<usize>,
+    spans: Vec<SpanRec>,
+}
+
+impl SpanRecorder {
+    /// A recorder that drops everything — the `Noop` backend's handle.
+    pub fn disabled() -> SpanRecorder {
+        SpanRecorder { enabled: false, label: String::new(), open: Vec::new(), spans: Vec::new() }
+    }
+
+    /// A live recorder for the session labelled `label`.
+    pub fn new(label: String) -> SpanRecorder {
+        SpanRecorder { enabled: true, label, open: Vec::new(), spans: Vec::new() }
+    }
+
+    /// Whether this recorder keeps what it is given.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span named `name` at simulated time `t_us`.
+    pub fn enter(&mut self, name: &'static str, t_us: u64) {
+        self.enter_with(name, 0, t_us);
+    }
+
+    /// Opens a span carrying a numeric argument (segment id, chunk id …).
+    pub fn enter_with(&mut self, name: &'static str, arg: u64, t_us: u64) {
+        if !self.enabled {
+            return;
+        }
+        let depth = self.open.len() as u32;
+        self.open.push(self.spans.len());
+        self.spans.push(SpanRec { name, arg, start_us: t_us, end_us: t_us, depth });
+    }
+
+    /// Closes the innermost open span at simulated time `t_us`. Calling
+    /// this with no span open is a no-op (never a panic): instrumented
+    /// fault paths must not be able to corrupt the trace.
+    pub fn exit(&mut self, t_us: u64) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(idx) = self.open.pop() {
+            self.spans[idx].end_us = self.spans[idx].end_us.max(t_us);
+        }
+    }
+
+    /// Records an instantaneous event (a zero-duration leaf span).
+    pub fn event(&mut self, name: &'static str, arg: u64, t_us: u64) {
+        self.enter_with(name, arg, t_us);
+        self.exit(t_us);
+    }
+
+    /// Closes every span still open at `t_us` — the panic-safe flush the
+    /// cohort servers use: a session that dies mid-span still exports a
+    /// well-formed trace.
+    pub fn close_all(&mut self, t_us: u64) {
+        while !self.open.is_empty() {
+            self.exit(t_us);
+        }
+    }
+
+    /// Current nesting depth (number of open spans).
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Number of spans recorded so far (open spans included).
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Consumes the recorder into its finished trace, closing any spans
+    /// left open at the timestamp of the latest recorded moment.
+    pub(crate) fn into_trace(mut self) -> Trace {
+        let last = self.spans.iter().map(|s| s.end_us).max().unwrap_or(0);
+        self.close_all(last);
+        Trace { label: self.label, spans: self.spans }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_spans_nest_and_close_in_program_order() {
+        let mut rec = SpanRecorder::new("s".into());
+        rec.enter("session", 0);
+        rec.enter_with("dwell", 3, 0);
+        rec.event("stall", 7, 10);
+        rec.exit(40);
+        rec.enter_with("dwell", 1, 40);
+        rec.exit(90);
+        rec.exit(90);
+        let trace = rec.into_trace();
+        let shape: Vec<(&str, u64, u64, u64, u32)> = trace
+            .spans
+            .iter()
+            .map(|s| (s.name, s.arg, s.start_us, s.end_us, s.depth))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                ("session", 0, 0, 90, 0),
+                ("dwell", 3, 0, 40, 1),
+                ("stall", 7, 10, 10, 2),
+                ("dwell", 1, 40, 90, 1),
+            ]
+        );
+        assert_eq!(trace.spans[2].duration_us(), 0);
+        assert_eq!(trace.spans[0].duration_us(), 90);
+    }
+
+    #[test]
+    fn obs_unbalanced_exits_are_ignored() {
+        let mut rec = SpanRecorder::new("s".into());
+        rec.exit(5); // nothing open: no-op
+        rec.enter("a", 0);
+        rec.exit(3);
+        rec.exit(9); // again nothing open
+        assert_eq!(rec.into_trace().spans.len(), 1);
+    }
+
+    #[test]
+    fn obs_close_all_flushes_open_spans() {
+        let mut rec = SpanRecorder::new("s".into());
+        rec.enter("session", 0);
+        rec.enter("dwell", 5);
+        // Simulated panic: the worker never exits its spans.
+        rec.close_all(42);
+        assert_eq!(rec.depth(), 0);
+        let trace = rec.into_trace();
+        assert_eq!(trace.spans[0].end_us, 42);
+        assert_eq!(trace.spans[1].end_us, 42);
+    }
+
+    #[test]
+    fn obs_disabled_recorder_records_nothing() {
+        let mut rec = SpanRecorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.enter("a", 0);
+        rec.event("b", 1, 2);
+        rec.exit(3);
+        assert!(rec.is_empty());
+        assert_eq!(rec.len(), 0);
+        assert_eq!(rec.depth(), 0);
+    }
+
+    #[test]
+    fn obs_into_trace_closes_at_latest_moment() {
+        let mut rec = SpanRecorder::new("s".into());
+        rec.enter("session", 0);
+        rec.event("e", 0, 77);
+        let trace = rec.into_trace();
+        assert_eq!(trace.spans[0].end_us, 77);
+    }
+}

@@ -232,9 +232,11 @@ impl SessionLog {
     }
 }
 
-/// Escapes one CSV field (RFC-4180 style quoting).
+/// Escapes one CSV field (RFC-4180 style quoting). `\r` must be quoted
+/// like `\n`: a bare carriage return inside an unquoted field is a row
+/// break to compliant readers (RFC 4180 rows end in CRLF).
 fn csv_field(s: &str) -> String {
-    if s.contains([',', '"', '\n']) {
+    if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_owned()
@@ -326,10 +328,13 @@ impl DecodeReuse {
         self.hits + self.misses
     }
 
-    /// Fraction of lookups served without decoding (0 when none occurred).
+    /// Fraction of lookups served without decoding. Higher is better;
+    /// **empty input (no lookups) returns the perfect value `1.0`** —
+    /// the workspace-wide convention for ratio metrics (an untouched
+    /// cache has wasted no decode work).
     pub fn hit_rate(&self) -> f64 {
         if self.hits + self.misses == 0 {
-            0.0
+            1.0
         } else {
             self.hits as f64 / (self.hits + self.misses) as f64
         }
@@ -368,6 +373,11 @@ impl ResilienceReport {
     /// Aggregates per-session [`StreamStats`](vgbl_stream::StreamStats)
     /// and the per-session outcomes of the hosting cohort (pass an empty
     /// slice when sessions were not cohort-hosted).
+    ///
+    /// [`avg_delivery_ratio`](ResilienceReport::avg_delivery_ratio) is
+    /// higher-is-better; **an empty cohort gets the perfect value
+    /// `1.0`** — the workspace-wide convention for ratio metrics (no
+    /// session was degraded).
     pub fn from_sessions(
         stats: &[vgbl_stream::StreamStats],
         outcomes: &[crate::server::SessionOutcome],
@@ -387,13 +397,33 @@ impl ResilienceReport {
         }
     }
 
-    /// Fraction of watched time lost to concealment, cohort-wide.
+    /// Fraction of watched time lost to concealment, cohort-wide. Lower
+    /// is better; **empty input (nothing watched) returns the perfect
+    /// value `0.0`** — the workspace-wide convention for ratio metrics.
     pub fn conceal_ratio(&self) -> f64 {
         let total = self.play_ms + self.conceal_ms;
         if total == 0.0 {
             0.0
         } else {
             self.conceal_ms / total
+        }
+    }
+
+    /// Cohort-wide rebuffering ratio: total stall time over total play
+    /// time — the cohort mirror of
+    /// [`StreamStats::rebuffer_ratio`](vgbl_stream::StreamStats::rebuffer_ratio),
+    /// including its fix: a cohort that stalled without ever playing
+    /// reports `f64::INFINITY`, not a perfect `0.0`. Lower is better;
+    /// empty input returns the perfect value `0.0`.
+    pub fn rebuffer_ratio(&self) -> f64 {
+        if self.play_ms == 0.0 {
+            if self.stall_ms > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            self.stall_ms / self.play_ms
         }
     }
 }
@@ -449,10 +479,13 @@ impl LearningReport {
         }
     }
 
-    /// Fraction of sessions that completed.
+    /// Fraction of sessions that completed. Higher is better; **empty
+    /// input (no sessions) returns the perfect value `1.0`** — the
+    /// workspace-wide convention for ratio metrics (no session failed
+    /// to complete).
     pub fn completion_rate(&self) -> f64 {
         if self.sessions == 0 {
-            0.0
+            1.0
         } else {
             self.completed as f64 / self.sessions as f64
         }
@@ -582,8 +615,14 @@ mod tests {
     fn csv_quotes_awkward_fields() {
         let mut log = SessionLog::new();
         log.push(LogEvent::ScenarioEntered { t_ms: 0, name: "room, with \"quotes\"".into() });
+        log.push(LogEvent::ScenarioEntered { t_ms: 1, name: "line\nbreak".into() });
+        // Regression: a bare carriage return used to pass through
+        // unquoted, splitting the row for RFC-4180 readers.
+        log.push(LogEvent::ScenarioEntered { t_ms: 2, name: "carriage\rreturn".into() });
         let csv = log.to_csv();
         assert!(csv.contains("\"room, with \"\"quotes\"\"\""));
+        assert!(csv.contains("\"line\nbreak\""));
+        assert!(csv.contains("\"carriage\rreturn\""), "CR fields must be quoted");
     }
 
     #[test]
@@ -603,14 +642,16 @@ mod tests {
         assert_eq!(reuse.misses, 2);
         assert_eq!(reuse.resident_gops, 2);
         assert!((reuse.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
-        assert_eq!(DecodeReuse::from_cache(&GopCache::new(4).stats()).hit_rate(), 0.0);
+        // Empty-input convention: perfect value (1.0 for higher-is-better).
+        assert_eq!(DecodeReuse::from_cache(&GopCache::new(4).stats()).hit_rate(), 1.0);
     }
 
     #[test]
     fn report_empty_cohort() {
         let report = LearningReport::from_sessions(std::iter::empty());
         assert_eq!(report.sessions, 0);
-        assert_eq!(report.completion_rate(), 0.0);
+        // Empty-input convention: perfect value (1.0 for higher-is-better).
+        assert_eq!(report.completion_rate(), 1.0);
     }
 
     #[test]

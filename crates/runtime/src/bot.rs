@@ -12,6 +12,7 @@ use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 use rand::Rng;
+use vgbl_obs::{Obs, SpanRecorder};
 use vgbl_scene::{ObjectKind, SceneGraph};
 use vgbl_script::EventKind;
 
@@ -467,13 +468,56 @@ pub fn run_session(
     max_steps: usize,
     tick_ms: u64,
 ) -> Result<BotRun> {
+    run_session_observed(graph, config, bot, max_steps, tick_ms, &Obs::noop(), "")
+}
+
+/// [`run_session`] with observability: engine counters flow into `obs`
+/// and the playthrough is recorded as one trace labelled `label` — a
+/// root `session` span over the game clock with an `input` event per
+/// decision. Timestamps are the session's **simulated** game clock in
+/// microseconds, so identical bot runs export identical traces.
+///
+/// The trace is attached even when the run errors mid-way (the root
+/// span is closed at the last decision's timestamp), so a failed
+/// session still tells its story.
+pub fn run_session_observed(
+    graph: Arc<SceneGraph>,
+    config: SessionConfig,
+    bot: &mut dyn Bot,
+    max_steps: usize,
+    tick_ms: u64,
+    obs: &Obs,
+    label: &str,
+) -> Result<BotRun> {
+    let mut rec = if obs.enabled() {
+        SpanRecorder::new(label.to_owned())
+    } else {
+        SpanRecorder::disabled()
+    };
+    let result = run_session_core(graph, config, bot, max_steps, tick_ms, obs, &mut rec);
+    obs.attach(rec);
+    result
+}
+
+fn run_session_core(
+    graph: Arc<SceneGraph>,
+    config: SessionConfig,
+    bot: &mut dyn Bot,
+    max_steps: usize,
+    tick_ms: u64,
+    obs: &Obs,
+    rec: &mut SpanRecorder,
+) -> Result<BotRun> {
     let (mut session, _) = GameSession::new(graph, config)?;
+    session.set_obs(obs);
+    rec.enter("session", 0);
     let mut steps = 0usize;
     while steps < max_steps && !session.state().is_over() {
         let Some(input) = bot.next_input(&session)? else {
             break;
         };
         steps += 1;
+        rec.event("input", steps as u64, session.state().total_clock_ms * 1000);
         match session.handle(input) {
             Ok(_) => {}
             Err(RuntimeError::GameOver { .. }) => break,
@@ -483,6 +527,7 @@ pub fn run_session(
             session.handle(InputEvent::Tick(tick_ms))?;
         }
     }
+    rec.exit(session.state().total_clock_ms * 1000);
     Ok(BotRun {
         state: session.state().clone(),
         log: session.log().clone(),
@@ -585,6 +630,40 @@ mod tests {
         }
         assert_eq!(guided_done, 10);
         assert!(random_done < guided_done, "random {random_done} vs guided {guided_done}");
+    }
+
+    #[test]
+    fn obs_observed_run_matches_plain_run_and_exports_one_trace() {
+        let obs = Obs::recording();
+        let mut bot = GuidedBot::new();
+        let observed = run_session_observed(
+            Arc::new(fix_the_computer()),
+            config(),
+            &mut bot,
+            100,
+            50,
+            &obs,
+            "bot-0000",
+        )
+        .unwrap();
+        // Observation does not perturb the run.
+        let mut bot2 = GuidedBot::new();
+        let plain =
+            run_session(Arc::new(fix_the_computer()), config(), &mut bot2, 100, 50).unwrap();
+        assert_eq!(observed.steps, plain.steps);
+        assert_eq!(observed.state.score, plain.state.score);
+        assert_eq!(observed.state.ended, plain.state.ended);
+        let snap = obs.snapshot();
+        // One `input` event per decision, one trace for the session.
+        assert_eq!(snap.span_count("input"), observed.steps);
+        assert_eq!(snap.traces.len(), 1);
+        assert_eq!(snap.traces[0].label, "bot-0000");
+        assert_eq!(snap.traces[0].spans[0].name, "session");
+        // Engine counters flowed into the same registry: every decision
+        // plus the interleaved clock ticks went through `handle`.
+        let inputs = snap.counter_total("engine.inputs");
+        assert!(inputs >= observed.steps as u64, "{inputs} < {}", observed.steps);
+        assert!(inputs <= observed.steps as u64 * 2, "{inputs} > 2x steps");
     }
 
     #[test]

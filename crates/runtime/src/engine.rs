@@ -19,6 +19,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use vgbl_obs::{Counter, Obs};
 use vgbl_scene::validate::validate;
 use vgbl_scene::{ObjectKind, Rect, SceneGraph, Scenario};
 use vgbl_script::{Action, EventKind, TriggerSet};
@@ -73,6 +74,22 @@ impl SessionConfig {
     }
 }
 
+/// Engine-side observability counters (all noop until
+/// [`GameSession::set_obs`] attaches real handles). Kept separate from
+/// the analytics [`SessionLog`] on purpose: the log is gameplay data,
+/// these count engine work.
+#[derive(Debug, Clone, Default)]
+struct EngObs {
+    /// Input events accepted by [`GameSession::handle`].
+    inputs: Counter,
+    /// Trigger-set dispatches (per object or entry set consulted).
+    dispatches: Counter,
+    /// Actions actually executed by the engine.
+    actions: Counter,
+    /// Scenario transitions performed.
+    scenario_changes: Counter,
+}
+
 /// An active NPC conversation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DialogueState {
@@ -114,6 +131,7 @@ pub struct GameSession {
     fired_timers: BTreeSet<u64>,
     /// The conversation in progress, if any (transient: not saved).
     dialogue: Option<DialogueState>,
+    obs: EngObs,
 }
 
 impl GameSession {
@@ -144,6 +162,7 @@ impl GameSession {
             log: SessionLog::new(),
             fired_timers: BTreeSet::new(),
             dialogue: None,
+            obs: EngObs::default(),
         };
         session.log.push(LogEvent::ScenarioEntered { t_ms: 0, name: start_name });
         let mut feedback = Vec::new();
@@ -169,7 +188,22 @@ impl GameSession {
             log: SessionLog::new(),
             fired_timers: BTreeSet::new(),
             dialogue: None,
+            obs: EngObs::default(),
         })
+    }
+
+    /// Routes engine counters (`engine.inputs` / `engine.dispatches` /
+    /// `engine.actions` / `engine.scenario_changes`, labelled
+    /// `pillar=runtime`) into `obs`. A [`Obs::noop`] handle (the
+    /// default) makes every increment a single `Option` check.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        let labels: &[(&str, &str)] = &[("pillar", "runtime")];
+        self.obs = EngObs {
+            inputs: obs.counter("engine.inputs", labels),
+            dispatches: obs.counter("engine.dispatches", labels),
+            actions: obs.counter("engine.actions", labels),
+            scenario_changes: obs.counter("engine.scenario_changes", labels),
+        };
     }
 
     /// The shared content graph.
@@ -226,6 +260,7 @@ impl GameSession {
         if let Some(outcome) = &self.state.ended {
             return Err(RuntimeError::GameOver { outcome: outcome.clone() });
         }
+        self.obs.inputs.inc();
         if input.is_decision() {
             self.log.push(LogEvent::Decision {
                 t_ms: self.state.total_clock_ms,
@@ -399,6 +434,7 @@ impl GameSession {
                         }
                     _ => {}
                 }
+                self.obs.dispatches.inc();
                 let actions = object.triggers.dispatch(&EventKind::Click, &self.env())?;
 
                 self.state.examined.insert(obj_name.clone());
@@ -443,6 +479,7 @@ impl GameSession {
         let object = self.current_scenario().object(oid).expect("hit id valid");
         let obj_name = object.name.clone();
         let takeable = object.is_takeable();
+        self.obs.dispatches.inc();
         let actions = object.triggers.dispatch(&EventKind::Drag, &self.env())?;
 
         if self.config.inventory_window.contains(to) && takeable {
@@ -479,6 +516,7 @@ impl GameSession {
         let object = self.current_scenario().object(oid).expect("hit id valid");
         let obj_name = object.name.clone();
         let event = EventKind::Use(item.to_owned());
+        self.obs.dispatches.inc();
         let actions = object.triggers.dispatch(&event, &self.env())?;
         if !actions.is_empty() {
             self.log.push(LogEvent::ItemUsed {
@@ -501,9 +539,11 @@ impl GameSession {
             let env = self.env();
             for object in scenario.draw_order() {
                 if object.is_visible(&env)? {
+                    self.obs.dispatches.inc();
                     all_actions.extend(object.triggers.dispatch(&event, &env)?);
                 }
             }
+            self.obs.dispatches.inc();
             all_actions.extend(scenario.entry_triggers.dispatch(&event, &env)?);
         }
         self.run_actions(all_actions, feedback, 0)?;
@@ -560,8 +600,10 @@ impl GameSession {
     fn collect_scenario_event(&self, event: &EventKind) -> Result<Vec<Action>> {
         let scenario = self.current_scenario();
         let env = self.env();
+        self.obs.dispatches.inc();
         let mut actions = scenario.entry_triggers.dispatch(event, &env)?;
         for o in scenario.objects() {
+            self.obs.dispatches.inc();
             actions.extend(o.triggers.dispatch(event, &env)?);
         }
         Ok(actions)
@@ -579,6 +621,7 @@ impl GameSession {
             if self.state.is_over() {
                 break;
             }
+            self.obs.actions.inc();
             match action {
                 Action::GoTo(target) => {
                     self.enter_scenario(&target, feedback, hops + 1)?;
@@ -670,6 +713,7 @@ impl GameSession {
         if self.graph.scenario_by_name(target).is_none() {
             return Err(RuntimeError::UnknownScenario(target.to_owned()));
         }
+        self.obs.scenario_changes.inc();
         let from = std::mem::replace(&mut self.state.current_scenario, target.to_owned());
         self.state.visited.insert(target.to_owned());
         self.state.scenario_clock_ms = 0;
@@ -803,6 +847,33 @@ mod tests {
             session.handle(InputEvent::click(0, 0)),
             Err(RuntimeError::GameOver { .. })
         ));
+    }
+
+    #[test]
+    fn obs_engine_counters_track_the_playthrough() {
+        let obs = Obs::recording();
+        let (mut session, _) = start(fix_the_computer());
+        session.set_obs(&obs);
+        session.handle(InputEvent::click(25, 20)).unwrap(); // diagnose
+        session.handle(InputEvent::click(42, 4)).unwrap(); // market
+        session.handle(InputEvent::drag(12, 12, 60, 20)).unwrap(); // take fan
+        session.handle(InputEvent::click(42, 4)).unwrap(); // back
+        session.handle(InputEvent::apply("fan", 25, 20)).unwrap(); // fix → end
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter_total("engine.inputs"), 5);
+        // Two door clicks + two scenario-entry dispatch rounds.
+        assert_eq!(snap.counter_total("engine.scenario_changes"), 2);
+        // Every transition re-dispatches Enter across the scenario, so
+        // dispatches strictly exceed inputs.
+        assert!(snap.counter_total("engine.dispatches") > 5);
+        // Diagnose (text+flag+score), two gotos, drag text, and the
+        // final fix chain all execute actions.
+        assert!(snap.counter_total("engine.actions") >= 8);
+        // A session without set_obs contributes nothing: counters are
+        // exactly the five inputs above, not doubled by `start`'s Enter.
+        let (mut silent, _) = start(fix_the_computer());
+        silent.handle(InputEvent::click(25, 20)).unwrap();
+        assert_eq!(obs.snapshot().counter_total("engine.inputs"), 5);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod server;
 pub mod state;
 
 pub use analytics::{DecodeReuse, LearningReport, LogEvent, ResilienceReport, SessionLog};
-pub use bot::{Bot, ExplorerBot, GuidedBot, RandomBot};
+pub use bot::{run_session, run_session_observed, Bot, BotRun, ExplorerBot, GuidedBot, RandomBot};
 pub use device::{RemoteButton, RemoteControl};
 pub use engine::{GameSession, SessionConfig};
 pub use error::RuntimeError;
@@ -58,7 +58,8 @@ pub use inventory::Inventory;
 pub use playback::{PlaybackController, PlaybackStats};
 pub use save::SaveGame;
 pub use server::{
-    run_cohort, run_playback_cohort, PlaybackCohortReport, ServerReport, SessionOutcome,
+    run_cohort, run_playback_cohort, run_playback_cohort_observed, PlaybackCohortReport,
+    ServerReport, SessionOutcome,
 };
 pub use state::GameState;
 

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use vgbl_media::cache::{GopCache, VideoId};
 use vgbl_media::codec::{Decoder, EncodedVideo};
 use vgbl_media::{Frame, GopChecksums, MediaError, Segment, SegmentId, SegmentTable};
+use vgbl_obs::{Counter, Obs};
 
 use crate::Result;
 
@@ -36,6 +37,17 @@ pub struct PlaybackStats {
     /// Frames served by freeze-frame concealment because their GOP was
     /// corrupt or undecodable.
     pub concealed: usize,
+}
+
+/// Resolved observability handles for the player's event sites; the
+/// default (all-noop) handles keep an unobserved player's hot path at
+/// one `Option` check per event.
+#[derive(Debug, Default)]
+struct PlayObs {
+    frames_served: Counter,
+    frames_decoded: Counter,
+    switches: Counter,
+    concealed: Counter,
 }
 
 /// The segment-looping video player.
@@ -63,6 +75,7 @@ pub struct PlaybackController {
     /// The most recent successfully served frame — what concealment
     /// freezes on while waiting for the next intact keyframe.
     last_good: Option<Frame>,
+    obs: PlayObs,
 }
 
 impl PlaybackController {
@@ -119,7 +132,24 @@ impl PlaybackController {
             checksums: None,
             failed_keys: HashSet::new(),
             last_good: None,
+            obs: PlayObs::default(),
         })
+    }
+
+    /// Attaches an observability backend: served/decoded/concealed
+    /// frames and segment switches additionally feed `playback.*`
+    /// counters (labelled `pillar=runtime`) in `obs`'s registry,
+    /// mirroring [`PlaybackStats`] through an independent accumulation
+    /// path. With a noop backend this is free.
+    pub fn with_obs(mut self, obs: &Obs) -> PlaybackController {
+        let labels: &[(&str, &str)] = &[("pillar", "runtime")];
+        self.obs = PlayObs {
+            frames_served: obs.counter("playback.frames_served", labels),
+            frames_decoded: obs.counter("playback.frames_decoded", labels),
+            switches: obs.counter("playback.switches", labels),
+            concealed: obs.counter("playback.concealed", labels),
+        };
+        self
     }
 
     /// Enables GOP integrity verification against `checksums` (built
@@ -171,6 +201,7 @@ impl PlaybackController {
         self.cursor = 0;
         self.residual_us = 0;
         self.stats.switches += 1;
+        self.obs.switches.inc();
         let before = self.stats.frames_decoded;
         self.current_frame()?;
         Ok(self.stats.frames_decoded - before)
@@ -214,6 +245,7 @@ impl PlaybackController {
         match self.fetch_gop(key) {
             Ok(gop) => {
                 self.stats.frames_served += 1;
+                self.obs.frames_served.inc();
                 let frame = gop[abs - key].clone();
                 self.last_good = Some(frame.clone());
                 Ok(frame)
@@ -224,6 +256,8 @@ impl PlaybackController {
                     // advancing, so the next intact GOP resyncs.
                     self.stats.frames_served += 1;
                     self.stats.concealed += 1;
+                    self.obs.frames_served.inc();
+                    self.obs.concealed.inc();
                     Ok(frame.clone())
                 }
                 None => Err(e),
@@ -253,6 +287,7 @@ impl PlaybackController {
         match outcome {
             Ok(gop) => {
                 self.stats.frames_decoded += decoded;
+                self.obs.frames_decoded.add(decoded as u64);
                 Ok(gop)
             }
             Err(e) => {
@@ -490,6 +525,30 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.misses, 6);
         assert!(s.hits > 100, "hits {}", s.hits);
+    }
+
+    #[test]
+    fn obs_counters_mirror_playback_stats() {
+        let (mut video, table) = encoded_video();
+        let sums = GopChecksums::build(&video);
+        corrupt_gop(&mut video, 5, 5);
+        let obs = Obs::recording();
+        let mut p = PlaybackController::new(video, table, SegmentId(0))
+            .unwrap()
+            .with_integrity(sums)
+            .with_obs(&obs);
+        p.current_frame().unwrap();
+        p.cursor = 7;
+        p.current_frame().unwrap(); // concealed
+        p.switch_segment(SegmentId(2)).unwrap();
+        p.current_frame().unwrap();
+        let s = p.stats();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter_total("playback.frames_served"), s.frames_served as u64);
+        assert_eq!(snap.counter_total("playback.frames_decoded"), s.frames_decoded as u64);
+        assert_eq!(snap.counter_total("playback.switches"), s.switches as u64);
+        assert_eq!(snap.counter_total("playback.concealed"), s.concealed as u64);
+        assert_eq!(snap.counter_total("playback.concealed"), 1);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use crossbeam::channel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use vgbl_obs::{Obs, SpanRecorder};
 use vgbl_media::cache::GopCache;
 use vgbl_media::codec::EncodedVideo;
 use vgbl_media::{SegmentId, SegmentTable};
@@ -225,6 +226,50 @@ pub fn run_playback_cohort(
     workers: usize,
     steps_per_session: usize,
 ) -> Result<PlaybackCohortReport> {
+    playback_cohort_core(
+        video,
+        segments,
+        cache,
+        n_sessions,
+        workers,
+        steps_per_session,
+        &Obs::noop(),
+    )
+}
+
+/// [`run_playback_cohort`] with observability: playback and cache
+/// counters flow into `obs`, and every session exports one trace
+/// (labelled `playback-0007`-style) of `switch`/`render` events on the
+/// media timeline.
+///
+/// **Panic-safe flushing**: each worker creates the session's
+/// [`SpanRecorder`] *outside* the `catch_unwind` boundary and attaches
+/// it afterwards, so a session that panics mid-walk still exports every
+/// span it recorded (open spans are closed at the last recorded
+/// moment). The cohort's `cohort.sessions_completed` /
+/// `cohort.sessions_failed` counters match the report's `sessions` /
+/// `failed` fields exactly.
+pub fn run_playback_cohort_observed(
+    video: Arc<EncodedVideo>,
+    segments: &SegmentTable,
+    cache: Arc<GopCache>,
+    n_sessions: usize,
+    workers: usize,
+    steps_per_session: usize,
+    obs: &Obs,
+) -> Result<PlaybackCohortReport> {
+    playback_cohort_core(video, segments, cache, n_sessions, workers, steps_per_session, obs)
+}
+
+fn playback_cohort_core(
+    video: Arc<EncodedVideo>,
+    segments: &SegmentTable,
+    cache: Arc<GopCache>,
+    n_sessions: usize,
+    workers: usize,
+    steps_per_session: usize,
+    obs: &Obs,
+) -> Result<PlaybackCohortReport> {
     let n_segments = segments.len().max(1) as u32;
     if n_sessions == 0 {
         return Ok(PlaybackCohortReport {
@@ -246,14 +291,25 @@ pub fn run_playback_cohort(
     }
     drop(job_tx);
 
+    let completed_ctr = obs.counter("cohort.sessions_completed", &[("pillar", "runtime")]);
+    let failed_ctr = obs.counter("cohort.sessions_failed", &[("pillar", "runtime")]);
     let _ = crossbeam::scope(|s| {
         for _ in 0..workers {
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
             let video = video.clone();
             let cache = cache.clone();
+            let completed_ctr = completed_ctr.clone();
+            let failed_ctr = failed_ctr.clone();
             s.spawn(move |_| {
                 for i in job_rx.iter() {
+                    // The recorder lives *outside* the unwind boundary:
+                    // a panicking session still flushes its spans.
+                    let mut rec = if obs.enabled() {
+                        SpanRecorder::new(format!("playback-{i:04}"))
+                    } else {
+                        SpanRecorder::disabled()
+                    };
                     let run = catch_unwind(AssertUnwindSafe(|| {
                         play_one_session(
                             video.clone(),
@@ -262,12 +318,24 @@ pub fn run_playback_cohort(
                             i,
                             n_segments,
                             steps_per_session,
+                            obs,
+                            &mut rec,
                         )
                     }));
+                    obs.attach(rec);
                     let row = match run {
-                        Ok(Ok(r)) => Ok(r),
-                        Ok(Err(e)) => Err(e.to_string()),
-                        Err(payload) => Err(panic_reason(payload)),
+                        Ok(Ok(r)) => {
+                            completed_ctr.inc();
+                            Ok(r)
+                        }
+                        Ok(Err(e)) => {
+                            failed_ctr.inc();
+                            Err(e.to_string())
+                        }
+                        Err(payload) => {
+                            failed_ctr.inc();
+                            Err(panic_reason(payload))
+                        }
                     };
                     if res_tx.send((i, row)).is_err() {
                         break;
@@ -297,6 +365,9 @@ pub fn run_playback_cohort(
 }
 
 /// One seeded playback walk; deterministic in `(i, n_segments, steps)`.
+/// The trace timeline is the session's simulated playhead (33 ms per
+/// rendered step), never wall time.
+#[allow(clippy::too_many_arguments)]
 fn play_one_session(
     video: Arc<EncodedVideo>,
     segments: SegmentTable,
@@ -304,19 +375,30 @@ fn play_one_session(
     i: usize,
     n_segments: u32,
     steps: usize,
+    obs: &Obs,
+    rec: &mut SpanRecorder,
 ) -> Result<PlaybackStats> {
     let initial = SegmentId(i as u32 % n_segments);
-    let mut player = PlaybackController::shared(video, segments, initial, cache)?;
+    let mut player =
+        PlaybackController::shared(video, segments, initial, cache)?.with_obs(obs);
     let mut rng = StdRng::seed_from_u64(0x9e37_79b9 ^ i as u64);
+    let mut now_us: u64 = 0;
+    rec.enter_with("session", i as u64, now_us);
+    rec.event("render", 0, now_us);
     player.current_frame()?;
-    for _ in 0..steps {
+    for step in 0..steps {
         if rng.gen_range(0..4u32) == 0 {
-            player.switch_segment(SegmentId(rng.gen_range(0..n_segments)))?;
+            let target = SegmentId(rng.gen_range(0..n_segments));
+            rec.event("switch", target.0 as u64, now_us);
+            player.switch_segment(target)?;
         } else {
             player.advance_ms(33);
+            now_us += 33_000;
+            rec.event("render", step as u64 + 1, now_us);
             player.current_frame()?;
         }
     }
+    rec.exit(now_us);
     Ok(player.stats())
 }
 
@@ -463,6 +545,64 @@ mod tests {
             run_playback_cohort(video, &table, Arc::new(GopCache::new(4)), 0, 4, 10).unwrap();
         assert_eq!(report.sessions, 0);
         assert_eq!(report.frames_served, 0);
+    }
+
+    #[test]
+    fn obs_observed_cohort_counters_match_report_exactly() {
+        let (video, table) = cohort_video();
+        let obs = Obs::recording();
+        let report = run_playback_cohort_observed(
+            video.clone(),
+            &table,
+            Arc::new(GopCache::new(16)),
+            12,
+            4,
+            30,
+            &obs,
+        )
+        .unwrap();
+        // Observation does not perturb the cohort.
+        let plain =
+            run_playback_cohort(video, &table, Arc::new(GopCache::new(16)), 12, 4, 30).unwrap();
+        assert_eq!(report.frames_served, plain.frames_served);
+        assert_eq!(report.switches, plain.switches);
+
+        let snap = obs.snapshot();
+        // Counter totals are *independently accumulated* mirrors of the
+        // report: any drift between the two paths is a real bug.
+        assert_eq!(snap.counter_total("cohort.sessions_completed"), report.sessions as u64);
+        assert_eq!(snap.counter_total("cohort.sessions_failed"), report.failed as u64);
+        assert_eq!(snap.counter_total("playback.frames_served"), report.frames_served as u64);
+        assert_eq!(snap.counter_total("playback.frames_decoded"), report.frames_decoded as u64);
+        assert_eq!(snap.counter_total("playback.switches"), report.switches as u64);
+        // Span events agree too: a switch serves one frame internally,
+        // so renders + switches account for every served frame.
+        assert_eq!(snap.span_count("switch"), report.switches);
+        assert_eq!(snap.span_count("render") + snap.span_count("switch"), report.frames_served);
+        assert_eq!(snap.traces.len(), 12);
+        assert_eq!(snap.traces[0].label, "playback-0000");
+        assert_eq!(snap.traces[11].label, "playback-0011");
+    }
+
+    #[test]
+    fn obs_observed_cohort_exports_are_byte_identical_across_worker_counts() {
+        let (video, table) = cohort_video();
+        let run = |workers: usize| {
+            let obs = Obs::recording();
+            run_playback_cohort_observed(
+                video.clone(),
+                &table,
+                Arc::new(GopCache::new(16)),
+                8,
+                workers,
+                25,
+                &obs,
+            )
+            .unwrap();
+            let snap = obs.snapshot();
+            (snap.to_table(), snap.metrics_csv(), snap.spans_csv(), snap.to_jsonl())
+        };
+        assert_eq!(run(1), run(4));
     }
 
     /// A bot that panics the moment it is asked for input.

@@ -16,6 +16,16 @@ use crate::{Result, StreamError};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChunkId(pub u32);
 
+impl ChunkId {
+    /// Checked conversion from a chunk index. Chunk ids are `u32` on the
+    /// wire (the container's frame-table entries are fixed-width), so an
+    /// index above `u32::MAX` must be rejected — the old `i as u32` cast
+    /// silently wrapped, aliasing distinct chunks on pathological inputs.
+    pub fn from_index(i: usize) -> Result<ChunkId> {
+        u32::try_from(i).map(ChunkId).map_err(|_| StreamError::TooManyChunks(i))
+    }
+}
+
 /// One GOP-chunk's layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkInfo {
@@ -65,7 +75,7 @@ impl ChunkMap {
             let end = keyframes.get(i + 1).copied().unwrap_or(video.len());
             let bytes: usize = video.frames[start..end].iter().map(|f| f.data.len()).sum();
             chunks.push(ChunkInfo {
-                id: ChunkId(i as u32),
+                id: ChunkId::from_index(i)?,
                 start_frame: start,
                 end_frame: end,
                 bytes,
@@ -221,6 +231,21 @@ mod tests {
         let mut sums: Vec<u64> = map.chunks().iter().map(|c| c.checksum).collect();
         sums.dedup();
         assert!(sums.len() > 1);
+    }
+
+    /// Regression: `ChunkMap::build` used `i as u32`, which wraps above
+    /// `u32::MAX` and aliases distinct chunks. A real 4-billion-chunk
+    /// video is impractical to encode, so the checked helper is public
+    /// and pinned directly.
+    #[test]
+    fn chunk_id_from_index_rejects_overflow() {
+        assert_eq!(ChunkId::from_index(0).unwrap(), ChunkId(0));
+        assert_eq!(ChunkId::from_index(u32::MAX as usize).unwrap(), ChunkId(u32::MAX));
+        let too_big = u32::MAX as usize + 1;
+        assert!(matches!(
+            ChunkId::from_index(too_big),
+            Err(StreamError::TooManyChunks(i)) if i == too_big
+        ));
     }
 
     #[test]

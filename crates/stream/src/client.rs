@@ -16,6 +16,7 @@
 use std::collections::{HashMap, HashSet};
 
 use vgbl_media::SegmentId;
+use vgbl_obs::{us_from_ms, Counter, Histogram, Obs, SpanRecorder};
 
 use crate::chunk::{ChunkId, ChunkMap};
 use crate::fault::{FaultPlan, FaultyLink};
@@ -64,7 +65,9 @@ pub struct StreamStats {
 }
 
 impl StreamStats {
-    /// Fraction of fetched payload bytes that never played.
+    /// Fraction of fetched payload bytes that never played. Lower is
+    /// better; **empty input (nothing fetched) returns the perfect
+    /// value `0.0`** — the workspace-wide convention for ratio metrics.
     pub fn waste_ratio(&self) -> f64 {
         if self.bytes_fetched == 0 {
             0.0
@@ -73,17 +76,27 @@ impl StreamStats {
         }
     }
 
-    /// Rebuffering ratio: stall time over play time.
+    /// Rebuffering ratio: stall time over play time. Lower is better;
+    /// **empty input (no stalls, no playback) returns the perfect value
+    /// `0.0`**. A session that stalled without ever playing a frame is
+    /// the *worst* possible playback, not a perfect one, so it returns
+    /// `f64::INFINITY` rather than silently reporting `0.0`.
     pub fn rebuffer_ratio(&self) -> f64 {
         if self.play_ms == 0.0 {
-            0.0
+            if self.stall_ms > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
         } else {
             self.stall_ms / self.play_ms
         }
     }
 
     /// Fraction of watched time served from real content rather than
-    /// concealment; 1.0 for a fault-free session.
+    /// concealment; 1.0 for a fault-free session. Higher is better;
+    /// **empty input (nothing watched) returns the perfect value
+    /// `1.0`** — the workspace-wide convention for ratio metrics.
     pub fn delivery_ratio(&self) -> f64 {
         let total = self.play_ms + self.conceal_ms;
         if total == 0.0 {
@@ -162,6 +175,48 @@ pub struct FaultyStreamReport {
     pub concealed: Vec<ChunkId>,
 }
 
+/// Resolved observability handles plus the session's span recorder,
+/// threaded through the simulation core. The disabled form (what the
+/// unobserved entry points use) costs one `Option`/`bool` check per
+/// event site, keeping the hot path unaffected.
+///
+/// The counters accumulate in the obs registry *independently* of
+/// [`StreamStats`]' own accounting — two separate tallies of the same
+/// event sites — which is exactly what lets EXP-13 cross-check them
+/// against each other and catch silent drift in either.
+struct SimObs {
+    rec: SpanRecorder,
+    requests: Counter,
+    retries: Counter,
+    timeouts: Counter,
+    gave_up: Counter,
+    delivered: Counter,
+    stalls: Counter,
+    concealed_chunks: Counter,
+    fetch_latency_us: Histogram,
+}
+
+impl SimObs {
+    fn disabled() -> SimObs {
+        SimObs::new(&Obs::noop(), String::new())
+    }
+
+    fn new(obs: &Obs, label: String) -> SimObs {
+        let labels: &[(&str, &str)] = &[("pillar", "stream")];
+        SimObs {
+            rec: obs.recorder(label),
+            requests: obs.counter("fetch.requests", labels),
+            retries: obs.counter("fetch.retries", labels),
+            timeouts: obs.counter("fetch.timeouts", labels),
+            gave_up: obs.counter("fetch.gave_up", labels),
+            delivered: obs.counter("fetch.delivered", labels),
+            stalls: obs.counter("session.stalls", labels),
+            concealed_chunks: obs.counter("conceal.chunks", labels),
+            fetch_latency_us: obs.histogram("fetch.latency_us", labels),
+        }
+    }
+}
+
 /// How a chunk request resolved.
 enum Fetched {
     /// Intact payload available at the given time.
@@ -185,13 +240,14 @@ impl<L: Link + ?Sized> Net<'_, L> {
     /// Resolves a chunk fetch at `now` (memoised: a chunk is fetched —
     /// or abandoned — at most once per session) and returns when its
     /// payload is available, or when the client gave up on it.
-    fn fetch(&mut self, map: &ChunkMap, id: ChunkId, now: f64) -> Fetched {
+    fn fetch(&mut self, map: &ChunkMap, id: ChunkId, now: f64, sobs: &mut SimObs) -> Fetched {
         if let Some(&done) = self.completion.get(&id) {
             return Fetched::Delivered(done);
         }
         if self.failed.contains(&id) {
             return Fetched::Failed(now);
         }
+        sobs.requests.inc();
         let (bytes, checksum) = map
             .get(id)
             .map(|c| (c.bytes, c.checksum))
@@ -203,18 +259,22 @@ impl<L: Link + ?Sized> Net<'_, L> {
             self.busy_until = done;
             self.bytes += bytes;
             self.completion.insert(id, done);
+            sobs.delivered.inc();
+            sobs.fetch_latency_us.record(us_from_ms(done - now));
             return Fetched::Delivered(done);
         };
         let mut t = self.busy_until.max(now);
         for attempt in 0..=retry.max_retries {
             if attempt > 0 {
                 self.retries += 1;
+                sobs.retries.inc();
             }
             let fault = plan.chunk_fault(id, attempt);
             if fault.lost {
                 // The response never arrives: the pipe is blocked until
                 // the attempt's deadline expires, then we re-request.
                 self.timeouts += 1;
+                sobs.timeouts.inc();
                 t += retry.deadline_ms(attempt, plan.jitter(id, attempt));
                 continue;
             }
@@ -235,10 +295,13 @@ impl<L: Link + ?Sized> Net<'_, L> {
             }
             self.busy_until = done;
             self.completion.insert(id, done);
+            sobs.delivered.inc();
+            sobs.fetch_latency_us.record(us_from_ms(done - now));
             return Fetched::Delivered(done);
         }
         self.busy_until = t;
         self.failed.insert(id);
+        sobs.gave_up.inc();
         Fetched::Failed(t)
     }
 }
@@ -253,7 +316,31 @@ pub fn simulate<L: Link + ?Sized>(
     policy: PrefetchPolicy,
     trace: &[TraceStep],
 ) -> Result<StreamStats> {
-    sim_core(map, link, None, policy, trace).map(|r| r.stats)
+    sim_core(map, link, None, policy, trace, &mut SimObs::disabled()).map(|r| r.stats)
+}
+
+/// [`simulate`] with observability: fetch events feed `fetch.*`
+/// counters and the `fetch.latency_us` histogram (labelled
+/// `pillar=stream`), and the session exports a trace under `label` with
+/// a `session` root span, one `dwell` span per trace step (arg = the
+/// segment id) and `stall` spans over rebuffer waits — all on the
+/// simulated millisecond clock, never wall time.
+///
+/// # Errors
+/// Propagates unknown segments in the trace (the partial trace recorded
+/// up to the error is still attached, panic-safe-flush style).
+pub fn simulate_observed<L: Link + ?Sized>(
+    map: &ChunkMap,
+    link: &L,
+    policy: PrefetchPolicy,
+    trace: &[TraceStep],
+    obs: &Obs,
+    label: String,
+) -> Result<StreamStats> {
+    let mut sobs = SimObs::new(obs, label);
+    let out = sim_core(map, link, None, policy, trace, &mut sobs);
+    obs.attach(sobs.rec);
+    out.map(|r| r.stats)
 }
 
 /// Simulates one session over a faulty link: deadlines, bounded retries
@@ -274,7 +361,34 @@ pub fn simulate_faulty<L: Link>(
     trace: &[TraceStep],
 ) -> Result<FaultyStreamReport> {
     retry.validate()?;
-    sim_core(map, link, Some((link.plan(), retry)), policy, trace)
+    sim_core(map, link, Some((link.plan(), retry)), policy, trace, &mut SimObs::disabled())
+}
+
+/// [`simulate_faulty`] with observability: everything
+/// [`simulate_observed`] records, plus the fault path's `fetch.retries`
+/// / `fetch.timeouts` / `fetch.gave_up` / `conceal.chunks` counters and
+/// `conceal` spans (arg = the abandoned chunk id) in the session trace.
+/// These counters tally the same event sites as
+/// [`FaultyStreamReport::stats`] through an independent accumulation
+/// path, so EXP-13 can cross-check the two exactly.
+///
+/// # Errors
+/// Propagates unknown segments in the trace and invalid [`RetryPolicy`]
+/// parameters.
+pub fn simulate_faulty_observed<L: Link>(
+    map: &ChunkMap,
+    link: &FaultyLink<L>,
+    policy: PrefetchPolicy,
+    retry: &RetryPolicy,
+    trace: &[TraceStep],
+    obs: &Obs,
+    label: String,
+) -> Result<FaultyStreamReport> {
+    retry.validate()?;
+    let mut sobs = SimObs::new(obs, label);
+    let out = sim_core(map, link, Some((link.plan(), retry)), policy, trace, &mut sobs);
+    obs.attach(sobs.rec);
+    out
 }
 
 fn sim_core<L: Link + ?Sized>(
@@ -283,6 +397,7 @@ fn sim_core<L: Link + ?Sized>(
     faults: Option<(&FaultPlan, &RetryPolicy)>,
     policy: PrefetchPolicy,
     trace: &[TraceStep],
+    sobs: &mut SimObs,
 ) -> Result<FaultyStreamReport> {
     let mut net = Net {
         link,
@@ -315,17 +430,27 @@ fn sim_core<L: Link + ?Sized>(
     net.bytes += map.header_bytes();
     now = header_done;
 
+    sobs.rec.enter("session", 0);
     let mut started = false;
     for step in trace {
-        let chunks = map.segment_chunks(step.segment)?;
+        let chunks = match map.segment_chunks(step.segment) {
+            Ok(chunks) => chunks,
+            Err(e) => {
+                // Panic-safe-flush convention: the partial trace stays
+                // well-formed even when the session dies structurally.
+                sobs.rec.close_all(us_from_ms(now));
+                return Err(e);
+            }
+        };
         if chunks.is_empty() {
             continue;
         }
+        sobs.rec.enter_with("dwell", step.segment.0 as u64, us_from_ms(now));
         let mut watched = 0.0f64;
         let mut idx = 0usize;
         while watched < step.watch_ms || idx == 0 {
             let id = chunks[idx % chunks.len()];
-            let (available, delivered) = match net.fetch(map, id, now) {
+            let (available, delivered) = match net.fetch(map, id, now, sobs) {
                 Fetched::Delivered(t) => (t, true),
                 Fetched::Failed(t) => (t, false),
             };
@@ -334,6 +459,9 @@ fn sim_core<L: Link + ?Sized>(
                 if started {
                     stats.stalls += 1;
                     stats.stall_ms += wait;
+                    sobs.stalls.inc();
+                    sobs.rec.enter_with("stall", id.0 as u64, us_from_ms(now));
+                    sobs.rec.exit(us_from_ms(available));
                 }
                 now = available;
             }
@@ -351,7 +479,7 @@ fn sim_core<L: Link + ?Sized>(
                     branch_targets: &step.branch_targets,
                 };
                 for want in policy.plan(&ctx) {
-                    net.fetch(map, want, now);
+                    net.fetch(map, want, now, sobs);
                 }
                 stats.play_ms += play;
                 played.insert(id);
@@ -359,12 +487,17 @@ fn sim_core<L: Link + ?Sized>(
                 // Freeze-frame concealment: wall time advances over the
                 // chunk's duration, but no new content plays.
                 stats.conceal_ms += play;
+                sobs.concealed_chunks.inc();
+                sobs.rec.enter_with("conceal", id.0 as u64, us_from_ms(now));
+                sobs.rec.exit(us_from_ms(now + play));
             }
             now += play;
             watched += play;
             idx += 1;
         }
+        sobs.rec.exit(us_from_ms(now));
     }
+    sobs.rec.exit(us_from_ms(now));
 
     stats.bytes_fetched = net.bytes;
     stats.retries = net.retries;
@@ -591,6 +724,28 @@ mod tests {
         assert_eq!(zero.delivery_ratio(), 1.0);
     }
 
+    /// Regression: a session that only ever stalled (stall time but zero
+    /// play time) used to report a *perfect* rebuffer ratio of 0.0.
+    #[test]
+    fn rebuffer_ratio_stalled_forever_is_degraded_not_perfect() {
+        let stalled = StreamStats {
+            startup_ms: 0.0,
+            stalls: 3,
+            stall_ms: 1500.0,
+            bytes_fetched: 0,
+            wasted_bytes: 0,
+            play_ms: 0.0,
+            retries: 0,
+            timeouts: 0,
+            gave_up: 0,
+            conceal_ms: 0.0,
+        };
+        assert_eq!(stalled.rebuffer_ratio(), f64::INFINITY);
+        // And a normal session is unaffected by the fix.
+        let playing = StreamStats { play_ms: 1000.0, ..stalled };
+        assert!((playing.rebuffer_ratio() - 1.5).abs() < 1e-12);
+    }
+
     // ---- fault-injection coverage ----------------------------------
 
     #[test]
@@ -734,5 +889,80 @@ mod tests {
         assert_eq!(d4, 2000.0, "capped at max_timeout_ms");
         // Jitter adds at most jitter_ms.
         assert!(retry.deadline_ms(0, 0.999) < d0 + retry.jitter_ms);
+    }
+
+    #[test]
+    fn obs_observed_sim_matches_unobserved_and_counters_match_stats() {
+        let map = setup();
+        let link = LinkModel::mbps(1.0, 30.0).unwrap();
+        let plan = FaultPlan::new(99).with_loss(0.2).unwrap().with_corruption(0.1).unwrap();
+        let unobserved = simulate_faulty(
+            &map,
+            &FaultyLink::new(link, plan),
+            PrefetchPolicy::Linear { lookahead: 1 },
+            &RetryPolicy::default(),
+            &linear_trace(),
+        )
+        .unwrap();
+        let obs = Obs::recording();
+        let observed = simulate_faulty_observed(
+            &map,
+            &FaultyLink::new(link, plan),
+            PrefetchPolicy::Linear { lookahead: 1 },
+            &RetryPolicy::default(),
+            &linear_trace(),
+            &obs,
+            "stream-0000".into(),
+        )
+        .unwrap();
+        // Observability must not perturb the simulation.
+        assert_eq!(observed, unobserved);
+        // The registry's independent tally agrees with StreamStats exactly.
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter_total("fetch.retries"), observed.stats.retries as u64);
+        assert_eq!(snap.counter_total("fetch.timeouts"), observed.stats.timeouts as u64);
+        assert_eq!(snap.counter_total("fetch.gave_up"), observed.stats.gave_up as u64);
+        assert_eq!(snap.counter_total("fetch.gave_up"), observed.concealed.len() as u64);
+        assert_eq!(snap.counter_total("fetch.delivered"), observed.delivered.len() as u64);
+        assert_eq!(snap.counter_total("session.stalls"), observed.stats.stalls as u64);
+        // The trace is a session root with one dwell per trace step.
+        assert_eq!(snap.traces.len(), 1);
+        let trace = &snap.traces[0];
+        assert_eq!(trace.label, "stream-0000");
+        assert_eq!(trace.spans[0].name, "session");
+        let dwells = trace.spans.iter().filter(|s| s.name == "dwell").count();
+        assert_eq!(dwells, 4, "one dwell span per trace step");
+        // Spans run on the simulated clock, microsecond units. The two
+        // f64 sums accumulate in different orders, so allow 1 µs of
+        // rounding slack.
+        let session = trace.spans[0];
+        let total_ms =
+            observed.stats.startup_ms + observed.stats.play_ms + observed.stats.stall_ms
+                + observed.stats.conceal_ms;
+        let diff = session.end_us.abs_diff(us_from_ms(total_ms));
+        assert!(diff <= 1, "session end {} vs stats total {}", session.end_us, total_ms);
+    }
+
+    #[test]
+    fn obs_observed_sim_exports_are_byte_identical_across_runs() {
+        let map = setup();
+        let link = LinkModel::mbps(1.0, 30.0).unwrap();
+        let run = || {
+            let obs = Obs::recording();
+            let plan = FaultPlan::new(7).with_loss(0.3).unwrap();
+            simulate_faulty_observed(
+                &map,
+                &FaultyLink::new(link, plan),
+                PrefetchPolicy::None,
+                &RetryPolicy::default(),
+                &linear_trace(),
+                &obs,
+                "stream-0000".into(),
+            )
+            .unwrap();
+            let snap = obs.snapshot();
+            (snap.to_table(), snap.metrics_csv(), snap.spans_csv(), snap.to_jsonl())
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -32,7 +32,8 @@ pub mod prefetch;
 
 pub use chunk::{ChunkId, ChunkMap};
 pub use client::{
-    simulate, simulate_faulty, FaultyStreamReport, RetryPolicy, StreamStats, TraceStep,
+    simulate, simulate_faulty, simulate_faulty_observed, simulate_observed, FaultyStreamReport,
+    RetryPolicy, StreamStats, TraceStep,
 };
 pub use fault::{ChunkFault, FaultPlan, FaultyLink};
 pub use link::{Link, LinkModel, VariableLink};
@@ -49,6 +50,9 @@ pub enum StreamError {
     EmptyVideo,
     /// Decoding a GOP for cache warming failed.
     Decode(String),
+    /// The video has more GOP-chunks than a `u32` chunk id can address
+    /// (carries the first out-of-range index).
+    TooManyChunks(usize),
 }
 
 impl std::fmt::Display for StreamError {
@@ -58,6 +62,9 @@ impl std::fmt::Display for StreamError {
             StreamError::InvalidLink(msg) => write!(f, "invalid link model: {msg}"),
             StreamError::EmptyVideo => write!(f, "no chunks to stream"),
             StreamError::Decode(msg) => write!(f, "decode during warm-up failed: {msg}"),
+            StreamError::TooManyChunks(i) => {
+                write!(f, "chunk index {i} exceeds the u32 chunk-id space")
+            }
         }
     }
 }

@@ -1,0 +1,70 @@
+//! Pins the workspace-wide empty-input convention for ratio metrics in
+//! one table-driven test.
+//!
+//! The convention: **on empty input, every ratio metric returns its
+//! perfect value** — `1.0` for higher-is-better metrics (hit rates,
+//! completion, delivery), `0.0` for lower-is-better metrics (waste,
+//! rebuffer, conceal). Before this was unified, `hit_rate` and
+//! `completion_rate` returned `0.0` (the *worst* value for their
+//! semantics) while `delivery_ratio` returned `1.0`, so "no data yet"
+//! read as a catastrophe on some dashboards and perfection on others.
+
+use vgbl_media::GopCache;
+use vgbl_runtime::analytics::{DecodeReuse, LearningReport, ResilienceReport};
+use vgbl_stream::StreamStats;
+
+fn empty_stream_stats() -> StreamStats {
+    StreamStats {
+        startup_ms: 0.0,
+        stalls: 0,
+        stall_ms: 0.0,
+        bytes_fetched: 0,
+        wasted_bytes: 0,
+        play_ms: 0.0,
+        retries: 0,
+        timeouts: 0,
+        gave_up: 0,
+        conceal_ms: 0.0,
+    }
+}
+
+#[test]
+fn empty_input_ratios_return_their_perfect_value() {
+    let stream = empty_stream_stats();
+    let cache = GopCache::new(4);
+    let reuse = DecodeReuse::from_cache(&cache.stats());
+    let learning = LearningReport::from_sessions(std::iter::empty());
+    let resilience = ResilienceReport::from_sessions(&[], &[]);
+
+    // (metric, observed, perfect value under the convention)
+    let table: &[(&str, f64, f64)] = &[
+        // Higher is better → perfect value is 1.0.
+        ("CacheStats::hit_rate", cache.stats().hit_rate(), 1.0),
+        ("DecodeReuse::hit_rate", reuse.hit_rate(), 1.0),
+        ("LearningReport::completion_rate", learning.completion_rate(), 1.0),
+        ("StreamStats::delivery_ratio", stream.delivery_ratio(), 1.0),
+        ("ResilienceReport::avg_delivery_ratio", resilience.avg_delivery_ratio, 1.0),
+        // Lower is better → perfect value is 0.0.
+        ("StreamStats::waste_ratio", stream.waste_ratio(), 0.0),
+        ("StreamStats::rebuffer_ratio", stream.rebuffer_ratio(), 0.0),
+        ("ResilienceReport::conceal_ratio", resilience.conceal_ratio(), 0.0),
+        ("ResilienceReport::rebuffer_ratio", resilience.rebuffer_ratio(), 0.0),
+    ];
+    for (name, observed, perfect) in table {
+        assert_eq!(
+            observed, perfect,
+            "{name}: empty input must return its perfect value {perfect}, got {observed}"
+        );
+    }
+}
+
+#[test]
+fn degenerate_stalled_input_is_not_empty_input() {
+    // A session (or cohort) that stalled without playing is the worst
+    // playback, not an empty one: the lower-is-better rebuffer ratio
+    // must degrade to infinity, never report the perfect 0.0.
+    let stalled = StreamStats { stall_ms: 750.0, ..empty_stream_stats() };
+    assert_eq!(stalled.rebuffer_ratio(), f64::INFINITY);
+    let cohort = ResilienceReport::from_sessions(&[stalled], &[]);
+    assert_eq!(cohort.rebuffer_ratio(), f64::INFINITY);
+}

@@ -291,3 +291,138 @@ mod save_props {
         }
     }
 }
+
+/// `SessionLog::to_csv` is the instructor-facing interchange format, so
+/// it must round-trip through any minimal RFC-4180 reader for arbitrary
+/// content — including fields containing commas, quotes, `\n` and `\r`.
+mod session_log_csv {
+    use super::*;
+    use vgbl::runtime::{LogEvent, SessionLog};
+
+    /// A minimal RFC-4180 parser: quoted fields with `""` escapes, `,`
+    /// separators, rows ending in LF or CRLF. Anything `to_csv` emits
+    /// that this cannot reassemble is an escaping bug.
+    fn parse_csv(s: &str) -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        let mut row = Vec::new();
+        let mut field = String::new();
+        let mut in_quotes = false;
+        let mut chars = s.chars().peekable();
+        while let Some(c) = chars.next() {
+            if in_quotes {
+                if c == '"' {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                } else {
+                    field.push(c);
+                }
+            } else {
+                match c {
+                    '"' => in_quotes = true,
+                    ',' => row.push(std::mem::take(&mut field)),
+                    // A compliant reader ends the row at CR, CRLF or LF;
+                    // an unquoted carriage return therefore *breaks* row
+                    // structure — exactly the bug this property pins.
+                    '\r' | '\n' => {
+                        if c == '\r' && chars.peek() == Some(&'\n') {
+                            chars.next();
+                        }
+                        row.push(std::mem::take(&mut field));
+                        rows.push(std::mem::take(&mut row));
+                    }
+                    _ => field.push(c),
+                }
+            }
+        }
+        if !field.is_empty() || !row.is_empty() {
+            row.push(field);
+            rows.push(row);
+        }
+        rows
+    }
+
+    /// Strings that stress every quoting rule at once.
+    fn awkward() -> impl Strategy<Value = String> {
+        proptest::collection::vec(
+            prop_oneof![
+                Just('a'),
+                Just('Z'),
+                Just(' '),
+                Just(','),
+                Just('"'),
+                Just('\n'),
+                Just('\r'),
+                Just('é'),
+                Just('中'),
+            ],
+            0..10,
+        )
+        .prop_map(|cs| cs.into_iter().collect())
+    }
+
+    fn log_event() -> impl Strategy<Value = LogEvent> {
+        prop_oneof![
+            (0u64..1_000_000, awkward())
+                .prop_map(|(t_ms, name)| LogEvent::ScenarioEntered { t_ms, name }),
+            (0u64..1_000_000, awkward(), awkward()).prop_map(|(t_ms, scenario, object)| {
+                LogEvent::ObjectExamined { t_ms, scenario, object }
+            }),
+            (0u64..1_000_000, awkward(), awkward())
+                .prop_map(|(t_ms, item, object)| LogEvent::ItemUsed { t_ms, item, object }),
+            (0u64..1_000_000, awkward())
+                .prop_map(|(t_ms, item)| LogEvent::ItemTaken { t_ms, item }),
+            (0u64..1_000_000, -500i64..500)
+                .prop_map(|(t_ms, delta)| LogEvent::ScoreDelta { t_ms, delta }),
+            (0u64..1_000_000, awkward())
+                .prop_map(|(t_ms, outcome)| LogEvent::Ended { t_ms, outcome }),
+        ]
+    }
+
+    /// What `to_csv` should put in the `(t_ms, event, a, b)` columns.
+    fn expected(e: &LogEvent) -> (u64, &'static str, String, String) {
+        match e {
+            LogEvent::ScenarioEntered { t_ms, name } => {
+                (*t_ms, "scenario_entered", name.clone(), String::new())
+            }
+            LogEvent::ObjectExamined { t_ms, scenario, object } => {
+                (*t_ms, "object_examined", scenario.clone(), object.clone())
+            }
+            LogEvent::ItemUsed { t_ms, item, object } => {
+                (*t_ms, "item_used", item.clone(), object.clone())
+            }
+            LogEvent::ItemTaken { t_ms, item } => (*t_ms, "item_taken", item.clone(), String::new()),
+            LogEvent::ScoreDelta { t_ms, delta } => {
+                (*t_ms, "score_delta", delta.to_string(), String::new())
+            }
+            LogEvent::Ended { t_ms, outcome } => (*t_ms, "ended", outcome.clone(), String::new()),
+            _ => unreachable!("strategy only builds the variants above"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        #[test]
+        fn session_log_csv_roundtrips(events in proptest::collection::vec(log_event(), 0..12)) {
+            let mut log = SessionLog::new();
+            for e in events.clone() {
+                log.push(e);
+            }
+            let rows = parse_csv(&log.to_csv());
+            prop_assert_eq!(rows.len(), events.len() + 1, "one row per event plus the header");
+            prop_assert_eq!(rows[0].join("\u{1}"), "t_ms\u{1}event\u{1}a\u{1}b");
+            for (row, e) in rows[1..].iter().zip(&events) {
+                prop_assert_eq!(row.len(), 4, "every row has 4 columns");
+                let (t_ms, kind, a, b) = expected(e);
+                prop_assert_eq!(&row[0], &t_ms.to_string());
+                prop_assert_eq!(&row[1], kind);
+                prop_assert_eq!(&row[2], &a);
+                prop_assert_eq!(&row[3], &b);
+            }
+        }
+    }
+}
