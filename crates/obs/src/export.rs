@@ -51,6 +51,7 @@ impl Snapshot {
         for row in &self.metrics {
             let value = match &row.value {
                 MetricValue::Counter(v) => format!("{v}"),
+                MetricValue::Gauge(v) => format!("max={v}"),
                 MetricValue::Histogram(h) => format!(
                     "n={} sum={} min={} max={} p50={} p90={} p99={}",
                     h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
@@ -88,6 +89,7 @@ impl Snapshot {
         for row in &self.metrics {
             let cells = match &row.value {
                 MetricValue::Counter(v) => format!("counter,{v},,,,,,"),
+                MetricValue::Gauge(v) => format!("gauge,{v},,,,,,"),
                 MetricValue::Histogram(h) => format!(
                     "histogram,{},{},{},{},{},{},{}",
                     h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
@@ -130,6 +132,7 @@ impl Snapshot {
         for row in &self.metrics {
             let value = match &row.value {
                 MetricValue::Counter(v) => format!("\"kind\":\"counter\",\"value\":{v}"),
+                MetricValue::Gauge(v) => format!("\"kind\":\"gauge\",\"value\":{v}"),
                 MetricValue::Histogram(h) => format!(
                     "\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}",
                     h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99

@@ -55,7 +55,7 @@ pub mod metrics;
 pub mod span;
 
 pub use metrics::{
-    Counter, Histogram, HistogramSnapshot, MetricRow, MetricValue, Obs, Snapshot,
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricRow, MetricValue, Obs, Snapshot,
 };
 pub use span::{SpanRec, SpanRecorder, Trace};
 

@@ -125,6 +125,7 @@ impl HistCell {
 #[derive(Debug, Clone)]
 enum Cell {
     Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
     Histogram(Arc<HistCell>),
 }
 
@@ -150,7 +151,7 @@ impl Registry {
         let mut shard = self.shard(&key).lock().expect("registry shard poisoned");
         match shard.entry(key).or_insert_with(|| Cell::Counter(Arc::new(AtomicU64::new(0)))) {
             Cell::Counter(c) => c.clone(),
-            Cell::Histogram(_) => {
+            Cell::Gauge(_) | Cell::Histogram(_) => {
                 debug_assert!(false, "metric registered under both kinds");
                 Arc::new(AtomicU64::new(0))
             }
@@ -161,9 +162,22 @@ impl Registry {
         let mut shard = self.shard(&key).lock().expect("registry shard poisoned");
         match shard.entry(key).or_insert_with(|| Cell::Histogram(Arc::new(HistCell::new()))) {
             Cell::Histogram(h) => h.clone(),
-            Cell::Counter(_) => {
+            Cell::Counter(_) | Cell::Gauge(_) => {
                 debug_assert!(false, "metric registered under both kinds");
                 Arc::new(HistCell::new())
+            }
+        }
+    }
+
+    /// Resolves (registering on first use) the high-water gauge under
+    /// `key`, with the same kind-clash policy as [`Registry::counter`].
+    fn gauge(&self, key: Key) -> Arc<AtomicU64> {
+        let mut shard = self.shard(&key).lock().expect("registry shard poisoned");
+        match shard.entry(key).or_insert_with(|| Cell::Gauge(Arc::new(AtomicU64::new(0)))) {
+            Cell::Gauge(g) => g.clone(),
+            Cell::Counter(_) | Cell::Histogram(_) => {
+                debug_assert!(false, "metric registered under both kinds");
+                Arc::new(AtomicU64::new(0))
             }
         }
     }
@@ -175,6 +189,7 @@ impl Registry {
             for (key, cell) in shard.iter() {
                 let value = match cell {
                     Cell::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                    Cell::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
                     Cell::Histogram(h) => MetricValue::Histogram(h.snapshot()),
                 };
                 rows.push(MetricRow { name: key.name, labels: key.labels.clone(), value });
@@ -212,6 +227,31 @@ impl Counter {
     /// Current value (0 for a noop handle).
     pub fn get(&self) -> u64 {
         self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A high-water gauge handle: [`Gauge::observe`] keeps the maximum of
+/// everything observed, which is commutative, so concurrent observers
+/// still snapshot to a scheduling-independent value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A detached no-op gauge.
+    pub fn noop() -> Gauge {
+        Gauge(None)
+    }
+
+    /// Raises the gauge to `value` if it is above the current high water.
+    pub fn observe(&self, value: u64) {
+        if let Some(g) = &self.0 {
+            g.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current high-water value (0 for a noop handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
     }
 }
 
@@ -265,11 +305,13 @@ pub struct MetricRow {
     pub value: MetricValue,
 }
 
-/// A counter value or a histogram snapshot.
+/// A counter value, a gauge high water, or a histogram snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MetricValue {
     /// Monotonic counter.
     Counter(u64),
+    /// High-water gauge.
+    Gauge(u64),
     /// Histogram summary.
     Histogram(HistogramSnapshot),
 }
@@ -294,9 +336,23 @@ impl Snapshot {
             .filter(|r| r.name == name)
             .map(|r| match &r.value {
                 MetricValue::Counter(v) => *v,
-                MetricValue::Histogram(_) => 0,
+                MetricValue::Gauge(_) | MetricValue::Histogram(_) => 0,
             })
             .sum()
+    }
+
+    /// The high water of the gauge `name`, maxed over every label set it
+    /// was registered with (0 if absent).
+    pub fn gauge_max(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|r| r.name == name)
+            .map(|r| match &r.value {
+                MetricValue::Gauge(v) => *v,
+                MetricValue::Counter(_) | MetricValue::Histogram(_) => 0,
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// The snapshot of the histogram `name` (first matching label set).
@@ -372,6 +428,16 @@ impl Obs {
             Some(inner) => Counter(Some(
                 inner.registry.counter(Key { name, labels: labels.to_vec() }),
             )),
+        }
+    }
+
+    /// Resolves (registering on first use) a high-water gauge.
+    pub fn gauge(&self, name: &'static str, labels: &[(&'static str, &'static str)]) -> Gauge {
+        match &self.inner {
+            None => Gauge::noop(),
+            Some(inner) => {
+                Gauge(Some(inner.registry.gauge(Key { name, labels: labels.to_vec() })))
+            }
         }
     }
 
@@ -528,6 +594,23 @@ mod tests {
         assert_eq!(snap.span_duration_us("dwell"), 80);
         assert_eq!(snap.span_duration_us("session"), 80);
         assert_eq!(snap.span_count("missing"), 0);
+    }
+
+    #[test]
+    fn obs_gauge_keeps_high_water() {
+        let obs = Obs::recording();
+        let g = obs.gauge("queue.depth.max", &[("pillar", "runtime")]);
+        g.observe(5);
+        g.observe(3);
+        assert_eq!(g.get(), 5, "lower observations never pull the gauge down");
+        g.observe(9);
+        let snap = obs.snapshot();
+        assert_eq!(snap.gauge_max("queue.depth.max"), 9);
+        assert_eq!(snap.counter_total("queue.depth.max"), 0, "gauges are not counters");
+        let noop = Gauge::noop();
+        noop.observe(100);
+        assert_eq!(noop.get(), 0);
+        assert_eq!(Obs::noop().gauge("g", &[]).get(), 0);
     }
 
     #[test]

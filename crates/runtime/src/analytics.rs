@@ -428,6 +428,69 @@ impl ResilienceReport {
     }
 }
 
+/// Order statistics over a batch of simulated-millisecond latencies
+/// (queue waits, recovery latencies — EXP-14's table columns).
+///
+/// Exact nearest-rank percentiles over the full sample set, unlike the
+/// obs histogram's power-of-two bucket bounds: the report wants the real
+/// p99, the registry wants O(1) memory. Deterministic — the samples are
+/// sorted, so accumulation order never shows through.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sum of all samples, ms.
+    pub sum_ms: f64,
+    /// Smallest sample (0 when empty).
+    pub min_ms: f64,
+    /// Largest sample (0 when empty).
+    pub max_ms: f64,
+    /// Median (nearest-rank; 0 when empty).
+    pub p50_ms: f64,
+    /// 99th percentile (nearest-rank; 0 when empty).
+    pub p99_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarises `samples` (order-insensitive; the input is not
+    /// modified). Empty input yields all-zero statistics.
+    pub fn from_samples_ms(samples: &[f64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                sum_ms: 0.0,
+                min_ms: 0.0,
+                max_ms: 0.0,
+                p50_ms: 0.0,
+                p99_ms: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples must not be NaN"));
+        let nearest = |p: usize| {
+            let rank = (sorted.len() * p).div_ceil(100).max(1);
+            sorted[rank - 1]
+        };
+        LatencySummary {
+            count: sorted.len(),
+            sum_ms: sorted.iter().sum(),
+            min_ms: sorted[0],
+            max_ms: sorted[sorted.len() - 1],
+            p50_ms: nearest(50),
+            p99_ms: nearest(99),
+        }
+    }
+
+    /// Mean sample, ms (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ms / self.count as f64
+        }
+    }
+}
+
 /// Aggregate learning metrics over a cohort of sessions (EXP-9).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LearningReport {
@@ -655,6 +718,30 @@ mod tests {
     }
 
     #[test]
+    fn latency_summary_is_exact_and_order_insensitive() {
+        let empty = LatencySummary::from_samples_ms(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p99_ms, 0.0);
+        assert_eq!(empty.mean_ms(), 0.0);
+
+        let forward: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let a = LatencySummary::from_samples_ms(&forward);
+        let b = LatencySummary::from_samples_ms(&reversed);
+        assert_eq!(a, b, "sample order must not show through");
+        assert_eq!(a.count, 100);
+        assert_eq!(a.min_ms, 1.0);
+        assert_eq!(a.max_ms, 100.0);
+        assert_eq!(a.p50_ms, 50.0, "exact nearest-rank median");
+        assert_eq!(a.p99_ms, 99.0, "exact nearest-rank p99");
+        assert_eq!(a.mean_ms(), 50.5);
+
+        let single = LatencySummary::from_samples_ms(&[7.5]);
+        assert_eq!((single.min_ms, single.p50_ms, single.p99_ms, single.max_ms), (7.5, 7.5, 7.5, 7.5));
+    }
+
+    #[test]
     fn fault_resilience_report_aggregates_and_reproduces() {
         use crate::server::SessionOutcome;
         let s = |retries, timeouts, gave_up, conceal_ms, play_ms| vgbl_stream::StreamStats {
@@ -668,6 +755,7 @@ mod tests {
             timeouts,
             gave_up,
             conceal_ms,
+            fast_failed: 0,
         };
         let stats = vec![s(3, 2, 1, 100.0, 900.0), s(0, 0, 0, 0.0, 1000.0)];
         let outcomes = vec![

@@ -29,6 +29,7 @@ use crate::error::RuntimeError;
 use crate::feedback::Feedback;
 use crate::input::InputEvent;
 use crate::inventory::Inventory;
+use crate::save::SaveGame;
 use crate::state::{GameEnv, GameState};
 use crate::Result;
 
@@ -190,6 +191,45 @@ impl GameSession {
             dialogue: None,
             obs: EngObs::default(),
         })
+    }
+
+    /// Snapshots everything needed to resume this session bit-exactly:
+    /// a [`SaveGame`] capture plus the engine transients a plain save
+    /// deliberately drops (the open dialogue and the timers already
+    /// fired this scenario entry). The supervisor's checkpoint store
+    /// holds these.
+    pub fn checkpoint(&self) -> SaveGame {
+        let mut save = SaveGame::capture(&self.graph, &self.state, &self.inventory);
+        save.dialogue = self.dialogue.as_ref().map(|d| (d.npc.clone(), d.node));
+        save.fired_timers = self.fired_timers.clone();
+        save
+    }
+
+    /// Restores a session from a checkpoint, reinstating the engine
+    /// transients [`GameSession::restore`] clears: an open dialogue
+    /// resumes at its node, and fired timers stay fired instead of
+    /// firing twice. The restored session's log starts empty — replaying
+    /// the post-checkpoint inputs reproduces the original log tail
+    /// bit-identically.
+    ///
+    /// # Errors
+    /// [`RuntimeError::SaveMismatch`] when the checkpoint belongs to a
+    /// different graph; [`RuntimeError::UnknownScenario`] when its
+    /// scenario no longer exists.
+    pub fn restore_checkpoint(
+        graph: Arc<SceneGraph>,
+        config: SessionConfig,
+        save: &SaveGame,
+    ) -> Result<GameSession> {
+        save.verify(&graph)?;
+        let mut session =
+            GameSession::restore(graph, config, save.state.clone(), save.inventory.clone())?;
+        session.fired_timers = save.fired_timers.clone();
+        session.dialogue = save
+            .dialogue
+            .as_ref()
+            .map(|(npc, node)| DialogueState { npc: npc.clone(), node: *node });
+        Ok(session)
     }
 
     /// Routes engine counters (`engine.inputs` / `engine.dispatches` /

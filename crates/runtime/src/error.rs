@@ -26,6 +26,8 @@ pub enum RuntimeError {
         /// The scenario where the budget ran out.
         at: String,
     },
+    /// A supervisor configuration or arrival plan failed validation.
+    InvalidSupervisor(String),
     /// A save-game payload failed to parse.
     CorruptSave(String),
     /// The save game belongs to a different game (content mismatch).
@@ -47,6 +49,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::TransitionLoop { at } => {
                 write!(f, "scenario transition loop detected at `{at}`")
+            }
+            RuntimeError::InvalidSupervisor(msg) => {
+                write!(f, "invalid supervisor configuration: {msg}")
             }
             RuntimeError::CorruptSave(msg) => write!(f, "corrupt save game: {msg}"),
             RuntimeError::SaveMismatch(msg) => write!(f, "save game mismatch: {msg}"),

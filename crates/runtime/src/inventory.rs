@@ -21,9 +21,20 @@ impl Inventory {
         Inventory::default()
     }
 
-    /// Adds one unit of `item`.
+    /// Adds one unit of `item` (saturating at `u32::MAX` units).
     pub fn add(&mut self, item: impl Into<String>) {
-        *self.items.entry(item.into()).or_insert(0) += 1;
+        self.add_many(item, 1);
+    }
+
+    /// Adds `count` units of `item` in one step (saturating at
+    /// `u32::MAX` units). Adding zero units is a no-op — it does *not*
+    /// create an empty entry, so `has` stays consistent with `count`.
+    pub fn add_many(&mut self, item: impl Into<String>, count: u32) {
+        if count == 0 {
+            return;
+        }
+        let entry = self.items.entry(item.into()).or_insert(0);
+        *entry = entry.saturating_add(count);
     }
 
     /// Removes one unit of `item`; returns whether a unit was present.
@@ -62,9 +73,9 @@ impl Inventory {
         self.items.len()
     }
 
-    /// Total units across all items.
+    /// Total units across all items (saturating at `u32::MAX`).
     pub fn total_units(&self) -> u32 {
-        self.items.values().sum()
+        self.items.values().fold(0u32, |acc, &n| acc.saturating_add(n))
     }
 
     /// Grants a reward object; duplicates are ignored (an achievement is
@@ -116,6 +127,20 @@ mod tests {
         assert!(!inv.has("coin"));
         assert!(!inv.remove("coin"));
         assert_eq!(inv.count("ghost"), 0);
+    }
+
+    #[test]
+    fn add_many_is_bulk_and_saturating() {
+        let mut inv = Inventory::new();
+        inv.add_many("coin", 3);
+        assert_eq!(inv.count("coin"), 3);
+        inv.add_many("coin", u32::MAX);
+        assert_eq!(inv.count("coin"), u32::MAX, "saturates, never wraps");
+        inv.add("coin");
+        assert_eq!(inv.count("coin"), u32::MAX);
+        inv.add_many("ghost", 0);
+        assert!(!inv.has("ghost"), "zero units create no entry");
+        assert_eq!(inv.distinct_items(), 1);
     }
 
     #[test]

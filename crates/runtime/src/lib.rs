@@ -27,6 +27,9 @@
 //!   ring + OK/TAKE/digit buttons, so the game is playable without a
 //!   pointer).
 //! * [`server`] — a parallel multi-session host (EXP-8).
+//! * [`supervisor`] — the supervised host (EXP-14): admission control,
+//!   load shedding, a degradation ladder, circuit breaking on the
+//!   stream link, and checkpoint-based crash recovery.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -46,8 +49,11 @@ pub mod render;
 pub mod save;
 pub mod server;
 pub mod state;
+pub mod supervisor;
 
-pub use analytics::{DecodeReuse, LearningReport, LogEvent, ResilienceReport, SessionLog};
+pub use analytics::{
+    DecodeReuse, LatencySummary, LearningReport, LogEvent, ResilienceReport, SessionLog,
+};
 pub use bot::{run_session, run_session_observed, Bot, BotRun, ExplorerBot, GuidedBot, RandomBot};
 pub use device::{RemoteButton, RemoteControl};
 pub use engine::{GameSession, SessionConfig};
@@ -62,6 +68,10 @@ pub use server::{
     ServerReport, SessionOutcome,
 };
 pub use state::GameState;
+pub use supervisor::{
+    resume_session, run_supervised_cohort, run_supervised_cohort_observed, ArrivalPlan,
+    RecoveryRecord, ServiceMode, SupervisedBotFactory, SupervisorConfig, SupervisorReport,
+};
 
 /// Result alias for runtime operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -22,6 +22,7 @@
 //! ```
 
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
 
 use vgbl_scene::SceneGraph;
@@ -35,6 +36,13 @@ use crate::Result;
 pub const SAVE_VERSION: u32 = 1;
 
 /// A serialisable snapshot of a session.
+///
+/// [`SaveGame::capture`] records only the durable player state (the
+/// classic "save file"). [`crate::GameSession::checkpoint`] additionally
+/// fills the two engine-transient fields — the open dialogue and the
+/// already-fired timers — so a crashed session restored from a
+/// checkpoint replays bit-identically instead of re-firing timers or
+/// forgetting an open conversation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SaveGame {
     /// Hash of the game content the save belongs to.
@@ -43,6 +51,12 @@ pub struct SaveGame {
     pub state: GameState,
     /// The player's backpack.
     pub inventory: Inventory,
+    /// Open dialogue, as `(npc, node)` (checkpoint-only; `None` in a
+    /// plain capture).
+    pub dialogue: Option<(String, u32)>,
+    /// Scenario-timer thresholds (ms) that already fired this scenario
+    /// entry (checkpoint-only; empty in a plain capture).
+    pub fired_timers: BTreeSet<u64>,
 }
 
 /// A stable hash of the game content (scenario names, in order, plus
@@ -65,6 +79,8 @@ impl SaveGame {
             game_hash: content_hash(graph),
             state: state.clone(),
             inventory: inventory.clone(),
+            dialogue: None,
+            fired_timers: BTreeSet::new(),
         }
     }
 
@@ -98,6 +114,14 @@ impl SaveGame {
         if let Some(outcome) = &self.state.ended {
             out.push_str(&format!("ended {outcome}\n"));
         }
+        // Checkpoint-only engine transients. Node before npc: the npc
+        // name may contain spaces, the node number never does.
+        if let Some((npc, node)) = &self.dialogue {
+            out.push_str(&format!("dialogue {node} {npc}\n"));
+        }
+        for ms in &self.fired_timers {
+            out.push_str(&format!("fired {ms}\n"));
+        }
         out
     }
 
@@ -123,6 +147,8 @@ impl SaveGame {
         let mut game_hash: Option<u64> = None;
         let mut state = GameState::default();
         let mut inventory = Inventory::new();
+        let mut dialogue: Option<(String, u32)> = None;
+        let mut fired_timers: BTreeSet<u64> = BTreeSet::new();
         state.visited.clear();
 
         for line in lines {
@@ -181,9 +207,9 @@ impl SaveGame {
                         .rsplit_once(' ')
                         .ok_or_else(|| corrupt("bad item line"))?;
                     let count: u32 = count.parse().map_err(|_| corrupt("bad item count"))?;
-                    for _ in 0..count {
-                        inventory.add(name);
-                    }
+                    // O(1) bulk add: an adversarial `item x 4294967295`
+                    // line must not cost four billion iterations.
+                    inventory.add_many(name, count);
                 }
                 "reward" => {
                     inventory.award(rest.trim());
@@ -195,6 +221,20 @@ impl SaveGame {
                     state.examined.insert(rest.trim().to_owned());
                 }
                 "ended" => state.ended = Some(rest.trim().to_owned()),
+                "dialogue" => {
+                    let (node, npc) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| corrupt("bad dialogue line"))?;
+                    let node: u32 = node.parse().map_err(|_| corrupt("bad dialogue node"))?;
+                    if npc.is_empty() {
+                        return Err(corrupt("bad dialogue npc"));
+                    }
+                    dialogue = Some((npc.to_owned(), node));
+                }
+                "fired" => {
+                    let ms: u64 = rest.trim().parse().map_err(|_| corrupt("bad timer"))?;
+                    fired_timers.insert(ms);
+                }
                 other => return Err(corrupt(&format!("unknown key `{other}`"))),
             }
         }
@@ -203,7 +243,7 @@ impl SaveGame {
         if state.current_scenario.is_empty() {
             return Err(corrupt("missing scenario"));
         }
-        Ok(SaveGame { game_hash, state, inventory })
+        Ok(SaveGame { game_hash, state, inventory, dialogue, fired_timers })
     }
 
     /// Verifies the save belongs to `graph`.
@@ -284,6 +324,35 @@ mod tests {
             "vgbl-save 1\ngame 0\nscenario x\nitem fan x\n",   // bad count
             "vgbl-save 1\ngame 0\nscenario x\nwarp 1\n",       // unknown key
             "vgbl-save 1\ngame 0\nscenario x\nclock 5\n",      // short clock
+        ] {
+            assert!(SaveGame::from_text(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_fields_roundtrip() {
+        let mut save = sample_save();
+        save.dialogue = Some(("shop keeper".into(), 3));
+        save.fired_timers.extend([5_000u64, 30_000]);
+        let text = save.to_text();
+        let back = SaveGame::from_text(&text).unwrap();
+        assert_eq!(back, save);
+        assert_eq!(back.dialogue.as_ref().unwrap().0, "shop keeper", "npc keeps its spaces");
+        // And a plain capture stays free of transients.
+        assert_eq!(sample_save().dialogue, None);
+        assert!(sample_save().fired_timers.is_empty());
+    }
+
+    #[test]
+    fn adversarial_item_count_parses_in_constant_space() {
+        // Regression: `item x 4294967295` used to loop 4 billion times.
+        let text = format!("vgbl-save 1\ngame 0\nscenario x\nitem x {}\n", u32::MAX);
+        let save = SaveGame::from_text(&text).unwrap();
+        assert_eq!(save.inventory.count("x"), u32::MAX);
+        for bad in [
+            "vgbl-save 1\ngame 0\nscenario x\ndialogue x npc\n", // bad node
+            "vgbl-save 1\ngame 0\nscenario x\ndialogue 3\n",     // missing npc
+            "vgbl-save 1\ngame 0\nscenario x\nfired later\n",    // bad timer
         ] {
             assert!(SaveGame::from_text(bad).is_err(), "accepted: {bad:?}");
         }

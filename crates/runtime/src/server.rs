@@ -35,6 +35,10 @@ use crate::Result;
 pub type BotFactory = dyn Fn(usize) -> Box<dyn Bot> + Sync;
 
 /// How one session of a cohort ended.
+///
+/// The plain cohort servers only produce `Completed`/`Failed`; the
+/// supervised server ([`crate::supervisor`]) adds the overload and
+/// recovery outcomes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SessionOutcome {
     /// The session ran to completion and contributed to the report.
@@ -45,17 +49,50 @@ pub enum SessionOutcome {
         /// Human-readable failure cause (error display or panic message).
         reason: String,
     },
+    /// The session was rejected by admission control before it ran
+    /// (queue full, or its queue wait exceeded the deadline).
+    Shed {
+        /// Why admission control rejected it.
+        reason: String,
+    },
+    /// The session panicked at least once but the supervisor restarted
+    /// it from a checkpoint and it ran to completion.
+    Recovered {
+        /// The decision step the last restart resumed from.
+        resumed_at_step: usize,
+        /// How many restarts it took.
+        restarts: u32,
+    },
+    /// The session kept panicking until its restart budget ran out.
+    GaveUp {
+        /// Restarts spent before giving up.
+        restarts: u32,
+        /// The final failure cause.
+        reason: String,
+    },
 }
 
 impl SessionOutcome {
-    /// Whether this session failed.
+    /// Whether this session failed outright (errored, panicked without
+    /// recovery, or exhausted its restart budget). Shed sessions are
+    /// *not* failures — they never ran.
     pub fn is_failed(&self) -> bool {
-        matches!(self, SessionOutcome::Failed { .. })
+        matches!(self, SessionOutcome::Failed { .. } | SessionOutcome::GaveUp { .. })
+    }
+
+    /// Whether admission control shed this session.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, SessionOutcome::Shed { .. })
+    }
+
+    /// Whether this session completed, with or without restarts.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, SessionOutcome::Completed | SessionOutcome::Recovered { .. })
     }
 }
 
 /// Turns a caught panic payload into a reportable reason string.
-fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         format!("panic: {s}")
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -657,7 +694,7 @@ mod tests {
             SessionOutcome::Failed { reason } => {
                 assert!(reason.contains("deliberately broken bot"), "{reason}");
             }
-            SessionOutcome::Completed => unreachable!(),
+            other => unreachable!("{other:?}"),
         }
         assert_eq!(
             report.outcomes.iter().filter(|o| !o.is_failed()).count(),
@@ -691,7 +728,7 @@ mod tests {
         }
         match &report.outcomes[1] {
             SessionOutcome::Failed { reason } => assert!(reason.contains("err-bot"), "{reason}"),
-            SessionOutcome::Completed => unreachable!(),
+            other => unreachable!("{other:?}"),
         }
     }
 

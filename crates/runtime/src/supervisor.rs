@@ -1,0 +1,1368 @@
+//! Supervised session hosting: admission control, load shedding,
+//! circuit breaking and checkpoint-based crash recovery.
+//!
+//! The plain cohort servers in [`crate::server`] accept every session and
+//! let failures stand. A distance-learning deployment cannot: when a
+//! lecture ends and a whole class logs in at once, the server must *shed*
+//! load it cannot serve in time rather than queue unboundedly, *degrade*
+//! service gracefully before that point, stop hammering a sick stream
+//! link (circuit breaking), and bring crashed sessions back from their
+//! last checkpoint instead of throwing the student's progress away.
+//!
+//! Everything here is a deterministic discrete-event simulation on
+//! simulated millisecond clocks — no wall time, no OS threads — so two
+//! identical runs produce byte-identical [`SupervisorReport`]s and obs
+//! exports, which is what the EXP-14 replay cross-check asserts.
+//!
+//! The moving parts:
+//!
+//! * [`ArrivalPlan`] — a seeded exponential arrival process, optionally
+//!   modulated by a [`LoadSpike`] (the after-lecture rush).
+//! * Admission control — a bounded queue ([`SupervisorConfig::queue_capacity`]);
+//!   arrivals beyond capacity are shed immediately, and queued sessions
+//!   whose wait exceeds [`SupervisorConfig::queue_deadline_ms`] are shed
+//!   when a slot would finally pick them up.
+//! * Degradation ladder — occupancy at admission picks a [`ServiceMode`]:
+//!   full service, skip prefetch warming, or concealment-only playback
+//!   at half the per-step cost.
+//! * Circuit breaker — prefetch warming runs through one shared
+//!   [`CircuitBreaker`] over the session's [`FaultPlan`]; an open breaker
+//!   fails fast instead of burning the [`RetryPolicy`] budget.
+//! * Checkpoint recovery — sessions checkpoint every
+//!   [`SupervisorConfig::checkpoint_every`] decisions via
+//!   [`GameSession::checkpoint`]; a panicking session restarts from its
+//!   last checkpoint with exponential backoff until
+//!   [`SupervisorConfig::restart_budget`] runs out.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use vgbl_obs::{us_from_ms, Counter, Gauge, Histogram, Obs, SpanRecorder};
+use vgbl_scene::SceneGraph;
+use vgbl_stream::{
+    BreakerConfig, BreakerStats, ChunkId, CircuitBreaker, FaultPlan, LoadSpike, RetryPolicy,
+};
+
+use crate::analytics::{LatencySummary, LearningReport, LogEvent, SessionLog};
+use crate::bot::{Bot, BotRun};
+use crate::engine::{GameSession, SessionConfig};
+use crate::error::RuntimeError;
+use crate::input::InputEvent;
+use crate::save::SaveGame;
+use crate::server::{panic_reason, SessionOutcome};
+use crate::state::GameState;
+use crate::Result;
+
+/// Event-type salts keeping the arrival and warm-jitter streams of one
+/// seed statistically independent (same scheme as `vgbl_stream::fault`).
+const SALT_ARRIVAL: u64 = 0x5000_0005;
+const SALT_WARM_JITTER: u64 = 0x6000_0006;
+
+/// splitmix64 finaliser: a well-mixed 64-bit hash of its input.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a uniform `f64` in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A deterministic session-arrival process: exponential inter-arrival
+/// gaps around a mean, hashed from a seed, optionally compressed inside
+/// a [`LoadSpike`] window (a spike factor of 4 quadruples the arrival
+/// rate while the window is open).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalPlan {
+    seed: u64,
+    mean_gap_ms: f64,
+    spike: Option<LoadSpike>,
+}
+
+impl ArrivalPlan {
+    /// A plan with exponential gaps averaging `mean_gap_ms`.
+    ///
+    /// # Errors
+    /// [`RuntimeError::InvalidSupervisor`] when `mean_gap_ms` is not a
+    /// positive finite number.
+    pub fn new(seed: u64, mean_gap_ms: f64) -> Result<ArrivalPlan> {
+        if !mean_gap_ms.is_finite() || mean_gap_ms <= 0.0 {
+            return Err(RuntimeError::InvalidSupervisor(
+                "mean arrival gap must be positive and finite".into(),
+            ));
+        }
+        Ok(ArrivalPlan { seed, mean_gap_ms, spike: None })
+    }
+
+    /// Compresses arrivals inside the spike window by its factor.
+    #[must_use]
+    pub fn with_spike(mut self, spike: LoadSpike) -> ArrivalPlan {
+        self.spike = Some(spike);
+        self
+    }
+
+    /// The first `n` arrival times in ms, strictly non-decreasing.
+    /// Deterministic in `(seed, mean_gap_ms, spike, n)`.
+    pub fn arrival_times(&self, n: usize) -> Vec<f64> {
+        let mut t = 0.0f64;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let u = unit(mix(self.seed ^ SALT_ARRIVAL ^ mix(i as u64)));
+            // Inverse-CDF exponential draw; u < 1 keeps it finite.
+            let gap = self.mean_gap_ms * -(1.0 - u).ln();
+            let factor = self.spike.as_ref().map_or(1.0, |s| s.factor_at(t));
+            t += gap / factor;
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// The degradation ladder: what level of service an admitted session
+/// gets, chosen from queue occupancy at admission time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceMode {
+    /// Full service: prefetch warming plus full-quality playback.
+    Full,
+    /// Skip prefetch warming; playback still runs at full quality.
+    SkipWarm,
+    /// Concealment-only playback at half the per-step service cost —
+    /// the cheapest way to keep serving rather than shedding.
+    ConcealOnly,
+}
+
+impl ServiceMode {
+    /// The mode for queue occupancy `occ` (a fraction of capacity,
+    /// counting the arriving session itself).
+    fn for_occupancy(occ: f64, cfg: &SupervisorConfig) -> ServiceMode {
+        if occ >= cfg.conceal_at {
+            ServiceMode::ConcealOnly
+        } else if occ >= cfg.degrade_at {
+            ServiceMode::SkipWarm
+        } else {
+            ServiceMode::Full
+        }
+    }
+}
+
+/// Tuning of the supervised server. All clocks are simulated ms.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Bounded admission-queue capacity; arrivals past it are shed.
+    pub queue_capacity: usize,
+    /// A queued session waiting longer than this is shed when a slot
+    /// would pick it up (its player has long since given up).
+    pub queue_deadline_ms: f64,
+    /// Concurrent service slots (simulated workers).
+    pub slots: usize,
+    /// Occupancy fraction at which warming is skipped ([`ServiceMode::SkipWarm`]).
+    pub degrade_at: f64,
+    /// Occupancy fraction at which playback degrades to concealment-only.
+    pub conceal_at: f64,
+    /// Checkpoint every this many decisions (0 = never checkpoint).
+    pub checkpoint_every: usize,
+    /// Restarts allowed per session before giving up.
+    pub restart_budget: u32,
+    /// Backoff before the first restart; doubles per further restart.
+    pub restart_backoff_ms: f64,
+    /// Prefetch-warming fetches per full-service session.
+    pub warm_fetches: u32,
+    /// Cost of one delivered warm fetch, ms.
+    pub warm_fetch_ms: f64,
+    /// Service cost per decision step, ms (halved under concealment).
+    pub step_ms: f64,
+    /// Decision budget per session (as in [`crate::bot::run_session`]).
+    pub max_steps: usize,
+    /// Clock tick injected after each decision, ms of game time.
+    pub tick_ms: u64,
+    /// Fault schedule the warm fetches run against.
+    pub warm_faults: FaultPlan,
+    /// Retry policy for warm fetches (deadlines burn simulated time).
+    pub retry: RetryPolicy,
+    /// Circuit breaker over the warm-fetch link, shared by all sessions.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            queue_capacity: 8,
+            queue_deadline_ms: 5_000.0,
+            slots: 2,
+            degrade_at: 0.5,
+            conceal_at: 0.85,
+            checkpoint_every: 5,
+            restart_budget: 2,
+            restart_backoff_ms: 250.0,
+            warm_fetches: 4,
+            warm_fetch_ms: 10.0,
+            step_ms: 25.0,
+            max_steps: 100,
+            tick_ms: 50,
+            warm_faults: FaultPlan::new(0x00C0_FFEE),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+impl SupervisorConfig {
+    fn validate(&self) -> Result<()> {
+        let bad = |msg: &str| RuntimeError::InvalidSupervisor(msg.into());
+        if self.queue_capacity == 0 {
+            return Err(bad("queue capacity must be at least 1"));
+        }
+        if self.slots == 0 {
+            return Err(bad("at least one service slot is required"));
+        }
+        if !self.queue_deadline_ms.is_finite() || self.queue_deadline_ms <= 0.0 {
+            return Err(bad("queue deadline must be positive and finite"));
+        }
+        for (name, v) in [("degrade_at", self.degrade_at), ("conceal_at", self.conceal_at)] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(bad(&format!("{name} must be in [0, 1]")));
+            }
+        }
+        if self.conceal_at < self.degrade_at {
+            return Err(bad("conceal_at must not be below degrade_at"));
+        }
+        if !self.restart_backoff_ms.is_finite() || self.restart_backoff_ms < 0.0 {
+            return Err(bad("restart backoff must be non-negative and finite"));
+        }
+        if !self.warm_fetch_ms.is_finite() || self.warm_fetch_ms < 0.0 {
+            return Err(bad("warm fetch cost must be non-negative and finite"));
+        }
+        if !self.step_ms.is_finite() || self.step_ms <= 0.0 {
+            return Err(bad("step cost must be positive and finite"));
+        }
+        if self.max_steps == 0 {
+            return Err(bad("the step budget must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// What the supervisor runs per admitted session: a factory producing a
+/// bot for session `i`, incarnation `r` (0 on first start, `k` after the
+/// `k`-th restart). Must be `Sync` to match the plain-server factories.
+pub type SupervisedBotFactory = dyn Fn(usize, u32) -> Box<dyn Bot> + Sync;
+
+/// One checkpoint held by the supervisor's in-memory store: the
+/// resumable save plus the step count and the stitched log prefix at
+/// capture time.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    save: SaveGame,
+    step: usize,
+    log: SessionLog,
+}
+
+/// The audit trail of one recovered session — enough to replay the
+/// post-restore tail independently and verify it bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryRecord {
+    /// Session index within the cohort.
+    pub session: usize,
+    /// Restarts spent before it completed.
+    pub restarts: u32,
+    /// The decision step the final restart resumed from.
+    pub resumed_at_step: usize,
+    /// The restored checkpoint as save-game text; `None` when the crash
+    /// preceded the first checkpoint and the restart began from scratch.
+    pub checkpoint: Option<String>,
+    /// The final incarnation's own log (post-restore events only).
+    pub tail: Vec<LogEvent>,
+}
+
+/// Aggregated outcome of a supervised cohort run. Derives `PartialEq`
+/// so determinism tests can compare whole reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorReport {
+    /// Sessions that arrived (admitted + shed).
+    pub sessions: usize,
+    /// Sessions a slot actually served.
+    pub admitted: usize,
+    /// Sessions rejected by admission control (queue full or deadline).
+    pub shed: usize,
+    /// Admitted sessions served below [`ServiceMode::Full`].
+    pub degraded: usize,
+    /// Sessions that completed without any restart.
+    pub completed: usize,
+    /// Sessions that completed after at least one checkpoint restart.
+    pub recovered: usize,
+    /// Sessions that failed with a typed error (never restarted).
+    pub failed: usize,
+    /// Sessions that exhausted their restart budget.
+    pub gave_up: usize,
+    /// Total restarts across the cohort.
+    pub restarts: u64,
+    /// The shared circuit breaker's counters after the run.
+    pub breaker: BreakerStats,
+    /// Warm fetches attempted (breaker allowed them).
+    pub warm_attempted: u64,
+    /// Warm fetches skipped because the breaker was open.
+    pub warm_skipped: u64,
+    /// Deepest the admission queue ever got.
+    pub peak_queue_depth: usize,
+    /// When the last slot went idle, simulated ms.
+    pub makespan_ms: f64,
+    /// Queue-wait statistics over served sessions.
+    pub queue_wait: LatencySummary,
+    /// Restart-backoff statistics over all restarts.
+    pub recovery_latency: LatencySummary,
+    /// Per-session outcome, indexed by arrival order.
+    pub outcomes: Vec<SessionOutcome>,
+    /// Learning metrics over completed and recovered sessions.
+    pub learning: LearningReport,
+    /// Decisions submitted across completed and recovered sessions.
+    pub total_steps: usize,
+    /// One record per recovered session, in service order.
+    pub recoveries: Vec<RecoveryRecord>,
+}
+
+impl SupervisorReport {
+    /// The accounting identity every run must satisfy exactly:
+    /// `sessions = admitted + shed` and
+    /// `admitted = completed + failed + recovered + gave_up`.
+    pub fn accounts_exactly(&self) -> bool {
+        self.sessions == self.admitted + self.shed
+            && self.admitted == self.completed + self.failed + self.recovered + self.gave_up
+    }
+}
+
+/// Restores a session from `save` and drives `bot` from `start_step`
+/// until the step budget, the game's end, or the bot giving up — exactly
+/// the loop the supervisor runs after a restart, so a recovered
+/// session's [`RecoveryRecord::tail`] can be reproduced independently.
+/// The returned [`BotRun::steps`] counts post-restore decisions only.
+pub fn resume_session(
+    graph: Arc<SceneGraph>,
+    config: SessionConfig,
+    save: &SaveGame,
+    bot: &mut dyn Bot,
+    start_step: usize,
+    max_steps: usize,
+    tick_ms: u64,
+) -> Result<BotRun> {
+    let mut session = GameSession::restore_checkpoint(graph, config, save)?;
+    let steps = drive(&mut session, bot, start_step, max_steps, tick_ms, |_, _| {})?;
+    Ok(BotRun {
+        state: session.state().clone(),
+        log: session.log().clone(),
+        inventory: session.inventory().clone(),
+        steps: steps - start_step,
+    })
+}
+
+/// The shared session loop: identical decision/tick cadence to
+/// [`crate::bot::run_session`], with a per-step hook for checkpointing.
+fn drive(
+    session: &mut GameSession,
+    bot: &mut dyn Bot,
+    start_step: usize,
+    max_steps: usize,
+    tick_ms: u64,
+    mut after_step: impl FnMut(&GameSession, usize),
+) -> Result<usize> {
+    let mut steps = start_step;
+    while steps < max_steps && !session.state().is_over() {
+        let Some(input) = bot.next_input(session)? else {
+            break;
+        };
+        steps += 1;
+        match session.handle(input) {
+            Ok(_) => {}
+            Err(RuntimeError::GameOver { .. }) => break,
+            Err(e) => return Err(e),
+        }
+        if !session.state().is_over() && tick_ms > 0 {
+            session.handle(InputEvent::Tick(tick_ms))?;
+        }
+        after_step(session, steps);
+    }
+    Ok(steps)
+}
+
+fn stitch(prefix: &SessionLog, tail: &SessionLog) -> SessionLog {
+    let mut log = prefix.clone();
+    for e in tail.events() {
+        log.push(e.clone());
+    }
+    log
+}
+
+/// One incarnation of a session: fresh or restored from `resume`,
+/// checkpointing into `store` as it goes. The checkpoint store is
+/// written *through* the unwind boundary, so checkpoints taken before a
+/// panic survive it.
+#[allow(clippy::too_many_arguments)]
+fn run_incarnation(
+    graph: &Arc<SceneGraph>,
+    config: &SessionConfig,
+    sup: &SupervisorConfig,
+    factory: &SupervisedBotFactory,
+    i: usize,
+    incarnation: u32,
+    resume: Option<&Checkpoint>,
+    store: &mut Option<Checkpoint>,
+) -> Result<(GameState, SessionLog, usize)> {
+    let mut session = match resume {
+        None => GameSession::new(graph.clone(), config.clone())?.0,
+        Some(c) => GameSession::restore_checkpoint(graph.clone(), config.clone(), &c.save)?,
+    };
+    let mut bot = factory(i, incarnation);
+    let start = resume.map_or(0, |c| c.step);
+    let every = sup.checkpoint_every;
+    let steps = drive(&mut session, &mut *bot, start, sup.max_steps, sup.tick_ms, |s, n| {
+        if every > 0 && n % every == 0 && !s.state().is_over() {
+            let log = match resume {
+                Some(c) => stitch(&c.log, s.log()),
+                None => s.log().clone(),
+            };
+            *store = Some(Checkpoint { save: s.checkpoint(), step: n, log });
+        }
+    })?;
+    Ok((session.state().clone(), session.log().clone(), steps))
+}
+
+/// What one admitted session contributed to the report.
+struct Played {
+    outcome: SessionOutcome,
+    steps: usize,
+    log: Option<SessionLog>,
+    score: i64,
+    recovery: Option<RecoveryRecord>,
+    backoffs_ms: Vec<f64>,
+}
+
+/// Runs one session under supervision: checkpoint, catch panics, restart
+/// from the last checkpoint with doubled backoff, give up at the budget.
+fn play_supervised(
+    graph: &Arc<SceneGraph>,
+    config: &SessionConfig,
+    sup: &SupervisorConfig,
+    factory: &SupervisedBotFactory,
+    i: usize,
+) -> Played {
+    let mut latest: Option<Checkpoint> = None;
+    let mut restarts: u32 = 0;
+    let mut backoffs = Vec::new();
+    loop {
+        let resume = latest.clone();
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            run_incarnation(graph, config, sup, factory, i, restarts, resume.as_ref(), &mut latest)
+        }));
+        match attempt {
+            Ok(Ok((state, tail, steps))) => {
+                let resumed_at_step = resume.as_ref().map_or(0, |c| c.step);
+                let full = match &resume {
+                    Some(c) => stitch(&c.log, &tail),
+                    None => tail.clone(),
+                };
+                let outcome = if restarts == 0 {
+                    SessionOutcome::Completed
+                } else {
+                    SessionOutcome::Recovered { resumed_at_step, restarts }
+                };
+                let recovery = (restarts > 0).then(|| RecoveryRecord {
+                    session: i,
+                    restarts,
+                    resumed_at_step,
+                    checkpoint: resume.as_ref().map(|c| c.save.to_text()),
+                    tail: tail.events().to_vec(),
+                });
+                return Played {
+                    outcome,
+                    steps,
+                    log: Some(full),
+                    score: state.score,
+                    recovery,
+                    backoffs_ms: backoffs,
+                };
+            }
+            // Typed errors are the game refusing, not the host crashing:
+            // a restart would hit the same wall, so fail immediately.
+            Ok(Err(e)) => {
+                return Played {
+                    outcome: SessionOutcome::Failed { reason: e.to_string() },
+                    steps: 0,
+                    log: None,
+                    score: 0,
+                    recovery: None,
+                    backoffs_ms: backoffs,
+                };
+            }
+            Err(payload) => {
+                let reason = panic_reason(payload);
+                if restarts >= sup.restart_budget {
+                    return Played {
+                        outcome: SessionOutcome::GaveUp { restarts, reason },
+                        steps: 0,
+                        log: None,
+                        score: 0,
+                        recovery: None,
+                        backoffs_ms: backoffs,
+                    };
+                }
+                restarts += 1;
+                backoffs.push(sup.restart_backoff_ms * 2f64.powi(restarts as i32 - 1));
+            }
+        }
+    }
+}
+
+/// Warm-phase outcome: where the clock ended up plus fetch accounting.
+struct Warmed {
+    t: f64,
+    attempted: u64,
+    skipped: u64,
+}
+
+/// Prefetch warming for one full-service session: synthetic chunk
+/// fetches against the fault plan, retried under the policy, gated by
+/// the shared breaker. An open breaker fails the whole remaining warm
+/// phase fast — the session still plays, just cold.
+fn warm_session(
+    i: usize,
+    start_ms: f64,
+    sup: &SupervisorConfig,
+    breaker: &mut CircuitBreaker,
+) -> Warmed {
+    let mut t = start_ms;
+    let (mut attempted, mut skipped) = (0u64, 0u64);
+    'fetches: for f in 0..sup.warm_fetches {
+        if !breaker.allow(t) {
+            skipped += u64::from(sup.warm_fetches - f);
+            break;
+        }
+        attempted += 1;
+        let chunk = ChunkId((i as u32).wrapping_mul(131).wrapping_add(f));
+        for attempt in 0..=sup.retry.max_retries {
+            if attempt > 0 && !breaker.allow(t) {
+                skipped += u64::from(sup.warm_fetches - f - 1);
+                break 'fetches;
+            }
+            let fault = sup.warm_faults.chunk_fault_at(chunk, attempt, t);
+            if fault.lost {
+                let key = ((i as u64) << 24) ^ (u64::from(f) << 8) ^ u64::from(attempt);
+                let jitter = unit(mix(sup.warm_faults.seed() ^ SALT_WARM_JITTER ^ mix(key)));
+                t += sup.retry.deadline_ms(attempt, jitter);
+                breaker.on_failure(t);
+            } else if fault.corrupted {
+                t += sup.warm_fetch_ms;
+                breaker.on_failure(t);
+            } else {
+                t += sup.warm_fetch_ms;
+                breaker.on_success(t);
+                break;
+            }
+        }
+    }
+    Warmed { t, attempted, skipped }
+}
+
+/// Obs handles for the supervisor's metric families.
+struct SupObs {
+    admitted: Counter,
+    shed_full: Counter,
+    shed_deadline: Counter,
+    degraded: Counter,
+    completed: Counter,
+    recovered: Counter,
+    failed: Counter,
+    gave_up: Counter,
+    restarts: Counter,
+    warm_attempted: Counter,
+    warm_skipped: Counter,
+    queue_wait_us: Histogram,
+    recovery_latency_us: Histogram,
+    queue_depth_peak: Gauge,
+}
+
+impl SupObs {
+    fn new(obs: &Obs) -> SupObs {
+        let l: &[(&'static str, &'static str)] = &[("pillar", "runtime")];
+        SupObs {
+            admitted: obs.counter("supervisor.admitted", l),
+            shed_full: obs.counter(
+                "supervisor.shed",
+                &[("pillar", "runtime"), ("reason", "queue_full")],
+            ),
+            shed_deadline: obs.counter(
+                "supervisor.shed",
+                &[("pillar", "runtime"), ("reason", "deadline")],
+            ),
+            degraded: obs.counter("supervisor.degraded", l),
+            completed: obs.counter("supervisor.completed", l),
+            recovered: obs.counter("supervisor.recovered", l),
+            failed: obs.counter("supervisor.failed", l),
+            gave_up: obs.counter("supervisor.gave_up", l),
+            restarts: obs.counter("supervisor.restarts", l),
+            warm_attempted: obs.counter("supervisor.warm_attempted", l),
+            warm_skipped: obs.counter("supervisor.warm_skipped", l),
+            queue_wait_us: obs.histogram("supervisor.queue_wait_us", l),
+            recovery_latency_us: obs.histogram("supervisor.recovery_latency_us", l),
+            queue_depth_peak: obs.gauge("supervisor.queue_depth_peak", l),
+        }
+    }
+}
+
+/// One entry of the bounded admission queue.
+#[derive(Debug, Clone)]
+struct Queued {
+    idx: usize,
+    arrival_ms: f64,
+    mode: ServiceMode,
+}
+
+/// The single-threaded discrete-event state of one supervised run.
+struct Sim<'a> {
+    graph: Arc<SceneGraph>,
+    config: SessionConfig,
+    sup: &'a SupervisorConfig,
+    factory: &'a SupervisedBotFactory,
+    breaker: CircuitBreaker,
+    queue: VecDeque<Queued>,
+    slots: Vec<f64>,
+    outcomes: Vec<Option<SessionOutcome>>,
+    queue_waits: Vec<f64>,
+    recovery_lat: Vec<f64>,
+    peak_depth: usize,
+    admitted: usize,
+    shed: usize,
+    degraded: usize,
+    completed: usize,
+    recovered: usize,
+    failed: usize,
+    gave_up: usize,
+    restarts_total: u64,
+    warm_attempted: u64,
+    warm_skipped: u64,
+    session_logs: Vec<(SessionLog, i64)>,
+    recoveries: Vec<RecoveryRecord>,
+    total_steps: usize,
+    o: SupObs,
+    rec: SpanRecorder,
+}
+
+impl Sim<'_> {
+    /// Serves queued sessions as slots free up, through simulated time
+    /// `until`. A head whose wait exceeded the deadline is shed without
+    /// consuming the slot.
+    fn drain(&mut self, until: f64) {
+        while let Some(head) = self.queue.front().cloned() {
+            let mut slot_idx = 0;
+            for (k, &free) in self.slots.iter().enumerate() {
+                if free < self.slots[slot_idx] {
+                    slot_idx = k;
+                }
+            }
+            let start = self.slots[slot_idx].max(head.arrival_ms);
+            if start > until {
+                break;
+            }
+            self.queue.pop_front();
+            let wait = start - head.arrival_ms;
+            if wait > self.sup.queue_deadline_ms {
+                self.outcomes[head.idx] =
+                    Some(SessionOutcome::Shed { reason: "queue deadline exceeded".into() });
+                self.shed += 1;
+                self.o.shed_deadline.inc();
+                self.rec.event("shed", head.idx as u64, us_from_ms(start));
+                continue;
+            }
+            self.queue_waits.push(wait);
+            self.o.queue_wait_us.record(us_from_ms(wait));
+            self.slots[slot_idx] = self.serve(head, start);
+        }
+    }
+
+    /// Serves one session from `start`; returns when the slot frees.
+    fn serve(&mut self, q: Queued, start: f64) -> f64 {
+        self.admitted += 1;
+        self.o.admitted.inc();
+        self.rec.event("admit", q.idx as u64, us_from_ms(start));
+        let mut t = start;
+        if q.mode == ServiceMode::Full {
+            let w = warm_session(q.idx, t, self.sup, &mut self.breaker);
+            t = w.t;
+            self.warm_attempted += w.attempted;
+            self.warm_skipped += w.skipped;
+            self.o.warm_attempted.add(w.attempted);
+            self.o.warm_skipped.add(w.skipped);
+        } else {
+            self.degraded += 1;
+            self.o.degraded.inc();
+        }
+        let played = play_supervised(&self.graph, &self.config, self.sup, self.factory, q.idx);
+        let step_cost = if q.mode == ServiceMode::ConcealOnly {
+            self.sup.step_ms * 0.5
+        } else {
+            self.sup.step_ms
+        };
+        t += played.steps as f64 * step_cost;
+        for &backoff in &played.backoffs_ms {
+            t += backoff;
+            self.recovery_lat.push(backoff);
+            self.o.recovery_latency_us.record(us_from_ms(backoff));
+            self.o.restarts.inc();
+            self.restarts_total += 1;
+            self.rec.event("restart", q.idx as u64, us_from_ms(t));
+        }
+        match &played.outcome {
+            SessionOutcome::Completed => {
+                self.completed += 1;
+                self.o.completed.inc();
+            }
+            SessionOutcome::Recovered { .. } => {
+                self.recovered += 1;
+                self.o.recovered.inc();
+            }
+            SessionOutcome::Failed { .. } => {
+                self.failed += 1;
+                self.o.failed.inc();
+            }
+            SessionOutcome::GaveUp { .. } => {
+                self.gave_up += 1;
+                self.o.gave_up.inc();
+            }
+            SessionOutcome::Shed { .. } => unreachable!("serve never sheds"),
+        }
+        if let Some(log) = played.log {
+            self.session_logs.push((log, played.score));
+            self.total_steps += played.steps;
+        }
+        if let Some(r) = played.recovery {
+            self.recoveries.push(r);
+        }
+        self.outcomes[q.idx] = Some(played.outcome);
+        self.rec.event("done", q.idx as u64, us_from_ms(t));
+        t
+    }
+}
+
+/// Runs `n_sessions` sessions arriving per `arrivals` through the
+/// supervised server: bounded admission, the degradation ladder, the
+/// shared warm-fetch breaker, and checkpoint-based crash recovery.
+///
+/// Fully deterministic: identical inputs produce identical
+/// [`SupervisorReport`]s, field for field.
+///
+/// # Errors
+/// [`RuntimeError::InvalidSupervisor`] when `sup` fails validation;
+/// per-session problems never fail the cohort.
+pub fn run_supervised_cohort(
+    graph: Arc<SceneGraph>,
+    config: SessionConfig,
+    sup: &SupervisorConfig,
+    n_sessions: usize,
+    factory: &SupervisedBotFactory,
+    arrivals: &ArrivalPlan,
+) -> Result<SupervisorReport> {
+    supervised_core(graph, config, sup, n_sessions, factory, arrivals, &Obs::noop(), "")
+}
+
+/// [`run_supervised_cohort`] with observability: every admission event
+/// increments a `supervisor.*` counter, queue waits and recovery
+/// latencies flow into histograms, peak queue depth into a gauge, and
+/// the whole run exports one trace of `admit`/`shed`/`restart`/`done`
+/// events on the simulated clock.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised_cohort_observed(
+    graph: Arc<SceneGraph>,
+    config: SessionConfig,
+    sup: &SupervisorConfig,
+    n_sessions: usize,
+    factory: &SupervisedBotFactory,
+    arrivals: &ArrivalPlan,
+    obs: &Obs,
+    label: &str,
+) -> Result<SupervisorReport> {
+    supervised_core(graph, config, sup, n_sessions, factory, arrivals, obs, label)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn supervised_core(
+    graph: Arc<SceneGraph>,
+    config: SessionConfig,
+    sup: &SupervisorConfig,
+    n_sessions: usize,
+    factory: &SupervisedBotFactory,
+    arrivals: &ArrivalPlan,
+    obs: &Obs,
+    label: &str,
+) -> Result<SupervisorReport> {
+    sup.validate()?;
+    let breaker = CircuitBreaker::new(sup.breaker)
+        .map_err(|e| RuntimeError::InvalidSupervisor(e.to_string()))?;
+    let times = arrivals.arrival_times(n_sessions);
+    let mut rec = obs.recorder(label.to_owned());
+    rec.enter("supervisor", 0);
+    let mut sim = Sim {
+        graph,
+        config,
+        sup,
+        factory,
+        breaker,
+        queue: VecDeque::new(),
+        slots: vec![0.0; sup.slots],
+        outcomes: (0..n_sessions).map(|_| None).collect(),
+        queue_waits: Vec::new(),
+        recovery_lat: Vec::new(),
+        peak_depth: 0,
+        admitted: 0,
+        shed: 0,
+        degraded: 0,
+        completed: 0,
+        recovered: 0,
+        failed: 0,
+        gave_up: 0,
+        restarts_total: 0,
+        warm_attempted: 0,
+        warm_skipped: 0,
+        session_logs: Vec::new(),
+        recoveries: Vec::new(),
+        total_steps: 0,
+        o: SupObs::new(obs),
+        rec,
+    };
+
+    for (i, &t) in times.iter().enumerate() {
+        sim.drain(t);
+        if sim.queue.len() >= sup.queue_capacity {
+            sim.outcomes[i] = Some(SessionOutcome::Shed { reason: "queue full".into() });
+            sim.shed += 1;
+            sim.o.shed_full.inc();
+            sim.rec.event("shed", i as u64, us_from_ms(t));
+            continue;
+        }
+        let occ = (sim.queue.len() + 1) as f64 / sup.queue_capacity as f64;
+        let mode = ServiceMode::for_occupancy(occ, sup);
+        sim.queue.push_back(Queued { idx: i, arrival_ms: t, mode });
+        sim.peak_depth = sim.peak_depth.max(sim.queue.len());
+    }
+    sim.drain(f64::INFINITY);
+
+    let makespan_ms = sim
+        .slots
+        .iter()
+        .copied()
+        .chain(times.last().copied())
+        .fold(0.0f64, f64::max);
+    sim.o.queue_depth_peak.observe(sim.peak_depth as u64);
+    sim.rec.exit(us_from_ms(makespan_ms));
+    let Sim {
+        breaker,
+        outcomes,
+        queue_waits,
+        recovery_lat,
+        peak_depth,
+        admitted,
+        shed,
+        degraded,
+        completed,
+        recovered,
+        failed,
+        gave_up,
+        restarts_total,
+        warm_attempted,
+        warm_skipped,
+        session_logs,
+        recoveries,
+        total_steps,
+        rec,
+        ..
+    } = sim;
+    obs.attach(rec);
+
+    let outcomes: Vec<SessionOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every arrival is admitted or shed"))
+        .collect();
+    let learning = LearningReport::from_sessions(session_logs.iter().map(|(l, s)| (l, *s)));
+    let report = SupervisorReport {
+        sessions: n_sessions,
+        admitted,
+        shed,
+        degraded,
+        completed,
+        recovered,
+        failed,
+        gave_up,
+        restarts: restarts_total,
+        breaker: breaker.stats(),
+        warm_attempted,
+        warm_skipped,
+        peak_queue_depth: peak_depth,
+        makespan_ms,
+        queue_wait: LatencySummary::from_samples_ms(&queue_waits),
+        recovery_latency: LatencySummary::from_samples_ms(&recovery_lat),
+        outcomes,
+        learning,
+        total_steps,
+        recoveries,
+    };
+    debug_assert!(report.accounts_exactly(), "admission accounting must balance");
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bot::GuidedBot;
+    use crate::fixtures::{fix_the_computer, FRAME};
+
+    fn config() -> SessionConfig {
+        SessionConfig::for_frame(FRAME.0, FRAME.1)
+    }
+
+    /// Panics after `at` decisions, but only on incarnation 0 — the
+    /// transient crash the supervisor exists to absorb.
+    struct CrashOnce {
+        inner: GuidedBot,
+        at: usize,
+        seen: usize,
+    }
+
+    impl Bot for CrashOnce {
+        fn next_input(&mut self, session: &GameSession) -> Result<Option<InputEvent>> {
+            self.seen += 1;
+            if self.seen > self.at {
+                panic!("injected transient crash");
+            }
+            self.inner.next_input(session)
+        }
+    }
+
+    fn quiet<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn arrival_plan_is_deterministic_and_spike_compresses_gaps() {
+        let plan = ArrivalPlan::new(7, 100.0).unwrap();
+        let a = plan.arrival_times(50);
+        let b = plan.arrival_times(50);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        assert!(a[49] > 0.0);
+        // A 4x spike over the whole horizon packs the same arrivals into
+        // roughly a quarter of the time.
+        let spiked = plan.with_spike(LoadSpike::new(0.0, 1e9, 4.0).unwrap());
+        let s = spiked.arrival_times(50);
+        assert!(s[49] < a[49] / 2.0, "spiked {} vs base {}", s[49], a[49]);
+        assert!(ArrivalPlan::new(7, 0.0).is_err());
+        assert!(ArrivalPlan::new(7, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn light_load_admits_everyone_at_full_service() {
+        let sup = SupervisorConfig {
+            queue_capacity: 16,
+            slots: 4,
+            ..SupervisorConfig::default()
+        };
+        let arrivals = ArrivalPlan::new(1, 10_000.0).unwrap();
+        let report = run_supervised_cohort(
+            Arc::new(fix_the_computer()),
+            config(),
+            &sup,
+            8,
+            &|_, _| Box::new(GuidedBot::new()),
+            &arrivals,
+        )
+        .unwrap();
+        assert!(report.accounts_exactly(), "{report:?}");
+        assert_eq!(report.admitted, 8);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.degraded, 0, "light load never degrades");
+        assert_eq!(report.learning.completed, 8);
+        assert!(report.total_steps > 0);
+        // Arrivals 10s apart on 4 slots never queue behind each other.
+        assert_eq!(report.queue_wait.max_ms, 0.0);
+    }
+
+    #[test]
+    fn overload_sheds_and_degrades_instead_of_growing_unboundedly() {
+        let sup = SupervisorConfig {
+            queue_capacity: 3,
+            slots: 1,
+            queue_deadline_ms: 10_000.0,
+            step_ms: 100.0,
+            ..SupervisorConfig::default()
+        };
+        // A stampede: everyone arrives ~1 ms apart.
+        let arrivals = ArrivalPlan::new(2, 1.0).unwrap();
+        let report = run_supervised_cohort(
+            Arc::new(fix_the_computer()),
+            config(),
+            &sup,
+            32,
+            &|_, _| Box::new(GuidedBot::new()),
+            &arrivals,
+        )
+        .unwrap();
+        assert!(report.accounts_exactly(), "{report:?}");
+        assert!(report.shed > 0, "overload must shed: {report:?}");
+        assert!(report.degraded > 0, "overload must degrade before shedding");
+        assert!(
+            report.peak_queue_depth <= sup.queue_capacity,
+            "the queue is bounded: {} > {}",
+            report.peak_queue_depth,
+            sup.queue_capacity
+        );
+        assert!(report.completed + report.recovered > 0, "someone still gets served");
+        let shed_rows = report.outcomes.iter().filter(|o| o.is_shed()).count();
+        assert_eq!(shed_rows, report.shed);
+    }
+
+    #[test]
+    fn stale_queued_sessions_are_shed_at_the_deadline() {
+        let sup = SupervisorConfig {
+            queue_capacity: 8,
+            slots: 1,
+            queue_deadline_ms: 50.0,
+            step_ms: 100.0,
+            ..SupervisorConfig::default()
+        };
+        let arrivals = ArrivalPlan::new(3, 1.0).unwrap();
+        let report = run_supervised_cohort(
+            Arc::new(fix_the_computer()),
+            config(),
+            &sup,
+            8,
+            &|_, _| Box::new(GuidedBot::new()),
+            &arrivals,
+        )
+        .unwrap();
+        assert!(report.accounts_exactly());
+        assert!(
+            report
+                .outcomes
+                .iter()
+                .any(|o| matches!(o, SessionOutcome::Shed { reason } if reason.contains("deadline"))),
+            "{:?}",
+            report.outcomes
+        );
+        // Served sessions all waited within the deadline.
+        assert!(report.queue_wait.max_ms <= sup.queue_deadline_ms);
+    }
+
+    #[test]
+    fn crashed_session_recovers_from_checkpoint_with_identical_tail() {
+        let factory = |i: usize, incarnation: u32| -> Box<dyn Bot> {
+            if i == 1 && incarnation == 0 {
+                Box::new(CrashOnce { inner: GuidedBot::new(), at: 7, seen: 0 })
+            } else {
+                Box::new(GuidedBot::new())
+            }
+        };
+        let sup = SupervisorConfig {
+            queue_capacity: 16,
+            slots: 2,
+            checkpoint_every: 5,
+            restart_budget: 2,
+            ..SupervisorConfig::default()
+        };
+        let arrivals = ArrivalPlan::new(4, 10_000.0).unwrap();
+        let graph = Arc::new(fix_the_computer());
+        let report = quiet(|| {
+            run_supervised_cohort(graph.clone(), config(), &sup, 4, &factory, &arrivals).unwrap()
+        });
+        assert!(report.accounts_exactly(), "{report:?}");
+        assert_eq!(report.recovered, 1);
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.restarts, 1);
+        assert_eq!(
+            report.outcomes[1],
+            SessionOutcome::Recovered { resumed_at_step: 5, restarts: 1 }
+        );
+        assert!(report.outcomes[1].is_completed());
+        assert_eq!(report.recovery_latency.count, 1);
+        assert_eq!(report.recovery_latency.max_ms, sup.restart_backoff_ms);
+
+        // The recovery record lets anyone replay the post-restore tail:
+        // restore the recorded checkpoint, drive the incarnation-1 bot,
+        // and the log must match bit for bit.
+        let r = &report.recoveries[0];
+        assert_eq!(r.session, 1);
+        assert_eq!(r.resumed_at_step, 5);
+        let save = SaveGame::from_text(r.checkpoint.as_ref().expect("crashed past a checkpoint"))
+            .unwrap();
+        let mut bot = factory(1, 1);
+        let replay = resume_session(
+            graph,
+            config(),
+            &save,
+            &mut *bot,
+            r.resumed_at_step,
+            sup.max_steps,
+            sup.tick_ms,
+        )
+        .unwrap();
+        assert_eq!(replay.log.events(), r.tail.as_slice(), "post-restore tail replays exactly");
+        assert!(replay.state.is_over(), "the recovered session finished the game");
+    }
+
+    #[test]
+    fn hopeless_crasher_exhausts_its_restart_budget() {
+        /// Panics before its first decision in every incarnation, so no
+        /// checkpoint ever exists and no restart makes progress.
+        struct AlwaysPanic;
+        impl Bot for AlwaysPanic {
+            fn next_input(&mut self, _s: &GameSession) -> Result<Option<InputEvent>> {
+                panic!("injected transient crash");
+            }
+        }
+        let sup = SupervisorConfig {
+            restart_budget: 2,
+            checkpoint_every: 5,
+            ..SupervisorConfig::default()
+        };
+        let arrivals = ArrivalPlan::new(5, 10_000.0).unwrap();
+        let report = quiet(|| {
+            run_supervised_cohort(
+                Arc::new(fix_the_computer()),
+                config(),
+                &sup,
+                2,
+                &|i, _| -> Box<dyn Bot> {
+                    if i == 0 {
+                        Box::new(AlwaysPanic)
+                    } else {
+                        Box::new(GuidedBot::new())
+                    }
+                },
+                &arrivals,
+            )
+            .unwrap()
+        });
+        assert!(report.accounts_exactly(), "{report:?}");
+        assert_eq!(report.gave_up, 1);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.restarts, u64::from(sup.restart_budget));
+        match &report.outcomes[0] {
+            SessionOutcome::GaveUp { restarts, reason } => {
+                assert_eq!(*restarts, sup.restart_budget);
+                assert!(reason.contains("injected transient crash"), "{reason}");
+            }
+            other => unreachable!("{other:?}"),
+        }
+        assert!(report.outcomes[0].is_failed());
+        // Backoff doubles per restart: 250 then 500.
+        assert_eq!(report.recovery_latency.count, 2);
+        assert_eq!(report.recovery_latency.min_ms, 250.0);
+        assert_eq!(report.recovery_latency.max_ms, 500.0);
+    }
+
+    #[test]
+    fn typed_errors_fail_without_burning_restarts() {
+        struct ErrBot;
+        impl Bot for ErrBot {
+            fn next_input(&mut self, _s: &GameSession) -> Result<Option<InputEvent>> {
+                Err(RuntimeError::UnknownScenario("supervised-err".into()))
+            }
+        }
+        let sup = SupervisorConfig::default();
+        let arrivals = ArrivalPlan::new(6, 10_000.0).unwrap();
+        let report = run_supervised_cohort(
+            Arc::new(fix_the_computer()),
+            config(),
+            &sup,
+            2,
+            &|i, _| -> Box<dyn Bot> {
+                if i == 0 {
+                    Box::new(ErrBot)
+                } else {
+                    Box::new(GuidedBot::new())
+                }
+            },
+            &arrivals,
+        )
+        .unwrap();
+        assert!(report.accounts_exactly());
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.restarts, 0, "typed errors never restart");
+        match &report.outcomes[0] {
+            SessionOutcome::Failed { reason } => {
+                assert!(reason.contains("supervised-err"), "{reason}")
+            }
+            other => unreachable!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn breaker_trips_during_warm_phase_on_a_sick_link() {
+        let sup = SupervisorConfig {
+            warm_fetches: 8,
+            warm_faults: FaultPlan::new(0xBAD).with_loss(0.95).unwrap(),
+            breaker: BreakerConfig {
+                window: 8,
+                min_samples: 4,
+                trip_ratio: 0.5,
+                cooldown_ms: 1e12,
+                probes: 2,
+            },
+            ..SupervisorConfig::default()
+        };
+        let arrivals = ArrivalPlan::new(8, 1.0).unwrap();
+        let report = run_supervised_cohort(
+            Arc::new(fix_the_computer()),
+            config(),
+            &sup,
+            6,
+            &|_, _| Box::new(GuidedBot::new()),
+            &arrivals,
+        )
+        .unwrap();
+        assert!(report.accounts_exactly());
+        assert!(report.breaker.trips >= 1, "{:?}", report.breaker);
+        assert!(report.warm_skipped > 0, "an open breaker skips warm fetches");
+        assert!(report.breaker.fast_failures > 0);
+        // Sessions still play — warming is best-effort.
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn supervised_runs_are_byte_identical_including_obs_exports() {
+        let run = || {
+            let factory = |i: usize, incarnation: u32| -> Box<dyn Bot> {
+                if i % 3 == 1 && incarnation == 0 {
+                    Box::new(CrashOnce { inner: GuidedBot::new(), at: 6, seen: 0 })
+                } else {
+                    Box::new(GuidedBot::new())
+                }
+            };
+            let sup = SupervisorConfig {
+                queue_capacity: 4,
+                slots: 2,
+                step_ms: 80.0,
+                warm_faults: FaultPlan::new(0xFEED)
+                    .with_loss(0.4)
+                    .unwrap()
+                    .with_load_spike(LoadSpike::new(0.0, 500.0, 2.0).unwrap()),
+                ..SupervisorConfig::default()
+            };
+            let arrivals = ArrivalPlan::new(9, 20.0)
+                .unwrap()
+                .with_spike(LoadSpike::new(0.0, 200.0, 3.0).unwrap());
+            let obs = Obs::recording();
+            let report = quiet(|| {
+                run_supervised_cohort_observed(
+                    Arc::new(fix_the_computer()),
+                    config(),
+                    &sup,
+                    20,
+                    &factory,
+                    &arrivals,
+                    &obs,
+                    "supervised",
+                )
+                .unwrap()
+            });
+            let snap = obs.snapshot();
+            (report, snap.to_table(), snap.metrics_csv(), snap.spans_csv(), snap.to_jsonl())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0, "reports are identical field for field");
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+        assert_eq!(a.3, b.3);
+        assert_eq!(a.4, b.4);
+        assert!(a.0.accounts_exactly());
+    }
+
+    #[test]
+    fn observed_counters_mirror_the_report_exactly() {
+        let sup = SupervisorConfig {
+            queue_capacity: 3,
+            slots: 1,
+            step_ms: 60.0,
+            ..SupervisorConfig::default()
+        };
+        let arrivals = ArrivalPlan::new(10, 5.0).unwrap();
+        let obs = Obs::recording();
+        let report = run_supervised_cohort_observed(
+            Arc::new(fix_the_computer()),
+            config(),
+            &sup,
+            16,
+            &|_, _| Box::new(GuidedBot::new()),
+            &arrivals,
+            &obs,
+            "mirror",
+        )
+        .unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter_total("supervisor.admitted"), report.admitted as u64);
+        assert_eq!(snap.counter_total("supervisor.shed"), report.shed as u64);
+        assert_eq!(snap.counter_total("supervisor.degraded"), report.degraded as u64);
+        assert_eq!(snap.counter_total("supervisor.completed"), report.completed as u64);
+        assert_eq!(snap.counter_total("supervisor.recovered"), report.recovered as u64);
+        assert_eq!(snap.counter_total("supervisor.failed"), report.failed as u64);
+        assert_eq!(snap.counter_total("supervisor.gave_up"), report.gave_up as u64);
+        assert_eq!(snap.counter_total("supervisor.restarts"), report.restarts);
+        assert_eq!(snap.gauge_max("supervisor.queue_depth_peak"), report.peak_queue_depth as u64);
+        let waits = snap.histogram("supervisor.queue_wait_us").unwrap();
+        assert_eq!(waits.count, report.queue_wait.count as u64);
+        assert_eq!(snap.traces.len(), 1);
+        assert_eq!(snap.traces[0].label, "mirror");
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let graph = Arc::new(fix_the_computer());
+        let arrivals = ArrivalPlan::new(1, 100.0).unwrap();
+        let cases = [
+            SupervisorConfig { queue_capacity: 0, ..SupervisorConfig::default() },
+            SupervisorConfig { slots: 0, ..SupervisorConfig::default() },
+            SupervisorConfig { queue_deadline_ms: 0.0, ..SupervisorConfig::default() },
+            SupervisorConfig { degrade_at: 1.5, ..SupervisorConfig::default() },
+            SupervisorConfig { degrade_at: 0.9, conceal_at: 0.5, ..SupervisorConfig::default() },
+            SupervisorConfig { restart_backoff_ms: f64::NAN, ..SupervisorConfig::default() },
+            SupervisorConfig { step_ms: 0.0, ..SupervisorConfig::default() },
+            SupervisorConfig { max_steps: 0, ..SupervisorConfig::default() },
+        ];
+        for (k, sup) in cases.iter().enumerate() {
+            let out = run_supervised_cohort(
+                graph.clone(),
+                config(),
+                sup,
+                1,
+                &|_, _| Box::new(GuidedBot::new()),
+                &arrivals,
+            );
+            assert!(
+                matches!(out, Err(RuntimeError::InvalidSupervisor(_))),
+                "case {k} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_cohort_is_fine() {
+        let report = run_supervised_cohort(
+            Arc::new(fix_the_computer()),
+            config(),
+            &SupervisorConfig::default(),
+            0,
+            &|_, _| Box::new(GuidedBot::new()),
+            &ArrivalPlan::new(1, 100.0).unwrap(),
+        )
+        .unwrap();
+        assert!(report.accounts_exactly());
+        assert_eq!(report.sessions, 0);
+        assert_eq!(report.makespan_ms, 0.0);
+        assert_eq!(report.queue_wait.count, 0);
+    }
+}

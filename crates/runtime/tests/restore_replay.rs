@@ -1,0 +1,172 @@
+//! Checkpoint → restore → replay round-trips: after restoring from a
+//! [`GameSession::checkpoint`], feeding the same post-checkpoint input
+//! tail must reproduce the original session's log tail bit-identically,
+//! with the engine transients a plain save drops (the open dialogue,
+//! the fired timers) surviving the hop. This is the invariant the
+//! supervisor's crash recovery (EXP-14) leans on.
+
+use std::sync::Arc;
+
+use vgbl_runtime::engine::{GameSession, SessionConfig};
+use vgbl_runtime::feedback::Feedback;
+use vgbl_runtime::fixtures::{fix_the_computer, two_room_loop, FRAME};
+use vgbl_runtime::input::InputEvent;
+use vgbl_runtime::save::SaveGame;
+use vgbl_scene::SceneGraph;
+use vgbl_script::{Action, EventKind, Trigger};
+
+fn config() -> SessionConfig {
+    SessionConfig::for_frame(FRAME.0, FRAME.1)
+}
+
+fn drive(session: &mut GameSession, inputs: &[InputEvent]) {
+    for input in inputs {
+        session
+            .handle(input.clone())
+            .expect("scripted input is valid");
+    }
+}
+
+/// Restores through the *text* round-trip — serialise, parse, verify,
+/// restore — so the test covers the same path a persisted checkpoint
+/// store would take, not just the in-memory clone.
+fn reload(graph: &Arc<SceneGraph>, ckpt: &SaveGame) -> GameSession {
+    let parsed = SaveGame::from_text(&ckpt.to_text()).expect("checkpoint text parses");
+    GameSession::restore_checkpoint(graph.clone(), config(), &parsed)
+        .expect("checkpoint restores")
+}
+
+#[test]
+fn mid_inventory_checkpoint_replays_a_bit_identical_log_tail() {
+    let graph = Arc::new(fix_the_computer());
+    let (mut original, _) = GameSession::new(graph.clone(), config()).unwrap();
+    let prefix = [
+        InputEvent::click(25, 20), // diagnose the computer
+        InputEvent::Tick(200),
+        InputEvent::click(42, 4), // to the market
+        InputEvent::Tick(200),
+        InputEvent::drag(12, 12, 60, 20), // take the fan
+        InputEvent::Tick(200),
+    ];
+    drive(&mut original, &prefix);
+    assert_eq!(original.inventory().count("fan"), 1);
+
+    let ckpt = original.checkpoint();
+    let ckpt_len = original.log().events().len();
+
+    let mut restored = reload(&graph, &ckpt);
+    assert_eq!(restored.state(), original.state());
+    assert_eq!(restored.inventory(), original.inventory());
+    assert!(restored.log().events().is_empty());
+
+    let tail = [
+        InputEvent::click(42, 4), // back to the classroom
+        InputEvent::Tick(200),
+        InputEvent::apply("fan", 25, 20), // install the fan
+    ];
+    drive(&mut original, &tail);
+    drive(&mut restored, &tail);
+
+    // The restored session's entire log equals the original's post-
+    // checkpoint tail, event for event, timestamp for timestamp.
+    assert_eq!(restored.log().events(), &original.log().events()[ckpt_len..]);
+    assert_eq!(original.state().ended.as_deref(), Some("fixed"));
+    assert_eq!(restored.state(), original.state());
+    assert_eq!(restored.inventory(), original.inventory());
+    assert!(restored.inventory().has_reward("computer_medic"));
+}
+
+#[test]
+fn mid_dialogue_checkpoint_resumes_the_conversation() {
+    let graph = Arc::new(fix_the_computer());
+    let (mut original, _) = GameSession::new(graph.clone(), config()).unwrap();
+    drive(&mut original, &[InputEvent::Tick(100), InputEvent::click(8, 18)]);
+    assert!(original.dialogue().is_some(), "clicking the teacher opens dialogue");
+
+    let ckpt = original.checkpoint();
+    assert_eq!(
+        ckpt.dialogue.as_ref().map(|(npc, node)| (npc.as_str(), *node)),
+        Some(("teacher", 0))
+    );
+    let ckpt_len = original.log().events().len();
+
+    // A plain restore drops the open conversation — it is an engine
+    // transient, deliberately outside the player-facing save format …
+    let plain = GameSession::restore(
+        graph.clone(),
+        config(),
+        ckpt.state.clone(),
+        ckpt.inventory.clone(),
+    )
+    .unwrap();
+    assert!(plain.dialogue().is_none());
+
+    // … while the checkpoint restore resumes mid-sentence.
+    let mut restored = reload(&graph, &ckpt);
+    assert_eq!(
+        restored.dialogue().map(|d| (d.npc.as_str(), d.node)),
+        Some(("teacher", 0))
+    );
+
+    let tail = [InputEvent::Choose(0), InputEvent::Choose(0)];
+    drive(&mut original, &tail);
+    drive(&mut restored, &tail);
+    assert!(original.dialogue().is_none(), "two choices walk off the tree");
+    assert!(restored.dialogue().is_none());
+    assert_eq!(restored.log().events(), &original.log().events()[ckpt_len..]);
+    assert_eq!(restored.state(), original.state());
+}
+
+#[test]
+fn fired_timers_survive_a_checkpoint_and_do_not_refire() {
+    let mut g = two_room_loop();
+    g.scenario_by_name_mut("a")
+        .unwrap()
+        .entry_triggers
+        .push(Trigger::unconditional(
+            EventKind::Timer(1000),
+            vec![Action::ShowText("hint: press the button".into())],
+        ));
+    let graph = Arc::new(g);
+    let (mut original, _) = GameSession::new(graph.clone(), config()).unwrap();
+    let fb = original.handle(InputEvent::Tick(1200)).unwrap();
+    assert!(
+        fb.iter().any(|f| matches!(f, Feedback::Text(t) if t.contains("hint"))),
+        "the timer fires once its threshold passes"
+    );
+
+    let ckpt = original.checkpoint();
+    assert!(ckpt.fired_timers.contains(&1000));
+    // The fired set round-trips through the persisted text form.
+    let parsed = SaveGame::from_text(&ckpt.to_text()).unwrap();
+    assert!(parsed.fired_timers.contains(&1000));
+
+    let ckpt_len = original.log().events().len();
+    let mut restored = reload(&graph, &ckpt);
+
+    // Replaying the same post-checkpoint tail keeps the two sessions in
+    // lockstep: the fired timer stays silent on both, and re-entering
+    // the scenario re-arms it on both — identical feedback, identical
+    // log tail.
+    let tail = [
+        InputEvent::Tick(5000),  // no re-fire: threshold already crossed
+        InputEvent::click(2, 2), // to b
+        InputEvent::click(2, 2), // back to a (re-arms the timer)
+        InputEvent::Tick(1500),  // fires again after re-entry
+    ];
+    for input in &tail {
+        let a = original.handle(input.clone()).unwrap();
+        let b = restored.handle(input.clone()).unwrap();
+        assert_eq!(a, b, "restored session diverged on {input:?}");
+    }
+    assert!(
+        !matches!(
+            original.handle(InputEvent::Tick(9000)).unwrap().as_slice(),
+            [Feedback::Text(_), ..]
+        ),
+        "the re-armed timer fires once per entry, not per tick"
+    );
+    drive(&mut restored, &[InputEvent::Tick(9000)]);
+    assert_eq!(restored.log().events(), &original.log().events()[ckpt_len..]);
+    assert_eq!(restored.state(), original.state());
+}

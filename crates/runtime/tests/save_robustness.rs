@@ -81,6 +81,67 @@ proptest! {
         }
     }
 
+    // Arbitrary *byte* strings — not even valid UTF-8 — lossy-decoded
+    // and fed to the parser: still total, still typed.
+    #[test]
+    fn fault_arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        match SaveGame::from_text(&text) {
+            Ok(_) => {}
+            Err(RuntimeError::CorruptSave(_)) => {}
+            Err(other) => prop_assert!(false, "wrong error type: {other:?}"),
+        }
+    }
+
+    // Byte damage *around a valid save*: splice arbitrary bytes into a
+    // well-formed save at an arbitrary point, exercising the per-key
+    // parsers with near-miss lines rather than pure noise.
+    #[test]
+    fn fault_spliced_bytes_never_panic(
+        at_fraction in 0.0f64..1.0,
+        junk in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut bytes = sample_save().to_text().into_bytes();
+        let at = (bytes.len() as f64 * at_fraction) as usize;
+        bytes.splice(at..at, junk);
+        let text = String::from_utf8_lossy(&bytes);
+        match SaveGame::from_text(&text) {
+            Ok(_) => {}
+            Err(RuntimeError::CorruptSave(_)) => {}
+            Err(other) => prop_assert!(false, "wrong error type: {other:?}"),
+        }
+    }
+
+    // Adversarial item counts load in constant space and time — a
+    // hostile `item bomb 4294967295` line must never cost four billion
+    // iterations or allocations.
+    #[test]
+    fn fault_huge_item_counts_load_in_constant_space(count in any::<u32>()) {
+        let text = format!(
+            "vgbl-save 1\ngame 00000000000000aa\nscenario start\nitem bomb {count}\n"
+        );
+        let save = SaveGame::from_text(&text).expect("well-formed text parses");
+        prop_assert_eq!(save.inventory.count("bomb"), count);
+    }
+
+    // Checkpoint-only keys (dialogue, fired timers) round-trip for
+    // arbitrary node ids, timer stamps, and space-containing NPC names.
+    #[test]
+    fn fault_checkpoint_keys_roundtrip(
+        node in any::<u32>(),
+        ms in any::<u64>(),
+        npc in "[a-z]{1,8}( [a-z]{1,8}){0,2}",
+    ) {
+        let mut save = sample_save();
+        save.dialogue = Some((npc.clone(), node));
+        save.fired_timers.insert(ms);
+        let loaded = SaveGame::from_text(&save.to_text()).expect("checkpoint text parses");
+        prop_assert_eq!(loaded.dialogue, Some((npc, node)));
+        prop_assert!(loaded.fired_timers.contains(&ms));
+        prop_assert_eq!(loaded.state, save.state);
+        prop_assert_eq!(loaded.inventory, save.inventory);
+    }
+
     // Wrong-content-hash saves parse (the text is well-formed) but are
     // rejected by `verify` against the real graph with a typed error.
     #[test]

@@ -1,0 +1,366 @@
+//! A deterministic circuit breaker for the delivery path.
+//!
+//! Retrying ([`crate::client::RetryPolicy`]) is the right reflex for
+//! *transient* faults, but when a link is persistently sick every retry
+//! burns its full back-off deadline before failing — under load that
+//! turns one bad link into a convoy of stalled sessions. The breaker
+//! gives the client a memory of recent outcomes so it can **fail fast**
+//! instead: a rolling window of successes/failures trips the breaker
+//! open once the failure ratio crosses a threshold, open requests are
+//! rejected without touching the link, and after a cool-down on the
+//! *simulated* clock a half-open probe phase decides whether to close
+//! again.
+//!
+//! Everything is driven by caller-supplied simulated milliseconds — no
+//! wall clock — so two identical runs trip, cool down and recover at
+//! byte-identical times (the EXP-14 rerun check depends on this).
+
+use crate::{Result, StreamError};
+
+/// Tuning for a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Rolling-window size: how many recent outcomes vote on tripping.
+    pub window: usize,
+    /// Minimum outcomes in the window before the breaker may trip
+    /// (avoids tripping on the first unlucky fetch).
+    pub min_samples: usize,
+    /// Failure ratio in the window at or above which the breaker trips.
+    pub trip_ratio: f64,
+    /// Simulated milliseconds the breaker stays open before allowing
+    /// half-open probes.
+    pub cooldown_ms: f64,
+    /// Consecutive half-open probe successes required to close again.
+    pub probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig { window: 16, min_samples: 8, trip_ratio: 0.5, cooldown_ms: 1000.0, probes: 2 }
+    }
+}
+
+impl BreakerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// [`StreamError::InvalidLink`] when the window or probe counts are
+    /// zero, `min_samples` exceeds `window`, `trip_ratio` is outside
+    /// `(0, 1]`, or `cooldown_ms` is negative or non-finite.
+    pub fn validate(&self) -> Result<()> {
+        if self.window == 0 {
+            return Err(StreamError::InvalidLink("breaker window must be positive".into()));
+        }
+        if self.min_samples == 0 || self.min_samples > self.window {
+            return Err(StreamError::InvalidLink(
+                "breaker min_samples must be in [1, window]".into(),
+            ));
+        }
+        if !(self.trip_ratio.is_finite() && self.trip_ratio > 0.0 && self.trip_ratio <= 1.0) {
+            return Err(StreamError::InvalidLink("breaker trip_ratio must be in (0, 1]".into()));
+        }
+        if !self.cooldown_ms.is_finite() || self.cooldown_ms < 0.0 {
+            return Err(StreamError::InvalidLink(
+                "breaker cooldown must be non-negative".into(),
+            ));
+        }
+        if self.probes == 0 {
+            return Err(StreamError::InvalidLink("breaker probes must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The breaker's position in its state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; outcomes are recorded in the rolling window.
+    Closed,
+    /// Requests are rejected without touching the link.
+    Open,
+    /// Cool-down has elapsed; a limited number of probes test the link.
+    HalfOpen,
+}
+
+/// Aggregate numbers a breaker has accumulated over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BreakerStats {
+    /// Times the breaker transitioned closed/half-open → open.
+    pub trips: u64,
+    /// Requests rejected while open (the retries *not* burned).
+    pub fast_failures: u64,
+    /// Successful closes out of the half-open phase.
+    pub recoveries: u64,
+}
+
+/// A closed/open/half-open circuit breaker on simulated time.
+///
+/// All transitions happen inside [`CircuitBreaker::allow`],
+/// [`CircuitBreaker::on_success`] and [`CircuitBreaker::on_failure`],
+/// each of which takes the current simulated time; the breaker itself
+/// never consults a clock. State is a bounded ring of recent outcomes
+/// plus a few counters, so cloning is cheap and identical call
+/// sequences reproduce identical behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Ring buffer of recent outcomes (true = failure), newest last.
+    window: Vec<bool>,
+    /// Simulated time the breaker last tripped open.
+    opened_at_ms: f64,
+    /// Consecutive successful probes while half-open.
+    probe_successes: u32,
+    stats: BreakerStats,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with `config`.
+    ///
+    /// # Errors
+    /// [`StreamError::InvalidLink`] when `config` fails validation.
+    pub fn new(config: BreakerConfig) -> Result<CircuitBreaker> {
+        config.validate()?;
+        Ok(CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            window: Vec::with_capacity(config.window),
+            opened_at_ms: f64::NEG_INFINITY,
+            probe_successes: 0,
+            stats: BreakerStats::default(),
+        })
+    }
+
+    /// The breaker's configuration.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    /// Current state, after applying any cool-down expiry due at `now_ms`
+    /// (the getter does not transition; [`CircuitBreaker::allow`] does).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Lifetime aggregates.
+    pub fn stats(&self) -> BreakerStats {
+        self.stats
+    }
+
+    /// Times the breaker tripped open.
+    pub fn trips(&self) -> u64 {
+        self.stats.trips
+    }
+
+    /// Requests rejected without touching the link.
+    pub fn fast_failures(&self) -> u64 {
+        self.stats.fast_failures
+    }
+
+    /// Whether a request starting at `now_ms` may proceed. An open
+    /// breaker whose cool-down has elapsed transitions to half-open and
+    /// admits the request as a probe; an open breaker still cooling
+    /// rejects it (counted as a fast failure).
+    pub fn allow(&mut self, now_ms: f64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now_ms - self.opened_at_ms >= self.config.cooldown_ms {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_successes = 0;
+                    true
+                } else {
+                    self.stats.fast_failures += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful delivery finishing at `now_ms`.
+    pub fn on_success(&mut self, _now_ms: f64) {
+        match self.state {
+            BreakerState::Closed => self.push_outcome(false),
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.config.probes {
+                    self.state = BreakerState::Closed;
+                    self.window.clear();
+                    self.stats.recoveries += 1;
+                }
+            }
+            // A late success from a request admitted before the trip
+            // does not close an open breaker; the cool-down decides.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failed delivery (timeout exhaustion, corrupt payload)
+    /// observed at `now_ms`.
+    pub fn on_failure(&mut self, now_ms: f64) {
+        match self.state {
+            BreakerState::Closed => {
+                self.push_outcome(true);
+                let n = self.window.len();
+                if n >= self.config.min_samples {
+                    let failures = self.window.iter().filter(|&&f| f).count();
+                    if failures as f64 >= self.config.trip_ratio * n as f64 {
+                        self.trip(now_ms);
+                    }
+                }
+            }
+            // One failed probe re-opens immediately.
+            BreakerState::HalfOpen => self.trip(now_ms),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now_ms: f64) {
+        self.state = BreakerState::Open;
+        self.opened_at_ms = now_ms;
+        self.probe_successes = 0;
+        self.window.clear();
+        self.stats.trips += 1;
+    }
+
+    fn push_outcome(&mut self, failed: bool) {
+        if self.window.len() == self.config.window {
+            self.window.remove(0);
+        }
+        self.window.push(failed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            min_samples: 4,
+            trip_ratio: 0.5,
+            cooldown_ms: 100.0,
+            probes: 2,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn breaker_config_validates() {
+        assert!(BreakerConfig::default().validate().is_ok());
+        assert!(BreakerConfig { window: 0, ..BreakerConfig::default() }.validate().is_err());
+        assert!(BreakerConfig { min_samples: 0, ..BreakerConfig::default() }.validate().is_err());
+        assert!(
+            BreakerConfig { min_samples: 17, window: 16, ..BreakerConfig::default() }
+                .validate()
+                .is_err()
+        );
+        assert!(BreakerConfig { trip_ratio: 0.0, ..BreakerConfig::default() }.validate().is_err());
+        assert!(BreakerConfig { trip_ratio: 1.5, ..BreakerConfig::default() }.validate().is_err());
+        assert!(
+            BreakerConfig { trip_ratio: f64::NAN, ..BreakerConfig::default() }.validate().is_err()
+        );
+        assert!(
+            BreakerConfig { cooldown_ms: -1.0, ..BreakerConfig::default() }.validate().is_err()
+        );
+        assert!(BreakerConfig { probes: 0, ..BreakerConfig::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn breaker_trips_on_failure_ratio_and_fails_fast() {
+        let mut b = quick();
+        assert_eq!(b.state(), BreakerState::Closed);
+        // 2 successes + 2 failures = 50% of a full window: trips.
+        b.on_success(0.0);
+        b.on_success(1.0);
+        assert!(b.allow(2.0));
+        b.on_failure(2.0);
+        assert_eq!(b.state(), BreakerState::Closed, "below min_samples");
+        b.on_failure(3.0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        // Open: requests are rejected without touching the link.
+        assert!(!b.allow(50.0));
+        assert!(!b.allow(99.0));
+        assert_eq!(b.fast_failures(), 2);
+    }
+
+    #[test]
+    fn breaker_under_min_samples_never_trips() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            window: 8,
+            min_samples: 8,
+            trip_ratio: 0.25,
+            cooldown_ms: 100.0,
+            probes: 1,
+        })
+        .unwrap();
+        for t in 0..7 {
+            b.on_failure(t as f64);
+        }
+        assert_eq!(b.state(), BreakerState::Closed, "7 of 8 samples is not enough evidence");
+        b.on_failure(7.0);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn breaker_half_open_probes_close_after_cooldown() {
+        let mut b = quick();
+        for t in 0..4 {
+            b.on_failure(t as f64);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cool-down (100ms from the trip at t=3) not yet elapsed.
+        assert!(!b.allow(102.9));
+        // Elapsed: half-open probe admitted.
+        assert!(b.allow(103.0));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success(104.0);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "needs 2 probe successes");
+        assert!(b.allow(105.0));
+        b.on_success(106.0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.stats().recoveries, 1);
+        // The window was cleared on close: old failures don't linger.
+        b.on_failure(107.0);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_failed_probe_reopens() {
+        let mut b = quick();
+        for t in 0..4 {
+            b.on_failure(t as f64);
+        }
+        assert!(b.allow(103.0));
+        b.on_failure(104.0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        // The new cool-down restarts from the re-trip.
+        assert!(!b.allow(150.0));
+        assert!(b.allow(204.0));
+    }
+
+    #[test]
+    fn breaker_is_deterministic_for_identical_call_sequences() {
+        let run = || {
+            let mut b = quick();
+            let mut log = Vec::new();
+            for i in 0..200u32 {
+                let t = i as f64 * 7.0;
+                let admitted = b.allow(t);
+                if admitted {
+                    if i % 3 == 0 {
+                        b.on_failure(t + 1.0);
+                    } else {
+                        b.on_success(t + 1.0);
+                    }
+                }
+                log.push((admitted, b.state()));
+            }
+            (log, b.stats())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -18,6 +18,7 @@ use std::collections::{HashMap, HashSet};
 use vgbl_media::SegmentId;
 use vgbl_obs::{us_from_ms, Counter, Histogram, Obs, SpanRecorder};
 
+use crate::breaker::CircuitBreaker;
 use crate::chunk::{ChunkId, ChunkMap};
 use crate::fault::{FaultPlan, FaultyLink};
 use crate::link::Link;
@@ -57,11 +58,17 @@ pub struct StreamStats {
     pub retries: usize,
     /// Delivery attempts that hit their deadline (lost responses).
     pub timeouts: usize,
-    /// Chunks abandoned after exhausting the retry budget.
+    /// Chunks abandoned after exhausting the retry budget (or rejected
+    /// outright by an open circuit breaker; see
+    /// [`StreamStats::fast_failed`]).
     pub gave_up: usize,
     /// Milliseconds covered by freeze-frame concealment of abandoned
     /// chunks (never part of [`StreamStats::play_ms`]).
     pub conceal_ms: f64,
+    /// Chunk requests rejected by an open [`crate::CircuitBreaker`]
+    /// without touching the link (a subset of
+    /// [`StreamStats::gave_up`]; 0 when no breaker is attached).
+    pub fast_failed: usize,
 }
 
 impl StreamStats {
@@ -139,9 +146,20 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// The deadline of attempt `attempt` (0-based), given a uniform
     /// jitter draw in `[0, 1)`.
+    ///
+    /// Saturates rather than overflowing: the exponent is clamped before
+    /// `powi` (beyond ~2^64 every realistic back-off has hit the cap
+    /// anyway), and a back-off product that still lands on ±inf/NaN —
+    /// possible for degenerate, unvalidated policies — collapses to
+    /// `max_timeout_ms` instead of poisoning the simulated clock.
     pub fn deadline_ms(&self, attempt: u32, jitter_unit: f64) -> f64 {
         let backed_off = self.base_timeout_ms * self.backoff.powi(attempt.min(64) as i32);
-        backed_off.min(self.max_timeout_ms) + jitter_unit * self.jitter_ms
+        let capped = if backed_off.is_finite() {
+            backed_off.min(self.max_timeout_ms)
+        } else {
+            self.max_timeout_ms
+        };
+        capped + jitter_unit * self.jitter_ms
     }
 
     fn validate(&self) -> Result<()> {
@@ -190,6 +208,7 @@ struct SimObs {
     retries: Counter,
     timeouts: Counter,
     gave_up: Counter,
+    fast_failed: Counter,
     delivered: Counter,
     stalls: Counter,
     concealed_chunks: Counter,
@@ -209,6 +228,7 @@ impl SimObs {
             retries: obs.counter("fetch.retries", labels),
             timeouts: obs.counter("fetch.timeouts", labels),
             gave_up: obs.counter("fetch.gave_up", labels),
+            fast_failed: obs.counter("fetch.fast_failed", labels),
             delivered: obs.counter("fetch.delivered", labels),
             stalls: obs.counter("session.stalls", labels),
             concealed_chunks: obs.counter("conceal.chunks", labels),
@@ -228,12 +248,14 @@ enum Fetched {
 struct Net<'a, L: Link + ?Sized> {
     link: &'a L,
     faults: Option<(&'a FaultPlan, &'a RetryPolicy)>,
+    breaker: Option<&'a mut CircuitBreaker>,
     busy_until: f64,
     completion: HashMap<ChunkId, f64>,
     failed: HashSet<ChunkId>,
     bytes: usize,
     retries: usize,
     timeouts: usize,
+    fast_failed: usize,
 }
 
 impl<L: Link + ?Sized> Net<'_, L> {
@@ -264,18 +286,32 @@ impl<L: Link + ?Sized> Net<'_, L> {
             return Fetched::Delivered(done);
         };
         let mut t = self.busy_until.max(now);
+        // Fail fast on an open breaker: the chunk is abandoned to
+        // concealment without burning any retry budget or link time.
+        if let Some(b) = self.breaker.as_deref_mut() {
+            if !b.allow(t) {
+                self.fast_failed += 1;
+                sobs.fast_failed.inc();
+                self.failed.insert(id);
+                sobs.gave_up.inc();
+                return Fetched::Failed(t);
+            }
+        }
         for attempt in 0..=retry.max_retries {
             if attempt > 0 {
                 self.retries += 1;
                 sobs.retries.inc();
             }
-            let fault = plan.chunk_fault(id, attempt);
+            let fault = plan.chunk_fault_at(id, attempt, t);
             if fault.lost {
                 // The response never arrives: the pipe is blocked until
                 // the attempt's deadline expires, then we re-request.
                 self.timeouts += 1;
                 sobs.timeouts.inc();
                 t += retry.deadline_ms(attempt, plan.jitter(id, attempt));
+                if let Some(b) = self.breaker.as_deref_mut() {
+                    b.on_failure(t);
+                }
                 continue;
             }
             let done = self.link.complete_at(t, bytes);
@@ -291,10 +327,16 @@ impl<L: Link + ?Sized> Net<'_, L> {
             if received != checksum {
                 // Discard the damaged payload and re-request.
                 t = done;
+                if let Some(b) = self.breaker.as_deref_mut() {
+                    b.on_failure(t);
+                }
                 continue;
             }
             self.busy_until = done;
             self.completion.insert(id, done);
+            if let Some(b) = self.breaker.as_deref_mut() {
+                b.on_success(done);
+            }
             sobs.delivered.inc();
             sobs.fetch_latency_us.record(us_from_ms(done - now));
             return Fetched::Delivered(done);
@@ -316,7 +358,7 @@ pub fn simulate<L: Link + ?Sized>(
     policy: PrefetchPolicy,
     trace: &[TraceStep],
 ) -> Result<StreamStats> {
-    sim_core(map, link, None, policy, trace, &mut SimObs::disabled()).map(|r| r.stats)
+    sim_core(map, link, None, None, policy, trace, &mut SimObs::disabled()).map(|r| r.stats)
 }
 
 /// [`simulate`] with observability: fetch events feed `fetch.*`
@@ -338,7 +380,7 @@ pub fn simulate_observed<L: Link + ?Sized>(
     label: String,
 ) -> Result<StreamStats> {
     let mut sobs = SimObs::new(obs, label);
-    let out = sim_core(map, link, None, policy, trace, &mut sobs);
+    let out = sim_core(map, link, None, None, policy, trace, &mut sobs);
     obs.attach(sobs.rec);
     out.map(|r| r.stats)
 }
@@ -361,7 +403,7 @@ pub fn simulate_faulty<L: Link>(
     trace: &[TraceStep],
 ) -> Result<FaultyStreamReport> {
     retry.validate()?;
-    sim_core(map, link, Some((link.plan(), retry)), policy, trace, &mut SimObs::disabled())
+    sim_core(map, link, Some((link.plan(), retry)), None, policy, trace, &mut SimObs::disabled())
 }
 
 /// [`simulate_faulty`] with observability: everything
@@ -386,7 +428,64 @@ pub fn simulate_faulty_observed<L: Link>(
 ) -> Result<FaultyStreamReport> {
     retry.validate()?;
     let mut sobs = SimObs::new(obs, label);
-    let out = sim_core(map, link, Some((link.plan(), retry)), policy, trace, &mut sobs);
+    let out = sim_core(map, link, Some((link.plan(), retry)), None, policy, trace, &mut sobs);
+    obs.attach(sobs.rec);
+    out
+}
+
+/// [`simulate_faulty`] with a [`CircuitBreaker`] guarding the chunk
+/// path: each chunk request first asks the breaker; while it is open,
+/// chunks are abandoned to concealment immediately (counted in
+/// [`StreamStats::fast_failed`]) instead of burning the retry budget.
+/// Per-attempt outcomes (timeouts, corrupt arrivals, deliveries) feed
+/// the breaker, and the caller's breaker carries its state across
+/// sessions — the supervisor shares one per link.
+///
+/// # Errors
+/// Propagates unknown segments in the trace and invalid [`RetryPolicy`]
+/// parameters.
+pub fn simulate_faulty_with_breaker<L: Link>(
+    map: &ChunkMap,
+    link: &FaultyLink<L>,
+    policy: PrefetchPolicy,
+    retry: &RetryPolicy,
+    breaker: &mut CircuitBreaker,
+    trace: &[TraceStep],
+) -> Result<FaultyStreamReport> {
+    retry.validate()?;
+    sim_core(
+        map,
+        link,
+        Some((link.plan(), retry)),
+        Some(breaker),
+        policy,
+        trace,
+        &mut SimObs::disabled(),
+    )
+}
+
+/// [`simulate_faulty_with_breaker`] with observability (the union of
+/// [`simulate_faulty_observed`]'s recording and the breaker's
+/// `fetch.fast_failed` counter).
+///
+/// # Errors
+/// Propagates unknown segments in the trace and invalid [`RetryPolicy`]
+/// parameters.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_faulty_with_breaker_observed<L: Link>(
+    map: &ChunkMap,
+    link: &FaultyLink<L>,
+    policy: PrefetchPolicy,
+    retry: &RetryPolicy,
+    breaker: &mut CircuitBreaker,
+    trace: &[TraceStep],
+    obs: &Obs,
+    label: String,
+) -> Result<FaultyStreamReport> {
+    retry.validate()?;
+    let mut sobs = SimObs::new(obs, label);
+    let out =
+        sim_core(map, link, Some((link.plan(), retry)), Some(breaker), policy, trace, &mut sobs);
     obs.attach(sobs.rec);
     out
 }
@@ -395,6 +494,7 @@ fn sim_core<L: Link + ?Sized>(
     map: &ChunkMap,
     link: &L,
     faults: Option<(&FaultPlan, &RetryPolicy)>,
+    breaker: Option<&mut CircuitBreaker>,
     policy: PrefetchPolicy,
     trace: &[TraceStep],
     sobs: &mut SimObs,
@@ -402,12 +502,14 @@ fn sim_core<L: Link + ?Sized>(
     let mut net = Net {
         link,
         faults,
+        breaker,
         busy_until: 0.0,
         completion: HashMap::new(),
         failed: HashSet::new(),
         bytes: 0,
         retries: 0,
         timeouts: 0,
+        fast_failed: 0,
     };
     let mut now: f64;
     let mut played: HashSet<ChunkId> = HashSet::new();
@@ -422,6 +524,7 @@ fn sim_core<L: Link + ?Sized>(
         timeouts: 0,
         gave_up: 0,
         conceal_ms: 0.0,
+        fast_failed: 0,
     };
 
     // The container header must arrive before anything can play.
@@ -503,6 +606,7 @@ fn sim_core<L: Link + ?Sized>(
     stats.retries = net.retries;
     stats.timeouts = net.timeouts;
     stats.gave_up = net.failed.len();
+    stats.fast_failed = net.fast_failed;
     stats.wasted_bytes = net
         .completion
         .keys()
@@ -718,6 +822,7 @@ mod tests {
             timeouts: 0,
             gave_up: 0,
             conceal_ms: 0.0,
+            fast_failed: 0,
         };
         assert_eq!(zero.rebuffer_ratio(), 0.0);
         assert_eq!(zero.waste_ratio(), 0.0);
@@ -739,6 +844,7 @@ mod tests {
             timeouts: 0,
             gave_up: 0,
             conceal_ms: 0.0,
+            fast_failed: 0,
         };
         assert_eq!(stalled.rebuffer_ratio(), f64::INFINITY);
         // And a normal session is unaffected by the fix.
@@ -889,6 +995,167 @@ mod tests {
         assert_eq!(d4, 2000.0, "capped at max_timeout_ms");
         // Jitter adds at most jitter_ms.
         assert!(retry.deadline_ms(0, 0.999) < d0 + retry.jitter_ms);
+    }
+
+    /// Regression (overflow audit): huge attempt counts and extreme
+    /// back-off factors must saturate at the cap, never produce inf/NaN
+    /// or wrap, and the deadline must be non-decreasing in `attempt`.
+    #[test]
+    fn fault_backoff_deadlines_saturate_at_extreme_attempts() {
+        let retry = RetryPolicy::default();
+        for attempt in [64, 65, 1000, u32::MAX] {
+            let d = retry.deadline_ms(attempt, 0.0);
+            assert!(d.is_finite(), "attempt {attempt} gave {d}");
+            assert_eq!(d, retry.max_timeout_ms);
+        }
+        // A back-off factor whose powi overflows f64 to +inf.
+        let extreme = RetryPolicy { backoff: 1e300, ..RetryPolicy::default() };
+        let d = extreme.deadline_ms(2, 0.5);
+        assert!(d.is_finite());
+        assert_eq!(d, extreme.max_timeout_ms + 0.5 * extreme.jitter_ms);
+        // Monotone non-decreasing into the cap.
+        let mut prev = 0.0;
+        for attempt in 0..200u32 {
+            let d = retry.deadline_ms(attempt, 0.0);
+            assert!(d >= prev, "deadline shrank at attempt {attempt}: {prev} -> {d}");
+            prev = d;
+        }
+    }
+
+    // ---- circuit-breaker coverage -----------------------------------
+
+    use crate::breaker::{BreakerConfig, BreakerState};
+
+    fn sick_plan() -> FaultPlan {
+        FaultPlan::new(13).with_loss(0.95).unwrap()
+    }
+
+    #[test]
+    fn breaker_fails_fast_and_saves_retry_budget_on_a_sick_link() {
+        let map = setup();
+        let link = LinkModel::mbps(2.0, 20.0).unwrap();
+        let faulty = FaultyLink::new(link, sick_plan());
+        let retry = RetryPolicy::default();
+        let without = simulate_faulty(
+            &map,
+            &faulty,
+            PrefetchPolicy::None,
+            &retry,
+            &linear_trace(),
+        )
+        .unwrap();
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            trip_ratio: 0.5,
+            cooldown_ms: 60_000.0,
+            probes: 1,
+        })
+        .unwrap();
+        let with = simulate_faulty_with_breaker(
+            &map,
+            &faulty,
+            PrefetchPolicy::None,
+            &retry,
+            &mut breaker,
+            &linear_trace(),
+        )
+        .unwrap();
+        assert!(breaker.trips() >= 1, "a 95%-loss link must trip the breaker");
+        assert!(with.stats.fast_failed > 0, "{:?}", with.stats);
+        assert!(
+            with.stats.timeouts < without.stats.timeouts,
+            "fail-fast must burn fewer deadlines: {} vs {}",
+            with.stats.timeouts,
+            without.stats.timeouts
+        );
+        assert!(with.stats.fast_failed <= with.stats.gave_up, "fast-fails are a subset");
+        assert_eq!(with.stats.gave_up, with.concealed.len());
+        assert_eq!(breaker.fast_failures(), with.stats.fast_failed as u64);
+    }
+
+    #[test]
+    fn breaker_closed_on_clean_link_changes_nothing() {
+        let map = setup();
+        let link = LinkModel::mbps(1.5, 25.0).unwrap();
+        let faulty = FaultyLink::new(link, FaultPlan::new(1));
+        let retry = RetryPolicy::default();
+        let plain =
+            simulate_faulty(&map, &faulty, PrefetchPolicy::Linear { lookahead: 2 }, &retry, &linear_trace())
+                .unwrap();
+        let mut breaker = CircuitBreaker::new(BreakerConfig::default()).unwrap();
+        let guarded = simulate_faulty_with_breaker(
+            &map,
+            &faulty,
+            PrefetchPolicy::Linear { lookahead: 2 },
+            &retry,
+            &mut breaker,
+            &linear_trace(),
+        )
+        .unwrap();
+        assert_eq!(plain, guarded);
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert_eq!(breaker.trips(), 0);
+    }
+
+    #[test]
+    fn breaker_runs_are_byte_identical_across_repeats() {
+        let map = setup();
+        let link = LinkModel::mbps(1.0, 30.0).unwrap();
+        let run = || {
+            let faulty = FaultyLink::new(link, sick_plan());
+            let mut breaker = CircuitBreaker::new(BreakerConfig {
+                window: 8,
+                min_samples: 4,
+                trip_ratio: 0.5,
+                cooldown_ms: 2000.0,
+                probes: 1,
+            })
+            .unwrap();
+            let report = simulate_faulty_with_breaker(
+                &map,
+                &faulty,
+                PrefetchPolicy::None,
+                &RetryPolicy::default(),
+                &mut breaker,
+                &linear_trace(),
+            )
+            .unwrap();
+            (report, breaker.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn breaker_observed_counters_match_stats() {
+        let map = setup();
+        let link = LinkModel::mbps(2.0, 20.0).unwrap();
+        let faulty = FaultyLink::new(link, sick_plan());
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            trip_ratio: 0.5,
+            cooldown_ms: 60_000.0,
+            probes: 1,
+        })
+        .unwrap();
+        let obs = Obs::recording();
+        let report = simulate_faulty_with_breaker_observed(
+            &map,
+            &faulty,
+            PrefetchPolicy::None,
+            &RetryPolicy::default(),
+            &mut breaker,
+            &linear_trace(),
+            &obs,
+            "stream-0000".into(),
+        )
+        .unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter_total("fetch.fast_failed"), report.stats.fast_failed as u64);
+        assert_eq!(snap.counter_total("fetch.gave_up"), report.stats.gave_up as u64);
+        assert_eq!(snap.counter_total("fetch.timeouts"), report.stats.timeouts as u64);
+        assert!(report.stats.fast_failed > 0);
     }
 
     #[test]

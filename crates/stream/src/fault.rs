@@ -62,13 +62,68 @@ impl ChunkFault {
     }
 }
 
+/// A time window during which fault rates are multiplied, modelling a
+/// congestion event (a lab full of students all pressing play at once).
+///
+/// EXP-14 uses a spike both to drive the arrival process hot and to
+/// make the link sick enough to trip the circuit breaker, then checks
+/// that the supervisor sheds and recovers instead of queueing forever.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSpike {
+    start_ms: f64,
+    duration_ms: f64,
+    factor: f64,
+}
+
+impl LoadSpike {
+    /// A spike multiplying fault rates by `factor` during
+    /// `[start_ms, start_ms + duration_ms)`.
+    ///
+    /// # Errors
+    /// [`StreamError::InvalidLink`] when `start_ms` is non-finite,
+    /// `duration_ms` is negative or non-finite, or `factor < 1`.
+    pub fn new(start_ms: f64, duration_ms: f64, factor: f64) -> Result<LoadSpike> {
+        if !start_ms.is_finite() {
+            return Err(StreamError::InvalidLink("spike start must be finite".into()));
+        }
+        if !duration_ms.is_finite() || duration_ms < 0.0 {
+            return Err(StreamError::InvalidLink("spike duration must be non-negative".into()));
+        }
+        if !factor.is_finite() || factor < 1.0 {
+            return Err(StreamError::InvalidLink("spike factor must be >= 1".into()));
+        }
+        Ok(LoadSpike { start_ms, duration_ms, factor })
+    }
+
+    /// Start of the spike window, simulated ms.
+    pub fn start_ms(&self) -> f64 {
+        self.start_ms
+    }
+
+    /// Length of the spike window, simulated ms.
+    pub fn duration_ms(&self) -> f64 {
+        self.duration_ms
+    }
+
+    /// The rate multiplier applying at `now_ms` (1 outside the window).
+    pub fn factor_at(&self, now_ms: f64) -> f64 {
+        if now_ms >= self.start_ms && now_ms < self.start_ms + self.duration_ms {
+            self.factor
+        } else {
+            1.0
+        }
+    }
+}
+
 /// A seeded, reproducible schedule of delivery faults.
 ///
 /// The plan is stateless: whether attempt `a` of chunk `c` is lost,
-/// corrupted or stalled is a pure function of `(seed, c, a)`. Two runs
-/// with the same plan see byte-identical fault sequences; distinct
-/// attempts of one chunk draw independent outcomes, so bounded retries
-/// succeed with overwhelming probability at realistic loss rates.
+/// corrupted or stalled is a pure function of `(seed, c, a)` — plus the
+/// current time when a [`LoadSpike`] is attached, which scales the
+/// rates inside its window. Two runs with the same plan see
+/// byte-identical fault sequences; distinct attempts of one chunk draw
+/// independent outcomes, so bounded retries succeed with overwhelming
+/// probability at realistic loss rates.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
     seed: u64,
@@ -76,13 +131,14 @@ pub struct FaultPlan {
     corruption: f64,
     stall_rate: f64,
     stall_ms: f64,
+    spike: Option<LoadSpike>,
 }
 
 impl FaultPlan {
     /// A fault-free plan with the given seed; compose rates with the
     /// `with_*` builders.
     pub fn new(seed: u64) -> FaultPlan {
-        FaultPlan { seed, loss: 0.0, corruption: 0.0, stall_rate: 0.0, stall_ms: 0.0 }
+        FaultPlan { seed, loss: 0.0, corruption: 0.0, stall_rate: 0.0, stall_ms: 0.0, spike: None }
     }
 
     /// Sets the per-attempt chunk loss probability.
@@ -117,6 +173,18 @@ impl FaultPlan {
         Ok(self)
     }
 
+    /// Attaches a [`LoadSpike`] window multiplying the loss and
+    /// corruption rates (capped at 1) while the spike is active.
+    pub fn with_load_spike(mut self, spike: LoadSpike) -> FaultPlan {
+        self.spike = Some(spike);
+        self
+    }
+
+    /// The attached spike window, if any.
+    pub fn load_spike(&self) -> Option<&LoadSpike> {
+        self.spike.as_ref()
+    }
+
     /// The plan's seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -132,14 +200,28 @@ impl FaultPlan {
         self.corruption
     }
 
-    /// The fate of delivery attempt `attempt` of `chunk`. Loss wins over
-    /// corruption when both fire (a lost response has no payload to
-    /// corrupt).
+    /// The fate of delivery attempt `attempt` of `chunk`, ignoring any
+    /// attached spike window. Loss wins over corruption when both fire
+    /// (a lost response has no payload to corrupt).
     pub fn chunk_fault(&self, chunk: ChunkId, attempt: u32) -> ChunkFault {
+        // NEG_INFINITY sits outside every spike window, so the
+        // time-free entry point keeps its pre-spike behaviour exactly.
+        self.chunk_fault_at(chunk, attempt, f64::NEG_INFINITY)
+    }
+
+    /// The fate of delivery attempt `attempt` of `chunk` starting at
+    /// `now_ms`: like [`FaultPlan::chunk_fault`] but with the spike
+    /// multiplier applied to the rates (capped at 1) when `now_ms`
+    /// falls inside the spike window. The underlying random draws are
+    /// unchanged — a chunk lost at base rates is still lost during the
+    /// spike, the spike only loses *more*.
+    pub fn chunk_fault_at(&self, chunk: ChunkId, attempt: u32, now_ms: f64) -> ChunkFault {
+        let factor = self.spike.map_or(1.0, |s| s.factor_at(now_ms));
+        let loss = (self.loss * factor).min(1.0);
+        let corruption = (self.corruption * factor).min(1.0);
         let key = (chunk.0 as u64) << 32 | attempt as u64;
-        let lost = unit(mix(self.seed ^ SALT_LOSS ^ mix(key))) < self.loss;
-        let corrupted =
-            !lost && unit(mix(self.seed ^ SALT_CORRUPT ^ mix(key))) < self.corruption;
+        let lost = unit(mix(self.seed ^ SALT_LOSS ^ mix(key))) < loss;
+        let corrupted = !lost && unit(mix(self.seed ^ SALT_CORRUPT ^ mix(key))) < corruption;
         ChunkFault { lost, corrupted }
     }
 
@@ -298,6 +380,51 @@ mod tests {
         let faulty = FaultyLink::new(var.clone(), plan);
         assert_eq!(var.complete_at(900.0, 125_000), faulty.complete_at(900.0, 125_000));
         assert_eq!(faulty.inner(), &var);
+    }
+
+    #[test]
+    fn load_spike_validates_and_windows() {
+        assert!(LoadSpike::new(f64::NAN, 10.0, 2.0).is_err());
+        assert!(LoadSpike::new(0.0, -1.0, 2.0).is_err());
+        assert!(LoadSpike::new(0.0, 10.0, 0.5).is_err());
+        assert!(LoadSpike::new(0.0, 10.0, f64::INFINITY).is_err());
+        let s = LoadSpike::new(100.0, 50.0, 4.0).unwrap();
+        assert_eq!(s.factor_at(99.9), 1.0);
+        assert_eq!(s.factor_at(100.0), 4.0);
+        assert_eq!(s.factor_at(149.9), 4.0);
+        assert_eq!(s.factor_at(150.0), 1.0, "window end is exclusive");
+    }
+
+    #[test]
+    fn load_spike_scales_rates_only_inside_window() {
+        let base = FaultPlan::new(21).with_loss(0.05).unwrap();
+        let spiked =
+            base.with_load_spike(LoadSpike::new(1000.0, 1000.0, 8.0).unwrap());
+        // Outside the window the spiked plan behaves exactly like base —
+        // including via the time-free entry point.
+        for c in 0..300u32 {
+            assert_eq!(spiked.chunk_fault_at(ChunkId(c), 0, 0.0), base.chunk_fault(ChunkId(c), 0));
+            assert_eq!(spiked.chunk_fault(ChunkId(c), 0), base.chunk_fault(ChunkId(c), 0));
+        }
+        // Inside: monotone — everything lost at base rate stays lost,
+        // and materially more is lost overall.
+        let mut base_lost = 0;
+        let mut spike_lost = 0;
+        for c in 0..2000u32 {
+            let b = base.chunk_fault(ChunkId(c), 0);
+            let s = spiked.chunk_fault_at(ChunkId(c), 0, 1500.0);
+            if b.lost {
+                base_lost += 1;
+                assert!(s.lost, "spike must not heal chunk {c}");
+            }
+            if s.lost {
+                spike_lost += 1;
+            }
+        }
+        assert!(
+            spike_lost > base_lost * 4,
+            "spike x8 should multiply losses: {base_lost} -> {spike_lost}"
+        );
     }
 
     #[test]

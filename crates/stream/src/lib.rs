@@ -17,25 +17,32 @@
 //!   segment visits against a link and policy, reporting startup delay,
 //!   rebuffering and byte efficiency (EXP-7).
 //! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
-//!   of chunk loss, byte corruption and stall events, and a
+//!   of chunk loss, byte corruption and stall events, a
 //!   [`FaultyLink`] wrapper composing faults with any link model
-//!   (EXP-12).
+//!   (EXP-12), and [`LoadSpike`] windows that multiply fault rates for
+//!   overload experiments (EXP-14).
+//! * [`breaker`] — a closed/open/half-open [`CircuitBreaker`] on
+//!   simulated time, so clients fail fast on persistently sick links
+//!   instead of burning retry budget (EXP-14).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod breaker;
 pub mod chunk;
 pub mod client;
 pub mod fault;
 pub mod link;
 pub mod prefetch;
 
+pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use chunk::{ChunkId, ChunkMap};
 pub use client::{
-    simulate, simulate_faulty, simulate_faulty_observed, simulate_observed, FaultyStreamReport,
-    RetryPolicy, StreamStats, TraceStep,
+    simulate, simulate_faulty, simulate_faulty_observed, simulate_faulty_with_breaker,
+    simulate_faulty_with_breaker_observed, simulate_observed, FaultyStreamReport, RetryPolicy,
+    StreamStats, TraceStep,
 };
-pub use fault::{ChunkFault, FaultPlan, FaultyLink};
+pub use fault::{ChunkFault, FaultPlan, FaultyLink, LoadSpike};
 pub use link::{Link, LinkModel, VariableLink};
 pub use prefetch::{warm_decoded_gops, PrefetchContext, PrefetchPolicy};
 

@@ -24,6 +24,7 @@ fn empty_stream_stats() -> StreamStats {
         retries: 0,
         timeouts: 0,
         gave_up: 0,
+        fast_failed: 0,
         conceal_ms: 0.0,
     }
 }

@@ -278,8 +278,20 @@ mod save_props {
         #![proptest_config(ProptestConfig::with_cases(128))]
 
         #[test]
-        fn save_game_roundtrip(state in game_state(), inv in inventory(), hash in any::<u64>()) {
-            let save = SaveGame { game_hash: hash, state, inventory: inv };
+        fn save_game_roundtrip(
+            state in game_state(),
+            inv in inventory(),
+            hash in any::<u64>(),
+            dialogue in proptest::option::of((ident(), any::<u32>())),
+            fired in proptest::collection::btree_set(any::<u64>(), 0..4),
+        ) {
+            let save = SaveGame {
+                game_hash: hash,
+                state,
+                inventory: inv,
+                dialogue,
+                fired_timers: fired,
+            };
             let text = save.to_text();
             let back = SaveGame::from_text(&text).unwrap();
             prop_assert_eq!(back, save);
