@@ -1,0 +1,58 @@
+//! Hot-path overhead guard for the observability layer.
+//!
+//! Every pillar calls its obs taps unconditionally; only the handle
+//! decides whether anything happens. This bench pins the contract that
+//! a `Obs::noop()` tap is near-free (one `Option` check) so the series
+//! taps added to the decode/fetch/playback hot paths cost nothing when
+//! observability is off:
+//!
+//! * `obs_noop` — counter increments, histogram records, and series
+//!   records against noop handles; the numbers to watch, these should
+//!   sit at or under a nanosecond per op.
+//! * `obs_recording` — the same ops against a recording backend, the
+//!   price actually paid when a run is instrumented.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use vgbl::obs::{Obs, SeriesSpec};
+
+const OPS: u64 = 1_000;
+
+fn bench(c: &mut Criterion) {
+    for (name, obs) in [("obs_noop", Obs::noop()), ("obs_recording", Obs::recording())] {
+        let mut group = c.benchmark_group(name);
+        group.throughput(Throughput::Elements(OPS));
+
+        let counter = obs.counter("bench.counter", &[("pillar", "bench")]);
+        group.bench_function("counter_inc", |b| {
+            b.iter(|| {
+                for _ in 0..OPS {
+                    counter.inc();
+                }
+            });
+        });
+
+        let hist = obs.histogram("bench.hist", &[("pillar", "bench")]);
+        group.bench_function("histogram_record", |b| {
+            b.iter(|| {
+                for i in 0..OPS {
+                    hist.record(black_box(i));
+                }
+            });
+        });
+
+        let series = obs.series(SeriesSpec::counter("bench.series", 1_000, 64));
+        group.bench_function("series_record", |b| {
+            b.iter(|| {
+                for i in 0..OPS {
+                    series.record(black_box(i * 250), 1);
+                }
+            });
+        });
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

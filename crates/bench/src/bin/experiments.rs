@@ -1141,6 +1141,170 @@ fn exp14() {
     );
 }
 
+fn exp15() {
+    header("EXP-15", "windowed telemetry: SLO-driven ladder, burn-rate alerts, flamegraphs");
+    use vgbl::obs::{folded_stacks, hotspot_table, profile_diff, AlertPhase, Obs};
+    use vgbl::runtime::supervisor::{
+        run_supervised_cohort_observed, ArrivalPlan, LadderPolicy, SloLadderConfig,
+        SupervisorConfig,
+    };
+    use vgbl::stream::{simulate_faulty_observed, FaultPlan, FaultyLink, RetryPolicy};
+
+    let graph = Arc::new(fixtures::fix_the_computer());
+    let config = SessionConfig::for_frame(fixtures::FRAME.0, fixtures::FRAME.1);
+
+    // Part 1: the two degradation ladders under the *same* arrival seed.
+    // One slot, a short queue, arrivals paced against the service time,
+    // so admission keeps up only if the ladder makes sessions cheaper.
+    let ladder = SloLadderConfig {
+        shed_budget: 0.005,
+        wait_target_ms: 50.0,
+        wait_budget: 0.05,
+        short_ms: 100.0,
+        long_ms: 2_000.0,
+        degrade_burn: 1.0,
+        conceal_burn: 2.0,
+    };
+    let run = |policy: LadderPolicy| {
+        let obs = Obs::recording();
+        let sup = SupervisorConfig {
+            queue_capacity: 3,
+            slots: 1,
+            queue_deadline_ms: 10_000.0,
+            step_ms: 100.0,
+            ladder: policy,
+            ..SupervisorConfig::default()
+        };
+        let arrivals = ArrivalPlan::new(2, 700.0).expect("positive mean gap");
+        let report = run_supervised_cohort_observed(
+            graph.clone(),
+            config.clone(),
+            &sup,
+            32,
+            &|_, _| Box::new(GuidedBot::new()),
+            &arrivals,
+            &obs,
+            "exp15",
+        )
+        .expect("supervised cohort runs");
+        let series_csv = obs.series_csv();
+        let alerts_csv = report.alerts.to_csv();
+        (report, series_csv, alerts_csv)
+    };
+    let (occ, _, _) = run(LadderPolicy::Occupancy);
+    let (slo, slo_series, slo_alerts) = run(LadderPolicy::SloDriven(ladder));
+
+    println!("32 arrivals (seeded plan, mean gap 700 ms) on 1 slot, queue 3:\n");
+    println!(
+        "{:<12} {:>6} {:>9} {:>10} {:>13} {:>8}",
+        "ladder", "shed", "degraded", "completed", "budget spend", "firing"
+    );
+    for (name, r) in [("occupancy", &occ), ("slo-driven", &slo)] {
+        assert!(r.accounts_exactly(), "{r:?}");
+        println!(
+            "{:<12} {:>6} {:>9} {:>10} {:>13.1} {:>8}",
+            name,
+            r.shed,
+            r.degraded,
+            r.completed,
+            r.ledgers[0].spend(),
+            r.alerts.count(AlertPhase::Firing),
+        );
+    }
+    assert!(occ.shed > 0, "the stampede must overload the occupancy ladder");
+    assert!(slo.shed < occ.shed, "burn-rate memory must shed fewer sessions");
+    assert!(slo.ledgers[0].spend() <= occ.ledgers[0].spend(), "equal-or-less budget spent");
+
+    // Ledger vs report: the error-budget ledger is computed from the
+    // SLO control series, the report from the outcome rows — two
+    // independent accumulation paths that must agree exactly.
+    for r in [&occ, &slo] {
+        assert_eq!(r.ledgers[0].objective, "shed_rate");
+        assert_eq!(r.ledgers[0].bad as usize, r.shed, "ledger bad == report shed");
+        assert_eq!(r.ledgers[0].total as usize, r.sessions, "ledger total == arrivals");
+        assert_eq!(r.ledgers[1].objective, "admission_wait");
+        assert_eq!(r.ledgers[1].total as usize, r.admitted, "every admit is measured");
+    }
+    println!(
+        "\nledger cross-check: shed_rate ledger ({}/{} bad, {:.1}x budget) equals the\n\
+         report's outcome accounting on both runs; admission_wait measured {} admits.",
+        slo.ledgers[0].bad,
+        slo.ledgers[0].total,
+        slo.ledgers[0].spend(),
+        slo.ledgers[1].total,
+    );
+
+    // The alert timeline: exact pending -> firing -> resolved instants.
+    println!("\nocc-ladder alert timeline ({} transitions):", occ.alerts.events.len());
+    for e in occ.alerts.events.iter().take(8) {
+        println!("  t={:>10}us {:<16} {:<6} {}", e.t_us, e.objective, e.rule, e.phase.label());
+    }
+    if occ.alerts.events.len() > 8 {
+        println!("  ... {} more", occ.alerts.events.len() - 8);
+    }
+    assert!(occ.alerts.count(AlertPhase::Firing) > 0, "overspend must fire an alert");
+    assert!(!occ.ledgers[0].within_budget(), "occupancy overspends its shed budget");
+
+    // Determinism: the SLO-driven run again, byte for byte — report,
+    // windowed-series CSV, and the alert timeline.
+    let (slo2, slo_series2, slo_alerts2) = run(LadderPolicy::SloDriven(ladder));
+    assert_eq!(slo, slo2, "identical runs => identical reports, field for field");
+    assert_eq!(slo_series, slo_series2, "byte-identical series export");
+    assert_eq!(slo_alerts, slo_alerts2, "byte-identical alert timeline");
+    assert!(slo_series.contains("supervisor.arrivals"), "arrival series tapped");
+    assert!(slo_series.contains("supervisor.queue_wait_us"), "wait series tapped");
+    println!(
+        "\nreplayed the SLO-driven run: report, series CSV ({} bytes) and alert\n\
+         timeline CSV ({} bytes) are byte-identical.",
+        slo_series.len(),
+        slo_alerts.len(),
+    );
+
+    // Part 2: flamegraph profiling. A healthy and a lossy streaming
+    // session, folded into inferno-format stacks; the diff localises
+    // exactly which frames (stall, conceal) the faults inflated.
+    let stream_profile = |loss: f64| {
+        let obs = Obs::recording();
+        let footage = bench_footage(96, 64, 8, 7);
+        let video = encode(&footage, 5, Quality::Medium, 2);
+        let table = table_for(&footage);
+        let map = ChunkMap::build(&video, &table).expect("chunks");
+        let n = table.len() as u32;
+        let trace: Vec<TraceStep> = (1..n)
+            .map(|room| TraceStep {
+                segment: SegmentId(room),
+                watch_ms: 1500.0,
+                branch_targets: vec![SegmentId(0)],
+            })
+            .collect();
+        let plan = FaultPlan::new(0xE15).with_loss(loss).expect("valid rate");
+        let link = FaultyLink::new(LinkModel::mbps(2.0, 30.0).expect("valid link"), plan);
+        simulate_faulty_observed(
+            &map,
+            &link,
+            PrefetchPolicy::Linear { lookahead: 1 },
+            &RetryPolicy::default(),
+            &trace,
+            &obs,
+            "stream".into(),
+        )
+        .expect("stream completes");
+        obs.snapshot()
+    };
+    let healthy = stream_profile(0.0);
+    let lossy = stream_profile(0.12);
+    let folded = folded_stacks(&lossy);
+    assert_eq!(folded, folded_stacks(&stream_profile(0.12)), "folded stacks replay exactly");
+    println!("\nfolded stacks of the lossy run (inferno format, first 6 lines):");
+    for line in folded.lines().take(6) {
+        println!("  {line}");
+    }
+    println!("\n{}", hotspot_table(&lossy, 6));
+    let diff = profile_diff(&healthy, &lossy, 1.10);
+    assert!(!diff.is_clean(), "injected loss must surface as a profile regression");
+    println!("{}", diff.to_table());
+}
+
 /// A bot that panics as soon as it is asked for input (EXP-12's fault
 /// isolation demo).
 struct PanicBot;
@@ -1225,5 +1389,8 @@ fn main() {
     }
     if want("exp14") {
         exp14();
+    }
+    if want("exp15") {
+        exp15();
     }
 }

@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
-use vgbl_obs::{Counter, Obs};
+use vgbl_obs::{Counter, Obs, Series, SeriesSpec};
 
 use crate::codec::EncodedVideo;
 use crate::error::MediaError;
@@ -185,7 +185,17 @@ struct CacheObs {
     misses: Counter,
     coalesced_hits: Counter,
     evictions: Counter,
+    // Windowed series on the cache's own touch-tick clock: each lookup
+    // advances logical time by one, so a window reads as "hit/miss mix
+    // over the last N lookups" — a rolling hit-rate without wall time.
+    hit_series: Series,
+    miss_series: Series,
 }
+
+/// Bin width (in touch ticks) for the cache hit/miss series.
+const CACHE_BIN_TICKS: u64 = 64;
+/// Ring length for the cache hit/miss series.
+const CACHE_BINS: usize = 64;
 
 /// Bounded, sharded, miss-coalescing LRU cache of decoded GOPs.
 pub struct GopCache {
@@ -274,6 +284,16 @@ impl GopCache {
             misses: obs.counter("cache.misses", labels),
             coalesced_hits: obs.counter("cache.coalesced_hits", labels),
             evictions: obs.counter("cache.evictions", labels),
+            hit_series: obs.series(SeriesSpec::counter(
+                "cache.hit_series",
+                CACHE_BIN_TICKS,
+                CACHE_BINS,
+            )),
+            miss_series: obs.series(SeriesSpec::counter(
+                "cache.miss_series",
+                CACHE_BIN_TICKS,
+                CACHE_BINS,
+            )),
         };
         self
     }
@@ -342,6 +362,7 @@ impl GopCache {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.obs.misses.inc();
+            self.obs.miss_series.record(self.clock.fetch_add(1, Ordering::Relaxed), 1);
             return decode().map(Arc::new);
         }
         let key = GopKey { video: video_id, keyframe };
@@ -355,6 +376,7 @@ impl GopCache {
                     *touched = self.clock.fetch_add(1, Ordering::Relaxed);
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     self.obs.hits.inc();
+                    self.obs.hit_series.record(*touched, 1);
                     return Ok(frames.clone());
                 }
                 Some(Slot::Pending(w)) => w.clone(),
@@ -371,14 +393,18 @@ impl GopCache {
         // a miss and propagates without being cached anywhere.
         match waiter.wait() {
             Ok(frames) => {
+                let tick = self.clock.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 self.obs.hits.inc();
                 self.obs.coalesced_hits.inc();
+                self.obs.hit_series.record(tick, 1);
                 Ok(frames)
             }
             Err(e) => {
+                let tick = self.clock.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 self.obs.misses.inc();
+                self.obs.miss_series.record(tick, 1);
                 Err(e)
             }
         }
@@ -397,6 +423,7 @@ impl GopCache {
     {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.obs.misses.inc();
+        self.obs.miss_series.record(self.clock.load(Ordering::Relaxed), 1);
         let outcome = decode();
         let mut s = shard.lock();
         match outcome {

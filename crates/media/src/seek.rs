@@ -6,7 +6,7 @@
 //! of the target segment. Its cost is the GOP walk from the preceding
 //! keyframe; EXP-3 sweeps the keyframe interval against this cost.
 
-use vgbl_obs::Obs;
+use vgbl_obs::{Obs, SeriesSpec};
 
 use crate::cache::{GopCache, VideoId};
 use crate::codec::{Decoder, EncodedVideo};
@@ -79,6 +79,11 @@ pub fn seek_observed(
     obs.histogram("seek.gop_walk_frames", labels).record(stats.frames_decoded as u64);
     obs.histogram("seek.keyframe_distance", labels)
         .record((stats.target - stats.keyframe) as u64);
+    // Windowed series keyed by position on the media timeline (the
+    // target frame index), so hot seek regions show up as bins with
+    // high max distance — the histogram alone can't localise them.
+    obs.series(SeriesSpec::gauge("seek.keyframe_distance_series", 16, 64))
+        .record(stats.target as u64, (stats.target - stats.keyframe) as u64);
     Ok(out)
 }
 

@@ -10,7 +10,7 @@ use crate::metrics::{MetricValue, Snapshot};
 /// RFC-4180 field quoting. Unlike the pre-fix `csv_field` in the
 /// analytics crate, this quotes `\r` too: a bare carriage return inside
 /// an unquoted field splits the row for any compliant reader.
-fn csv_field(s: &str) -> String {
+pub(crate) fn csv_field(s: &str) -> String {
     if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
@@ -19,7 +19,7 @@ fn csv_field(s: &str) -> String {
 }
 
 /// Minimal JSON string escaping (quotes, backslash, control chars).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

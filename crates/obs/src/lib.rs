@@ -25,6 +25,15 @@
 //!   cannot perturb the exported numbers.
 //! * [`export`] — exporters for a [`Snapshot`]: an aligned text table,
 //!   RFC-4180 CSV, and JSON-lines, alongside `SessionLog::to_csv`.
+//! * [`timeseries`] — fixed-width ring-buffer time series on the
+//!   simulated clock: O(1) ingest, windowed sum/avg/max/quantile
+//!   queries, deterministic CSV/JSONL export. The *when* to the metric
+//!   registry's *how much in total*.
+//! * [`slo`] — declarative objectives over those series, evaluated with
+//!   multi-window multi-burn-rate rules into a deterministic
+//!   [`slo::AlertTimeline`] and an exact error-budget ledger.
+//! * [`profile`] — folds recorded spans into inferno-compatible
+//!   flamegraph text, top-k hotspot tables, and run-to-run diffs.
 //!
 //! The disabled backend ([`Obs::noop`]) hands out detached handles whose
 //! operations are a single `Option` check — instrumented hot paths cost
@@ -52,12 +61,22 @@
 
 pub mod export;
 pub mod metrics;
+pub mod profile;
+pub mod slo;
 pub mod span;
+pub mod timeseries;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricRow, MetricValue, Obs, Snapshot,
 };
+pub use profile::{folded_stacks, hotspot_table, hotspots, profile_diff, Hotspot, ProfileDiff};
+pub use slo::{
+    AlertEvent, AlertPhase, AlertTimeline, BudgetLedger, BurnRule, Objective, SloEvaluator,
+};
 pub use span::{SpanRec, SpanRecorder, Trace};
+pub use timeseries::{
+    Series, SeriesKind, SeriesRegistry, SeriesRow, SeriesSpec, SeriesTotals, WindowStats,
+};
 
 /// Converts simulated milliseconds (the stream clock's unit) to the
 /// microsecond ticks spans and time counters use. Negative or

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::span::{SpanRecorder, Trace};
+use crate::timeseries::{Series, SeriesRegistry, SeriesRow, SeriesSpec};
 
 /// Number of registry shards (fixed; the registry holds metric *keys*,
 /// not per-session state, so a small constant is plenty).
@@ -90,7 +91,14 @@ impl HistCell {
     fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count.load(Ordering::Relaxed);
         let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        // Percentile = upper bound of the bucket holding the p-th value.
+        let min = if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) };
+        let max = self.max.load(Ordering::Relaxed);
+        // Percentile = upper bound of the bucket holding the p-th value,
+        // clamped into the observed [min, max]: a power-of-two bucket
+        // bound can exceed every recorded value (a histogram holding
+        // only 1000s sits in the [512, 1023] bucket, and 1023 was never
+        // observed), and on a single-value histogram the clamp collapses
+        // every percentile to that exact value.
         let pct = |p: u64| -> u64 {
             if count == 0 {
                 return 0;
@@ -100,20 +108,21 @@ impl HistCell {
             for (i, &n) in buckets.iter().enumerate() {
                 seen += n;
                 if seen >= rank {
-                    return match i {
+                    let upper = match i {
                         0 => 0,
                         64 => u64::MAX,
                         _ => (1u64 << i) - 1,
                     };
+                    return upper.clamp(min, max);
                 }
             }
-            u64::MAX
+            max
         };
         HistogramSnapshot {
             count,
             sum: self.sum.load(Ordering::Relaxed),
-            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
-            max: self.max.load(Ordering::Relaxed),
+            min,
+            max,
             p50: pct(50),
             p90: pct(90),
             p99: pct(99),
@@ -384,6 +393,7 @@ impl Snapshot {
 
 struct Inner {
     registry: Registry,
+    series: SeriesRegistry,
     traces: Mutex<Vec<Trace>>,
 }
 
@@ -412,7 +422,13 @@ impl Obs {
 
     /// A live recording backend with an empty registry.
     pub fn recording() -> Obs {
-        Obs { inner: Some(Arc::new(Inner { registry: Registry::new(), traces: Mutex::new(Vec::new()) })) }
+        Obs {
+            inner: Some(Arc::new(Inner {
+                registry: Registry::new(),
+                series: SeriesRegistry::new(),
+                traces: Mutex::new(Vec::new()),
+            })),
+        }
     }
 
     /// Whether this handle records anything.
@@ -453,6 +469,38 @@ impl Obs {
                 inner.registry.histogram(Key { name, labels: labels.to_vec() }),
             )),
         }
+    }
+
+    /// Resolves (registering on first use) a ring-buffer time series.
+    /// Like metric handles: resolve once, keep the handle, and a noop
+    /// backend hands out a detached [`Series`] whose ingest is one
+    /// `Option` check.
+    pub fn series(&self, spec: SeriesSpec) -> Series {
+        match &self.inner {
+            None => Series::noop(),
+            Some(inner) => inner.series.series(spec),
+        }
+    }
+
+    /// All non-empty time-series bins, sorted by `(name, bin_start_us)`
+    /// (empty on a noop backend).
+    pub fn series_rows(&self) -> Vec<SeriesRow> {
+        self.inner.as_ref().map_or_else(Vec::new, |inner| inner.series.rows())
+    }
+
+    /// Deterministic CSV of every registered time series (header only on
+    /// a noop backend).
+    pub fn series_csv(&self) -> String {
+        match &self.inner {
+            None => SeriesRegistry::new().to_csv(),
+            Some(inner) => inner.series.to_csv(),
+        }
+    }
+
+    /// Deterministic JSON-lines of every registered time series (empty
+    /// on a noop backend).
+    pub fn series_jsonl(&self) -> String {
+        self.inner.as_ref().map_or_else(String::new, |inner| inner.series.to_jsonl())
     }
 
     /// A span recorder for the session labelled `label` (disabled when
@@ -516,7 +564,27 @@ mod tests {
         assert_eq!(hs.min, 0);
         assert_eq!(hs.max, 1000);
         assert_eq!(hs.p50, 1, "median bucket is [1,1]");
-        assert_eq!(hs.p99, 1023, "p99 bucket upper bound covers 1000");
+        assert_eq!(hs.p99, 1000, "p99 bucket bound 1023 clamps to the observed max");
+    }
+
+    #[test]
+    fn obs_series_register_once_and_noop_is_free() {
+        let obs = Obs::recording();
+        let a = obs.series(SeriesSpec::counter("s.ev", 1_000, 8));
+        let b = obs.series(SeriesSpec::counter("s.ev", 1_000, 8));
+        a.record(500, 1);
+        b.record(700, 2);
+        assert_eq!(a.window(999, 1_000).sum, 3, "same name resolves to the same ring");
+        assert_eq!(obs.series_rows().len(), 1);
+        assert!(obs.series_csv().contains("s.ev,counter,0,1000,2,3,1,2\r\n"));
+        assert_eq!(obs.series_jsonl().lines().count(), 1);
+        let noop = Obs::noop();
+        let s = noop.series(SeriesSpec::counter("s.ev", 1_000, 8));
+        s.record(500, 1);
+        assert!(!s.enabled());
+        assert!(noop.series_rows().is_empty());
+        assert_eq!(noop.series_csv(), "name,kind,bin_start_us,bin_width_us,count,sum,min,max\r\n");
+        assert_eq!(noop.series_jsonl(), "");
     }
 
     #[test]

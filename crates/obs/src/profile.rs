@@ -1,0 +1,349 @@
+//! Flamegraph folding, hotspot tables, and run-to-run profile diffs
+//! over recorded [`Trace`]s.
+//!
+//! Spans are stored pre-order with explicit depths (a span's parent is
+//! the nearest earlier span with a smaller depth), so one linear walk
+//! per trace reconstructs the call tree and splits every span's
+//! duration into **self time** (duration minus the time spent in child
+//! spans) and **total time**. Self time is what flamegraphs weigh:
+//! summed over a cohort it answers "where did the simulated time go?",
+//! and [`folded_stacks`] emits it in the inferno/FlameGraph
+//! semicolon-folded text format (`root;child;leaf 1234`, one line per
+//! distinct stack, value in simulated µs) ready for
+//! `inferno-flamegraph` or `flamegraph.pl`.
+//!
+//! All outputs are deterministic: stacks aggregate across traces into
+//! sorted maps, ties break on names, and the inputs themselves are
+//! simulated-clock snapshots — so EXP-15 can assert byte-identical
+//! folded text across reruns, and [`profile_diff`] can compare two runs
+//! without wall-clock noise drowning the signal.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::Snapshot;
+use crate::span::Trace;
+
+/// Walks one trace pre-order, invoking `sink(stack, self_us, total_us)`
+/// for every span with its full name path (root first).
+fn walk(trace: &Trace, sink: &mut impl FnMut(&[&'static str], u64, u64)) {
+    // (name, duration, child time) per open ancestor.
+    let mut open: Vec<(&'static str, u64, u64)> = Vec::new();
+    let flush = |open: &mut Vec<(&'static str, u64, u64)>,
+                     sink: &mut dyn FnMut(&[&'static str], u64, u64)| {
+        let (name, dur, child) = open.pop().expect("flush on empty stack");
+        let path: Vec<&'static str> =
+            open.iter().map(|f| f.0).chain(std::iter::once(name)).collect();
+        sink(&path, dur.saturating_sub(child), dur);
+        if let Some(parent) = open.last_mut() {
+            parent.2 = parent.2.saturating_add(dur);
+        }
+    };
+    for span in &trace.spans {
+        while open.len() > span.depth as usize {
+            flush(&mut open, sink);
+        }
+        open.push((span.name, span.duration_us(), 0));
+    }
+    while !open.is_empty() {
+        flush(&mut open, sink);
+    }
+}
+
+/// Folds a snapshot's traces into inferno-compatible folded-stack text:
+/// one `a;b;c value` line per distinct stack, value = summed self time
+/// in simulated µs, aggregated across every trace and sorted by stack,
+/// so identical seeded runs emit byte-identical text. Stacks whose
+/// aggregate self time is 0 (pure pass-through frames, instantaneous
+/// events) are omitted — they would render as invisible slivers.
+pub fn folded_stacks(snap: &Snapshot) -> String {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for trace in &snap.traces {
+        walk(trace, &mut |path, self_us, _total| {
+            if self_us > 0 {
+                *folded.entry(path.join(";")).or_insert(0) += self_us;
+            }
+        });
+    }
+    let mut out = String::new();
+    for (stack, value) in folded {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Aggregate cost of one span name across a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hotspot {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of spans with this name.
+    pub calls: u64,
+    /// Summed span durations in simulated µs (a parent's total includes
+    /// its children's).
+    pub total_us: u64,
+    /// Summed self time (duration minus child time) in simulated µs.
+    pub self_us: u64,
+}
+
+/// The top-`k` span names by self time (ties broken by name), the
+/// flamegraph's "widest frames" as a table-friendly list.
+pub fn hotspots(snap: &Snapshot, k: usize) -> Vec<Hotspot> {
+    let mut by_name: BTreeMap<&'static str, Hotspot> = BTreeMap::new();
+    for trace in &snap.traces {
+        walk(trace, &mut |path, self_us, total_us| {
+            let name = *path.last().expect("walk paths are never empty");
+            let h = by_name.entry(name).or_insert(Hotspot { name, calls: 0, total_us: 0, self_us: 0 });
+            h.calls += 1;
+            h.total_us = h.total_us.saturating_add(total_us);
+            h.self_us = h.self_us.saturating_add(self_us);
+        });
+    }
+    let mut out: Vec<Hotspot> = by_name.into_values().collect();
+    out.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(b.name)));
+    out.truncate(k);
+    out
+}
+
+/// The top-`k` hotspots as an aligned text table (self µs, total µs,
+/// calls, name), deterministic like every exporter in this crate.
+pub fn hotspot_table(snap: &Snapshot, k: usize) -> String {
+    let rows = hotspots(snap, k);
+    let mut out = String::from("self_us     total_us    calls       name\n");
+    for h in rows {
+        out.push_str(&format!("{:<11} {:<11} {:<11} {}\n", h.self_us, h.total_us, h.calls, h.name));
+    }
+    out
+}
+
+/// One span name whose self time changed between two runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotspotDelta {
+    /// Span name.
+    pub name: &'static str,
+    /// Self time in the *before* snapshot (µs; 0 if absent).
+    pub before_us: u64,
+    /// Self time in the *after* snapshot (µs; 0 if absent).
+    pub after_us: u64,
+}
+
+impl HotspotDelta {
+    /// `after / before`; `INFINITY` for a span new in the after run.
+    pub fn ratio(&self) -> f64 {
+        if self.before_us == 0 {
+            if self.after_us == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.after_us as f64 / self.before_us as f64
+        }
+    }
+
+    /// Absolute change in µs (positive = regression).
+    pub fn delta_us(&self) -> i64 {
+        self.after_us as i64 - self.before_us as i64
+    }
+}
+
+/// Result of [`profile_diff`]: per-name self-time movements beyond the
+/// threshold, each list sorted by absolute change (then name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileDiff {
+    /// Relative threshold the diff was taken at (0.2 = ±20%).
+    pub threshold: f64,
+    /// Names whose self time grew by more than the threshold.
+    pub regressions: Vec<HotspotDelta>,
+    /// Names whose self time shrank by more than the threshold.
+    pub improvements: Vec<HotspotDelta>,
+}
+
+impl ProfileDiff {
+    /// True when nothing moved beyond the threshold.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty() && self.improvements.is_empty()
+    }
+
+    /// Aligned text report (regressions first), deterministic.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        for (title, rows) in
+            [("regressions", &self.regressions), ("improvements", &self.improvements)]
+        {
+            out.push_str(&format!("{title} (>{:.0}%):\n", self.threshold * 100.0));
+            if rows.is_empty() {
+                out.push_str("  none\n");
+            }
+            for d in rows {
+                let ratio = if d.ratio().is_finite() {
+                    format!("{:.2}x", d.ratio())
+                } else {
+                    "new".to_owned()
+                };
+                out.push_str(&format!(
+                    "  {:<24} {:>10} -> {:<10} {}\n",
+                    d.name, d.before_us, d.after_us, ratio
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Compares per-name self time between two runs, reporting every span
+/// name whose self time moved by more than `threshold` relative to the
+/// *before* run (a name absent before and present after is a
+/// regression; the reverse is an improvement). Non-finite or negative
+/// thresholds clamp to 0.
+pub fn profile_diff(before: &Snapshot, after: &Snapshot, threshold: f64) -> ProfileDiff {
+    let threshold = if threshold.is_finite() { threshold.max(0.0) } else { 0.0 };
+    let collect = |snap: &Snapshot| -> BTreeMap<&'static str, u64> {
+        let mut m = BTreeMap::new();
+        for h in hotspots(snap, usize::MAX) {
+            m.insert(h.name, h.self_us);
+        }
+        m
+    };
+    let b = collect(before);
+    let a = collect(after);
+    let mut names: Vec<&'static str> = b.keys().chain(a.keys()).copied().collect();
+    names.sort_unstable();
+    names.dedup();
+    let mut regressions = Vec::new();
+    let mut improvements = Vec::new();
+    for name in names {
+        let before_us = b.get(name).copied().unwrap_or(0);
+        let after_us = a.get(name).copied().unwrap_or(0);
+        let d = HotspotDelta { name, before_us, after_us };
+        if after_us as f64 > before_us as f64 * (1.0 + threshold) {
+            regressions.push(d);
+        } else if (after_us as f64) < before_us as f64 * (1.0 - threshold) {
+            improvements.push(d);
+        }
+    }
+    regressions.sort_by(|x, y| y.delta_us().cmp(&x.delta_us()).then(x.name.cmp(y.name)));
+    improvements.sort_by(|x, y| x.delta_us().cmp(&y.delta_us()).then(x.name.cmp(y.name)));
+    ProfileDiff { threshold, regressions, improvements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Obs;
+
+    /// session(0..100) { fetch(0..30) { decode(10..25) }, fetch(40..90) }
+    fn sample_obs() -> Obs {
+        let obs = Obs::recording();
+        let mut rec = obs.recorder("s-00".into());
+        rec.enter("session", 0);
+        rec.enter("fetch", 0);
+        rec.enter("decode", 10);
+        rec.exit(25);
+        rec.exit(30);
+        rec.enter("fetch", 40);
+        rec.exit(90);
+        rec.exit(100);
+        obs.attach(rec);
+        obs
+    }
+
+    #[test]
+    fn profile_folded_stacks_split_self_time() {
+        let folded = folded_stacks(&sample_obs().snapshot());
+        // session self = 100 − (30 + 50); fetch self = (30 − 15) + 50.
+        assert_eq!(
+            folded,
+            "session 20\nsession;fetch 65\nsession;fetch;decode 15\n",
+            "folded text is exact and sorted"
+        );
+    }
+
+    #[test]
+    fn profile_hotspots_rank_by_self_time() {
+        let snap = sample_obs().snapshot();
+        let top = hotspots(&snap, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!((top[0].name, top[0].calls, top[0].total_us, top[0].self_us), ("fetch", 2, 80, 65));
+        assert_eq!((top[1].name, top[1].self_us), ("session", 20));
+        let table = hotspot_table(&snap, 10);
+        assert!(table.starts_with("self_us"));
+        assert!(table.contains("fetch"));
+        assert!(table.contains("decode"));
+    }
+
+    #[test]
+    fn profile_zero_self_frames_are_omitted_from_folds() {
+        let obs = Obs::recording();
+        let mut rec = obs.recorder("s".into());
+        rec.enter("wrapper", 0); // all time in the child ⇒ self 0
+        rec.enter("work", 0);
+        rec.exit(50);
+        rec.exit(50);
+        rec.event("blip", 9, 50); // zero-duration event
+        obs.attach(rec);
+        let folded = folded_stacks(&obs.snapshot());
+        assert_eq!(folded, "wrapper;work 50\n");
+        // … but hotspots still count their calls.
+        let spots = hotspots(&obs.snapshot(), 10);
+        assert!(spots.iter().any(|h| h.name == "wrapper" && h.self_us == 0 && h.total_us == 50));
+        assert!(spots.iter().any(|h| h.name == "blip" && h.calls == 1));
+    }
+
+    #[test]
+    fn profile_aggregates_across_traces_deterministically() {
+        let run = || {
+            let obs = Obs::recording();
+            for i in 0..3u64 {
+                let mut rec = obs.recorder(format!("s-{i:02}"));
+                rec.enter("session", 0);
+                rec.enter("fetch", 0);
+                rec.exit(10 + i);
+                rec.exit(20);
+                obs.attach(rec);
+            }
+            folded_stacks(&obs.snapshot())
+        };
+        assert_eq!(run(), run(), "byte-identical folds across reruns");
+        assert_eq!(run(), "session 27\nsession;fetch 33\n");
+    }
+
+    #[test]
+    fn profile_diff_reports_only_movements_beyond_threshold() {
+        let before = sample_obs().snapshot();
+        let after_obs = Obs::recording();
+        let mut rec = after_obs.recorder("s-00".into());
+        rec.enter("session", 0);
+        rec.enter("fetch", 0);
+        rec.enter("decode", 10);
+        rec.exit(85); // decode blew up: 15 → 75
+        rec.exit(90);
+        rec.enter("conceal", 90); // new span
+        rec.exit(95);
+        rec.exit(100);
+        after_obs.attach(rec);
+        let after = after_obs.snapshot();
+        let diff = profile_diff(&before, &after, 0.2);
+        assert!(!diff.is_clean());
+        let reg: Vec<&str> = diff.regressions.iter().map(|d| d.name).collect();
+        assert_eq!(reg, vec!["decode", "conceal"], "sorted by absolute growth");
+        assert_eq!(diff.regressions[1].ratio(), f64::INFINITY, "new span is a regression");
+        let imp: Vec<&str> = diff.improvements.iter().map(|d| d.name).collect();
+        assert_eq!(imp, vec!["fetch", "session"]);
+        // Identical runs diff clean at any threshold.
+        assert!(profile_diff(&before, &before, 0.0).is_clean());
+        let table = diff.to_table();
+        assert!(table.contains("regressions"));
+        assert!(table.contains("new"));
+    }
+
+    #[test]
+    fn profile_empty_snapshot_folds_to_nothing() {
+        let snap = Obs::noop().snapshot();
+        assert_eq!(folded_stacks(&snap), "");
+        assert!(hotspots(&snap, 5).is_empty());
+        assert!(profile_diff(&snap, &snap, 0.5).is_clean());
+    }
+}

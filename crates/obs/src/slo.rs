@@ -1,0 +1,577 @@
+//! Declarative service-level objectives over [`crate::timeseries`],
+//! evaluated with Google-SRE-style multi-window multi-burn-rate rules.
+//!
+//! An [`Objective`] names a bad-event fraction and a budget for it
+//! (`shed_rate < 0.5%`, `rebuffer_ratio < 1%`). Its **burn rate** over a
+//! window is `bad_fraction / budget` — burn 1.0 spends exactly the
+//! budget if sustained, burn 14.4 exhausts a 3-day budget in 5 hours. A
+//! [`BurnRule`] pairs a long window (is the burn *sustained*?) with a
+//! short window (is it *still happening*?); the alert condition is the
+//! AND of both exceeding the rule's threshold, which is what keeps a
+//! recovered incident from paging for hours after the fact.
+//!
+//! Evaluation is driven by explicit [`SloEvaluator::tick`] calls on the
+//! simulated clock, so the resulting [`AlertTimeline`] — every
+//! pending → firing → resolved transition with its exact timestamp — is
+//! byte-identical across reruns of a seeded scenario. Each rule moves
+//! through at most **one** state transition per tick (hysteresis: an
+//! alert can never flap within a single evaluation instant), a property
+//! pinned by proptest.
+//!
+//! Alert windows only see the ring's retention horizon, so the
+//! [`BudgetLedger`] is computed from [`crate::timeseries::SeriesTotals`] running totals
+//! instead: budget accounting stays exact over the whole run no matter
+//! how small the rings are.
+
+use crate::export::{csv_field, json_str};
+use crate::timeseries::Series;
+
+/// One multi-window burn-rate rule: fire when the burn rate over *both*
+/// the long and the short window is at least `burn`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnRule {
+    /// Rule label in the timeline (`"fast"`, `"slow"`).
+    pub label: &'static str,
+    /// Long window (sustained burn) in simulated µs.
+    pub long_us: u64,
+    /// Short window (still happening) in simulated µs.
+    pub short_us: u64,
+    /// Burn-rate threshold (1.0 = spending exactly the budget).
+    pub burn: f64,
+    /// How long the condition must hold before pending becomes firing.
+    pub pending_us: u64,
+}
+
+impl BurnRule {
+    /// The SRE-workbook fast-burn page rule — 14.4× burn over 1 h / 5 m
+    /// — with both windows scaled by `us_per_min` simulated µs per
+    /// "minute", so scenario clocks that compress time keep the shape.
+    pub fn sre_fast(us_per_min: u64) -> BurnRule {
+        BurnRule {
+            label: "fast",
+            long_us: 60 * us_per_min,
+            short_us: 5 * us_per_min,
+            burn: 14.4,
+            pending_us: 0,
+        }
+    }
+
+    /// The SRE-workbook slow-burn rule — 6× burn over 6 h / 30 m —
+    /// scaled by `us_per_min` like [`BurnRule::sre_fast`]. (The 3-day
+    /// ticket windows collapse to the same shape under scaling; these
+    /// two presets cover the fast/slow split EXP-15 exercises.)
+    pub fn sre_slow(us_per_min: u64) -> BurnRule {
+        BurnRule {
+            label: "slow",
+            long_us: 360 * us_per_min,
+            short_us: 30 * us_per_min,
+            burn: 6.0,
+            pending_us: 0,
+        }
+    }
+}
+
+/// How an objective derives its bad-event fraction from series.
+#[derive(Debug, Clone)]
+enum Sli {
+    /// `bad.sum / total.sum` over the window (0 when no events — the
+    /// workspace perfect-on-empty convention).
+    EventRatio {
+        /// Counter series of bad events.
+        bad: Series,
+        /// Counter series of all events.
+        total: Series,
+    },
+    /// `busy.sum / window` — the fraction of the window spent in a bad
+    /// state (rebuffering), for series whose values are µs of bad time.
+    TimeFraction {
+        /// Counter series whose values are bad µs.
+        busy: Series,
+    },
+}
+
+/// A service-level objective: a bad-event fraction, the budget for it,
+/// and the burn-rate rules that alert on overspending.
+#[derive(Debug, Clone)]
+pub struct Objective {
+    /// Objective name in timelines and ledgers (`"shed_rate"`).
+    pub name: &'static str,
+    /// Maximum acceptable bad fraction, in (0, 1].
+    pub budget: f64,
+    sli: Sli,
+    /// Burn-rate rules evaluated each tick.
+    pub rules: Vec<BurnRule>,
+}
+
+impl Objective {
+    /// An event-ratio objective: `bad.sum / total.sum < budget`.
+    pub fn event_ratio(
+        name: &'static str,
+        budget: f64,
+        bad: Series,
+        total: Series,
+        rules: Vec<BurnRule>,
+    ) -> Objective {
+        Objective { name, budget: sane_budget(budget), sli: Sli::EventRatio { bad, total }, rules }
+    }
+
+    /// A time-fraction objective: `busy µs / elapsed µs < budget`.
+    pub fn time_fraction(
+        name: &'static str,
+        budget: f64,
+        busy: Series,
+        rules: Vec<BurnRule>,
+    ) -> Objective {
+        Objective { name, budget: sane_budget(budget), sli: Sli::TimeFraction { busy }, rules }
+    }
+
+    /// Bad-event fraction over `(end_us − window_us, end_us]`. Empty
+    /// windows are perfect (0.0), never NaN.
+    pub fn bad_fraction_over(&self, end_us: u64, window_us: u64) -> f64 {
+        match &self.sli {
+            Sli::EventRatio { bad, total } => {
+                let t = total.window(end_us, window_us).sum;
+                if t == 0 {
+                    0.0
+                } else {
+                    bad.window(end_us, window_us).sum as f64 / t as f64
+                }
+            }
+            Sli::TimeFraction { busy } => {
+                if window_us == 0 {
+                    0.0
+                } else {
+                    busy.window(end_us, window_us).sum as f64 / window_us as f64
+                }
+            }
+        }
+    }
+
+    /// Burn rate over the window: bad fraction divided by budget.
+    pub fn burn_over(&self, end_us: u64, window_us: u64) -> f64 {
+        self.bad_fraction_over(end_us, window_us) / self.budget
+    }
+
+    /// The whole-run error-budget ledger for this objective, from the
+    /// running [`crate::timeseries::SeriesTotals`] (exact regardless of ring retention).
+    /// `end_us` anchors time-fraction objectives; event-ratio ledgers
+    /// ignore it.
+    pub fn ledger(&self, end_us: u64) -> BudgetLedger {
+        let (bad, total) = match &self.sli {
+            Sli::EventRatio { bad, total } => (bad.totals().sum, total.totals().sum),
+            Sli::TimeFraction { busy } => (busy.totals().sum, end_us),
+        };
+        BudgetLedger { objective: self.name, budget: self.budget, bad, total }
+    }
+}
+
+/// Budgets must be a usable divisor: clamp junk into (0, 1] instead of
+/// letting a bad config produce NaN/∞ burn rates.
+fn sane_budget(budget: f64) -> f64 {
+    if budget.is_finite() && budget > 0.0 {
+        budget.min(1.0)
+    } else {
+        debug_assert!(false, "objective budget must be in (0, 1]");
+        1.0
+    }
+}
+
+/// Alert lifecycle phase recorded in the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertPhase {
+    /// Condition newly true; waiting out the rule's `pending_us`.
+    Pending,
+    /// Condition held long enough — the alert is live.
+    Firing,
+    /// Condition no longer true; the alert closed.
+    Resolved,
+}
+
+impl AlertPhase {
+    /// Lowercase name used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertPhase::Pending => "pending",
+            AlertPhase::Firing => "firing",
+            AlertPhase::Resolved => "resolved",
+        }
+    }
+}
+
+/// One state transition of one objective/rule pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlertEvent {
+    /// Simulated-µs tick at which the transition happened.
+    pub t_us: u64,
+    /// Objective name.
+    pub objective: &'static str,
+    /// Rule label within the objective.
+    pub rule: &'static str,
+    /// Phase entered.
+    pub phase: AlertPhase,
+}
+
+/// The deterministic record of every alert transition, in tick order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AlertTimeline {
+    /// Transitions in the order they happened (ties broken by objective
+    /// then rule registration order — both deterministic).
+    pub events: Vec<AlertEvent>,
+}
+
+impl AlertTimeline {
+    /// Number of transitions into `phase`.
+    pub fn count(&self, phase: AlertPhase) -> usize {
+        self.events.iter().filter(|e| e.phase == phase).count()
+    }
+
+    /// Whether any transition was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// RFC-4180 CSV (CRLF line endings, like the metric exporters).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_us,objective,rule,phase\r\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{},{},{}\r\n",
+                e.t_us,
+                csv_field(e.objective),
+                csv_field(e.rule),
+                e.phase.label(),
+            ));
+        }
+        out
+    }
+
+    /// JSON-lines, one object per transition.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!(
+                "{{\"t_us\":{},\"objective\":{},\"rule\":{},\"phase\":\"{}\"}}\n",
+                e.t_us,
+                json_str(e.objective),
+                json_str(e.rule),
+                e.phase.label(),
+            ));
+        }
+        out
+    }
+}
+
+/// Whole-run error-budget accounting for one objective.
+///
+/// Built from running series totals, so `bad` and `total` match the
+/// scenario's own exact counts (EXP-15 cross-checks them against
+/// `SupervisorReport` field by field).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetLedger {
+    /// Objective name.
+    pub objective: &'static str,
+    /// Budget the objective was declared with.
+    pub budget: f64,
+    /// Bad units observed over the run (events, or µs for
+    /// time-fraction objectives).
+    pub bad: u64,
+    /// Total units over the run (events, or elapsed µs).
+    pub total: u64,
+}
+
+impl BudgetLedger {
+    /// Observed bad fraction; 0.0 on an empty run (perfect-on-empty).
+    pub fn bad_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.bad as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of the error budget spent (1.0 = exactly exhausted).
+    pub fn spend(&self) -> f64 {
+        self.bad_fraction() / self.budget
+    }
+
+    /// Whether the run stayed within its error budget.
+    pub fn within_budget(&self) -> bool {
+        self.spend() <= 1.0
+    }
+}
+
+/// Per-rule alert state machine state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RuleState {
+    Inactive,
+    Pending { since_us: u64 },
+    Firing,
+}
+
+/// Evaluates a set of objectives tick by tick on the simulated clock,
+/// accumulating the [`AlertTimeline`].
+#[derive(Debug, Clone, Default)]
+pub struct SloEvaluator {
+    objectives: Vec<Objective>,
+    states: Vec<Vec<RuleState>>,
+    timeline: AlertTimeline,
+    last_tick_us: Option<u64>,
+}
+
+impl SloEvaluator {
+    /// An evaluator with no objectives.
+    pub fn new() -> SloEvaluator {
+        SloEvaluator::default()
+    }
+
+    /// Adds an objective; its rules start `Inactive`.
+    pub fn add(&mut self, objective: Objective) {
+        self.states.push(vec![RuleState::Inactive; objective.rules.len()]);
+        self.objectives.push(objective);
+    }
+
+    /// The registered objectives, in registration order.
+    pub fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    /// Evaluates every rule at simulated time `t_us`. Out-of-order ticks
+    /// clamp to the latest tick seen, keeping the timeline monotone.
+    /// Each rule makes **at most one** transition per tick.
+    pub fn tick(&mut self, t_us: u64) {
+        let t = self.last_tick_us.map_or(t_us, |last| t_us.max(last));
+        self.last_tick_us = Some(t);
+        for (obj, states) in self.objectives.iter().zip(self.states.iter_mut()) {
+            for (rule, state) in obj.rules.iter().zip(states.iter_mut()) {
+                let cond = obj.burn_over(t, rule.long_us) >= rule.burn
+                    && obj.burn_over(t, rule.short_us) >= rule.burn;
+                let (next, phase) = match (*state, cond) {
+                    (RuleState::Inactive, true) => {
+                        (RuleState::Pending { since_us: t }, Some(AlertPhase::Pending))
+                    }
+                    (RuleState::Pending { since_us }, true) if t - since_us >= rule.pending_us => {
+                        (RuleState::Firing, Some(AlertPhase::Firing))
+                    }
+                    (RuleState::Pending { .. }, false) | (RuleState::Firing, false) => {
+                        (RuleState::Inactive, Some(AlertPhase::Resolved))
+                    }
+                    (s, _) => (s, None),
+                };
+                *state = next;
+                if let Some(phase) = phase {
+                    self.timeline.events.push(AlertEvent {
+                        t_us: t,
+                        objective: obj.name,
+                        rule: rule.label,
+                        phase,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Number of rules currently firing.
+    pub fn firing(&self) -> usize {
+        self.states
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s, RuleState::Firing))
+            .count()
+    }
+
+    /// The timeline accumulated so far.
+    pub fn timeline(&self) -> &AlertTimeline {
+        &self.timeline
+    }
+
+    /// Consumes the evaluator, returning its timeline.
+    pub fn into_timeline(self) -> AlertTimeline {
+        self.timeline
+    }
+
+    /// Whole-run ledgers for every objective, in registration order.
+    pub fn ledgers(&self, end_us: u64) -> Vec<BudgetLedger> {
+        self.objectives.iter().map(|o| o.ledger(end_us)).collect()
+    }
+}
+
+// Re-exported here so `use vgbl_obs::slo::*` pulls the series types the
+// objective constructors need.
+#[allow(unused_imports)]
+pub use crate::timeseries::SeriesSpec;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::SeriesSpec;
+
+    fn rule(long_us: u64, short_us: u64, burn: f64, pending_us: u64) -> BurnRule {
+        BurnRule { label: "fast", long_us, short_us, burn, pending_us }
+    }
+
+    #[test]
+    fn slo_pending_firing_resolved_have_exact_timestamps() {
+        let bad = Series::standalone(SeriesSpec::counter("bad", 1_000, 64));
+        let total = Series::standalone(SeriesSpec::counter("total", 1_000, 64));
+        let mut ev = SloEvaluator::new();
+        ev.add(Objective::event_ratio(
+            "shed_rate",
+            0.10,
+            bad.clone(),
+            total.clone(),
+            vec![rule(8_000, 2_000, 1.0, 2_000)],
+        ));
+        // Healthy traffic: burn 0.
+        for t in [500u64, 1_500, 2_500] {
+            total.record(t, 1);
+            ev.tick(t);
+        }
+        assert!(ev.timeline().is_empty());
+        // 100% bad traffic: burn 10 ≥ 1 → pending at 3_500.
+        for t in [3_500u64, 4_500, 5_500, 6_500] {
+            bad.record(t, 1);
+            total.record(t, 1);
+            ev.tick(t);
+        }
+        // Recovery: short window drains → resolved.
+        for t in [9_500u64, 10_500, 11_500] {
+            total.record(t, 1);
+            ev.tick(t);
+        }
+        let tl = ev.timeline();
+        let phases: Vec<(u64, AlertPhase)> = tl.events.iter().map(|e| (e.t_us, e.phase)).collect();
+        assert_eq!(
+            phases,
+            vec![
+                (3_500, AlertPhase::Pending),
+                (5_500, AlertPhase::Firing), // first tick with ≥ 2_000 µs pending
+                (9_500, AlertPhase::Resolved),
+            ],
+        );
+        assert_eq!(ev.firing(), 0);
+    }
+
+    #[test]
+    fn slo_short_spike_without_sustained_burn_never_fires() {
+        let bad = Series::standalone(SeriesSpec::counter("bad", 1_000, 64));
+        let total = Series::standalone(SeriesSpec::counter("total", 1_000, 64));
+        let mut ev = SloEvaluator::new();
+        ev.add(Objective::event_ratio(
+            "spiky",
+            0.10,
+            bad.clone(),
+            total.clone(),
+            vec![rule(32_000, 1_000, 2.0, 0)],
+        ));
+        // A long healthy baseline, then one bad millisecond: the short
+        // window condition is true but the long window stays below
+        // threshold, so the AND never triggers.
+        for t in 0..30u64 {
+            total.record(t * 1_000 + 500, 10);
+        }
+        bad.record(30_500, 1);
+        total.record(30_500, 1);
+        ev.tick(30_900);
+        assert!(ev.timeline().is_empty(), "multi-window AND suppresses blips");
+    }
+
+    #[test]
+    fn slo_at_most_one_transition_per_tick_and_ticks_are_monotone() {
+        let bad = Series::standalone(SeriesSpec::counter("bad", 1_000, 64));
+        let total = Series::standalone(SeriesSpec::counter("total", 1_000, 64));
+        let mut ev = SloEvaluator::new();
+        ev.add(Objective::event_ratio(
+            "strict",
+            0.01,
+            bad.clone(),
+            total.clone(),
+            vec![rule(4_000, 1_000, 1.0, 0)],
+        ));
+        bad.record(100, 1);
+        total.record(100, 1);
+        ev.tick(100);
+        assert_eq!(ev.timeline().events.len(), 1, "inactive jumps to pending, not to firing");
+        assert_eq!(ev.timeline().events[0].phase, AlertPhase::Pending);
+        ev.tick(100);
+        assert_eq!(ev.timeline().events.len(), 2);
+        assert_eq!(ev.timeline().events[1].phase, AlertPhase::Firing);
+        // An out-of-order tick clamps instead of rewinding the timeline.
+        ev.tick(50);
+        assert!(ev.timeline().events.iter().all(|e| e.t_us == 100));
+    }
+
+    #[test]
+    fn slo_time_fraction_objective_reads_busy_time() {
+        let stall = Series::standalone(SeriesSpec::counter("stall_us", 10_000, 64));
+        let obj = Objective::time_fraction("rebuffer_ratio", 0.01, stall.clone(), Vec::new());
+        stall.record(25_000, 5_000); // 5 ms of stall inside a 100 ms window
+        assert!((obj.bad_fraction_over(99_999, 100_000) - 0.05).abs() < 1e-9);
+        assert!((obj.burn_over(99_999, 100_000) - 5.0).abs() < 1e-9);
+        assert_eq!(obj.bad_fraction_over(99_999, 0), 0.0, "zero window is 0, not NaN");
+        let ledger = obj.ledger(100_000);
+        assert_eq!((ledger.bad, ledger.total), (5_000, 100_000));
+        assert!(!ledger.within_budget(), "5% stall against a 1% budget");
+    }
+
+    #[test]
+    fn slo_ledger_is_exact_and_perfect_on_empty() {
+        let bad = Series::standalone(SeriesSpec::counter("bad", 1_000, 2));
+        let total = Series::standalone(SeriesSpec::counter("total", 1_000, 2));
+        let obj =
+            Objective::event_ratio("shed_rate", 0.005, bad.clone(), total.clone(), Vec::new());
+        let empty = obj.ledger(0);
+        assert_eq!(empty.bad_fraction(), 0.0);
+        assert_eq!(empty.spend(), 0.0);
+        assert!(empty.within_budget());
+        // 2-bin ring, 10 bins of traffic: windows forget, the ledger must not.
+        for bin in 0..10u64 {
+            total.record(bin * 1_000, 1);
+            if bin % 2 == 0 {
+                bad.record(bin * 1_000, 1);
+            }
+        }
+        let ledger = obj.ledger(10_000);
+        assert_eq!((ledger.bad, ledger.total), (5, 10), "ledger survives ring rotation");
+        assert!((ledger.bad_fraction() - 0.5).abs() < 1e-12);
+        assert!((ledger.spend() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slo_timeline_exports_are_deterministic() {
+        let make = || {
+            let bad = Series::standalone(SeriesSpec::counter("bad", 1_000, 64));
+            let total = Series::standalone(SeriesSpec::counter("total", 1_000, 64));
+            let mut ev = SloEvaluator::new();
+            ev.add(Objective::event_ratio(
+                "shed_rate",
+                0.10,
+                bad.clone(),
+                total.clone(),
+                vec![rule(4_000, 1_000, 1.0, 0)],
+            ));
+            for t in [500u64, 1_500, 2_500, 6_500] {
+                bad.record(t, 1);
+                total.record(t, 1);
+                ev.tick(t);
+            }
+            (ev.timeline().to_csv(), ev.timeline().to_jsonl())
+        };
+        let (csv_a, jsonl_a) = make();
+        let (csv_b, jsonl_b) = make();
+        assert_eq!(csv_a, csv_b);
+        assert_eq!(jsonl_a, jsonl_b);
+        assert!(csv_a.starts_with("t_us,objective,rule,phase\r\n"));
+        assert!(csv_a.contains("500,shed_rate,fast,pending\r\n"));
+        assert!(jsonl_a.contains("\"phase\":\"firing\""));
+    }
+
+    #[test]
+    fn slo_sre_presets_scale_with_the_simulated_minute() {
+        let fast = BurnRule::sre_fast(1_000);
+        assert_eq!((fast.long_us, fast.short_us), (60_000, 5_000));
+        assert!((fast.burn - 14.4).abs() < 1e-12);
+        let slow = BurnRule::sre_slow(1_000);
+        assert_eq!((slow.long_us, slow.short_us), (360_000, 30_000));
+        assert!((slow.burn - 6.0).abs() < 1e-12);
+    }
+}

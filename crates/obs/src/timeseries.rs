@@ -1,0 +1,659 @@
+//! Fixed-width ring-buffer time series on the simulated clock.
+//!
+//! A [`Series`] buckets observations into fixed-width **bins** of
+//! simulated time (`t_us / bin_width_us`) held in a ring of `bins`
+//! slots, so it answers *windowed* questions — "how many sheds in the
+//! last 5 simulated seconds?", "p99 admission wait over the last
+//! minute?" — in O(bins), while ingest stays O(1): one division, one
+//! slot write, no allocation after construction.
+//!
+//! Three properties make the ring deterministic and exact:
+//!
+//! * **Lazy eviction.** Advancing time never clears slots; a slot is
+//!   reset only when a newer bin index claims it. Window queries filter
+//!   by each slot's *absolute* bin index, so a stale slot is simply
+//!   outside the window. Because two distinct bin indices within one
+//!   ring length can never share a slot, every bin inside the retention
+//!   horizon `(head − bins, head]` is exact.
+//! * **Commutative accumulation.** Bins hold count/sum/min/max (and
+//!   power-of-two buckets for histogram series) — all commutative, so
+//!   the exported rows are independent of ingest interleaving within a
+//!   bin.
+//! * **Total drops.** A sample older than the retention horizon is
+//!   counted in [`SeriesTotals::dropped`] (and still in the running
+//!   totals), never silently lost and never a panic.
+//!
+//! Like [`crate::metrics`], the disabled handle ([`Series::noop`], what
+//! [`crate::Obs::noop`] hands out) costs one `Option` check per ingest.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Number of power-of-two histogram buckets per bin (bucket `i` counts
+/// values of bit length `i`; bucket 0 holds the value 0). Matches
+/// [`crate::metrics`] so windowed quantiles agree with run-total ones.
+const BUCKETS: usize = 65;
+
+/// Sentinel for "no sample ingested yet" in [`Ring::head`] and for "slot
+/// never used" in [`Bin::index`].
+const EMPTY: u64 = u64::MAX;
+
+/// How a series is interpreted at query and export time. All kinds
+/// accumulate count/sum/min/max per bin; [`SeriesKind::Histogram`]
+/// additionally keeps per-bin power-of-two buckets so
+/// [`Series::quantile_over`] can answer windowed percentiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Monotonic event counts; [`Series::rate_over`] divides the
+    /// windowed sum by the window length.
+    Counter,
+    /// Sampled levels (queue depth, occupancy); windowed avg/min/max are
+    /// the natural queries.
+    Gauge,
+    /// Distributions (latencies, distances); windowed quantiles are the
+    /// natural queries.
+    Histogram,
+}
+
+impl SeriesKind {
+    /// Lowercase name used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Immutable shape of one series: static name, kind, bin width in
+/// simulated microseconds, and ring length in bins. The retention
+/// horizon is `bin_width_us * bins`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesSpec {
+    /// Dotted metric-style name (`"supervisor.shed"`); static so the
+    /// registry can never grow unbounded, mirroring metric keys.
+    pub name: &'static str,
+    /// Query/export interpretation.
+    pub kind: SeriesKind,
+    /// Width of one bin in simulated microseconds (> 0).
+    pub bin_width_us: u64,
+    /// Ring length in bins (> 0).
+    pub bins: usize,
+}
+
+impl SeriesSpec {
+    /// A counter series spec.
+    pub fn counter(name: &'static str, bin_width_us: u64, bins: usize) -> SeriesSpec {
+        SeriesSpec { name, kind: SeriesKind::Counter, bin_width_us, bins }
+    }
+
+    /// A gauge series spec.
+    pub fn gauge(name: &'static str, bin_width_us: u64, bins: usize) -> SeriesSpec {
+        SeriesSpec { name, kind: SeriesKind::Gauge, bin_width_us, bins }
+    }
+
+    /// A histogram series spec.
+    pub fn histogram(name: &'static str, bin_width_us: u64, bins: usize) -> SeriesSpec {
+        SeriesSpec { name, kind: SeriesKind::Histogram, bin_width_us, bins }
+    }
+
+    fn normalised(mut self) -> SeriesSpec {
+        // A zero width or length can't ring-buffer; clamp rather than
+        // panic so a bad tap can never take a cohort down (the same
+        // never-panic policy as the metric registry's kind clash).
+        self.bin_width_us = self.bin_width_us.max(1);
+        self.bins = self.bins.max(1);
+        self
+    }
+}
+
+/// One bin of accumulated samples.
+#[derive(Debug, Clone)]
+struct Bin {
+    /// Absolute bin index this slot currently holds (`EMPTY` if unused).
+    index: u64,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// Power-of-two buckets; empty vec for non-histogram kinds.
+    buckets: Vec<u64>,
+}
+
+impl Bin {
+    fn unused(histogram: bool) -> Bin {
+        Bin {
+            index: EMPTY,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: if histogram { vec![0; BUCKETS] } else { Vec::new() },
+        }
+    }
+
+    fn reset(&mut self, index: u64) {
+        self.index = index;
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+        for b in &mut self.buckets {
+            *b = 0;
+        }
+    }
+}
+
+/// The ring state behind one series.
+#[derive(Debug)]
+struct Ring {
+    slots: Vec<Bin>,
+    /// Highest absolute bin index seen so far (`EMPTY` before the first
+    /// sample). The retention horizon is `(head − slots.len(), head]`.
+    head: u64,
+    dropped: u64,
+    total_count: u64,
+    total_sum: u64,
+}
+
+/// Running whole-run totals of a series, independent of ring rotation —
+/// the error-budget ledger is built on these, so budget accounting stays
+/// exact even when the alert windows only see recent bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SeriesTotals {
+    /// Samples ingested (including dropped ones).
+    pub count: u64,
+    /// Sum of all ingested values (including dropped ones).
+    pub sum: u64,
+    /// Samples older than the retention horizon at ingest time; counted
+    /// in the totals but absent from every window.
+    pub dropped: u64,
+}
+
+/// Windowed aggregate over the bins inside `(end − window, end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowStats {
+    /// Samples in the window.
+    pub count: u64,
+    /// Sum of sample values in the window.
+    pub sum: u64,
+    /// Smallest sample (`None` when the window is empty).
+    pub min: Option<u64>,
+    /// Largest sample (`None` when the window is empty).
+    pub max: Option<u64>,
+}
+
+impl WindowStats {
+    /// Mean sample value, `None` when the window is empty (no NaN).
+    pub fn avg(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SeriesCell {
+    spec: SeriesSpec,
+    ring: Mutex<Ring>,
+}
+
+impl SeriesCell {
+    fn new(spec: SeriesSpec) -> SeriesCell {
+        let histogram = spec.kind == SeriesKind::Histogram;
+        SeriesCell {
+            spec,
+            ring: Mutex::new(Ring {
+                slots: (0..spec.bins).map(|_| Bin::unused(histogram)).collect(),
+                head: EMPTY,
+                dropped: 0,
+                total_count: 0,
+                total_sum: 0,
+            }),
+        }
+    }
+
+    fn record(&self, t_us: u64, value: u64) {
+        let idx = t_us / self.spec.bin_width_us;
+        let len = self.spec.bins as u64;
+        let mut r = self.ring.lock().expect("series ring poisoned");
+        r.total_count += 1;
+        r.total_sum = r.total_sum.saturating_add(value);
+        if r.head != EMPTY && r.head >= len && idx <= r.head - len {
+            // Older than the retention horizon: totalled, not binned.
+            r.dropped += 1;
+            return;
+        }
+        if r.head == EMPTY || idx > r.head {
+            r.head = idx;
+        }
+        let slot = &mut r.slots[(idx % len) as usize];
+        if slot.index != idx {
+            slot.reset(idx);
+        }
+        slot.count += 1;
+        slot.sum = slot.sum.saturating_add(value);
+        slot.min = slot.min.min(value);
+        slot.max = slot.max.max(value);
+        if !slot.buckets.is_empty() {
+            slot.buckets[(64 - value.leading_zeros()) as usize] += 1;
+        }
+    }
+
+    /// Absolute bin range `[lo, hi]` covered by the window
+    /// `(end_us − window_us, end_us]`, clamped to the retention horizon.
+    fn window_bins(&self, r: &Ring, end_us: u64, window_us: u64) -> Option<(u64, u64)> {
+        if r.head == EMPTY {
+            return None;
+        }
+        let w = self.spec.bin_width_us;
+        let len = self.spec.bins as u64;
+        let hi = end_us / w;
+        let want = (window_us.div_ceil(w)).max(1);
+        let lo = hi.saturating_sub(want - 1);
+        // Bins older than the horizon may have been overwritten; clamp
+        // so the answer is always exact over the bins it claims to cover.
+        let floor = (r.head + 1).saturating_sub(len);
+        Some((lo.max(floor), hi))
+    }
+
+    fn window(&self, end_us: u64, window_us: u64) -> WindowStats {
+        let r = self.ring.lock().expect("series ring poisoned");
+        let Some((lo, hi)) = self.window_bins(&r, end_us, window_us) else {
+            return WindowStats::default();
+        };
+        let mut out = WindowStats::default();
+        for slot in &r.slots {
+            if slot.index == EMPTY || slot.index < lo || slot.index > hi || slot.count == 0 {
+                continue;
+            }
+            out.count += slot.count;
+            out.sum = out.sum.saturating_add(slot.sum);
+            out.min = Some(out.min.map_or(slot.min, |m| m.min(slot.min)));
+            out.max = Some(out.max.map_or(slot.max, |m| m.max(slot.max)));
+        }
+        out
+    }
+
+    fn quantile(&self, end_us: u64, window_us: u64, pct: u8) -> Option<u64> {
+        if self.spec.kind != SeriesKind::Histogram {
+            return None;
+        }
+        let r = self.ring.lock().expect("series ring poisoned");
+        let (lo, hi) = self.window_bins(&r, end_us, window_us)?;
+        let mut merged = [0u64; BUCKETS];
+        let mut count = 0u64;
+        let mut vmin = u64::MAX;
+        let mut vmax = 0u64;
+        for slot in &r.slots {
+            if slot.index == EMPTY || slot.index < lo || slot.index > hi || slot.count == 0 {
+                continue;
+            }
+            count += slot.count;
+            vmin = vmin.min(slot.min);
+            vmax = vmax.max(slot.max);
+            for (m, &b) in merged.iter_mut().zip(&slot.buckets) {
+                *m += b;
+            }
+        }
+        if count == 0 {
+            return None;
+        }
+        // Upper bound of the bucket holding the p-th value, clamped into
+        // the observed [min, max] — same estimator as
+        // `HistogramSnapshot`, so windowed and whole-run p99 agree.
+        let rank = (count * pct.min(100) as u64).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in merged.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                return Some(upper.clamp(vmin, vmax));
+            }
+        }
+        Some(vmax)
+    }
+
+    fn totals(&self) -> SeriesTotals {
+        let r = self.ring.lock().expect("series ring poisoned");
+        SeriesTotals { count: r.total_count, sum: r.total_sum, dropped: r.dropped }
+    }
+
+    fn rows(&self) -> Vec<SeriesRow> {
+        let r = self.ring.lock().expect("series ring poisoned");
+        let mut rows: Vec<SeriesRow> = r
+            .slots
+            .iter()
+            .filter(|s| s.index != EMPTY && s.count > 0)
+            .map(|s| SeriesRow {
+                name: self.spec.name,
+                kind: self.spec.kind,
+                bin_start_us: s.index * self.spec.bin_width_us,
+                bin_width_us: self.spec.bin_width_us,
+                count: s.count,
+                sum: s.sum,
+                min: s.min,
+                max: s.max,
+            })
+            .collect();
+        rows.sort_by_key(|row| row.bin_start_us);
+        rows
+    }
+}
+
+/// A series handle. Cloning shares the ring; the disabled handle
+/// ([`Series::noop`], the [`Default`]) costs one `Option` check per op.
+#[derive(Debug, Clone, Default)]
+pub struct Series(Option<Arc<SeriesCell>>);
+
+impl Series {
+    /// A detached no-op series (what [`crate::Obs::noop`] hands out).
+    pub fn noop() -> Series {
+        Series(None)
+    }
+
+    /// A live series not attached to any registry. The supervisor's
+    /// SLO-driven ladder uses these: its control loop must see real
+    /// windows even when the caller passed [`crate::Obs::noop`].
+    pub fn standalone(spec: SeriesSpec) -> Series {
+        Series(Some(Arc::new(SeriesCell::new(spec.normalised()))))
+    }
+
+    /// Whether this handle records anything.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Ingests one sample at simulated time `t_us`. O(1); samples older
+    /// than the retention horizon are dropped (totalled, not binned).
+    pub fn record(&self, t_us: u64, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.record(t_us, value);
+        }
+    }
+
+    /// Windowed count/sum/min/max over `(end_us − window_us, end_us]`,
+    /// clamped to the retention horizon. Zeroed stats on a noop handle.
+    pub fn window(&self, end_us: u64, window_us: u64) -> WindowStats {
+        self.0.as_ref().map_or_else(WindowStats::default, |c| c.window(end_us, window_us))
+    }
+
+    /// Windowed event rate in events per simulated second: windowed
+    /// `sum / window_us`, the counter-kind reading. 0.0 on an empty
+    /// window (perfect-on-empty, the workspace ratio convention).
+    pub fn rate_over(&self, end_us: u64, window_us: u64) -> f64 {
+        let w = self.window(end_us, window_us);
+        if w.count == 0 || window_us == 0 {
+            0.0
+        } else {
+            w.sum as f64 * 1_000_000.0 / window_us as f64
+        }
+    }
+
+    /// Windowed percentile (`pct` in 0..=100) for histogram series:
+    /// upper bound of the power-of-two bucket holding the p-th value,
+    /// clamped into the window's observed `[min, max]`. `None` on an
+    /// empty window, a non-histogram kind, or a noop handle — never NaN.
+    pub fn quantile_over(&self, end_us: u64, window_us: u64, pct: u8) -> Option<u64> {
+        self.0.as_ref().and_then(|c| c.quantile(end_us, window_us, pct))
+    }
+
+    /// Whole-run running totals (zeroed on a noop handle).
+    pub fn totals(&self) -> SeriesTotals {
+        self.0.as_ref().map_or_else(SeriesTotals::default, |c| c.totals())
+    }
+
+    /// This series' spec (`None` on a noop handle).
+    pub fn spec(&self) -> Option<SeriesSpec> {
+        self.0.as_ref().map(|c| c.spec)
+    }
+}
+
+/// One exported non-empty bin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesRow {
+    /// Series name.
+    pub name: &'static str,
+    /// Series kind.
+    pub kind: SeriesKind,
+    /// Simulated-µs start of the bin.
+    pub bin_start_us: u64,
+    /// Bin width in simulated µs.
+    pub bin_width_us: u64,
+    /// Samples in the bin.
+    pub count: u64,
+    /// Sum of sample values in the bin.
+    pub sum: u64,
+    /// Smallest sample in the bin.
+    pub min: u64,
+    /// Largest sample in the bin.
+    pub max: u64,
+}
+
+/// A named collection of series. [`crate::Obs::recording`] owns one for
+/// taps; standalone registries back control loops (the supervisor's
+/// SLO ladder) that must work even when observability is off.
+///
+/// Keys are names only (no labels): series are pre-aggregated views for
+/// control loops and dashboards, so one ring per name keeps windows
+/// whole — per-pillar detail belongs to the labelled metric registry.
+#[derive(Debug, Default)]
+pub struct SeriesRegistry {
+    cells: Mutex<BTreeMap<&'static str, Arc<SeriesCell>>>,
+}
+
+impl SeriesRegistry {
+    /// An empty registry.
+    pub fn new() -> SeriesRegistry {
+        SeriesRegistry::default()
+    }
+
+    /// Resolves (registering on first use) the series named in `spec`.
+    /// Resolve once and keep the handle — resolution takes the registry
+    /// lock, ingest takes only the series' own ring lock. A name already
+    /// registered with a different spec yields a *detached* live series
+    /// (it accumulates but never exports) instead of panicking, the
+    /// same clash policy as the metric registry.
+    pub fn series(&self, spec: SeriesSpec) -> Series {
+        let spec = spec.normalised();
+        let mut cells = self.cells.lock().expect("series registry poisoned");
+        let cell =
+            cells.entry(spec.name).or_insert_with(|| Arc::new(SeriesCell::new(spec))).clone();
+        if cell.spec != spec {
+            debug_assert!(false, "series {:?} registered with two specs", spec.name);
+            return Series::standalone(spec);
+        }
+        Series(Some(cell))
+    }
+
+    /// All non-empty bins of all registered series, sorted by
+    /// `(name, bin_start_us)` — deterministic for identical seeded runs.
+    pub fn rows(&self) -> Vec<SeriesRow> {
+        let cells = self.cells.lock().expect("series registry poisoned");
+        let mut rows = Vec::new();
+        for cell in cells.values() {
+            rows.extend(cell.rows());
+        }
+        // BTreeMap iteration is name-sorted and rows() is bin-sorted, so
+        // the concatenation is already in export order.
+        rows
+    }
+
+    /// RFC-4180 CSV of [`SeriesRegistry::rows`] (CRLF line endings, like
+    /// the metric exporters).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,kind,bin_start_us,bin_width_us,count,sum,min,max\r\n");
+        for row in self.rows() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\r\n",
+                crate::export::csv_field(row.name),
+                row.kind.label(),
+                row.bin_start_us,
+                row.bin_width_us,
+                row.count,
+                row.sum,
+                row.min,
+                row.max,
+            ));
+        }
+        out
+    }
+
+    /// JSON-lines of [`SeriesRegistry::rows`], one object per bin.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in self.rows() {
+            out.push_str(&format!(
+                concat!(
+                    "{{\"name\":{},\"kind\":\"{}\",\"bin_start_us\":{},",
+                    "\"bin_width_us\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}\n"
+                ),
+                crate::export::json_str(row.name),
+                row.kind.label(),
+                row.bin_start_us,
+                row.bin_width_us,
+                row.count,
+                row.sum,
+                row.min,
+                row.max,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_windows_are_exact_within_horizon() {
+        let s = Series::standalone(SeriesSpec::counter("t.ev", 1_000, 8));
+        // Bins: 0,0,1,3,7 — values 1 each.
+        for t in [100u64, 900, 1_500, 3_000, 7_999] {
+            s.record(t, 1);
+        }
+        let w = s.window(7_999, 8_000);
+        assert_eq!(w.count, 5);
+        assert_eq!(w.sum, 5);
+        let w = s.window(3_999, 3_000); // bins 1..=3
+        assert_eq!(w.count, 2, "bins 1 and 3 hold one sample each");
+        assert_eq!(s.window(3_999, 2_000).count, 1, "bin 2 is empty, bin 3 holds one");
+        let w = s.window(7_999, 1_000); // bin 7 only
+        assert_eq!(w.count, 1);
+        assert_eq!(s.totals(), SeriesTotals { count: 5, sum: 5, dropped: 0 });
+    }
+
+    #[test]
+    fn series_rotation_never_double_counts() {
+        let s = Series::standalone(SeriesSpec::counter("t.rot", 1_000, 4));
+        for bin in 0..10u64 {
+            s.record(bin * 1_000 + 5, 1);
+        }
+        // Ring holds bins 6..=9; older bins were overwritten.
+        let w = s.window(9_999, 4_000);
+        assert_eq!(w.count, 4);
+        // A wider-than-horizon window clamps to the horizon instead of
+        // returning partial (hence wrong) older bins.
+        let w = s.window(9_999, 100_000);
+        assert_eq!(w.count, 4);
+        assert_eq!(s.totals().count, 10, "totals survive rotation");
+    }
+
+    #[test]
+    fn series_too_old_samples_drop_into_totals() {
+        let s = Series::standalone(SeriesSpec::counter("t.old", 1_000, 4));
+        s.record(9_500, 1); // head = bin 9, horizon = bins 6..=9
+        s.record(2_000, 7); // bin 2: older than horizon
+        let t = s.totals();
+        assert_eq!(t, SeriesTotals { count: 2, sum: 8, dropped: 1 });
+        assert_eq!(s.window(9_999, 10_000).count, 1, "dropped sample is in no window");
+    }
+
+    #[test]
+    fn series_gauge_window_stats_and_empty_avg() {
+        let s = Series::standalone(SeriesSpec::gauge("t.depth", 500, 16));
+        assert_eq!(s.window(10_000, 5_000), WindowStats::default());
+        assert_eq!(WindowStats::default().avg(), None, "empty window has no average");
+        s.record(1_000, 3);
+        s.record(1_400, 9);
+        s.record(2_600, 6);
+        let w = s.window(2_999, 2_000);
+        assert_eq!((w.count, w.sum, w.min, w.max), (3, 18, Some(3), Some(9)));
+        assert_eq!(w.avg(), Some(6.0));
+    }
+
+    #[test]
+    fn series_windowed_quantiles_match_metric_estimator() {
+        let s = Series::standalone(SeriesSpec::histogram("t.lat", 1_000, 32));
+        for (t, v) in [(100u64, 0u64), (200, 1), (300, 1), (400, 7), (500, 1000)] {
+            s.record(t, v);
+        }
+        assert_eq!(s.quantile_over(999, 1_000, 50), Some(1));
+        assert_eq!(s.quantile_over(999, 1_000, 99), Some(1000), "clamped into observed max");
+        assert_eq!(s.quantile_over(999, 1_000, 0), Some(0));
+        // Empty window and non-histogram kinds answer None, never NaN.
+        assert_eq!(s.quantile_over(50_000, 1_000, 99), None);
+        let c = Series::standalone(SeriesSpec::counter("t.c", 1_000, 4));
+        c.record(0, 1);
+        assert_eq!(c.quantile_over(999, 1_000, 50), None);
+    }
+
+    #[test]
+    fn series_rate_is_sum_over_window() {
+        let s = Series::standalone(SeriesSpec::counter("t.rate", 1_000_000, 8));
+        for t in 0..4u64 {
+            s.record(t * 1_000_000, 2);
+        }
+        let rate = s.rate_over(3_999_999, 4_000_000);
+        assert!((rate - 2.0).abs() < 1e-12, "8 events / 4 s = 2/s, got {rate}");
+        assert_eq!(s.rate_over(3_999_999, 0), 0.0, "zero window is 0, not NaN");
+    }
+
+    #[test]
+    fn series_noop_is_free_and_zeroed() {
+        let s = Series::noop();
+        assert!(!s.enabled());
+        s.record(0, 10);
+        assert_eq!(s.window(0, 1_000), WindowStats::default());
+        assert_eq!(s.totals(), SeriesTotals::default());
+        assert_eq!(s.quantile_over(0, 1_000, 99), None);
+        assert_eq!(s.spec(), None);
+    }
+
+    #[test]
+    fn series_registry_resolves_once_and_exports_sorted() {
+        let reg = SeriesRegistry::new();
+        let a = reg.series(SeriesSpec::counter("b.second", 1_000, 8));
+        let b = reg.series(SeriesSpec::counter("b.second", 1_000, 8));
+        a.record(2_500, 1);
+        b.record(2_700, 1);
+        reg.series(SeriesSpec::counter("a.first", 1_000, 8)).record(100, 4);
+        let rows = reg.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].name, rows[0].count, rows[0].sum), ("a.first", 1, 4));
+        assert_eq!((rows[1].name, rows[1].count), ("b.second", 2), "same name shares a ring");
+        let csv = reg.to_csv();
+        assert!(csv.starts_with("name,kind,bin_start_us,"));
+        assert!(csv.contains("a.first,counter,0,1000,1,4,4,4\r\n"));
+        let jsonl = reg.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"name\":\"b.second\""));
+    }
+
+    #[test]
+    fn series_degenerate_spec_is_clamped_not_panicking() {
+        let s = Series::standalone(SeriesSpec::counter("t.zero", 0, 0));
+        s.record(123, 1);
+        assert_eq!(s.window(123, 1).count, 1);
+        assert_eq!(s.spec().unwrap().bin_width_us, 1);
+        assert_eq!(s.spec().unwrap().bins, 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests for the ring-buffer window math and the burn-rate
+//! alert state machine.
+//!
+//! The ring is checked against a naive executable model (a flat list of
+//! kept samples filtered by bin range), so a rotation bug — double
+//! counting a reused slot, forgetting a drop, off-by-one window edges —
+//! shows up as a divergence from first principles rather than needing a
+//! hand-picked fixture. The alert machine is checked for the hysteresis
+//! contract: at most one transition per evaluation tick, and the
+//! pending → firing → resolved grammar is never violated.
+
+use proptest::prelude::*;
+
+use vgbl_obs::slo::{BurnRule, Objective, SloEvaluator};
+use vgbl_obs::timeseries::{Series, SeriesSpec};
+use vgbl_obs::AlertPhase;
+
+/// Replays `samples` through the documented ring semantics: a sample
+/// older than the retention horizon at ingest time is dropped, every
+/// other sample is kept with its absolute bin index.
+fn naive_replay(samples: &[(u64, u64)], width: u64, bins: u64) -> (Vec<(u64, u64)>, u64, Option<u64>) {
+    let mut head: Option<u64> = None;
+    let mut kept = Vec::new();
+    let mut dropped = 0u64;
+    for &(t, v) in samples {
+        let idx = t / width;
+        if let Some(h) = head {
+            if h >= bins && idx <= h - bins {
+                dropped += 1;
+                continue;
+            }
+        }
+        head = Some(head.map_or(idx, |h| h.max(idx)));
+        kept.push((idx, v));
+    }
+    (kept, dropped, head)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_windowed_sum_and_avg_equal_naive_recompute(
+        samples in proptest::collection::vec((0u64..50_000, 0u64..1_000), 0..120),
+        width in 1u64..2_500,
+        bins in 1usize..24,
+        end_us in 0u64..60_000,
+        window_us in 1u64..60_000,
+    ) {
+        let series = Series::standalone(SeriesSpec::gauge("p.win", width, bins));
+        for &(t, v) in &samples {
+            series.record(t, v);
+        }
+        let (kept, dropped, head) = naive_replay(&samples, width, bins as u64);
+
+        // Totals see every sample, windows only the kept ones.
+        let totals = series.totals();
+        prop_assert_eq!(totals.count, samples.len() as u64);
+        prop_assert_eq!(totals.sum, samples.iter().map(|s| s.1).sum::<u64>());
+        prop_assert_eq!(totals.dropped, dropped);
+
+        let got = series.window(end_us, window_us);
+        let Some(head) = head else {
+            prop_assert_eq!(got.count, 0);
+            return Ok(());
+        };
+        let hi = end_us / width;
+        let want = window_us.div_ceil(width).max(1);
+        let lo = hi
+            .saturating_sub(want - 1)
+            .max((head + 1).saturating_sub(bins as u64));
+        let in_win: Vec<u64> =
+            kept.iter().filter(|(b, _)| *b >= lo && *b <= hi).map(|&(_, v)| v).collect();
+        prop_assert_eq!(got.count, in_win.len() as u64, "windowed count");
+        prop_assert_eq!(got.sum, in_win.iter().sum::<u64>(), "windowed sum");
+        prop_assert_eq!(got.min, in_win.iter().min().copied(), "windowed min");
+        prop_assert_eq!(got.max, in_win.iter().max().copied(), "windowed max");
+        match got.avg() {
+            None => prop_assert!(in_win.is_empty()),
+            Some(avg) => {
+                let expect = in_win.iter().sum::<u64>() as f64 / in_win.len() as f64;
+                prop_assert!((avg - expect).abs() < 1e-9, "windowed avg {avg} != {expect}");
+            }
+        }
+    }
+
+    // Rotation across window boundaries never double-counts: the
+    // full-horizon window equals the naive model's horizon slice even
+    // when the stream wraps the ring many times over.
+    #[test]
+    fn ring_rotation_never_double_counts(
+        step in 1u64..3_000,
+        width in 1u64..500,
+        bins in 1usize..8,
+        n in 1usize..200,
+    ) {
+        let series = Series::standalone(SeriesSpec::counter("p.rot", width, bins));
+        let samples: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * step, 1)).collect();
+        for &(t, v) in &samples {
+            series.record(t, v);
+        }
+        let (kept, dropped, head) = naive_replay(&samples, width, bins as u64);
+        let head = head.unwrap();
+        let horizon_us = width.saturating_mul(bins as u64);
+        let got = series.window((n as u64 - 1) * step, horizon_us);
+        let lo = (head + 1).saturating_sub(bins as u64);
+        let expect = kept.iter().filter(|(b, _)| *b >= lo).count() as u64;
+        prop_assert_eq!(got.count, expect, "horizon window equals model");
+        prop_assert_eq!(got.count + dropped + kept.len() as u64 - expect, n as u64,
+            "every sample is counted exactly once across window/rotated/dropped");
+    }
+
+    // Hysteresis: a rule makes at most one state transition per
+    // evaluation tick (no flapping within a tick), and the lifecycle
+    // grammar pending → (firing | resolved), firing → resolved always
+    // holds, for arbitrary traffic and rule shapes.
+    #[test]
+    fn alerts_never_flap_within_a_single_tick(
+        steps in proptest::collection::vec((1u64..2_000, 0u64..4, 0u64..4), 1..80),
+        long_bins in 1u64..32,
+        short_bins in 1u64..8,
+        burn in 0.5f64..20.0,
+        pending_us in 0u64..5_000,
+        budget in 0.01f64..0.5,
+    ) {
+        let bad = Series::standalone(SeriesSpec::counter("p.bad", 1_000, 64));
+        let total = Series::standalone(SeriesSpec::counter("p.total", 1_000, 64));
+        let mut ev = SloEvaluator::new();
+        ev.add(Objective::event_ratio(
+            "obj",
+            budget,
+            bad.clone(),
+            total.clone(),
+            vec![BurnRule {
+                label: "r",
+                long_us: long_bins * 1_000,
+                short_us: short_bins * 1_000,
+                burn,
+                pending_us,
+            }],
+        ));
+        let mut t = 0u64;
+        let mut seen = 0usize;
+        for (dt, bad_n, good_n) in steps {
+            t += dt;
+            for _ in 0..bad_n {
+                bad.record(t, 1);
+                total.record(t, 1);
+            }
+            for _ in 0..good_n {
+                total.record(t, 1);
+            }
+            ev.tick(t);
+            let now = ev.timeline().events.len();
+            prop_assert!(now - seen <= 1, "one tick produced {} transitions", now - seen);
+            seen = now;
+        }
+        // Lifecycle grammar over the whole run.
+        let mut phase: Option<AlertPhase> = None;
+        for e in &ev.timeline().events {
+            let ok = matches!(
+                (phase, e.phase),
+                (None, AlertPhase::Pending)
+                    | (Some(AlertPhase::Pending), AlertPhase::Firing | AlertPhase::Resolved)
+                    | (Some(AlertPhase::Firing), AlertPhase::Resolved)
+                    | (Some(AlertPhase::Resolved), AlertPhase::Pending)
+            );
+            prop_assert!(ok, "illegal transition {:?} -> {:?}", phase, e.phase);
+            phase = Some(e.phase);
+        }
+        // Timestamps never rewind.
+        prop_assert!(ev.timeline().events.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+    }
+}

@@ -230,6 +230,26 @@ impl SessionLog {
         }
         out
     }
+
+    /// Folds the log into a windowed engagement series on the session
+    /// clock: one sample per event, binned at `bin_ms`. An analyst reads
+    /// it as "interactions over the last N seconds of session time" —
+    /// the windowed counterpart to the scalar totals above, and the
+    /// shape EXP-9 plots to find where a scenario loses its players.
+    /// The ring keeps `bins` bins; events older than the retention
+    /// horizon at ingest stay in the running totals but fall out of
+    /// windows, exactly like every other series in the pipeline.
+    pub fn engagement_series(&self, bin_ms: u64, bins: usize) -> vgbl_obs::Series {
+        let series = vgbl_obs::Series::standalone(vgbl_obs::SeriesSpec::counter(
+            "analytics.engagement",
+            bin_ms.saturating_mul(1_000),
+            bins,
+        ));
+        for e in &self.events {
+            series.record(e.t_ms().saturating_mul(1_000), 1);
+        }
+        series
+    }
 }
 
 /// Escapes one CSV field (RFC-4180 style quoting). `\r` must be quoted
@@ -778,5 +798,20 @@ mod tests {
         assert_eq!(empty.sessions, 0);
         assert_eq!(empty.avg_delivery_ratio, 1.0);
         assert_eq!(empty.conceal_ratio(), 0.0);
+    }
+    #[test]
+    fn engagement_series_bins_events_on_the_session_clock() {
+        let mut log = SessionLog::new();
+        for (t, item) in [(100u64, "key"), (150, "coin"), (2_600, "badge")] {
+            log.push(LogEvent::ItemTaken { t_ms: t, item: item.into() });
+        }
+        // 1 s bins: events at 100/150 ms share bin 0, 2 600 ms is bin 2.
+        let series = log.engagement_series(1_000, 8);
+        assert_eq!(series.totals().count, 3);
+        assert_eq!(series.window(999_999, 1_000_000).count, 2, "first second");
+        assert_eq!(series.window(2_999_999, 1_000_000).count, 1, "third second");
+        assert_eq!(series.window(2_999_999, 3_000_000).count, 3, "whole session");
+        // Same log ⇒ byte-identical series totals.
+        assert_eq!(log.engagement_series(1_000, 8).totals(), series.totals());
     }
 }

@@ -70,7 +70,8 @@ pub use server::{
 pub use state::GameState;
 pub use supervisor::{
     resume_session, run_supervised_cohort, run_supervised_cohort_observed, ArrivalPlan,
-    RecoveryRecord, ServiceMode, SupervisedBotFactory, SupervisorConfig, SupervisorReport,
+    LadderPolicy, RecoveryRecord, ServiceMode, SloLadderConfig, SupervisedBotFactory,
+    SupervisorConfig, SupervisorReport,
 };
 
 /// Result alias for runtime operations.

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use vgbl_media::cache::{GopCache, VideoId};
 use vgbl_media::codec::{Decoder, EncodedVideo};
 use vgbl_media::{Frame, GopChecksums, MediaError, Segment, SegmentId, SegmentTable};
-use vgbl_obs::{Counter, Obs};
+use vgbl_obs::{Counter, Obs, Series, SeriesSpec};
 
 use crate::Result;
 
@@ -48,7 +48,17 @@ struct PlayObs {
     frames_decoded: Counter,
     switches: Counter,
     concealed: Counter,
+    // Windowed series on the playhead clock (accumulated `advance_ms`
+    // wall time), so a concealment burst is attributable to *when in
+    // the session* it happened.
+    served_series: Series,
+    concealed_series: Series,
 }
+
+/// Bin width for the playback series: half-second bins of playhead time.
+const PLAY_BIN_US: u64 = 500_000;
+/// Ring length for the playback series (a 32 s sliding horizon).
+const PLAY_BINS: usize = 64;
 
 /// The segment-looping video player.
 #[derive(Debug)]
@@ -75,6 +85,11 @@ pub struct PlaybackController {
     /// The most recent successfully served frame — what concealment
     /// freezes on while waiting for the next intact keyframe.
     last_good: Option<Frame>,
+    /// Playhead wall clock: total time fed through
+    /// [`PlaybackController::advance_ms`], in microseconds. Timestamps
+    /// the `playback.*` series so windows mean "the last N seconds of
+    /// this session".
+    played_us: u64,
     obs: PlayObs,
 }
 
@@ -132,6 +147,7 @@ impl PlaybackController {
             checksums: None,
             failed_keys: HashSet::new(),
             last_good: None,
+            played_us: 0,
             obs: PlayObs::default(),
         })
     }
@@ -148,6 +164,13 @@ impl PlaybackController {
             frames_decoded: obs.counter("playback.frames_decoded", labels),
             switches: obs.counter("playback.switches", labels),
             concealed: obs.counter("playback.concealed", labels),
+            served_series: obs
+                .series(SeriesSpec::counter("playback.served_series", PLAY_BIN_US, PLAY_BINS)),
+            concealed_series: obs.series(SeriesSpec::counter(
+                "playback.concealed_series",
+                PLAY_BIN_US,
+                PLAY_BINS,
+            )),
         };
         self
     }
@@ -216,6 +239,7 @@ impl PlaybackController {
             .frame_duration()
             .as_micros()
             .max(1);
+        self.played_us += ms * 1000;
         let total_us = self.residual_us + ms * 1000;
         let steps = (total_us / frame_us) as usize;
         self.residual_us = total_us % frame_us;
@@ -246,6 +270,7 @@ impl PlaybackController {
             Ok(gop) => {
                 self.stats.frames_served += 1;
                 self.obs.frames_served.inc();
+                self.obs.served_series.record(self.played_us, 1);
                 let frame = gop[abs - key].clone();
                 self.last_good = Some(frame.clone());
                 Ok(frame)
@@ -257,7 +282,9 @@ impl PlaybackController {
                     self.stats.frames_served += 1;
                     self.stats.concealed += 1;
                     self.obs.frames_served.inc();
+                    self.obs.served_series.record(self.played_us, 1);
                     self.obs.concealed.inc();
+                    self.obs.concealed_series.record(self.played_us, 1);
                     Ok(frame.clone())
                 }
                 None => Err(e),

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use crossbeam::channel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vgbl_obs::{Obs, SpanRecorder};
+use vgbl_obs::{Obs, SeriesSpec, SpanRecorder};
 use vgbl_media::cache::GopCache;
 use vgbl_media::codec::EncodedVideo;
 use vgbl_media::{SegmentId, SegmentTable};
@@ -418,6 +418,11 @@ fn play_one_session(
     let initial = SegmentId(i as u32 % n_segments);
     let mut player =
         PlaybackController::shared(video, segments, initial, cache)?.with_obs(obs);
+    // Cohort-wide series on the session playhead. Bin accumulation is
+    // commutative and the horizon (16 s) dwarfs any session playhead,
+    // so the export is byte-identical however workers interleave.
+    let renders = obs.series(SeriesSpec::counter("server.renders", 250_000, 64));
+    let switches = obs.series(SeriesSpec::counter("server.switches", 250_000, 64));
     let mut rng = StdRng::seed_from_u64(0x9e37_79b9 ^ i as u64);
     let mut now_us: u64 = 0;
     rec.enter_with("session", i as u64, now_us);
@@ -427,11 +432,13 @@ fn play_one_session(
         if rng.gen_range(0..4u32) == 0 {
             let target = SegmentId(rng.gen_range(0..n_segments));
             rec.event("switch", target.0 as u64, now_us);
+            switches.record(now_us, 1);
             player.switch_segment(target)?;
         } else {
             player.advance_ms(33);
             now_us += 33_000;
             rec.event("render", step as u64 + 1, now_us);
+            renders.record(now_us, 1);
             player.current_frame()?;
         }
     }

@@ -22,9 +22,21 @@
 //!   arrivals beyond capacity are shed immediately, and queued sessions
 //!   whose wait exceeds [`SupervisorConfig::queue_deadline_ms`] are shed
 //!   when a slot would finally pick them up.
-//! * Degradation ladder — occupancy at admission picks a [`ServiceMode`]:
-//!   full service, skip prefetch warming, or concealment-only playback
-//!   at half the per-step cost.
+//! * Degradation ladder — a [`LadderPolicy`] picks a [`ServiceMode`] at
+//!   admission: full service, skip prefetch warming, or concealment-only
+//!   playback at half the per-step cost. [`LadderPolicy::Occupancy`]
+//!   thresholds instantaneous queue occupancy;
+//!   [`LadderPolicy::SloDriven`] thresholds the *burn rate* of the
+//!   shed-rate and admission-wait objectives over ring-buffer time
+//!   series, so degradation starts when user-visible health slips
+//!   (waits blowing past target) rather than when the queue is already
+//!   nearly full — and stays on while the long window still remembers
+//!   the incident, instead of flapping back to expensive full service
+//!   the moment the queue momentarily drains.
+//! * SLO telemetry — every run (whatever the ladder) feeds arrival,
+//!   shed, and wait series into an [`SloEvaluator`] and reports a
+//!   deterministic [`AlertTimeline`] plus exact [`BudgetLedger`]s,
+//!   which EXP-15 cross-checks against the report's own accounting.
 //! * Circuit breaker — prefetch warming runs through one shared
 //!   [`CircuitBreaker`] over the session's [`FaultPlan`]; an open breaker
 //!   fails fast instead of burning the [`RetryPolicy`] budget.
@@ -38,7 +50,10 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use vgbl_obs::{us_from_ms, Counter, Gauge, Histogram, Obs, SpanRecorder};
+use vgbl_obs::{
+    us_from_ms, AlertTimeline, BudgetLedger, BurnRule, Counter, Gauge, Histogram, Objective, Obs,
+    Series, SeriesSpec, SloEvaluator, SpanRecorder,
+};
 use vgbl_scene::SceneGraph;
 use vgbl_stream::{
     BreakerConfig, BreakerStats, ChunkId, CircuitBreaker, FaultPlan, LoadSpike, RetryPolicy,
@@ -149,6 +164,89 @@ impl ServiceMode {
     }
 }
 
+/// How the degradation ladder picks a [`ServiceMode`] at admission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LadderPolicy {
+    /// Threshold instantaneous queue occupancy against
+    /// [`SupervisorConfig::degrade_at`] / [`SupervisorConfig::conceal_at`]
+    /// (the PR-4 behaviour, and the default).
+    Occupancy,
+    /// Threshold the worst current SLO burn rate: degrade at
+    /// [`SloLadderConfig::degrade_burn`], conceal at
+    /// [`SloLadderConfig::conceal_burn`]. Reacts to user-visible health
+    /// (waits over target, sheds) instead of raw queue depth, and the
+    /// burn windows give it memory: service stays cheap while the long
+    /// window still sees the incident, so slots drain faster and fewer
+    /// arrivals meet a full queue.
+    SloDriven(SloLadderConfig),
+}
+
+/// Tuning of [`LadderPolicy::SloDriven`] — and of the SLO telemetry
+/// every run produces regardless of policy. All clocks simulated ms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloLadderConfig {
+    /// Error budget for the shed-rate objective (fraction of arrivals
+    /// that may be shed; the ISSUE's `shed_rate < 0.5%` is 0.005).
+    pub shed_budget: f64,
+    /// Queue waits above this are bad events for the admission-wait
+    /// objective.
+    pub wait_target_ms: f64,
+    /// Error budget for the admission-wait objective (fraction of served
+    /// sessions that may wait beyond target).
+    pub wait_budget: f64,
+    /// Short burn window ("is it still happening?").
+    pub short_ms: f64,
+    /// Long burn window ("is it sustained?"). The alert rules also use
+    /// `4 × long_ms` as their slow window.
+    pub long_ms: f64,
+    /// Worst burn rate at which warming is skipped.
+    pub degrade_burn: f64,
+    /// Worst burn rate at which playback degrades to concealment-only.
+    pub conceal_burn: f64,
+}
+
+impl Default for SloLadderConfig {
+    fn default() -> SloLadderConfig {
+        SloLadderConfig {
+            shed_budget: 0.005,
+            wait_target_ms: 500.0,
+            wait_budget: 0.05,
+            short_ms: 500.0,
+            long_ms: 5_000.0,
+            degrade_burn: 1.0,
+            conceal_burn: 4.0,
+        }
+    }
+}
+
+impl SloLadderConfig {
+    fn validate(&self) -> Result<()> {
+        let bad = |msg: &str| RuntimeError::InvalidSupervisor(msg.into());
+        for (name, v) in [("shed_budget", self.shed_budget), ("wait_budget", self.wait_budget)] {
+            if !v.is_finite() || v <= 0.0 || v > 1.0 {
+                return Err(bad(&format!("{name} must be in (0, 1]")));
+            }
+        }
+        for (name, v) in [
+            ("wait_target_ms", self.wait_target_ms),
+            ("short_ms", self.short_ms),
+            ("long_ms", self.long_ms),
+            ("degrade_burn", self.degrade_burn),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(bad(&format!("{name} must be positive and finite")));
+            }
+        }
+        if self.long_ms < self.short_ms {
+            return Err(bad("long_ms must not be below short_ms"));
+        }
+        if !self.conceal_burn.is_finite() || self.conceal_burn < self.degrade_burn {
+            return Err(bad("conceal_burn must not be below degrade_burn"));
+        }
+        Ok(())
+    }
+}
+
 /// Tuning of the supervised server. All clocks are simulated ms.
 #[derive(Debug, Clone)]
 pub struct SupervisorConfig {
@@ -185,6 +283,8 @@ pub struct SupervisorConfig {
     pub retry: RetryPolicy,
     /// Circuit breaker over the warm-fetch link, shared by all sessions.
     pub breaker: BreakerConfig,
+    /// How the degradation ladder picks the service mode.
+    pub ladder: LadderPolicy,
 }
 
 impl Default for SupervisorConfig {
@@ -206,6 +306,7 @@ impl Default for SupervisorConfig {
             warm_faults: FaultPlan::new(0x00C0_FFEE),
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            ladder: LadderPolicy::Occupancy,
         }
     }
 }
@@ -242,7 +343,21 @@ impl SupervisorConfig {
         if self.max_steps == 0 {
             return Err(bad("the step budget must be at least 1"));
         }
+        if let LadderPolicy::SloDriven(slo) = &self.ladder {
+            slo.validate()?;
+        }
         Ok(())
+    }
+
+    /// The SLO telemetry shape this run evaluates with: the ladder's own
+    /// config under [`LadderPolicy::SloDriven`], the defaults otherwise
+    /// (occupancy runs still report alerts and ledgers, so the two
+    /// policies stay comparable in EXP-15).
+    fn slo_config(&self) -> SloLadderConfig {
+        match &self.ladder {
+            LadderPolicy::SloDriven(slo) => *slo,
+            LadderPolicy::Occupancy => SloLadderConfig::default(),
+        }
     }
 }
 
@@ -322,6 +437,13 @@ pub struct SupervisorReport {
     pub total_steps: usize,
     /// One record per recovered session, in service order.
     pub recoveries: Vec<RecoveryRecord>,
+    /// Every alert transition of the run's SLO rules, in tick order —
+    /// deterministic, so reruns compare byte-identically.
+    pub alerts: AlertTimeline,
+    /// Whole-run error-budget ledgers, `shed_rate` first then
+    /// `admission_wait`; their `bad`/`total` match this report's own
+    /// counts exactly (the EXP-15 cross-check).
+    pub ledgers: Vec<BudgetLedger>,
 }
 
 impl SupervisorReport {
@@ -611,6 +733,147 @@ impl SupObs {
     }
 }
 
+/// The supervisor's SLO telemetry: standalone control series (live even
+/// under [`Obs::noop`], because the SLO-driven ladder reads them) plus
+/// registry-tapped mirrors for export, and the evaluator that turns
+/// them into the alert timeline.
+struct SupSlo {
+    cfg: SloLadderConfig,
+    /// Arrivals (all of them, shed included) — the shed objective's
+    /// denominator.
+    arrivals: Series,
+    /// Shed events (queue-full and deadline).
+    sheds: Series,
+    /// Served sessions whose wait exceeded the target.
+    wait_bad: Series,
+    /// All served sessions — the wait objective's denominator.
+    wait_all: Series,
+    /// Export taps into the obs series registry (noop when obs is).
+    arrivals_tap: Series,
+    sheds_tap: Series,
+    wait_tap: Series,
+    eval: SloEvaluator,
+}
+
+impl SupSlo {
+    fn new(obs: &Obs, cfg: SloLadderConfig) -> SupSlo {
+        // Bins at a quarter of the short window give the burn queries
+        // sub-window resolution; the ring retains the slow rules' 4×long
+        // window with slack.
+        let bin_us = (us_from_ms(cfg.short_ms) / 4).max(1);
+        let long_us = us_from_ms(cfg.long_ms).max(1);
+        let bins = ((4 * long_us).div_ceil(bin_us) as usize + 2).min(8_192);
+        let mk = |name| Series::standalone(SeriesSpec::counter(name, bin_us, bins));
+        let (arrivals, sheds) = (mk("arrivals"), mk("sheds"));
+        let (wait_bad, wait_all) = (mk("wait_bad"), mk("wait_all"));
+        let rules = |short_us: u64| {
+            vec![
+                BurnRule {
+                    label: "fast",
+                    long_us,
+                    short_us,
+                    burn: cfg.conceal_burn,
+                    pending_us: 0,
+                },
+                BurnRule {
+                    label: "slow",
+                    long_us: 4 * long_us,
+                    short_us: long_us,
+                    burn: cfg.degrade_burn,
+                    pending_us: 0,
+                },
+            ]
+        };
+        let short_us = us_from_ms(cfg.short_ms).max(1);
+        let mut eval = SloEvaluator::new();
+        eval.add(Objective::event_ratio(
+            "shed_rate",
+            cfg.shed_budget,
+            sheds.clone(),
+            arrivals.clone(),
+            rules(short_us),
+        ));
+        eval.add(Objective::event_ratio(
+            "admission_wait",
+            cfg.wait_budget,
+            wait_bad.clone(),
+            wait_all.clone(),
+            rules(short_us),
+        ));
+        SupSlo {
+            cfg,
+            arrivals,
+            sheds,
+            wait_bad,
+            wait_all,
+            arrivals_tap: obs.series(SeriesSpec::counter("supervisor.arrivals", bin_us, bins)),
+            sheds_tap: obs.series(SeriesSpec::counter("supervisor.shed", bin_us, bins)),
+            wait_tap: obs.series(SeriesSpec::histogram("supervisor.queue_wait_us", bin_us, bins)),
+            eval,
+        }
+    }
+
+    /// Records an arrival at `t_ms` and evaluates the alert rules — the
+    /// supervisor's evaluation tick is the arrival itself.
+    fn on_arrival(&mut self, t_ms: f64) {
+        let t = us_from_ms(t_ms);
+        self.arrivals.record(t, 1);
+        self.arrivals_tap.record(t, 1);
+        self.eval.tick(t);
+    }
+
+    /// Records a shed (queue-full or deadline) at `t_ms`.
+    fn on_shed(&mut self, t_ms: f64) {
+        let t = us_from_ms(t_ms);
+        self.sheds.record(t, 1);
+        self.sheds_tap.record(t, 1);
+    }
+
+    /// Records a served session's queue wait, stamped at pickup time.
+    fn on_wait(&mut self, pickup_ms: f64, wait_ms: f64) {
+        let t = us_from_ms(pickup_ms);
+        self.wait_all.record(t, 1);
+        if wait_ms > self.cfg.wait_target_ms {
+            self.wait_bad.record(t, 1);
+        }
+        self.wait_tap.record(t, us_from_ms(wait_ms));
+    }
+
+    /// Worst burn rate across both objectives and both ladder windows at
+    /// `t_ms` — what [`LadderPolicy::SloDriven`] thresholds.
+    fn worst_burn(&self, t_ms: f64) -> f64 {
+        let t = us_from_ms(t_ms);
+        let short_us = us_from_ms(self.cfg.short_ms).max(1);
+        let long_us = us_from_ms(self.cfg.long_ms).max(1);
+        let mut burn = 0.0f64;
+        for obj in self.eval.objectives() {
+            burn = burn.max(obj.burn_over(t, short_us)).max(obj.burn_over(t, long_us));
+        }
+        burn
+    }
+
+    /// The SLO-driven ladder: mode from the worst current burn rate.
+    fn mode_for_burn(&self, t_ms: f64) -> ServiceMode {
+        let burn = self.worst_burn(t_ms);
+        if burn >= self.cfg.conceal_burn {
+            ServiceMode::ConcealOnly
+        } else if burn >= self.cfg.degrade_burn {
+            ServiceMode::SkipWarm
+        } else {
+            ServiceMode::Full
+        }
+    }
+
+    /// Final tick at makespan (resolves anything still pending/firing
+    /// into the timeline deterministically), then timeline + ledgers.
+    fn finish(mut self, makespan_ms: f64) -> (AlertTimeline, Vec<BudgetLedger>) {
+        let end = us_from_ms(makespan_ms);
+        self.eval.tick(end);
+        let ledgers = self.eval.ledgers(end);
+        (self.eval.into_timeline(), ledgers)
+    }
+}
+
 /// One entry of the bounded admission queue.
 #[derive(Debug, Clone)]
 struct Queued {
@@ -646,6 +909,7 @@ struct Sim<'a> {
     recoveries: Vec<RecoveryRecord>,
     total_steps: usize,
     o: SupObs,
+    slo: SupSlo,
     rec: SpanRecorder,
 }
 
@@ -672,11 +936,13 @@ impl Sim<'_> {
                     Some(SessionOutcome::Shed { reason: "queue deadline exceeded".into() });
                 self.shed += 1;
                 self.o.shed_deadline.inc();
+                self.slo.on_shed(start);
                 self.rec.event("shed", head.idx as u64, us_from_ms(start));
                 continue;
             }
             self.queue_waits.push(wait);
             self.o.queue_wait_us.record(us_from_ms(wait));
+            self.slo.on_wait(start, wait);
             self.slots[slot_idx] = self.serve(head, start);
         }
     }
@@ -828,20 +1094,28 @@ fn supervised_core(
         recoveries: Vec::new(),
         total_steps: 0,
         o: SupObs::new(obs),
+        slo: SupSlo::new(obs, sup.slo_config()),
         rec,
     };
 
     for (i, &t) in times.iter().enumerate() {
         sim.drain(t);
+        sim.slo.on_arrival(t);
         if sim.queue.len() >= sup.queue_capacity {
             sim.outcomes[i] = Some(SessionOutcome::Shed { reason: "queue full".into() });
             sim.shed += 1;
             sim.o.shed_full.inc();
+            sim.slo.on_shed(t);
             sim.rec.event("shed", i as u64, us_from_ms(t));
             continue;
         }
-        let occ = (sim.queue.len() + 1) as f64 / sup.queue_capacity as f64;
-        let mode = ServiceMode::for_occupancy(occ, sup);
+        let mode = match &sup.ladder {
+            LadderPolicy::Occupancy => {
+                let occ = (sim.queue.len() + 1) as f64 / sup.queue_capacity as f64;
+                ServiceMode::for_occupancy(occ, sup)
+            }
+            LadderPolicy::SloDriven(_) => sim.slo.mode_for_burn(t),
+        };
         sim.queue.push_back(Queued { idx: i, arrival_ms: t, mode });
         sim.peak_depth = sim.peak_depth.max(sim.queue.len());
     }
@@ -874,10 +1148,12 @@ fn supervised_core(
         session_logs,
         recoveries,
         total_steps,
+        slo,
         rec,
         ..
     } = sim;
     obs.attach(rec);
+    let (alerts, ledgers) = slo.finish(makespan_ms);
 
     let outcomes: Vec<SessionOutcome> = outcomes
         .into_iter()
@@ -905,8 +1181,14 @@ fn supervised_core(
         learning,
         total_steps,
         recoveries,
+        alerts,
+        ledgers,
     };
     debug_assert!(report.accounts_exactly(), "admission accounting must balance");
+    debug_assert_eq!(
+        report.ledgers[0].bad as usize, report.shed,
+        "shed ledger must mirror the report"
+    );
     Ok(report)
 }
 
@@ -1332,6 +1614,36 @@ mod tests {
             SupervisorConfig { restart_backoff_ms: f64::NAN, ..SupervisorConfig::default() },
             SupervisorConfig { step_ms: 0.0, ..SupervisorConfig::default() },
             SupervisorConfig { max_steps: 0, ..SupervisorConfig::default() },
+            SupervisorConfig {
+                ladder: LadderPolicy::SloDriven(SloLadderConfig {
+                    shed_budget: 0.0,
+                    ..SloLadderConfig::default()
+                }),
+                ..SupervisorConfig::default()
+            },
+            SupervisorConfig {
+                ladder: LadderPolicy::SloDriven(SloLadderConfig {
+                    short_ms: 2_000.0,
+                    long_ms: 1_000.0,
+                    ..SloLadderConfig::default()
+                }),
+                ..SupervisorConfig::default()
+            },
+            SupervisorConfig {
+                ladder: LadderPolicy::SloDriven(SloLadderConfig {
+                    degrade_burn: 4.0,
+                    conceal_burn: 1.0,
+                    ..SloLadderConfig::default()
+                }),
+                ..SupervisorConfig::default()
+            },
+            SupervisorConfig {
+                ladder: LadderPolicy::SloDriven(SloLadderConfig {
+                    wait_target_ms: f64::NAN,
+                    ..SloLadderConfig::default()
+                }),
+                ..SupervisorConfig::default()
+            },
         ];
         for (k, sup) in cases.iter().enumerate() {
             let out = run_supervised_cohort(
@@ -1364,5 +1676,152 @@ mod tests {
         assert_eq!(report.sessions, 0);
         assert_eq!(report.makespan_ms, 0.0);
         assert_eq!(report.queue_wait.count, 0);
+        assert!(report.alerts.is_empty(), "no traffic, no alerts");
+        assert_eq!(report.ledgers.len(), 2);
+        assert_eq!(report.ledgers[0].spend(), 0.0, "empty run spends no budget");
+    }
+
+    /// The stampede both ladder tests run: a hard overload where the
+    /// occupancy ladder demonstrably sheds.
+    fn stampede() -> (SupervisorConfig, ArrivalPlan) {
+        let sup = SupervisorConfig {
+            queue_capacity: 3,
+            slots: 1,
+            queue_deadline_ms: 10_000.0,
+            step_ms: 100.0,
+            ..SupervisorConfig::default()
+        };
+        (sup, ArrivalPlan::new(2, 700.0).unwrap())
+    }
+
+    fn slo_ladder() -> SloLadderConfig {
+        SloLadderConfig {
+            shed_budget: 0.005,
+            wait_target_ms: 50.0,
+            wait_budget: 0.05,
+            short_ms: 100.0,
+            long_ms: 2_000.0,
+            degrade_burn: 1.0,
+            conceal_burn: 2.0,
+        }
+    }
+
+    #[test]
+    fn slo_driven_ladder_sheds_fewer_sessions_than_occupancy() {
+        let (sup, arrivals) = stampede();
+        let run = |ladder: LadderPolicy| {
+            run_supervised_cohort(
+                Arc::new(fix_the_computer()),
+                config(),
+                &SupervisorConfig { ladder, ..sup.clone() },
+                32,
+                &|_, _| Box::new(GuidedBot::new()),
+                &arrivals,
+            )
+            .unwrap()
+        };
+        let occ = run(LadderPolicy::Occupancy);
+        let slo = run(LadderPolicy::SloDriven(slo_ladder()));
+        assert!(occ.accounts_exactly() && slo.accounts_exactly());
+        assert!(occ.shed > 0, "the stampede must overload the occupancy ladder: {occ:?}");
+        assert!(
+            slo.shed < occ.shed,
+            "SLO-driven ladder must shed fewer: {} vs {}",
+            slo.shed,
+            occ.shed
+        );
+        // Fewer sheds against the same budget = less error budget spent.
+        assert!(slo.ledgers[0].spend() <= occ.ledgers[0].spend());
+        // It pays with degraded service, not with dropped sessions.
+        assert!(slo.degraded >= occ.degraded, "{} vs {}", slo.degraded, occ.degraded);
+        // Overspending the shed budget fired alerts on the occupancy run.
+        assert!(!occ.ledgers[0].within_budget());
+        assert!(occ.alerts.count(vgbl_obs::AlertPhase::Firing) > 0);
+    }
+
+    #[test]
+    fn slo_ledgers_mirror_report_accounting_exactly() {
+        let (sup, arrivals) = stampede();
+        for ladder in [LadderPolicy::Occupancy, LadderPolicy::SloDriven(slo_ladder())] {
+            let report = run_supervised_cohort(
+                Arc::new(fix_the_computer()),
+                config(),
+                &SupervisorConfig { ladder, ..sup.clone() },
+                24,
+                &|_, _| Box::new(GuidedBot::new()),
+                &arrivals,
+            )
+            .unwrap();
+            let shed = &report.ledgers[0];
+            assert_eq!(shed.objective, "shed_rate");
+            assert_eq!(shed.bad as usize, report.shed, "ledger bad == report shed");
+            assert_eq!(shed.total as usize, report.sessions, "ledger total == arrivals");
+            let wait = &report.ledgers[1];
+            assert_eq!(wait.objective, "admission_wait");
+            assert_eq!(wait.total as usize, report.admitted, "every served session is counted");
+            assert!(wait.bad <= wait.total);
+        }
+    }
+
+    #[test]
+    fn slo_driven_runs_are_byte_identical_including_telemetry() {
+        let (sup, arrivals) = stampede();
+        let sup = SupervisorConfig { ladder: LadderPolicy::SloDriven(slo_ladder()), ..sup };
+        let run = || {
+            let obs = Obs::recording();
+            let report = run_supervised_cohort_observed(
+                Arc::new(fix_the_computer()),
+                config(),
+                &sup,
+                24,
+                &|_, _| Box::new(GuidedBot::new()),
+                &arrivals,
+                &obs,
+                "slo-ladder",
+            )
+            .unwrap();
+            let alerts_csv = report.alerts.to_csv();
+            let series_csv = obs.series_csv();
+            (report, alerts_csv, series_csv)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0, "reports must match field for field");
+        assert_eq!(a.1, b.1, "alert timelines must be byte-identical");
+        assert_eq!(a.2, b.2, "series exports must be byte-identical");
+        assert!(a.2.contains("supervisor.arrivals"), "arrival series is tapped");
+        assert!(a.2.contains("supervisor.queue_wait_us"), "wait series is tapped");
+    }
+
+    #[test]
+    fn slo_ladder_on_noop_obs_still_sees_its_series() {
+        // The control series are standalone: disabling observability must
+        // not change what the SLO-driven ladder decides.
+        let (sup, arrivals) = stampede();
+        let sup = SupervisorConfig { ladder: LadderPolicy::SloDriven(slo_ladder()), ..sup };
+        let noop = run_supervised_cohort(
+            Arc::new(fix_the_computer()),
+            config(),
+            &sup,
+            24,
+            &|_, _| Box::new(GuidedBot::new()),
+            &arrivals,
+        )
+        .unwrap();
+        let obs = Obs::recording();
+        let observed = run_supervised_cohort_observed(
+            Arc::new(fix_the_computer()),
+            config(),
+            &sup,
+            24,
+            &|_, _| Box::new(GuidedBot::new()),
+            &arrivals,
+            &obs,
+            "paired",
+        )
+        .unwrap();
+        assert_eq!(noop, observed, "observability must never steer the ladder");
+        assert!(!noop.alerts.is_empty() || noop.shed == 0, "alerts work without obs too");
     }
 }
+

@@ -16,7 +16,7 @@
 use std::collections::{HashMap, HashSet};
 
 use vgbl_media::SegmentId;
-use vgbl_obs::{us_from_ms, Counter, Histogram, Obs, SpanRecorder};
+use vgbl_obs::{us_from_ms, Counter, Histogram, Obs, Series, SeriesSpec, SpanRecorder};
 
 use crate::breaker::CircuitBreaker;
 use crate::chunk::{ChunkId, ChunkMap};
@@ -213,7 +213,19 @@ struct SimObs {
     stalls: Counter,
     concealed_chunks: Counter,
     fetch_latency_us: Histogram,
+    // Windowed time series on the simulated playback clock, so a
+    // latency spike or stall burst is attributable to *when* it
+    // happened, not just that it happened somewhere in the session.
+    fetch_latency_series: Series,
+    timeout_series: Series,
+    stall_series: Series,
 }
+
+/// Bin width for the stream time series: quarter-second bins over a
+/// 16 s sliding horizon, matching the scale of a chunked session.
+const STREAM_BIN_US: u64 = 250_000;
+/// Ring length for the stream time series.
+const STREAM_BINS: usize = 64;
 
 impl SimObs {
     fn disabled() -> SimObs {
@@ -233,6 +245,15 @@ impl SimObs {
             stalls: obs.counter("session.stalls", labels),
             concealed_chunks: obs.counter("conceal.chunks", labels),
             fetch_latency_us: obs.histogram("fetch.latency_us", labels),
+            fetch_latency_series: obs.series(SeriesSpec::histogram(
+                "stream.fetch_latency_us",
+                STREAM_BIN_US,
+                STREAM_BINS,
+            )),
+            timeout_series: obs
+                .series(SeriesSpec::counter("stream.timeouts", STREAM_BIN_US, STREAM_BINS)),
+            stall_series: obs
+                .series(SeriesSpec::counter("stream.stalls", STREAM_BIN_US, STREAM_BINS)),
         }
     }
 }
@@ -283,6 +304,7 @@ impl<L: Link + ?Sized> Net<'_, L> {
             self.completion.insert(id, done);
             sobs.delivered.inc();
             sobs.fetch_latency_us.record(us_from_ms(done - now));
+            sobs.fetch_latency_series.record(us_from_ms(done), us_from_ms(done - now));
             return Fetched::Delivered(done);
         };
         let mut t = self.busy_until.max(now);
@@ -308,6 +330,7 @@ impl<L: Link + ?Sized> Net<'_, L> {
                 // the attempt's deadline expires, then we re-request.
                 self.timeouts += 1;
                 sobs.timeouts.inc();
+                sobs.timeout_series.record(us_from_ms(t), 1);
                 t += retry.deadline_ms(attempt, plan.jitter(id, attempt));
                 if let Some(b) = self.breaker.as_deref_mut() {
                     b.on_failure(t);
@@ -339,6 +362,7 @@ impl<L: Link + ?Sized> Net<'_, L> {
             }
             sobs.delivered.inc();
             sobs.fetch_latency_us.record(us_from_ms(done - now));
+            sobs.fetch_latency_series.record(us_from_ms(done), us_from_ms(done - now));
             return Fetched::Delivered(done);
         }
         self.busy_until = t;
@@ -563,6 +587,7 @@ fn sim_core<L: Link + ?Sized>(
                     stats.stalls += 1;
                     stats.stall_ms += wait;
                     sobs.stalls.inc();
+                    sobs.stall_series.record(us_from_ms(now), 1);
                     sobs.rec.enter_with("stall", id.0 as u64, us_from_ms(now));
                     sobs.rec.exit(us_from_ms(available));
                 }

@@ -10,6 +10,7 @@
 //! read as a catastrophe on some dashboards and perfection on others.
 
 use vgbl_media::GopCache;
+use vgbl_obs::{HistogramSnapshot, Obs};
 use vgbl_runtime::analytics::{DecodeReuse, LearningReport, ResilienceReport};
 use vgbl_stream::StreamStats;
 
@@ -68,4 +69,75 @@ fn degenerate_stalled_input_is_not_empty_input() {
     assert_eq!(stalled.rebuffer_ratio(), f64::INFINITY);
     let cohort = ResilienceReport::from_sessions(&[stalled], &[]);
     assert_eq!(cohort.rebuffer_ratio(), f64::INFINITY);
+}
+
+#[test]
+fn histogram_quantiles_never_exceed_the_observed_range() {
+    // Pre-fix, percentiles reported the raw power-of-two bucket upper
+    // bound: a histogram holding only the value 1000 claimed p99 = 1023
+    // — 2.3% of latency that never happened. Pinned semantics: every
+    // percentile estimate is clamped into the observed [min, max], so a
+    // single-bucket histogram reports that bucket's exact observed
+    // value, never an upper bound no sample reached.
+    let obs = Obs::recording();
+    let h = obs.histogram("conv.single", &[]);
+    for _ in 0..3 {
+        h.record(1000);
+    }
+    let hs = obs.snapshot().histogram("conv.single").unwrap();
+    assert_eq!((hs.min, hs.max), (1000, 1000));
+    assert_eq!((hs.p50, hs.p90, hs.p99), (1000, 1000, 1000));
+
+    // Mixed buckets: the top percentile still cannot exceed max.
+    let m = obs.histogram("conv.mixed", &[]);
+    for v in [3u64, 5, 700] {
+        m.record(v);
+    }
+    let ms = obs.snapshot().histogram("conv.mixed").unwrap();
+    assert!(ms.p99 <= ms.max, "p99 {} must not exceed observed max {}", ms.p99, ms.max);
+    assert!(ms.p50 >= ms.min, "p50 {} must not undershoot observed min {}", ms.p50, ms.min);
+}
+
+#[test]
+fn histogram_empty_and_absent_semantics_are_pinned() {
+    // Absent histogram → None; registered-but-empty → the zeroed
+    // snapshot. Neither panics, neither produces a NaN-like sentinel.
+    let obs = Obs::recording();
+    assert_eq!(obs.snapshot().histogram("conv.absent"), None);
+    let _ = obs.histogram("conv.empty", &[]);
+    let hs = obs.snapshot().histogram("conv.empty").unwrap();
+    assert_eq!(hs, HistogramSnapshot::default());
+    assert_eq!((hs.p50, hs.p90, hs.p99), (0, 0, 0));
+}
+
+#[test]
+fn span_recorder_survives_unbalanced_enter_exit_interleaving() {
+    // `exit`/`close_all` on an empty stack are deterministic no-ops:
+    // instrumented fault paths fire them freely, and the resulting
+    // trace must be identical however many stray exits happened.
+    let run = |stray_exits: usize| {
+        let obs = Obs::recording();
+        let mut rec = obs.recorder("unbalanced".into());
+        for _ in 0..stray_exits {
+            rec.exit(5);
+        }
+        rec.close_all(7);
+        rec.enter("session", 10);
+        rec.exit(20);
+        rec.exit(30); // stray again: nothing open
+        rec.close_all(40); // idempotent on a closed stack
+        rec.enter("tail", 50);
+        rec.exit(60);
+        assert_eq!(rec.depth(), 0);
+        obs.attach(rec);
+        obs.snapshot()
+    };
+    let clean = run(0);
+    for stray in 1..4 {
+        assert_eq!(run(stray), clean, "{stray} stray exits must not perturb the trace");
+    }
+    let spans = &clean.traces[0].spans;
+    assert_eq!(spans.len(), 2);
+    assert_eq!((spans[0].name, spans[0].start_us, spans[0].end_us), ("session", 10, 20));
+    assert_eq!((spans[1].name, spans[1].start_us, spans[1].end_us), ("tail", 50, 60));
 }
