@@ -1,0 +1,188 @@
+//! `vgbl-bench` — the perf-trajectory snapshot tool.
+//!
+//! Measures the pipeline operations every learner session walks
+//! (encode, decode, seek, streaming fetch, cohort playback) on a
+//! deterministic workload and emits a machine-readable JSON snapshot.
+//! Snapshots accumulate as `BENCH_<n>.json` files at the repo root —
+//! the perf trajectory ROADMAP item 2 asks for.
+//!
+//! ```text
+//! vgbl-bench [--quick|--full] [--json-only] [--label NAME]
+//!            [--out FILE] [--baseline FILE]
+//! vgbl-bench --merge BEFORE AFTER [--out FILE]   # two saved snapshots
+//! vgbl-bench --validate FILE     # CI: check a snapshot's shape
+//! vgbl-bench --golden            # print codec byte-identity checksums
+//! ```
+//!
+//! With `--baseline FILE` the run is merged with the given earlier
+//! snapshot into a `vgbl-bench-trajectory/1` document carrying per-op
+//! speedups. With `--json-only` the JSON goes to stdout and nothing is
+//! written unless `--out` is given (the CI mode). Otherwise the human
+//! table is printed and the JSON is written to `--out`, defaulting to
+//! the next free `BENCH_<n>.json` in the current directory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vgbl_bench::perf::{
+    self, golden_checksums, human_table, merge_trajectory, to_json, validate_json, Mode,
+};
+
+struct Cli {
+    mode: Mode,
+    json_only: bool,
+    label: String,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    validate: Option<PathBuf>,
+    merge: Option<(PathBuf, PathBuf)>,
+    golden: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vgbl-bench [--quick|--full] [--json-only] [--label NAME] \
+         [--out FILE] [--baseline FILE] | --merge BEFORE AFTER [--out FILE] \
+         | --validate FILE | --golden"
+    );
+    std::process::exit(2);
+}
+
+fn parse(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        mode: Mode::Quick,
+        json_only: false,
+        label: String::from("snapshot"),
+        out: None,
+        baseline: None,
+        validate: None,
+        merge: None,
+        golden: false,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cli.mode = Mode::Quick,
+            "--full" => cli.mode = Mode::Full,
+            "--smoke" => cli.mode = Mode::Smoke,
+            "--json-only" => cli.json_only = true,
+            "--label" => cli.label = value(&mut i),
+            "--out" => cli.out = Some(PathBuf::from(value(&mut i))),
+            "--baseline" => cli.baseline = Some(PathBuf::from(value(&mut i))),
+            "--validate" => cli.validate = Some(PathBuf::from(value(&mut i))),
+            "--merge" => {
+                let before = PathBuf::from(value(&mut i));
+                let after = PathBuf::from(value(&mut i));
+                cli.merge = Some((before, after));
+            }
+            "--golden" => cli.golden = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// First `BENCH_<n>.json` (n ≥ 1) that does not exist yet.
+fn next_bench_path() -> PathBuf {
+    for n in 1.. {
+        let p = PathBuf::from(format!("BENCH_{n}.json"));
+        if !p.exists() {
+            return p;
+        }
+    }
+    unreachable!("some BENCH_<n>.json slot is free");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse(&args);
+
+    if cli.golden {
+        for (name, sum) in golden_checksums() {
+            println!("{name}: 0x{sum:016x}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &cli.validate {
+        let json = match std::fs::read_to_string(path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("vgbl-bench: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_json(&json) {
+            Ok(()) => {
+                println!("{}: ok", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{}: invalid: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some((before_path, after_path)) = &cli.merge {
+        let read = |p: &PathBuf| match std::fs::read_to_string(p) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("vgbl-bench: cannot read {}: {e}", p.display());
+                std::process::exit(1);
+            }
+        };
+        let doc = merge_trajectory(&read(before_path), &read(after_path));
+        match &cli.out {
+            Some(out) => {
+                if let Err(e) = std::fs::write(out, &doc) {
+                    eprintln!("vgbl-bench: cannot write {}: {e}", out.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {}", out.display());
+            }
+            None => print!("{doc}"),
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = perf::run(cli.mode, &cli.label);
+    let json = to_json(&report);
+    debug_assert!(validate_json(&json).is_ok(), "emitted JSON must self-validate");
+
+    let doc = match &cli.baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(before) => merge_trajectory(&before, &json),
+            Err(e) => {
+                eprintln!("vgbl-bench: cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => json,
+    };
+
+    if cli.json_only {
+        print!("{doc}");
+        if let Some(out) = &cli.out {
+            if let Err(e) = std::fs::write(out, &doc) {
+                eprintln!("vgbl-bench: cannot write {}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    print!("{}", human_table(&report));
+    let out = cli.out.unwrap_or_else(next_bench_path);
+    if let Err(e) = std::fs::write(&out, &doc) {
+        eprintln!("vgbl-bench: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {}", out.display());
+    ExitCode::SUCCESS
+}

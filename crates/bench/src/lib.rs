@@ -7,6 +7,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -1,0 +1,30 @@
+//! Golden byte-identity gate for the hot-path optimizations.
+//!
+//! The four constants below were pinned by running
+//! `vgbl-bench --golden` **before** the PR-6 optimizations (chunked
+//! `block_sad`, Arc-backed planes/frames, raw-buffer codec loops). The
+//! optimizations claim byte-identical output; if any of these
+//! fingerprints moves, an "optimization" changed the bitstream or the
+//! decoded RGB and must be rejected, not re-pinned. Re-pin only for a
+//! deliberate format change that says so in its commit message.
+
+use vgbl_bench::perf::golden_checksums;
+
+const PINNED: [(&str, u64); 4] = [
+    ("medium_encoded", 0xd4a787a825f4031c),
+    ("medium_decoded", 0x37c61d09646ffcef),
+    ("lossless_encoded", 0x4a5755c6b8bf3b8b),
+    ("lossless_decoded", 0xdf0fb6fb43c05f24),
+];
+
+#[test]
+fn codec_output_is_byte_identical_to_pre_optimization_pin() {
+    let now = golden_checksums();
+    for ((pin_name, pin_sum), (name, sum)) in PINNED.iter().zip(now.iter()) {
+        assert_eq!(pin_name, name, "checksum order changed");
+        assert_eq!(
+            pin_sum, sum,
+            "{name} fingerprint moved: an optimization altered codec output"
+        );
+    }
+}

@@ -338,6 +338,22 @@ impl GopCache {
         }
     }
 
+    /// Whether the GOP at `keyframe` of `video_id` is resident **right
+    /// now**. A pure peek for batch planners (see `vgbl-runtime`'s
+    /// batched cohort): it takes the shard lock but never touches the
+    /// LRU clock or the hit/miss counters, so probing residency to plan
+    /// a prewarm does not distort the cache statistics the experiments
+    /// report. In-flight (`Pending`) decodes count as absent — a planner
+    /// must not skip a key another thread may still fail to produce.
+    pub fn contains(&self, video_id: VideoId, keyframe: usize) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let key = GopKey { video: video_id, keyframe };
+        let shard = &self.shards[(key.shard_hash() % self.shards.len() as u64) as usize];
+        matches!(shard.lock().entries.get(&key), Some(Slot::Ready { .. }))
+    }
+
     /// Looks up the GOP at `keyframe` of `video_id`, decoding it with
     /// `decode` on a miss. Concurrent misses on the same key coalesce:
     /// one caller decodes, the rest block and then read the entry.

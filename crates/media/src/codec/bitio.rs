@@ -38,8 +38,23 @@ impl BitWriter {
     /// Appends the low `n` bits of `value`, most significant first.
     pub fn put_bits(&mut self, value: u64, n: u8) {
         debug_assert!(n <= 64);
-        for i in (0..n).rev() {
-            self.put_bit((value >> i) & 1 == 1);
+        let mut n = n as usize;
+        // Top up a partially filled final byte (at most 7 iterations),
+        // after which the stream is byte-aligned.
+        while n > 0 && self.used != 0 {
+            n -= 1;
+            self.put_bit((value >> n) & 1 == 1);
+        }
+        // Aligned: emit whole bytes directly.
+        while n >= 8 {
+            n -= 8;
+            self.bytes.push((value >> n) as u8);
+        }
+        // Remaining tail bits open a fresh byte, MSB-first.
+        if n > 0 {
+            let tail = (value & ((1 << n) - 1)) as u8;
+            self.bytes.push(tail << (8 - n));
+            self.used = n as u8;
         }
     }
 
@@ -47,9 +62,7 @@ impl BitWriter {
     pub fn put_ue(&mut self, v: u64) {
         let x = v + 1;
         let bits = 64 - x.leading_zeros() as u8; // length of x in bits, ≥ 1
-        for _ in 0..bits - 1 {
-            self.put_bit(false);
-        }
+        self.put_bits(0, bits - 1);
         self.put_bits(x, bits);
     }
 
@@ -76,42 +89,139 @@ impl BitWriter {
 }
 
 /// Reads bits MSB-first from a byte slice.
+///
+/// Internally keeps a left-aligned 64-bit cache of upcoming bits
+/// (refilled bytewise), so the per-code cost of the exp-Golomb hot
+/// path is a `leading_zeros` and two shifts rather than per-bit byte
+/// indexing. Invariants: `cache` holds the next `cached` stream bits
+/// in its high end with zeros below, and `pos + cached` is always a
+/// whole number of consumed-or-cached bytes.
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
-    pos: usize, // bit position
+    /// Bits consumed so far (the public cursor).
+    pos: usize,
+    /// Upcoming bits, left-aligned (MSB is the next bit).
+    cache: u64,
+    /// Number of valid bits in `cache`.
+    cached: u32,
 }
 
 impl<'a> BitReader<'a> {
     /// Creates a reader over `bytes`.
     pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
-        BitReader { bytes, pos: 0 }
+        BitReader { bytes, pos: 0, cache: 0, cached: 0 }
+    }
+
+    /// Tops up the cache from the byte stream (whole bytes only, so the
+    /// byte-alignment invariant holds). Away from the end of the slice
+    /// this is one unaligned 8-byte load; the final few bytes trickle
+    /// in one at a time.
+    #[inline]
+    fn refill(&mut self) {
+        let mut next = (self.pos + self.cached as usize) / 8;
+        if next + 8 <= self.bytes.len() {
+            let w =
+                u64::from_be_bytes(self.bytes[next..next + 8].try_into().expect("8-byte window"));
+            if self.cached == 0 {
+                self.cache = w;
+                self.cached = 64;
+            } else {
+                // `cached | 56` adds the most whole bytes that fit
+                // (0–7 of the 8 loaded); the mask clears the partial
+                // byte the shift smeared below them.
+                let new = self.cached | 56;
+                self.cache = (self.cache | (w >> self.cached)) & !(u64::MAX >> new);
+                self.cached = new;
+            }
+            return;
+        }
+        while self.cached <= 56 && next < self.bytes.len() {
+            self.cache |= u64::from(self.bytes[next]) << (56 - self.cached);
+            self.cached += 8;
+            next += 1;
+        }
+    }
+
+    /// Drops the top `n` bits of the cache (`n` ≤ `cached`).
+    #[inline]
+    fn consume(&mut self, n: u32) {
+        debug_assert!(n <= self.cached);
+        self.cache = if n == 64 { 0 } else { self.cache << n };
+        self.cached -= n;
+        self.pos += n as usize;
     }
 
     /// Reads one bit.
     #[inline]
     pub fn get_bit(&mut self) -> Result<bool> {
-        let byte = self.pos / 8;
-        if byte >= self.bytes.len() {
-            return Err(MediaError::CorruptBitstream("bit read past end".into()));
+        if self.cached == 0 {
+            self.refill();
+            if self.cached == 0 {
+                return Err(MediaError::CorruptBitstream("bit read past end".into()));
+            }
         }
-        let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1 == 1;
-        self.pos += 1;
+        let bit = self.cache >> 63 == 1;
+        self.consume(1);
         Ok(bit)
     }
 
     /// Reads `n` bits, MSB first.
     pub fn get_bits(&mut self, n: u8) -> Result<u64> {
         debug_assert!(n <= 64);
+        if n == 0 {
+            return Ok(0);
+        }
+        if self.pos + n as usize > self.bytes.len() * 8 {
+            return Err(MediaError::CorruptBitstream("bit read past end".into()));
+        }
         let mut v = 0u64;
-        for _ in 0..n {
-            v = (v << 1) | u64::from(self.get_bit()?);
+        let mut need = u32::from(n);
+        while need > 0 {
+            if self.cached == 0 {
+                self.refill();
+            }
+            let take = need.min(self.cached);
+            let chunk = if take == 64 { self.cache } else { self.cache >> (64 - take) };
+            v = if take == 64 { chunk } else { (v << take) | chunk };
+            self.consume(take);
+            need -= take;
         }
         Ok(v)
     }
 
     /// Reads an unsigned exp-Golomb code.
     pub fn get_ue(&mut self) -> Result<u64> {
+        // 32 cached bits cover every code up to `ue(65534)` — far past
+        // the residual runs the codec writes — so most calls skip the
+        // refill entirely.
+        if self.cached < 32 {
+            self.refill();
+        }
+        let lz = if self.cache == 0 { 64 } else { self.cache.leading_zeros() };
+        if lz >= self.cached {
+            // Every cached bit is zero: the prefix outruns the window
+            // (over-long prefix or truncated stream) — take the bitwise
+            // path, which owns those corruption checks.
+            return self.get_ue_bitwise();
+        }
+        let zeros = lz;
+        let code_len = 2 * zeros + 1;
+        if code_len <= self.cached {
+            let x = self.cache >> (64 - code_len);
+            self.consume(code_len);
+            return Ok(x - 1);
+        }
+        // Prefix fits in the cache but the tail crosses the window edge.
+        self.consume(zeros + 1);
+        let tail = self.get_bits(zeros as u8)?;
+        Ok(((1u64 << zeros) | tail) - 1)
+    }
+
+    /// Bit-at-a-time `ue` decode: the fallback for codes whose zero
+    /// prefix outruns the 64-bit peek window, and the sole place the
+    /// over-long-prefix corruption check lives.
+    fn get_ue_bitwise(&mut self) -> Result<u64> {
         let mut zeros = 0u8;
         while !self.get_bit()? {
             zeros += 1;
@@ -124,13 +234,18 @@ impl<'a> BitReader<'a> {
         Ok(x - 1)
     }
 
+    /// Bits left between the cursor and the end of the byte slice.
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
     /// Reads a signed exp-Golomb code.
     pub fn get_se(&mut self) -> Result<i64> {
         let mapped = self.get_ue()?;
-        if mapped % 2 == 0 {
-            Ok(-((mapped / 2) as i64))
+        if mapped & 1 == 0 {
+            Ok(-((mapped >> 1) as i64))
         } else {
-            Ok(mapped.div_ceil(2) as i64)
+            Ok(((mapped >> 1) + 1) as i64)
         }
     }
 

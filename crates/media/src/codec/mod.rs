@@ -239,9 +239,15 @@ fn write_residuals(w: &mut BitWriter, residuals: &[i64]) {
     }
 }
 
-/// Inverse of [`write_residuals`].
-fn read_residuals(r: &mut BitReader<'_>, n: usize) -> Result<Vec<i64>> {
-    let mut out = vec![0i64; n];
+/// Inverse of [`write_residuals`], in sparse `(index, value)` form —
+/// the natural shape of the zero-run RLE. Decoders treat the zero runs
+/// between entries as whole spans (prediction pass-through) instead of
+/// doing per-sample `pred + 0` arithmetic on a dense buffer.
+fn read_residuals_sparse(r: &mut BitReader<'_>, n: usize) -> Result<Vec<(usize, i64)>> {
+    // Each token costs ≥ 4 bits on the wire (run `ue` + value `se`), so
+    // remaining_bits/4 caps the token count — a tight-enough hint to
+    // avoid growth reallocations without overcommitting.
+    let mut out = Vec::with_capacity(n.min(r.remaining_bits() / 4 + 1));
     let mut pos = 0usize;
     while pos < n {
         let run = r.get_ue()? as usize;
@@ -253,52 +259,93 @@ fn read_residuals(r: &mut BitReader<'_>, n: usize) -> Result<Vec<i64>> {
         }
         pos += run;
         if pos < n {
-            out[pos] = r.get_se()?;
+            out.push((pos, r.get_se()?));
             pos += 1;
         }
     }
     Ok(out)
 }
 
+/// Dense form of [`read_residuals_sparse`] (round-trip tests only).
+#[cfg(test)]
+fn read_residuals(r: &mut BitReader<'_>, n: usize) -> Result<Vec<i64>> {
+    let mut out = vec![0i64; n];
+    for (pos, val) in read_residuals_sparse(r, n)? {
+        out[pos] = val;
+    }
+    Ok(out)
+}
+
 /// Intra-codes one plane: scan-order residuals against the reconstructed
 /// left/top neighbour. Returns the reconstructed plane.
+///
+/// Runs on the raw sample buffer (the prediction needs only `buf[i-1]` /
+/// `buf[i-stride]`), so the scan is index arithmetic instead of
+/// per-pixel coordinate accessors; the reconstruction is wrapped into a
+/// [`Plane`] once at the end.
 fn encode_plane_intra(w: &mut BitWriter, src: &Plane, q: i64) -> Plane {
     let (pw, ph) = (src.width(), src.height());
-    let mut recon = Plane::new(pw, ph);
-    let mut residuals = Vec::with_capacity((pw * ph) as usize);
-    for y in 0..ph {
-        for x in 0..pw {
-            let pred = intra_pred(&recon, x, y);
-            let res = src.at(x, y) as i64 - pred;
-            let qres = quantize(res, q);
-            residuals.push(qres);
-            recon.set(x, y, (pred + qres * q).clamp(0, 255) as u8);
-        }
+    let n = (pw * ph) as usize;
+    let stride = pw as usize;
+    let sdata = src.data();
+    let mut recon = vec![0u8; n];
+    let mut residuals = Vec::with_capacity(n);
+    for i in 0..n {
+        let pred = intra_pred(&recon, i, stride);
+        let res = sdata[i] as i64 - pred;
+        let qres = quantize(res, q);
+        residuals.push(qres);
+        recon[i] = (pred + qres * q).clamp(0, 255) as u8;
     }
     write_residuals(w, &residuals);
-    recon
+    Plane::from_raw(pw, ph, recon)
 }
 
 fn decode_plane_intra(r: &mut BitReader<'_>, pw: u32, ph: u32, q: i64) -> Result<Plane> {
-    let residuals = read_residuals(r, (pw * ph) as usize)?;
-    let mut recon = Plane::new(pw, ph);
-    let mut i = 0usize;
-    for y in 0..ph {
-        for x in 0..pw {
-            let pred = intra_pred(&recon, x, y);
-            recon.set(x, y, (pred + residuals[i] * q).clamp(0, 255) as u8);
-            i += 1;
-        }
+    let n = (pw * ph) as usize;
+    let stride = pw as usize;
+    let sparse = read_residuals_sparse(r, n)?;
+    let mut recon = vec![0u8; n];
+    let mut next = 0usize;
+    for &(pos, val) in &sparse {
+        fill_intra_run(&mut recon, next, pos, stride);
+        let pred = intra_pred(&recon, pos, stride);
+        recon[pos] = (pred + val * q).clamp(0, 255) as u8;
+        next = pos + 1;
     }
-    Ok(recon)
+    fill_intra_run(&mut recon, next, n, stride);
+    Ok(Plane::from_raw(pw, ph, recon))
 }
 
+/// Reconstructs the zero-residual span `[from, to)`: each sample equals
+/// its prediction exactly (`clamp(pred + 0)` of an in-range neighbour),
+/// so left-prediction propagates one constant along each row and only
+/// the row-start sample looks up its above neighbour.
+fn fill_intra_run(recon: &mut [u8], from: usize, to: usize, stride: usize) {
+    let mut i = from;
+    while i < to {
+        if i.is_multiple_of(stride) {
+            recon[i] = if i >= stride { recon[i - stride] } else { 128 };
+            i += 1;
+        } else {
+            let row_end = (i / stride + 1) * stride;
+            let end = to.min(row_end);
+            let v = recon[i - 1];
+            recon[i..end].fill(v);
+            i = end;
+        }
+    }
+}
+
+/// Left neighbour, else above neighbour, else mid-grey — on the raw
+/// scan-order buffer (`i % stride == 0` is the left edge, `i < stride`
+/// the top row).
 #[inline]
-fn intra_pred(recon: &Plane, x: u32, y: u32) -> i64 {
-    if x > 0 {
-        recon.at(x - 1, y) as i64
-    } else if y > 0 {
-        recon.at(x, y - 1) as i64
+fn intra_pred(recon: &[u8], i: usize, stride: usize) -> i64 {
+    if !i.is_multiple_of(stride) {
+        recon[i - 1] as i64
+    } else if i >= stride {
+        recon[i - stride] as i64
     } else {
         128
     }
@@ -345,6 +392,61 @@ fn motion_search(cur: &Plane, reference: &Plane, range: u8) -> Vec<(i8, i8)> {
     mvs
 }
 
+/// Motion-compensated prediction samples for the row `y`, span
+/// `[x0, x1)`, under motion vector `(dx, dy)` with clamped sampling —
+/// appended to `pred_row`. The clamped source row is computed once per
+/// span; fully in-bounds spans (the overwhelming majority) are a plain
+/// slice copy, edge spans clamp per sample.
+// Innermost prediction loop; discrete coordinates beat a geometry
+// struct per span, as in `Plane::block_sad`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn predict_span(
+    pred_row: &mut Vec<u8>,
+    rdata: &[u8],
+    pw: u32,
+    ph: u32,
+    y: u32,
+    x0: u32,
+    x1: u32,
+    dx: i64,
+    dy: i64,
+) {
+    let stride = pw as usize;
+    let ry = (y as i64 + dy).clamp(0, ph as i64 - 1) as usize;
+    let rrow = &rdata[ry * stride..ry * stride + stride];
+    if x0 as i64 + dx >= 0 && x1 as i64 + dx <= pw as i64 {
+        let r0 = (x0 as i64 + dx) as usize;
+        pred_row.extend_from_slice(&rrow[r0..r0 + (x1 - x0) as usize]);
+    } else {
+        for x in x0..x1 {
+            let rx = (x as i64 + dx).clamp(0, pw as i64 - 1) as usize;
+            pred_row.push(rrow[rx]);
+        }
+    }
+}
+
+/// Appends the motion-compensated prediction for the whole pixel row
+/// `y` to `dst`, coalescing adjacent macroblocks that share a motion
+/// vector into one [`predict_span`] call (static regions make runs of
+/// equal vectors, so most rows collapse to a handful of long copies).
+/// `mvs_row` holds the row's per-macroblock vectors, left to right.
+#[inline]
+fn predict_mb_row(dst: &mut Vec<u8>, rdata: &[u8], pw: u32, ph: u32, y: u32, mvs_row: &[(i8, i8)]) {
+    let cols = mvs_row.len();
+    let mut col = 0usize;
+    while col < cols {
+        let mv = mvs_row[col];
+        let x0 = col as u32 * MB;
+        col += 1;
+        while col < cols && mvs_row[col] == mv {
+            col += 1;
+        }
+        let x1 = (col as u32 * MB).min(pw);
+        predict_span(dst, rdata, pw, ph, y, x0, x1, mv.0 as i64, mv.1 as i64);
+    }
+}
+
 /// Inter-codes one plane given per-macroblock motion vectors.
 /// Returns the reconstructed plane.
 fn encode_plane_inter(
@@ -356,21 +458,28 @@ fn encode_plane_inter(
 ) -> Plane {
     let (pw, ph) = (src.width(), src.height());
     let (cols, _) = mb_grid(pw, ph);
-    let mut recon = Plane::new(pw, ph);
-    let mut residuals = Vec::with_capacity((pw * ph) as usize);
+    let n = (pw * ph) as usize;
+    let stride = pw as usize;
+    let sdata = src.data();
+    let rdata = reference.data();
+    let mut recon = vec![0u8; n];
+    let mut residuals = Vec::with_capacity(n);
+    let mut pred_row = Vec::with_capacity(stride);
     for y in 0..ph {
-        for x in 0..pw {
-            let mb_idx = ((y / MB) * cols + (x / MB)) as usize;
-            let (dx, dy) = mvs[mb_idx];
-            let pred = reference.sample_clamped(x as i64 + dx as i64, y as i64 + dy as i64) as i64;
-            let res = src.at(x, y) as i64 - pred;
+        pred_row.clear();
+        let mb_row = ((y / MB) * cols) as usize;
+        predict_mb_row(&mut pred_row, rdata, pw, ph, y, &mvs[mb_row..mb_row + cols as usize]);
+        let row = y as usize * stride;
+        for (x, &pred) in pred_row.iter().enumerate() {
+            let pred = pred as i64;
+            let res = sdata[row + x] as i64 - pred;
             let qres = quantize(res, q);
             residuals.push(qres);
-            recon.set(x, y, (pred + qres * q).clamp(0, 255) as u8);
+            recon[row + x] = (pred + qres * q).clamp(0, 255) as u8;
         }
     }
     write_residuals(w, &residuals);
-    recon
+    Plane::from_raw(pw, ph, recon)
 }
 
 fn decode_plane_inter(
@@ -381,19 +490,23 @@ fn decode_plane_inter(
 ) -> Result<Plane> {
     let (pw, ph) = (reference.width(), reference.height());
     let (cols, _) = mb_grid(pw, ph);
-    let residuals = read_residuals(r, (pw * ph) as usize)?;
-    let mut recon = Plane::new(pw, ph);
-    let mut i = 0usize;
+    let n = (pw * ph) as usize;
+    let rdata = reference.data();
+    let sparse = read_residuals_sparse(r, n)?;
+    // The prediction IS the reconstruction wherever the residual is
+    // zero, so build the motion-compensated prediction directly into
+    // the output buffer (mostly row-span copies) and then patch only
+    // the sparse nonzero samples in place.
+    let mut recon = Vec::with_capacity(n);
     for y in 0..ph {
-        for x in 0..pw {
-            let mb_idx = ((y / MB) * cols + (x / MB)) as usize;
-            let (dx, dy) = mvs[mb_idx];
-            let pred = reference.sample_clamped(x as i64 + dx as i64, y as i64 + dy as i64) as i64;
-            recon.set(x, y, (pred + residuals[i] * q).clamp(0, 255) as u8);
-            i += 1;
-        }
+        let mb_row = ((y / MB) * cols) as usize;
+        predict_mb_row(&mut recon, rdata, pw, ph, y, &mvs[mb_row..mb_row + cols as usize]);
     }
-    Ok(recon)
+    for &(pos, val) in &sparse {
+        let pred = recon[pos] as i64;
+        recon[pos] = (pred + val * q).clamp(0, 255) as u8;
+    }
+    Ok(Plane::from_raw(pw, ph, recon))
 }
 
 /// The encoder.
@@ -586,7 +699,7 @@ fn encode_gop(frames: &[Frame], cfg: &EncodeConfig) -> Vec<EncodedFrame> {
             }
             kind = FrameKind::Inter;
             let cur_luma = Plane::luma_of(frame);
-            let ref_luma = Plane::luma_of(&Plane::merge(ref_planes));
+            let ref_luma = Plane::luma_of_planes(ref_planes);
             let mvs = motion_search(&cur_luma, &ref_luma, cfg.search_range);
             for &(dx, dy) in &mvs {
                 w.put_se(dx as i64);
@@ -751,10 +864,18 @@ fn decode_gop(video: &EncodedVideo, start: usize, end: usize) -> Result<Vec<Fram
                 ]
             }
             FrameKind::Skip => {
-                let refp = reference.as_ref().ok_or_else(|| {
-                    MediaError::CorruptBitstream(format!("SKIP frame {idx} without reference"))
-                })?;
-                refp.clone()
+                if reference.is_none() {
+                    return Err(MediaError::CorruptBitstream(format!(
+                        "SKIP frame {idx} without reference"
+                    )));
+                }
+                // Re-show the previous output (an Arc bump): a SKIP
+                // decodes in O(1) instead of re-merging three planes,
+                // and the reference planes stay as-is.
+                let prev: Frame =
+                    out.last().cloned().expect("reference implies a prior output frame");
+                out.push(prev);
+                continue;
             }
         };
         out.push(Plane::merge(&planes));

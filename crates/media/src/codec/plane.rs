@@ -4,21 +4,37 @@
 //! plane used only for motion search). Planes support clamped sampling so
 //! motion vectors may point partially outside the reference frame.
 
+use std::sync::Arc;
+
 use crate::color::Rgb;
 use crate::frame::Frame;
 
 /// One 8-bit channel of a frame.
+///
+/// Samples live behind an [`Arc`], so cloning a plane (reference frames
+/// in the encoder, SKIP reconstruction in the decoder) shares the
+/// buffer instead of copying it; the first mutation of a shared plane
+/// copies on write via [`Arc::make_mut`]. Hot producers should build
+/// the full sample buffer and wrap it once with [`Plane::from_raw`]
+/// rather than calling [`Plane::set`] per pixel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Plane {
     width: u32,
     height: u32,
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Plane {
     /// A zero-filled plane.
     pub fn new(width: u32, height: u32) -> Plane {
-        Plane { width, height, data: vec![0; (width * height) as usize] }
+        Plane { width, height, data: Arc::new(vec![0; (width * height) as usize]) }
+    }
+
+    /// Wraps a ready-made row-major sample buffer (must hold exactly
+    /// `width * height` samples).
+    pub fn from_raw(width: u32, height: u32, data: Vec<u8>) -> Plane {
+        assert_eq!(data.len(), (width * height) as usize, "plane buffer size mismatch");
+        Plane { width, height, data: Arc::new(data) }
     }
 
     /// Plane width.
@@ -36,9 +52,9 @@ impl Plane {
         &self.data
     }
 
-    /// Mutable raw samples.
+    /// Mutable raw samples (copy-on-write if the buffer is shared).
     pub fn data_mut(&mut self) -> &mut [u8] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
     /// Sample at `(x, y)` with coordinates clamped to the plane bounds —
@@ -56,53 +72,122 @@ impl Plane {
         self.data[(y * self.width + x) as usize]
     }
 
-    /// In-bounds sample write.
+    /// In-bounds sample write (copy-on-write if the buffer is shared).
     #[inline]
     pub fn set(&mut self, x: u32, y: u32, v: u8) {
-        self.data[(y * self.width + x) as usize] = v;
+        Arc::make_mut(&mut self.data)[(y * self.width + x) as usize] = v;
     }
 
     /// Extracts the three colour planes of a frame.
     pub fn split(frame: &Frame) -> [Plane; 3] {
         let (w, h) = (frame.width(), frame.height());
-        let mut planes = [Plane::new(w, h), Plane::new(w, h), Plane::new(w, h)];
-        for (i, px) in frame.raw().chunks_exact(3).enumerate() {
-            planes[0].data[i] = px[0];
-            planes[1].data[i] = px[1];
-            planes[2].data[i] = px[2];
+        let n = (w * h) as usize;
+        let mut r = Vec::with_capacity(n);
+        let mut g = Vec::with_capacity(n);
+        let mut b = Vec::with_capacity(n);
+        for px in frame.raw().chunks_exact(3) {
+            r.push(px[0]);
+            g.push(px[1]);
+            b.push(px[2]);
         }
-        planes
+        [Plane::from_raw(w, h, r), Plane::from_raw(w, h, g), Plane::from_raw(w, h, b)]
     }
 
     /// Rebuilds an RGB frame from three planes (which must share a shape).
     pub fn merge(planes: &[Plane; 3]) -> Frame {
         let (w, h) = (planes[0].width, planes[0].height);
         debug_assert!(planes.iter().all(|p| p.width == w && p.height == h));
-        let mut data = Vec::with_capacity((w * h * 3) as usize);
-        for i in 0..(w * h) as usize {
-            data.push(planes[0].data[i]);
-            data.push(planes[1].data[i]);
-            data.push(planes[2].data[i]);
+        let mut data = vec![0u8; (w * h * 3) as usize];
+        let rgb = data.chunks_exact_mut(3);
+        let chans = planes[0].data.iter().zip(planes[1].data.iter()).zip(planes[2].data.iter());
+        for (px, ((&r, &g), &b)) in rgb.zip(chans) {
+            px[0] = r;
+            px[1] = g;
+            px[2] = b;
         }
         Frame::from_raw(w, h, data).expect("merged plane dimensions are valid")
     }
 
     /// Derives the luma plane of a frame (for motion search only).
     pub fn luma_of(frame: &Frame) -> Plane {
-        let mut p = Plane::new(frame.width(), frame.height());
-        for (dst, px) in p.data.iter_mut().zip(frame.raw().chunks_exact(3)) {
-            *dst = Rgb::new(px[0], px[1], px[2]).luma();
-        }
-        p
+        let data: Vec<u8> = frame
+            .raw()
+            .chunks_exact(3)
+            .map(|px| Rgb::new(px[0], px[1], px[2]).luma())
+            .collect();
+        Plane::from_raw(frame.width(), frame.height(), data)
+    }
+
+    /// Derives the luma plane directly from split colour planes —
+    /// identical samples to `luma_of(&Plane::merge(planes))` without
+    /// materialising the merged RGB frame (the encoder calls this once
+    /// per inter frame).
+    pub fn luma_of_planes(planes: &[Plane; 3]) -> Plane {
+        let (w, h) = (planes[0].width, planes[0].height);
+        debug_assert!(planes.iter().all(|p| p.width == w && p.height == h));
+        let data: Vec<u8> = planes[0]
+            .data
+            .iter()
+            .zip(planes[1].data.iter())
+            .zip(planes[2].data.iter())
+            .map(|((&r, &g), &b)| Rgb::new(r, g, b).luma())
+            .collect();
+        Plane::from_raw(w, h, data)
     }
 
     /// Sum of absolute differences between a `bw×bh` block at `(x, y)` in
     /// `self` and the block at `(x+dx, y+dy)` in `reference`, with clamped
     /// sampling on the reference. Early-exits once `best` is exceeded.
+    ///
+    /// Fully in-bounds probes (the overwhelming majority — only blocks
+    /// hugging the frame edge ever clamp) compare whole rows: 8 samples
+    /// at a time as `u64` words, skipping word-equal runs outright (the
+    /// common case on the zero vector), with a scalar tail. The
+    /// out-of-bounds path and the per-row early-exit are exactly
+    /// [`Plane::block_sad_reference`]'s, so results are bit-identical.
     // A SAD call is the innermost loop of motion search; passing discrete
     // coordinates beats constructing a geometry struct per probe.
     #[allow(clippy::too_many_arguments)]
     pub fn block_sad(
+        &self,
+        reference: &Plane,
+        x: u32,
+        y: u32,
+        bw: u32,
+        bh: u32,
+        dx: i64,
+        dy: i64,
+        best: u64,
+    ) -> u64 {
+        let rx = x as i64 + dx;
+        let ry = y as i64 + dy;
+        let in_bounds = rx >= 0
+            && ry >= 0
+            && rx + bw as i64 <= reference.width as i64
+            && ry + bh as i64 <= reference.height as i64;
+        if !in_bounds {
+            return self.block_sad_reference(reference, x, y, bw, bh, dx, dy, best);
+        }
+        let (rx, ry) = (rx as u32, ry as u32);
+        let mut acc = 0u64;
+        for by in 0..bh {
+            let a0 = ((y + by) * self.width + x) as usize;
+            let b0 = ((ry + by) * reference.width + rx) as usize;
+            let row_a = &self.data[a0..a0 + bw as usize];
+            let row_b = &reference.data[b0..b0 + bw as usize];
+            acc += row_sad(row_a, row_b);
+            if acc >= best {
+                return acc; // cannot improve on the incumbent
+            }
+        }
+        acc
+    }
+
+    /// The naive per-sample SAD the optimized [`Plane::block_sad`] must
+    /// match bit-for-bit; retained as the proptest oracle and as the
+    /// fallback for probes that clamp outside the reference.
+    #[allow(clippy::too_many_arguments)]
+    pub fn block_sad_reference(
         &self,
         reference: &Plane,
         x: u32,
@@ -127,6 +212,30 @@ impl Plane {
         }
         acc
     }
+}
+
+/// SAD of two equal-length sample rows: 8-byte words first (equal words
+/// contribute 0 and are skipped without unpacking), scalar remainder.
+#[inline]
+fn row_sad(a: &[u8], b: &[u8]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0u64;
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (wa, wb) in ca.by_ref().zip(cb.by_ref()) {
+        let ua = u64::from_le_bytes(wa.try_into().expect("exact 8-byte chunk"));
+        let ub = u64::from_le_bytes(wb.try_into().expect("exact 8-byte chunk"));
+        if ua == ub {
+            continue;
+        }
+        for (&sa, &sb) in wa.iter().zip(wb.iter()) {
+            acc += sa.abs_diff(sb) as u64;
+        }
+    }
+    for (&sa, &sb) in ca.remainder().iter().zip(cb.remainder().iter()) {
+        acc += sa.abs_diff(sb) as u64;
+    }
+    acc
 }
 
 #[cfg(test)]

@@ -2,6 +2,8 @@
 //! on: blitting (runtime overlay compositing), rectangle fills (synthetic
 //! footage), histograms (shot detection) and downsampling.
 
+use std::sync::Arc;
+
 use crate::color::Rgb;
 use crate::error::MediaError;
 use crate::Result;
@@ -11,11 +13,17 @@ use crate::Result;
 pub const MAX_DIM: u32 = 8192;
 
 /// A single video frame: tightly packed 8-bit RGB, row-major.
+///
+/// Pixels live behind an [`Arc`], so cloning a frame — serving a cached
+/// GOP, freezing a concealment frame, SKIP reconstruction — shares the
+/// buffer instead of copying ~`w*h*3` bytes. Mutation copies on write
+/// ([`Arc::make_mut`]); the compositing loops hoist that to one check
+/// per call, not per pixel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     width: u32,
     height: u32,
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Frame {
@@ -34,7 +42,7 @@ impl Frame {
             return Err(MediaError::InvalidDimensions { dims: (width, height) });
         }
         let data = [color.r, color.g, color.b].repeat((width * height) as usize);
-        Ok(Frame { width, height, data })
+        Ok(Frame { width, height, data: Arc::new(data) })
     }
 
     /// Reconstructs a frame from raw RGB bytes (length must be `w*h*3`).
@@ -50,7 +58,7 @@ impl Frame {
                 height
             )));
         }
-        Ok(Frame { width, height, data })
+        Ok(Frame { width, height, data: Arc::new(data) })
     }
 
     /// Frame width in pixels.
@@ -71,10 +79,10 @@ impl Frame {
         &self.data
     }
 
-    /// Mutable access to the raw RGB bytes.
+    /// Mutable access to the raw RGB bytes (copy-on-write if shared).
     #[inline]
     pub fn raw_mut(&mut self) -> &mut [u8] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
     /// Number of pixels in the frame.
@@ -105,14 +113,15 @@ impl Frame {
             return;
         }
         let o = self.offset(x, y);
-        self.data[o] = c.r;
-        self.data[o + 1] = c.g;
-        self.data[o + 2] = c.b;
+        let data = Arc::make_mut(&mut self.data);
+        data[o] = c.r;
+        data[o + 1] = c.g;
+        data[o + 2] = c.b;
     }
 
     /// Fills the whole frame with one colour.
     pub fn fill(&mut self, c: Rgb) {
-        for px in self.data.chunks_exact_mut(3) {
+        for px in Arc::make_mut(&mut self.data).chunks_exact_mut(3) {
             px[0] = c.r;
             px[1] = c.g;
             px[2] = c.b;
@@ -126,10 +135,12 @@ impl Frame {
         let y0 = y.clamp(0, self.height as i64) as u32;
         let x1 = (x + w as i64).clamp(x0 as i64, self.width as i64) as u32;
         let y1 = (y + h as i64).clamp(y0 as i64, self.height as i64) as u32;
+        let width = self.width;
+        let data = Arc::make_mut(&mut self.data);
         for yy in y0..y1 {
-            let row = self.offset(x0, yy);
-            let row_end = self.offset(x1, yy);
-            for px in self.data[row..row_end].chunks_exact_mut(3) {
+            let row = ((yy * width + x0) * 3) as usize;
+            let row_end = ((yy * width + x1) * 3) as usize;
+            for px in data[row..row_end].chunks_exact_mut(3) {
                 px[0] = c.r;
                 px[1] = c.g;
                 px[2] = c.b;
@@ -142,36 +153,54 @@ impl Frame {
         let r = radius as i64;
         let y0 = (cy - r).max(0);
         let y1 = (cy + r + 1).min(self.height as i64);
+        let width = self.width;
+        let data = Arc::make_mut(&mut self.data);
         for yy in y0..y1 {
             let dy = yy - cy;
             let span = ((r * r - dy * dy) as f64).sqrt() as i64;
             let x0 = (cx - span).max(0);
-            let x1 = (cx + span + 1).min(self.width as i64);
-            for xx in x0..x1 {
-                self.set(xx as u32, yy as u32, c);
+            let x1 = (cx + span + 1).min(width as i64);
+            if x0 >= x1 {
+                continue;
+            }
+            let row = ((yy as u32 * width + x0 as u32) * 3) as usize;
+            let row_end = ((yy as u32 * width + x1 as u32) * 3) as usize;
+            for px in data[row..row_end].chunks_exact_mut(3) {
+                px[0] = c.r;
+                px[1] = c.g;
+                px[2] = c.b;
             }
         }
+    }
+
+    /// The source-column range `[sx0, sx1)` of `src` that lands inside a
+    /// destination of width `dst_w` when blitted at offset `x`.
+    fn blit_cols(dst_w: u32, src_w: u32, x: i64) -> (u32, u32) {
+        let sx0 = (-x).clamp(0, src_w as i64) as u32;
+        let sx1 = (dst_w as i64 - x).clamp(sx0 as i64, src_w as i64) as u32;
+        (sx0, sx1)
     }
 
     /// Copies `src` onto this frame with its top-left corner at `(x, y)`,
     /// clipping at the frame edges. This is the runtime's overlay
     /// compositing primitive ("an image object … is mounted on the video
-    /// frame", paper §4.3).
+    /// frame", paper §4.3). Each clipped source row is one `memcpy`.
     pub fn blit(&mut self, src: &Frame, x: i64, y: i64) {
+        let (sx0, sx1) = Self::blit_cols(self.width, src.width, x);
+        if sx0 >= sx1 {
+            return;
+        }
+        let (width, height) = (self.width, self.height);
+        let data = Arc::make_mut(&mut self.data);
+        let n = (sx1 - sx0) as usize * 3;
         for sy in 0..src.height {
             let dy = y + sy as i64;
-            if dy < 0 || dy >= self.height as i64 {
+            if dy < 0 || dy >= height as i64 {
                 continue;
             }
-            for sx in 0..src.width {
-                let dx = x + sx as i64;
-                if dx < 0 || dx >= self.width as i64 {
-                    continue;
-                }
-                // get() is in-bounds by loop construction.
-                let c = src.get(sx, sy).expect("in-bounds source pixel");
-                self.set(dx as u32, dy as u32, c);
-            }
+            let d0 = ((dy as u32 * width) + (x + sx0 as i64) as u32) as usize * 3;
+            let s0 = ((sy * src.width) + sx0) as usize * 3;
+            data[d0..d0 + n].copy_from_slice(&src.data[s0..s0 + n]);
         }
     }
 
@@ -179,19 +208,26 @@ impl Frame {
     /// "image object with white background" effect from Figure 2 a proper
     /// colour-key transparency.
     pub fn blit_keyed(&mut self, src: &Frame, x: i64, y: i64, key: Rgb) {
+        let (sx0, sx1) = Self::blit_cols(self.width, src.width, x);
+        if sx0 >= sx1 {
+            return;
+        }
+        let (width, height) = (self.width, self.height);
+        let data = Arc::make_mut(&mut self.data);
+        let key = [key.r, key.g, key.b];
+        let n = (sx1 - sx0) as usize * 3;
         for sy in 0..src.height {
             let dy = y + sy as i64;
-            if dy < 0 || dy >= self.height as i64 {
+            if dy < 0 || dy >= height as i64 {
                 continue;
             }
-            for sx in 0..src.width {
-                let dx = x + sx as i64;
-                if dx < 0 || dx >= self.width as i64 {
-                    continue;
-                }
-                let c = src.get(sx, sy).expect("in-bounds source pixel");
-                if c != key {
-                    self.set(dx as u32, dy as u32, c);
+            let d0 = ((dy as u32 * width) + (x + sx0 as i64) as u32) as usize * 3;
+            let s0 = ((sy * src.width) + sx0) as usize * 3;
+            let drow = &mut data[d0..d0 + n];
+            let srow = &src.data[s0..s0 + n];
+            for (dpx, spx) in drow.chunks_exact_mut(3).zip(srow.chunks_exact(3)) {
+                if spx != key {
+                    dpx.copy_from_slice(spx);
                 }
             }
         }

@@ -1,0 +1,85 @@
+//! Bit-exactness properties for the optimized [`Plane::block_sad`].
+//!
+//! The word-compare fast path must be indistinguishable from the naive
+//! per-sample reference (`block_sad_reference`) for every input the
+//! motion search can produce: arbitrary block geometry, motion vectors
+//! that stay inside the reference or clamp off any edge, and every
+//! early-exit threshold — including thresholds that trip mid-block.
+
+use proptest::prelude::*;
+
+use vgbl_media::codec::plane::Plane;
+
+/// A plane of the given shape filled from a non-empty byte vector
+/// (cycled to fit), so planes carry arbitrary content without
+/// generating `w*h` independent values per case.
+fn plane_from(w: u32, h: u32, bytes: &[u8]) -> Plane {
+    let n = (w * h) as usize;
+    let data: Vec<u8> = bytes.iter().copied().cycle().take(n).collect();
+    Plane::from_raw(w, h, data)
+}
+
+proptest! {
+    // In-bounds and out-of-frame (clamped) probes, full blocks.
+    #[test]
+    fn optimized_sad_matches_reference(
+        w in 1u32..48,
+        h in 1u32..48,
+        cur_bytes in proptest::collection::vec(any::<u8>(), 1..256),
+        ref_bytes in proptest::collection::vec(any::<u8>(), 1..256),
+        bx in 0u32..48,
+        by in 0u32..48,
+        bw in 1u32..20,
+        bh in 1u32..20,
+        dx in -24i64..24,
+        dy in -24i64..24,
+    ) {
+        // Keep the block inside `cur` (the motion search always does);
+        // the motion vector may still point anywhere, exercising both
+        // the clamped fallback and the in-bounds fast path.
+        let x = bx.min(w - 1);
+        let y = by.min(h - 1);
+        let bw = bw.min(w - x);
+        let bh = bh.min(h - y);
+        let cur = plane_from(w, h, &cur_bytes);
+        let reference = plane_from(w, h, &ref_bytes);
+        let fast = cur.block_sad(&reference, x, y, bw, bh, dx, dy, u64::MAX);
+        let slow = cur.block_sad_reference(&reference, x, y, bw, bh, dx, dy, u64::MAX);
+        prop_assert_eq!(fast, slow);
+    }
+
+    // Early-exit thresholds, including ones that trip on the first row
+    // and ones that never trip — returned values must match exactly,
+    // not merely both exceed `best`.
+    #[test]
+    fn early_exit_is_bit_identical(
+        w in 1u32..40,
+        h in 1u32..40,
+        cur_bytes in proptest::collection::vec(any::<u8>(), 1..128),
+        ref_bytes in proptest::collection::vec(any::<u8>(), 1..128),
+        dx in -12i64..12,
+        dy in -12i64..12,
+        best in 0u64..100_000,
+    ) {
+        let bw = w.min(16);
+        let bh = h.min(16);
+        let cur = plane_from(w, h, &cur_bytes);
+        let reference = plane_from(w, h, &ref_bytes);
+        let fast = cur.block_sad(&reference, 0, 0, bw, bh, dx, dy, best);
+        let slow = cur.block_sad_reference(&reference, 0, 0, bw, bh, dx, dy, best);
+        prop_assert_eq!(fast, slow);
+    }
+
+    // The zero vector on identical planes — the motion search's seed
+    // probe — is exactly zero, never early-exited into a partial sum.
+    #[test]
+    fn identical_planes_zero_sad(
+        w in 1u32..40,
+        h in 1u32..40,
+        bytes in proptest::collection::vec(any::<u8>(), 1..128),
+        best in 1u64..1000,
+    ) {
+        let p = plane_from(w, h, &bytes);
+        prop_assert_eq!(p.block_sad(&p, 0, 0, w.min(16), h.min(16), 0, 0, best), 0);
+    }
+}

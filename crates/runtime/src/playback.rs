@@ -217,6 +217,19 @@ impl PlaybackController {
     /// first frame. Returns the number of frames decoded to show it
     /// (0 when the target's GOP was already resident).
     pub fn switch_segment(&mut self, id: SegmentId) -> Result<usize> {
+        self.seek_segment(id)?;
+        let before = self.stats.frames_decoded;
+        self.current_frame()?;
+        Ok(self.stats.frames_decoded - before)
+    }
+
+    /// Moves the playhead to the first frame of `id` **without serving a
+    /// frame**. This is [`PlaybackController::switch_segment`] minus the
+    /// implicit render: the batched cohort runner (`crate::batch`) moves
+    /// every session first, prewarms the union of needed GOPs once, and
+    /// only then serves — so the switch is counted here and the serve
+    /// happens on the follow-up [`PlaybackController::current_frame`].
+    pub fn seek_segment(&mut self, id: SegmentId) -> Result<()> {
         self.segments
             .get(id)
             .ok_or_else(|| MediaError::InvalidSegment(format!("unknown segment {id}")))?;
@@ -225,9 +238,14 @@ impl PlaybackController {
         self.residual_us = 0;
         self.stats.switches += 1;
         self.obs.switches.inc();
-        let before = self.stats.frames_decoded;
-        self.current_frame()?;
-        Ok(self.stats.frames_decoded - before)
+        Ok(())
+    }
+
+    /// The keyframe whose GOP the next [`PlaybackController::current_frame`]
+    /// call will need. Batch planners use this to prewarm the shared
+    /// cache; it performs no decode and touches no counters.
+    pub fn pending_keyframe(&self) -> Result<usize> {
+        Ok(self.video.keyframe_before(self.absolute_frame())?)
     }
 
     /// Advances playback by `ms` of wall time, looping within the current
