@@ -1305,6 +1305,235 @@ fn exp15() {
     println!("{}", diff.to_table());
 }
 
+fn exp17() {
+    header("EXP-17", "sharded fleet: hash routing, failure domains, migration, autoscaling");
+    use vgbl::runtime::supervisor::{ArrivalPlan, SupervisorConfig};
+    use vgbl::runtime::{
+        run_fleet, AutoscaleConfig, FleetConfig, FleetRouter, FleetWorkload, MigrationConfig,
+        MigrationReason, SessionOutcome, ShardFault, ShardFaultKind,
+    };
+    use vgbl::stream::LoadSpike;
+
+    // `EXP17_SESSIONS` scales the stampede down for CI smoke runs; the
+    // recorded numbers come from the default 1M-arrival run.
+    let n: usize = std::env::var("EXP17_SESSIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+
+    // Part 1: the consistent-hash router at fleet scale. Two rings built
+    // from the same inputs agree on every one of the n keys, load stays
+    // near fair share, and removing one shard re-homes roughly 1/8 of
+    // the keys and not a single other one.
+    let router = FleetRouter::new(0xE17, 64, 8).expect("router builds");
+    let replica = FleetRouter::new(0xE17, 64, 8).expect("router builds");
+    let mut pruned = router.clone();
+    pruned.remove_shard(3);
+    let mut counts = [0u64; 8];
+    let mut moved = 0u64;
+    for k in 0..n as u64 {
+        let s = router.route(k).expect("key routes");
+        assert_eq!(replica.route(k), Some(s), "independently built rings agree");
+        counts[s as usize] += 1;
+        let after = pruned.route(k).expect("key routes after removal");
+        if s == 3 {
+            assert_ne!(after, 3, "key {k} still routes to the removed shard");
+            moved += 1;
+        } else {
+            assert_eq!(after, s, "removal re-homed unrelated key {k}");
+        }
+    }
+    println!(
+        "router, {n} keys over 8 shards × 64 vnodes: replicas agree on every key;\n\
+         per-shard keys {:?} (fair {});\n\
+         removing shard 3 re-homed {moved} keys ({:.2}%, ideal 12.50%) and no others.",
+        counts,
+        n / 8,
+        100.0 * moved as f64 / n as f64
+    );
+
+    // Part 2: a seeded synthetic stampede of n arrivals through a
+    // degraded link, a stall and a shard crash with the autoscaler on —
+    // run twice. The two FleetReports must be equal field for field:
+    // every outcome, every migration record, every scale event.
+    let stampede = FleetConfig {
+        shards: 4,
+        vnodes: 32,
+        shard: SupervisorConfig {
+            queue_capacity: 64,
+            queue_deadline_ms: 1e9,
+            slots: 6,
+            step_ms: 1.0,
+            checkpoint_every: 5,
+            ..SupervisorConfig::default()
+        },
+        control_interval_ms: 100.0,
+        // SLO drains stay out of the headline run (any shed blows the
+        // 0.5% budget and a drain under overload only sheds capacity);
+        // the crash exercises migration, the autoscaler absorbs load.
+        migration: MigrationConfig {
+            burn_threshold: 1e12,
+            sustain_ticks: 10,
+            verify_replay: true,
+        },
+        faults: vec![
+            ShardFault { at_ms: 50.0, shard: 2, kind: ShardFaultKind::DegradedLink { loss: 0.9 } },
+            ShardFault {
+                at_ms: 100.0,
+                shard: 1,
+                kind: ShardFaultKind::Stall { duration_ms: 200.0 },
+            },
+            ShardFault { at_ms: 150.0, shard: 0, kind: ShardFaultKind::Crash },
+        ],
+        autoscale: Some(AutoscaleConfig {
+            up_burn: 2.0,
+            down_burn: 0.25,
+            sustain_ticks: 1,
+            cooldown_ms: 300.0,
+            min_shards: 2,
+            max_shards: 8,
+        }),
+        ..FleetConfig::default()
+    };
+    let synthetic = FleetWorkload::Synthetic { mean_segments: 4 };
+    let arrivals = ArrivalPlan::new(9, 2.0)
+        .expect("positive mean gap")
+        .with_spike(LoadSpike::new(0.0, 2_000.0, 2.0).expect("valid spike"));
+    let t0 = Instant::now();
+    let a = run_fleet(&synthetic, &stampede, n, &arrivals).expect("fleet runs");
+    let wall = t0.elapsed();
+    let b = run_fleet(&synthetic, &stampede, n, &arrivals).expect("fleet runs");
+    assert_eq!(a, b, "same seeds, same faults ⇒ byte-identical FleetReport");
+    assert!(a.accounts_exactly(), "every arrival must land in exactly one outcome row");
+    let ups = a.scale_events.iter().filter(|e| e.up).count();
+    let downs = a.scale_events.len() - ups;
+    for w in a.scale_events.windows(2) {
+        assert!(w[1].at_ms - w[0].at_ms >= 300.0 - 1e-9, "autoscale cooldown violated");
+    }
+    println!(
+        "\nstampede, {n} seeded arrivals (spiked ×2 early) through crash + stall +\n\
+         degraded link, autoscaler 2..8 shards: completed {} / recovered {} / shed {},\n\
+         {} migrations, {} scale events ({ups} up / {downs} down, cooldown respected),\n\
+         makespan {:.0} ms simulated in {:.2} s wall; the rerun report is byte-identical.",
+        a.completed,
+        a.recovered,
+        a.shed,
+        a.migrations.len(),
+        a.scale_events.len(),
+        a.makespan_ms,
+        wall.as_secs_f64()
+    );
+
+    // Part 3: kill one of eight shards mid-stampede on the real engine.
+    // Every session that crashed past a checkpoint migrates; the
+    // handed-off checkpoint restores to the exact canonical bytes and a
+    // shadow replay of it must match the session's post-migration log
+    // tail. Sessions caught before their first checkpoint are shed with
+    // an explicit reason — nothing is lost silently.
+    let graph = Arc::new(fixtures::fix_the_computer());
+    let config = SessionConfig::for_frame(fixtures::FRAME.0, fixtures::FRAME.1);
+    let factory = |_: usize, _: u32| -> Box<dyn Bot> { Box::new(GuidedBot::new()) };
+    let engine = FleetWorkload::Engine { graph, config, factory: &factory };
+    let kill = FleetConfig {
+        shards: 8,
+        vnodes: 32,
+        shard: SupervisorConfig {
+            queue_capacity: 16,
+            queue_deadline_ms: 1e9,
+            slots: 2,
+            step_ms: 50.0,
+            checkpoint_every: 3,
+            ..SupervisorConfig::default()
+        },
+        migration: MigrationConfig {
+            burn_threshold: 1e12,
+            sustain_ticks: 10,
+            verify_replay: true,
+        },
+        faults: vec![ShardFault { at_ms: 400.0, shard: 2, kind: ShardFaultKind::Crash }],
+        ..FleetConfig::default()
+    };
+    let arrivals = ArrivalPlan::new(5, 1.0).expect("positive mean gap");
+    let report = run_fleet(&engine, &kill, 64, &arrivals).expect("fleet runs");
+    assert!(report.accounts_exactly(), "zero silent loss: {report:?}");
+    assert!(!report.migrations.is_empty(), "the crash must catch sessions in flight");
+    for m in &report.migrations {
+        assert_eq!(m.reason, MigrationReason::Crash, "only the crash migrates here: {m:?}");
+        assert_eq!(m.from, 2, "every migration leaves the killed shard: {m:?}");
+        assert_eq!(m.handoff_ok, Some(true), "handoff digest mismatch: {m:?}");
+        assert_ne!(m.verified, Some(false), "post-migration replay diverged: {m:?}");
+    }
+    let crash_migrations = report.migrations.len();
+    let verified = report.migrations.iter().filter(|m| m.verified == Some(true)).count();
+    assert!(verified >= 1, "at least one migration replay-verifies: {:?}", report.migrations);
+    let early_sheds = report
+        .outcomes
+        .iter()
+        .filter(|o| {
+            matches!(o, SessionOutcome::Shed { reason }
+                if reason == "shard crashed before first checkpoint")
+        })
+        .count();
+    println!(
+        "\nkill 1-of-8 (engine sessions, crash at 400 ms): 64 arrivals →\n\
+         {} completed, {} recovered, {} shed ({} of those caught pre-checkpoint);\n\
+         {} migration(s), {} for the crash, all handoffs digest-identical,\n\
+         {} replay-verified against the handed-off checkpoint, none diverged.",
+        report.completed, report.recovered, report.shed, early_sheds,
+        report.migrations.len(), crash_migrations, verified
+    );
+
+    // Part 4: failure domains contain the blast radius. Same total
+    // capacity (4 slots, 16 queue seats), same arrivals, same crash
+    // instant: the fleet loses a quarter of its capacity, the single
+    // big shard loses everything — so the fleet must shed strictly
+    // less.
+    let sharded = FleetConfig {
+        shards: 4,
+        vnodes: 32,
+        shard: SupervisorConfig {
+            queue_capacity: 4,
+            queue_deadline_ms: 1e9,
+            slots: 1,
+            step_ms: 10.0,
+            ..SupervisorConfig::default()
+        },
+        faults: vec![ShardFault { at_ms: 120.0, shard: 1, kind: ShardFaultKind::Crash }],
+        ..FleetConfig::default()
+    };
+    let single = FleetConfig {
+        shards: 1,
+        vnodes: 32,
+        shard: SupervisorConfig {
+            queue_capacity: 16,
+            queue_deadline_ms: 1e9,
+            slots: 4,
+            step_ms: 10.0,
+            ..SupervisorConfig::default()
+        },
+        faults: vec![ShardFault { at_ms: 120.0, shard: 0, kind: ShardFaultKind::Crash }],
+        ..FleetConfig::default()
+    };
+    let burst = FleetWorkload::Synthetic { mean_segments: 3 };
+    let burst_arrivals = ArrivalPlan::new(29, 2.0).expect("positive mean gap");
+    let fleet = run_fleet(&burst, &sharded, 2_000, &burst_arrivals).expect("fleet runs");
+    let solo = run_fleet(&burst, &single, 2_000, &burst_arrivals).expect("fleet runs");
+    assert!(fleet.accounts_exactly() && solo.accounts_exactly());
+    assert_eq!(solo.routable_shards, 0, "the single shard was the whole fleet");
+    assert!(
+        fleet.shed < solo.shed,
+        "failure domains must contain the blast radius: fleet shed {} vs single {}",
+        fleet.shed,
+        solo.shed
+    );
+    println!(
+        "\nblast radius, 2000 arrivals at equal total capacity, crash at 120 ms:\n\
+         4×1-slot fleet shed {} (completed {}), 1×4-slot monolith shed {} (completed {})\n\
+         — the fleet sheds strictly less because three failure domains survive.",
+        fleet.shed, fleet.completed, solo.shed, solo.completed
+    );
+}
+
 /// A bot that panics as soon as it is asked for input (EXP-12's fault
 /// isolation demo).
 struct PanicBot;
@@ -1392,5 +1621,8 @@ fn main() {
     }
     if want("exp15") {
         exp15();
+    }
+    if want("exp17") {
+        exp17();
     }
 }

@@ -34,13 +34,18 @@ use vgbl::media::FrameKind;
 use vgbl::media::seek::{seek, seek_cached};
 use vgbl::media::SegmentId;
 use vgbl::obs::{folded_stacks, hotspot_table, Obs, SpanRecorder};
-use vgbl::runtime::{run_playback_cohort, run_playback_cohort_batched};
+use vgbl::runtime::{
+    run_fleet, run_playback_cohort, run_playback_cohort_batched, ArrivalPlan, FleetConfig,
+    FleetWorkload, ShardFault, ShardFaultKind, SupervisorConfig,
+};
 use vgbl::stream::{simulate, ChunkMap, LinkModel, PrefetchPolicy, TraceStep};
 
 use crate::{bench_footage, encode, table_for, RATE};
 
-/// The operations every snapshot covers, in emission order.
-pub const OPS: [&str; 7] = [
+/// The operations every snapshot covers, in emission order. `fleet`
+/// arrived with the `vgbl-bench/2` schema; `vgbl-bench/1` snapshots
+/// carry only the first seven.
+pub const OPS: [&str; 8] = [
     "encode",
     "decode_all",
     "seek_cold",
@@ -48,7 +53,18 @@ pub const OPS: [&str; 7] = [
     "stream_fetch",
     "cohort_playback",
     "cohort_batched",
+    "fleet",
 ];
+
+/// The required op set for a document: everything for `vgbl-bench/2`,
+/// the legacy seven for older snapshots (and trajectories over them).
+fn required_ops(json: &str) -> &'static [&'static str] {
+    if json.contains("\"vgbl-bench/2\"") {
+        &OPS
+    } else {
+        &OPS[..OPS.len() - 1]
+    }
+}
 
 /// Keys CI requires inside every per-operation JSON object.
 pub const REQUIRED_OP_KEYS: [&str; 6] =
@@ -105,6 +121,8 @@ pub struct Workload {
     pub workers: usize,
     /// Cohort steps per session.
     pub steps: usize,
+    /// Fleet-op sessions routed through the sharded supervisor.
+    pub fleet_sessions: usize,
 }
 
 impl Workload {
@@ -125,6 +143,7 @@ impl Workload {
                 sessions: 12,
                 workers: 4,
                 steps: 120,
+                fleet_sessions: 400,
             },
             Mode::Full => Workload {
                 width: 256,
@@ -140,6 +159,7 @@ impl Workload {
                 sessions: 24,
                 workers: 8,
                 steps: 200,
+                fleet_sessions: 1_000,
             },
             Mode::Smoke => Workload {
                 width: 64,
@@ -155,6 +175,7 @@ impl Workload {
                 sessions: 4,
                 workers: 2,
                 steps: 10,
+                fleet_sessions: 40,
             },
         }
     }
@@ -218,6 +239,7 @@ fn target_per_s(name: &str) -> f64 {
         "stream_fetch" => 2_000_000.0,
         "cohort_playback" => 6_000.0,
         "cohort_batched" => 2_500.0,
+        "fleet" => 1_000.0,
         _ => 0.0,
     }
 }
@@ -352,6 +374,34 @@ pub fn run(mode: Mode, label: &str) -> BenchReport {
     });
     ops.push(push("cohort_batched", wall, served, "frames"));
 
+    // fleet: the sharded supervisor routing a seeded synthetic stampede
+    // through a mid-run shard crash — consistent-hash routing, admission,
+    // checkpoint migration and re-dispatch, measured end to end as
+    // sessions resolved per second of control-plane wall clock.
+    let fleet_cfg = FleetConfig {
+        shards: 4,
+        vnodes: 32,
+        shard: SupervisorConfig {
+            queue_capacity: 64,
+            queue_deadline_ms: 1e9,
+            slots: 2,
+            step_ms: 5.0,
+            checkpoint_every: 5,
+            ..SupervisorConfig::default()
+        },
+        faults: vec![ShardFault { at_ms: 150.0, shard: 0, kind: ShardFaultKind::Crash }],
+        ..FleetConfig::default()
+    };
+    let fleet_workload = FleetWorkload::Synthetic { mean_segments: 4 };
+    let fleet_arrivals = ArrivalPlan::new(w.seed ^ 0xF1EE, 1.0).expect("fleet arrival plan");
+    let wall = timed(&mut rec, "fleet", &mut || {
+        let report = run_fleet(&fleet_workload, &fleet_cfg, w.fleet_sessions, &fleet_arrivals)
+            .expect("fleet bench runs");
+        assert!(report.accounts_exactly(), "fleet bench must not lose sessions");
+        std::hint::black_box(report);
+    });
+    ops.push(push("fleet", wall, w.fleet_sessions, "sessions"));
+
     rec.exit(now_us(epoch));
     let obs = Obs::recording();
     obs.attach(rec);
@@ -386,12 +436,12 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Serialises a report as a `vgbl-bench/1` JSON snapshot.
+/// Serialises a report as a `vgbl-bench/2` JSON snapshot.
 pub fn to_json(report: &BenchReport) -> String {
     let w = &report.workload;
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"vgbl-bench/1\",");
+    let _ = writeln!(out, "  \"schema\": \"vgbl-bench/2\",");
     let _ = writeln!(out, "  \"label\": \"{}\",", json_escape(&report.label));
     let _ = writeln!(out, "  \"mode\": \"{}\",", report.mode.name());
     let _ = writeln!(out, "  \"workload\": {{");
@@ -400,9 +450,10 @@ pub fn to_json(report: &BenchReport) -> String {
     let _ = writeln!(out, "    \"threads\": {}, \"iters\": {}, \"seeks\": {},", w.threads, w.iters, w.seeks);
     let _ = writeln!(
         out,
-        "    \"stream_repeats\": {}, \"sessions\": {}, \"workers\": {}, \"steps\": {}",
+        "    \"stream_repeats\": {}, \"sessions\": {}, \"workers\": {}, \"steps\": {},",
         w.stream_repeats, w.sessions, w.workers, w.steps
     );
+    let _ = writeln!(out, "    \"fleet_sessions\": {}", w.fleet_sessions);
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"ops\": {{");
     for (i, op) in report.ops.iter().enumerate() {
@@ -477,13 +528,14 @@ pub fn op_per_s(json: &str, op: &str) -> Option<f64> {
 
 /// Validates that a snapshot (or a trajectory containing one) has every
 /// operation with every required key — the CI gate for emitted JSON.
+/// Legacy `vgbl-bench/1` documents validate without the `fleet` op.
 pub fn validate_json(json: &str) -> Result<(), String> {
     if !json.contains("\"schema\"") {
         return Err("missing \"schema\" key".into());
     }
     let ops_at = json.find("\"ops\"").ok_or("missing \"ops\" object")?;
     let body = &json[ops_at..];
-    for op in OPS {
+    for &op in required_ops(json) {
         let key = format!("\"{op}\":");
         let at = body.find(&key).ok_or_else(|| format!("missing op \"{op}\""))?;
         let obj = &body[at + key.len()..];
@@ -590,6 +642,20 @@ mod tests {
         // The profile carries the bench's own spans.
         assert!(report.hotspot_table.contains("encode"));
         assert!(report.folded.contains("bench;"));
+
+        // Schema compatibility: a legacy `vgbl-bench/1` document without
+        // the fleet op still validates, while `vgbl-bench/2` requires it.
+        let legacy: String = json
+            .replace("\"vgbl-bench/2\"", "\"vgbl-bench/1\"")
+            .lines()
+            .filter(|l| !l.contains("\"fleet\":"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        validate_json(&legacy).expect("v1 snapshot validates without fleet");
+        assert!(
+            validate_json(&legacy.replace("\"vgbl-bench/1\"", "\"vgbl-bench/2\"")).is_err(),
+            "v2 snapshot must carry the fleet op"
+        );
     }
 
     #[test]

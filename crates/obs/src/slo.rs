@@ -230,6 +230,34 @@ impl AlertTimeline {
         self.events.is_empty()
     }
 
+    /// Merges `other`'s transitions into this timeline, keeping the
+    /// result sorted by `t_us` with ties broken by input order (`self`'s
+    /// events before `other`'s at the same tick). Both inputs are already
+    /// tick-ordered, so the merge is a stable linear zip — the fleet uses
+    /// it to fold per-shard timelines into one deterministic record.
+    pub fn merge(&mut self, other: &AlertTimeline) {
+        let mut out = Vec::with_capacity(self.events.len() + other.events.len());
+        let mut rhs = other.events.iter().peekable();
+        for e in self.events.drain(..) {
+            while rhs.peek().is_some_and(|r| r.t_us < e.t_us) {
+                out.push(*rhs.next().unwrap());
+            }
+            out.push(e);
+        }
+        out.extend(rhs.cloned());
+        self.events = out;
+    }
+
+    /// Folds any number of timelines into one, in input order — see
+    /// [`AlertTimeline::merge`].
+    pub fn merged<'a>(timelines: impl IntoIterator<Item = &'a AlertTimeline>) -> AlertTimeline {
+        let mut acc = AlertTimeline::default();
+        for t in timelines {
+            acc.merge(t);
+        }
+        acc
+    }
+
     /// RFC-4180 CSV (CRLF line endings, like the metric exporters).
     pub fn to_csv(&self) -> String {
         let mut out = String::from("t_us,objective,rule,phase\r\n");
@@ -573,5 +601,27 @@ mod tests {
         let slow = BurnRule::sre_slow(1_000);
         assert_eq!((slow.long_us, slow.short_us), (360_000, 30_000));
         assert!((slow.burn - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alert_timeline_merge_is_ordered_and_tie_stable() {
+        let ev = |t_us, objective, phase| AlertEvent { t_us, objective, rule: "fast", phase };
+        let a = AlertTimeline {
+            events: vec![
+                ev(10, "a", AlertPhase::Pending),
+                ev(30, "a", AlertPhase::Firing),
+                ev(50, "a", AlertPhase::Resolved),
+            ],
+        };
+        let b = AlertTimeline {
+            events: vec![ev(10, "b", AlertPhase::Pending), ev(40, "b", AlertPhase::Firing)],
+        };
+        let m = AlertTimeline::merged([&a, &b]);
+        let order: Vec<(u64, &str)> = m.events.iter().map(|e| (e.t_us, e.objective)).collect();
+        // Sorted by t_us; at the t=10 tie the first input wins.
+        assert_eq!(order, vec![(10, "a"), (10, "b"), (30, "a"), (40, "b"), (50, "a")]);
+        // Merging with an empty side is the identity in both directions.
+        assert_eq!(AlertTimeline::merged([&a, &AlertTimeline::default()]), a);
+        assert_eq!(AlertTimeline::merged([&AlertTimeline::default(), &a]), a);
     }
 }

@@ -1,0 +1,2235 @@
+//! Sharded fleet supervisor: consistent-hash routing, shard failure
+//! domains, SLO-driven migration, and autoscaling.
+//!
+//! One [`crate::supervisor`] instance is a single failure domain: a
+//! crash mid-stampede takes every queued and in-flight session with it.
+//! This module shards the same admission machinery behind a seeded
+//! consistent-hash router so faults stay contained:
+//!
+//! * [`FleetRouter`] — a consistent-hash ring with virtual nodes.
+//!   Session ids are the stable routing key, so adding or removing a
+//!   shard remaps only ~K/N keys and every other session stays put.
+//! * Shard failure domains — each shard owns its queue, slots,
+//!   degradation ladder, warm-fetch breaker, and [`FaultPlan`]. Seeded
+//!   shard-level faults ([`ShardFaultKind::Crash`], `Stall`,
+//!   `DegradedLink`) hit exactly one shard.
+//! * SLO-driven migration — when a shard's burn rate (the same
+//!   google-sre burn windows [`crate::supervisor`] alerts on) stays
+//!   over [`MigrationConfig::burn_threshold`], the controller drains
+//!   it: live sessions checkpoint at their next segment boundary via
+//!   [`GameSession::checkpoint`] and resume on the re-routed shard,
+//!   byte-identically — the handoff is digest-checked and a shadow
+//!   [`resume_session`] replay predicts the exact post-migration log
+//!   tail.
+//! * Autoscaling — fleet-wide burn over
+//!   [`AutoscaleConfig::up_burn`] adds a shard; sustained calm retires
+//!   the emptiest one. Hysteresis (streaks + cooldown) keeps the shard
+//!   count from flapping.
+//!
+//! Everything runs on the crate's simulated millisecond clock as a
+//! deterministic discrete-event simulation: same seeds, same arrivals,
+//! same faults → a byte-identical [`FleetReport`] (it is `PartialEq`
+//! for exactly that assertion).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use vgbl_obs::{us_from_ms, AlertTimeline, BudgetLedger, Counter, Gauge, Histogram, Obs, SpanRecorder};
+use vgbl_scene::SceneGraph;
+use vgbl_stream::{BreakerStats, CircuitBreaker, FaultPlan};
+
+use crate::analytics::{LatencySummary, LogEvent, SessionLog};
+use crate::engine::{GameSession, SessionConfig};
+use crate::error::RuntimeError;
+use crate::save::SaveGame;
+use crate::server::{panic_reason, SessionOutcome};
+use crate::supervisor::{
+    drive, mix, resume_session, stitch, warm_session, ArrivalPlan, LadderPolicy, ServiceMode,
+    SupSlo, SupervisedBotFactory, SupervisorConfig,
+};
+use crate::Result;
+
+/// Domain-separates ring-point hashing from every other splitmix user.
+const SALT_RING: u64 = 0x9000_0009;
+/// Domain-separates routing-key hashing from ring-point hashing.
+const SALT_KEY: u64 = 0xA000_000A;
+/// Domain-separates synthetic per-session segment counts.
+const SALT_SYNTH: u64 = 0xB000_000B;
+
+fn invalid(msg: impl Into<String>) -> RuntimeError {
+    RuntimeError::InvalidSupervisor(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Consistent-hash router
+// ---------------------------------------------------------------------------
+
+/// A seeded consistent-hash ring over shard ids with virtual nodes.
+///
+/// Each shard contributes `vnodes` points to a `u64` ring; a key routes
+/// to the shard owning the first point at or after its hash (wrapping).
+/// The ring is a pure function of `(seed, vnodes, shard ids)`, so two
+/// routers built the same way agree on every key — and removing a shard
+/// only re-homes the keys that shard owned.
+#[derive(Debug, Clone)]
+pub struct FleetRouter {
+    seed: u64,
+    vnodes: u32,
+    shards: Vec<u32>,
+    ring: Vec<(u64, u32)>,
+}
+
+impl FleetRouter {
+    /// A router over shards `0..n_shards` with `vnodes` points each.
+    pub fn new(seed: u64, vnodes: u32, n_shards: u32) -> Result<FleetRouter> {
+        if vnodes == 0 {
+            return Err(invalid("router vnodes must be >= 1"));
+        }
+        if n_shards == 0 {
+            return Err(invalid("router needs at least one shard"));
+        }
+        let mut r = FleetRouter { seed, vnodes, shards: (0..n_shards).collect(), ring: Vec::new() };
+        r.rebuild();
+        Ok(r)
+    }
+
+    fn point(&self, shard: u32, vnode: u32) -> u64 {
+        mix(self.seed ^ SALT_RING ^ mix((u64::from(shard) << 32) | u64::from(vnode)))
+    }
+
+    fn rebuild(&mut self) {
+        self.ring.clear();
+        for &s in &self.shards {
+            for v in 0..self.vnodes {
+                self.ring.push((self.point(s, v), s));
+            }
+        }
+        self.ring.sort_unstable();
+    }
+
+    /// Adds a shard's vnodes to the ring (no-op if already present).
+    pub fn add_shard(&mut self, shard: u32) {
+        if !self.shards.contains(&shard) {
+            self.shards.push(shard);
+            self.rebuild();
+        }
+    }
+
+    /// Removes a shard's vnodes from the ring (no-op if absent).
+    pub fn remove_shard(&mut self, shard: u32) {
+        let before = self.shards.len();
+        self.shards.retain(|&s| s != shard);
+        if self.shards.len() != before {
+            self.rebuild();
+        }
+    }
+
+    /// The shard owning `key`, or `None` if the ring is empty.
+    pub fn route(&self, key: u64) -> Option<u32> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let h = mix(self.seed ^ SALT_KEY ^ mix(key));
+        let i = self.ring.partition_point(|&(p, _)| p < h);
+        let (_, shard) = self.ring[if i == self.ring.len() { 0 } else { i }];
+        Some(shard)
+    }
+
+    /// Number of shards currently on the ring.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when no shard is routable.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard ids currently on the ring, in insertion order.
+    pub fn shard_ids(&self) -> &[u32] {
+        &self.shards
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// What goes wrong on one shard, and when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardFaultKind {
+    /// The shard dies: queued sessions re-route, in-flight sessions
+    /// migrate from their last committed checkpoint (or are shed, and
+    /// accounted, if they never reached one).
+    Crash,
+    /// The shard freezes for `duration_ms`: in-flight segments finish
+    /// late, queued sessions wait (and may blow the queue deadline).
+    Stall {
+        /// How long the shard is frozen, simulated ms.
+        duration_ms: f64,
+    },
+    /// The shard's chunk-fetch path degrades to this loss rate — its
+    /// warm-fetch breaker absorbs the damage; other shards never see it.
+    DegradedLink {
+        /// New chunk loss probability in `[0, 1)`.
+        loss: f64,
+    },
+}
+
+/// A scheduled shard-level fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardFault {
+    /// When the fault fires, simulated ms.
+    pub at_ms: f64,
+    /// Which shard it hits (faults for unknown/dead shards are ignored).
+    pub shard: u32,
+    /// What happens.
+    pub kind: ShardFaultKind,
+}
+
+/// When the controller drains a burning shard, and how migrations are
+/// checked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationConfig {
+    /// Drain a shard once its worst burn rate holds at or above this.
+    pub burn_threshold: f64,
+    /// ...for this many consecutive control ticks.
+    pub sustain_ticks: u32,
+    /// Shadow-replay each migrated session from its checkpoint and
+    /// compare the predicted log tail against what the destination
+    /// shard actually produced ([`MigrationRecord::verified`]).
+    pub verify_replay: bool,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> MigrationConfig {
+        MigrationConfig { burn_threshold: 4.0, sustain_ticks: 2, verify_replay: true }
+    }
+}
+
+/// Hysteresis bounds for elastic shard count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscaleConfig {
+    /// Add a shard when fleet-wide burn holds at or above this.
+    pub up_burn: f64,
+    /// Retire a shard when fleet-wide burn holds at or below this.
+    pub down_burn: f64,
+    /// Consecutive control ticks a signal must hold before acting.
+    pub sustain_ticks: u32,
+    /// Minimum gap between scaling actions, simulated ms.
+    pub cooldown_ms: f64,
+    /// Never retire below this many routable shards.
+    pub min_shards: usize,
+    /// Never grow beyond this many routable shards.
+    pub max_shards: usize,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> AutoscaleConfig {
+        AutoscaleConfig {
+            up_burn: 4.0,
+            down_burn: 0.5,
+            sustain_ticks: 3,
+            cooldown_ms: 2_000.0,
+            min_shards: 1,
+            max_shards: 16,
+        }
+    }
+}
+
+/// Fleet topology and policy around a per-shard [`SupervisorConfig`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Initial shard count (ids `0..shards`).
+    pub shards: u32,
+    /// Virtual nodes per shard on the router ring.
+    pub vnodes: u32,
+    /// Seed for ring points and key hashing.
+    pub router_seed: u64,
+    /// Every shard runs this supervisor configuration: queue capacity,
+    /// slots, degradation ladder, checkpoint cadence, breaker.
+    pub shard: SupervisorConfig,
+    /// Scheduled shard-level faults.
+    pub faults: Vec<ShardFault>,
+    /// Controller cadence (burn checks, drains, autoscaling).
+    pub control_interval_ms: f64,
+    /// Drain policy.
+    pub migration: MigrationConfig,
+    /// Elastic shard count; `None` pins the fleet at `shards`.
+    pub autoscale: Option<AutoscaleConfig>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            shards: 4,
+            vnodes: 16,
+            router_seed: 0xF1EE_7000,
+            shard: SupervisorConfig::default(),
+            faults: Vec::new(),
+            control_interval_ms: 250.0,
+            migration: MigrationConfig::default(),
+            autoscale: None,
+        }
+    }
+}
+
+impl FleetConfig {
+    pub(crate) fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(invalid("fleet needs at least one shard"));
+        }
+        if self.vnodes == 0 {
+            return Err(invalid("vnodes must be >= 1"));
+        }
+        self.shard.validate()?;
+        if !self.control_interval_ms.is_finite() || self.control_interval_ms <= 0.0 {
+            return Err(invalid("control_interval_ms must be positive and finite"));
+        }
+        if !self.migration.burn_threshold.is_finite() || self.migration.burn_threshold <= 0.0 {
+            return Err(invalid("migration burn_threshold must be positive and finite"));
+        }
+        if self.migration.sustain_ticks == 0 {
+            return Err(invalid("migration sustain_ticks must be >= 1"));
+        }
+        for f in &self.faults {
+            if !f.at_ms.is_finite() || f.at_ms < 0.0 {
+                return Err(invalid("fault at_ms must be non-negative and finite"));
+            }
+            match f.kind {
+                ShardFaultKind::Stall { duration_ms } => {
+                    if !duration_ms.is_finite() || duration_ms <= 0.0 {
+                        return Err(invalid("stall duration_ms must be positive and finite"));
+                    }
+                }
+                ShardFaultKind::DegradedLink { loss } => {
+                    // Dry-run the swap so the fault injector can unwrap it.
+                    self.shard
+                        .warm_faults
+                        .with_loss(loss)
+                        .map_err(|e| invalid(format!("degraded-link loss: {e}")))?;
+                }
+                ShardFaultKind::Crash => {}
+            }
+        }
+        if let Some(a) = &self.autoscale {
+            if a.min_shards == 0 {
+                return Err(invalid("autoscale min_shards must be >= 1"));
+            }
+            if a.max_shards < a.min_shards {
+                return Err(invalid("autoscale max_shards must be >= min_shards"));
+            }
+            if a.sustain_ticks == 0 {
+                return Err(invalid("autoscale sustain_ticks must be >= 1"));
+            }
+            if !a.cooldown_ms.is_finite() || a.cooldown_ms < 0.0 {
+                return Err(invalid("autoscale cooldown_ms must be non-negative and finite"));
+            }
+            if !(a.up_burn.is_finite() && a.down_burn.is_finite() && a.down_burn < a.up_burn) {
+                return Err(invalid("autoscale needs down_burn < up_burn, both finite"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What each session actually runs.
+pub enum FleetWorkload<'a> {
+    /// Real [`GameSession`]s stepped by bots — checkpoints, restores,
+    /// and migration replay verification are all live.
+    Engine {
+        /// The shared scene graph.
+        graph: Arc<SceneGraph>,
+        /// Per-session engine configuration.
+        config: SessionConfig,
+        /// `(session id, incarnation) -> bot`; incarnation bumps on
+        /// every restart *and* every migration hop.
+        factory: &'a SupervisedBotFactory,
+    },
+    /// A pure cost model — sessions are `1..2*mean_segments` seeded
+    /// segments of `checkpoint_every` steps each. Scales the fleet's
+    /// control plane to millions of arrivals where real engine state
+    /// would dominate the run.
+    Synthetic {
+        /// Average session length in segments (>= 1).
+        mean_segments: u32,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Records and reports
+// ---------------------------------------------------------------------------
+
+/// Why a session left its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationReason {
+    /// The shard crashed under it.
+    Crash,
+    /// The controller drained the shard on sustained SLO burn.
+    SloDrain,
+    /// The autoscaler retired the shard.
+    ScaleDown,
+}
+
+/// One session re-homed from a draining or dead shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationRecord {
+    /// Session id.
+    pub session: usize,
+    /// Origin shard.
+    pub from: u32,
+    /// Destination shard.
+    pub to: u32,
+    /// When the checkpoint handed off, simulated ms.
+    pub at_ms: f64,
+    /// The decision step the destination resumed from.
+    pub resumed_at_step: usize,
+    /// Why.
+    pub reason: MigrationReason,
+    /// FNV-1a digest of the checkpoint's canonical text at handoff.
+    pub checkpoint_digest: u64,
+    /// `Some(true)` when the destination's restored checkpoint
+    /// re-digested identically (engine workloads; `None` when the
+    /// session was shed before the destination could restore it).
+    pub handoff_ok: Option<bool>,
+    /// `Some(eq)` when a shadow replay's predicted log tail was compared
+    /// against the destination's actual tail; `None` when verification
+    /// was off, superseded by a later restart/hop, or not applicable.
+    pub verified: Option<bool>,
+}
+
+/// One autoscaler action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleEvent {
+    /// When, simulated ms.
+    pub at_ms: f64,
+    /// `true` = shard added, `false` = shard retired.
+    pub up: bool,
+    /// The shard added or retired.
+    pub shard: u32,
+    /// Routable shards after the action.
+    pub shards_after: usize,
+    /// Fleet-wide worst burn rate that triggered it.
+    pub burn: f64,
+}
+
+/// Per-shard accounting. Terminal outcomes (completed/failed/...) are
+/// attributed to the shard the session *finished* on; `restarts`
+/// likewise carries the session's cumulative restarts at its terminal
+/// shard, so shard rows sum to the fleet totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Shard id.
+    pub shard: u32,
+    /// Arrivals the router sent here (including migrations in).
+    pub routed: usize,
+    /// Sessions dispatched into a slot here.
+    pub admitted: usize,
+    /// Sessions shed here (queue full, deadline, crash-before-checkpoint).
+    pub shed: usize,
+    /// Sessions that finished cleanly here with zero restarts and hops.
+    pub completed: usize,
+    /// Sessions that finished here after >= 1 restart or migration hop.
+    pub recovered: usize,
+    /// Sessions that failed terminally here.
+    pub failed: usize,
+    /// Sessions that exhausted the restart budget here.
+    pub gave_up: usize,
+    /// Admissions served below full service (warm skipped).
+    pub degraded: usize,
+    /// Sessions resumed here from another shard's checkpoint.
+    pub migrated_in: usize,
+    /// Sessions checkpointed here and handed away.
+    pub migrated_out: usize,
+    /// Cumulative restarts of sessions that finished here.
+    pub restarts: u64,
+    /// Warm fetches attempted here.
+    pub warm_attempted: u64,
+    /// Warm fetches skipped by an open breaker here.
+    pub warm_skipped: u64,
+    /// High-water queue depth.
+    pub peak_queue_depth: usize,
+    /// The shard died to a [`ShardFaultKind::Crash`].
+    pub crashed: bool,
+    /// The shard was drained off the ring (SLO drain or scale-down).
+    pub retired: bool,
+    /// This shard's warm-fetch breaker counters.
+    pub breaker: BreakerStats,
+    /// This shard's own burn-rate alert timeline.
+    pub alerts: AlertTimeline,
+}
+
+/// Everything one fleet run produced. `PartialEq` so reruns can assert
+/// byte-identical behaviour wholesale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Sessions offered.
+    pub sessions: usize,
+    /// Finished cleanly, zero restarts and hops.
+    pub completed: usize,
+    /// Finished after restarts and/or migration hops.
+    pub recovered: usize,
+    /// Failed terminally.
+    pub failed: usize,
+    /// Exhausted the restart budget.
+    pub gave_up: usize,
+    /// Shed — every one carries a reason in `outcomes`; nothing is
+    /// silently lost.
+    pub shed: usize,
+    /// Admissions served below full service.
+    pub degraded: usize,
+    /// Total restarts across the fleet.
+    pub restarts: u64,
+    /// Every migration, in order, with handoff and replay verdicts.
+    pub migrations: Vec<MigrationRecord>,
+    /// Every autoscaler action, in order.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Per-shard rows, including crashed and retired shards.
+    pub shards: Vec<ShardReport>,
+    /// Shards still on the ring at the end.
+    pub routable_shards: usize,
+    /// When the last session finished, simulated ms.
+    pub makespan_ms: f64,
+    /// Queue-wait distribution across all shards.
+    pub queue_wait: LatencySummary,
+    /// Per-session outcomes, index = session id.
+    pub outcomes: Vec<SessionOutcome>,
+    /// Fleet-wide breaker counters (sum over shards).
+    pub breaker: BreakerStats,
+    /// Fleet-level burn-rate alert timeline.
+    pub alerts: AlertTimeline,
+    /// Fleet-level error-budget ledgers (shed-rate first, then wait).
+    pub ledgers: Vec<BudgetLedger>,
+    /// All shard-level alerts merged into one ordered timeline.
+    pub shard_alerts: AlertTimeline,
+}
+
+impl FleetReport {
+    /// Sessions that got service (offered minus shed).
+    pub fn admitted(&self) -> usize {
+        self.sessions - self.shed
+    }
+
+    /// Every offered session has exactly one terminal account.
+    pub fn accounts_exactly(&self) -> bool {
+        self.completed + self.recovered + self.failed + self.gave_up + self.shed == self.sessions
+    }
+
+    /// `(completed, failed, shed, recovered, gave_up)` tallied from
+    /// `outcomes` — the ground truth the counter fields must match.
+    pub fn outcome_counts(&self) -> (usize, usize, usize, usize, usize) {
+        let mut c = (0usize, 0usize, 0usize, 0usize, 0usize);
+        for o in &self.outcomes {
+            match o {
+                SessionOutcome::Completed => c.0 += 1,
+                SessionOutcome::Failed { .. } => c.1 += 1,
+                SessionOutcome::Shed { .. } => c.2 += 1,
+                SessionOutcome::Recovered { .. } => c.3 += 1,
+                SessionOutcome::GaveUp { .. } => c.4 += 1,
+            }
+        }
+        c
+    }
+
+    pub(crate) fn debug_assert_consistent(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        debug_assert!(self.accounts_exactly(), "fleet accounting identity broken: {self:?}");
+        debug_assert_eq!(self.outcomes.len(), self.sessions, "one outcome per offered session");
+        let (completed, failed, shed, recovered, gave_up) = self.outcome_counts();
+        debug_assert_eq!(self.completed, completed);
+        debug_assert_eq!(self.failed, failed);
+        debug_assert_eq!(self.shed, shed);
+        debug_assert_eq!(self.recovered, recovered);
+        debug_assert_eq!(self.gave_up, gave_up);
+        for f in ["completed", "recovered", "failed", "gave_up", "degraded"] {
+            let (fleet, rows) = match f {
+                "completed" => (self.completed, self.shards.iter().map(|s| s.completed).sum()),
+                "recovered" => (self.recovered, self.shards.iter().map(|s| s.recovered).sum()),
+                "failed" => (self.failed, self.shards.iter().map(|s| s.failed).sum()),
+                "gave_up" => (self.gave_up, self.shards.iter().map(|s| s.gave_up).sum()),
+                _ => (self.degraded, self.shards.iter().map(|s| s.degraded).sum()),
+            };
+            debug_assert_eq!(fleet, rows, "shard rows must sum to fleet {f}");
+        }
+        let shard_shed: usize = self.shards.iter().map(|s| s.shed).sum();
+        debug_assert!(shard_shed <= self.shed, "shard sheds cannot exceed fleet sheds");
+        debug_assert_eq!(
+            self.restarts,
+            self.shards.iter().map(|s| s.restarts).sum::<u64>(),
+            "shard restarts must sum to fleet restarts"
+        );
+        if let Some(l) = self.ledgers.first() {
+            debug_assert_eq!(l.bad as usize, self.shed, "shed ledger must count every shed");
+        }
+        let migrated_out: usize = self.shards.iter().map(|s| s.migrated_out).sum();
+        debug_assert!(self.migrations.len() <= migrated_out, "records only for re-homed sessions");
+        debug_assert!(
+            !self.migrations.iter().any(|m| m.verified == Some(false)),
+            "a migrated session diverged from its checkpoint replay: {:?}",
+            self.migrations.iter().find(|m| m.verified == Some(false))
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal simulation
+// ---------------------------------------------------------------------------
+
+/// Event kinds on the discrete-event heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    /// A slot's current segment reaches its boundary.
+    Seg { shard: u32, slot: usize, token: u64 },
+    /// A scheduled fault (index into [`FleetConfig::faults`]) fires.
+    Fault(usize),
+    /// A controller tick.
+    Control,
+}
+
+/// Heap event, ordered by `(t_us, seq)` — `seq` is a monotone tiebreak
+/// so equal-time events fire in creation order, deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    t_us: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Ev) -> std::cmp::Ordering {
+        (self.t_us, self.seq).cmp(&(other.t_us, other.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Ev) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A committed segment boundary — everything needed to resume the
+/// session elsewhere (or after a crash) bit-identically.
+#[derive(Debug, Clone)]
+struct Commit {
+    /// Decision step at the boundary.
+    step: usize,
+    /// Segments done (synthetic workloads).
+    synth_done: u32,
+    /// Digest of the checkpoint text (synthetic: a seeded stand-in).
+    digest: u64,
+    /// The checkpoint itself (engine workloads).
+    save: Option<SaveGame>,
+    /// Full log up to the boundary, prefix-stitched across incarnations.
+    log: Option<SessionLog>,
+}
+
+/// Live engine state for one in-flight session incarnation.
+struct EngineRun {
+    session: GameSession,
+    bot: Box<dyn crate::bot::Bot>,
+    steps: usize,
+    /// Log of prior incarnations; `session.log()` holds only the tail.
+    log_prefix: Option<SessionLog>,
+}
+
+/// One in-flight session on a shard slot.
+struct Running {
+    id: usize,
+    mode: ServiceMode,
+    /// Incarnation counter fed to the bot factory; bumps on every
+    /// restart and every migration hop.
+    generation: u32,
+    restarts: u32,
+    /// Migration hops so far.
+    hops: u32,
+    /// Step the latest resume started from (0 for never-migrated).
+    resumed_at_step: usize,
+    was_degraded: bool,
+    committed: Option<Commit>,
+    engine: Option<EngineRun>,
+    synth_done: u32,
+    synth_total: u32,
+}
+
+/// How a segment ended.
+#[derive(Debug, Clone)]
+enum SegEnd {
+    /// Hit the checkpoint boundary; session continues.
+    Boundary,
+    /// Session finished cleanly.
+    Finished,
+    /// Terminal engine error.
+    Failed { reason: String },
+    /// Restart budget exhausted.
+    GaveUp { restarts: u32, reason: String },
+}
+
+/// Resume payload carried by a migrated session through the
+/// destination's queue.
+struct ResumeState {
+    committed: Commit,
+    generation: u32,
+    restarts: u32,
+    hops: u32,
+    was_degraded: bool,
+    mig_idx: usize,
+}
+
+/// A queued admission on one shard.
+struct QEntry {
+    id: usize,
+    arrival_ms: f64,
+    mode: ServiceMode,
+    resume: Option<ResumeState>,
+}
+
+/// One shard slot. `token` invalidates in-flight [`EvKind::Seg`] events
+/// after crashes and re-dispatches; `due_ms` moves when a stall delays
+/// the segment (the stale event re-schedules itself).
+struct Slot {
+    run: Option<Running>,
+    pending: Option<SegEnd>,
+    token: u64,
+    due_ms: f64,
+}
+
+/// One failure domain: queue, slots, ladder state, breaker, fault plan.
+struct Shard {
+    id: u32,
+    slots: Vec<Slot>,
+    queue: VecDeque<QEntry>,
+    slo: SupSlo,
+    breaker: CircuitBreaker,
+    faults: FaultPlan,
+    alive: bool,
+    draining: bool,
+    retired: bool,
+    drain_reason: MigrationReason,
+    stalled_until_ms: f64,
+    burn_streak: u32,
+    routed: usize,
+    admitted: usize,
+    shed: usize,
+    completed: usize,
+    recovered: usize,
+    failed: usize,
+    gave_up: usize,
+    degraded: usize,
+    migrated_in: usize,
+    migrated_out: usize,
+    restarts: u64,
+    warm_attempted: u64,
+    warm_skipped: u64,
+    peak_queue_depth: usize,
+    crashed: bool,
+}
+
+impl Shard {
+    fn new(id: u32, cfg: &FleetConfig) -> Shard {
+        let noop = Obs::noop();
+        Shard {
+            id,
+            slots: (0..cfg.shard.slots)
+                .map(|_| Slot { run: None, pending: None, token: 0, due_ms: 0.0 })
+                .collect(),
+            queue: VecDeque::new(),
+            slo: SupSlo::with_taps(
+                &noop,
+                cfg.shard.slo_config(),
+                ["shard.arrivals", "shard.sheds", "shard.wait_us"],
+            ),
+            breaker: CircuitBreaker::new(cfg.shard.breaker).expect("validated breaker config"),
+            faults: cfg.shard.warm_faults,
+            alive: true,
+            draining: false,
+            retired: false,
+            drain_reason: MigrationReason::SloDrain,
+            stalled_until_ms: 0.0,
+            burn_streak: 0,
+            routed: 0,
+            admitted: 0,
+            shed: 0,
+            completed: 0,
+            recovered: 0,
+            failed: 0,
+            gave_up: 0,
+            degraded: 0,
+            migrated_in: 0,
+            migrated_out: 0,
+            restarts: 0,
+            warm_attempted: 0,
+            warm_skipped: 0,
+            peak_queue_depth: 0,
+            crashed: false,
+        }
+    }
+
+    fn busy_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.run.is_some()).count()
+    }
+
+    fn load(&self) -> usize {
+        self.queue.len() + self.busy_slots()
+    }
+}
+
+/// A session migrated with replay verification pending: the shadow
+/// replay's predicted tail, waiting for the real run to terminate.
+struct PendingVerify {
+    session: usize,
+    generation: u32,
+    mig_idx: usize,
+    tail: Vec<LogEvent>,
+}
+
+/// Fleet metric handles.
+struct FleetObs {
+    routed: Counter,
+    shed: Counter,
+    migrations: Counter,
+    crashes: Counter,
+    stalls: Counter,
+    degraded_links: Counter,
+    scale_up: Counter,
+    scale_down: Counter,
+    shards: Gauge,
+    queue_wait_us: Histogram,
+}
+
+impl FleetObs {
+    fn new(obs: &Obs) -> FleetObs {
+        let l: &[(&'static str, &'static str)] = &[("pillar", "runtime")];
+        FleetObs {
+            routed: obs.counter("fleet.routed", l),
+            shed: obs.counter("fleet.shed", l),
+            migrations: obs.counter("fleet.migrations", l),
+            crashes: obs.counter("fleet.crashes", l),
+            stalls: obs.counter("fleet.stalls", l),
+            degraded_links: obs.counter("fleet.degraded_links", l),
+            scale_up: obs.counter("fleet.scale_up", l),
+            scale_down: obs.counter("fleet.scale_down", l),
+            shards: obs.gauge("fleet.shards", l),
+            queue_wait_us: obs.histogram("fleet.queue_wait_us", l),
+        }
+    }
+}
+
+/// The per-session segment count for synthetic workloads: seeded,
+/// uniform on `1..=2*mean-1` so the mean is `mean`.
+fn synth_total(seed: u64, mean_segments: u32, id: usize) -> u32 {
+    let span = u64::from(2 * mean_segments.max(1) - 1);
+    1 + (mix(seed ^ SALT_SYNTH ^ mix(id as u64)) % span) as u32
+}
+
+/// Advances `r` by one segment (eagerly — the caller schedules the
+/// boundary at `now + elapsed` and commits only when it fires, so a
+/// crash before the boundary discards the uncommitted work, exactly
+/// like a real shard losing its in-memory state).
+fn advance_segment(
+    cfg: &SupervisorConfig,
+    workload: &FleetWorkload<'_>,
+    r: &mut Running,
+) -> (f64, SegEnd) {
+    let every = cfg.checkpoint_every.max(1);
+    let step_cost =
+        if r.mode == ServiceMode::ConcealOnly { cfg.step_ms * 0.5 } else { cfg.step_ms };
+    match workload {
+        FleetWorkload::Synthetic { .. } => {
+            r.synth_done += 1;
+            let end =
+                if r.synth_done >= r.synth_total { SegEnd::Finished } else { SegEnd::Boundary };
+            (every as f64 * step_cost, end)
+        }
+        FleetWorkload::Engine { graph, config, factory } => {
+            let mut elapsed = 0.0;
+            loop {
+                let er = r.engine.as_mut().expect("engine workload has engine state");
+                let start = er.steps;
+                let target = (((start / every) + 1) * every).min(cfg.max_steps);
+                let res = catch_unwind(AssertUnwindSafe(|| {
+                    drive(&mut er.session, &mut *er.bot, start, target, cfg.tick_ms, |_, _| {})
+                }));
+                match res {
+                    Ok(Ok(steps)) => {
+                        elapsed += steps.saturating_sub(start) as f64 * step_cost;
+                        er.steps = steps;
+                        let done = er.session.state().is_over()
+                            || steps < target
+                            || steps >= cfg.max_steps;
+                        return (elapsed, if done { SegEnd::Finished } else { SegEnd::Boundary });
+                    }
+                    Ok(Err(e)) => return (elapsed, SegEnd::Failed { reason: e.to_string() }),
+                    Err(payload) => {
+                        let reason = panic_reason(payload);
+                        if r.restarts >= cfg.restart_budget {
+                            return (elapsed, SegEnd::GaveUp { restarts: r.restarts, reason });
+                        }
+                        r.restarts += 1;
+                        r.generation += 1;
+                        r.resumed_at_step = r.committed.as_ref().map_or(0, |c| c.step);
+                        elapsed += cfg.restart_backoff_ms * 2f64.powi(r.restarts as i32 - 1);
+                        let rebuilt = (|| -> Result<EngineRun> {
+                            let bot = factory(r.id, r.generation);
+                            match &r.committed {
+                                Some(c) if c.save.is_some() => {
+                                    let save = c.save.as_ref().expect("checked");
+                                    let session = GameSession::restore_checkpoint(
+                                        graph.clone(),
+                                        config.clone(),
+                                        save,
+                                    )?;
+                                    Ok(EngineRun {
+                                        session,
+                                        bot,
+                                        steps: c.step,
+                                        log_prefix: c.log.clone(),
+                                    })
+                                }
+                                _ => {
+                                    let (session, _) =
+                                        GameSession::new(graph.clone(), config.clone())?;
+                                    Ok(EngineRun { session, bot, steps: 0, log_prefix: None })
+                                }
+                            }
+                        })();
+                        match rebuilt {
+                            Ok(er) => r.engine = Some(er),
+                            Err(e) => {
+                                return (elapsed, SegEnd::Failed { reason: e.to_string() })
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The boundary commit: checkpoint + digest + stitched log for engine
+/// workloads, a seeded digest stand-in for synthetic ones.
+fn make_commit(seed: u64, cfg: &SupervisorConfig, r: &Running) -> Commit {
+    match &r.engine {
+        Some(er) => {
+            let save = er.session.checkpoint();
+            let log = match &er.log_prefix {
+                Some(p) => stitch(p, er.session.log()),
+                None => er.session.log().clone(),
+            };
+            Commit {
+                step: er.steps,
+                synth_done: r.synth_done,
+                digest: save.digest(),
+                save: Some(save),
+                log: Some(log),
+            }
+        }
+        None => Commit {
+            step: r.synth_done as usize * cfg.checkpoint_every.max(1),
+            synth_done: r.synth_done,
+            digest: mix(seed ^ SALT_SYNTH ^ mix(r.id as u64) ^ mix(u64::from(r.synth_done))),
+            save: None,
+            log: None,
+        },
+    }
+}
+
+/// The fleet's discrete-event simulation state.
+struct FleetSim<'a> {
+    cfg: &'a FleetConfig,
+    workload: &'a FleetWorkload<'a>,
+    router: FleetRouter,
+    shards: Vec<Shard>,
+    next_shard_id: u32,
+    heap: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    outcomes: Vec<Option<SessionOutcome>>,
+    queue_waits: Vec<f64>,
+    migrations: Vec<MigrationRecord>,
+    scale_events: Vec<ScaleEvent>,
+    pending_verify: Vec<PendingVerify>,
+    fleet_slo: SupSlo,
+    fo: FleetObs,
+    rec: SpanRecorder,
+    makespan_ms: f64,
+    last_scale_ms: f64,
+    up_streak: u32,
+    down_streak: u32,
+}
+
+impl FleetSim<'_> {
+    fn push_ms(&mut self, t_ms: f64, kind: EvKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Ev { t_us: us_from_ms(t_ms), seq: self.seq, kind }));
+    }
+
+    fn sidx(&self, id: u32) -> Option<usize> {
+        self.shards.iter().position(|s| s.id == id)
+    }
+
+    /// Any shard still has queued or in-flight work.
+    fn busy(&self) -> bool {
+        self.shards.iter().any(|s| !s.queue.is_empty() || s.busy_slots() > 0)
+    }
+
+    /// Terminal shed: one accounted outcome, fleet- and (when
+    /// attributable) shard-level SLO bad events.
+    fn shed(&mut self, sidx: Option<usize>, id: usize, t_ms: f64, reason: &str) {
+        self.outcomes[id] = Some(SessionOutcome::Shed { reason: reason.into() });
+        self.fleet_slo.on_shed(t_ms);
+        self.fo.shed.inc();
+        self.rec.event("shed", id as u64, us_from_ms(t_ms));
+        self.makespan_ms = self.makespan_ms.max(t_ms);
+        if let Some(i) = sidx {
+            let s = &mut self.shards[i];
+            s.shed += 1;
+            s.slo.on_shed(t_ms);
+        }
+    }
+
+    fn on_arrival(&mut self, id: usize, t_ms: f64) {
+        self.fleet_slo.on_arrival(t_ms);
+        self.makespan_ms = self.makespan_ms.max(t_ms);
+        let Some(dest) = self.router.route(id as u64) else {
+            self.shed(None, id, t_ms, "no shard available");
+            return;
+        };
+        self.fo.routed.inc();
+        let i = self.sidx(dest).expect("routable shard exists");
+        self.enqueue(i, QEntry { id, arrival_ms: t_ms, mode: ServiceMode::Full, resume: None }, t_ms);
+    }
+
+    /// Admits `q` to shard `i`'s queue: counts the routed arrival,
+    /// sheds on a full queue, picks the service mode per the shard's
+    /// ladder, and dispatches as far as idle slots allow.
+    fn enqueue(&mut self, i: usize, mut q: QEntry, now: f64) {
+        let cfg = self.cfg;
+        let verdict = {
+            let s = &mut self.shards[i];
+            s.routed += 1;
+            s.slo.on_arrival(now);
+            if s.queue.len() >= cfg.shard.queue_capacity {
+                None
+            } else {
+                Some(match &cfg.shard.ladder {
+                    LadderPolicy::Occupancy => {
+                        let occ = (s.queue.len() + 1) as f64 / cfg.shard.queue_capacity as f64;
+                        ServiceMode::for_occupancy(occ, &cfg.shard)
+                    }
+                    LadderPolicy::SloDriven(_) => s.slo.mode_for_burn(now),
+                })
+            }
+        };
+        let Some(mode) = verdict else {
+            let reason =
+                if q.resume.is_some() { "migration target queue full" } else { "queue full" };
+            self.shed(Some(i), q.id, now, reason);
+            return;
+        };
+        q.mode = mode;
+        let s = &mut self.shards[i];
+        s.queue.push_back(q);
+        s.peak_queue_depth = s.peak_queue_depth.max(s.queue.len());
+        self.try_dispatch(i, now);
+    }
+
+    /// Serves shard `i`'s queue into idle slots. A head whose wait blew
+    /// the deadline is shed without consuming the slot.
+    fn try_dispatch(&mut self, i: usize, now: f64) {
+        let cfg = self.cfg;
+        loop {
+            let (slot_idx, q, start) = {
+                let s = &mut self.shards[i];
+                if !s.alive {
+                    return;
+                }
+                let Some(slot_idx) = s.slots.iter().position(|sl| sl.run.is_none()) else {
+                    return;
+                };
+                let Some(q) = s.queue.pop_front() else { return };
+                (slot_idx, q, now.max(s.stalled_until_ms))
+            };
+            let wait = start - q.arrival_ms;
+            if wait > cfg.shard.queue_deadline_ms {
+                self.shed(Some(i), q.id, start, "queue deadline exceeded");
+                continue;
+            }
+            self.queue_waits.push(wait);
+            self.fo.queue_wait_us.record(us_from_ms(wait));
+            self.fleet_slo.on_wait(start, wait);
+            self.shards[i].slo.on_wait(start, wait);
+            self.dispatch(i, slot_idx, q, start);
+        }
+    }
+
+    /// Puts `q` into a slot: warm (fresh full-service admissions only,
+    /// against the shard's *current* fault plan), build or restore the
+    /// engine, check the migration handoff, and start the first segment.
+    fn dispatch(&mut self, i: usize, slot_idx: usize, q: QEntry, start: f64) {
+        let cfg = self.cfg;
+        let wl = self.workload;
+        let QEntry { id, mode, resume, .. } = q;
+        let mig_idx = resume.as_ref().map(|rs| rs.mig_idx);
+        self.shards[i].admitted += 1;
+        self.rec.event("admit", id as u64, us_from_ms(start));
+        let mut t = start;
+        let mut was_degraded = false;
+        if resume.is_none() {
+            if mode == ServiceMode::Full {
+                let s = &mut self.shards[i];
+                let w = warm_session(id, t, &cfg.shard, &s.faults, &mut s.breaker);
+                t = w.t;
+                s.warm_attempted += w.attempted;
+                s.warm_skipped += w.skipped;
+            } else {
+                self.shards[i].degraded += 1;
+                was_degraded = true;
+            }
+        }
+        let (generation, restarts, hops, resumed_at_step, committed, synth_done) = match resume {
+            None => (0, 0, 0, 0, None, 0),
+            Some(rs) => {
+                self.shards[i].migrated_in += 1;
+                was_degraded = rs.was_degraded;
+                let step = rs.committed.step;
+                let done = rs.committed.synth_done;
+                (rs.generation, rs.restarts, rs.hops, step, Some(rs.committed), done)
+            }
+        };
+        let mut engine = None;
+        if let FleetWorkload::Engine { graph, config, factory } = wl {
+            let built: Result<EngineRun> = match &committed {
+                Some(c) => {
+                    let save = c.save.as_ref().expect("engine commits carry a save");
+                    GameSession::restore_checkpoint(graph.clone(), config.clone(), save).map(
+                        |session| EngineRun {
+                            session,
+                            bot: factory(id, generation),
+                            steps: c.step,
+                            log_prefix: c.log.clone(),
+                        },
+                    )
+                }
+                None => GameSession::new(graph.clone(), config.clone()).map(|(session, _)| {
+                    EngineRun { session, bot: factory(id, generation), steps: 0, log_prefix: None }
+                }),
+            };
+            match built {
+                Ok(er) => {
+                    if let (Some(mi), Some(c)) = (mig_idx, &committed) {
+                        let save = c.save.as_ref().expect("engine commits carry a save");
+                        self.migrations[mi].handoff_ok =
+                            Some(er.session.checkpoint().digest() == c.digest);
+                        if cfg.migration.verify_replay {
+                            let mut bot = factory(id, generation);
+                            let shadow = catch_unwind(AssertUnwindSafe(|| {
+                                resume_session(
+                                    graph.clone(),
+                                    config.clone(),
+                                    save,
+                                    &mut *bot,
+                                    c.step,
+                                    cfg.shard.max_steps,
+                                    cfg.shard.tick_ms,
+                                )
+                            }));
+                            if let Ok(Ok(run)) = shadow {
+                                self.pending_verify.retain(|p| p.session != id);
+                                self.pending_verify.push(PendingVerify {
+                                    session: id,
+                                    generation,
+                                    mig_idx: mi,
+                                    tail: run.log.events().to_vec(),
+                                });
+                            }
+                        }
+                    }
+                    engine = Some(er);
+                }
+                Err(e) => {
+                    let r = Running {
+                        id,
+                        mode,
+                        generation,
+                        restarts,
+                        hops,
+                        resumed_at_step,
+                        was_degraded,
+                        committed,
+                        engine: None,
+                        synth_done,
+                        synth_total: 0,
+                    };
+                    self.finish(i, r, SegEnd::Failed { reason: e.to_string() }, t);
+                    return;
+                }
+            }
+        }
+        let st = match wl {
+            FleetWorkload::Synthetic { mean_segments } => {
+                synth_total(cfg.router_seed, *mean_segments, id)
+            }
+            FleetWorkload::Engine { .. } => 0,
+        };
+        let r = Running {
+            id,
+            mode,
+            generation,
+            restarts,
+            hops,
+            resumed_at_step,
+            was_degraded,
+            committed,
+            engine,
+            synth_done,
+            synth_total: st,
+        };
+        self.start_segment(i, slot_idx, r, t);
+    }
+
+    /// Runs one segment eagerly and schedules its boundary event.
+    fn start_segment(&mut self, i: usize, slot_idx: usize, mut r: Running, t: f64) {
+        let cfg = self.cfg;
+        let wl = self.workload;
+        let (elapsed, end) = advance_segment(&cfg.shard, wl, &mut r);
+        let due = t + elapsed;
+        let (sid, token) = {
+            let s = &mut self.shards[i];
+            let slot = &mut s.slots[slot_idx];
+            slot.token += 1;
+            slot.due_ms = due;
+            slot.run = Some(r);
+            slot.pending = Some(end);
+            (s.id, slot.token)
+        };
+        self.push_ms(due, EvKind::Seg { shard: sid, slot: slot_idx, token });
+    }
+
+    /// A segment-boundary event fired.
+    fn on_seg(&mut self, shard_id: u32, slot_idx: usize, token: u64, t_us: u64) {
+        let Some(i) = self.sidx(shard_id) else { return };
+        let defer = {
+            let s = &self.shards[i];
+            if !s.alive {
+                return;
+            }
+            let slot = &s.slots[slot_idx];
+            if slot.token != token || slot.run.is_none() {
+                return;
+            }
+            if us_from_ms(slot.due_ms) > t_us { Some(slot.due_ms) } else { None }
+        };
+        if let Some(due) = defer {
+            // A stall pushed the boundary out from under this event;
+            // chase it (same token — the slot state is still ours).
+            self.push_ms(due, EvKind::Seg { shard: shard_id, slot: slot_idx, token });
+            return;
+        }
+        let (mut r, end, due) = {
+            let slot = &mut self.shards[i].slots[slot_idx];
+            (
+                slot.run.take().expect("checked above"),
+                slot.pending.take().expect("pending set with run"),
+                slot.due_ms,
+            )
+        };
+        match end {
+            SegEnd::Boundary => {
+                r.committed = Some(make_commit(self.cfg.router_seed, &self.cfg.shard, &r));
+                if self.shards[i].draining {
+                    let reason = self.shards[i].drain_reason;
+                    self.migrate(i, r, due, reason);
+                    self.try_dispatch(i, due);
+                } else {
+                    self.start_segment(i, slot_idx, r, due);
+                }
+            }
+            end => {
+                self.finish(i, r, end, due);
+                self.try_dispatch(i, due);
+            }
+        }
+    }
+
+    /// Terminal accounting for a session that ended (not shed) on shard
+    /// `i` — and the replay-verification verdict for its last migration.
+    fn finish(&mut self, i: usize, r: Running, end: SegEnd, t: f64) {
+        self.makespan_ms = self.makespan_ms.max(t);
+        let outcome = {
+            let s = &mut self.shards[i];
+            s.restarts += u64::from(r.restarts);
+            match end {
+                SegEnd::Finished => {
+                    if r.restarts == 0 && r.hops == 0 {
+                        s.completed += 1;
+                        SessionOutcome::Completed
+                    } else {
+                        s.recovered += 1;
+                        SessionOutcome::Recovered {
+                            resumed_at_step: r.resumed_at_step,
+                            restarts: r.restarts,
+                        }
+                    }
+                }
+                SegEnd::Failed { reason } => {
+                    s.failed += 1;
+                    SessionOutcome::Failed { reason }
+                }
+                SegEnd::GaveUp { restarts, reason } => {
+                    s.gave_up += 1;
+                    SessionOutcome::GaveUp { restarts, reason }
+                }
+                SegEnd::Boundary => unreachable!("boundary is not terminal"),
+            }
+        };
+        if let Some(pos) = self.pending_verify.iter().position(|p| p.session == r.id) {
+            let p = self.pending_verify.swap_remove(pos);
+            // Only a clean finish of the *same* incarnation can be
+            // compared against the shadow replay; a later restart or
+            // hop supersedes the prediction (verdict stays None).
+            if p.generation == r.generation && replay_comparable(&outcome) {
+                if let Some(er) = &r.engine {
+                    self.migrations[p.mig_idx].verified =
+                        Some(er.session.log().events() == p.tail.as_slice());
+                }
+            }
+        }
+        self.rec.event("done", r.id as u64, us_from_ms(t));
+        self.outcomes[r.id] = Some(outcome);
+    }
+
+    /// Hands a checkpointed session to the shard the router now picks.
+    fn migrate(&mut self, from_idx: usize, mut r: Running, now: f64, reason: MigrationReason) {
+        let committed = r.committed.take().expect("migrate requires a committed checkpoint");
+        let Some(dest) = self.router.route(r.id as u64) else {
+            self.shed(Some(from_idx), r.id, now, "no shard available for migration");
+            return;
+        };
+        let from_id = self.shards[from_idx].id;
+        self.shards[from_idx].migrated_out += 1;
+        self.fo.migrations.inc();
+        self.rec.event("migrate", r.id as u64, us_from_ms(now));
+        let di = self.sidx(dest).expect("routable shard exists");
+        let mi = self.migrations.len();
+        self.migrations.push(MigrationRecord {
+            session: r.id,
+            from: from_id,
+            to: dest,
+            at_ms: now,
+            resumed_at_step: committed.step,
+            reason,
+            checkpoint_digest: committed.digest,
+            handoff_ok: None,
+            verified: None,
+        });
+        let resume = ResumeState {
+            committed,
+            generation: r.generation + 1,
+            restarts: r.restarts,
+            hops: r.hops + 1,
+            was_degraded: r.was_degraded,
+            mig_idx: mi,
+        };
+        self.enqueue(
+            di,
+            QEntry { id: r.id, arrival_ms: now, mode: r.mode, resume: Some(resume) },
+            now,
+        );
+    }
+
+    fn on_fault(&mut self, fi: usize) {
+        let f = self.cfg.faults[fi];
+        let t_ms = f.at_ms;
+        let Some(i) = self.sidx(f.shard) else { return };
+        if !self.shards[i].alive {
+            return;
+        }
+        match f.kind {
+            ShardFaultKind::Crash => self.crash(i, t_ms),
+            ShardFaultKind::Stall { duration_ms } => {
+                self.fo.stalls.inc();
+                self.rec.event("stall", u64::from(f.shard), us_from_ms(t_ms));
+                let s = &mut self.shards[i];
+                s.stalled_until_ms = s.stalled_until_ms.max(t_ms + duration_ms);
+                for slot in &mut s.slots {
+                    if slot.run.is_some() {
+                        slot.due_ms += duration_ms;
+                    }
+                }
+            }
+            ShardFaultKind::DegradedLink { loss } => {
+                self.fo.degraded_links.inc();
+                self.rec.event("degraded_link", u64::from(f.shard), us_from_ms(t_ms));
+                let s = &mut self.shards[i];
+                s.faults = s.faults.with_loss(loss).expect("validated loss rate");
+            }
+        }
+    }
+
+    /// The failure-domain event: the shard leaves the ring, in-flight
+    /// sessions migrate from their last committed checkpoint (or are
+    /// shed, accounted, if they never reached one), and the queue
+    /// re-routes. Slot tokens bump so in-flight segment events die.
+    fn crash(&mut self, i: usize, t_ms: f64) {
+        let sid = self.shards[i].id;
+        self.fo.crashes.inc();
+        self.rec.event("crash", u64::from(sid), us_from_ms(t_ms));
+        self.router.remove_shard(sid);
+        let (running, queued) = {
+            let s = &mut self.shards[i];
+            s.alive = false;
+            s.crashed = true;
+            s.draining = true;
+            s.drain_reason = MigrationReason::Crash;
+            let mut running = Vec::new();
+            for slot in &mut s.slots {
+                slot.token += 1;
+                slot.pending = None;
+                if let Some(r) = slot.run.take() {
+                    running.push(r);
+                }
+            }
+            (running, std::mem::take(&mut s.queue))
+        };
+        for r in running {
+            if r.committed.is_some() {
+                self.migrate(i, r, t_ms, MigrationReason::Crash);
+            } else {
+                self.shed(Some(i), r.id, t_ms, "shard crashed before first checkpoint");
+            }
+        }
+        for q in queued {
+            match self.router.route(q.id as u64) {
+                Some(dest) => {
+                    let di = self.sidx(dest).expect("routable shard exists");
+                    self.enqueue(di, q, t_ms);
+                }
+                None => self.shed(Some(i), q.id, t_ms, "no shard available"),
+            }
+        }
+    }
+
+    /// Takes shard `i` off the ring; queued sessions re-route now,
+    /// running ones migrate at their next segment boundary.
+    fn drain(&mut self, i: usize, t_ms: f64, reason: MigrationReason) {
+        let sid = self.shards[i].id;
+        self.router.remove_shard(sid);
+        self.rec.event("drain", u64::from(sid), us_from_ms(t_ms));
+        let queued = {
+            let s = &mut self.shards[i];
+            s.draining = true;
+            s.retired = true;
+            s.drain_reason = reason;
+            std::mem::take(&mut s.queue)
+        };
+        for q in queued {
+            match self.router.route(q.id as u64) {
+                Some(dest) => {
+                    let di = self.sidx(dest).expect("routable shard exists");
+                    self.enqueue(di, q, t_ms);
+                }
+                None => self.shed(Some(i), q.id, t_ms, "no shard available"),
+            }
+        }
+    }
+
+    /// One controller tick: SLO-drain burning shards, then autoscale on
+    /// fleet-wide burn with hysteresis.
+    fn on_control(&mut self, t_ms: f64) {
+        let cfg = self.cfg;
+        for i in 0..self.shards.len() {
+            if !self.shards[i].alive || self.shards[i].draining {
+                continue;
+            }
+            let burn = self.shards[i].slo.worst_burn(t_ms);
+            let streak = {
+                let s = &mut self.shards[i];
+                if burn >= cfg.migration.burn_threshold {
+                    s.burn_streak += 1;
+                } else {
+                    s.burn_streak = 0;
+                }
+                s.burn_streak
+            };
+            if streak >= cfg.migration.sustain_ticks && self.router.len() > 1 {
+                self.shards[i].burn_streak = 0;
+                self.drain(i, t_ms, MigrationReason::SloDrain);
+            }
+        }
+        let Some(a) = &cfg.autoscale else { return };
+        let burn = self.fleet_slo.worst_burn(t_ms);
+        if burn >= a.up_burn {
+            self.up_streak += 1;
+            self.down_streak = 0;
+        } else if burn <= a.down_burn {
+            self.down_streak += 1;
+            self.up_streak = 0;
+        } else {
+            self.up_streak = 0;
+            self.down_streak = 0;
+        }
+        let n = self.router.len();
+        let cooled = t_ms - self.last_scale_ms >= a.cooldown_ms;
+        if self.up_streak >= a.sustain_ticks && n < a.max_shards && cooled {
+            self.up_streak = 0;
+            self.last_scale_ms = t_ms;
+            let id = self.next_shard_id;
+            self.next_shard_id += 1;
+            self.shards.push(Shard::new(id, cfg));
+            self.router.add_shard(id);
+            self.fo.scale_up.inc();
+            self.fo.shards.observe(self.router.len() as u64);
+            self.rec.event("scale_up", u64::from(id), us_from_ms(t_ms));
+            self.scale_events.push(ScaleEvent {
+                at_ms: t_ms,
+                up: true,
+                shard: id,
+                shards_after: self.router.len(),
+                burn,
+            });
+        } else if self.down_streak >= a.sustain_ticks && n > a.min_shards && cooled {
+            self.down_streak = 0;
+            self.last_scale_ms = t_ms;
+            let mut pick: Option<usize> = None;
+            for i in 0..self.shards.len() {
+                let s = &self.shards[i];
+                if !s.alive || s.draining {
+                    continue;
+                }
+                pick = Some(match pick {
+                    None => i,
+                    Some(p) => {
+                        let better = s.load() < self.shards[p].load()
+                            || (s.load() == self.shards[p].load() && s.id > self.shards[p].id);
+                        if better { i } else { p }
+                    }
+                });
+            }
+            if let Some(p) = pick {
+                let id = self.shards[p].id;
+                self.fo.scale_down.inc();
+                self.rec.event("scale_down", u64::from(id), us_from_ms(t_ms));
+                self.drain(p, t_ms, MigrationReason::ScaleDown);
+                self.scale_events.push(ScaleEvent {
+                    at_ms: t_ms,
+                    up: false,
+                    shard: id,
+                    shards_after: self.router.len(),
+                    burn,
+                });
+            }
+        }
+    }
+}
+
+/// True for outcomes a shadow replay can be compared against.
+fn replay_comparable(outcome: &SessionOutcome) -> bool {
+    matches!(outcome, SessionOutcome::Completed | SessionOutcome::Recovered { .. })
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+fn fleet_core(
+    workload: &FleetWorkload<'_>,
+    cfg: &FleetConfig,
+    n_sessions: usize,
+    arrivals: &ArrivalPlan,
+    obs: &Obs,
+    label: &str,
+) -> Result<FleetReport> {
+    cfg.validate()?;
+    if let FleetWorkload::Synthetic { mean_segments } = workload {
+        if *mean_segments == 0 {
+            return Err(invalid("synthetic mean_segments must be >= 1"));
+        }
+    }
+    let router = FleetRouter::new(cfg.router_seed, cfg.vnodes, cfg.shards)?;
+    let mut rec = obs.recorder(label.to_owned());
+    rec.enter("fleet", 0);
+    let mut sim = FleetSim {
+        cfg,
+        workload,
+        router,
+        shards: (0..cfg.shards).map(|i| Shard::new(i, cfg)).collect(),
+        next_shard_id: cfg.shards,
+        heap: BinaryHeap::new(),
+        seq: 0,
+        outcomes: (0..n_sessions).map(|_| None).collect(),
+        queue_waits: Vec::new(),
+        migrations: Vec::new(),
+        scale_events: Vec::new(),
+        pending_verify: Vec::new(),
+        fleet_slo: SupSlo::with_taps(
+            obs,
+            cfg.shard.slo_config(),
+            ["fleet.arrivals", "fleet.sheds", "fleet.wait_us"],
+        ),
+        fo: FleetObs::new(obs),
+        rec,
+        makespan_ms: 0.0,
+        last_scale_ms: f64::NEG_INFINITY,
+        up_streak: 0,
+        down_streak: 0,
+    };
+    sim.fo.shards.observe(u64::from(cfg.shards));
+    for (fi, f) in cfg.faults.iter().enumerate() {
+        sim.push_ms(f.at_ms, EvKind::Fault(fi));
+    }
+    sim.push_ms(cfg.control_interval_ms, EvKind::Control);
+
+    let times = arrivals.arrival_times(n_sessions);
+    let mut next = 0usize;
+    loop {
+        let ev_t = sim.heap.peek().map(|Reverse(e)| e.t_us);
+        let arr_t = times.get(next).map(|&t| us_from_ms(t));
+        let fire_event = match (ev_t, arr_t) {
+            // Events fire before arrivals at equal timestamps, so a
+            // crash at t races no arrival at t — deterministically.
+            (Some(e), Some(a)) => e <= a,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if fire_event {
+            let Reverse(ev) = sim.heap.pop().expect("peeked");
+            match ev.kind {
+                EvKind::Seg { shard, slot, token } => sim.on_seg(shard, slot, token, ev.t_us),
+                EvKind::Fault(fi) => sim.on_fault(fi),
+                EvKind::Control => {
+                    let t_ms = ev.t_us as f64 / 1000.0;
+                    sim.on_control(t_ms);
+                    if next < times.len() || sim.busy() {
+                        sim.push_ms(t_ms + cfg.control_interval_ms, EvKind::Control);
+                    }
+                }
+            }
+        } else {
+            let t = times[next];
+            sim.on_arrival(next, t);
+            next += 1;
+        }
+    }
+
+    let makespan_ms = sim.makespan_ms.max(times.last().copied().unwrap_or(0.0));
+    sim.rec.exit(us_from_ms(makespan_ms));
+    let FleetSim {
+        router,
+        shards,
+        outcomes,
+        queue_waits,
+        migrations,
+        scale_events,
+        fleet_slo,
+        fo,
+        rec,
+        ..
+    } = sim;
+    fo.shards.observe(router.len() as u64);
+    obs.attach(rec);
+    let (alerts, ledgers) = fleet_slo.finish(makespan_ms);
+
+    let rows: Vec<ShardReport> = shards
+        .into_iter()
+        .map(|s| {
+            let (shard_alerts, _ledgers) = s.slo.finish(makespan_ms);
+            ShardReport {
+                shard: s.id,
+                routed: s.routed,
+                admitted: s.admitted,
+                shed: s.shed,
+                completed: s.completed,
+                recovered: s.recovered,
+                failed: s.failed,
+                gave_up: s.gave_up,
+                degraded: s.degraded,
+                migrated_in: s.migrated_in,
+                migrated_out: s.migrated_out,
+                restarts: s.restarts,
+                warm_attempted: s.warm_attempted,
+                warm_skipped: s.warm_skipped,
+                peak_queue_depth: s.peak_queue_depth,
+                crashed: s.crashed,
+                retired: s.retired,
+                breaker: s.breaker.stats(),
+                alerts: shard_alerts,
+            }
+        })
+        .collect();
+    let shard_alerts = AlertTimeline::merged(rows.iter().map(|r| &r.alerts));
+    let breaker: BreakerStats = rows.iter().map(|r| r.breaker).sum();
+    let outcomes: Vec<SessionOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every offered session is accounted"))
+        .collect();
+    let mut report = FleetReport {
+        sessions: n_sessions,
+        completed: 0,
+        recovered: 0,
+        failed: 0,
+        gave_up: 0,
+        shed: 0,
+        degraded: rows.iter().map(|r| r.degraded).sum(),
+        restarts: rows.iter().map(|r| r.restarts).sum(),
+        migrations,
+        scale_events,
+        shards: rows,
+        routable_shards: router.len(),
+        makespan_ms,
+        queue_wait: LatencySummary::from_samples_ms(&queue_waits),
+        outcomes,
+        breaker,
+        alerts,
+        ledgers,
+        shard_alerts,
+    };
+    let (completed, failed, shed, recovered, gave_up) = report.outcome_counts();
+    report.completed = completed;
+    report.failed = failed;
+    report.shed = shed;
+    report.recovered = recovered;
+    report.gave_up = gave_up;
+    report.debug_assert_consistent();
+    Ok(report)
+}
+
+/// Runs `n_sessions` seeded arrivals through the sharded fleet:
+/// consistent-hash routing, per-shard bounded admission with the
+/// supervisor's degradation ladder, scheduled shard faults, SLO-driven
+/// drains, and (optionally) autoscaling. Deterministic: identical
+/// inputs produce an identical [`FleetReport`].
+pub fn run_fleet(
+    workload: &FleetWorkload<'_>,
+    cfg: &FleetConfig,
+    n_sessions: usize,
+    arrivals: &ArrivalPlan,
+) -> Result<FleetReport> {
+    fleet_core(workload, cfg, n_sessions, arrivals, &Obs::noop(), "fleet")
+}
+
+/// [`run_fleet`] with full observability: `fleet.*` counters, the
+/// fleet-level SLO series tapped into the registry, and one trace of
+/// admit/shed/migrate/crash/scale events on the simulated clock.
+pub fn run_fleet_observed(
+    workload: &FleetWorkload<'_>,
+    cfg: &FleetConfig,
+    n_sessions: usize,
+    arrivals: &ArrivalPlan,
+    obs: &Obs,
+    label: &str,
+) -> Result<FleetReport> {
+    fleet_core(workload, cfg, n_sessions, arrivals, obs, label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bot::{Bot, GuidedBot};
+    use crate::fixtures::{fix_the_computer, FRAME};
+    use crate::input::InputEvent;
+    use crate::supervisor::SloLadderConfig;
+    use vgbl_stream::LoadSpike;
+
+    fn config() -> SessionConfig {
+        SessionConfig::for_frame(FRAME.0, FRAME.1)
+    }
+
+    fn quiet<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    /// Panics after `at` decisions, but only on incarnation 0.
+    struct CrashOnce {
+        inner: GuidedBot,
+        at: usize,
+        seen: usize,
+    }
+
+    impl Bot for CrashOnce {
+        fn next_input(&mut self, session: &GameSession) -> Result<Option<InputEvent>> {
+            self.seen += 1;
+            if self.seen > self.at {
+                panic!("injected transient crash");
+            }
+            self.inner.next_input(session)
+        }
+    }
+
+    #[test]
+    fn router_is_deterministic_and_remaps_minimally() {
+        let a = FleetRouter::new(11, 32, 8).unwrap();
+        let b = FleetRouter::new(11, 32, 8).unwrap();
+        let keys: Vec<u64> = (0..10_000).collect();
+        for &k in &keys {
+            assert_eq!(a.route(k), b.route(k), "same build, same routes");
+        }
+        // Every shard owns a reasonable share.
+        let mut counts = [0usize; 8];
+        for &k in &keys {
+            counts[a.route(k).unwrap() as usize] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "shard {s} owns no keys: {counts:?}");
+        }
+        // Removing one shard re-homes only the keys it owned.
+        let mut c = a.clone();
+        c.remove_shard(3);
+        for &k in &keys {
+            let before = a.route(k).unwrap();
+            let after = c.route(k).unwrap();
+            if before != 3 {
+                assert_eq!(before, after, "key {k} moved without cause");
+            } else {
+                assert_ne!(after, 3, "key {k} still routes to a removed shard");
+            }
+        }
+        assert!(FleetRouter::new(1, 0, 4).is_err());
+        assert!(FleetRouter::new(1, 4, 0).is_err());
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let ok = FleetConfig::default();
+        assert!(ok.validate().is_ok());
+        assert!(FleetConfig { shards: 0, ..ok.clone() }.validate().is_err());
+        assert!(FleetConfig { vnodes: 0, ..ok.clone() }.validate().is_err());
+        assert!(FleetConfig { control_interval_ms: 0.0, ..ok.clone() }.validate().is_err());
+        let bad_stall = FleetConfig {
+            faults: vec![ShardFault {
+                at_ms: 10.0,
+                shard: 0,
+                kind: ShardFaultKind::Stall { duration_ms: -1.0 },
+            }],
+            ..ok.clone()
+        };
+        assert!(bad_stall.validate().is_err());
+        let bad_loss = FleetConfig {
+            faults: vec![ShardFault {
+                at_ms: 10.0,
+                shard: 0,
+                kind: ShardFaultKind::DegradedLink { loss: 1.5 },
+            }],
+            ..ok.clone()
+        };
+        assert!(bad_loss.validate().is_err());
+        let bad_scale = FleetConfig {
+            autoscale: Some(AutoscaleConfig { min_shards: 0, ..AutoscaleConfig::default() }),
+            ..ok.clone()
+        };
+        assert!(bad_scale.validate().is_err());
+        let inverted = FleetConfig {
+            autoscale: Some(AutoscaleConfig {
+                up_burn: 0.5,
+                down_burn: 4.0,
+                ..AutoscaleConfig::default()
+            }),
+            ..ok
+        };
+        assert!(inverted.validate().is_err());
+    }
+
+    #[test]
+    fn light_engine_load_completes_everyone_unmigrated() {
+        let cfg = FleetConfig {
+            shards: 2,
+            shard: SupervisorConfig {
+                queue_capacity: 16,
+                slots: 2,
+                ..SupervisorConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let factory = |_: usize, _: u32| -> Box<dyn Bot> { Box::new(GuidedBot::new()) };
+        let workload = FleetWorkload::Engine {
+            graph: Arc::new(fix_the_computer()),
+            config: config(),
+            factory: &factory,
+        };
+        let arrivals = ArrivalPlan::new(3, 10_000.0).unwrap();
+        let report = run_fleet(&workload, &cfg, 6, &arrivals).unwrap();
+        assert!(report.accounts_exactly(), "{report:?}");
+        assert_eq!(report.completed, 6, "{:?}", report.outcomes);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.degraded, 0);
+        assert!(report.migrations.is_empty());
+        assert_eq!(report.routable_shards, 2);
+    }
+
+    fn stampede_cfg() -> FleetConfig {
+        FleetConfig {
+            shards: 4,
+            vnodes: 32,
+            shard: SupervisorConfig {
+                queue_capacity: 8,
+                queue_deadline_ms: 1e9,
+                slots: 1,
+                step_ms: 10.0,
+                checkpoint_every: 5,
+                ..SupervisorConfig::default()
+            },
+            control_interval_ms: 100.0,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn synthetic_stampede_with_faults_is_byte_identical_across_reruns() {
+        let cfg = FleetConfig {
+            faults: vec![
+                ShardFault {
+                    at_ms: 50.0,
+                    shard: 2,
+                    kind: ShardFaultKind::DegradedLink { loss: 0.9 },
+                },
+                ShardFault {
+                    at_ms: 100.0,
+                    shard: 1,
+                    kind: ShardFaultKind::Stall { duration_ms: 200.0 },
+                },
+                ShardFault { at_ms: 150.0, shard: 0, kind: ShardFaultKind::Crash },
+            ],
+            autoscale: Some(AutoscaleConfig {
+                up_burn: 2.0,
+                down_burn: 0.25,
+                sustain_ticks: 1,
+                cooldown_ms: 300.0,
+                min_shards: 2,
+                max_shards: 8,
+            }),
+            ..stampede_cfg()
+        };
+        let workload = FleetWorkload::Synthetic { mean_segments: 4 };
+        let arrivals = ArrivalPlan::new(9, 2.0).unwrap();
+        let a = run_fleet(&workload, &cfg, 500, &arrivals).unwrap();
+        let b = run_fleet(&workload, &cfg, 500, &arrivals).unwrap();
+        assert_eq!(a, b, "same seeds, same faults, same report");
+        assert!(a.accounts_exactly());
+        assert!(a.shards.iter().any(|s| s.crashed));
+    }
+
+    #[test]
+    fn crash_migrates_checkpointed_sessions_and_verifies_replay() {
+        let cfg = FleetConfig {
+            shards: 2,
+            vnodes: 32,
+            shard: SupervisorConfig {
+                queue_capacity: 16,
+                queue_deadline_ms: 1e9,
+                slots: 1,
+                step_ms: 50.0,
+                checkpoint_every: 3,
+                ..SupervisorConfig::default()
+            },
+            faults: vec![ShardFault { at_ms: 400.0, shard: 0, kind: ShardFaultKind::Crash }],
+            ..FleetConfig::default()
+        };
+        let factory = |_: usize, _: u32| -> Box<dyn Bot> { Box::new(GuidedBot::new()) };
+        let workload = FleetWorkload::Engine {
+            graph: Arc::new(fix_the_computer()),
+            config: config(),
+            factory: &factory,
+        };
+        let arrivals = ArrivalPlan::new(5, 1.0).unwrap();
+        let report = run_fleet(&workload, &cfg, 10, &arrivals).unwrap();
+        assert!(report.accounts_exactly(), "{report:?}");
+        assert!(!report.migrations.is_empty(), "crash mid-stampede must migrate someone");
+        for m in &report.migrations {
+            assert_eq!(m.reason, MigrationReason::Crash);
+            assert_eq!(m.from, 0);
+            assert_eq!(m.handoff_ok, Some(true), "checkpoint must restore bit-identically");
+            assert_ne!(m.verified, Some(false), "replay diverged: {m:?}");
+        }
+        assert!(
+            report.migrations.iter().any(|m| m.verified == Some(true)),
+            "at least one migration replay-verified: {:?}",
+            report.migrations
+        );
+        let crashed = report.shards.iter().find(|s| s.shard == 0).unwrap();
+        assert!(crashed.crashed);
+        assert!(crashed.migrated_out >= report.migrations.len());
+        assert_eq!(report.routable_shards, 1);
+    }
+
+    #[test]
+    fn crash_before_first_checkpoint_sheds_accountably() {
+        let cfg = FleetConfig {
+            shards: 2,
+            shard: SupervisorConfig {
+                queue_capacity: 16,
+                queue_deadline_ms: 1e9,
+                slots: 1,
+                step_ms: 50.0,
+                checkpoint_every: 90,
+                ..SupervisorConfig::default()
+            },
+            faults: vec![ShardFault { at_ms: 300.0, shard: 0, kind: ShardFaultKind::Crash }],
+            ..FleetConfig::default()
+        };
+        let factory = |_: usize, _: u32| -> Box<dyn Bot> { Box::new(GuidedBot::new()) };
+        let workload = FleetWorkload::Engine {
+            graph: Arc::new(fix_the_computer()),
+            config: config(),
+            factory: &factory,
+        };
+        let arrivals = ArrivalPlan::new(5, 1.0).unwrap();
+        let report = run_fleet(&workload, &cfg, 8, &arrivals).unwrap();
+        assert!(report.accounts_exactly(), "{report:?}");
+        assert!(
+            report.outcomes.iter().any(|o| matches!(
+                o,
+                SessionOutcome::Shed { reason } if reason == "shard crashed before first checkpoint"
+            )),
+            "{:?}",
+            report.outcomes
+        );
+        assert!(report.migrations.is_empty(), "nothing checkpointed, nothing to migrate");
+    }
+
+    #[test]
+    fn stall_delays_but_conserves_outcomes() {
+        // Queue seats for the whole burst: a stall must only delay, so
+        // eliminate capacity sheds that would otherwise differ.
+        let base = FleetConfig {
+            shard: SupervisorConfig { queue_capacity: 64, ..stampede_cfg().shard },
+            ..stampede_cfg()
+        };
+        let stalled = FleetConfig {
+            faults: vec![ShardFault {
+                at_ms: 60.0,
+                shard: 0,
+                kind: ShardFaultKind::Stall { duration_ms: 500.0 },
+            }],
+            ..base.clone()
+        };
+        let workload = FleetWorkload::Synthetic { mean_segments: 3 };
+        let arrivals = ArrivalPlan::new(21, 1.0).unwrap();
+        let plain = run_fleet(&workload, &base, 40, &arrivals).unwrap();
+        let slow = run_fleet(&workload, &stalled, 40, &arrivals).unwrap();
+        assert_eq!(plain.completed, slow.completed, "a stall loses nothing");
+        assert_eq!(plain.shed, slow.shed);
+        assert!(
+            slow.makespan_ms >= plain.makespan_ms,
+            "stall {:.1} vs plain {:.1}",
+            slow.makespan_ms,
+            plain.makespan_ms
+        );
+    }
+
+    #[test]
+    fn degraded_link_trips_only_that_shards_breaker() {
+        let cfg = FleetConfig {
+            shards: 4,
+            vnodes: 32,
+            shard: SupervisorConfig {
+                queue_capacity: 64,
+                queue_deadline_ms: 1e9,
+                slots: 2,
+                step_ms: 5.0,
+                ..SupervisorConfig::default()
+            },
+            faults: vec![ShardFault {
+                at_ms: 0.0,
+                shard: 2,
+                kind: ShardFaultKind::DegradedLink { loss: 0.95 },
+            }],
+            ..FleetConfig::default()
+        };
+        let workload = FleetWorkload::Synthetic { mean_segments: 2 };
+        let arrivals = ArrivalPlan::new(33, 1.0).unwrap();
+        let report = run_fleet(&workload, &cfg, 64, &arrivals).unwrap();
+        for s in &report.shards {
+            if s.shard == 2 {
+                assert!(s.breaker.trips >= 1, "lossy shard must trip its breaker: {s:?}");
+            } else {
+                assert_eq!(s.breaker.trips, 0, "healthy shard {} tripped: {s:?}", s.shard);
+            }
+        }
+        assert_eq!(report.breaker.trips, report.shards.iter().map(|s| s.breaker.trips).sum());
+    }
+
+    #[test]
+    fn sustained_burn_drains_a_shard_onto_the_ring() {
+        let cfg = FleetConfig {
+            shards: 3,
+            vnodes: 32,
+            shard: SupervisorConfig {
+                queue_capacity: 2,
+                queue_deadline_ms: 1e9,
+                slots: 1,
+                step_ms: 20.0,
+                ..SupervisorConfig::default()
+            },
+            control_interval_ms: 50.0,
+            migration: MigrationConfig {
+                burn_threshold: 1.0,
+                sustain_ticks: 1,
+                verify_replay: true,
+            },
+            ..FleetConfig::default()
+        };
+        let workload = FleetWorkload::Synthetic { mean_segments: 4 };
+        let arrivals = ArrivalPlan::new(17, 1.0).unwrap();
+        let report = run_fleet(&workload, &cfg, 120, &arrivals).unwrap();
+        assert!(report.accounts_exactly(), "{report:?}");
+        assert!(
+            report.shards.iter().any(|s| s.retired && !s.crashed),
+            "an overloaded shard must drain: {:?}",
+            report.shards.iter().map(|s| (s.shard, s.retired)).collect::<Vec<_>>()
+        );
+        assert!(report.routable_shards >= 1, "the drain guard keeps the last shard");
+    }
+
+    #[test]
+    fn autoscaler_grows_under_burn_and_retires_in_calm() {
+        let slo = SloLadderConfig {
+            shed_budget: 0.01,
+            wait_target_ms: 400.0,
+            wait_budget: 0.05,
+            short_ms: 200.0,
+            long_ms: 400.0,
+            degrade_burn: 1.0,
+            conceal_burn: 4.0,
+        };
+        let cfg = FleetConfig {
+            shards: 2,
+            vnodes: 32,
+            shard: SupervisorConfig {
+                queue_capacity: 4,
+                queue_deadline_ms: 1e9,
+                slots: 1,
+                step_ms: 10.0,
+                ladder: LadderPolicy::SloDriven(slo),
+                ..SupervisorConfig::default()
+            },
+            control_interval_ms: 100.0,
+            migration: MigrationConfig {
+                burn_threshold: 1e12,
+                sustain_ticks: 10,
+                verify_replay: false,
+            },
+            autoscale: Some(AutoscaleConfig {
+                up_burn: 2.0,
+                down_burn: 0.25,
+                sustain_ticks: 1,
+                cooldown_ms: 300.0,
+                min_shards: 2,
+                max_shards: 6,
+            }),
+            ..FleetConfig::default()
+        };
+        let workload = FleetWorkload::Synthetic { mean_segments: 3 };
+        let arrivals = ArrivalPlan::new(13, 80.0)
+            .unwrap()
+            .with_spike(LoadSpike::new(0.0, 300.0, 60.0).unwrap());
+        let report = run_fleet(&workload, &cfg, 400, &arrivals).unwrap();
+        assert!(report.accounts_exactly(), "{report:?}");
+        assert!(
+            report.scale_events.iter().any(|e| e.up),
+            "overload must add shards: {:?}",
+            report.scale_events
+        );
+        assert!(
+            report.scale_events.iter().any(|e| !e.up),
+            "calm tail must retire shards: {:?}",
+            report.scale_events
+        );
+        for e in &report.scale_events {
+            assert!(e.shards_after >= 2 && e.shards_after <= 6, "bounds hold: {e:?}");
+        }
+        for w in report.scale_events.windows(2) {
+            assert!(
+                w[1].at_ms - w[0].at_ms >= 300.0 - 1e-9,
+                "cooldown violated: {:?}",
+                report.scale_events
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_sheds_less_than_single_shard_at_equal_capacity() {
+        // Same total capacity (4 slots, 16 queue seats), same stampede,
+        // same crash instant. The fleet loses one failure domain of
+        // four; the single-shard deployment loses everything.
+        let sharded = FleetConfig {
+            shards: 4,
+            vnodes: 32,
+            shard: SupervisorConfig {
+                queue_capacity: 4,
+                queue_deadline_ms: 1e9,
+                slots: 1,
+                step_ms: 10.0,
+                ..SupervisorConfig::default()
+            },
+            faults: vec![ShardFault { at_ms: 120.0, shard: 1, kind: ShardFaultKind::Crash }],
+            ..FleetConfig::default()
+        };
+        let single = FleetConfig {
+            shards: 1,
+            vnodes: 32,
+            shard: SupervisorConfig {
+                queue_capacity: 16,
+                queue_deadline_ms: 1e9,
+                slots: 4,
+                step_ms: 10.0,
+                ..SupervisorConfig::default()
+            },
+            faults: vec![ShardFault { at_ms: 120.0, shard: 0, kind: ShardFaultKind::Crash }],
+            ..FleetConfig::default()
+        };
+        let workload = FleetWorkload::Synthetic { mean_segments: 3 };
+        let arrivals = ArrivalPlan::new(29, 2.0).unwrap();
+        let a = run_fleet(&workload, &sharded, 300, &arrivals).unwrap();
+        let b = run_fleet(&workload, &single, 300, &arrivals).unwrap();
+        assert!(a.accounts_exactly() && b.accounts_exactly());
+        assert_eq!(b.routable_shards, 0, "the single shard was the whole fleet");
+        assert!(
+            a.shed < b.shed,
+            "failure domains must contain the blast radius: fleet shed {} vs single {}",
+            a.shed,
+            b.shed
+        );
+    }
+
+    #[test]
+    fn transient_panic_recovers_from_checkpoint_inside_a_segment() {
+        let cfg = FleetConfig {
+            shards: 2,
+            shard: SupervisorConfig {
+                queue_capacity: 16,
+                slots: 2,
+                checkpoint_every: 5,
+                ..SupervisorConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let factory = |_: usize, r: u32| -> Box<dyn Bot> {
+            if r == 0 {
+                Box::new(CrashOnce { inner: GuidedBot::new(), at: 7, seen: 0 })
+            } else {
+                Box::new(GuidedBot::new())
+            }
+        };
+        let workload = FleetWorkload::Engine {
+            graph: Arc::new(fix_the_computer()),
+            config: config(),
+            factory: &factory,
+        };
+        let arrivals = ArrivalPlan::new(3, 5_000.0).unwrap();
+        let report = quiet(|| run_fleet(&workload, &cfg, 4, &arrivals).unwrap());
+        assert!(report.accounts_exactly(), "{report:?}");
+        assert_eq!(report.recovered, 4, "{:?}", report.outcomes);
+        assert!(report.restarts >= 4);
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| matches!(o, SessionOutcome::Recovered { resumed_at_step: 5, restarts: 1 })));
+    }
+}

@@ -30,6 +30,9 @@
 //! * [`supervisor`] — the supervised host (EXP-14): admission control,
 //!   load shedding, a degradation ladder, circuit breaking on the
 //!   stream link, and checkpoint-based crash recovery.
+//! * [`fleet`] — the sharded fleet supervisor (EXP-17): consistent-hash
+//!   session routing, shard failure domains with seeded fault
+//!   injection, SLO-driven checkpoint migration, and autoscaling.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -43,6 +46,7 @@ pub mod engine;
 pub mod error;
 pub mod feedback;
 pub mod fixtures;
+pub mod fleet;
 pub mod input;
 pub mod inventory;
 pub mod playback;
@@ -61,6 +65,11 @@ pub use device::{RemoteButton, RemoteControl};
 pub use engine::{GameSession, SessionConfig};
 pub use error::RuntimeError;
 pub use feedback::Feedback;
+pub use fleet::{
+    run_fleet, run_fleet_observed, AutoscaleConfig, FleetConfig, FleetReport, FleetRouter,
+    FleetWorkload, MigrationConfig, MigrationReason, MigrationRecord, ScaleEvent, ShardFault,
+    ShardFaultKind, ShardReport,
+};
 pub use input::InputEvent;
 pub use inventory::Inventory;
 pub use playback::{PlaybackController, PlaybackStats};

@@ -84,6 +84,20 @@ impl SaveGame {
         }
     }
 
+    /// FNV-1a digest of the canonical text serialisation. Two saves with
+    /// equal digests restore identical sessions, so the fleet verifies a
+    /// migration handoff (checkpoint → restore → checkpoint on the
+    /// destination shard) by digest equality instead of shipping the full
+    /// text into every [`crate::fleet::MigrationRecord`].
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_text().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
     /// Serialises to the text format.
     pub fn to_text(&self) -> String {
         let mut out = String::with_capacity(256);

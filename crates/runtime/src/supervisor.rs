@@ -75,7 +75,7 @@ const SALT_ARRIVAL: u64 = 0x5000_0005;
 const SALT_WARM_JITTER: u64 = 0x6000_0006;
 
 /// splitmix64 finaliser: a well-mixed 64-bit hash of its input.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -83,7 +83,7 @@ fn mix(mut z: u64) -> u64 {
 }
 
 /// Maps a hash to a uniform `f64` in `[0, 1)`.
-fn unit(h: u64) -> f64 {
+pub(crate) fn unit(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
@@ -152,8 +152,9 @@ pub enum ServiceMode {
 
 impl ServiceMode {
     /// The mode for queue occupancy `occ` (a fraction of capacity,
-    /// counting the arriving session itself).
-    fn for_occupancy(occ: f64, cfg: &SupervisorConfig) -> ServiceMode {
+    /// counting the arriving session itself). Shared with the fleet's
+    /// per-shard admission ladder.
+    pub(crate) fn for_occupancy(occ: f64, cfg: &SupervisorConfig) -> ServiceMode {
         if occ >= cfg.conceal_at {
             ServiceMode::ConcealOnly
         } else if occ >= cfg.degrade_at {
@@ -312,7 +313,7 @@ impl Default for SupervisorConfig {
 }
 
 impl SupervisorConfig {
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         let bad = |msg: &str| RuntimeError::InvalidSupervisor(msg.into());
         if self.queue_capacity == 0 {
             return Err(bad("queue capacity must be at least 1"));
@@ -353,7 +354,7 @@ impl SupervisorConfig {
     /// config under [`LadderPolicy::SloDriven`], the defaults otherwise
     /// (occupancy runs still report alerts and ledgers, so the two
     /// policies stay comparable in EXP-15).
-    fn slo_config(&self) -> SloLadderConfig {
+    pub(crate) fn slo_config(&self) -> SloLadderConfig {
         match &self.ladder {
             LadderPolicy::SloDriven(slo) => *slo,
             LadderPolicy::Occupancy => SloLadderConfig::default(),
@@ -454,6 +455,50 @@ impl SupervisorReport {
         self.sessions == self.admitted + self.shed
             && self.admitted == self.completed + self.failed + self.recovered + self.gave_up
     }
+
+    /// Count outcome rows of each kind: `(completed, failed, shed,
+    /// recovered, gave_up)`. Fleet aggregation sums these across shards,
+    /// so they must mirror the scalar counters exactly.
+    pub fn outcome_counts(&self) -> (usize, usize, usize, usize, usize) {
+        let mut c = (0usize, 0usize, 0usize, 0usize, 0usize);
+        for o in &self.outcomes {
+            match o {
+                SessionOutcome::Completed => c.0 += 1,
+                SessionOutcome::Failed { .. } => c.1 += 1,
+                SessionOutcome::Shed { .. } => c.2 += 1,
+                SessionOutcome::Recovered { .. } => c.3 += 1,
+                SessionOutcome::GaveUp { .. } => c.4 += 1,
+            }
+        }
+        c
+    }
+
+    /// Debug-build consistency check, asserted at report construction so
+    /// fleet aggregation can never silently miscount Shed/Recovered/GaveUp
+    /// rows: the accounting identity, outcome-row counts vs the scalar
+    /// counters, one [`RecoveryRecord`] per recovered session, and the
+    /// shed ledger mirroring `shed`.
+    pub(crate) fn debug_assert_consistent(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        debug_assert!(self.accounts_exactly(), "admission accounting must balance: {self:?}");
+        debug_assert_eq!(self.outcomes.len(), self.sessions, "one outcome row per arrival");
+        let (completed, failed, shed, recovered, gave_up) = self.outcome_counts();
+        debug_assert_eq!(completed, self.completed, "Completed rows must match the counter");
+        debug_assert_eq!(failed, self.failed, "Failed rows must match the counter");
+        debug_assert_eq!(shed, self.shed, "Shed rows must match the counter");
+        debug_assert_eq!(recovered, self.recovered, "Recovered rows must match the counter");
+        debug_assert_eq!(gave_up, self.gave_up, "GaveUp rows must match the counter");
+        debug_assert_eq!(
+            self.recoveries.len(),
+            self.recovered,
+            "one recovery record per recovered session"
+        );
+        if let Some(ledger) = self.ledgers.first() {
+            debug_assert_eq!(ledger.bad as usize, self.shed, "shed ledger must mirror the report");
+        }
+    }
 }
 
 /// Restores a session from `save` and drives `bot` from `start_step`
@@ -482,7 +527,9 @@ pub fn resume_session(
 
 /// The shared session loop: identical decision/tick cadence to
 /// [`crate::bot::run_session`], with a per-step hook for checkpointing.
-fn drive(
+/// The fleet's segment runner reuses it so migrated sessions step with
+/// exactly the supervisor's cadence.
+pub(crate) fn drive(
     session: &mut GameSession,
     bot: &mut dyn Bot,
     start_step: usize,
@@ -509,7 +556,7 @@ fn drive(
     Ok(steps)
 }
 
-fn stitch(prefix: &SessionLog, tail: &SessionLog) -> SessionLog {
+pub(crate) fn stitch(prefix: &SessionLog, tail: &SessionLog) -> SessionLog {
     let mut log = prefix.clone();
     for e in tail.events() {
         log.push(e.clone());
@@ -638,20 +685,23 @@ fn play_supervised(
 }
 
 /// Warm-phase outcome: where the clock ended up plus fetch accounting.
-struct Warmed {
-    t: f64,
-    attempted: u64,
-    skipped: u64,
+pub(crate) struct Warmed {
+    pub(crate) t: f64,
+    pub(crate) attempted: u64,
+    pub(crate) skipped: u64,
 }
 
 /// Prefetch warming for one full-service session: synthetic chunk
-/// fetches against the fault plan, retried under the policy, gated by
-/// the shared breaker. An open breaker fails the whole remaining warm
-/// phase fast — the session still plays, just cold.
-fn warm_session(
+/// fetches against `faults` (the supervisor passes its configured plan;
+/// the fleet passes the shard's *current* plan, which a degraded-link
+/// fault may have swapped for a lossier one), retried under the policy,
+/// gated by the shared breaker. An open breaker fails the whole
+/// remaining warm phase fast — the session still plays, just cold.
+pub(crate) fn warm_session(
     i: usize,
     start_ms: f64,
     sup: &SupervisorConfig,
+    faults: &FaultPlan,
     breaker: &mut CircuitBreaker,
 ) -> Warmed {
     let mut t = start_ms;
@@ -668,10 +718,10 @@ fn warm_session(
                 skipped += u64::from(sup.warm_fetches - f - 1);
                 break 'fetches;
             }
-            let fault = sup.warm_faults.chunk_fault_at(chunk, attempt, t);
+            let fault = faults.chunk_fault_at(chunk, attempt, t);
             if fault.lost {
                 let key = ((i as u64) << 24) ^ (u64::from(f) << 8) ^ u64::from(attempt);
-                let jitter = unit(mix(sup.warm_faults.seed() ^ SALT_WARM_JITTER ^ mix(key)));
+                let jitter = unit(mix(faults.seed() ^ SALT_WARM_JITTER ^ mix(key)));
                 t += sup.retry.deadline_ms(attempt, jitter);
                 breaker.on_failure(t);
             } else if fault.corrupted {
@@ -733,11 +783,17 @@ impl SupObs {
     }
 }
 
+/// Registry tap names for one [`SupSlo`] instance: the arrival counter,
+/// the shed counter, and the queue-wait histogram series.
+pub(crate) type SloTapNames = [&'static str; 3];
+
 /// The supervisor's SLO telemetry: standalone control series (live even
 /// under [`Obs::noop`], because the SLO-driven ladder reads them) plus
 /// registry-tapped mirrors for export, and the evaluator that turns
-/// them into the alert timeline.
-struct SupSlo {
+/// them into the alert timeline. The fleet reuses it per shard (with a
+/// noop obs — shard control series never hit the registry) and once
+/// fleet-wide under `fleet.*` tap names.
+pub(crate) struct SupSlo {
     cfg: SloLadderConfig,
     /// Arrivals (all of them, shed included) — the shed objective's
     /// denominator.
@@ -757,6 +813,14 @@ struct SupSlo {
 
 impl SupSlo {
     fn new(obs: &Obs, cfg: SloLadderConfig) -> SupSlo {
+        SupSlo::with_taps(
+            obs,
+            cfg,
+            ["supervisor.arrivals", "supervisor.shed", "supervisor.queue_wait_us"],
+        )
+    }
+
+    pub(crate) fn with_taps(obs: &Obs, cfg: SloLadderConfig, taps: SloTapNames) -> SupSlo {
         // Bins at a quarter of the short window give the burn queries
         // sub-window resolution; the ring retains the slow rules' 4×long
         // window with slack.
@@ -806,16 +870,16 @@ impl SupSlo {
             sheds,
             wait_bad,
             wait_all,
-            arrivals_tap: obs.series(SeriesSpec::counter("supervisor.arrivals", bin_us, bins)),
-            sheds_tap: obs.series(SeriesSpec::counter("supervisor.shed", bin_us, bins)),
-            wait_tap: obs.series(SeriesSpec::histogram("supervisor.queue_wait_us", bin_us, bins)),
+            arrivals_tap: obs.series(SeriesSpec::counter(taps[0], bin_us, bins)),
+            sheds_tap: obs.series(SeriesSpec::counter(taps[1], bin_us, bins)),
+            wait_tap: obs.series(SeriesSpec::histogram(taps[2], bin_us, bins)),
             eval,
         }
     }
 
     /// Records an arrival at `t_ms` and evaluates the alert rules — the
     /// supervisor's evaluation tick is the arrival itself.
-    fn on_arrival(&mut self, t_ms: f64) {
+    pub(crate) fn on_arrival(&mut self, t_ms: f64) {
         let t = us_from_ms(t_ms);
         self.arrivals.record(t, 1);
         self.arrivals_tap.record(t, 1);
@@ -823,14 +887,14 @@ impl SupSlo {
     }
 
     /// Records a shed (queue-full or deadline) at `t_ms`.
-    fn on_shed(&mut self, t_ms: f64) {
+    pub(crate) fn on_shed(&mut self, t_ms: f64) {
         let t = us_from_ms(t_ms);
         self.sheds.record(t, 1);
         self.sheds_tap.record(t, 1);
     }
 
     /// Records a served session's queue wait, stamped at pickup time.
-    fn on_wait(&mut self, pickup_ms: f64, wait_ms: f64) {
+    pub(crate) fn on_wait(&mut self, pickup_ms: f64, wait_ms: f64) {
         let t = us_from_ms(pickup_ms);
         self.wait_all.record(t, 1);
         if wait_ms > self.cfg.wait_target_ms {
@@ -841,7 +905,7 @@ impl SupSlo {
 
     /// Worst burn rate across both objectives and both ladder windows at
     /// `t_ms` — what [`LadderPolicy::SloDriven`] thresholds.
-    fn worst_burn(&self, t_ms: f64) -> f64 {
+    pub(crate) fn worst_burn(&self, t_ms: f64) -> f64 {
         let t = us_from_ms(t_ms);
         let short_us = us_from_ms(self.cfg.short_ms).max(1);
         let long_us = us_from_ms(self.cfg.long_ms).max(1);
@@ -853,7 +917,7 @@ impl SupSlo {
     }
 
     /// The SLO-driven ladder: mode from the worst current burn rate.
-    fn mode_for_burn(&self, t_ms: f64) -> ServiceMode {
+    pub(crate) fn mode_for_burn(&self, t_ms: f64) -> ServiceMode {
         let burn = self.worst_burn(t_ms);
         if burn >= self.cfg.conceal_burn {
             ServiceMode::ConcealOnly
@@ -866,7 +930,7 @@ impl SupSlo {
 
     /// Final tick at makespan (resolves anything still pending/firing
     /// into the timeline deterministically), then timeline + ledgers.
-    fn finish(mut self, makespan_ms: f64) -> (AlertTimeline, Vec<BudgetLedger>) {
+    pub(crate) fn finish(mut self, makespan_ms: f64) -> (AlertTimeline, Vec<BudgetLedger>) {
         let end = us_from_ms(makespan_ms);
         self.eval.tick(end);
         let ledgers = self.eval.ledgers(end);
@@ -954,7 +1018,7 @@ impl Sim<'_> {
         self.rec.event("admit", q.idx as u64, us_from_ms(start));
         let mut t = start;
         if q.mode == ServiceMode::Full {
-            let w = warm_session(q.idx, t, self.sup, &mut self.breaker);
+            let w = warm_session(q.idx, t, self.sup, &self.sup.warm_faults, &mut self.breaker);
             t = w.t;
             self.warm_attempted += w.attempted;
             self.warm_skipped += w.skipped;
@@ -1184,11 +1248,7 @@ fn supervised_core(
         alerts,
         ledgers,
     };
-    debug_assert!(report.accounts_exactly(), "admission accounting must balance");
-    debug_assert_eq!(
-        report.ledgers[0].bad as usize, report.shed,
-        "shed ledger must mirror the report"
-    );
+    report.debug_assert_consistent();
     Ok(report)
 }
 

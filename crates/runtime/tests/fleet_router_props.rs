@@ -1,0 +1,125 @@
+//! Properties of the fleet's consistent-hash router (EXP-17's routing
+//! layer): determinism across independently-built rings, minimal
+//! (~K/N) remapping when shards join or leave, and bounded imbalance
+//! for any seed once there are enough virtual nodes.
+
+use proptest::prelude::*;
+use vgbl_runtime::FleetRouter;
+
+const KEYS: u64 = 2_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Two routers built from the same (seed, vnodes, shard set) agree on
+    // every key — the ring is a pure function of its inputs, so any
+    // replica of the control plane routes identically.
+    #[test]
+    fn identically_built_routers_agree(
+        seed in any::<u64>(),
+        vnodes in 8u32..48,
+        shards in 2u32..9,
+    ) {
+        let a = FleetRouter::new(seed, vnodes, shards).unwrap();
+        let b = FleetRouter::new(seed, vnodes, shards).unwrap();
+        for k in 0..KEYS {
+            prop_assert_eq!(a.route(k), b.route(k));
+        }
+    }
+
+    // Removing a shard re-homes exactly the keys it owned: every other
+    // key keeps its shard (the consistent-hashing contract — ~K/N keys
+    // move, not a full reshuffle), and no key still routes to the
+    // removed shard.
+    #[test]
+    fn removal_remaps_only_the_lost_shards_keys(
+        seed in any::<u64>(),
+        vnodes in 8u32..48,
+        shards in 2u32..9,
+        victim_pick in any::<u64>(),
+    ) {
+        let full = FleetRouter::new(seed, vnodes, shards).unwrap();
+        let victim = (victim_pick % u64::from(shards)) as u32;
+        let mut pruned = full.clone();
+        pruned.remove_shard(victim);
+        let mut moved = 0u64;
+        for k in 0..KEYS {
+            let before = full.route(k).unwrap();
+            let after = pruned.route(k).unwrap();
+            prop_assert_ne!(after, victim);
+            if before == victim {
+                moved += 1;
+            } else {
+                prop_assert_eq!(before, after);
+            }
+        }
+        // The victim owned roughly K/N keys; everything else stayed.
+        prop_assert!(moved < KEYS, "removal cannot re-home every key");
+    }
+
+    // Adding a shard only *steals* keys for the newcomer: every key
+    // either keeps its old shard or routes to the new one.
+    #[test]
+    fn addition_only_steals_for_the_new_shard(
+        seed in any::<u64>(),
+        vnodes in 8u32..48,
+        shards in 2u32..9,
+    ) {
+        let old = FleetRouter::new(seed, vnodes, shards).unwrap();
+        let mut grown = old.clone();
+        grown.add_shard(shards);
+        let mut stolen = 0u64;
+        for k in 0..KEYS {
+            let before = old.route(k).unwrap();
+            let after = grown.route(k).unwrap();
+            if after == shards {
+                stolen += 1;
+            } else {
+                prop_assert_eq!(before, after);
+            }
+        }
+        prop_assert!(stolen < KEYS, "a new shard cannot steal every key");
+    }
+
+    // Growing a ring then removing the newcomer restores the original
+    // routing bit-for-bit — membership, not history, decides the ring.
+    #[test]
+    fn remove_undoes_add_exactly(
+        seed in any::<u64>(),
+        vnodes in 8u32..48,
+        shards in 2u32..9,
+    ) {
+        let original = FleetRouter::new(seed, vnodes, shards).unwrap();
+        let mut churned = original.clone();
+        churned.add_shard(shards);
+        churned.remove_shard(shards);
+        for k in 0..KEYS {
+            prop_assert_eq!(original.route(k), churned.route(k));
+        }
+    }
+
+    // With enough virtual nodes the load spread is bounded for any
+    // seed: every shard owns keys, and no shard owns more than a small
+    // multiple of its fair share.
+    #[test]
+    fn vnode_balance_is_bounded(
+        seed in any::<u64>(),
+        shards in 2u32..9,
+    ) {
+        let vnodes = 64u32;
+        let router = FleetRouter::new(seed, vnodes, shards).unwrap();
+        let mut counts = vec![0u64; shards as usize];
+        for k in 0..KEYS {
+            counts[router.route(k).unwrap() as usize] += 1;
+        }
+        let fair = KEYS / u64::from(shards);
+        for (s, &c) in counts.iter().enumerate() {
+            prop_assert!(c > 0, "shard {} owns nothing: {:?}", s, counts);
+            prop_assert!(
+                c < fair * 4,
+                "shard {} owns {} of {} (fair {}): {:?}",
+                s, c, KEYS, fair, counts
+            );
+        }
+    }
+}

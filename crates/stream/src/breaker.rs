@@ -93,6 +93,31 @@ pub struct BreakerStats {
     pub recoveries: u64,
 }
 
+impl std::ops::Add for BreakerStats {
+    type Output = BreakerStats;
+
+    fn add(self, rhs: BreakerStats) -> BreakerStats {
+        BreakerStats {
+            trips: self.trips + rhs.trips,
+            fast_failures: self.fast_failures + rhs.fast_failures,
+            recoveries: self.recoveries + rhs.recoveries,
+        }
+    }
+}
+
+impl std::ops::AddAssign for BreakerStats {
+    fn add_assign(&mut self, rhs: BreakerStats) {
+        *self = *self + rhs;
+    }
+}
+
+/// Fleet aggregation: one stats row summed over every shard's breaker.
+impl std::iter::Sum for BreakerStats {
+    fn sum<I: Iterator<Item = BreakerStats>>(iter: I) -> BreakerStats {
+        iter.fold(BreakerStats::default(), |acc, s| acc + s)
+    }
+}
+
 /// A closed/open/half-open circuit breaker on simulated time.
 ///
 /// All transitions happen inside [`CircuitBreaker::allow`],
@@ -265,6 +290,58 @@ mod tests {
             BreakerConfig { cooldown_ms: -1.0, ..BreakerConfig::default() }.validate().is_err()
         );
         assert!(BreakerConfig { probes: 0, ..BreakerConfig::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn half_open_probe_success_then_failure_burst_reopens_deterministically() {
+        // Regression: a half-open probe that succeeds (but has not yet
+        // closed the breaker — probes: 2) followed immediately by a
+        // failure burst must re-open *at the failure's timestamp*, so the
+        // next cool-down window is anchored there, not at the original
+        // trip. The partial probe progress must also reset.
+        let mut b = quick();
+        for t in 0..4 {
+            b.on_failure(f64::from(t));
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+
+        // Cool-down (100 ms from t=3) elapses; the probe is admitted.
+        assert!(b.allow(103.0), "cool-down elapsed: half-open probe admitted");
+        b.on_success(104.0);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "one probe success of two: not closed yet");
+        assert_eq!(b.stats().recoveries, 0, "no recovery until the breaker closes");
+
+        // The burst: one failure re-opens immediately at t=105.
+        b.on_failure(105.0);
+        b.on_failure(105.5); // further failures while open are no-ops
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2, "half-open failure counts as a fresh trip");
+
+        // Reopen timing is anchored at the failure (105), not the first
+        // trip (3): still cooling one tick before 205, open at 205.
+        assert!(!b.allow(204.9), "cool-down runs 105 → 205");
+        assert!(b.allow(205.0), "second half-open window opens at exactly 205");
+        // Probe progress restarted from zero: two fresh successes close.
+        b.on_success(206.0);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "first probe success is not enough");
+        b.on_success(207.0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        let stats = b.stats();
+        assert_eq!((stats.trips, stats.recoveries), (2, 1));
+    }
+
+    #[test]
+    fn breaker_stats_sum_over_shards() {
+        let a = BreakerStats { trips: 1, fast_failures: 2, recoveries: 3 };
+        let b = BreakerStats { trips: 10, fast_failures: 20, recoveries: 30 };
+        assert_eq!(
+            [a, b].into_iter().sum::<BreakerStats>(),
+            BreakerStats { trips: 11, fast_failures: 22, recoveries: 33 }
+        );
+        let mut acc = BreakerStats::default();
+        acc += a;
+        assert_eq!(acc, a);
     }
 
     #[test]
