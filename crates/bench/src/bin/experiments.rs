@@ -1374,6 +1374,7 @@ fn exp17() {
         migration: MigrationConfig {
             burn_threshold: 1e12,
             sustain_ticks: 10,
+            max_drain_occupancy: f64::INFINITY,
             verify_replay: true,
         },
         faults: vec![
@@ -1448,6 +1449,7 @@ fn exp17() {
         migration: MigrationConfig {
             burn_threshold: 1e12,
             sustain_ticks: 10,
+            max_drain_occupancy: f64::INFINITY,
             verify_replay: true,
         },
         faults: vec![ShardFault { at_ms: 400.0, shard: 2, kind: ShardFaultKind::Crash }],
@@ -1531,6 +1533,121 @@ fn exp17() {
          4×1-slot fleet shed {} (completed {}), 1×4-slot monolith shed {} (completed {})\n\
          — the fleet sheds strictly less because three failure domains survive.",
         fleet.shed, fleet.completed, solo.shed, solo.completed
+    );
+}
+
+fn exp18() {
+    header("EXP-18", "cooperative executor: 10k+ in-flight sessions, batched chunk I/O");
+    use vgbl::media::cache::GopCache;
+    use vgbl::obs::Obs;
+    use vgbl::runtime::server::{
+        run_playback_cohort_observed, run_playback_cohort_observed_threaded,
+        run_playback_cohort_with_stats,
+    };
+
+    // `EXP18_SESSIONS` scales the cohort down for CI smoke runs; the
+    // recorded numbers come from the default 12k-session run.
+    let n: usize = std::env::var("EXP18_SESSIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12_000);
+
+    let footage = bench_footage(96, 64, 6, 3);
+    let video = Arc::new(encode(&footage, 15, Quality::High, 2));
+    let table = table_for(&footage);
+
+    // Part 1: one executor hosts the whole cohort. Every session joins
+    // the run queue on the first tick and yields at each fetch boundary
+    // until its final serve, so the scheduler's high-water mark must be
+    // the full cohort — n sessions in flight at once on one shard, no
+    // OS threads per session.
+    let run = || {
+        run_playback_cohort_with_stats(
+            video.clone(),
+            &table,
+            Arc::new(GopCache::new(64)),
+            n,
+            4,
+            30,
+        )
+        .expect("cohort runs")
+    };
+    let t0 = Instant::now();
+    let (report, stats) = run();
+    let wall = t0.elapsed();
+    assert_eq!(report.outcomes.len(), n, "every session gets an outcome row");
+    assert_eq!(report.failed, 0, "healthy cohort");
+    assert!(
+        stats.peak_in_flight >= n,
+        "all {n} sessions must be in flight at once (peak {})",
+        stats.peak_in_flight
+    );
+    let (report2, stats2) = run();
+    assert_eq!(
+        format!("{report:?}"),
+        format!("{report2:?}"),
+        "same seed ⇒ byte-identical cohort report"
+    );
+    assert_eq!(stats, stats2, "same seed ⇒ identical scheduler counters");
+    println!(
+        "{n} playback sessions on one executor: peak in-flight {}, {} ticks,\n\
+         {} polls, {} fetch batches covering {} coalesced GOP keys,\n\
+         {} frames served / {} decoded in {:.2} s wall; rerun byte-identical.",
+        stats.peak_in_flight,
+        stats.ticks,
+        stats.polls,
+        stats.batches,
+        stats.batched_keys,
+        report.frames_served,
+        report.frames_decoded,
+        wall.as_secs_f64()
+    );
+
+    // Part 2: scheduling is invisible. A small observed cohort run on
+    // the executor and on the thread-per-session reference path agrees
+    // byte for byte — outcome rows and all four obs export formats.
+    let obs_exec = Obs::recording();
+    let exec = run_playback_cohort_observed(
+        video.clone(),
+        &table,
+        Arc::new(GopCache::new(64)),
+        64,
+        4,
+        25,
+        &obs_exec,
+    )
+    .expect("cohort runs");
+    let obs_thr = Obs::recording();
+    let threaded = run_playback_cohort_observed_threaded(
+        video.clone(),
+        &table,
+        Arc::new(GopCache::new(64)),
+        64,
+        4,
+        25,
+        &obs_thr,
+    )
+    .expect("cohort runs");
+    assert_eq!(
+        format!("{:?}", exec.outcomes),
+        format!("{:?}", threaded.outcomes),
+        "same outcome rows on both schedulers"
+    );
+    assert_eq!(
+        (exec.frames_served, exec.switches, exec.frames_decoded),
+        (threaded.frames_served, threaded.switches, threaded.frames_decoded),
+        "same serving and decode totals on both schedulers"
+    );
+    let se = obs_exec.snapshot();
+    let st = obs_thr.snapshot();
+    assert_eq!(se.to_table(), st.to_table());
+    assert_eq!(se.metrics_csv(), st.metrics_csv());
+    assert_eq!(se.spans_csv(), st.spans_csv());
+    assert_eq!(se.to_jsonl(), st.to_jsonl());
+    println!(
+        "\n64-session observed cohort, executor vs thread-per-session reference:\n\
+         outcome rows, serving totals and all four obs exports byte-identical\n\
+         — the executor changes who schedules, never what the sessions see."
     );
 }
 
@@ -1624,5 +1741,8 @@ fn main() {
     }
     if want("exp17") {
         exp17();
+    }
+    if want("exp18") {
+        exp18();
     }
 }

@@ -35,17 +35,17 @@ use vgbl::media::seek::{seek, seek_cached};
 use vgbl::media::SegmentId;
 use vgbl::obs::{folded_stacks, hotspot_table, Obs, SpanRecorder};
 use vgbl::runtime::{
-    run_fleet, run_playback_cohort, run_playback_cohort_batched, ArrivalPlan, FleetConfig,
-    FleetWorkload, ShardFault, ShardFaultKind, SupervisorConfig,
+    run_fleet, run_playback_cohort, run_playback_cohort_batched, run_playback_cohort_with_stats,
+    ArrivalPlan, FleetConfig, FleetWorkload, ShardFault, ShardFaultKind, SupervisorConfig,
 };
 use vgbl::stream::{simulate, ChunkMap, LinkModel, PrefetchPolicy, TraceStep};
 
 use crate::{bench_footage, encode, table_for, RATE};
 
 /// The operations every snapshot covers, in emission order. `fleet`
-/// arrived with the `vgbl-bench/2` schema; `vgbl-bench/1` snapshots
-/// carry only the first seven.
-pub const OPS: [&str; 8] = [
+/// arrived with the `vgbl-bench/2` schema and `executor` with
+/// `vgbl-bench/3`; older snapshots carry prefixes of this list.
+pub const OPS: [&str; 9] = [
     "encode",
     "decode_all",
     "seek_cold",
@@ -54,15 +54,19 @@ pub const OPS: [&str; 8] = [
     "cohort_playback",
     "cohort_batched",
     "fleet",
+    "executor",
 ];
 
-/// The required op set for a document: everything for `vgbl-bench/2`,
-/// the legacy seven for older snapshots (and trajectories over them).
+/// The required op set for a document: everything for `vgbl-bench/3`,
+/// schema-appropriate prefixes for older snapshots (and trajectories
+/// over them).
 fn required_ops(json: &str) -> &'static [&'static str] {
-    if json.contains("\"vgbl-bench/2\"") {
+    if json.contains("\"vgbl-bench/3\"") {
         &OPS
+    } else if json.contains("\"vgbl-bench/2\"") {
+        &OPS[..8]
     } else {
-        &OPS[..OPS.len() - 1]
+        &OPS[..7]
     }
 }
 
@@ -123,6 +127,8 @@ pub struct Workload {
     pub steps: usize,
     /// Fleet-op sessions routed through the sharded supervisor.
     pub fleet_sessions: usize,
+    /// Executor-op sessions in flight on one cooperative executor.
+    pub executor_sessions: usize,
 }
 
 impl Workload {
@@ -144,6 +150,7 @@ impl Workload {
                 workers: 4,
                 steps: 120,
                 fleet_sessions: 400,
+                executor_sessions: 1_000,
             },
             Mode::Full => Workload {
                 width: 256,
@@ -160,6 +167,7 @@ impl Workload {
                 workers: 8,
                 steps: 200,
                 fleet_sessions: 1_000,
+                executor_sessions: 4_000,
             },
             Mode::Smoke => Workload {
                 width: 64,
@@ -176,6 +184,7 @@ impl Workload {
                 workers: 2,
                 steps: 10,
                 fleet_sessions: 40,
+                executor_sessions: 64,
             },
         }
     }
@@ -240,6 +249,7 @@ fn target_per_s(name: &str) -> f64 {
         "cohort_playback" => 6_000.0,
         "cohort_batched" => 2_500.0,
         "fleet" => 1_000.0,
+        "executor" => 100.0,
         _ => 0.0,
     }
 }
@@ -402,6 +412,32 @@ pub fn run(mode: Mode, label: &str) -> BenchReport {
     });
     ops.push(push("fleet", wall, w.fleet_sessions, "sessions"));
 
+    // executor: the cooperative session executor holding the whole
+    // cohort in flight on one thread of control — seeded run-queue
+    // scheduling, yield-at-fetch state machines, per-tick batched GOP
+    // prewarm — measured as sessions retired per second. Walks are
+    // short (10 steps): the op stresses scheduling and batch-planning
+    // overhead across many concurrent tasks, not serve volume.
+    let wall = timed(&mut rec, "executor", &mut || {
+        let cache = Arc::new(GopCache::new(n_gops));
+        let (report, stats) = run_playback_cohort_with_stats(
+            video.clone(),
+            &table,
+            cache,
+            w.executor_sessions,
+            w.workers,
+            10,
+        )
+        .expect("executor cohort runs");
+        assert_eq!(report.failed, 0, "bench executor cohort must not fail");
+        assert!(
+            stats.peak_in_flight >= w.executor_sessions,
+            "the whole cohort must be in flight at once"
+        );
+        std::hint::black_box((report, stats));
+    });
+    ops.push(push("executor", wall, w.executor_sessions, "sessions"));
+
     rec.exit(now_us(epoch));
     let obs = Obs::recording();
     obs.attach(rec);
@@ -436,12 +472,12 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Serialises a report as a `vgbl-bench/2` JSON snapshot.
+/// Serialises a report as a `vgbl-bench/3` JSON snapshot.
 pub fn to_json(report: &BenchReport) -> String {
     let w = &report.workload;
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"vgbl-bench/2\",");
+    let _ = writeln!(out, "  \"schema\": \"vgbl-bench/3\",");
     let _ = writeln!(out, "  \"label\": \"{}\",", json_escape(&report.label));
     let _ = writeln!(out, "  \"mode\": \"{}\",", report.mode.name());
     let _ = writeln!(out, "  \"workload\": {{");
@@ -453,7 +489,11 @@ pub fn to_json(report: &BenchReport) -> String {
         "    \"stream_repeats\": {}, \"sessions\": {}, \"workers\": {}, \"steps\": {},",
         w.stream_repeats, w.sessions, w.workers, w.steps
     );
-    let _ = writeln!(out, "    \"fleet_sessions\": {}", w.fleet_sessions);
+    let _ = writeln!(
+        out,
+        "    \"fleet_sessions\": {}, \"executor_sessions\": {}",
+        w.fleet_sessions, w.executor_sessions
+    );
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"ops\": {{");
     for (i, op) in report.ops.iter().enumerate() {
@@ -643,17 +683,28 @@ mod tests {
         assert!(report.hotspot_table.contains("encode"));
         assert!(report.folded.contains("bench;"));
 
-        // Schema compatibility: a legacy `vgbl-bench/1` document without
-        // the fleet op still validates, while `vgbl-bench/2` requires it.
-        let legacy: String = json
+        // Schema compatibility: each older schema validates without the
+        // ops that arrived after it, and each newer schema requires them.
+        let v2: String = json
+            .replace("\"vgbl-bench/3\"", "\"vgbl-bench/2\"")
+            .lines()
+            .filter(|l| !l.contains("\"executor\":"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        validate_json(&v2).expect("v2 snapshot validates without executor");
+        assert!(
+            validate_json(&v2.replace("\"vgbl-bench/2\"", "\"vgbl-bench/3\"")).is_err(),
+            "v3 snapshot must carry the executor op"
+        );
+        let v1: String = v2
             .replace("\"vgbl-bench/2\"", "\"vgbl-bench/1\"")
             .lines()
             .filter(|l| !l.contains("\"fleet\":"))
             .collect::<Vec<_>>()
             .join("\n");
-        validate_json(&legacy).expect("v1 snapshot validates without fleet");
+        validate_json(&v1).expect("v1 snapshot validates without fleet");
         assert!(
-            validate_json(&legacy.replace("\"vgbl-bench/1\"", "\"vgbl-bench/2\"")).is_err(),
+            validate_json(&v1.replace("\"vgbl-bench/1\"", "\"vgbl-bench/2\"")).is_err(),
             "v2 snapshot must carry the fleet op"
         );
     }

@@ -80,7 +80,11 @@ pub use timeseries::{
 
 /// Converts simulated milliseconds (the stream clock's unit) to the
 /// microsecond ticks spans and time counters use. Negative or
-/// non-finite inputs clamp to 0 so fault paths can never poison a trace.
+/// non-finite inputs clamp to 0 so fault paths can never poison a
+/// trace; finite inputs too large for `u64` microseconds saturate to
+/// `u64::MAX` (the float-to-int cast is defined to saturate, including
+/// when `ms * 1000.0` overflows to `+inf`), so a runaway simulated
+/// clock pins at the end of time instead of wrapping.
 pub fn us_from_ms(ms: f64) -> u64 {
     if ms.is_finite() && ms > 0.0 {
         (ms * 1000.0).round() as u64
@@ -102,5 +106,22 @@ mod tests {
         assert_eq!(us_from_ms(f64::INFINITY), 0);
         assert_eq!(us_from_ms(0.0004), 0);
         assert_eq!(us_from_ms(0.0006), 1);
+    }
+
+    #[test]
+    fn obs_us_from_ms_saturates_at_large_simulated_timestamps() {
+        // Finite ms too large for u64 µs must saturate, not wrap: both
+        // the in-range-f64-but-out-of-u64-range case and the case where
+        // `ms * 1000.0` itself overflows to +inf (the cast saturates by
+        // definition). A wrapped timestamp would sort a span's end
+        // *before* its start and corrupt every export downstream.
+        assert_eq!(us_from_ms(f64::MAX), u64::MAX);
+        assert_eq!(us_from_ms(1e300), u64::MAX);
+        // Largest u64 is ~1.8e19 µs ≈ 1.8e16 ms; just above saturates.
+        assert_eq!(us_from_ms(2e16), u64::MAX);
+        // Comfortably inside range still converts exactly.
+        assert_eq!(us_from_ms(1e12), 1_000_000_000_000_000);
+        // Monotone across the boundary: no value maps above MAX.
+        assert!(us_from_ms(1.8e16) <= us_from_ms(1.9e16));
     }
 }

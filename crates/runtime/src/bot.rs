@@ -517,7 +517,7 @@ fn run_session_core(
             break;
         };
         steps += 1;
-        rec.event("input", steps as u64, session.state().total_clock_ms * 1000);
+        rec.event("input", steps as u64, session.state().total_clock_ms.saturating_mul(1000));
         match session.handle(input) {
             Ok(_) => {}
             Err(RuntimeError::GameOver { .. }) => break,
@@ -527,7 +527,9 @@ fn run_session_core(
             session.handle(InputEvent::Tick(tick_ms))?;
         }
     }
-    rec.exit(session.state().total_clock_ms * 1000);
+    // Saturating: a pathological session clock must pin the span's end
+    // at the u64 horizon, not wrap it before its start.
+    rec.exit(session.state().total_clock_ms.saturating_mul(1000));
     Ok(BotRun {
         state: session.state().clone(),
         log: session.log().clone(),

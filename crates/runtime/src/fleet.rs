@@ -31,8 +31,7 @@
 //! same faults → a byte-identical [`FleetReport`] (it is `PartialEq`
 //! for exactly that assertion).
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -43,6 +42,7 @@ use vgbl_stream::{BreakerStats, CircuitBreaker, FaultPlan};
 use crate::analytics::{LatencySummary, LogEvent, SessionLog};
 use crate::engine::{GameSession, SessionConfig};
 use crate::error::RuntimeError;
+use crate::executor::EventQueue;
 use crate::save::SaveGame;
 use crate::server::{panic_reason, SessionOutcome};
 use crate::supervisor::{
@@ -197,6 +197,15 @@ pub struct MigrationConfig {
     pub burn_threshold: f64,
     /// ...for this many consecutive control ticks.
     pub sustain_ticks: u32,
+    /// Hold SLO drains while fleet-wide occupancy — queued plus
+    /// in-flight sessions over the routable shards' total slot and
+    /// queue capacity — is at or above this fraction. Under sustained
+    /// overload every shard burns at once; draining one only reroutes
+    /// its queue onto equally-burning peers, and each drain leaves the
+    /// survivors worse until the fleet sits at the router floor.
+    /// A drain helps exactly when the others have headroom to absorb
+    /// it. `f64::INFINITY` disables the guard (the legacy policy).
+    pub max_drain_occupancy: f64,
     /// Shadow-replay each migrated session from its checkpoint and
     /// compare the predicted log tail against what the destination
     /// shard actually produced ([`MigrationRecord::verified`]).
@@ -205,7 +214,12 @@ pub struct MigrationConfig {
 
 impl Default for MigrationConfig {
     fn default() -> MigrationConfig {
-        MigrationConfig { burn_threshold: 4.0, sustain_ticks: 2, verify_replay: true }
+        MigrationConfig {
+            burn_threshold: 4.0,
+            sustain_ticks: 2,
+            max_drain_occupancy: 0.75,
+            verify_replay: true,
+        }
     }
 }
 
@@ -293,6 +307,13 @@ impl FleetConfig {
         }
         if self.migration.sustain_ticks == 0 {
             return Err(invalid("migration sustain_ticks must be >= 1"));
+        }
+        let occ = self.migration.max_drain_occupancy;
+        if occ.is_nan() || occ <= 0.0 {
+            return Err(invalid(
+                "migration max_drain_occupancy must be positive \
+                 (f64::INFINITY disables the overload guard)",
+            ));
         }
         for f in &self.faults {
             if !f.at_ms.is_finite() || f.at_ms < 0.0 {
@@ -482,6 +503,10 @@ pub struct FleetReport {
     pub degraded: usize,
     /// Total restarts across the fleet.
     pub restarts: u64,
+    /// SLO drains the overload guard held back
+    /// ([`MigrationConfig::max_drain_occupancy`]), one per deferring
+    /// shard per control tick.
+    pub drains_deferred: u64,
     /// Every migration, in order, with handoff and replay verdicts.
     pub migrations: Vec<MigrationRecord>,
     /// Every autoscaler action, in order.
@@ -579,7 +604,9 @@ impl FleetReport {
 // Internal simulation
 // ---------------------------------------------------------------------------
 
-/// Event kinds on the discrete-event heap.
+/// Event kinds on the discrete-event queue. The queue itself is the
+/// executor's [`EventQueue`], whose `(t_us, seq)` ordering fires
+/// equal-time events in creation order, deterministically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EvKind {
     /// A slot's current segment reaches its boundary.
@@ -588,27 +615,6 @@ enum EvKind {
     Fault(usize),
     /// A controller tick.
     Control,
-}
-
-/// Heap event, ordered by `(t_us, seq)` — `seq` is a monotone tiebreak
-/// so equal-time events fire in creation order, deterministically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Ev {
-    t_us: u64,
-    seq: u64,
-    kind: EvKind,
-}
-
-impl Ord for Ev {
-    fn cmp(&self, other: &Ev) -> std::cmp::Ordering {
-        (self.t_us, self.seq).cmp(&(other.t_us, other.seq))
-    }
-}
-
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Ev) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// A committed segment boundary — everything needed to resume the
@@ -794,6 +800,7 @@ struct FleetObs {
     crashes: Counter,
     stalls: Counter,
     degraded_links: Counter,
+    drains_deferred: Counter,
     scale_up: Counter,
     scale_down: Counter,
     shards: Gauge,
@@ -810,6 +817,7 @@ impl FleetObs {
             crashes: obs.counter("fleet.crashes", l),
             stalls: obs.counter("fleet.stalls", l),
             degraded_links: obs.counter("fleet.degraded_links", l),
+            drains_deferred: obs.counter("fleet.drains_deferred", l),
             scale_up: obs.counter("fleet.scale_up", l),
             scale_down: obs.counter("fleet.scale_down", l),
             shards: obs.gauge("fleet.shards", l),
@@ -944,9 +952,9 @@ struct FleetSim<'a> {
     router: FleetRouter,
     shards: Vec<Shard>,
     next_shard_id: u32,
-    heap: BinaryHeap<Reverse<Ev>>,
-    seq: u64,
+    events: EventQueue<u64, EvKind>,
     outcomes: Vec<Option<SessionOutcome>>,
+    drains_deferred: u64,
     queue_waits: Vec<f64>,
     migrations: Vec<MigrationRecord>,
     scale_events: Vec<ScaleEvent>,
@@ -962,8 +970,7 @@ struct FleetSim<'a> {
 
 impl FleetSim<'_> {
     fn push_ms(&mut self, t_ms: f64, kind: EvKind) {
-        self.seq += 1;
-        self.heap.push(Reverse(Ev { t_us: us_from_ms(t_ms), seq: self.seq, kind }));
+        self.events.push(us_from_ms(t_ms), kind);
     }
 
     fn sidx(&self, id: u32) -> Option<usize> {
@@ -973,6 +980,27 @@ impl FleetSim<'_> {
     /// Any shard still has queued or in-flight work.
     fn busy(&self) -> bool {
         self.shards.iter().any(|s| !s.queue.is_empty() || s.busy_slots() > 0)
+    }
+
+    /// Queued plus in-flight sessions across routable shards, as a
+    /// fraction of their total capacity (slots + queue). Empty ring
+    /// counts as idle.
+    fn fleet_occupancy(&self) -> f64 {
+        let per_shard = self.cfg.shard.slots + self.cfg.shard.queue_capacity;
+        let mut load = 0usize;
+        let mut cap = 0usize;
+        for s in &self.shards {
+            if !s.alive || s.draining {
+                continue;
+            }
+            load += s.load();
+            cap += per_shard;
+        }
+        if cap == 0 {
+            0.0
+        } else {
+            load as f64 / cap as f64
+        }
     }
 
     /// Terminal shed: one accounted outcome, fleet- and (when
@@ -1440,6 +1468,11 @@ impl FleetSim<'_> {
     /// fleet-wide burn with hysteresis.
     fn on_control(&mut self, t_ms: f64) {
         let cfg = self.cfg;
+        // A drain helps only while the surviving shards have headroom
+        // to absorb the rerouted queue; when the whole fleet is
+        // saturated, every shard burns, and draining one per tick just
+        // cascades capacity away (see `max_drain_occupancy`).
+        let drains_allowed = self.fleet_occupancy() < cfg.migration.max_drain_occupancy;
         for i in 0..self.shards.len() {
             if !self.shards[i].alive || self.shards[i].draining {
                 continue;
@@ -1455,6 +1488,18 @@ impl FleetSim<'_> {
                 s.burn_streak
             };
             if streak >= cfg.migration.sustain_ticks && self.router.len() > 1 {
+                if !drains_allowed {
+                    // Hold the streak: the drain fires on the first
+                    // control tick the fleet has headroom again.
+                    self.drains_deferred += 1;
+                    self.fo.drains_deferred.inc();
+                    self.rec.event(
+                        "drain_deferred",
+                        u64::from(self.shards[i].id),
+                        us_from_ms(t_ms),
+                    );
+                    continue;
+                }
                 self.shards[i].burn_streak = 0;
                 self.drain(i, t_ms, MigrationReason::SloDrain);
             }
@@ -1557,9 +1602,9 @@ fn fleet_core(
         router,
         shards: (0..cfg.shards).map(|i| Shard::new(i, cfg)).collect(),
         next_shard_id: cfg.shards,
-        heap: BinaryHeap::new(),
-        seq: 0,
+        events: EventQueue::new(),
         outcomes: (0..n_sessions).map(|_| None).collect(),
+        drains_deferred: 0,
         queue_waits: Vec::new(),
         migrations: Vec::new(),
         scale_events: Vec::new(),
@@ -1585,7 +1630,7 @@ fn fleet_core(
     let times = arrivals.arrival_times(n_sessions);
     let mut next = 0usize;
     loop {
-        let ev_t = sim.heap.peek().map(|Reverse(e)| e.t_us);
+        let ev_t = sim.events.peek_at();
         let arr_t = times.get(next).map(|&t| us_from_ms(t));
         let fire_event = match (ev_t, arr_t) {
             // Events fire before arrivals at equal timestamps, so a
@@ -1596,12 +1641,12 @@ fn fleet_core(
             (None, None) => break,
         };
         if fire_event {
-            let Reverse(ev) = sim.heap.pop().expect("peeked");
-            match ev.kind {
-                EvKind::Seg { shard, slot, token } => sim.on_seg(shard, slot, token, ev.t_us),
+            let ev = sim.events.pop().expect("peeked");
+            match ev.payload {
+                EvKind::Seg { shard, slot, token } => sim.on_seg(shard, slot, token, ev.at),
                 EvKind::Fault(fi) => sim.on_fault(fi),
                 EvKind::Control => {
-                    let t_ms = ev.t_us as f64 / 1000.0;
+                    let t_ms = ev.at as f64 / 1000.0;
                     sim.on_control(t_ms);
                     if next < times.len() || sim.busy() {
                         sim.push_ms(t_ms + cfg.control_interval_ms, EvKind::Control);
@@ -1622,6 +1667,7 @@ fn fleet_core(
         shards,
         outcomes,
         queue_waits,
+        drains_deferred,
         migrations,
         scale_events,
         fleet_slo,
@@ -1675,6 +1721,7 @@ fn fleet_core(
         shed: 0,
         degraded: rows.iter().map(|r| r.degraded).sum(),
         restarts: rows.iter().map(|r| r.restarts).sum(),
+        drains_deferred,
         migrations,
         scale_events,
         shards: rows,
@@ -2071,6 +2118,9 @@ mod tests {
             migration: MigrationConfig {
                 burn_threshold: 1.0,
                 sustain_ticks: 1,
+                // This test pins the drain mechanics themselves, so the
+                // overload guard is out of the picture.
+                max_drain_occupancy: f64::INFINITY,
                 verify_replay: true,
             },
             ..FleetConfig::default()
@@ -2085,6 +2135,74 @@ mod tests {
             report.shards.iter().map(|s| (s.shard, s.retired)).collect::<Vec<_>>()
         );
         assert!(report.routable_shards >= 1, "the drain guard keeps the last shard");
+    }
+
+    #[test]
+    fn overload_guard_stops_slo_drain_cascade() {
+        // Regression: under sustained fleet-wide overload every shard
+        // burns at once. The legacy policy drained one burning shard
+        // per control tick, rerouting its queue onto equally-burning
+        // peers — each drain left the survivors worse until the fleet
+        // sat at the router floor with most sessions shed. The
+        // occupancy guard must hold those drains instead.
+        let mk = |max_drain_occupancy: f64| FleetConfig {
+            shards: 4,
+            vnodes: 32,
+            shard: SupervisorConfig {
+                queue_capacity: 2,
+                queue_deadline_ms: 1e9,
+                slots: 1,
+                step_ms: 20.0,
+                ..SupervisorConfig::default()
+            },
+            control_interval_ms: 50.0,
+            migration: MigrationConfig {
+                burn_threshold: 1.0,
+                sustain_ticks: 1,
+                max_drain_occupancy,
+                verify_replay: true,
+            },
+            ..FleetConfig::default()
+        };
+        let workload = FleetWorkload::Synthetic { mean_segments: 4 };
+        let arrivals = ArrivalPlan::new(17, 1.0).unwrap();
+        let slo_drained = |r: &FleetReport| {
+            r.shards.iter().filter(|s| s.retired && !s.crashed).count()
+        };
+
+        let legacy = run_fleet(&workload, &mk(f64::INFINITY), 160, &arrivals).unwrap();
+        assert!(legacy.accounts_exactly(), "{legacy:?}");
+        assert!(
+            slo_drained(&legacy) >= 2,
+            "without the guard the overload cascades through drains: {:?}",
+            legacy.shards.iter().map(|s| (s.shard, s.retired)).collect::<Vec<_>>()
+        );
+
+        // The guard holds every mid-rush drain (they still fire in the
+        // calm tail, once the fleet has headroom — burn windows
+        // remember the incident), so the overload is served on four
+        // shards instead of a shrinking ring: strictly fewer sheds,
+        // strictly more sessions served.
+        let guarded = run_fleet(&workload, &mk(0.75), 160, &arrivals).unwrap();
+        assert!(guarded.accounts_exactly(), "{guarded:?}");
+        assert!(
+            guarded.drains_deferred > 0,
+            "the saturated fleet must actually exercise the guard: {guarded:?}"
+        );
+        assert!(
+            guarded.shed < legacy.shed,
+            "holding drains must shed less than cascading did ({} vs {})",
+            guarded.shed,
+            legacy.shed
+        );
+        assert!(
+            guarded.completed + guarded.recovered > legacy.completed + legacy.recovered,
+            "the guarded fleet serves more of the rush ({}+{} vs {}+{})",
+            guarded.completed,
+            guarded.recovered,
+            legacy.completed,
+            legacy.recovered
+        );
     }
 
     #[test]
@@ -2113,6 +2231,7 @@ mod tests {
             migration: MigrationConfig {
                 burn_threshold: 1e12,
                 sustain_ticks: 10,
+                max_drain_occupancy: f64::INFINITY,
                 verify_replay: false,
             },
             autoscale: Some(AutoscaleConfig {

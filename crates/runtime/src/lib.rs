@@ -26,6 +26,11 @@
 //! * [`device`] — input-device mappings (§2's remote control: focus
 //!   ring + OK/TAKE/digit buttons, so the game is playable without a
 //!   pointer).
+//! * [`executor`] — the deterministic cooperative executor (EXP-18):
+//!   a seeded run queue of yield-at-fetch session state machines, a
+//!   per-tick batch planner for coalesced chunk fetches, and the
+//!   `(time, class, tie, seq)` event queue the supervisor and fleet
+//!   schedule on.
 //! * [`server`] — a parallel multi-session host (EXP-8).
 //! * [`supervisor`] — the supervised host (EXP-14): admission control,
 //!   load shedding, a degradation ladder, circuit breaking on the
@@ -44,6 +49,7 @@ pub mod bot;
 pub mod device;
 pub mod engine;
 pub mod error;
+pub mod executor;
 pub mod feedback;
 pub mod fixtures;
 pub mod fleet;
@@ -64,6 +70,7 @@ pub use bot::{run_session, run_session_observed, Bot, BotRun, ExplorerBot, Guide
 pub use device::{RemoteButton, RemoteControl};
 pub use engine::{GameSession, SessionConfig};
 pub use error::RuntimeError;
+pub use executor::{CohortRun, EventQueue, ExecutorStats, SessionTask, SimTime, Step, Timed};
 pub use feedback::Feedback;
 pub use fleet::{
     run_fleet, run_fleet_observed, AutoscaleConfig, FleetConfig, FleetReport, FleetRouter,
@@ -75,8 +82,9 @@ pub use inventory::Inventory;
 pub use playback::{PlaybackController, PlaybackStats};
 pub use save::SaveGame;
 pub use server::{
-    run_cohort, run_playback_cohort, run_playback_cohort_observed, PlaybackCohortReport,
-    ServerReport, SessionOutcome,
+    run_cohort, run_cohort_threaded, run_playback_cohort, run_playback_cohort_observed,
+    run_playback_cohort_observed_threaded, run_playback_cohort_threaded,
+    run_playback_cohort_with_stats, PlaybackCohortReport, ServerReport, SessionOutcome,
 };
 pub use state::GameState;
 pub use supervisor::{

@@ -250,6 +250,10 @@ impl PlaybackController {
 
     /// Advances playback by `ms` of wall time, looping within the current
     /// segment. Returns how many frames the cursor moved.
+    ///
+    /// Arithmetic saturates: a pathological `ms` near `u64::MAX` pins
+    /// the playhead clock at the end of time instead of wrapping it
+    /// back to zero (the same shape as the `deadline_ms` overflow fix).
     pub fn advance_ms(&mut self, ms: u64) -> usize {
         let frame_us = self
             .video
@@ -257,8 +261,9 @@ impl PlaybackController {
             .frame_duration()
             .as_micros()
             .max(1);
-        self.played_us += ms * 1000;
-        let total_us = self.residual_us + ms * 1000;
+        let advance_us = ms.saturating_mul(1000);
+        self.played_us = self.played_us.saturating_add(advance_us);
+        let total_us = self.residual_us.saturating_add(advance_us);
         let steps = (total_us / frame_us) as usize;
         self.residual_us = total_us % frame_us;
         let len = self.current_segment().len().max(1);

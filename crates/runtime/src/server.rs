@@ -3,9 +3,14 @@
 //! The paper situates the platform in a distance-learning deployment —
 //! many students playing concurrently against shared content. Because
 //! [`vgbl_scene::SceneGraph`] is immutable at play time, sessions share
-//! it through an `Arc` and scale embarrassingly: the server fans session
-//! jobs out to a fixed worker pool over crossbeam channels and aggregates
-//! the per-session analytics into one [`LearningReport`].
+//! it through an `Arc` and scale far past the OS thread limit: the
+//! public cohort entry points run every session as a cooperative state
+//! machine on the deterministic [`crate::executor`] (seeded run queue,
+//! per-tick batched GOP prewarm through the work-stealing decode pool),
+//! and aggregate the per-session analytics into one [`LearningReport`].
+//! The original thread-per-session implementations are kept as
+//! `*_threaded` reference paths; `tests/executor_equivalence.rs` pins
+//! the two byte-identical.
 //!
 //! **Fault isolation**: a session that errors — or outright panics — is
 //! contained to its own [`SessionOutcome::Failed`] row. The rest of the
@@ -18,17 +23,25 @@ use std::sync::Arc;
 use crossbeam::channel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vgbl_obs::{Obs, SeriesSpec, SpanRecorder};
-use vgbl_media::cache::GopCache;
-use vgbl_media::codec::EncodedVideo;
+use vgbl_obs::{Obs, Series, SeriesSpec, SpanRecorder};
+use vgbl_media::cache::{GopCache, VideoId};
+use vgbl_media::codec::{Decoder, EncodedVideo};
+use vgbl_media::parallel::parallel_map_indexed;
 use vgbl_media::{SegmentId, SegmentTable};
 use vgbl_scene::SceneGraph;
 
 use crate::analytics::{DecodeReuse, LearningReport};
 use crate::bot::{run_session, Bot, BotRun};
-use crate::engine::SessionConfig;
+use crate::engine::{GameSession, SessionConfig};
+use crate::executor::{run_tasks, ExecutorStats, SessionTask, Step};
+use crate::input::InputEvent;
 use crate::playback::{PlaybackController, PlaybackStats};
-use crate::Result;
+use crate::{Result, RuntimeError};
+
+/// Seed of the executor's run-queue shuffle. Fixed: cohort output must
+/// not depend on it (the shuffle exists to prove that), so there is
+/// nothing to configure.
+const RUN_QUEUE_SEED: u64 = 0x9e37_79b9_0000_0018;
 
 /// What the server runs per session: a factory producing a fresh bot for
 /// session `i`. Must be `Sync` — workers call it concurrently.
@@ -139,11 +152,89 @@ pub struct ServerReport {
     pub total_steps: usize,
 }
 
-/// Runs `n_sessions` bot sessions over `workers` OS threads.
+/// One bot session as a cooperative task: each poll submits one
+/// decision (`next_input` → `handle` → tick), reproducing
+/// `run_session`'s loop step for step, then yields. A panicking bot or
+/// factory retires only this task.
+struct BotSessionTask<'a> {
+    graph: Arc<SceneGraph>,
+    config: SessionConfig,
+    factory: &'a BotFactory,
+    i: usize,
+    max_steps: usize,
+    tick_ms: u64,
+    bot: Option<Box<dyn Bot>>,
+    session: Option<GameSession>,
+    rec: SpanRecorder,
+    steps: usize,
+}
+
+impl BotSessionTask<'_> {
+    fn finish(&mut self) -> Step<u32, std::result::Result<BotRun, String>> {
+        let session = self.session.as_ref().expect("finish only after setup");
+        self.rec.exit(session.state().total_clock_ms.saturating_mul(1000));
+        Step::Done(Ok(BotRun {
+            state: session.state().clone(),
+            log: session.log().clone(),
+            inventory: session.inventory().clone(),
+            steps: self.steps,
+        }))
+    }
+}
+
+impl SessionTask for BotSessionTask<'_> {
+    type Fetch = u32;
+    type Output = BotRun;
+
+    fn poll(&mut self) -> Step<u32, std::result::Result<BotRun, String>> {
+        if self.session.is_none() {
+            // Setup mirrors `run_session`: the factory runs inside the
+            // isolation boundary (a panicking factory fails only this
+            // session, as it did inside the worker's catch_unwind).
+            self.bot = Some((self.factory)(self.i));
+            let (session, _) = match GameSession::new(self.graph.clone(), self.config.clone()) {
+                Ok(pair) => pair,
+                Err(e) => return Step::Done(Err(e.to_string())),
+            };
+            self.session = Some(session);
+            let session = self.session.as_mut().expect("just set");
+            session.set_obs(&Obs::noop());
+            self.rec.enter("session", 0);
+        }
+        let session = self.session.as_mut().expect("setup ran");
+        let bot = self.bot.as_mut().expect("setup ran");
+        if self.steps >= self.max_steps || session.state().is_over() {
+            return self.finish();
+        }
+        let input = match bot.next_input(session) {
+            Ok(Some(input)) => input,
+            Ok(None) => return self.finish(),
+            Err(e) => return Step::Done(Err(e.to_string())),
+        };
+        self.steps += 1;
+        self.rec.event("input", self.steps as u64, session.state().total_clock_ms.saturating_mul(1000));
+        match session.handle(input) {
+            Ok(_) => {}
+            Err(RuntimeError::GameOver { .. }) => return self.finish(),
+            Err(e) => return Step::Done(Err(e.to_string())),
+        }
+        if !session.state().is_over() && self.tick_ms > 0 {
+            if let Err(e) = session.handle(InputEvent::Tick(self.tick_ms)) {
+                return Step::Done(Err(e.to_string()));
+            }
+        }
+        Step::Pending
+    }
+}
+
+/// Runs `n_sessions` bot sessions on the cooperative executor; one
+/// decision per session per tick, every session in flight at once.
 ///
 /// Deterministic *per session*: session `i` always plays the same game
 /// (factories receive the session index, so seeded bots reproduce runs
-/// regardless of which worker executes them).
+/// regardless of scheduling). Byte-identical to
+/// [`run_cohort_threaded`]; `workers` is accepted for API compatibility
+/// (bot decisions are not batchable work).
 ///
 /// Sessions are fault-isolated: a panicking or erroring session becomes
 /// a [`SessionOutcome::Failed`] row while every other session completes,
@@ -153,6 +244,61 @@ pub struct ServerReport {
 /// Never fails on per-session problems; the `Result` is kept for
 /// structural errors of future transports.
 pub fn run_cohort(
+    graph: Arc<SceneGraph>,
+    config: SessionConfig,
+    n_sessions: usize,
+    workers: usize,
+    bot_factory: &BotFactory,
+    max_steps: usize,
+    tick_ms: u64,
+) -> Result<ServerReport> {
+    let _ = workers;
+    if n_sessions == 0 {
+        return Ok(ServerReport {
+            sessions: 0,
+            failed: 0,
+            outcomes: Vec::new(),
+            learning: LearningReport::from_sessions(std::iter::empty()),
+            total_steps: 0,
+        });
+    }
+    let tasks: Vec<BotSessionTask<'_>> = (0..n_sessions)
+        .map(|i| BotSessionTask {
+            graph: graph.clone(),
+            config: config.clone(),
+            factory: bot_factory,
+            i,
+            max_steps,
+            tick_ms,
+            bot: None,
+            session: None,
+            rec: SpanRecorder::disabled(),
+            steps: 0,
+        })
+        .collect();
+    let run = run_tasks(tasks, RUN_QUEUE_SEED, |_plan| {});
+    let (outcomes, runs) = split_rows(run.rows);
+
+    let total_steps = runs.iter().map(|r| r.steps).sum();
+    let learning = LearningReport::from_sessions(runs.iter().map(|r| (&r.log, r.state.score)));
+    Ok(ServerReport {
+        sessions: runs.len(),
+        failed: outcomes.iter().filter(|o| o.is_failed()).count(),
+        outcomes,
+        learning,
+        total_steps,
+    })
+}
+
+/// The original thread-per-session implementation of [`run_cohort`]:
+/// `workers` OS threads over crossbeam channels, one `catch_unwind` per
+/// session. Kept as the reference the executor path is pinned
+/// byte-identical against.
+///
+/// # Errors
+/// Never fails on per-session problems; the `Result` is kept for
+/// structural errors of future transports.
+pub fn run_cohort_threaded(
     graph: Arc<SceneGraph>,
     config: SessionConfig,
     n_sessions: usize,
@@ -246,8 +392,118 @@ pub struct PlaybackCohortReport {
     pub reuse: DecodeReuse,
 }
 
-/// Runs `n_sessions` simulated playback sessions over `workers` OS
-/// threads, all decoding through one shared [`GopCache`].
+/// One playback walk as a cooperative task. Each tick moves the walk
+/// one step (a seeded switch-or-advance draw), yields
+/// [`Step::Fetch`] for the GOP its next serve needs — the executor
+/// coalesces the whole tick's keys and prewarms them once — then
+/// serves from the (now warm) cache. Events, series records and RNG
+/// draws happen in exactly the order `play_one_session` makes them, so
+/// the walk and its trace are byte-identical to the threaded path.
+struct PlaybackSessionTask<'a> {
+    video: Arc<EncodedVideo>,
+    segments: SegmentTable,
+    cache: Arc<GopCache>,
+    i: usize,
+    n_segments: u32,
+    steps: usize,
+    obs: &'a Obs,
+    rec: SpanRecorder,
+    player: Option<PlaybackController>,
+    renders: Series,
+    switches: Series,
+    rng: StdRng,
+    now_us: u64,
+    /// Steps already *moved*; the pending serve closes this step.
+    step: usize,
+    /// Whether the next poll serves (after a fetch) or moves.
+    serving: bool,
+}
+
+impl PlaybackSessionTask<'_> {
+    /// Transitions into the serve phase, requesting the needed GOP
+    /// when it is knowable (a broken cursor falls through to the serve,
+    /// which produces the same error the threaded walk would).
+    fn request_serve(&mut self) -> Step<usize, std::result::Result<PlaybackStats, String>> {
+        self.serving = true;
+        match self.player.as_ref().expect("player set in init").pending_keyframe() {
+            Ok(key) => Step::Fetch(key),
+            Err(_) => self.poll(),
+        }
+    }
+}
+
+impl SessionTask for PlaybackSessionTask<'_> {
+    type Fetch = usize;
+    type Output = PlaybackStats;
+
+    fn poll(&mut self) -> Step<usize, std::result::Result<PlaybackStats, String>> {
+        if self.player.is_none() {
+            // Setup in `play_one_session`'s order: player, series
+            // handles, RNG, root span, the step-0 render event.
+            let initial = SegmentId(self.i as u32 % self.n_segments);
+            let player = match PlaybackController::shared(
+                self.video.clone(),
+                self.segments.clone(),
+                initial,
+                self.cache.clone(),
+            ) {
+                Ok(p) => p.with_obs(self.obs),
+                Err(e) => return Step::Done(Err(e.to_string())),
+            };
+            self.player = Some(player);
+            self.renders = self.obs.series(SeriesSpec::counter("server.renders", 250_000, 64));
+            self.switches = self.obs.series(SeriesSpec::counter("server.switches", 250_000, 64));
+            self.rng = StdRng::seed_from_u64(0x9e37_79b9 ^ self.i as u64);
+            self.rec.enter_with("session", self.i as u64, self.now_us);
+            self.rec.event("render", 0, self.now_us);
+            return self.request_serve();
+        }
+        if self.serving {
+            self.serving = false;
+            let player = self.player.as_mut().expect("player set in init");
+            if let Err(e) = player.current_frame() {
+                return Step::Done(Err(e.to_string()));
+            }
+            if self.step >= self.steps {
+                self.rec.exit(self.now_us);
+                return Step::Done(Ok(player.stats()));
+            }
+            return Step::Pending;
+        }
+        // Move phase: the same draws, events and series records as the
+        // threaded walk's loop body, split at the fetch boundary.
+        let step = self.step;
+        self.step += 1;
+        if self.rng.gen_range(0..4u32) == 0 {
+            let target = SegmentId(self.rng.gen_range(0..self.n_segments));
+            self.rec.event("switch", target.0 as u64, self.now_us);
+            self.switches.record(self.now_us, 1);
+            if let Err(e) = self.player.as_mut().expect("player set in init").seek_segment(target)
+            {
+                return Step::Done(Err(e.to_string()));
+            }
+        } else {
+            self.player.as_mut().expect("player set in init").advance_ms(33);
+            self.now_us = self.now_us.saturating_add(33_000);
+            self.rec.event("render", step as u64 + 1, self.now_us);
+            self.renders.record(self.now_us, 1);
+        }
+        self.request_serve()
+    }
+
+    fn flush(&mut self) {
+        // The recorder outlives any panic inside `poll`, so a session
+        // that dies mid-walk still exports every span it recorded —
+        // the same guarantee the threaded path's out-of-unwind
+        // recorder gave.
+        self.obs.attach(std::mem::replace(&mut self.rec, SpanRecorder::disabled()));
+    }
+}
+
+/// Runs `n_sessions` simulated playback sessions on the cooperative
+/// executor, all decoding through one shared [`GopCache`]; `workers`
+/// sizes the work-stealing pool the per-tick batch prewarm fans decode
+/// work over.
 ///
 /// Each session is a deterministic seeded random walk: it starts in
 /// segment `i mod n_segments`, and per step either switches to a random
@@ -256,6 +512,188 @@ pub struct PlaybackCohortReport {
 /// cache capacity; only who pays for decoding varies, which is exactly
 /// what [`PlaybackCohortReport`] measures.
 pub fn run_playback_cohort(
+    video: Arc<EncodedVideo>,
+    segments: &SegmentTable,
+    cache: Arc<GopCache>,
+    n_sessions: usize,
+    workers: usize,
+    steps_per_session: usize,
+) -> Result<PlaybackCohortReport> {
+    playback_cohort_executor_core(
+        video,
+        segments,
+        cache,
+        n_sessions,
+        workers,
+        steps_per_session,
+        &Obs::noop(),
+    )
+    .map(|(report, _stats)| report)
+}
+
+/// [`run_playback_cohort`] with observability: playback and cache
+/// counters flow into `obs`, and every session exports one trace
+/// (labelled `playback-0007`-style) of `switch`/`render` events on the
+/// media timeline.
+///
+/// **Panic-safe flushing**: each session's [`SpanRecorder`] lives
+/// outside the executor's per-poll isolation boundary and is attached
+/// when the task retires, so a session that panics mid-walk still
+/// exports every span it recorded (open spans are closed at the last
+/// recorded moment). The cohort's `cohort.sessions_completed` /
+/// `cohort.sessions_failed` counters match the report's `sessions` /
+/// `failed` fields exactly.
+pub fn run_playback_cohort_observed(
+    video: Arc<EncodedVideo>,
+    segments: &SegmentTable,
+    cache: Arc<GopCache>,
+    n_sessions: usize,
+    workers: usize,
+    steps_per_session: usize,
+    obs: &Obs,
+) -> Result<PlaybackCohortReport> {
+    playback_cohort_executor_core(video, segments, cache, n_sessions, workers, steps_per_session, obs)
+        .map(|(report, _stats)| report)
+}
+
+/// [`run_playback_cohort`] exposing the executor's scheduler counters —
+/// EXP-18 reads `peak_in_flight` and the batch totals from here.
+///
+/// # Errors
+/// Never fails on per-session problems; mirrors [`run_playback_cohort`].
+pub fn run_playback_cohort_with_stats(
+    video: Arc<EncodedVideo>,
+    segments: &SegmentTable,
+    cache: Arc<GopCache>,
+    n_sessions: usize,
+    workers: usize,
+    steps_per_session: usize,
+) -> Result<(PlaybackCohortReport, ExecutorStats)> {
+    playback_cohort_executor_core(
+        video,
+        segments,
+        cache,
+        n_sessions,
+        workers,
+        steps_per_session,
+        &Obs::noop(),
+    )
+}
+
+fn playback_cohort_executor_core(
+    video: Arc<EncodedVideo>,
+    segments: &SegmentTable,
+    cache: Arc<GopCache>,
+    n_sessions: usize,
+    workers: usize,
+    steps_per_session: usize,
+    obs: &Obs,
+) -> Result<(PlaybackCohortReport, ExecutorStats)> {
+    let n_segments = segments.len().max(1) as u32;
+    if n_sessions == 0 {
+        return Ok((
+            PlaybackCohortReport {
+                sessions: 0,
+                failed: 0,
+                outcomes: Vec::new(),
+                frames_served: 0,
+                frames_decoded: 0,
+                switches: 0,
+                reuse: DecodeReuse::from_cache(&cache.stats()),
+            },
+            ExecutorStats::default(),
+        ));
+    }
+    let workers = workers.max(1);
+    let video_id = VideoId::of(&video);
+    let decoder = Decoder::default();
+    let completed_ctr = obs.counter("cohort.sessions_completed", &[("pillar", "runtime")]);
+    let failed_ctr = obs.counter("cohort.sessions_failed", &[("pillar", "runtime")]);
+    // The prewarm's decodes feed the same registry counter the players'
+    // own decodes do, so counter totals keep matching the report.
+    let decoded_ctr = obs.counter("playback.frames_decoded", &[("pillar", "runtime")]);
+
+    let tasks: Vec<PlaybackSessionTask<'_>> = (0..n_sessions)
+        .map(|i| PlaybackSessionTask {
+            video: video.clone(),
+            segments: segments.clone(),
+            cache: cache.clone(),
+            i,
+            n_segments,
+            steps: steps_per_session,
+            obs,
+            rec: if obs.enabled() {
+                SpanRecorder::new(format!("playback-{i:04}"))
+            } else {
+                SpanRecorder::disabled()
+            },
+            player: None,
+            renders: Series::default(),
+            switches: Series::default(),
+            rng: StdRng::seed_from_u64(0),
+            now_us: 0,
+            step: 0,
+            serving: false,
+        })
+        .collect();
+
+    // Batch resolution: decode the tick's missing GOPs exactly once,
+    // fanned over the work-stealing pool — the same prewarm the
+    // lockstep runner (`crate::batch`) does, driven by the executor's
+    // coalesced fetch plan. With caching disabled there is no residency
+    // to share: sessions decode for themselves, as the threaded path
+    // would.
+    let mut prewarm_frames = 0usize;
+    let run = run_tasks(tasks, RUN_QUEUE_SEED, |plan| {
+        if cache.capacity_gops() == 0 {
+            return;
+        }
+        let missing: Vec<usize> =
+            plan.keys.iter().copied().filter(|&k| !cache.contains(video_id, k)).collect();
+        if missing.is_empty() {
+            return;
+        }
+        let decoded: Vec<usize> = parallel_map_indexed(missing.len(), workers, |j| {
+            let k = missing[j];
+            // Failures are left for the sessions' own serve path, which
+            // conceals (or fails) with the unbatched semantics.
+            cache
+                .get_or_decode(video_id, k, || decoder.decode_gop_at(&video, k))
+                .map(|frames| frames.len())
+                .unwrap_or(0)
+        });
+        let frames: usize = decoded.iter().sum();
+        prewarm_frames += frames;
+        decoded_ctr.add(frames as u64);
+    });
+    let (outcomes, stats) = split_rows(run.rows);
+    completed_ctr.add(stats.len() as u64);
+    let failed = outcomes.iter().filter(|o| o.is_failed()).count();
+    failed_ctr.add(failed as u64);
+
+    Ok((
+        PlaybackCohortReport {
+            sessions: stats.len(),
+            failed,
+            outcomes,
+            frames_served: stats.iter().map(|s| s.frames_served).sum(),
+            frames_decoded: stats.iter().map(|s| s.frames_decoded).sum::<usize>() + prewarm_frames,
+            switches: stats.iter().map(|s| s.switches).sum(),
+            reuse: DecodeReuse::from_cache(&cache.stats()),
+        },
+        run.stats,
+    ))
+}
+
+/// The original thread-per-session implementation of
+/// [`run_playback_cohort`]: `workers` OS threads, one `catch_unwind`
+/// per session, every session decoding for itself through the shared
+/// cache's miss-coalescing. Kept as the reference the executor path is
+/// pinned byte-identical against.
+///
+/// # Errors
+/// Never fails on per-session problems; mirrors [`run_playback_cohort`].
+pub fn run_playback_cohort_threaded(
     video: Arc<EncodedVideo>,
     segments: &SegmentTable,
     cache: Arc<GopCache>,
@@ -274,19 +712,12 @@ pub fn run_playback_cohort(
     )
 }
 
-/// [`run_playback_cohort`] with observability: playback and cache
-/// counters flow into `obs`, and every session exports one trace
-/// (labelled `playback-0007`-style) of `switch`/`render` events on the
-/// media timeline.
+/// [`run_playback_cohort_observed`]'s thread-per-session reference
+/// implementation; see [`run_playback_cohort_threaded`].
 ///
-/// **Panic-safe flushing**: each worker creates the session's
-/// [`SpanRecorder`] *outside* the `catch_unwind` boundary and attaches
-/// it afterwards, so a session that panics mid-walk still exports every
-/// span it recorded (open spans are closed at the last recorded
-/// moment). The cohort's `cohort.sessions_completed` /
-/// `cohort.sessions_failed` counters match the report's `sessions` /
-/// `failed` fields exactly.
-pub fn run_playback_cohort_observed(
+/// # Errors
+/// Never fails on per-session problems; mirrors [`run_playback_cohort`].
+pub fn run_playback_cohort_observed_threaded(
     video: Arc<EncodedVideo>,
     segments: &SegmentTable,
     cache: Arc<GopCache>,
@@ -436,7 +867,7 @@ fn play_one_session(
             player.switch_segment(target)?;
         } else {
             player.advance_ms(33);
-            now_us += 33_000;
+            now_us = now_us.saturating_add(33_000);
             rec.event("render", step as u64 + 1, now_us);
             renders.record(now_us, 1);
             player.current_frame()?;

@@ -63,6 +63,7 @@ use crate::analytics::{LatencySummary, LearningReport, LogEvent, SessionLog};
 use crate::bot::{Bot, BotRun};
 use crate::engine::{GameSession, SessionConfig};
 use crate::error::RuntimeError;
+use crate::executor::EventQueue;
 use crate::input::InputEvent;
 use crate::save::SaveGame;
 use crate::server::{panic_reason, SessionOutcome};
@@ -954,7 +955,13 @@ struct Sim<'a> {
     factory: &'a SupervisedBotFactory,
     breaker: CircuitBreaker,
     queue: VecDeque<Queued>,
+    /// Free-at time per slot, mirrored for makespan reporting; the
+    /// scheduling decision itself comes from `slot_q`.
     slots: Vec<f64>,
+    /// Slots ordered by `(free_at, slot index)` — popping the head is
+    /// exactly the strict-argmin-lowest-index scan the supervisor
+    /// originally did, so replays stay byte-identical.
+    slot_q: EventQueue<f64, usize>,
     outcomes: Vec<Option<SessionOutcome>>,
     queue_waits: Vec<f64>,
     recovery_lat: Vec<f64>,
@@ -983,19 +990,22 @@ impl Sim<'_> {
     /// consuming the slot.
     fn drain(&mut self, until: f64) {
         while let Some(head) = self.queue.front().cloned() {
-            let mut slot_idx = 0;
-            for (k, &free) in self.slots.iter().enumerate() {
-                if free < self.slots[slot_idx] {
-                    slot_idx = k;
-                }
-            }
-            let start = self.slots[slot_idx].max(head.arrival_ms);
+            // The queue head is keyed `(free_at, slot index)`, so the
+            // soonest-free slot — lowest index on ties — is one peek.
+            let (free, slot_idx) =
+                match self.slot_q.peek() {
+                    Some((free, &slot_idx)) => (free, slot_idx),
+                    None => break,
+                };
+            let start = free.max(head.arrival_ms);
             if start > until {
                 break;
             }
             self.queue.pop_front();
             let wait = start - head.arrival_ms;
             if wait > self.sup.queue_deadline_ms {
+                // Shed without consuming the slot: it stays queued at
+                // the same free-at time for the next head.
                 self.outcomes[head.idx] =
                     Some(SessionOutcome::Shed { reason: "queue deadline exceeded".into() });
                 self.shed += 1;
@@ -1007,7 +1017,10 @@ impl Sim<'_> {
             self.queue_waits.push(wait);
             self.o.queue_wait_us.record(us_from_ms(wait));
             self.slo.on_wait(start, wait);
-            self.slots[slot_idx] = self.serve(head, start);
+            self.slot_q.pop();
+            let end = self.serve(head, start);
+            self.slots[slot_idx] = end;
+            self.slot_q.push_keyed(end, 0, slot_idx as u64, slot_idx);
         }
     }
 
@@ -1140,6 +1153,13 @@ fn supervised_core(
         breaker,
         queue: VecDeque::new(),
         slots: vec![0.0; sup.slots],
+        slot_q: {
+            let mut q = EventQueue::new();
+            for k in 0..sup.slots {
+                q.push_keyed(0.0, 0, k as u64, k);
+            }
+            q
+        },
         outcomes: (0..n_sessions).map(|_| None).collect(),
         queue_waits: Vec::new(),
         recovery_lat: Vec::new(),

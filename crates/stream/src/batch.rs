@@ -1,0 +1,234 @@
+//! Per-tick batch planning for coalesced fetches.
+//!
+//! The cooperative executor (`vgbl-runtime::executor`) steps thousands
+//! of sessions per simulated tick; each session that reaches a
+//! fetch/decode boundary *requests* a key (a GOP keyframe, a
+//! [`ChunkId`]) instead of fetching on its own. The [`BatchPlanner`]
+//! collects one tick's requests, deduplicates them into a sorted
+//! [`BatchPlan`] — the same miss-coalescing idea the `GopCache` applies
+//! to racing threads, applied here to cohabiting tasks — and remembers
+//! which requesters wait on which key so the executor can resume
+//! exactly the right tasks once the batch resolves.
+//!
+//! Keys are issued in ascending order and the plan is a pure function
+//! of the requests, so two identical ticks produce byte-identical
+//! plans regardless of request arrival order within the tick.
+//!
+//! [`BatchPlan::admit`] gates a plan through a [`CircuitBreaker`]:
+//! closed, the whole batch flows; half-open, **exactly one** key is
+//! admitted as the probe and the rest fail fast (see the breaker's
+//! single-probe accounting) — a freshly recovered link sees one
+//! request, not a whole tick's worth.
+
+use std::collections::BTreeMap;
+
+use crate::breaker::CircuitBreaker;
+use crate::chunk::ChunkId;
+
+/// Lifetime counters a planner accumulates across ticks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// Fetch requests received.
+    pub requests: u64,
+    /// Requests that joined a key already requested in the same tick
+    /// (the fetches *not* issued thanks to batching).
+    pub coalesced: u64,
+    /// Plans taken (one per non-empty tick).
+    pub batches: u64,
+    /// Unique keys issued across all plans.
+    pub batched_keys: u64,
+}
+
+/// One tick's resolved fetch batch: deduplicated keys in ascending
+/// order, plus the requesters waiting on each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPlan<K> {
+    /// Unique keys to fetch, ascending.
+    pub keys: Vec<K>,
+    /// `waiters[j]` are the requester ids that asked for `keys[j]`, in
+    /// request order.
+    pub waiters: Vec<Vec<u64>>,
+}
+
+impl<K> BatchPlan<K> {
+    /// Number of unique keys in the plan.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the plan has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+impl<K: Copy> BatchPlan<K> {
+    /// Splits the plan's keys through `breaker` at `now_ms`: closed,
+    /// every key is admitted; half-open, exactly one key (the first)
+    /// becomes the probe and the rest are rejected as fast failures;
+    /// open, everything is rejected. Returns `(admitted, rejected)`
+    /// with both halves preserving plan order.
+    pub fn admit(&self, breaker: &mut CircuitBreaker, now_ms: f64) -> (Vec<K>, Vec<K>) {
+        let mut admitted = Vec::new();
+        let mut rejected = Vec::new();
+        for &k in &self.keys {
+            if breaker.allow(now_ms) {
+                admitted.push(k);
+            } else {
+                rejected.push(k);
+            }
+        }
+        (admitted, rejected)
+    }
+}
+
+/// Collects one tick's fetch requests and coalesces them into a
+/// [`BatchPlan`]. Reusable across ticks; stats accumulate.
+#[derive(Debug, Default)]
+pub struct BatchPlanner<K: Ord + Copy> {
+    pending: BTreeMap<K, Vec<u64>>,
+    stats: PlannerStats,
+}
+
+/// The common case: planning GOP-chunk fetches.
+pub type ChunkPlanner = BatchPlanner<ChunkId>;
+
+impl<K: Ord + Copy> BatchPlanner<K> {
+    /// An empty planner.
+    pub fn new() -> BatchPlanner<K> {
+        BatchPlanner { pending: BTreeMap::new(), stats: PlannerStats::default() }
+    }
+
+    /// Records that `requester` needs `key` this tick.
+    pub fn request(&mut self, requester: u64, key: K) {
+        self.stats.requests += 1;
+        let waiters = self.pending.entry(key).or_default();
+        if !waiters.is_empty() {
+            self.stats.coalesced += 1;
+        }
+        waiters.push(requester);
+    }
+
+    /// Number of requests not yet taken into a plan.
+    pub fn pending_requests(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
+    /// Whether no requests are pending.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Drains the tick's requests into a [`BatchPlan`] (keys ascending,
+    /// waiters in request order), leaving the planner empty for the
+    /// next tick. An idle planner yields an empty plan and counts no
+    /// batch.
+    pub fn take_plan(&mut self) -> BatchPlan<K> {
+        let pending = std::mem::take(&mut self.pending);
+        let mut keys = Vec::with_capacity(pending.len());
+        let mut waiters = Vec::with_capacity(pending.len());
+        for (k, w) in pending {
+            keys.push(k);
+            waiters.push(w);
+        }
+        if !keys.is_empty() {
+            self.stats.batches += 1;
+            self.stats.batched_keys += keys.len() as u64;
+        }
+        BatchPlan { keys, waiters }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PlannerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::{BreakerConfig, BreakerState};
+
+    #[test]
+    fn batch_planner_coalesces_and_sorts() {
+        let mut p: BatchPlanner<usize> = BatchPlanner::new();
+        p.request(7, 12);
+        p.request(3, 0);
+        p.request(9, 12);
+        p.request(1, 6);
+        assert_eq!(p.pending_requests(), 4);
+        let plan = p.take_plan();
+        assert_eq!(plan.keys, vec![0, 6, 12]);
+        assert_eq!(plan.waiters, vec![vec![3], vec![1], vec![7, 9]]);
+        assert!(p.is_idle());
+        let stats = p.stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.coalesced, 1, "second request for key 12 coalesced");
+        assert_eq!((stats.batches, stats.batched_keys), (1, 3));
+    }
+
+    #[test]
+    fn batch_plan_is_order_independent() {
+        let plan_of = |order: &[(u64, u32)]| {
+            let mut p: BatchPlanner<ChunkId> = BatchPlanner::new();
+            for &(req, key) in order {
+                p.request(req, ChunkId(key));
+            }
+            p.take_plan().keys
+        };
+        // Same request set, different arrival order within the tick.
+        let a = plan_of(&[(0, 5), (1, 2), (2, 5), (3, 9)]);
+        let b = plan_of(&[(3, 9), (2, 5), (0, 5), (1, 2)]);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![ChunkId(2), ChunkId(5), ChunkId(9)]);
+    }
+
+    #[test]
+    fn empty_take_plan_counts_no_batch() {
+        let mut p: BatchPlanner<u32> = BatchPlanner::new();
+        let plan = p.take_plan();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(p.stats().batches, 0);
+    }
+
+    #[test]
+    fn half_open_breaker_admits_one_key_per_plan() {
+        // A whole tick's coalesced batch lands on a breaker that has
+        // just cooled down: only the first key may probe the link.
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            min_samples: 4,
+            trip_ratio: 0.5,
+            cooldown_ms: 100.0,
+            probes: 1,
+        })
+        .unwrap();
+        for t in 0..4 {
+            b.on_failure(f64::from(t));
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+
+        let mut p: BatchPlanner<ChunkId> = BatchPlanner::new();
+        for i in 0..5u64 {
+            p.request(i, ChunkId(i as u32));
+        }
+        let plan = p.take_plan();
+        let (admitted, rejected) = plan.admit(&mut b, 103.0);
+        assert_eq!(admitted, vec![ChunkId(0)], "exactly one probe half-open");
+        assert_eq!(rejected.len(), 4);
+        assert_eq!(b.fast_failures(), 4);
+
+        // The probe succeeds and closes the breaker (probes: 1): the
+        // next tick's whole batch flows.
+        b.on_success(104.0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        let mut p2: BatchPlanner<ChunkId> = BatchPlanner::new();
+        for i in 0..5u64 {
+            p2.request(i, ChunkId(i as u32));
+        }
+        let (admitted, rejected) = p2.take_plan().admit(&mut b, 105.0);
+        assert_eq!(admitted.len(), 5);
+        assert!(rejected.is_empty());
+    }
+}

@@ -136,6 +136,10 @@ pub struct CircuitBreaker {
     opened_at_ms: f64,
     /// Consecutive successful probes while half-open.
     probe_successes: u32,
+    /// Probes admitted half-open whose outcome has not yet arrived.
+    /// At most one may be outstanding: coalesced fetches landing in the
+    /// same tick must not all probe a barely-recovered link at once.
+    probes_inflight: u32,
     stats: BreakerStats,
 }
 
@@ -152,6 +156,7 @@ impl CircuitBreaker {
             window: Vec::with_capacity(config.window),
             opened_at_ms: f64::NEG_INFINITY,
             probe_successes: 0,
+            probes_inflight: 0,
             stats: BreakerStats::default(),
         })
     }
@@ -185,14 +190,28 @@ impl CircuitBreaker {
     /// Whether a request starting at `now_ms` may proceed. An open
     /// breaker whose cool-down has elapsed transitions to half-open and
     /// admits the request as a probe; an open breaker still cooling
-    /// rejects it (counted as a fast failure).
+    /// rejects it (counted as a fast failure). Half-open, only one
+    /// probe may be in flight at a time: concurrent requests coalesced
+    /// into the same tick are rejected (fast failures) until the
+    /// outstanding probe's outcome arrives, so a burst cannot hammer a
+    /// link that has not yet proven itself.
     pub fn allow(&mut self, now_ms: f64) -> bool {
         match self.state {
-            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => {
+                if self.probes_inflight == 0 {
+                    self.probes_inflight = 1;
+                    true
+                } else {
+                    self.stats.fast_failures += 1;
+                    false
+                }
+            }
             BreakerState::Open => {
                 if now_ms - self.opened_at_ms >= self.config.cooldown_ms {
                     self.state = BreakerState::HalfOpen;
                     self.probe_successes = 0;
+                    self.probes_inflight = 1;
                     true
                 } else {
                     self.stats.fast_failures += 1;
@@ -207,10 +226,12 @@ impl CircuitBreaker {
         match self.state {
             BreakerState::Closed => self.push_outcome(false),
             BreakerState::HalfOpen => {
+                self.probes_inflight = self.probes_inflight.saturating_sub(1);
                 self.probe_successes += 1;
                 if self.probe_successes >= self.config.probes {
                     self.state = BreakerState::Closed;
                     self.window.clear();
+                    self.probes_inflight = 0;
                     self.stats.recoveries += 1;
                 }
             }
@@ -244,6 +265,7 @@ impl CircuitBreaker {
         self.state = BreakerState::Open;
         self.opened_at_ms = now_ms;
         self.probe_successes = 0;
+        self.probes_inflight = 0;
         self.window.clear();
         self.stats.trips += 1;
     }
@@ -417,6 +439,58 @@ mod tests {
         // The new cool-down restarts from the re-trip.
         assert!(!b.allow(150.0));
         assert!(b.allow(204.0));
+    }
+
+    #[test]
+    fn breaker_half_open_admits_exactly_one_concurrent_probe() {
+        // Regression: coalesced fetches landing in the same simulated
+        // tick used to all pass `allow` while half-open, hammering a
+        // barely-recovered link with a whole batch of probes. Only the
+        // first may go; the rest fail fast until its outcome arrives.
+        let mut b = quick();
+        for t in 0..4 {
+            b.on_failure(f64::from(t));
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+
+        // Cool-down elapsed; a batch of three coalesced requests all
+        // ask at the same timestamp. Exactly one is the probe.
+        assert!(b.allow(103.0), "first request becomes the half-open probe");
+        assert!(!b.allow(103.0), "second concurrent request is rejected");
+        assert!(!b.allow(103.0), "third concurrent request is rejected");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.fast_failures(), 2, "rejected co-probes count as fast failures");
+
+        // The probe resolves; the next tick's batch may probe again.
+        b.on_success(104.0);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "one of two probe successes");
+        assert!(b.allow(105.0), "outcome arrived: next probe admitted");
+        assert!(!b.allow(105.0), "still one at a time");
+        b.on_success(106.0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.stats().recoveries, 1);
+
+        // Closed again: concurrency limit no longer applies.
+        assert!(b.allow(107.0));
+        assert!(b.allow(107.0));
+    }
+
+    #[test]
+    fn breaker_failed_probe_clears_inflight_accounting() {
+        // A failed probe re-opens the breaker; after the next cool-down
+        // a fresh probe must be admitted (the in-flight slot must not
+        // leak across the trip).
+        let mut b = quick();
+        for t in 0..4 {
+            b.on_failure(f64::from(t));
+        }
+        assert!(b.allow(103.0));
+        assert!(!b.allow(103.0), "slot taken while probe in flight");
+        b.on_failure(104.0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow(204.0), "fresh cool-down admits a fresh probe");
+        b.on_success(205.0);
+        assert!(b.allow(206.0), "resolved probe frees the slot");
     }
 
     #[test]

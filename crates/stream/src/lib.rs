@@ -24,10 +24,14 @@
 //! * [`breaker`] — a closed/open/half-open [`CircuitBreaker`] on
 //!   simulated time, so clients fail fast on persistently sick links
 //!   instead of burning retry budget (EXP-14).
+//! * [`batch`] — per-tick fetch batching: a [`BatchPlanner`] coalesces
+//!   the chunk requests of a whole cooperative-executor tick into one
+//!   deduplicated, breaker-gated plan (EXP-18).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod breaker;
 pub mod chunk;
 pub mod client;
@@ -35,6 +39,7 @@ pub mod fault;
 pub mod link;
 pub mod prefetch;
 
+pub use batch::{BatchPlan, BatchPlanner, ChunkPlanner, PlannerStats};
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use chunk::{ChunkId, ChunkMap};
 pub use client::{
