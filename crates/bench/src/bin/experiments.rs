@@ -1651,6 +1651,198 @@ fn exp18() {
     );
 }
 
+fn exp19() {
+    header("EXP-19", "durable store: fleet-wide power loss, seeded disk faults, chaos");
+    use vgbl::runtime::chaos::{run_chaos, ChaosConfig};
+    use vgbl::runtime::supervisor::{ArrivalPlan, SupervisorConfig};
+    use vgbl::runtime::{run_fleet, FleetConfig, FleetWorkload, MigrationConfig, SessionOutcome};
+    use vgbl::store::{DiskFaultPlan, StoreConfig};
+
+    // `EXP19_SESSIONS` scales the fleets down for CI smoke runs; the
+    // recorded numbers come from the default 50k-arrival runs.
+    let n: usize = std::env::var("EXP19_SESSIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+
+    // A provisioned fleet (service keeps up with the 2 ms arrival gaps)
+    // so the power losses hit a fleet that is busy, not drowning, and a
+    // snapshot cadence that scales with the fleet — the compacted
+    // snapshot writes one record per session ever acked, so a cadence
+    // tuned for a 10-session test is quadratic at 50k.
+    let base = |m: usize, losses: Vec<f64>, store: StoreConfig| FleetConfig {
+        shards: 4,
+        vnodes: 64,
+        router_seed: 0xE19,
+        shard: SupervisorConfig {
+            queue_capacity: m.max(16),
+            queue_deadline_ms: 1e9,
+            slots: 6,
+            step_ms: 1.0,
+            checkpoint_every: 5,
+            ..SupervisorConfig::default()
+        },
+        // As in EXP-17: SLO drains stay out of the headline run — a
+        // drain retires capacity, and this experiment is about storage
+        // durability, not overload policy.
+        migration: MigrationConfig {
+            burn_threshold: 1e12,
+            sustain_ticks: 10,
+            max_drain_occupancy: f64::INFINITY,
+            verify_replay: true,
+        },
+        store: Some(store),
+        power_loss_at_ms: losses,
+        ..FleetConfig::default()
+    };
+    // Arrivals at 4 ms mean gaps: below the warmed fleet's service
+    // rate, so the losses hit in-flight work rather than a backlog.
+    // `m` sessions arrive over ~4m ms; loss times are fractions of m.
+    let workload = FleetWorkload::Synthetic { mean_segments: 5 };
+    let arrivals = ArrivalPlan::new(0xE19, 4.0).expect("positive mean gap");
+
+    // Part 1: disks are durable, the fleet is not. Two whole-fleet
+    // power losses vaporise every shard's memory mid-run; every session
+    // with an acknowledged checkpoint must come back and finish, so
+    // `lost_durable` is exactly zero and the only honest sheds are
+    // sessions that never reached their first flush.
+    let clean = base(
+        n,
+        vec![n as f64, 2.5 * n as f64],
+        StoreConfig {
+            snapshot_every: 1024,
+            dual_write: false,
+            faults: DiskFaultPlan::new(0xE19_C1EA),
+        },
+    );
+    let t0 = Instant::now();
+    let a = run_fleet(&workload, &clean, n, &arrivals).expect("fleet runs");
+    let wall = t0.elapsed();
+    assert!(a.accounts_exactly(), "accounting identity must hold");
+    let d = a.durability.as_ref().expect("store configured");
+    assert_eq!(a.lost_durable, 0, "clean disks lose nothing acked");
+    assert!(d.lost.is_empty() && d.scrubs.iter().all(|s| s.lost.is_empty()));
+    assert_eq!(d.scrubs.len(), 2, "one scrub per power loss");
+    for o in &a.outcomes {
+        if let SessionOutcome::Shed { reason } = o {
+            assert_eq!(reason, "power loss before first durable checkpoint");
+        }
+    }
+    let b = run_fleet(&workload, &clean, n, &arrivals).expect("fleet runs");
+    assert_eq!(a, b, "same seed ⇒ byte-identical FleetReport, scrubs and all");
+    println!(
+        "clean disks, {n} sessions, 2 whole-fleet power losses:\n\
+         completed {} / recovered {} (cold {}) / shed {} / lost_durable {},\n\
+         {} WAL appends, {} acked, {} cold resumes ({} stale) in {:.2} s wall;\n\
+         every shed is 'power loss before first durable checkpoint'; rerun byte-identical.",
+        a.completed,
+        a.recovered,
+        a.recovered_cold,
+        a.shed,
+        a.lost_durable,
+        d.store.appended,
+        d.store.acked_records,
+        d.cold_resumed,
+        d.stale_resumes,
+        wall.as_secs_f64()
+    );
+
+    // Part 2: the loss/corruption sweep. Torn writes and bit rot at
+    // increasing rates, with and without dual-write; every session the
+    // fleet sheds as lost must be attributed to a specific corrupt
+    // record, and the identity `lost_durable == |durability.lost|`
+    // holds in every cell. Dual-write never does worse than single.
+    println!("\nfault sweep, {} sessions per cell (torn+rot at equal rates):", n / 5);
+    println!("  rate    dual-write   recovered(cold)   lost_durable   repaired   sheds");
+    for &rate in &[0.1, 0.3, 0.6] {
+        let mut row = [0usize; 2];
+        for (di, &dual) in [false, true].iter().enumerate() {
+            let m = n / 5;
+            // Six losses spread across the cell's arrival window, so
+            // each cell suffers repeated cold restarts mid-flight.
+            let losses = (1..=6).map(|k| 0.5 * k as f64 * m as f64).collect();
+            let faulty = base(
+                m,
+                losses,
+                StoreConfig {
+                    snapshot_every: 1024,
+                    dual_write: dual,
+                    faults: DiskFaultPlan::new(0xE19_BAD)
+                        .with_torn_writes(rate)
+                        .and_then(|p| p.with_bit_rot(rate))
+                        .expect("valid rates"),
+                },
+            );
+            let r = run_fleet(&workload, &faulty, m, &arrivals).expect("fleet runs");
+            assert!(r.accounts_exactly(), "identity must hold under faults");
+            let d = r.durability.as_ref().expect("store configured");
+            assert_eq!(r.lost_durable, d.lost.len(), "every loss attributed to a record");
+            let corrupt_sheds = r
+                .outcomes
+                .iter()
+                .filter(|o| {
+                    matches!(o, SessionOutcome::Shed { reason }
+                        if reason == "cold restart: durable checkpoint corrupt")
+                })
+                .count();
+            assert_eq!(corrupt_sheds, r.lost_durable, "shed rows match attributed losses");
+            let repaired: usize = d.scrubs.iter().map(|s| s.repaired.len()).sum();
+            row[di] = r.lost_durable;
+            println!(
+                "  {rate:<7} {:<12} {:>8} ({:<4})   {:>12}   {repaired:>8}   {:>5}",
+                if dual { "on" } else { "off" },
+                r.recovered,
+                r.recovered_cold,
+                r.lost_durable,
+                r.shed
+            );
+        }
+        assert!(row[1] <= row[0], "dual-write must never lose more than single-copy");
+    }
+
+    // Part 3: the chaos orchestrator composes shard crashes, stalls,
+    // degraded links and power losses over one clock, runs the fleet
+    // twice, and machine-checks the invariants: exact accounting, no
+    // dual outcomes, no unattributed acked loss, byte-identical rerun.
+    let campaign = ChaosConfig {
+        seed: 0xE19_CA05,
+        sessions: (n / 50).max(200),
+        crashes: 2,
+        stalls: 1,
+        degraded_links: 1,
+        power_losses: 2,
+        store: StoreConfig {
+            snapshot_every: 8,
+            dual_write: true,
+            faults: DiskFaultPlan::new(0xE19_CA05)
+                .with_torn_writes(0.4)
+                .and_then(|p| p.with_bit_rot(0.3))
+                .and_then(|p| p.with_lost_flushes(0.2))
+                .and_then(|p| p.with_stale_reads(0.3))
+                .expect("valid rates"),
+        },
+        ..ChaosConfig::default()
+    };
+    let report = run_chaos(&campaign).expect("campaign runs");
+    for c in &report.checks {
+        println!("  chaos check {:<26} {}", c.name, if c.pass { "PASS" } else { "FAIL" });
+        assert!(c.pass, "{}: {}", c.name, c.detail);
+    }
+    println!(
+        "\nchaos campaign, {} sessions, {} shard faults + {} power losses, all disk\n\
+         fault types on: completed {} / recovered {} (cold {}) / shed {} /\n\
+         lost_durable {} — all four invariants machine-checked, rerun byte-identical.",
+        campaign.sessions,
+        report.faults.len(),
+        report.power_loss_at_ms.len(),
+        report.fleet.completed,
+        report.fleet.recovered,
+        report.fleet.recovered_cold,
+        report.fleet.shed,
+        report.fleet.lost_durable
+    );
+}
+
 /// A bot that panics as soon as it is asked for input (EXP-12's fault
 /// isolation demo).
 struct PanicBot;
@@ -1744,5 +1936,8 @@ fn main() {
     }
     if want("exp18") {
         exp18();
+    }
+    if want("exp19") {
+        exp19();
     }
 }

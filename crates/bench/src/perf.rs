@@ -38,14 +38,16 @@ use vgbl::runtime::{
     run_fleet, run_playback_cohort, run_playback_cohort_batched, run_playback_cohort_with_stats,
     ArrivalPlan, FleetConfig, FleetWorkload, ShardFault, ShardFaultKind, SupervisorConfig,
 };
+use vgbl::store::{DiskFaultPlan, StoreConfig};
 use vgbl::stream::{simulate, ChunkMap, LinkModel, PrefetchPolicy, TraceStep};
 
 use crate::{bench_footage, encode, table_for, RATE};
 
 /// The operations every snapshot covers, in emission order. `fleet`
-/// arrived with the `vgbl-bench/2` schema and `executor` with
-/// `vgbl-bench/3`; older snapshots carry prefixes of this list.
-pub const OPS: [&str; 9] = [
+/// arrived with the `vgbl-bench/2` schema, `executor` with
+/// `vgbl-bench/3` and `durability` with `vgbl-bench/4`; older snapshots
+/// carry prefixes of this list.
+pub const OPS: [&str; 10] = [
     "encode",
     "decode_all",
     "seek_cold",
@@ -55,14 +57,17 @@ pub const OPS: [&str; 9] = [
     "cohort_batched",
     "fleet",
     "executor",
+    "durability",
 ];
 
-/// The required op set for a document: everything for `vgbl-bench/3`,
+/// The required op set for a document: everything for `vgbl-bench/4`,
 /// schema-appropriate prefixes for older snapshots (and trajectories
 /// over them).
 fn required_ops(json: &str) -> &'static [&'static str] {
-    if json.contains("\"vgbl-bench/3\"") {
+    if json.contains("\"vgbl-bench/4\"") {
         &OPS
+    } else if json.contains("\"vgbl-bench/3\"") {
+        &OPS[..9]
     } else if json.contains("\"vgbl-bench/2\"") {
         &OPS[..8]
     } else {
@@ -250,6 +255,7 @@ fn target_per_s(name: &str) -> f64 {
         "cohort_batched" => 2_500.0,
         "fleet" => 1_000.0,
         "executor" => 100.0,
+        "durability" => 500.0,
         _ => 0.0,
     }
 }
@@ -438,6 +444,30 @@ pub fn run(mode: Mode, label: &str) -> BenchReport {
     });
     ops.push(push("executor", wall, w.executor_sessions, "sessions"));
 
+    // durability: the same synthetic stampede through a fleet that
+    // writes every checkpoint to the durable store and suffers a
+    // whole-fleet power loss mid-run (clean disks) — WAL encode,
+    // flush/snapshot bookkeeping, scrub and cold-restart re-admission,
+    // measured as sessions resolved per second.
+    let durability_cfg = FleetConfig {
+        store: Some(StoreConfig {
+            snapshot_every: 8,
+            dual_write: true,
+            faults: DiskFaultPlan::new(w.seed ^ 0xD15C),
+        }),
+        power_loss_at_ms: vec![200.0],
+        ..fleet_cfg.clone()
+    };
+    let wall = timed(&mut rec, "durability", &mut || {
+        let report =
+            run_fleet(&fleet_workload, &durability_cfg, w.fleet_sessions, &fleet_arrivals)
+                .expect("durability bench runs");
+        assert!(report.accounts_exactly(), "durability bench must not lose sessions");
+        assert_eq!(report.lost_durable, 0, "clean disks must lose nothing acknowledged");
+        std::hint::black_box(report);
+    });
+    ops.push(push("durability", wall, w.fleet_sessions, "sessions"));
+
     rec.exit(now_us(epoch));
     let obs = Obs::recording();
     obs.attach(rec);
@@ -472,12 +502,12 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Serialises a report as a `vgbl-bench/3` JSON snapshot.
+/// Serialises a report as a `vgbl-bench/4` JSON snapshot.
 pub fn to_json(report: &BenchReport) -> String {
     let w = &report.workload;
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"vgbl-bench/3\",");
+    let _ = writeln!(out, "  \"schema\": \"vgbl-bench/4\",");
     let _ = writeln!(out, "  \"label\": \"{}\",", json_escape(&report.label));
     let _ = writeln!(out, "  \"mode\": \"{}\",", report.mode.name());
     let _ = writeln!(out, "  \"workload\": {{");
@@ -685,7 +715,18 @@ mod tests {
 
         // Schema compatibility: each older schema validates without the
         // ops that arrived after it, and each newer schema requires them.
-        let v2: String = json
+        let v3: String = json
+            .replace("\"vgbl-bench/4\"", "\"vgbl-bench/3\"")
+            .lines()
+            .filter(|l| !l.contains("\"durability\":"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        validate_json(&v3).expect("v3 snapshot validates without durability");
+        assert!(
+            validate_json(&v3.replace("\"vgbl-bench/3\"", "\"vgbl-bench/4\"")).is_err(),
+            "v4 snapshot must carry the durability op"
+        );
+        let v2: String = v3
             .replace("\"vgbl-bench/3\"", "\"vgbl-bench/2\"")
             .lines()
             .filter(|l| !l.contains("\"executor\":"))

@@ -46,6 +46,7 @@ pub use vgbl_obs as obs;
 pub use vgbl_runtime as runtime;
 pub use vgbl_scene as scene;
 pub use vgbl_script as script;
+pub use vgbl_store as store;
 pub use vgbl_stream as stream;
 
 pub mod player;

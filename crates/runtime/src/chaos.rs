@@ -1,0 +1,343 @@
+//! Chaos orchestrator: one seeded schedule composing link degradation,
+//! shard crashes, shard stalls, whole-fleet power losses, and disk
+//! faults over the fleet's single discrete-event clock — then explicit
+//! invariant checks over the outcome, including a full byte-identical
+//! rerun.
+//!
+//! The point is not to make the fleet survive (some schedules are
+//! unsurvivable by design) but to prove that whatever happens is
+//! *accounted*: every offered session ends in exactly one outcome,
+//! every acknowledged-durable checkpoint that vanished is attributed to
+//! a provably corrupt record, and the entire composed run replays
+//! bit-identically from its seed.
+
+use crate::fleet::{
+    run_fleet, FleetConfig, FleetReport, FleetWorkload, ShardFault, ShardFaultKind,
+};
+use crate::server::SessionOutcome;
+use crate::supervisor::{mix, unit, ArrivalPlan, SupervisorConfig};
+use crate::{Result, RuntimeError};
+use vgbl_store::StoreConfig;
+
+/// Domain separation for chaos-schedule draws, one salt per fault
+/// dimension so adding crashes never perturbs where stalls land.
+const SALT_CRASH: u64 = 0xC4A0_0001;
+const SALT_STALL: u64 = 0xC4A0_0002;
+const SALT_LINK: u64 = 0xC4A0_0003;
+const SALT_POWER: u64 = 0xC4A0_0004;
+
+fn invalid(msg: impl Into<String>) -> RuntimeError {
+    RuntimeError::InvalidSupervisor(msg.into())
+}
+
+/// One seeded chaos campaign: how much of each fault dimension to
+/// compose over the horizon. The schedule itself is a pure function of
+/// `seed` — two configs that differ only in `seed` produce entirely
+/// different but individually reproducible campaigns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Master seed; every scheduled fault is a pure hash of it.
+    pub seed: u64,
+    /// Sessions offered to the fleet.
+    pub sessions: usize,
+    /// Initial shard count.
+    pub shards: u32,
+    /// Mean inter-arrival gap, simulated ms.
+    pub arrival_interval_ms: f64,
+    /// Average synthetic session length in segments.
+    pub mean_segments: u32,
+    /// Shard crashes to schedule.
+    pub crashes: u32,
+    /// Shard stalls to schedule.
+    pub stalls: u32,
+    /// Link degradations to schedule.
+    pub degraded_links: u32,
+    /// Whole-fleet power losses to schedule.
+    pub power_losses: u32,
+    /// All faults land inside `[0, horizon_ms)`.
+    pub horizon_ms: f64,
+    /// The durable store (and its seeded disk-fault plan).
+    pub store: StoreConfig,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0xC4A0_5EED,
+            sessions: 200,
+            shards: 4,
+            arrival_interval_ms: 2.0,
+            mean_segments: 5,
+            crashes: 1,
+            stalls: 1,
+            degraded_links: 1,
+            power_losses: 1,
+            horizon_ms: 600.0,
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+impl ChaosConfig {
+    fn validate(&self) -> Result<()> {
+        if self.sessions == 0 {
+            return Err(invalid("chaos needs at least one session"));
+        }
+        if self.shards == 0 {
+            return Err(invalid("chaos needs at least one shard"));
+        }
+        if self.mean_segments == 0 {
+            return Err(invalid("chaos mean_segments must be >= 1"));
+        }
+        if !self.horizon_ms.is_finite() || self.horizon_ms <= 0.0 {
+            return Err(invalid("chaos horizon_ms must be positive and finite"));
+        }
+        if !self.arrival_interval_ms.is_finite() || self.arrival_interval_ms <= 0.0 {
+            return Err(invalid("chaos arrival_interval_ms must be positive and finite"));
+        }
+        Ok(())
+    }
+
+    /// The composed fault schedule: every entry a pure hash of
+    /// `(seed, dimension, index)`, so the campaign replays exactly.
+    fn schedule(&self) -> (Vec<ShardFault>, Vec<f64>) {
+        let mut faults = Vec::new();
+        let at = |salt: u64, i: u32| unit(mix(self.seed ^ salt ^ mix(u64::from(i)))) * self.horizon_ms;
+        let pick = |salt: u64, i: u32| {
+            (mix(self.seed ^ salt ^ mix(u64::from(i)).rotate_left(17)) % u64::from(self.shards))
+                as u32
+        };
+        for i in 0..self.crashes {
+            faults.push(ShardFault {
+                at_ms: at(SALT_CRASH, i),
+                shard: pick(SALT_CRASH, i),
+                kind: ShardFaultKind::Crash,
+            });
+        }
+        for i in 0..self.stalls {
+            let duration_ms =
+                1.0 + unit(mix(self.seed ^ SALT_STALL ^ mix(u64::from(i)) ^ 0x5)) * 0.2 * self.horizon_ms;
+            faults.push(ShardFault {
+                at_ms: at(SALT_STALL, i),
+                shard: pick(SALT_STALL, i),
+                kind: ShardFaultKind::Stall { duration_ms },
+            });
+        }
+        for i in 0..self.degraded_links {
+            let loss = 0.5 + 0.49 * unit(mix(self.seed ^ SALT_LINK ^ mix(u64::from(i)) ^ 0x7));
+            faults.push(ShardFault {
+                at_ms: at(SALT_LINK, i),
+                shard: pick(SALT_LINK, i),
+                kind: ShardFaultKind::DegradedLink { loss },
+            });
+        }
+        let mut power: Vec<f64> = (0..self.power_losses).map(|i| at(SALT_POWER, i)).collect();
+        power.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        (faults, power)
+    }
+}
+
+/// One named invariant verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantCheck {
+    /// Which invariant.
+    pub name: &'static str,
+    /// Whether it held.
+    pub pass: bool,
+    /// Human-readable evidence (counts, the first violation, ...).
+    pub detail: String,
+}
+
+/// The campaign's audit: the fleet report it produced plus every
+/// invariant verdict, including the byte-identical-rerun check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// The seed the whole campaign derives from.
+    pub seed: u64,
+    /// Scheduled shard-level faults, in schedule order.
+    pub faults: Vec<ShardFault>,
+    /// Scheduled whole-fleet power losses, sorted.
+    pub power_loss_at_ms: Vec<f64>,
+    /// The (first) run's full fleet report.
+    pub fleet: FleetReport,
+    /// Every invariant verdict.
+    pub checks: Vec<InvariantCheck>,
+}
+
+impl ChaosReport {
+    /// All invariants held.
+    pub fn all_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// The first failed invariant, if any.
+    pub fn first_failure(&self) -> Option<&InvariantCheck> {
+        self.checks.iter().find(|c| !c.pass)
+    }
+}
+
+fn check(name: &'static str, pass: bool, detail: String) -> InvariantCheck {
+    InvariantCheck { name, pass, detail }
+}
+
+/// Runs one seeded chaos campaign: builds the schedule, runs the fleet
+/// over it **twice**, and returns the audited [`ChaosReport`].
+///
+/// Invariants checked:
+/// - `exact_accounting` — every offered session has exactly one
+///   terminal outcome and the scalar counters match the outcome vector.
+/// - `no_dual_outcome` — no session is simultaneously served and shed:
+///   every durably-lost session's single outcome is the corrupt-record
+///   shed, and no other session carries that reason.
+/// - `no_acked_loss_unattributed` — `lost_durable` equals the number of
+///   attributed corrupt records; a durable store must never lose an
+///   acknowledged checkpoint without naming the record that died.
+/// - `rerun_identical` — the second run's report (storage audit
+///   included) is byte-identical to the first.
+pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport> {
+    cfg.validate()?;
+    let (faults, power_loss_at_ms) = cfg.schedule();
+    let fleet_cfg = FleetConfig {
+        shards: cfg.shards,
+        vnodes: 32,
+        router_seed: mix(cfg.seed),
+        shard: SupervisorConfig {
+            queue_capacity: 32,
+            queue_deadline_ms: 1e9,
+            slots: 2,
+            step_ms: 10.0,
+            checkpoint_every: 5,
+            ..SupervisorConfig::default()
+        },
+        faults: faults.clone(),
+        store: Some(cfg.store),
+        power_loss_at_ms: power_loss_at_ms.clone(),
+        ..FleetConfig::default()
+    };
+    let workload = FleetWorkload::Synthetic { mean_segments: cfg.mean_segments };
+    let arrivals = ArrivalPlan::new(cfg.seed ^ 0x0A88_14A1, cfg.arrival_interval_ms)?;
+    let fleet = run_fleet(&workload, &fleet_cfg, cfg.sessions, &arrivals)?;
+    let rerun = run_fleet(&workload, &fleet_cfg, cfg.sessions, &arrivals)?;
+
+    let mut checks = Vec::new();
+
+    let (completed, failed, shed, recovered, gave_up) = fleet.outcome_counts();
+    let counters_match = completed == fleet.completed
+        && failed == fleet.failed
+        && shed == fleet.shed
+        && recovered == fleet.recovered
+        && gave_up == fleet.gave_up;
+    checks.push(check(
+        "exact_accounting",
+        fleet.accounts_exactly() && fleet.outcomes.len() == fleet.sessions && counters_match,
+        format!(
+            "{} sessions = {completed} completed + {recovered} recovered + {failed} failed \
+             + {gave_up} gave up + {shed} shed",
+            fleet.sessions
+        ),
+    ));
+
+    const CORRUPT_SHED: &str = "cold restart: durable checkpoint corrupt";
+    let lost_sessions: Vec<usize> = fleet
+        .durability
+        .as_ref()
+        .map(|d| d.lost.iter().map(|l| l.session).collect())
+        .unwrap_or_default();
+    let lost_all_shed = lost_sessions.iter().all(|&s| {
+        matches!(&fleet.outcomes[s], SessionOutcome::Shed { reason } if reason == CORRUPT_SHED)
+    });
+    let corrupt_sheds = fleet
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o, SessionOutcome::Shed { reason } if reason == CORRUPT_SHED))
+        .count();
+    checks.push(check(
+        "no_dual_outcome",
+        lost_all_shed && corrupt_sheds == lost_sessions.len(),
+        format!(
+            "{} durably lost sessions, {corrupt_sheds} corrupt-record sheds, all matching",
+            lost_sessions.len()
+        ),
+    ));
+
+    let attributed = fleet.durability.as_ref().map_or(0, |d| d.lost.len());
+    checks.push(check(
+        "no_acked_loss_unattributed",
+        fleet.lost_durable == attributed,
+        format!("lost_durable = {} with {attributed} attributed corrupt records", fleet.lost_durable),
+    ));
+
+    checks.push(check(
+        "rerun_identical",
+        fleet == rerun,
+        if fleet == rerun {
+            format!("two runs from seed {:#x} produced identical reports", cfg.seed)
+        } else {
+            "second run diverged from the first".to_string()
+        },
+    ));
+
+    Ok(ChaosReport { seed: cfg.seed, faults, power_loss_at_ms, fleet, checks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgbl_store::DiskFaultPlan;
+
+    #[test]
+    fn chaos_campaign_passes_all_invariants_on_clean_disks() {
+        let report = run_chaos(&ChaosConfig::default()).unwrap();
+        assert!(report.all_pass(), "{:?}", report.first_failure());
+        assert_eq!(report.faults.len(), 3);
+        assert_eq!(report.power_loss_at_ms.len(), 1);
+        assert_eq!(report.fleet.lost_durable, 0, "clean disks lose nothing acked");
+    }
+
+    #[test]
+    fn chaos_campaign_passes_all_invariants_under_disk_faults() {
+        let cfg = ChaosConfig {
+            seed: 0x0FEE_1BAD,
+            crashes: 2,
+            power_losses: 2,
+            store: StoreConfig {
+                snapshot_every: 4,
+                dual_write: false,
+                faults: DiskFaultPlan::new(0x0FEE_1BAD)
+                    .with_torn_writes(0.6)
+                    .unwrap()
+                    .with_bit_rot(0.5)
+                    .unwrap()
+                    .with_lost_flushes(0.2)
+                    .unwrap()
+                    .with_stale_reads(0.3)
+                    .unwrap(),
+            },
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos(&cfg).unwrap();
+        assert!(report.all_pass(), "{:?}", report.first_failure());
+        let d = report.fleet.durability.as_ref().unwrap();
+        assert!(d.store.power_losses >= 2);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_campaigns() {
+        let a = ChaosConfig { seed: 1, ..ChaosConfig::default() }.schedule();
+        let b = ChaosConfig { seed: 2, ..ChaosConfig::default() }.schedule();
+        assert_ne!(a.0, b.0, "fault schedules must vary with the seed");
+    }
+
+    #[test]
+    fn chaos_config_is_validated() {
+        for bad in [
+            ChaosConfig { sessions: 0, ..ChaosConfig::default() },
+            ChaosConfig { shards: 0, ..ChaosConfig::default() },
+            ChaosConfig { mean_segments: 0, ..ChaosConfig::default() },
+            ChaosConfig { horizon_ms: f64::NAN, ..ChaosConfig::default() },
+            ChaosConfig { arrival_interval_ms: 0.0, ..ChaosConfig::default() },
+        ] {
+            assert!(run_chaos(&bad).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -31,7 +31,7 @@
 //! same faults → a byte-identical [`FleetReport`] (it is `PartialEq`
 //! for exactly that assertion).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -46,10 +46,11 @@ use crate::executor::EventQueue;
 use crate::save::SaveGame;
 use crate::server::{panic_reason, SessionOutcome};
 use crate::supervisor::{
-    drive, mix, resume_session, stitch, warm_session, ArrivalPlan, LadderPolicy, ServiceMode,
-    SupSlo, SupervisedBotFactory, SupervisorConfig,
+    drive, mix, persist_checkpoint, restart_backoff, resume_session, stitch, warm_session,
+    ArrivalPlan, LadderPolicy, ServiceMode, SupSlo, SupervisedBotFactory, SupervisorConfig,
 };
 use crate::Result;
+use vgbl_store::{CheckpointRecord, CorruptKind, DurableStore, ScrubReport, StoreConfig, StoreStats};
 
 /// Domain-separates ring-point hashing from every other splitmix user.
 const SALT_RING: u64 = 0x9000_0009;
@@ -273,6 +274,14 @@ pub struct FleetConfig {
     pub migration: MigrationConfig,
     /// Elastic shard count; `None` pins the fleet at `shards`.
     pub autoscale: Option<AutoscaleConfig>,
+    /// Fleet-wide durable checkpoint store. `None` keeps committed
+    /// checkpoints in process memory only — a whole-fleet power loss is
+    /// then unrecoverable (the pre-PR-9 behaviour).
+    pub store: Option<StoreConfig>,
+    /// Scheduled whole-fleet power losses, simulated ms: at each, every
+    /// shard loses all in-memory state (queues, slots, uncommitted
+    /// work) and the fleet cold-restarts from the durable store.
+    pub power_loss_at_ms: Vec<f64>,
 }
 
 impl Default for FleetConfig {
@@ -286,6 +295,8 @@ impl Default for FleetConfig {
             control_interval_ms: 250.0,
             migration: MigrationConfig::default(),
             autoscale: None,
+            store: None,
+            power_loss_at_ms: Vec::new(),
         }
     }
 }
@@ -313,6 +324,17 @@ impl FleetConfig {
             return Err(invalid(
                 "migration max_drain_occupancy must be positive \
                  (f64::INFINITY disables the overload guard)",
+            ));
+        }
+        for &t in &self.power_loss_at_ms {
+            if !t.is_finite() || t < 0.0 {
+                return Err(invalid("power_loss_at_ms must be non-negative and finite"));
+            }
+        }
+        if self.store.is_none() && !self.power_loss_at_ms.is_empty() {
+            return Err(invalid(
+                "power losses without a durable store would lose every session; \
+                 set FleetConfig::store",
             ));
         }
         for f in &self.faults {
@@ -436,6 +458,38 @@ pub struct ScaleEvent {
     pub burn: f64,
 }
 
+/// One session whose durable checkpoint could not be recovered after a
+/// power loss: the exact corrupt record it is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LostSession {
+    /// Session id.
+    pub session: usize,
+    /// The last *acknowledged* WAL sequence number for this session.
+    pub seq: u64,
+    /// What destroyed the record (torn write vs bit rot).
+    pub kind: CorruptKind,
+}
+
+/// Everything the durable store did and suffered across one fleet run.
+/// `PartialEq` so chaos reruns can assert byte-identical storage
+/// behaviour wholesale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityReport {
+    /// The store's lifetime counters (appends, acked/lost flushes,
+    /// snapshots, power losses, staged records destroyed).
+    pub store: StoreStats,
+    /// One scrub report per power loss, in order.
+    pub scrubs: Vec<ScrubReport>,
+    /// Sessions resumed from the store across all cold restarts.
+    pub cold_resumed: usize,
+    /// Cold resumes that were served a stale (older intact) version.
+    pub stale_resumes: usize,
+    /// Sessions shed because *every* durable copy of their checkpoint
+    /// was provably corrupt — each attributed to a specific record.
+    /// This is exactly the report's `lost_durable` count.
+    pub lost: Vec<LostSession>,
+}
+
 /// Per-shard accounting. Terminal outcomes (completed/failed/...) are
 /// attributed to the shard the session *finished* on; `restarts`
 /// likewise carries the session's cumulative restarts at its terminal
@@ -499,6 +553,13 @@ pub struct FleetReport {
     /// Shed — every one carries a reason in `outcomes`; nothing is
     /// silently lost.
     pub shed: usize,
+    /// Of `recovered`: sessions that finished after resuming from the
+    /// durable store across a whole-fleet power loss.
+    pub recovered_cold: usize,
+    /// Of `shed`: sessions lost because their acknowledged durable
+    /// checkpoint was provably corrupt at cold restart — each one
+    /// attributed to a record in [`DurabilityReport::lost`].
+    pub lost_durable: usize,
     /// Admissions served below full service.
     pub degraded: usize,
     /// Total restarts across the fleet.
@@ -529,6 +590,8 @@ pub struct FleetReport {
     pub ledgers: Vec<BudgetLedger>,
     /// All shard-level alerts merged into one ordered timeline.
     pub shard_alerts: AlertTimeline,
+    /// Durable-store audit when [`FleetConfig::store`] was set.
+    pub durability: Option<DurabilityReport>,
 }
 
 impl FleetReport {
@@ -590,6 +653,22 @@ impl FleetReport {
         if let Some(l) = self.ledgers.first() {
             debug_assert_eq!(l.bad as usize, self.shed, "shed ledger must count every shed");
         }
+        debug_assert!(
+            self.recovered_cold <= self.recovered,
+            "cold recoveries are a subset of recoveries"
+        );
+        debug_assert!(self.lost_durable <= self.shed, "durable losses are a subset of sheds");
+        match &self.durability {
+            Some(d) => debug_assert_eq!(
+                self.lost_durable,
+                d.lost.len(),
+                "every durable loss must be attributed to a corrupt record"
+            ),
+            None => {
+                debug_assert_eq!(self.lost_durable, 0, "no store, no durable losses");
+                debug_assert_eq!(self.recovered_cold, 0, "no store, no cold recoveries");
+            }
+        }
         let migrated_out: usize = self.shards.iter().map(|s| s.migrated_out).sum();
         debug_assert!(self.migrations.len() <= migrated_out, "records only for re-homed sessions");
         debug_assert!(
@@ -613,6 +692,9 @@ enum EvKind {
     Seg { shard: u32, slot: usize, token: u64 },
     /// A scheduled fault (index into [`FleetConfig::faults`]) fires.
     Fault(usize),
+    /// A whole-fleet power loss (index into
+    /// [`FleetConfig::power_loss_at_ms`]) fires.
+    PowerLoss(usize),
     /// A controller tick.
     Control,
 }
@@ -655,6 +737,9 @@ struct Running {
     /// Step the latest resume started from (0 for never-migrated).
     resumed_at_step: usize,
     was_degraded: bool,
+    /// The session was rebuilt from the durable store after a
+    /// whole-fleet power loss (its in-memory lineage was destroyed).
+    cold: bool,
     committed: Option<Commit>,
     engine: Option<EngineRun>,
     synth_done: u32,
@@ -682,7 +767,11 @@ struct ResumeState {
     restarts: u32,
     hops: u32,
     was_degraded: bool,
-    mig_idx: usize,
+    /// Index into the migrations ledger; `None` for cold restarts,
+    /// which are audited in the [`DurabilityReport`] instead.
+    mig_idx: Option<usize>,
+    /// Resuming from the durable store after a whole-fleet power loss.
+    cold: bool,
 }
 
 /// A queued admission on one shard.
@@ -803,6 +892,9 @@ struct FleetObs {
     drains_deferred: Counter,
     scale_up: Counter,
     scale_down: Counter,
+    power_losses: Counter,
+    cold_resumes: Counter,
+    lost_durable: Counter,
     shards: Gauge,
     queue_wait_us: Histogram,
 }
@@ -820,6 +912,9 @@ impl FleetObs {
             drains_deferred: obs.counter("fleet.drains_deferred", l),
             scale_up: obs.counter("fleet.scale_up", l),
             scale_down: obs.counter("fleet.scale_down", l),
+            power_losses: obs.counter("fleet.power_losses", l),
+            cold_resumes: obs.counter("fleet.cold_resumes", l),
+            lost_durable: obs.counter("fleet.lost_durable", l),
             shards: obs.gauge("fleet.shards", l),
             queue_wait_us: obs.histogram("fleet.queue_wait_us", l),
         }
@@ -879,7 +974,7 @@ fn advance_segment(
                         r.restarts += 1;
                         r.generation += 1;
                         r.resumed_at_step = r.committed.as_ref().map_or(0, |c| c.step);
-                        elapsed += cfg.restart_backoff_ms * 2f64.powi(r.restarts as i32 - 1);
+                        elapsed += restart_backoff(cfg.restart_backoff_ms, r.restarts);
                         let rebuilt = (|| -> Result<EngineRun> {
                             let bot = factory(r.id, r.generation);
                             match &r.committed {
@@ -966,6 +1061,17 @@ struct FleetSim<'a> {
     last_scale_ms: f64,
     up_streak: u32,
     down_streak: u32,
+    /// The durable checkpoint store, when configured.
+    store: Option<DurableStore>,
+    /// Simulator-side ground truth: session id -> (latest acknowledged
+    /// WAL seq, its digest). Used after a power loss to distinguish "no
+    /// acked checkpoint" sheds from provably-corrupt-record losses.
+    acked: BTreeMap<usize, (u64, u64)>,
+    scrubs: Vec<ScrubReport>,
+    cold_resumed: usize,
+    stale_resumes: usize,
+    lost: Vec<LostSession>,
+    recovered_cold: usize,
 }
 
 impl FleetSim<'_> {
@@ -1052,8 +1158,11 @@ impl FleetSim<'_> {
             }
         };
         let Some(mode) = verdict else {
-            let reason =
-                if q.resume.is_some() { "migration target queue full" } else { "queue full" };
+            let reason = match &q.resume {
+                Some(rs) if rs.cold => "cold restart target queue full",
+                Some(_) => "migration target queue full",
+                None => "queue full",
+            };
             self.shed(Some(i), q.id, now, reason);
             return;
         };
@@ -1100,7 +1209,8 @@ impl FleetSim<'_> {
         let cfg = self.cfg;
         let wl = self.workload;
         let QEntry { id, mode, resume, .. } = q;
-        let mig_idx = resume.as_ref().map(|rs| rs.mig_idx);
+        let mig_idx = resume.as_ref().and_then(|rs| rs.mig_idx);
+        let cold = resume.as_ref().is_some_and(|rs| rs.cold);
         self.shards[i].admitted += 1;
         self.rec.event("admit", id as u64, us_from_ms(start));
         let mut t = start;
@@ -1186,6 +1296,7 @@ impl FleetSim<'_> {
                         hops,
                         resumed_at_step,
                         was_degraded,
+                        cold,
                         committed,
                         engine: None,
                         synth_done,
@@ -1210,6 +1321,7 @@ impl FleetSim<'_> {
             hops,
             resumed_at_step,
             was_degraded,
+            cold,
             committed,
             engine,
             synth_done,
@@ -1267,6 +1379,7 @@ impl FleetSim<'_> {
         match end {
             SegEnd::Boundary => {
                 r.committed = Some(make_commit(self.cfg.router_seed, &self.cfg.shard, &r));
+                self.persist_commit(&r);
                 if self.shards[i].draining {
                     let reason = self.shards[i].drain_reason;
                     self.migrate(i, r, due, reason);
@@ -1291,7 +1404,7 @@ impl FleetSim<'_> {
             s.restarts += u64::from(r.restarts);
             match end {
                 SegEnd::Finished => {
-                    if r.restarts == 0 && r.hops == 0 {
+                    if r.restarts == 0 && r.hops == 0 && !r.cold {
                         s.completed += 1;
                         SessionOutcome::Completed
                     } else {
@@ -1324,6 +1437,9 @@ impl FleetSim<'_> {
                         Some(er.session.log().events() == p.tail.as_slice());
                 }
             }
+        }
+        if r.cold && matches!(outcome, SessionOutcome::Recovered { .. }) {
+            self.recovered_cold += 1;
         }
         self.rec.event("done", r.id as u64, us_from_ms(t));
         self.outcomes[r.id] = Some(outcome);
@@ -1359,7 +1475,8 @@ impl FleetSim<'_> {
             restarts: r.restarts,
             hops: r.hops + 1,
             was_degraded: r.was_degraded,
-            mig_idx: mi,
+            mig_idx: Some(mi),
+            cold: r.cold,
         };
         self.enqueue(
             di,
@@ -1436,6 +1553,164 @@ impl FleetSim<'_> {
                     self.enqueue(di, q, t_ms);
                 }
                 None => self.shed(Some(i), q.id, t_ms, "no shard available"),
+            }
+        }
+    }
+
+    /// Writes the session's fresh boundary commit through the durable
+    /// store (when configured) and records the acknowledged seq as the
+    /// simulator's ground truth for power-loss accounting.
+    fn persist_commit(&mut self, r: &Running) {
+        let Some(store) = self.store.as_mut() else { return };
+        let c = r.committed.as_ref().expect("persist follows make_commit");
+        let payload = match &c.save {
+            Some(save) => save.to_text().into_bytes(),
+            None => c.synth_done.to_le_bytes().to_vec(),
+        };
+        let record = CheckpointRecord {
+            session: r.id as u64,
+            step: c.step as u64,
+            generation: r.generation,
+            digest: c.digest,
+            payload,
+        };
+        if let Some(seq) = persist_checkpoint(store, &record) {
+            self.acked.insert(r.id, (seq, c.digest));
+        }
+    }
+
+    /// The whole-fleet power loss: every shard loses its queues, slots,
+    /// and in-flight work simultaneously; the durable store suffers its
+    /// own crash semantics (staged records dropped, possibly a torn
+    /// tail); then the fleet cold-restarts — a scrub pass walks the
+    /// store, every recoverable session re-enters through the router
+    /// from its last intact durable checkpoint, and every session whose
+    /// acknowledged record is provably corrupt is shed with the exact
+    /// record it died to.
+    fn on_power_loss(&mut self, pi: usize) {
+        let t_ms = self.cfg.power_loss_at_ms[pi];
+        self.fo.power_losses.inc();
+        self.rec.event("power_loss", pi as u64, us_from_ms(t_ms));
+        self.makespan_ms = self.makespan_ms.max(t_ms);
+        // Phase 1: the lights go out. Collect every live session id —
+        // their in-memory state (engines, logs, restart counters,
+        // queue positions) is destroyed, not preserved.
+        let mut live: Vec<usize> = Vec::new();
+        for s in &mut self.shards {
+            for slot in &mut s.slots {
+                slot.token += 1;
+                slot.pending = None;
+                if let Some(r) = slot.run.take() {
+                    live.push(r.id);
+                }
+            }
+            for q in std::mem::take(&mut s.queue) {
+                live.push(q.id);
+            }
+        }
+        live.sort_unstable();
+        live.dedup();
+        // Stale shadow-replay predictions died with the fleet's memory.
+        self.pending_verify.clear();
+        let Some(store) = self.store.as_mut() else {
+            // Unreachable behind FleetConfig::validate, but account
+            // honestly rather than panic if it ever regresses.
+            for id in live {
+                self.shed(None, id, t_ms, "power loss without durable store");
+            }
+            return;
+        };
+        store.power_loss();
+        let recovery = store.recover();
+        self.scrubs.push(recovery.scrub.clone());
+        // Phase 2: cold restart. Surviving shards reboot in place (the
+        // ring is unchanged — crashed and retired shards stay off it).
+        for id in live {
+            match recovery.sessions.get(&(id as u64)) {
+                Some(rc) => {
+                    let rec = &rc.record;
+                    let commit = match SaveGame::from_text(
+                        std::str::from_utf8(&rec.payload).unwrap_or(""),
+                    ) {
+                        Ok(save) => Commit {
+                            step: rec.step as usize,
+                            synth_done: 0,
+                            digest: save.digest(),
+                            save: Some(save),
+                            // The log prefix lived in shard memory; it
+                            // is honestly gone after a power loss.
+                            log: None,
+                        },
+                        Err(_) => {
+                            // Synthetic payload: the segment counter.
+                            let mut b = [0u8; 4];
+                            let n = rec.payload.len().min(4);
+                            b[..n].copy_from_slice(&rec.payload[..n]);
+                            let synth_done = u32::from_le_bytes(b);
+                            Commit {
+                                step: rec.step as usize,
+                                synth_done,
+                                digest: rec.digest,
+                                save: None,
+                                log: None,
+                            }
+                        }
+                    };
+                    self.cold_resumed += 1;
+                    if rc.stale {
+                        self.stale_resumes += 1;
+                    }
+                    self.fo.cold_resumes.inc();
+                    self.rec.event("cold_resume", id as u64, us_from_ms(t_ms));
+                    let resume = ResumeState {
+                        committed: commit,
+                        generation: rec.generation + 1,
+                        // Restart/hop counters lived in shard memory;
+                        // `cold` pins the outcome to Recovered anyway.
+                        restarts: 0,
+                        hops: 0,
+                        was_degraded: false,
+                        mig_idx: None,
+                        cold: true,
+                    };
+                    match self.router.route(id as u64) {
+                        Some(dest) => {
+                            let di = self.sidx(dest).expect("routable shard exists");
+                            self.enqueue(
+                                di,
+                                QEntry {
+                                    id,
+                                    arrival_ms: t_ms,
+                                    mode: ServiceMode::Full,
+                                    resume: Some(resume),
+                                },
+                                t_ms,
+                            );
+                        }
+                        None => self.shed(None, id, t_ms, "no shard available after power loss"),
+                    }
+                }
+                None => match self.acked.get(&id) {
+                    Some(&(seq, _digest)) => {
+                        // The simulator acknowledged this checkpoint as
+                        // durable, and the scrub could not produce it:
+                        // attribute the loss to the exact corrupt
+                        // record (a record the scrub never even saw as
+                        // a candidate was destroyed by a torn tail).
+                        let kind = recovery
+                            .scrub
+                            .lost
+                            .iter()
+                            .find(|c| c.seq == seq)
+                            .map_or(CorruptKind::Torn, |c| c.kind);
+                        self.lost.push(LostSession { session: id, seq, kind });
+                        self.fo.lost_durable.inc();
+                        self.shed(None, id, t_ms, "cold restart: durable checkpoint corrupt");
+                    }
+                    None => {
+                        self.shed(None, id, t_ms, "power loss before first durable checkpoint")
+                    }
+                },
             }
         }
     }
@@ -1620,10 +1895,20 @@ fn fleet_core(
         last_scale_ms: f64::NEG_INFINITY,
         up_streak: 0,
         down_streak: 0,
+        store: cfg.store.map(DurableStore::new),
+        acked: BTreeMap::new(),
+        scrubs: Vec::new(),
+        cold_resumed: 0,
+        stale_resumes: 0,
+        lost: Vec::new(),
+        recovered_cold: 0,
     };
     sim.fo.shards.observe(u64::from(cfg.shards));
     for (fi, f) in cfg.faults.iter().enumerate() {
         sim.push_ms(f.at_ms, EvKind::Fault(fi));
+    }
+    for (pi, &t) in cfg.power_loss_at_ms.iter().enumerate() {
+        sim.push_ms(t, EvKind::PowerLoss(pi));
     }
     sim.push_ms(cfg.control_interval_ms, EvKind::Control);
 
@@ -1645,6 +1930,7 @@ fn fleet_core(
             match ev.payload {
                 EvKind::Seg { shard, slot, token } => sim.on_seg(shard, slot, token, ev.at),
                 EvKind::Fault(fi) => sim.on_fault(fi),
+                EvKind::PowerLoss(pi) => sim.on_power_loss(pi),
                 EvKind::Control => {
                     let t_ms = ev.at as f64 / 1000.0;
                     sim.on_control(t_ms);
@@ -1673,6 +1959,12 @@ fn fleet_core(
         fleet_slo,
         fo,
         rec,
+        store,
+        scrubs,
+        cold_resumed,
+        stale_resumes,
+        lost,
+        recovered_cold,
         ..
     } = sim;
     fo.shards.observe(router.len() as u64);
@@ -1719,6 +2011,8 @@ fn fleet_core(
         failed: 0,
         gave_up: 0,
         shed: 0,
+        recovered_cold,
+        lost_durable: lost.len(),
         degraded: rows.iter().map(|r| r.degraded).sum(),
         restarts: rows.iter().map(|r| r.restarts).sum(),
         drains_deferred,
@@ -1733,6 +2027,13 @@ fn fleet_core(
         alerts,
         ledgers,
         shard_alerts,
+        durability: store.as_ref().map(|s| DurabilityReport {
+            store: s.stats(),
+            scrubs,
+            cold_resumed,
+            stale_resumes,
+            lost,
+        }),
     };
     let (completed, failed, shed, recovered, gave_up) = report.outcome_counts();
     report.completed = completed;
@@ -2350,5 +2651,197 @@ mod tests {
             .outcomes
             .iter()
             .all(|o| matches!(o, SessionOutcome::Recovered { resumed_at_step: 5, restarts: 1 })));
+    }
+
+    #[test]
+    fn power_loss_without_store_is_rejected() {
+        let cfg = FleetConfig { power_loss_at_ms: vec![100.0], ..FleetConfig::default() };
+        let workload = FleetWorkload::Synthetic { mean_segments: 2 };
+        let arrivals = ArrivalPlan::new(1, 10.0).unwrap();
+        assert!(run_fleet(&workload, &cfg, 4, &arrivals).is_err());
+    }
+
+    #[test]
+    fn power_loss_with_clean_disk_recovers_every_acked_session() {
+        use vgbl_store::DiskFaultPlan;
+        let cfg = FleetConfig {
+            shards: 2,
+            vnodes: 32,
+            shard: SupervisorConfig {
+                queue_capacity: 16,
+                queue_deadline_ms: 1e9,
+                slots: 2,
+                step_ms: 50.0,
+                checkpoint_every: 3,
+                ..SupervisorConfig::default()
+            },
+            store: Some(StoreConfig {
+                snapshot_every: 4,
+                dual_write: false,
+                faults: DiskFaultPlan::new(7),
+            }),
+            power_loss_at_ms: vec![400.0],
+            ..FleetConfig::default()
+        };
+        let factory = |_: usize, _: u32| -> Box<dyn Bot> { Box::new(GuidedBot::new()) };
+        let workload = FleetWorkload::Engine {
+            graph: Arc::new(fix_the_computer()),
+            config: config(),
+            factory: &factory,
+        };
+        let arrivals = ArrivalPlan::new(5, 1.0).unwrap();
+        let report = run_fleet(&workload, &cfg, 10, &arrivals).unwrap();
+        assert!(report.accounts_exactly(), "{report:?}");
+        let d = report.durability.as_ref().expect("store configured");
+        assert_eq!(report.lost_durable, 0, "clean disk loses nothing acked: {d:?}");
+        assert!(d.lost.is_empty());
+        assert!(d.cold_resumed >= 1, "power loss mid-run must cold-resume someone: {d:?}");
+        assert!(report.recovered_cold >= 1, "{report:?}");
+        assert!(report.recovered_cold <= report.recovered);
+        assert_eq!(d.scrubs.len(), 1, "one scrub per power loss");
+        assert!(d.scrubs[0].lost.is_empty(), "{:?}", d.scrubs[0]);
+        // Every shed is the honest pre-first-checkpoint kind, never a
+        // corrupt-record loss.
+        for o in &report.outcomes {
+            if let SessionOutcome::Shed { reason } = o {
+                assert_eq!(reason, "power loss before first durable checkpoint", "{o:?}");
+            }
+        }
+        assert_eq!(d.store.power_losses, 1);
+        assert!(d.store.acked_records > 0);
+    }
+
+    #[test]
+    fn power_loss_with_disk_faults_attributes_every_lost_session() {
+        use vgbl_store::DiskFaultPlan;
+        let cfg = FleetConfig {
+            shards: 3,
+            vnodes: 32,
+            shard: SupervisorConfig {
+                queue_capacity: 32,
+                queue_deadline_ms: 1e9,
+                slots: 1,
+                step_ms: 10.0,
+                checkpoint_every: 5,
+                ..SupervisorConfig::default()
+            },
+            store: Some(StoreConfig {
+                snapshot_every: 1_000_000,
+                dual_write: false,
+                faults: DiskFaultPlan::new(0xBAD_D15C)
+                    .with_bit_rot(0.7)
+                    .unwrap()
+                    .with_torn_writes(0.9)
+                    .unwrap(),
+            }),
+            power_loss_at_ms: vec![300.0],
+            ..FleetConfig::default()
+        };
+        let workload = FleetWorkload::Synthetic { mean_segments: 6 };
+        let arrivals = ArrivalPlan::new(17, 2.0).unwrap();
+        let report = run_fleet(&workload, &cfg, 60, &arrivals).unwrap();
+        assert!(report.accounts_exactly(), "{report:?}");
+        let d = report.durability.as_ref().expect("store configured");
+        assert!(!d.lost.is_empty(), "heavy rot must destroy someone's checkpoint: {d:?}");
+        assert_eq!(report.lost_durable, d.lost.len());
+        // Every durable loss names a session that was shed with the
+        // corrupt-record reason — the attribution is exact, not vague.
+        for l in &d.lost {
+            assert!(
+                matches!(
+                    &report.outcomes[l.session],
+                    SessionOutcome::Shed { reason } if reason == "cold restart: durable checkpoint corrupt"
+                ),
+                "lost session {l:?} has outcome {:?}",
+                report.outcomes[l.session]
+            );
+        }
+        // And no session was both lost and somehow served afterwards.
+        let mut seen = std::collections::BTreeSet::new();
+        for l in &d.lost {
+            assert!(seen.insert(l.session), "session {l:?} lost twice");
+        }
+    }
+
+    #[test]
+    fn power_loss_dual_write_repairs_single_copy_rot() {
+        use vgbl_store::DiskFaultPlan;
+        let store_for = |dual: bool| StoreConfig {
+            snapshot_every: 1_000_000,
+            dual_write: dual,
+            faults: DiskFaultPlan::new(0xBAD_D15C).with_bit_rot(0.7).unwrap(),
+        };
+        let cfg_for = |dual: bool| FleetConfig {
+            shards: 3,
+            vnodes: 32,
+            shard: SupervisorConfig {
+                queue_capacity: 32,
+                queue_deadline_ms: 1e9,
+                slots: 1,
+                step_ms: 10.0,
+                checkpoint_every: 5,
+                ..SupervisorConfig::default()
+            },
+            store: Some(store_for(dual)),
+            power_loss_at_ms: vec![300.0],
+            ..FleetConfig::default()
+        };
+        let workload = FleetWorkload::Synthetic { mean_segments: 6 };
+        let arrivals = ArrivalPlan::new(17, 2.0).unwrap();
+        let single = run_fleet(&workload, &cfg_for(false), 60, &arrivals).unwrap();
+        let dual = run_fleet(&workload, &cfg_for(true), 60, &arrivals).unwrap();
+        let ds = single.durability.as_ref().unwrap();
+        let dd = dual.durability.as_ref().unwrap();
+        assert!(
+            dual.lost_durable < single.lost_durable,
+            "a redundant copy must repair most single-copy rot: dual {:?} vs single {:?}",
+            dd.lost,
+            ds.lost
+        );
+        assert!(
+            !dd.scrubs.is_empty() && !dd.scrubs[0].repaired.is_empty(),
+            "repairs must be audited: {:?}",
+            dd.scrubs
+        );
+    }
+
+    #[test]
+    fn power_loss_fleet_is_byte_identical_across_reruns() {
+        use vgbl_store::DiskFaultPlan;
+        let cfg = FleetConfig {
+            shards: 3,
+            vnodes: 32,
+            shard: SupervisorConfig {
+                queue_capacity: 16,
+                queue_deadline_ms: 1e9,
+                slots: 1,
+                step_ms: 10.0,
+                checkpoint_every: 5,
+                ..SupervisorConfig::default()
+            },
+            faults: vec![ShardFault { at_ms: 150.0, shard: 1, kind: ShardFaultKind::Crash }],
+            store: Some(StoreConfig {
+                snapshot_every: 3,
+                dual_write: true,
+                faults: DiskFaultPlan::new(99)
+                    .with_bit_rot(0.3)
+                    .unwrap()
+                    .with_torn_writes(0.5)
+                    .unwrap()
+                    .with_lost_flushes(0.2)
+                    .unwrap()
+                    .with_stale_reads(0.2)
+                    .unwrap(),
+            }),
+            power_loss_at_ms: vec![200.0, 450.0],
+            ..FleetConfig::default()
+        };
+        let workload = FleetWorkload::Synthetic { mean_segments: 5 };
+        let arrivals = ArrivalPlan::new(23, 2.0).unwrap();
+        let a = run_fleet(&workload, &cfg, 80, &arrivals).unwrap();
+        let b = run_fleet(&workload, &cfg, 80, &arrivals).unwrap();
+        assert_eq!(a, b, "same seeds, same faults, same report — storage included");
+        assert_eq!(a.durability, b.durability);
+        assert_eq!(a.durability.as_ref().unwrap().scrubs.len(), 2);
     }
 }

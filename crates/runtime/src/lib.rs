@@ -46,6 +46,7 @@ pub mod analytics;
 pub mod baseline;
 pub mod batch;
 pub mod bot;
+pub mod chaos;
 pub mod device;
 pub mod engine;
 pub mod error;
@@ -72,10 +73,11 @@ pub use engine::{GameSession, SessionConfig};
 pub use error::RuntimeError;
 pub use executor::{CohortRun, EventQueue, ExecutorStats, SessionTask, SimTime, Step, Timed};
 pub use feedback::Feedback;
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, InvariantCheck};
 pub use fleet::{
-    run_fleet, run_fleet_observed, AutoscaleConfig, FleetConfig, FleetReport, FleetRouter,
-    FleetWorkload, MigrationConfig, MigrationReason, MigrationRecord, ScaleEvent, ShardFault,
-    ShardFaultKind, ShardReport,
+    run_fleet, run_fleet_observed, AutoscaleConfig, DurabilityReport, FleetConfig, FleetReport,
+    FleetRouter, FleetWorkload, LostSession, MigrationConfig, MigrationReason, MigrationRecord,
+    ScaleEvent, ShardFault, ShardFaultKind, ShardReport,
 };
 pub use input::InputEvent;
 pub use inventory::Inventory;
@@ -88,9 +90,9 @@ pub use server::{
 };
 pub use state::GameState;
 pub use supervisor::{
-    resume_session, run_supervised_cohort, run_supervised_cohort_observed, ArrivalPlan,
-    LadderPolicy, RecoveryRecord, ServiceMode, SloLadderConfig, SupervisedBotFactory,
-    SupervisorConfig, SupervisorReport,
+    resume_session, run_supervised_cohort, run_supervised_cohort_durable,
+    run_supervised_cohort_observed, ArrivalPlan, LadderPolicy, RecoveryRecord, ServiceMode,
+    SloLadderConfig, SupervisedBotFactory, SupervisorConfig, SupervisorReport,
 };
 
 /// Result alias for runtime operations.

@@ -45,6 +45,13 @@
 //!   [`GameSession::checkpoint`]; a panicking session restarts from its
 //!   last checkpoint with exponential backoff until
 //!   [`SupervisorConfig::restart_budget`] runs out.
+//! * Durable checkpoints — with [`SupervisorConfig::store`] set, every
+//!   checkpoint is also appended to a [`DurableStore`] (canonical
+//!   save-game text, checksummed, flushed through the simulated WAL),
+//!   so progress survives losing the whole *process*, not just one
+//!   session's slot. [`run_supervised_cohort_durable`] hands the store
+//!   back for cold-restart recovery via [`DurableStore::recover`] +
+//!   [`resume_session`].
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -58,6 +65,7 @@ use vgbl_scene::SceneGraph;
 use vgbl_stream::{
     BreakerConfig, BreakerStats, ChunkId, CircuitBreaker, FaultPlan, LoadSpike, RetryPolicy,
 };
+use vgbl_store::{CheckpointRecord, DurableStore, StoreConfig, StoreStats};
 
 use crate::analytics::{LatencySummary, LearningReport, LogEvent, SessionLog};
 use crate::bot::{Bot, BotRun};
@@ -86,6 +94,23 @@ pub(crate) fn mix(mut z: u64) -> u64 {
 /// Maps a hash to a uniform `f64` in `[0, 1)`.
 pub(crate) fn unit(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Ceiling on any single restart backoff, ms (~31 simulated years).
+/// Doubling backoff overflows `f64` past ~2^1024; an INF backoff would
+/// poison every later timestamp on the simulated clock (INF - INF =
+/// NaN), so the doubling saturates here instead — the same overflow
+/// class PR 8 fixed in the clock conversions.
+pub(crate) const MAX_BACKOFF_MS: f64 = 1e15;
+
+/// The doubling restart backoff for restart number `restarts` (1-based),
+/// saturated at [`MAX_BACKOFF_MS`]. The exponent is clamped before
+/// `powi` so even a `u32::MAX` restart budget stays finite.
+pub(crate) fn restart_backoff(base_ms: f64, restarts: u32) -> f64 {
+    // 2^1023 is the largest finite power of two; keeping powi itself
+    // finite means a zero base stays exactly zero (0 × INF is NaN).
+    let exp = restarts.saturating_sub(1).min(1_023) as i32;
+    (base_ms * 2f64.powi(exp)).min(MAX_BACKOFF_MS)
 }
 
 /// A deterministic session-arrival process: exponential inter-arrival
@@ -287,6 +312,9 @@ pub struct SupervisorConfig {
     pub breaker: BreakerConfig,
     /// How the degradation ladder picks the service mode.
     pub ladder: LadderPolicy,
+    /// Durable checkpoint store; `None` keeps checkpoints in process
+    /// memory only (the pre-PR-9 behaviour).
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for SupervisorConfig {
@@ -309,6 +337,7 @@ impl Default for SupervisorConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             ladder: LadderPolicy::Occupancy,
+            store: None,
         }
     }
 }
@@ -376,6 +405,31 @@ struct Checkpoint {
     save: SaveGame,
     step: usize,
     log: SessionLog,
+}
+
+/// Flush attempts per durable checkpoint write. A lost flush is
+/// detected (the store reports it, like a failed fsync) and retried with
+/// a fresh fault draw; past the budget the record stays staged and rides
+/// the next checkpoint's flush — never silently acknowledged.
+const FLUSH_RETRIES: u32 = 3;
+
+/// Appends `record` and flushes, retrying lost flushes up to
+/// [`FLUSH_RETRIES`] times. Returns the record's WAL sequence number
+/// when the flush was acknowledged durable, `None` when every attempt
+/// was lost (the record stays staged for the next flush). Shared by the
+/// supervisor's checkpoint hook and the fleet's segment-boundary commit
+/// path.
+pub(crate) fn persist_checkpoint(
+    store: &mut DurableStore,
+    record: &CheckpointRecord,
+) -> Option<u64> {
+    let seq = store.append(record);
+    for _ in 0..=FLUSH_RETRIES {
+        if store.flush().is_ok() {
+            return Some(seq);
+        }
+    }
+    None
 }
 
 /// The audit trail of one recovered session — enough to replay the
@@ -446,6 +500,10 @@ pub struct SupervisorReport {
     /// `admission_wait`; their `bad`/`total` match this report's own
     /// counts exactly (the EXP-15 cross-check).
     pub ledgers: Vec<BudgetLedger>,
+    /// Durable-store counters when [`SupervisorConfig::store`] was set
+    /// (appends, acknowledged/lost flushes, snapshots); `None` when
+    /// checkpoints stayed in process memory.
+    pub durability: Option<StoreStats>,
 }
 
 impl SupervisorReport {
@@ -579,6 +637,7 @@ fn run_incarnation(
     incarnation: u32,
     resume: Option<&Checkpoint>,
     store: &mut Option<Checkpoint>,
+    durable: &mut Option<DurableStore>,
 ) -> Result<(GameState, SessionLog, usize)> {
     let mut session = match resume {
         None => GameSession::new(graph.clone(), config.clone())?.0,
@@ -593,7 +652,23 @@ fn run_incarnation(
                 Some(c) => stitch(&c.log, s.log()),
                 None => s.log().clone(),
             };
-            *store = Some(Checkpoint { save: s.checkpoint(), step: n, log });
+            let save = s.checkpoint();
+            if let Some(d) = durable.as_mut() {
+                // Written through the unwind boundary, like the
+                // in-memory store: a checkpoint flushed before a panic
+                // (or a whole-process loss) stays durable.
+                persist_checkpoint(
+                    d,
+                    &CheckpointRecord {
+                        session: i as u64,
+                        step: n as u64,
+                        generation: incarnation,
+                        digest: save.digest(),
+                        payload: save.to_text().into_bytes(),
+                    },
+                );
+            }
+            *store = Some(Checkpoint { save, step: n, log });
         }
     })?;
     Ok((session.state().clone(), session.log().clone(), steps))
@@ -617,6 +692,7 @@ fn play_supervised(
     sup: &SupervisorConfig,
     factory: &SupervisedBotFactory,
     i: usize,
+    durable: &mut Option<DurableStore>,
 ) -> Played {
     let mut latest: Option<Checkpoint> = None;
     let mut restarts: u32 = 0;
@@ -624,7 +700,17 @@ fn play_supervised(
     loop {
         let resume = latest.clone();
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            run_incarnation(graph, config, sup, factory, i, restarts, resume.as_ref(), &mut latest)
+            run_incarnation(
+                graph,
+                config,
+                sup,
+                factory,
+                i,
+                restarts,
+                resume.as_ref(),
+                &mut latest,
+                durable,
+            )
         }));
         match attempt {
             Ok(Ok((state, tail, steps))) => {
@@ -679,7 +765,7 @@ fn play_supervised(
                     };
                 }
                 restarts += 1;
-                backoffs.push(sup.restart_backoff_ms * 2f64.powi(restarts as i32 - 1));
+                backoffs.push(restart_backoff(sup.restart_backoff_ms, restarts));
             }
         }
     }
@@ -979,6 +1065,7 @@ struct Sim<'a> {
     session_logs: Vec<(SessionLog, i64)>,
     recoveries: Vec<RecoveryRecord>,
     total_steps: usize,
+    durable: Option<DurableStore>,
     o: SupObs,
     slo: SupSlo,
     rec: SpanRecorder,
@@ -1041,7 +1128,14 @@ impl Sim<'_> {
             self.degraded += 1;
             self.o.degraded.inc();
         }
-        let played = play_supervised(&self.graph, &self.config, self.sup, self.factory, q.idx);
+        let played = play_supervised(
+            &self.graph,
+            &self.config,
+            self.sup,
+            self.factory,
+            q.idx,
+            &mut self.durable,
+        );
         let step_cost = if q.mode == ServiceMode::ConcealOnly {
             self.sup.step_ms * 0.5
         } else {
@@ -1107,6 +1201,7 @@ pub fn run_supervised_cohort(
     arrivals: &ArrivalPlan,
 ) -> Result<SupervisorReport> {
     supervised_core(graph, config, sup, n_sessions, factory, arrivals, &Obs::noop(), "")
+        .map(|(report, _)| report)
 }
 
 /// [`run_supervised_cohort`] with observability: every admission event
@@ -1126,6 +1221,23 @@ pub fn run_supervised_cohort_observed(
     label: &str,
 ) -> Result<SupervisorReport> {
     supervised_core(graph, config, sup, n_sessions, factory, arrivals, obs, label)
+        .map(|(report, _)| report)
+}
+
+/// [`run_supervised_cohort`] that also returns the durable checkpoint
+/// store after the run (when [`SupervisorConfig::store`] is set) — the
+/// single-node cold-restart path: feed the returned store to
+/// [`DurableStore::recover`] and resume each surviving session with
+/// [`resume_session`].
+pub fn run_supervised_cohort_durable(
+    graph: Arc<SceneGraph>,
+    config: SessionConfig,
+    sup: &SupervisorConfig,
+    n_sessions: usize,
+    factory: &SupervisedBotFactory,
+    arrivals: &ArrivalPlan,
+) -> Result<(SupervisorReport, Option<DurableStore>)> {
+    supervised_core(graph, config, sup, n_sessions, factory, arrivals, &Obs::noop(), "")
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1138,7 +1250,7 @@ fn supervised_core(
     arrivals: &ArrivalPlan,
     obs: &Obs,
     label: &str,
-) -> Result<SupervisorReport> {
+) -> Result<(SupervisorReport, Option<DurableStore>)> {
     sup.validate()?;
     let breaker = CircuitBreaker::new(sup.breaker)
         .map_err(|e| RuntimeError::InvalidSupervisor(e.to_string()))?;
@@ -1177,6 +1289,7 @@ fn supervised_core(
         session_logs: Vec::new(),
         recoveries: Vec::new(),
         total_steps: 0,
+        durable: sup.store.map(DurableStore::new),
         o: SupObs::new(obs),
         slo: SupSlo::new(obs, sup.slo_config()),
         rec,
@@ -1232,6 +1345,7 @@ fn supervised_core(
         session_logs,
         recoveries,
         total_steps,
+        durable,
         slo,
         rec,
         ..
@@ -1267,9 +1381,10 @@ fn supervised_core(
         recoveries,
         alerts,
         ledgers,
+        durability: durable.as_ref().map(|d| d.stats()),
     };
     report.debug_assert_consistent();
-    Ok(report)
+    Ok((report, durable))
 }
 
 #[cfg(test)]
@@ -1280,6 +1395,29 @@ mod tests {
 
     fn config() -> SessionConfig {
         SessionConfig::for_frame(FRAME.0, FRAME.1)
+    }
+
+    /// Regression (overflow audit, PR 9): the doubling restart backoff
+    /// used to compute `base * 2^(restarts-1)` unclamped — past restart
+    /// ~1075 the product overflows f64 to +inf and every later
+    /// timestamp on the simulated clock is poisoned (INF − INF = NaN).
+    /// Both the supervisor and the fleet share the saturating helper.
+    #[test]
+    fn restart_backoff_saturates_instead_of_overflowing() {
+        assert_eq!(restart_backoff(250.0, 1), 250.0);
+        assert_eq!(restart_backoff(250.0, 2), 500.0);
+        assert_eq!(restart_backoff(250.0, 3), 1000.0);
+        let mut prev = 0.0;
+        for restarts in [1, 10, 100, 1_075, 2_000, u32::MAX] {
+            let b = restart_backoff(250.0, restarts);
+            assert!(b.is_finite(), "restart {restarts} gave {b}");
+            assert!(b <= MAX_BACKOFF_MS);
+            assert!(b >= prev, "backoff shrank at restart {restarts}");
+            prev = b;
+        }
+        assert_eq!(restart_backoff(250.0, u32::MAX), MAX_BACKOFF_MS);
+        // A zero base never backs off, at any restart count.
+        assert_eq!(restart_backoff(0.0, u32::MAX), 0.0);
     }
 
     /// Panics after `at` decisions, but only on incarnation 0 — the
@@ -1902,6 +2040,60 @@ mod tests {
         .unwrap();
         assert_eq!(noop, observed, "observability must never steer the ladder");
         assert!(!noop.alerts.is_empty() || noop.shed == 0, "alerts work without obs too");
+    }
+
+    #[test]
+    fn durable_cohort_persists_checkpoints_and_survives_cold_restart() {
+        use vgbl_store::{DiskFaultPlan, StoreConfig};
+        let sup = SupervisorConfig {
+            queue_capacity: 16,
+            slots: 4,
+            checkpoint_every: 3,
+            store: Some(StoreConfig {
+                snapshot_every: 4,
+                dual_write: false,
+                faults: DiskFaultPlan::new(21),
+            }),
+            ..SupervisorConfig::default()
+        };
+        let arrivals = ArrivalPlan::new(1, 10_000.0).unwrap();
+        let graph = Arc::new(fix_the_computer());
+        let (report, store) = run_supervised_cohort_durable(
+            graph.clone(),
+            config(),
+            &sup,
+            6,
+            &|_, _| Box::new(GuidedBot::new()),
+            &arrivals,
+        )
+        .unwrap();
+        assert!(report.accounts_exactly(), "{report:?}");
+        let stats = report.durability.expect("store configured");
+        assert!(stats.acked_records >= 6, "every session checkpointed at least once: {stats:?}");
+        // Cold restart: kill the cohort, recover from the store alone,
+        // and replay each session's tail from its durable checkpoint.
+        let mut store = store.expect("store configured");
+        store.power_loss();
+        let recovery = store.recover();
+        assert!(recovery.scrub.lost.is_empty(), "clean disk: {:?}", recovery.scrub);
+        assert!(!recovery.sessions.is_empty());
+        for (sid, rc) in &recovery.sessions {
+            let text = std::str::from_utf8(&rc.record.payload).unwrap();
+            let save = SaveGame::from_text(text).unwrap();
+            assert_eq!(save.digest(), rc.record.digest, "payload digest survives the store");
+            let mut bot = GuidedBot::new();
+            let run = resume_session(
+                graph.clone(),
+                config(),
+                &save,
+                &mut bot,
+                rc.record.step as usize,
+                sup.max_steps,
+                sup.tick_ms,
+            )
+            .unwrap();
+            assert!(run.state.is_over(), "session {sid} resumed from step {} and finished", rc.record.step);
+        }
     }
 }
 

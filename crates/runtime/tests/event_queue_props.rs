@@ -1,0 +1,133 @@
+//! Properties of the deterministic event queue every simulator in this
+//! repo runs on (supervisor slot stepping, fleet segment/fault/control
+//! events, power-loss scheduling): pops come out sorted by the full
+//! `(at, class, tie, seq)` key, equal keys fire strictly in push order
+//! (FIFO), and an interleaved push/pop session matches a naive
+//! sorted-vector oracle exactly.
+
+use proptest::prelude::*;
+use vgbl_runtime::EventQueue;
+
+/// Keys drawn from tiny domains so equal-time, equal-class, equal-tie
+/// collisions are common — the collisions are where ordering bugs live.
+fn key() -> impl Strategy<Value = (u64, u8, u64)> {
+    (0u64..4, 0u8..3, 0u64..3)
+}
+
+/// The oracle: a stable sort by `(at, class, tie)`. Stability is
+/// exactly the FIFO-among-equal-keys contract, because the inputs are
+/// enumerated in push order.
+fn oracle_order(events: &[(u64, u8, u64)]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..events.len()).collect();
+    idx.sort_by_key(|&i| events[i]);
+    idx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Draining the queue yields keys in non-decreasing `(at, class,
+    // tie)` order, and payloads with fully-equal keys surface in the
+    // order they were pushed.
+    #[test]
+    fn pops_are_sorted_and_fifo_among_equal_keys(events in prop::collection::vec(key(), 0..64)) {
+        let mut q = EventQueue::new();
+        for (i, &(at, class, tie)) in events.iter().enumerate() {
+            q.push_keyed(at, class, tie, i);
+        }
+        let mut prev: Option<(u64, u8, u64, usize)> = None;
+        let mut drained = 0usize;
+        while let Some(t) = q.pop() {
+            drained += 1;
+            let cur = (t.at, t.class, t.tie, t.payload);
+            if let Some(p) = prev {
+                let pk = (p.0, p.1, p.2);
+                let ck = (cur.0, cur.1, cur.2);
+                prop_assert!(pk <= ck, "keys regressed: {p:?} then {cur:?}");
+                if pk == ck {
+                    prop_assert!(p.3 < cur.3, "equal keys must pop FIFO: {p:?} then {cur:?}");
+                }
+            }
+            prev = Some(cur);
+        }
+        prop_assert_eq!(drained, events.len());
+        prop_assert!(q.is_empty());
+    }
+
+    // The drained payload sequence is byte-for-byte the stable sort of
+    // the pushed events — nothing about the heap's internal layout is
+    // ever observable.
+    #[test]
+    fn drain_matches_stable_sort_oracle(events in prop::collection::vec(key(), 0..64)) {
+        let mut q = EventQueue::new();
+        for (i, &(at, class, tie)) in events.iter().enumerate() {
+            q.push_keyed(at, class, tie, i);
+        }
+        let mut got = Vec::new();
+        while let Some(t) = q.pop() {
+            got.push(t.payload);
+        }
+        prop_assert_eq!(got, oracle_order(&events));
+    }
+
+    // Interleaving pushes and pops never breaks the contract: at every
+    // pop, the queue agrees with a naive oracle that scans a plain
+    // vector for the minimal `(at, class, tie, insertion)` entry.
+    #[test]
+    fn interleaved_push_pop_matches_naive_oracle(
+        ops in prop::collection::vec(prop_oneof![key().prop_map(Some), Just(None)], 0..96),
+    ) {
+        let mut q = EventQueue::new();
+        let mut oracle: Vec<(u64, u8, u64, u64, u64)> = Vec::new(); // (at, class, tie, seq, payload)
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                Some((at, class, tie)) => {
+                    q.push_keyed(at, class, tie, seq);
+                    oracle.push((at, class, tie, seq, seq));
+                    seq += 1;
+                }
+                None => {
+                    let got = q.pop();
+                    let want = oracle
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| (e.0, e.1, e.2, e.3))
+                        .map(|(i, _)| i);
+                    match (got, want) {
+                        (None, None) => {}
+                        (Some(t), Some(i)) => {
+                            let e = oracle.remove(i);
+                            prop_assert_eq!(
+                                (t.at, t.class, t.tie, t.payload),
+                                (e.0, e.1, e.2, e.4),
+                                "queue diverged from the oracle"
+                            );
+                        }
+                        (g, w) => prop_assert!(false, "emptiness disagrees: {g:?} vs {w:?}"),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(q.len(), oracle.len());
+    }
+
+    // `peek_at`/`peek` always agree with the next pop, and `push` is
+    // exactly `push_keyed` with class 0 and tie 0.
+    #[test]
+    fn peek_agrees_with_pop(events in prop::collection::vec(0u64..8, 1..32)) {
+        let mut q = EventQueue::new();
+        for (i, &at) in events.iter().enumerate() {
+            q.push(at, i);
+        }
+        while !q.is_empty() {
+            let at = q.peek_at().unwrap();
+            let (pat, &payload) = q.peek().unwrap();
+            let t = q.pop().unwrap();
+            prop_assert_eq!(at, t.at);
+            prop_assert_eq!(pat, t.at);
+            prop_assert_eq!(payload, t.payload);
+            prop_assert_eq!((t.class, t.tie), (0, 0));
+        }
+    }
+}

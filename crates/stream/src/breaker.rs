@@ -263,7 +263,11 @@ impl CircuitBreaker {
 
     fn trip(&mut self, now_ms: f64) {
         self.state = BreakerState::Open;
-        self.opened_at_ms = now_ms;
+        // Clamp the trip time to a finite value: an INF (or NaN) clock
+        // would make `now - opened_at` NaN in `allow`, and NaN >=
+        // cooldown is false forever — a breaker stuck open past any
+        // cool-down. Same overflow class as the clock-conversion fix.
+        self.opened_at_ms = if now_ms.is_finite() { now_ms } else { f64::MAX };
         self.probe_successes = 0;
         self.probes_inflight = 0;
         self.window.clear();
@@ -312,6 +316,29 @@ mod tests {
             BreakerConfig { cooldown_ms: -1.0, ..BreakerConfig::default() }.validate().is_err()
         );
         assert!(BreakerConfig { probes: 0, ..BreakerConfig::default() }.validate().is_err());
+    }
+
+    /// Regression (overflow audit, PR 9): tripping at a non-finite
+    /// timestamp used to store ±inf/NaN in `opened_at_ms`, making
+    /// `now - opened_at` NaN in `allow` — and `NaN >= cooldown` is
+    /// false forever, a breaker stuck open past any cool-down. The trip
+    /// time now clamps finite, so the breaker always heals.
+    #[test]
+    fn breaker_tripped_at_nonfinite_clock_still_heals() {
+        for bad_now in [f64::INFINITY, f64::NAN] {
+            let mut b = quick();
+            for _ in 0..4 {
+                b.on_failure(bad_now);
+            }
+            assert_eq!(b.state(), BreakerState::Open);
+            // A later call on the same poisoned clock must be able to
+            // open the half-open window, not wedge on NaN arithmetic.
+            assert!(
+                b.allow(f64::INFINITY),
+                "breaker tripped at {bad_now} must admit a probe eventually"
+            );
+            assert_eq!(b.state(), BreakerState::HalfOpen);
+        }
     }
 
     #[test]

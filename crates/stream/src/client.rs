@@ -159,7 +159,15 @@ impl RetryPolicy {
         } else {
             self.max_timeout_ms
         };
-        capped + jitter_unit * self.jitter_ms
+        // The jitter term can still be ±inf/NaN for an unvalidated
+        // policy (infinite jitter_ms, or a hostile jitter_unit); the
+        // final sum must stay finite or the caller's clock is poisoned.
+        let deadline = capped + jitter_unit * self.jitter_ms;
+        if deadline.is_finite() {
+            deadline
+        } else {
+            self.max_timeout_ms
+        }
     }
 
     fn validate(&self) -> Result<()> {
@@ -1044,6 +1052,25 @@ mod tests {
             let d = retry.deadline_ms(attempt, 0.0);
             assert!(d >= prev, "deadline shrank at attempt {attempt}: {prev} -> {d}");
             prev = d;
+        }
+    }
+
+    /// Regression (overflow audit, PR 9): the *jitter term* can also go
+    /// non-finite on an unvalidated policy — infinite jitter amplitude
+    /// or a hostile jitter draw — and used to leak straight into the
+    /// returned deadline, poisoning the caller's simulated clock.
+    #[test]
+    fn fault_backoff_deadline_saturates_nonfinite_jitter() {
+        let inf_jitter = RetryPolicy { jitter_ms: f64::INFINITY, ..RetryPolicy::default() };
+        let d = inf_jitter.deadline_ms(0, 0.5);
+        assert!(d.is_finite(), "infinite jitter amplitude gave {d}");
+        assert_eq!(d, inf_jitter.max_timeout_ms);
+
+        let retry = RetryPolicy::default();
+        for unit in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let d = retry.deadline_ms(0, unit);
+            assert!(d.is_finite(), "jitter draw {unit} gave {d}");
+            assert_eq!(d, retry.max_timeout_ms);
         }
     }
 
