@@ -1831,7 +1831,7 @@ fn exp19() {
     println!(
         "\nchaos campaign, {} sessions, {} shard faults + {} power losses, all disk\n\
          fault types on: completed {} / recovered {} (cold {}) / shed {} /\n\
-         lost_durable {} — all four invariants machine-checked, rerun byte-identical.",
+         lost_durable {} — all six invariants machine-checked, rerun byte-identical.",
         campaign.sessions,
         report.faults.len(),
         report.power_loss_at_ms.len(),
@@ -1841,6 +1841,121 @@ fn exp19() {
         report.fleet.shed,
         report.fleet.lost_durable
     );
+}
+
+fn exp20() {
+    header("EXP-20", "causal session tracing: stitched journeys, exemplars, incident reports");
+    use vgbl::obs::{
+        aggregate, aggregate_by, export_journeys, journeys_where, tail_exemplars, TerminalState,
+    };
+    use vgbl::runtime::chaos::{run_chaos, ChaosConfig};
+    use vgbl::store::{DiskFaultPlan, StoreConfig};
+
+    // `EXP20_SESSIONS` scales the campaign down for CI smoke runs; the
+    // recorded numbers come from the default 10k-session campaign.
+    let n: usize = std::env::var("EXP20_SESSIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+
+    // A synthetic session holds a slot ~250 ms (5 segments × 5 steps
+    // × 10 ms), so the 4×2-slot fleet serves ~32/s. Arrivals at 35 ms
+    // mean gaps (~29/s) run it near capacity — slots stay busy, so the
+    // faults hit in-flight work — while each retired shard (a crash,
+    // or an SLO drain off a stalled/degraded shard) pushes the
+    // survivors into honest overload sheds. The horizon spreads the
+    // faults across most of the arrival window.
+    let campaign = ChaosConfig {
+        seed: 0xE20_0006,
+        sessions: n,
+        arrival_interval_ms: 35.0,
+        crashes: 2,
+        stalls: 1,
+        degraded_links: 1,
+        power_losses: 1,
+        horizon_ms: 24.0 * n as f64,
+        store: StoreConfig {
+            snapshot_every: 1024,
+            dual_write: true,
+            faults: DiskFaultPlan::new(0xE20_CA05)
+                .with_torn_writes(0.3)
+                .and_then(|p| p.with_bit_rot(0.2))
+                .and_then(|p| p.with_stale_reads(0.2))
+                .expect("valid rates"),
+        },
+        ..ChaosConfig::default()
+    };
+    let t0 = Instant::now();
+    let report = run_chaos(&campaign).expect("campaign runs");
+    let wall = t0.elapsed();
+    for c in &report.checks {
+        println!("  chaos check {:<26} {}", c.name, if c.pass { "PASS" } else { "FAIL" });
+        assert!(c.pass, "{}: {}", c.name, c.detail);
+    }
+    let journeys = &report.fleet.journeys;
+
+    // Coverage is total: one journey per offered session, none of them
+    // unresolved — every terminal state is attributed.
+    assert_eq!(journeys.len(), report.fleet.sessions, "100% journey coverage");
+    assert!(
+        journeys.iter().all(|j| j.terminal != TerminalState::Unresolved),
+        "zero unattributed terminal states"
+    );
+    assert!(journeys.iter().all(|j| j.chain_ok()), "every span chain intact");
+
+    // The query API over the stitched population.
+    let agg = aggregate(journeys);
+    let cross_shard = journeys_where(journeys, |j| j.shards().len() > 1).len();
+    let by_terminal = aggregate_by(journeys, |j| j.terminal.name().to_string());
+    assert_eq!(by_terminal.values().map(|a| a.total).sum::<usize>(), agg.total);
+    println!(
+        "\n{} sessions stitched from {} shards in {:.2} s wall: {} cross-shard,\n\
+         {} migrations, {} cold resumes; critical path totals (ms):\n\
+         queued {:.1} / streaming {:.1} / migrating {:.1} / blackout {:.1}",
+        agg.total,
+        report.fleet.shards.len(),
+        wall.as_secs_f64(),
+        cross_shard,
+        agg.migrations,
+        agg.cold_resumes,
+        agg.critical.queued_ms,
+        agg.critical.streaming_ms,
+        agg.critical.migrating_ms,
+        agg.critical.blackout_ms
+    );
+    for (name, a) in &by_terminal {
+        println!("  terminal {:<10} {:>7}", name, a.total);
+    }
+
+    // Deterministic tail exemplars: the slowest journeys, each linked
+    // to the trace id an operator would pull up.
+    println!("\ntop-5 duration exemplars (histogram tail → trace):");
+    for e in tail_exemplars(journeys, 5, |j| j.duration_ms().ceil() as u64) {
+        println!(
+            "  bucket {:>2}  {:>8} ms  session {:>6}  trace {:016x}",
+            e.bucket, e.value, e.session, e.trace_id
+        );
+    }
+
+    // Per-fault blast radii, cross-checked against the accounting
+    // identity by the `incident_crosscheck` invariant above.
+    println!("\n{}", report.incidents.render());
+
+    // The whole observability surface is a pure function of the seed:
+    // a second campaign reproduces the journey export and the incident
+    // narrative byte for byte.
+    let again = run_chaos(&campaign).expect("campaign reruns");
+    assert_eq!(
+        export_journeys(journeys),
+        export_journeys(&again.fleet.journeys),
+        "journey export byte-identical across reruns"
+    );
+    assert_eq!(
+        report.incidents.render(),
+        again.incidents.render(),
+        "incident report byte-identical across reruns"
+    );
+    println!("journey export and incident report byte-identical across reruns.");
 }
 
 /// A bot that panics as soon as it is asked for input (EXP-12's fault
@@ -1939,5 +2054,8 @@ fn main() {
     }
     if want("exp19") {
         exp19();
+    }
+    if want("exp20") {
+        exp20();
     }
 }

@@ -45,9 +45,9 @@ use crate::{bench_footage, encode, table_for, RATE};
 
 /// The operations every snapshot covers, in emission order. `fleet`
 /// arrived with the `vgbl-bench/2` schema, `executor` with
-/// `vgbl-bench/3` and `durability` with `vgbl-bench/4`; older snapshots
-/// carry prefixes of this list.
-pub const OPS: [&str; 10] = [
+/// `vgbl-bench/3`, `durability` with `vgbl-bench/4` and `journey` with
+/// `vgbl-bench/5`; older snapshots carry prefixes of this list.
+pub const OPS: [&str; 11] = [
     "encode",
     "decode_all",
     "seek_cold",
@@ -58,14 +58,17 @@ pub const OPS: [&str; 10] = [
     "fleet",
     "executor",
     "durability",
+    "journey",
 ];
 
-/// The required op set for a document: everything for `vgbl-bench/4`,
+/// The required op set for a document: everything for `vgbl-bench/5`,
 /// schema-appropriate prefixes for older snapshots (and trajectories
 /// over them).
 fn required_ops(json: &str) -> &'static [&'static str] {
-    if json.contains("\"vgbl-bench/4\"") {
+    if json.contains("\"vgbl-bench/5\"") {
         &OPS
+    } else if json.contains("\"vgbl-bench/4\"") {
+        &OPS[..10]
     } else if json.contains("\"vgbl-bench/3\"") {
         &OPS[..9]
     } else if json.contains("\"vgbl-bench/2\"") {
@@ -256,6 +259,7 @@ fn target_per_s(name: &str) -> f64 {
         "fleet" => 1_000.0,
         "executor" => 100.0,
         "durability" => 500.0,
+        "journey" => 500.0,
         _ => 0.0,
     }
 }
@@ -468,6 +472,25 @@ pub fn run(mode: Mode, label: &str) -> BenchReport {
     });
     ops.push(push("durability", wall, w.fleet_sessions, "sessions"));
 
+    // journey: the durability stampede again with causal tracing on —
+    // every boundary event recorded, every checkpoint stamped with its
+    // trace context, journeys stitched into per-session timelines at
+    // the end. Sessions resolved per second; compared against the
+    // `durability` op, the gap IS the tracing overhead.
+    let journey_cfg = FleetConfig { journeys: true, ..durability_cfg.clone() };
+    let wall = timed(&mut rec, "journey", &mut || {
+        let report = run_fleet(&fleet_workload, &journey_cfg, w.fleet_sessions, &fleet_arrivals)
+            .expect("journey bench runs");
+        assert!(report.accounts_exactly(), "journey bench must not lose sessions");
+        assert_eq!(
+            report.journeys.len(),
+            report.sessions,
+            "tracing must cover every session"
+        );
+        std::hint::black_box(report);
+    });
+    ops.push(push("journey", wall, w.fleet_sessions, "sessions"));
+
     rec.exit(now_us(epoch));
     let obs = Obs::recording();
     obs.attach(rec);
@@ -502,12 +525,12 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Serialises a report as a `vgbl-bench/4` JSON snapshot.
+/// Serialises a report as a `vgbl-bench/5` JSON snapshot.
 pub fn to_json(report: &BenchReport) -> String {
     let w = &report.workload;
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"vgbl-bench/4\",");
+    let _ = writeln!(out, "  \"schema\": \"vgbl-bench/5\",");
     let _ = writeln!(out, "  \"label\": \"{}\",", json_escape(&report.label));
     let _ = writeln!(out, "  \"mode\": \"{}\",", report.mode.name());
     let _ = writeln!(out, "  \"workload\": {{");
@@ -715,7 +738,18 @@ mod tests {
 
         // Schema compatibility: each older schema validates without the
         // ops that arrived after it, and each newer schema requires them.
-        let v3: String = json
+        let v4: String = json
+            .replace("\"vgbl-bench/5\"", "\"vgbl-bench/4\"")
+            .lines()
+            .filter(|l| !l.contains("\"journey\":"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        validate_json(&v4).expect("v4 snapshot validates without journey");
+        assert!(
+            validate_json(&v4.replace("\"vgbl-bench/4\"", "\"vgbl-bench/5\"")).is_err(),
+            "v5 snapshot must carry the journey op"
+        );
+        let v3: String = v4
             .replace("\"vgbl-bench/4\"", "\"vgbl-bench/3\"")
             .lines()
             .filter(|l| !l.contains("\"durability\":"))

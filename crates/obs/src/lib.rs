@@ -34,6 +34,10 @@
 //!   [`slo::AlertTimeline`] and an exact error-budget ledger.
 //! * [`profile`] — folds recorded spans into inferno-compatible
 //!   flamegraph text, top-k hotspot tables, and run-to-run diffs.
+//! * [`journey`] — causal session journeys: pure-hash [`TraceCtx`]
+//!   identities propagated across every fleet boundary, per-shard
+//!   [`JourneyLog`]s of typed events, cross-shard [`stitch`]ing into
+//!   per-session timelines, and a query/exemplar layer on top.
 //!
 //! The disabled backend ([`Obs::noop`]) hands out detached handles whose
 //! operations are a single `Option` check — instrumented hot paths cost
@@ -60,12 +64,18 @@
 #![forbid(unsafe_code)]
 
 pub mod export;
+pub mod journey;
 pub mod metrics;
 pub mod profile;
 pub mod slo;
 pub mod span;
 pub mod timeseries;
 
+pub use journey::{
+    aggregate, aggregate_by, bucket_of, export_journeys, journeys_where, stitch, tail_exemplars,
+    CriticalPath, Exemplar, JourneyAggregate, JourneyEvent, JourneyEventKind, JourneyLog,
+    JourneyRecorder, SessionJourney, TerminalState, TraceCtx,
+};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricRow, MetricValue, Obs, Snapshot,
 };

@@ -340,6 +340,66 @@ mod tests {
     }
 
     #[test]
+    fn profile_forced_close_children_do_not_skew_parent_self_time() {
+        // A span left open by a panic is force-closed by `into_trace` at
+        // the trace's latest recorded moment (25 here, from "done"), so
+        // it becomes a zero-duration child. Zero-duration children must
+        // contribute zero child time: the parent's self time stays
+        // `duration − real child time`, never negative, never inflated.
+        let obs = Obs::recording();
+        let mut rec = obs.recorder("s".into());
+        rec.enter("parent", 0);
+        rec.enter("done", 0);
+        rec.exit(25);
+        rec.enter("forced", 25); // worker dies here; never exited
+        obs.attach(rec);
+        let snap = obs.snapshot();
+        assert_eq!(folded_stacks(&snap), "parent;done 25\n", "forced frame folds away");
+        let spots = hotspots(&snap, 10);
+        let parent = spots.iter().find(|h| h.name == "parent").unwrap();
+        assert_eq!((parent.self_us, parent.total_us), (0, 25), "self = 25 − (25 + 0)");
+        let forced = spots.iter().find(|h| h.name == "forced").unwrap();
+        assert_eq!((forced.self_us, forced.total_us, forced.calls), (0, 0, 1));
+    }
+
+    #[test]
+    fn profile_close_all_mid_trace_keeps_self_time_exact() {
+        // `close_all` stamps every open span with the same end: the
+        // child can never outlast the parent on this path, so the
+        // parent's self time is exactly the pre-child prefix.
+        let obs = Obs::recording();
+        let mut rec = obs.recorder("s".into());
+        rec.enter("session", 0);
+        rec.enter("dwell", 5);
+        rec.close_all(42); // panic-safe flush mid-trace
+        obs.attach(rec);
+        let snap = obs.snapshot();
+        assert_eq!(folded_stacks(&snap), "session 5\nsession;dwell 37\n");
+        let session = hotspots(&snap, 10).into_iter().find(|h| h.name == "session").unwrap();
+        assert_eq!((session.self_us, session.total_us), (5, 42));
+    }
+
+    #[test]
+    fn profile_out_of_order_exit_clamps_parent_self_to_zero() {
+        // Pathological caller clock: the child's exit timestamp (100)
+        // lies beyond the parent's (50), so the child's duration exceeds
+        // the parent's. The walk must clamp the parent's self time to 0
+        // (saturating_sub), not wrap to ~u64::MAX and dominate every
+        // flamegraph.
+        let obs = Obs::recording();
+        let mut rec = obs.recorder("s".into());
+        rec.enter("parent", 0);
+        rec.enter("child", 0);
+        rec.exit(100);
+        rec.exit(50); // clock ran backwards between the two exits
+        obs.attach(rec);
+        let snap = obs.snapshot();
+        assert_eq!(folded_stacks(&snap), "parent;child 100\n", "no wrapped parent frame");
+        let parent = hotspots(&snap, 10).into_iter().find(|h| h.name == "parent").unwrap();
+        assert_eq!((parent.self_us, parent.total_us), (0, 50), "clamped, not wrapped");
+    }
+
+    #[test]
     fn profile_empty_snapshot_folds_to_nothing() {
         let snap = Obs::noop().snapshot();
         assert_eq!(folded_stacks(&snap), "");

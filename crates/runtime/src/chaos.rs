@@ -11,12 +11,16 @@
 //! a provably corrupt record, and the entire composed run replays
 //! bit-identically from its seed.
 
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
 use crate::fleet::{
     run_fleet, FleetConfig, FleetReport, FleetWorkload, ShardFault, ShardFaultKind,
 };
 use crate::server::SessionOutcome;
 use crate::supervisor::{mix, unit, ArrivalPlan, SupervisorConfig};
 use crate::{Result, RuntimeError};
+use vgbl_obs::{aggregate, JourneyEvent, JourneyEventKind, SessionJourney, TerminalState};
 use vgbl_store::StoreConfig;
 
 /// Domain separation for chaos-schedule draws, one salt per fault
@@ -160,6 +164,8 @@ pub struct ChaosReport {
     pub power_loss_at_ms: Vec<f64>,
     /// The (first) run's full fleet report.
     pub fleet: FleetReport,
+    /// Per-fault blast radii built from the stitched journeys.
+    pub incidents: IncidentReport,
     /// Every invariant verdict.
     pub checks: Vec<InvariantCheck>,
 }
@@ -180,6 +186,238 @@ fn check(name: &'static str, pass: bool, detail: String) -> InvariantCheck {
     InvariantCheck { name, pass, detail }
 }
 
+/// One fault's blast radius, reconstructed purely from stitched
+/// journeys: which sessions the fault touched, how they ended, and how
+/// long re-admission took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// What fired: `crash shard=N`, `stall shard=N`,
+    /// `degraded_link shard=N`, or `power_loss #i`.
+    pub label: String,
+    /// When it fired, simulated ms.
+    pub at_ms: f64,
+    /// Sessions the fault touched, sorted by id. For crashes and power
+    /// losses these are the sessions whose journey carries the blackout
+    /// event; for stalls and degraded links, the sessions whose journey
+    /// touches the faulted shard at or after the fault.
+    pub affected: Vec<u64>,
+    /// Migration handoffs out of the blast radius: for blackouts, the
+    /// checkpoint-carrying evacuations at the fault instant; for
+    /// stalls/links, handoffs off the faulted shard afterwards.
+    pub migrated: usize,
+    /// Terminal tallies of the affected sessions, keyed by
+    /// [`TerminalState::name`].
+    pub terminals: BTreeMap<&'static str, usize>,
+    /// Affected sessions whose acknowledged durable checkpoint died
+    /// with this fault, per the storage audit (power losses only).
+    pub lost_durable: usize,
+    /// Per-session ms from the fault to the next admission, for
+    /// affected sessions that got re-admitted; ascending.
+    pub recovery_ms: Vec<f64>,
+}
+
+impl Incident {
+    /// Mean re-admission latency, 0 when nothing re-admitted.
+    pub fn mean_recovery_ms(&self) -> f64 {
+        if self.recovery_ms.is_empty() {
+            0.0
+        } else {
+            self.recovery_ms.iter().sum::<f64>() / self.recovery_ms.len() as f64
+        }
+    }
+
+    /// Worst re-admission latency, 0 when nothing re-admitted.
+    pub fn max_recovery_ms(&self) -> f64 {
+        self.recovery_ms.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// The campaign's incident digest: one [`Incident`] per scheduled
+/// fault (schedule order, then power losses in time order), plus the
+/// population totals the invariants cross-check against the fleet's
+/// accounting identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentReport {
+    /// Per-fault blast radii.
+    pub incidents: Vec<Incident>,
+    /// Journeys stitched — must equal the sessions offered.
+    pub sessions: usize,
+    /// Journeys with no terminal state — must be zero.
+    pub unresolved: usize,
+}
+
+impl IncidentReport {
+    /// Deterministic plain-text narrative, byte-identical across
+    /// reruns of the same seed.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "incident report: {} incidents over {} sessions ({} unresolved)",
+            self.incidents.len(),
+            self.sessions,
+            self.unresolved
+        );
+        for inc in &self.incidents {
+            let _ = write!(
+                s,
+                "  {} at={:.3}ms affected={} migrated={}",
+                inc.label,
+                inc.at_ms,
+                inc.affected.len(),
+                inc.migrated
+            );
+            for (name, n) in &inc.terminals {
+                let _ = write!(s, " {name}={n}");
+            }
+            if !inc.recovery_ms.is_empty() {
+                let _ = write!(
+                    s,
+                    " recovery mean={:.3}ms max={:.3}ms",
+                    inc.mean_recovery_ms(),
+                    inc.max_recovery_ms()
+                );
+            }
+            if inc.lost_durable > 0 {
+                let _ = write!(s, " lost_durable={}", inc.lost_durable);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// The blast radius of one blackout (crash or power loss): journeys
+/// carrying the matching event at `t`, their evacuations at the fault
+/// instant, terminals, loss attribution, and re-admission latencies.
+fn blackout_incident(
+    label: String,
+    t: f64,
+    journeys: &[SessionJourney],
+    matches_fault: impl Fn(&JourneyEvent) -> bool,
+    lost: &BTreeSet<u64>,
+) -> Incident {
+    let mut inc = Incident {
+        label,
+        at_ms: t,
+        affected: Vec::new(),
+        migrated: 0,
+        terminals: BTreeMap::new(),
+        lost_durable: 0,
+        recovery_ms: Vec::new(),
+    };
+    for j in journeys {
+        let Some(p) = j.events.iter().position(&matches_fault) else { continue };
+        inc.affected.push(j.session);
+        *inc.terminals.entry(j.terminal.name()).or_insert(0) += 1;
+        if lost.contains(&j.session) {
+            inc.lost_durable += 1;
+        }
+        for e in &j.events[p..] {
+            if matches!(e.kind, JourneyEventKind::MigratedOut { .. }) && e.at_ms == t {
+                inc.migrated += 1;
+            }
+        }
+        if let Some(e) = j.events[p + 1..]
+            .iter()
+            .find(|e| matches!(e.kind, JourneyEventKind::Admitted { .. }))
+        {
+            inc.recovery_ms.push(e.at_ms - t);
+        }
+    }
+    inc.recovery_ms.sort_by(|a, b| a.total_cmp(b));
+    inc
+}
+
+/// The blast radius of a slowdown fault (stall or degraded link):
+/// journeys that touch the faulted shard at or after the fault, and
+/// the handoffs that evacuated it.
+fn touch_incident(label: String, t: f64, shard: u32, journeys: &[SessionJourney]) -> Incident {
+    let mut inc = Incident {
+        label,
+        at_ms: t,
+        affected: Vec::new(),
+        migrated: 0,
+        terminals: BTreeMap::new(),
+        lost_durable: 0,
+        recovery_ms: Vec::new(),
+    };
+    for j in journeys {
+        let mut touched = false;
+        for e in &j.events {
+            if e.shard == shard && e.at_ms >= t {
+                touched = true;
+                if matches!(e.kind, JourneyEventKind::MigratedOut { .. }) {
+                    inc.migrated += 1;
+                }
+            }
+        }
+        if touched {
+            inc.affected.push(j.session);
+            *inc.terminals.entry(j.terminal.name()).or_insert(0) += 1;
+        }
+    }
+    inc
+}
+
+/// Builds the per-fault incident digest from a journey-enabled fleet
+/// report and the campaign's fault schedule. Pure function of its
+/// inputs — byte-identical across reruns of the same seed.
+pub fn incident_report(
+    fleet: &FleetReport,
+    faults: &[ShardFault],
+    power_loss_at_ms: &[f64],
+) -> IncidentReport {
+    let journeys = &fleet.journeys;
+    let lost: BTreeSet<u64> = fleet
+        .durability
+        .as_ref()
+        .map(|d| d.lost.iter().map(|l| l.session as u64).collect())
+        .unwrap_or_default();
+    let mut incidents = Vec::new();
+    for f in faults {
+        incidents.push(match f.kind {
+            ShardFaultKind::Crash => blackout_incident(
+                format!("crash shard={}", f.shard),
+                f.at_ms,
+                journeys,
+                |e| {
+                    e.shard == f.shard
+                        && e.at_ms == f.at_ms
+                        && matches!(e.kind, JourneyEventKind::Crashed)
+                },
+                &BTreeSet::new(),
+            ),
+            ShardFaultKind::Stall { .. } => {
+                touch_incident(format!("stall shard={}", f.shard), f.at_ms, f.shard, journeys)
+            }
+            ShardFaultKind::DegradedLink { .. } => touch_incident(
+                format!("degraded_link shard={}", f.shard),
+                f.at_ms,
+                f.shard,
+                journeys,
+            ),
+        });
+    }
+    for (i, &t) in power_loss_at_ms.iter().enumerate() {
+        incidents.push(blackout_incident(
+            format!("power_loss #{i}"),
+            t,
+            journeys,
+            |e| e.at_ms == t && matches!(e.kind, JourneyEventKind::PowerLoss),
+            &lost,
+        ));
+    }
+    IncidentReport {
+        incidents,
+        sessions: journeys.len(),
+        unresolved: journeys
+            .iter()
+            .filter(|j| j.terminal == TerminalState::Unresolved)
+            .count(),
+    }
+}
+
 /// Runs one seeded chaos campaign: builds the schedule, runs the fleet
 /// over it **twice**, and returns the audited [`ChaosReport`].
 ///
@@ -192,6 +430,14 @@ fn check(name: &'static str, pass: bool, detail: String) -> InvariantCheck {
 /// - `no_acked_loss_unattributed` — `lost_durable` equals the number of
 ///   attributed corrupt records; a durable store must never lose an
 ///   acknowledged checkpoint without naming the record that died.
+/// - `journey_total_exclusive` — journey coverage is total and
+///   exclusive: every offered session stitches to exactly one journey,
+///   each journey carries exactly one terminal event that agrees with
+///   the session's fleet outcome, and every span chain links parent to
+///   child across shard hops and cold restarts.
+/// - `incident_crosscheck` — the journey population totals match the
+///   fleet's accounting identity exactly, and every durably-lost
+///   session is attributed to the power-loss incident that killed it.
 /// - `rerun_identical` — the second run's report (storage audit
 ///   included) is byte-identical to the first.
 pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport> {
@@ -201,6 +447,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport> {
         shards: cfg.shards,
         vnodes: 32,
         router_seed: mix(cfg.seed),
+        journeys: true,
         shard: SupervisorConfig {
             queue_capacity: 32,
             queue_deadline_ms: 1e9,
@@ -267,6 +514,61 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport> {
         format!("lost_durable = {} with {attributed} attributed corrupt records", fleet.lost_durable),
     ));
 
+    let outcome_agrees = |j: &SessionJourney| {
+        let o = &fleet.outcomes[j.session as usize];
+        matches!(
+            (j.terminal, o),
+            (TerminalState::Completed, SessionOutcome::Completed)
+                | (TerminalState::Recovered, SessionOutcome::Recovered { .. })
+                | (TerminalState::Failed, SessionOutcome::Failed { .. })
+                | (TerminalState::Shed, SessionOutcome::Shed { .. })
+                | (TerminalState::GaveUp, SessionOutcome::GaveUp { .. })
+        )
+    };
+    let exclusive = fleet.journeys.iter().all(|j| {
+        j.events.iter().filter(|e| e.kind.is_terminal()).count() == 1
+            && outcome_agrees(j)
+            && j.chain_ok()
+    });
+    checks.push(check(
+        "journey_total_exclusive",
+        fleet.journeys.len() == fleet.sessions && exclusive,
+        format!(
+            "{} journeys for {} sessions, each with one terminal agreeing with its \
+             outcome and an intact span chain",
+            fleet.journeys.len(),
+            fleet.sessions
+        ),
+    ));
+
+    let incidents = incident_report(&fleet, &faults, &power_loss_at_ms);
+    let agg = aggregate(&fleet.journeys);
+    let tally = |name: &str| agg.by_terminal.get(name).copied().unwrap_or(0);
+    let totals_match = agg.total == fleet.sessions
+        && incidents.unresolved == 0
+        && tally("completed") == fleet.completed
+        && tally("recovered") == fleet.recovered
+        && tally("failed") == fleet.failed
+        && tally("shed") == fleet.shed
+        && tally("gave_up") == fleet.gave_up
+        && agg.migrations == fleet.migrations.len();
+    let lost_attributed: usize = incidents
+        .incidents
+        .iter()
+        .filter(|i| i.label.starts_with("power_loss"))
+        .map(|i| i.lost_durable)
+        .sum();
+    checks.push(check(
+        "incident_crosscheck",
+        totals_match && lost_attributed == attributed,
+        format!(
+            "journey terminals match fleet counters ({} sessions, {} migrations); \
+             {lost_attributed} of {attributed} durable losses pinned to a power-loss incident",
+            agg.total,
+            agg.migrations
+        ),
+    ));
+
     checks.push(check(
         "rerun_identical",
         fleet == rerun,
@@ -277,7 +579,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport> {
         },
     ));
 
-    Ok(ChaosReport { seed: cfg.seed, faults, power_loss_at_ms, fleet, checks })
+    Ok(ChaosReport { seed: cfg.seed, faults, power_loss_at_ms, fleet, incidents, checks })
 }
 
 #[cfg(test)]
@@ -322,6 +624,44 @@ mod tests {
     }
 
     #[test]
+    fn chaos_journeys_cover_every_session_with_intact_chains() {
+        let report = run_chaos(&ChaosConfig::default()).unwrap();
+        assert!(report.all_pass(), "{:?}", report.first_failure());
+        assert_eq!(report.fleet.journeys.len(), report.fleet.sessions);
+        assert!(report.fleet.journeys.iter().all(|j| j.chain_ok()));
+        assert!(
+            report.fleet.journeys.iter().any(|j| j.shards().len() > 1),
+            "a crash campaign must produce at least one cross-shard journey"
+        );
+    }
+
+    #[test]
+    fn incident_report_is_deterministic_and_attributes_blast_radius() {
+        let a = run_chaos(&ChaosConfig::default()).unwrap();
+        let b = run_chaos(&ChaosConfig::default()).unwrap();
+        assert_eq!(a.incidents, b.incidents);
+        assert_eq!(a.incidents.render(), b.incidents.render());
+        assert_eq!(
+            a.incidents.incidents.len(),
+            a.faults.len() + a.power_loss_at_ms.len(),
+            "one incident per scheduled fault"
+        );
+        assert_eq!(a.incidents.sessions, a.fleet.sessions);
+        assert_eq!(a.incidents.unresolved, 0);
+        let touched: usize = a.incidents.incidents.iter().map(|i| i.affected.len()).sum();
+        assert!(touched > 0, "the campaign's faults must touch someone");
+        for inc in &a.incidents.incidents {
+            assert_eq!(
+                inc.affected.len(),
+                inc.terminals.values().sum::<usize>(),
+                "every affected session carries exactly one terminal: {}",
+                inc.label
+            );
+            assert!(inc.recovery_ms.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
     fn different_seeds_produce_different_campaigns() {
         let a = ChaosConfig { seed: 1, ..ChaosConfig::default() }.schedule();
         let b = ChaosConfig { seed: 2, ..ChaosConfig::default() }.schedule();
@@ -341,3 +681,5 @@ mod tests {
         }
     }
 }
+
+

@@ -35,7 +35,10 @@ use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use vgbl_obs::{us_from_ms, AlertTimeline, BudgetLedger, Counter, Gauge, Histogram, Obs, SpanRecorder};
+use vgbl_obs::{
+    us_from_ms, AlertTimeline, BudgetLedger, Counter, Gauge, Histogram, JourneyEventKind,
+    JourneyRecorder, Obs, SessionJourney, SpanRecorder, TerminalState, TraceCtx,
+};
 use vgbl_scene::SceneGraph;
 use vgbl_stream::{BreakerStats, CircuitBreaker, FaultPlan};
 
@@ -282,6 +285,13 @@ pub struct FleetConfig {
     /// shard loses all in-memory state (queues, slots, uncommitted
     /// work) and the fleet cold-restarts from the durable store.
     pub power_loss_at_ms: Vec<f64>,
+    /// Record per-session causal journeys ([`FleetReport::journeys`]).
+    /// Every session carries a [`TraceCtx`] minted as a pure hash of
+    /// `(router_seed, session, generation)` across every boundary it
+    /// crosses — admission, checkpoint, migration handoff, crash,
+    /// power loss, cold resume. Off by default: journey-off runs pay a
+    /// single branch per would-be event.
+    pub journeys: bool,
 }
 
 impl Default for FleetConfig {
@@ -297,6 +307,7 @@ impl Default for FleetConfig {
             autoscale: None,
             store: None,
             power_loss_at_ms: Vec::new(),
+            journeys: false,
         }
     }
 }
@@ -441,6 +452,10 @@ pub struct MigrationRecord {
     /// against the destination's actual tail; `None` when verification
     /// was off, superseded by a later restart/hop, or not applicable.
     pub verified: Option<bool>,
+    /// The session's causal trace id, carried through the handoff.
+    pub trace_id: u64,
+    /// The span id of the generation the destination resumes as.
+    pub span_id: u64,
 }
 
 /// One autoscaler action.
@@ -592,6 +607,10 @@ pub struct FleetReport {
     pub shard_alerts: AlertTimeline,
     /// Durable-store audit when [`FleetConfig::store`] was set.
     pub durability: Option<DurabilityReport>,
+    /// Per-session causal journeys, stitched across every shard each
+    /// session touched, when [`FleetConfig::journeys`] was on (empty
+    /// otherwise). Sorted by session id; byte-identical across reruns.
+    pub journeys: Vec<SessionJourney>,
 }
 
 impl FleetReport {
@@ -667,6 +686,28 @@ impl FleetReport {
             None => {
                 debug_assert_eq!(self.lost_durable, 0, "no store, no durable losses");
                 debug_assert_eq!(self.recovered_cold, 0, "no store, no cold recoveries");
+            }
+        }
+        if !self.journeys.is_empty() {
+            debug_assert_eq!(
+                self.journeys.len(),
+                self.sessions,
+                "journeys on: every offered session stitches to exactly one journey"
+            );
+            for (j, o) in self.journeys.iter().zip(&self.outcomes) {
+                let want = match o {
+                    SessionOutcome::Completed => TerminalState::Completed,
+                    SessionOutcome::Recovered { .. } => TerminalState::Recovered,
+                    SessionOutcome::Failed { .. } => TerminalState::Failed,
+                    SessionOutcome::Shed { .. } => TerminalState::Shed,
+                    SessionOutcome::GaveUp { .. } => TerminalState::GaveUp,
+                };
+                debug_assert_eq!(
+                    j.terminal, want,
+                    "journey terminal must agree with session {} outcome",
+                    j.session
+                );
+                debug_assert!(j.chain_ok(), "session {} journey chain broken", j.session);
             }
         }
         let migrated_out: usize = self.shards.iter().map(|s| s.migrated_out).sum();
@@ -1057,6 +1098,8 @@ struct FleetSim<'a> {
     fleet_slo: SupSlo,
     fo: FleetObs,
     rec: SpanRecorder,
+    /// Per-shard causal journey logs ([`FleetConfig::journeys`]).
+    journey: JourneyRecorder,
     makespan_ms: f64,
     last_scale_ms: f64,
     up_streak: u32,
@@ -1109,14 +1152,46 @@ impl FleetSim<'_> {
         }
     }
 
+    /// The causal identity of `(session, generation)` under the fleet's
+    /// router seed — the same pure mint every boundary re-derives.
+    fn ctx(&self, id: usize, generation: u32) -> TraceCtx {
+        TraceCtx::mint(self.cfg.router_seed, id as u64, generation)
+    }
+
+    /// Records one journey event on `shard`'s log (`None` = the fleet
+    /// itself, e.g. a shed with no routable shard). Single branch when
+    /// journeys are off.
+    fn journey_event(
+        &mut self,
+        shard: Option<u32>,
+        t_ms: f64,
+        id: usize,
+        generation: u32,
+        kind: JourneyEventKind,
+    ) {
+        if self.journey.is_enabled() {
+            let ctx = self.ctx(id, generation);
+            self.journey.record(shard.unwrap_or(u32::MAX), t_ms, id as u64, ctx, kind);
+        }
+    }
+
     /// Terminal shed: one accounted outcome, fleet- and (when
-    /// attributable) shard-level SLO bad events.
-    fn shed(&mut self, sidx: Option<usize>, id: usize, t_ms: f64, reason: &str) {
+    /// attributable) shard-level SLO bad events. `generation` is the
+    /// session's causal generation at the moment it was shed.
+    fn shed(&mut self, sidx: Option<usize>, id: usize, generation: u32, t_ms: f64, reason: &str) {
         self.outcomes[id] = Some(SessionOutcome::Shed { reason: reason.into() });
         self.fleet_slo.on_shed(t_ms);
         self.fo.shed.inc();
         self.rec.event("shed", id as u64, us_from_ms(t_ms));
         self.makespan_ms = self.makespan_ms.max(t_ms);
+        let sid = sidx.map(|i| self.shards[i].id);
+        self.journey_event(
+            sid,
+            t_ms,
+            id,
+            generation,
+            JourneyEventKind::Shed { reason: reason.into() },
+        );
         if let Some(i) = sidx {
             let s = &mut self.shards[i];
             s.shed += 1;
@@ -1128,7 +1203,7 @@ impl FleetSim<'_> {
         self.fleet_slo.on_arrival(t_ms);
         self.makespan_ms = self.makespan_ms.max(t_ms);
         let Some(dest) = self.router.route(id as u64) else {
-            self.shed(None, id, t_ms, "no shard available");
+            self.shed(None, id, 0, t_ms, "no shard available");
             return;
         };
         self.fo.routed.inc();
@@ -1141,6 +1216,13 @@ impl FleetSim<'_> {
     /// ladder, and dispatches as far as idle slots allow.
     fn enqueue(&mut self, i: usize, mut q: QEntry, now: f64) {
         let cfg = self.cfg;
+        // Fresh (non-resume) entries open queue time on this shard's
+        // journey log; resumed entries already carry a MigratedIn /
+        // ColdResume event from their originating boundary.
+        if q.resume.is_none() {
+            let sid = self.shards[i].id;
+            self.journey_event(Some(sid), now, q.id, 0, JourneyEventKind::Enqueued);
+        }
         let verdict = {
             let s = &mut self.shards[i];
             s.routed += 1;
@@ -1163,7 +1245,8 @@ impl FleetSim<'_> {
                 Some(_) => "migration target queue full",
                 None => "queue full",
             };
-            self.shed(Some(i), q.id, now, reason);
+            let generation = q.resume.as_ref().map_or(0, |rs| rs.generation);
+            self.shed(Some(i), q.id, generation, now, reason);
             return;
         };
         q.mode = mode;
@@ -1191,7 +1274,8 @@ impl FleetSim<'_> {
             };
             let wait = start - q.arrival_ms;
             if wait > cfg.shard.queue_deadline_ms {
-                self.shed(Some(i), q.id, start, "queue deadline exceeded");
+                let generation = q.resume.as_ref().map_or(0, |rs| rs.generation);
+                self.shed(Some(i), q.id, generation, start, "queue deadline exceeded");
                 continue;
             }
             self.queue_waits.push(wait);
@@ -1211,8 +1295,17 @@ impl FleetSim<'_> {
         let QEntry { id, mode, resume, .. } = q;
         let mig_idx = resume.as_ref().and_then(|rs| rs.mig_idx);
         let cold = resume.as_ref().is_some_and(|rs| rs.cold);
+        let gen_now = resume.as_ref().map_or(0, |rs| rs.generation);
+        let sid = self.shards[i].id;
         self.shards[i].admitted += 1;
         self.rec.event("admit", id as u64, us_from_ms(start));
+        self.journey_event(
+            Some(sid),
+            start,
+            id,
+            gen_now,
+            JourneyEventKind::Admitted { generation: gen_now },
+        );
         let mut t = start;
         let mut was_degraded = false;
         if resume.is_none() {
@@ -1225,6 +1318,13 @@ impl FleetSim<'_> {
             } else {
                 self.shards[i].degraded += 1;
                 was_degraded = true;
+                self.journey_event(
+                    Some(sid),
+                    start,
+                    id,
+                    gen_now,
+                    JourneyEventKind::DegradedTo { mode: format!("{mode:?}") },
+                );
             }
         }
         let (generation, restarts, hops, resumed_at_step, committed, synth_done) = match resume {
@@ -1379,7 +1479,21 @@ impl FleetSim<'_> {
         match end {
             SegEnd::Boundary => {
                 r.committed = Some(make_commit(self.cfg.router_seed, &self.cfg.shard, &r));
-                self.persist_commit(&r);
+                let seq = self.persist_commit(&r);
+                if self.journey.is_enabled() {
+                    let (step, digest) = {
+                        let c = r.committed.as_ref().expect("just committed");
+                        (c.step as u64, c.digest)
+                    };
+                    let sid = self.shards[i].id;
+                    self.journey_event(
+                        Some(sid),
+                        due,
+                        r.id,
+                        r.generation,
+                        JourneyEventKind::CheckpointPersisted { step, digest, durable_seq: seq },
+                    );
+                }
                 if self.shards[i].draining {
                     let reason = self.shards[i].drain_reason;
                     self.migrate(i, r, due, reason);
@@ -1442,6 +1556,32 @@ impl FleetSim<'_> {
             self.recovered_cold += 1;
         }
         self.rec.event("done", r.id as u64, us_from_ms(t));
+        if self.journey.is_enabled() {
+            let sid = self.shards[i].id;
+            let kind = match &outcome {
+                SessionOutcome::Completed => {
+                    let steps = r.engine.as_ref().map_or_else(
+                        || u64::from(r.synth_done) * self.cfg.shard.checkpoint_every.max(1) as u64,
+                        |er| er.steps as u64,
+                    );
+                    JourneyEventKind::Completed { steps }
+                }
+                SessionOutcome::Recovered { resumed_at_step, restarts } => {
+                    JourneyEventKind::RecoveredEnd {
+                        resumed_at_step: *resumed_at_step as u64,
+                        restarts: *restarts,
+                    }
+                }
+                SessionOutcome::Failed { reason } => {
+                    JourneyEventKind::Failed { reason: reason.clone() }
+                }
+                SessionOutcome::GaveUp { restarts, reason } => {
+                    JourneyEventKind::GaveUp { restarts: *restarts, reason: reason.clone() }
+                }
+                SessionOutcome::Shed { .. } => unreachable!("sheds go through shed()"),
+            };
+            self.journey_event(Some(sid), t, r.id, r.generation, kind);
+        }
         self.outcomes[r.id] = Some(outcome);
     }
 
@@ -1449,7 +1589,7 @@ impl FleetSim<'_> {
     fn migrate(&mut self, from_idx: usize, mut r: Running, now: f64, reason: MigrationReason) {
         let committed = r.committed.take().expect("migrate requires a committed checkpoint");
         let Some(dest) = self.router.route(r.id as u64) else {
-            self.shed(Some(from_idx), r.id, now, "no shard available for migration");
+            self.shed(Some(from_idx), r.id, r.generation, now, "no shard available for migration");
             return;
         };
         let from_id = self.shards[from_idx].id;
@@ -1458,6 +1598,10 @@ impl FleetSim<'_> {
         self.rec.event("migrate", r.id as u64, us_from_ms(now));
         let di = self.sidx(dest).expect("routable shard exists");
         let mi = self.migrations.len();
+        // The handoff carries the *resuming* generation's identity; its
+        // parent span is the generation that checkpointed, so the chain
+        // survives the shard change.
+        let hand = self.ctx(r.id, r.generation + 1);
         self.migrations.push(MigrationRecord {
             session: r.id,
             from: from_id,
@@ -1468,7 +1612,23 @@ impl FleetSim<'_> {
             checkpoint_digest: committed.digest,
             handoff_ok: None,
             verified: None,
+            trace_id: hand.trace_id,
+            span_id: hand.span_id,
         });
+        self.journey_event(
+            Some(from_id),
+            now,
+            r.id,
+            r.generation,
+            JourneyEventKind::MigratedOut { to: dest, resumed_at_step: committed.step as u64 },
+        );
+        self.journey_event(
+            Some(dest),
+            now,
+            r.id,
+            r.generation + 1,
+            JourneyEventKind::MigratedIn { from: from_id },
+        );
         let resume = ResumeState {
             committed,
             generation: r.generation + 1,
@@ -1540,10 +1700,11 @@ impl FleetSim<'_> {
             (running, std::mem::take(&mut s.queue))
         };
         for r in running {
+            self.journey_event(Some(sid), t_ms, r.id, r.generation, JourneyEventKind::Crashed);
             if r.committed.is_some() {
                 self.migrate(i, r, t_ms, MigrationReason::Crash);
             } else {
-                self.shed(Some(i), r.id, t_ms, "shard crashed before first checkpoint");
+                self.shed(Some(i), r.id, r.generation, t_ms, "shard crashed before first checkpoint");
             }
         }
         for q in queued {
@@ -1552,19 +1713,32 @@ impl FleetSim<'_> {
                     let di = self.sidx(dest).expect("routable shard exists");
                     self.enqueue(di, q, t_ms);
                 }
-                None => self.shed(Some(i), q.id, t_ms, "no shard available"),
+                None => {
+                    let generation = q.resume.as_ref().map_or(0, |rs| rs.generation);
+                    self.shed(Some(i), q.id, generation, t_ms, "no shard available");
+                }
             }
         }
     }
 
     /// Writes the session's fresh boundary commit through the durable
     /// store (when configured) and records the acknowledged seq as the
-    /// simulator's ground truth for power-loss accounting.
-    fn persist_commit(&mut self, r: &Running) {
-        let Some(store) = self.store.as_mut() else { return };
+    /// simulator's ground truth for power-loss accounting. Returns the
+    /// acknowledged WAL seq, `None` when there is no store (or the
+    /// flush was not acknowledged).
+    fn persist_commit(&mut self, r: &Running) -> Option<u64> {
+        let store = self.store.as_mut()?;
         let c = r.committed.as_ref().expect("persist follows make_commit");
+        let ctx = TraceCtx::mint(self.cfg.router_seed, r.id as u64, r.generation);
         let payload = match &c.save {
-            Some(save) => save.to_text().into_bytes(),
+            Some(save) => {
+                // The durable payload carries the checkpointing
+                // generation's causal identity; the trace line is
+                // digest-exempt, so `c.digest` still matches.
+                let mut save = save.clone();
+                save.trace = Some((ctx.trace_id, ctx.span_id));
+                save.to_text().into_bytes()
+            }
             None => c.synth_done.to_le_bytes().to_vec(),
         };
         let record = CheckpointRecord {
@@ -1572,11 +1746,15 @@ impl FleetSim<'_> {
             step: c.step as u64,
             generation: r.generation,
             digest: c.digest,
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
             payload,
         };
-        if let Some(seq) = persist_checkpoint(store, &record) {
+        let seq = persist_checkpoint(store, &record);
+        if let Some(seq) = seq {
             self.acked.insert(r.id, (seq, c.digest));
         }
+        seq
     }
 
     /// The whole-fleet power loss: every shard loses its queues, slots,
@@ -1596,17 +1774,23 @@ impl FleetSim<'_> {
         // their in-memory state (engines, logs, restart counters,
         // queue positions) is destroyed, not preserved.
         let mut live: Vec<usize> = Vec::new();
+        let mut hit: Vec<(u32, usize, u32)> = Vec::new();
         for s in &mut self.shards {
             for slot in &mut s.slots {
                 slot.token += 1;
                 slot.pending = None;
                 if let Some(r) = slot.run.take() {
+                    hit.push((s.id, r.id, r.generation));
                     live.push(r.id);
                 }
             }
             for q in std::mem::take(&mut s.queue) {
+                hit.push((s.id, q.id, q.resume.as_ref().map_or(0, |rs| rs.generation)));
                 live.push(q.id);
             }
+        }
+        for (sid, id, generation) in hit {
+            self.journey_event(Some(sid), t_ms, id, generation, JourneyEventKind::PowerLoss);
         }
         live.sort_unstable();
         live.dedup();
@@ -1616,7 +1800,7 @@ impl FleetSim<'_> {
             // Unreachable behind FleetConfig::validate, but account
             // honestly rather than panic if it ever regresses.
             for id in live {
-                self.shed(None, id, t_ms, "power loss without durable store");
+                self.shed(None, id, 0, t_ms, "power loss without durable store");
             }
             return;
         };
@@ -1629,6 +1813,7 @@ impl FleetSim<'_> {
             match recovery.sessions.get(&(id as u64)) {
                 Some(rc) => {
                     let rec = &rc.record;
+                    let (rec_generation, rec_step, was_stale) = (rec.generation, rec.step, rc.stale);
                     let commit = match SaveGame::from_text(
                         std::str::from_utf8(&rec.payload).unwrap_or(""),
                     ) {
@@ -1675,6 +1860,17 @@ impl FleetSim<'_> {
                     };
                     match self.router.route(id as u64) {
                         Some(dest) => {
+                            // The resuming generation's identity is
+                            // re-minted from nothing but the durable
+                            // `(session, generation)` — the cold-restart
+                            // leg of the causal chain.
+                            self.journey_event(
+                                Some(dest),
+                                t_ms,
+                                id,
+                                rec_generation + 1,
+                                JourneyEventKind::ColdResume { from_step: rec_step, stale: was_stale },
+                            );
                             let di = self.sidx(dest).expect("routable shard exists");
                             self.enqueue(
                                 di,
@@ -1687,7 +1883,9 @@ impl FleetSim<'_> {
                                 t_ms,
                             );
                         }
-                        None => self.shed(None, id, t_ms, "no shard available after power loss"),
+                        None => {
+                            self.shed(None, id, 0, t_ms, "no shard available after power loss")
+                        }
                     }
                 }
                 None => match self.acked.get(&id) {
@@ -1705,10 +1903,10 @@ impl FleetSim<'_> {
                             .map_or(CorruptKind::Torn, |c| c.kind);
                         self.lost.push(LostSession { session: id, seq, kind });
                         self.fo.lost_durable.inc();
-                        self.shed(None, id, t_ms, "cold restart: durable checkpoint corrupt");
+                        self.shed(None, id, 0, t_ms, "cold restart: durable checkpoint corrupt");
                     }
                     None => {
-                        self.shed(None, id, t_ms, "power loss before first durable checkpoint")
+                        self.shed(None, id, 0, t_ms, "power loss before first durable checkpoint")
                     }
                 },
             }
@@ -1734,7 +1932,10 @@ impl FleetSim<'_> {
                     let di = self.sidx(dest).expect("routable shard exists");
                     self.enqueue(di, q, t_ms);
                 }
-                None => self.shed(Some(i), q.id, t_ms, "no shard available"),
+                None => {
+                    let generation = q.resume.as_ref().map_or(0, |rs| rs.generation);
+                    self.shed(Some(i), q.id, generation, t_ms, "no shard available");
+                }
             }
         }
     }
@@ -1891,11 +2092,12 @@ fn fleet_core(
         ),
         fo: FleetObs::new(obs),
         rec,
+        journey: if cfg.journeys { JourneyRecorder::new() } else { JourneyRecorder::disabled() },
         makespan_ms: 0.0,
         last_scale_ms: f64::NEG_INFINITY,
         up_streak: 0,
         down_streak: 0,
-        store: cfg.store.map(DurableStore::new),
+        store: cfg.store.map(|sc| DurableStore::with_obs(sc, obs)),
         acked: BTreeMap::new(),
         scrubs: Vec::new(),
         cold_resumed: 0,
@@ -1959,6 +2161,7 @@ fn fleet_core(
         fleet_slo,
         fo,
         rec,
+        journey,
         store,
         scrubs,
         cold_resumed,
@@ -2034,6 +2237,7 @@ fn fleet_core(
             stale_resumes,
             lost,
         }),
+        journeys: vgbl_obs::stitch(&journey.into_logs()),
     };
     let (completed, failed, shed, recovered, gave_up) = report.outcome_counts();
     report.completed = completed;
@@ -2843,5 +3047,81 @@ mod tests {
         assert_eq!(a, b, "same seeds, same faults, same report — storage included");
         assert_eq!(a.durability, b.durability);
         assert_eq!(a.durability.as_ref().unwrap().scrubs.len(), 2);
+    }
+
+    #[test]
+    fn journeys_cover_every_session_across_crash_and_power_loss() {
+        use vgbl_store::DiskFaultPlan;
+        let cfg = FleetConfig {
+            shards: 3,
+            vnodes: 32,
+            journeys: true,
+            shard: SupervisorConfig {
+                queue_capacity: 16,
+                queue_deadline_ms: 1e9,
+                slots: 2,
+                step_ms: 10.0,
+                checkpoint_every: 5,
+                ..SupervisorConfig::default()
+            },
+            faults: vec![ShardFault { at_ms: 150.0, shard: 1, kind: ShardFaultKind::Crash }],
+            store: Some(StoreConfig {
+                snapshot_every: 4,
+                dual_write: true,
+                faults: DiskFaultPlan::new(99),
+            }),
+            power_loss_at_ms: vec![300.0],
+            ..FleetConfig::default()
+        };
+        let workload = FleetWorkload::Synthetic { mean_segments: 5 };
+        let arrivals = ArrivalPlan::new(23, 2.0).unwrap();
+        let report = run_fleet(&workload, &cfg, 80, &arrivals).unwrap();
+
+        // Total and exclusive: one journey per session, one terminal
+        // each, chains intact. (debug_assert_consistent re-checks this
+        // on every debug run; this pins it in release too.)
+        assert_eq!(report.journeys.len(), report.sessions);
+        for j in &report.journeys {
+            assert_eq!(j.events.iter().filter(|e| e.kind.is_terminal()).count(), 1);
+            assert!(j.chain_ok(), "session {}: broken span chain", j.session);
+        }
+
+        // The crash evacuated or the power loss cold-resumed someone
+        // across shards, and the stitched journey shows the hop with
+        // re-minted generation identity.
+        let cross = report
+            .journeys
+            .iter()
+            .find(|j| {
+                j.events.iter().any(|e| {
+                    matches!(
+                        e.kind,
+                        JourneyEventKind::MigratedIn { .. } | JourneyEventKind::ColdResume { .. }
+                    )
+                })
+            })
+            .expect("a crash + power loss campaign produces a cross-shard journey");
+        assert!(cross.generations() > 1, "a hop re-mints the generation: {cross:?}");
+
+        // Every migration handoff record carries the same identity the
+        // destination shard's journey leg was minted with.
+        for m in &report.migrations {
+            let expect = TraceCtx::mint(cfg.router_seed, m.session as u64, 0);
+            assert_eq!(m.trace_id, expect.trace_id, "trace id is generation-independent");
+            assert_ne!(m.span_id, 0, "handoff carries the resuming span");
+        }
+
+        // Off by default: the same run with journeys disabled produces
+        // an empty journey vector and an otherwise identical report.
+        let plain = run_fleet(
+            &workload,
+            &FleetConfig { journeys: false, ..cfg.clone() },
+            80,
+            &arrivals,
+        )
+        .unwrap();
+        assert!(plain.journeys.is_empty());
+        assert_eq!(plain.outcomes, report.outcomes);
+        assert_eq!(plain.migrations, report.migrations);
     }
 }

@@ -71,9 +71,14 @@ pub use bot::{run_session, run_session_observed, Bot, BotRun, ExplorerBot, Guide
 pub use device::{RemoteButton, RemoteControl};
 pub use engine::{GameSession, SessionConfig};
 pub use error::RuntimeError;
-pub use executor::{CohortRun, EventQueue, ExecutorStats, SessionTask, SimTime, Step, Timed};
+pub use executor::{
+    run_tasks, run_tasks_observed, CohortRun, EventQueue, ExecutorStats, SessionTask, SimTime,
+    Step, Timed,
+};
 pub use feedback::Feedback;
-pub use chaos::{run_chaos, ChaosConfig, ChaosReport, InvariantCheck};
+pub use chaos::{
+    incident_report, run_chaos, ChaosConfig, ChaosReport, Incident, IncidentReport, InvariantCheck,
+};
 pub use fleet::{
     run_fleet, run_fleet_observed, AutoscaleConfig, DurabilityReport, FleetConfig, FleetReport,
     FleetRouter, FleetWorkload, LostSession, MigrationConfig, MigrationReason, MigrationRecord,

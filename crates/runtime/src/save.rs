@@ -57,6 +57,11 @@ pub struct SaveGame {
     /// Scenario-timer thresholds (ms) that already fired this scenario
     /// entry (checkpoint-only; empty in a plain capture).
     pub fired_timers: BTreeSet<u64>,
+    /// Causal identity `(trace_id, span_id)` of the generation that
+    /// checkpointed, when the save crossed a traced boundary. `None` in
+    /// a plain capture; excluded from [`SaveGame::digest`] so traced and
+    /// untraced serialisations of the same state verify equal.
+    pub trace: Option<(u64, u64)>,
 }
 
 /// A stable hash of the game content (scenario names, in order, plus
@@ -81,6 +86,7 @@ impl SaveGame {
             inventory: inventory.clone(),
             dialogue: None,
             fired_timers: BTreeSet::new(),
+            trace: None,
         }
     }
 
@@ -88,10 +94,13 @@ impl SaveGame {
     /// equal digests restore identical sessions, so the fleet verifies a
     /// migration handoff (checkpoint → restore → checkpoint on the
     /// destination shard) by digest equality instead of shipping the full
-    /// text into every [`crate::fleet::MigrationRecord`].
+    /// text into every [`crate::fleet::MigrationRecord`]. The `trace`
+    /// line is identity metadata, not state, so it is excluded: stamping
+    /// a checkpoint with its causal identity never perturbs handoff
+    /// verification.
     pub fn digest(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in self.to_text().bytes() {
+        for b in self.text(false).bytes() {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x100_0000_01b3);
         }
@@ -100,9 +109,18 @@ impl SaveGame {
 
     /// Serialises to the text format.
     pub fn to_text(&self) -> String {
+        self.text(true)
+    }
+
+    fn text(&self, with_trace: bool) -> String {
         let mut out = String::with_capacity(256);
         out.push_str(&format!("vgbl-save {SAVE_VERSION}\n"));
         out.push_str(&format!("game {:016x}\n", self.game_hash));
+        if with_trace {
+            if let Some((trace_id, span_id)) = self.trace {
+                out.push_str(&format!("trace {trace_id:016x} {span_id:016x}\n"));
+            }
+        }
         out.push_str(&format!("scenario {}\n", self.state.current_scenario));
         out.push_str(&format!("score {}\n", self.state.score));
         out.push_str(&format!(
@@ -163,6 +181,7 @@ impl SaveGame {
         let mut inventory = Inventory::new();
         let mut dialogue: Option<(String, u32)> = None;
         let mut fired_timers: BTreeSet<u64> = BTreeSet::new();
+        let mut trace: Option<(u64, u64)> = None;
         state.visited.clear();
 
         for line in lines {
@@ -177,6 +196,15 @@ impl SaveGame {
                         u64::from_str_radix(rest.trim(), 16)
                             .map_err(|_| corrupt("bad game hash"))?,
                     );
+                }
+                "trace" => {
+                    let (t, sp) =
+                        rest.trim().split_once(' ').ok_or_else(|| corrupt("bad trace line"))?;
+                    trace = Some((
+                        u64::from_str_radix(t, 16).map_err(|_| corrupt("bad trace id"))?,
+                        u64::from_str_radix(sp.trim(), 16)
+                            .map_err(|_| corrupt("bad span id"))?,
+                    ));
                 }
                 "scenario" => state.current_scenario = rest.trim().to_owned(),
                 "score" => {
@@ -257,7 +285,7 @@ impl SaveGame {
         if state.current_scenario.is_empty() {
             return Err(corrupt("missing scenario"));
         }
-        Ok(SaveGame { game_hash, state, inventory, dialogue, fired_timers })
+        Ok(SaveGame { game_hash, state, inventory, dialogue, fired_timers, trace })
     }
 
     /// Verifies the save belongs to `graph`.
@@ -355,6 +383,31 @@ mod tests {
         // And a plain capture stays free of transients.
         assert_eq!(sample_save().dialogue, None);
         assert!(sample_save().fired_timers.is_empty());
+    }
+
+    #[test]
+    fn trace_line_roundtrips_without_perturbing_the_digest() {
+        let mut save = sample_save();
+        let untraced_text = save.to_text();
+        let untraced_digest = save.digest();
+        save.trace = Some((0xDEAD_BEEF_0000_0001, 0x0000_CAFE_0000_0002));
+        let text = save.to_text();
+        assert!(text.contains("trace deadbeef00000001 0000cafe00000002\n"));
+        let back = SaveGame::from_text(&text).unwrap();
+        assert_eq!(back, save, "trace survives the round trip");
+        assert_eq!(
+            save.digest(),
+            untraced_digest,
+            "identity metadata must not perturb handoff verification"
+        );
+        assert!(!untraced_text.contains("trace "), "untraced saves stay byte-identical");
+        for bad in [
+            "vgbl-save 1\ngame 0\ntrace 1\nscenario x\n",
+            "vgbl-save 1\ngame 0\ntrace zz 1\nscenario x\n",
+            "vgbl-save 1\ngame 0\ntrace 1 zz\nscenario x\n",
+        ] {
+            assert!(SaveGame::from_text(bad).is_err(), "accepted: {bad:?}");
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ use std::sync::Arc;
 
 use vgbl_obs::{
     us_from_ms, AlertTimeline, BudgetLedger, BurnRule, Counter, Gauge, Histogram, Objective, Obs,
-    Series, SeriesSpec, SloEvaluator, SpanRecorder,
+    Series, SeriesSpec, SloEvaluator, SpanRecorder, TraceCtx,
 };
 use vgbl_scene::SceneGraph;
 use vgbl_stream::{
@@ -615,6 +615,11 @@ pub(crate) fn drive(
     Ok(steps)
 }
 
+/// Trace-context seed for the standalone supervisor path, which has no
+/// fleet router seed to inherit. Fixed so standalone-run checkpoints
+/// carry stable, rerun-identical trace identities.
+pub(crate) const SUPERVISOR_TRACE_SEED: u64 = 0x10AD_5EED;
+
 pub(crate) fn stitch(prefix: &SessionLog, tail: &SessionLog) -> SessionLog {
     let mut log = prefix.clone();
     for e in tail.events() {
@@ -652,11 +657,13 @@ fn run_incarnation(
                 Some(c) => stitch(&c.log, s.log()),
                 None => s.log().clone(),
             };
-            let save = s.checkpoint();
+            let mut save = s.checkpoint();
             if let Some(d) = durable.as_mut() {
                 // Written through the unwind boundary, like the
                 // in-memory store: a checkpoint flushed before a panic
                 // (or a whole-process loss) stays durable.
+                let ctx = TraceCtx::mint(SUPERVISOR_TRACE_SEED, i as u64, incarnation);
+                save.trace = Some((ctx.trace_id, ctx.span_id));
                 persist_checkpoint(
                     d,
                     &CheckpointRecord {
@@ -664,6 +671,8 @@ fn run_incarnation(
                         step: n as u64,
                         generation: incarnation,
                         digest: save.digest(),
+                        trace_id: ctx.trace_id,
+                        span_id: ctx.span_id,
                         payload: save.to_text().into_bytes(),
                     },
                 );

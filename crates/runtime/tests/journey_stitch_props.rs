@@ -1,0 +1,134 @@
+//! EXP-20 property: journey stitching is **total** and **exclusive**.
+//!
+//! For any seeded chaos campaign — shard crashes, stalls, degraded
+//! links, whole-fleet power losses, and seeded disk faults composed
+//! over one horizon — every session the fleet accounts for appears in
+//! exactly one stitched journey, every journey carries exactly one
+//! terminal event that agrees with the session's fleet outcome, and
+//! every span chain links parent to child across shard hops and cold
+//! restarts. No fault composition may produce a session the journey
+//! log cannot explain, or explains twice.
+
+use proptest::prelude::*;
+use vgbl_obs::{JourneyEventKind, TerminalState};
+use vgbl_runtime::{run_chaos, ChaosConfig, SessionOutcome};
+use vgbl_store::{DiskFaultPlan, StoreConfig};
+
+fn chaos_configs() -> impl Strategy<Value = ChaosConfig> {
+    (
+        any::<u64>(),
+        10usize..50,
+        2u32..6,
+        0u32..3, // crashes
+        0u32..3, // stalls
+        0u32..3, // degraded links
+        0u32..3, // power losses
+        2u32..7, // mean segments
+        prop_oneof![Just(false), Just(true)],
+    )
+        .prop_map(
+            |(seed, sessions, shards, crashes, stalls, links, power, segs, dirty)| ChaosConfig {
+                seed,
+                sessions,
+                shards,
+                arrival_interval_ms: 1.0 + (seed % 5) as f64,
+                mean_segments: segs,
+                crashes,
+                stalls,
+                degraded_links: links,
+                power_losses: power,
+                horizon_ms: 400.0,
+                store: if dirty {
+                    StoreConfig {
+                        snapshot_every: 4,
+                        dual_write: seed % 2 == 0,
+                        faults: DiskFaultPlan::new(seed ^ 0xD15C)
+                            .with_torn_writes(0.4)
+                            .unwrap()
+                            .with_bit_rot(0.3)
+                            .unwrap()
+                            .with_lost_flushes(0.2)
+                            .unwrap()
+                            .with_stale_reads(0.2)
+                            .unwrap(),
+                    }
+                } else {
+                    StoreConfig::default()
+                },
+            },
+        )
+}
+
+fn agrees(terminal: TerminalState, outcome: &SessionOutcome) -> bool {
+    matches!(
+        (terminal, outcome),
+        (TerminalState::Completed, SessionOutcome::Completed)
+            | (TerminalState::Recovered, SessionOutcome::Recovered { .. })
+            | (TerminalState::Failed, SessionOutcome::Failed { .. })
+            | (TerminalState::Shed, SessionOutcome::Shed { .. })
+            | (TerminalState::GaveUp, SessionOutcome::GaveUp { .. })
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Totality: one journey per offered session, exactly, sorted by id.
+    // Exclusivity: one terminal event per journey, agreeing with the
+    // fleet outcome — no session ends twice or not at all.
+    #[test]
+    fn stitching_is_total_and_exclusive(cfg in chaos_configs()) {
+        let report = run_chaos(&cfg).unwrap();
+        prop_assert!(report.all_pass(), "{:?}", report.first_failure());
+        let fleet = &report.fleet;
+
+        prop_assert_eq!(fleet.journeys.len(), fleet.sessions, "totality");
+        for (expect, j) in fleet.journeys.iter().enumerate() {
+            prop_assert_eq!(j.session, expect as u64, "exactly one journey per session, in order");
+
+            let terminals = j.events.iter().filter(|e| e.kind.is_terminal()).count();
+            prop_assert_eq!(terminals, 1, "session {} must end exactly once", j.session);
+            prop_assert!(
+                j.events.last().is_some_and(|e| e.kind.is_terminal()),
+                "session {}'s terminal must be its last event",
+                j.session
+            );
+            prop_assert!(j.terminal != TerminalState::Unresolved);
+            prop_assert!(
+                agrees(j.terminal, &fleet.outcomes[j.session as usize]),
+                "session {}: journey says {:?}, fleet says {:?}",
+                j.session, j.terminal, fleet.outcomes[j.session as usize]
+            );
+
+            // Stitched order is chronological and the span chain links
+            // parent to child across every hop and cold restart.
+            prop_assert!(j.events.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+            prop_assert!(j.chain_ok(), "session {}: broken span chain", j.session);
+        }
+    }
+
+    // Boundary events pair up: every migration handoff leaves one shard
+    // and lands on another, and every cold resume follows a power loss
+    // the same session witnessed.
+    #[test]
+    fn boundary_events_pair_up(cfg in chaos_configs()) {
+        let report = run_chaos(&cfg).unwrap();
+        for j in &report.fleet.journeys {
+            let outs = j.events.iter().filter(
+                |e| matches!(e.kind, JourneyEventKind::MigratedOut { .. })).count();
+            let ins = j.events.iter().filter(
+                |e| matches!(e.kind, JourneyEventKind::MigratedIn { .. })).count();
+            prop_assert_eq!(outs, ins, "session {}: unmatched handoff", j.session);
+            for (i, e) in j.events.iter().enumerate() {
+                if let JourneyEventKind::ColdResume { .. } = e.kind {
+                    prop_assert!(
+                        j.events[..i].iter().any(|p| matches!(
+                            p.kind, JourneyEventKind::PowerLoss) && p.at_ms == e.at_ms),
+                        "session {}: cold resume without its power loss",
+                        j.session
+                    );
+                }
+            }
+        }
+    }
+}

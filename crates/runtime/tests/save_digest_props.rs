@@ -65,7 +65,7 @@ fn arb_save() -> impl Strategy<Value = SaveGame> {
             for r in &rewards {
                 inventory.award(r.clone());
             }
-            SaveGame { game_hash, state, inventory, dialogue, fired_timers }
+            SaveGame { game_hash, state, inventory, dialogue, fired_timers, trace: None }
         },
     )
 }
@@ -156,6 +156,9 @@ proptest! {
             inventory: save.inventory.clone(),
             dialogue: save.dialogue.clone(),
             fired_timers: save.fired_timers.iter().copied().collect::<BTreeSet<u64>>(),
+            // A trace context is identity metadata, never state: the twin
+            // carrying one must digest identically to the bare original.
+            trace: Some((save.game_hash ^ 0xABCD, 7)),
         };
         prop_assert_eq!(twin.digest(), save.digest());
     }

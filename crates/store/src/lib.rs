@@ -46,6 +46,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use vgbl_obs::{Counter, Histogram, Obs};
+
 // ---------------------------------------------------------------------------
 // Seeded hashing (the same splitmix64 idiom the rest of the stack uses)
 // ---------------------------------------------------------------------------
@@ -264,14 +266,20 @@ pub struct CheckpointRecord {
     pub generation: u32,
     /// Caller-side digest of the payload (e.g. `SaveGame::digest`).
     pub digest: u64,
+    /// Causal trace id (journey layer; 0 when the caller doesn't trace).
+    /// Persisted so a cold restart can stitch the recovered session back
+    /// onto the journey it was on when the power died.
+    pub trace_id: u64,
+    /// Span id of the generation that took the checkpoint (0 untraced).
+    pub span_id: u64,
     /// Opaque checkpoint bytes.
     pub payload: Vec<u8>,
 }
 
 const MAGIC: u16 = 0x5653; // "VS"
 /// Bytes before the payload: magic(2) seq(8) session(8) step(8)
-/// generation(4) digest(8) len(4).
-const HEADER_LEN: usize = 2 + 8 + 8 + 8 + 4 + 8 + 4;
+/// generation(4) digest(8) trace_id(8) span_id(8) len(4).
+const HEADER_LEN: usize = 2 + 8 + 8 + 8 + 4 + 8 + 8 + 8 + 4;
 /// Trailing checksum bytes.
 const TRAILER_LEN: usize = 8;
 
@@ -285,6 +293,8 @@ fn encode(seq: u64, r: &CheckpointRecord) -> Vec<u8> {
     out.extend_from_slice(&r.step.to_le_bytes());
     out.extend_from_slice(&r.generation.to_le_bytes());
     out.extend_from_slice(&r.digest.to_le_bytes());
+    out.extend_from_slice(&r.trace_id.to_le_bytes());
+    out.extend_from_slice(&r.span_id.to_le_bytes());
     out.extend_from_slice(&(r.payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&r.payload);
     let sum = fnv1a(&out);
@@ -312,7 +322,7 @@ fn decode(bytes: &[u8]) -> std::result::Result<(u64, CheckpointRecord), DecodeFa
     if u16le(0) != MAGIC {
         return Err(DecodeFail::Corrupt);
     }
-    let len = u32le(2 + 8 + 8 + 8 + 4 + 8) as usize;
+    let len = u32le(2 + 8 + 8 + 8 + 4 + 8 + 8 + 8) as usize;
     let total = HEADER_LEN + len + TRAILER_LEN;
     if bytes.len() < total {
         return Err(DecodeFail::Truncated);
@@ -331,6 +341,8 @@ fn decode(bytes: &[u8]) -> std::result::Result<(u64, CheckpointRecord), DecodeFa
             step: u64le(2 + 8 + 8),
             generation: u32le(2 + 8 + 8 + 8),
             digest: u64le(2 + 8 + 8 + 8 + 4),
+            trace_id: u64le(2 + 8 + 8 + 8 + 4 + 8),
+            span_id: u64le(2 + 8 + 8 + 8 + 4 + 8 + 8),
             payload: bytes[HEADER_LEN..HEADER_LEN + len].to_vec(),
         },
     ))
@@ -479,6 +491,47 @@ pub struct StoreStats {
     pub pending_lost: u64,
 }
 
+/// Resolved `store.*` metric handles, all labelled `pillar=store`. On a
+/// noop [`Obs`] every handle is detached, so the default store pays one
+/// branch per tap — benches and journey-off fleets are unaffected.
+#[derive(Debug, Clone)]
+struct StoreObs {
+    obs: Obs,
+    flushes: Counter,
+    flushes_lost: Counter,
+    flushes_reordered: Counter,
+    records_acked: Counter,
+    flush_batch: Histogram,
+    snapshots: Counter,
+    power_losses: Counter,
+    pending_lost: Counter,
+    torn_detected: Counter,
+    rot_detected: Counter,
+    scrub_repairs: Counter,
+    stale_reads: Counter,
+}
+
+impl StoreObs {
+    fn new(obs: &Obs) -> StoreObs {
+        const L: &[(&str, &str)] = &[("pillar", "store")];
+        StoreObs {
+            obs: obs.clone(),
+            flushes: obs.counter("store.flushes", L),
+            flushes_lost: obs.counter("store.flushes_lost", L),
+            flushes_reordered: obs.counter("store.flushes_reordered", L),
+            records_acked: obs.counter("store.records_acked", L),
+            flush_batch: obs.histogram("store.flush_batch_records", L),
+            snapshots: obs.counter("store.snapshot_compactions", L),
+            power_losses: obs.counter("store.power_losses", L),
+            pending_lost: obs.counter("store.pending_lost", L),
+            torn_detected: obs.counter("store.torn_detected", L),
+            rot_detected: obs.counter("store.rot_detected", L),
+            scrub_repairs: obs.counter("store.scrub_repairs", L),
+            stale_reads: obs.counter("store.stale_reads", L),
+        }
+    }
+}
+
 /// A successful flush acknowledgement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlushAck {
@@ -508,11 +561,18 @@ pub struct DurableStore {
     power_idx: u64,
     next_snap: u64,
     stats: StoreStats,
+    sobs: StoreObs,
 }
 
 impl DurableStore {
-    /// A fresh, empty store.
+    /// A fresh, empty store with no observability (detached handles).
     pub fn new(cfg: StoreConfig) -> DurableStore {
+        DurableStore::with_obs(cfg, &Obs::noop())
+    }
+
+    /// A fresh, empty store emitting `store.*` counters/histograms (and
+    /// a scrub trace per recovery) into `obs`.
+    pub fn with_obs(cfg: StoreConfig, obs: &Obs) -> DurableStore {
         let n = if cfg.dual_write { 2 } else { 1 };
         DurableStore {
             cfg,
@@ -524,6 +584,7 @@ impl DurableStore {
             power_idx: 0,
             next_snap: 0,
             stats: StoreStats::default(),
+            sobs: StoreObs::new(obs),
         }
     }
 
@@ -560,12 +621,14 @@ impl DurableStore {
     pub fn flush(&mut self) -> Result<FlushAck> {
         self.flush_idx += 1;
         self.stats.flushes += 1;
+        self.sobs.flushes.inc();
         if self.pending.is_empty() {
             self.stats.acked_flushes += 1;
             return Ok(FlushAck { first_seq: self.next_seq, records: 0 });
         }
         if self.cfg.faults.lost_at(self.flush_idx) {
             self.stats.lost_flushes += 1;
+            self.sobs.flushes_lost.inc();
             return Err(StoreError::FlushLost {
                 flush: self.flush_idx,
                 records: self.pending.len(),
@@ -580,6 +643,7 @@ impl DurableStore {
             let head = batch.remove(0);
             batch.push(head);
             self.stats.reordered_flushes += 1;
+            self.sobs.flushes_reordered.inc();
         }
         let records = batch.len();
         for (seq, bytes, session) in batch {
@@ -597,6 +661,8 @@ impl DurableStore {
         }
         self.stats.acked_flushes += 1;
         self.stats.acked_records += records as u64;
+        self.sobs.records_acked.add(records as u64);
+        self.sobs.flush_batch.record(records as u64);
         if self.cfg.snapshot_every > 0
             && self.stats.acked_flushes.is_multiple_of(self.cfg.snapshot_every)
         {
@@ -623,6 +689,7 @@ impl DurableStore {
             r.wal.retain(|b| b.id > upto);
         }
         self.stats.snapshots += 1;
+        self.sobs.snapshots.inc();
     }
 
     /// The fleet-wide outage: the volatile buffer vanishes (staged
@@ -635,9 +702,11 @@ impl DurableStore {
     pub fn power_loss(&mut self) {
         self.power_idx += 1;
         self.stats.power_losses += 1;
+        self.sobs.power_losses.inc();
         let torn = self.cfg.faults.torn_at(self.power_idx);
         let staged = std::mem::take(&mut self.pending);
         self.stats.pending_lost += staged.len() as u64;
+        self.sobs.pending_lost.add(staged.len() as u64);
         if !torn {
             return;
         }
@@ -734,6 +803,7 @@ impl DurableStore {
                 Ok(((seq, rec), repaired)) => {
                     if repaired {
                         report.repaired.push(seq);
+                        self.sobs.scrub_repairs.inc();
                     }
                     wal.push((seq, rec, repaired));
                 }
@@ -742,6 +812,10 @@ impl DurableStore {
                         DecodeFail::Truncated => CorruptKind::Torn,
                         DecodeFail::Corrupt => CorruptKind::Rotten,
                     };
+                    match kind {
+                        CorruptKind::Torn => self.sobs.torn_detected.inc(),
+                        CorruptKind::Rotten => self.sobs.rot_detected.inc(),
+                    }
                     report.lost.push(CorruptRecord { seq: blob.id, kind });
                 }
             }
@@ -778,9 +852,31 @@ impl DurableStore {
             v.sort_by_key(|(seq, _)| *seq);
             v.dedup_by_key(|(seq, _)| *seq);
             let stale = self.cfg.faults.stale_at(session) && v.len() >= 2;
+            if stale {
+                self.sobs.stale_reads.inc();
+            }
             let (seq, record) =
                 if stale { v[v.len() - 2].clone() } else { v.last().expect("non-empty").clone() };
             sessions.insert(session, RecoveredCheckpoint { seq, record, stale });
+        }
+        // One scrub trace per recovery: zero-duration events (the store
+        // has no clock of its own) carrying each finding's WAL seq, so
+        // the damage an incident report names is span-queryable too.
+        if self.sobs.obs.enabled() {
+            let mut rec = self.sobs.obs.recorder(format!("store.recover-{:04}", self.power_idx));
+            rec.enter_with("store.recover", sessions.len() as u64, 0);
+            for r in &scrub.repaired {
+                rec.event("store.scrub.repaired", *r, 0);
+            }
+            for l in &scrub.lost {
+                let name = match l.kind {
+                    CorruptKind::Torn => "store.scrub.lost_torn",
+                    CorruptKind::Rotten => "store.scrub.lost_rotten",
+                };
+                rec.event(name, l.seq, 0);
+            }
+            rec.exit(0);
+            self.sobs.obs.attach(rec);
         }
         Recovery { sessions, scrub }
     }
@@ -809,6 +905,8 @@ mod tests {
             step,
             generation: 0,
             digest: fnv1a(payload),
+            trace_id: mix(session ^ 0x7e57),
+            span_id: mix(session ^ step),
             payload: payload.to_vec(),
         }
     }
@@ -1043,6 +1141,83 @@ mod tests {
         assert_eq!(a, b, "same seed, same operations ⇒ byte-identical recovery");
         assert_eq!(sa, sb);
         assert!(sa.appended == 60);
+    }
+
+    #[test]
+    fn trace_context_survives_the_wal_round_trip() {
+        let mut s = clean_store();
+        let r = rec(4711, 12, b"traced");
+        assert_ne!(r.trace_id, 0);
+        s.append(&r);
+        s.flush().unwrap();
+        s.power_loss();
+        let rcv = s.recover();
+        let back = &rcv.sessions[&4711].record;
+        assert_eq!(back.trace_id, r.trace_id, "trace id crosses the power loss");
+        assert_eq!(back.span_id, r.span_id, "span id crosses the power loss");
+    }
+
+    #[test]
+    fn obs_taps_mirror_store_stats() {
+        let faults = DiskFaultPlan::new(77)
+            .with_torn_writes(0.5)
+            .unwrap()
+            .with_bit_rot(0.2)
+            .unwrap()
+            .with_lost_flushes(0.2)
+            .unwrap()
+            .with_stale_reads(0.2)
+            .unwrap();
+        let obs = Obs::recording();
+        let mut s = DurableStore::with_obs(
+            StoreConfig { snapshot_every: 3, dual_write: true, faults },
+            &obs,
+        );
+        for i in 0..40u64 {
+            s.append(&rec(i % 7, i, format!("p{i}").as_bytes()));
+            let _ = s.flush();
+            if i % 13 == 12 {
+                s.power_loss();
+            }
+        }
+        s.power_loss();
+        let rcv = s.recover();
+        let stats = s.stats();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter_total("store.flushes"), stats.flushes);
+        assert_eq!(snap.counter_total("store.flushes_lost"), stats.lost_flushes);
+        assert_eq!(snap.counter_total("store.records_acked"), stats.acked_records);
+        assert_eq!(snap.counter_total("store.snapshot_compactions"), stats.snapshots);
+        assert_eq!(snap.counter_total("store.power_losses"), stats.power_losses);
+        assert_eq!(snap.counter_total("store.pending_lost"), stats.pending_lost);
+        let torn = rcv.scrub.lost.iter().filter(|l| l.kind == CorruptKind::Torn).count();
+        let rot = rcv.scrub.lost.iter().filter(|l| l.kind == CorruptKind::Rotten).count();
+        assert_eq!(snap.counter_total("store.torn_detected"), torn as u64);
+        assert_eq!(snap.counter_total("store.rot_detected"), rot as u64);
+        assert_eq!(
+            snap.counter_total("store.scrub_repairs"),
+            rcv.scrub.repaired.len() as u64
+        );
+        let stale = rcv.sessions.values().filter(|c| c.stale).count();
+        assert_eq!(snap.counter_total("store.stale_reads"), stale as u64);
+        assert!(
+            snap.histogram("store.flush_batch_records").map_or(0, |h| h.count) > 0,
+            "flush batch sizes are recorded"
+        );
+        // The recovery attached a scrub trace with one event per finding.
+        assert_eq!(snap.traces.len(), 1);
+        assert!(snap.traces[0].label.starts_with("store.recover-"));
+        assert_eq!(
+            snap.span_count("store.scrub.repaired"),
+            rcv.scrub.repaired.len(),
+            "every repair is span-queryable"
+        );
+
+        // A plain `new()` store is detached: same workload, no metrics.
+        let mut quiet = DurableStore::new(StoreConfig { snapshot_every: 3, dual_write: true, faults });
+        quiet.append(&rec(1, 1, b"q"));
+        let _ = quiet.flush();
+        assert_eq!(quiet.stats().appended, 1);
     }
 
     #[test]

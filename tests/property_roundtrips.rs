@@ -284,6 +284,7 @@ mod save_props {
             hash in any::<u64>(),
             dialogue in proptest::option::of((ident(), any::<u32>())),
             fired in proptest::collection::btree_set(any::<u64>(), 0..4),
+            trace in proptest::option::of((any::<u64>(), any::<u64>())),
         ) {
             let save = SaveGame {
                 game_hash: hash,
@@ -291,6 +292,7 @@ mod save_props {
                 inventory: inv,
                 dialogue,
                 fired_timers: fired,
+                trace,
             };
             let text = save.to_text();
             let back = SaveGame::from_text(&text).unwrap();
